@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: the complexity/performance Pareto frontier the paper's
+ * title refers to, made explicit. For each named configuration and a
+ * grid of field organizations, print the section-2 hardware cost
+ * (storage bits + comparators) against measured MCPI on doduc and
+ * tomcatv at load latency 10. This ties the cost model (core/
+ * mshr_cost) to the timing results in one table; the paper presents
+ * the same tradeoff across its Figures 5/13/14 but never tabulates
+ * cost and MCPI together.
+ */
+
+#include "bench_common.hh"
+#include "core/mshr_cost.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::Lab lab(nbl_bench::benchScale());
+
+    harness::ExperimentConfig base;
+    base.loadLatency = 10;
+    harness::printHeader("Ablation",
+                         "hardware cost vs MCPI (doduc, tomcatv)",
+                         base);
+
+    core::CostParams cp;
+    Table t("storage cost vs miss CPI at load latency 10");
+    t.header({"organization", "bits", "cmps", "doduc", "tomcatv"});
+
+    struct Entry
+    {
+        std::string label;
+        core::MshrPolicy policy;
+        core::MshrCost cost;
+    };
+    std::vector<Entry> entries;
+
+    for (core::ConfigName c :
+         {core::ConfigName::Mc0, core::ConfigName::Mc1,
+          core::ConfigName::Mc2, core::ConfigName::Fc1,
+          core::ConfigName::Fc2, core::ConfigName::Fs1,
+          core::ConfigName::Fs2, core::ConfigName::InCache,
+          core::ConfigName::NoRestrict}) {
+        core::MshrPolicy p = core::makePolicy(c);
+        core::MshrCost cost =
+            c == core::ConfigName::InCache
+                ? core::inCacheMshrCost(cp, 256) // 8KB / 32B lines
+                : core::policyCost(cp, p);
+        entries.push_back({core::configLabel(c), p, cost});
+    }
+    for (auto [sb, mps] : {std::pair{1, 4}, {2, 2}, {8, 1}}) {
+        core::MshrPolicy p = core::makeFieldPolicy(sb, mps);
+        p.numMshrs = 4; // a practical four-MSHR file
+        entries.push_back({"4x " + p.label, p, core::policyCost(cp, p)});
+    }
+
+    for (const Entry &e : entries) {
+        harness::ExperimentConfig cfg = base;
+        cfg.customPolicy = e.policy;
+        double d = lab.run("doduc", cfg).mcpi();
+        double m = lab.run("tomcatv", cfg).mcpi();
+        t.row({e.label, std::to_string(e.cost.totalBits()),
+               std::to_string(e.cost.comparators), Table::num(d, 3),
+               Table::num(m, 3)});
+    }
+    t.print();
+
+    std::printf("\nreading: each step down in MCPI costs bits and "
+                "comparators; the knee (paper's conclusion) is at "
+                "mc=2/fc=2 for numeric codes and mc=1 for integer "
+                "codes.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries.
+ *
+ * Every binary regenerates one table or figure of the paper on the
+ * synthetic workloads and prints it next to the paper's published
+ * values where available. Absolute numbers are not expected to match
+ * (the workloads are synthetic stand-ins for SPEC92); the *shape* --
+ * configuration ordering, improvement factors, crossovers -- is the
+ * reproduction target (see EXPERIMENTS.md).
+ */
+
+#ifndef NBL_BENCH_COMMON_HH
+#define NBL_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/paper_data.hh"
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+
+namespace nbl_bench
+{
+
+/** Workload scale; override with NBL_SCALE for quicker smoke runs. */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("NBL_SCALE"))
+        return std::atof(s);
+    return 1.0;
+}
+
+/**
+ * Run and print one baseline-style MCPI-vs-latency figure. Returns
+ * the curves so callers can print figure-specific extras.
+ */
+inline std::vector<nbl::harness::Curve>
+runCurveFigure(const std::string &figure, const std::string &what,
+               const std::string &workload,
+               const nbl::harness::ExperimentConfig &base,
+               const std::vector<nbl::core::ConfigName> &configs)
+{
+    nbl::harness::Lab lab(benchScale());
+    nbl::harness::printHeader(figure, what, base);
+    auto curves = nbl::harness::sweepCurves(lab, workload, base, configs);
+    nbl::harness::printCurves("miss CPI vs scheduled load latency",
+                              curves);
+    std::printf("\n");
+    nbl::harness::plotCurves(curves);
+    if (std::getenv("NBL_CSV")) {
+        std::printf("\n# CSV\n%s",
+                    nbl::harness::curvesCsv(curves).c_str());
+    }
+    return curves;
+}
+
+} // namespace nbl_bench
+
+#endif // NBL_BENCH_COMMON_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 5: baseline miss CPI for doduc -- MCPI vs scheduled load
+ * latency for the seven configurations, 8 KB direct-mapped cache,
+ * 32 B lines, 16-cycle miss penalty.
+ *
+ * Expected shape (paper): all lockup-free configurations nearly
+ * coincide at load latency 1; at latency 10, mc=1 is ~2.9x the
+ * unrestricted MCPI, mc=2 ~1.7x, fc=2 ~1.3x; mc=2 beats fc=1 (two
+ * primary misses are worth more to doduc than unlimited secondaries).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::ExperimentConfig base;
+    auto curves = nbl_bench::runCurveFigure(
+        "Figure 5", "baseline miss CPI for doduc", "doduc", base,
+        harness::baselineConfigList());
+
+    // Paper's latency-10 ratio check.
+    double inf = curves.back().mcpiAt(10);
+    std::printf("\nratios to 'no restrict' at load latency 10 "
+                "(paper: mc=1 2.9, mc=2 1.7, fc=1 2.4, fc=2 1.3):\n");
+    for (const auto &c : curves) {
+        std::printf("  %-10s %.2f\n", c.label.c_str(),
+                    c.mcpiAt(10) / inf);
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 9: baseline miss CPI for xlisp.
+ *
+ * Expected shape (paper): the lockup-free configurations are all
+ * close together -- hit-under-miss achieves near-optimal performance
+ * (1.06x unrestricted at latency 10). MCPI drifts up at long
+ * latencies as grouped loads create extra conflict misses.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::ExperimentConfig base;
+    auto curves = nbl_bench::runCurveFigure(
+        "Figure 9", "baseline miss CPI for xlisp", "xlisp", base,
+        harness::baselineConfigList());
+
+    double inf = curves.back().mcpiAt(10);
+    std::printf("\nmc=1 / unrestricted at latency 10: %.2f "
+                "(paper: 1.06)\n",
+                curves[2].mcpiAt(10) / inf);
+    return 0;
+}

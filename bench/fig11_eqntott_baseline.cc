@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 11: baseline miss CPI for eqntott.
+ *
+ * Expected shape (paper): MCPI dominated by true data dependency
+ * stalls; structural hazards are under 1% of MCPI, so all lockup-free
+ * configurations nearly coincide (mc=1 within ~7% of unrestricted).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::ExperimentConfig base;
+    auto curves = nbl_bench::runCurveFigure(
+        "Figure 11", "baseline miss CPI for eqntott", "eqntott", base,
+        harness::baselineConfigList());
+
+    // Structural-stall share at latency 10 (paper: < 1%).
+    const auto &mc1 = curves[2];
+    for (size_t i = 0; i < mc1.latencies.size(); ++i) {
+        if (mc1.latencies[i] == 10) {
+            std::printf("\nstructural share of mc=1 MCPI at latency "
+                        "10: %.1f%% (paper: <1%%)\n",
+                        100.0 *
+                            mc1.results[i].run.cpu.structuralFraction());
+        }
+    }
+    return 0;
+}

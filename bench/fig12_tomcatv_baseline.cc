@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 12: baseline miss CPI for tomcatv.
+ *
+ * Expected shape (paper): MCPI an order of magnitude above eqntott's;
+ * monotone decrease with scheduled load latency, flattening past
+ * latency 6; large spread between restricted and unrestricted
+ * configurations (mc=1 is ~11x unrestricted at latency 10).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::ExperimentConfig base;
+    auto curves = nbl_bench::runCurveFigure(
+        "Figure 12", "baseline miss CPI for tomcatv", "tomcatv", base,
+        harness::baselineConfigList());
+
+    double inf = curves.back().mcpiAt(10);
+    std::printf("\nratios to 'no restrict' at latency 10 "
+                "(paper: mc=1 11, mc=2 4.7, fc=2 3.3):\n");
+    for (const auto &c : curves) {
+        std::printf("  %-10s %.2f\n", c.label.c_str(),
+                    c.mcpiAt(10) / inf);
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 13: baseline MCPI for all 18 SPEC92 stand-ins at scheduled
+ * load latency 10, for mc=0, mc=1, mc=2, fc=1, fc=2 and the
+ * unrestricted cache, with the ratio of each MCPI to the unrestricted
+ * one -- printed next to the paper's published row for comparison.
+ *
+ * Expected shape (paper): integer codes and serial-miss codes
+ * (compress, eqntott, espresso, xlisp, ora, spice2g6, alvinn) are
+ * within ~10% of unrestricted already at mc=1; numeric codes with
+ * clustered misses (doduc, fpppp, hydro2d, nasa7, su2cor, tomcatv)
+ * need mc=2/fc=2 or more.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::Lab lab(nbl_bench::benchScale());
+
+    harness::ExperimentConfig base;
+    base.loadLatency = 10;
+    harness::printHeader("Figure 13",
+                         "baseline MCPI, 18 benchmarks, latency 10",
+                         base);
+
+    std::vector<std::string> labels = {"mc=0", "mc=1", "mc=2",
+                                       "fc=1", "fc=2", "inf"};
+    std::vector<harness::ConfigRow> measured, reference;
+
+    for (const harness::paper::Fig13Row &p : harness::paper::fig13()) {
+        harness::ConfigRow m{p.name, {}};
+        for (core::ConfigName cfg :
+             {core::ConfigName::Mc0, core::ConfigName::Mc1,
+              core::ConfigName::Mc2, core::ConfigName::Fc1,
+              core::ConfigName::Fc2, core::ConfigName::NoRestrict}) {
+            harness::ExperimentConfig e = base;
+            e.config = cfg;
+            m.mcpi.push_back(lab.run(p.name, e).mcpi());
+        }
+        measured.push_back(std::move(m));
+        reference.push_back(harness::ConfigRow{
+            p.name, {p.mc0, p.mc1, p.mc2, p.fc1, p.fc2,
+                     p.unrestricted}});
+    }
+
+    harness::printConfigTable(
+        "MCPI and ratio to the unrestricted cache", labels, measured,
+        reference);
+    return 0;
+}

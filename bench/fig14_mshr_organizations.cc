@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 14: explicitly addressed, implicitly addressed, and hybrid
+ * MSHR field organizations for doduc at load latency 10 (unlimited
+ * MSHRs; the grid is sub-blocks x misses-per-sub-block), with the
+ * section-2 storage cost of each organization.
+ *
+ * Expected shape (paper): an explicitly addressed MSHR with 4 fields
+ * (112 bits) or an implicitly addressed MSHR with 8 sub-blocks (140
+ * bits) both come within ~1% of the unrestricted cache; the 2x2
+ * hybrid (106 bits) is nearly as good; a single field per MSHR is
+ * ~1.8x worse.
+ */
+
+#include "bench_common.hh"
+#include "core/mshr_cost.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::Lab lab(nbl_bench::benchScale());
+
+    harness::ExperimentConfig base;
+    base.loadLatency = 10;
+    harness::printHeader("Figure 14",
+                         "MSHR field organizations for doduc, "
+                         "latency 10", base);
+
+    // Unrestricted reference.
+    harness::ExperimentConfig uncfg = base;
+    uncfg.config = core::ConfigName::NoRestrict;
+    double inf = lab.run("doduc", uncfg).mcpi();
+
+    core::CostParams cp;
+    Table t("sub-blocks x misses-per-sub-block grid");
+    t.header({"organization", "sb", "mps", "MCPI", "ratio",
+              "bits/MSHR", "paper MCPI", "paper ratio"});
+
+    for (const auto &cell : harness::paper::fig14()) {
+        double mcpi;
+        std::string bits;
+        std::string label;
+        if (cell.subBlocks < 0) {
+            mcpi = inf;
+            label = "unrestricted";
+            bits = "-";
+        } else {
+            harness::ExperimentConfig e = base;
+            e.customPolicy = core::makeFieldPolicy(cell.subBlocks,
+                                                   cell.missesPerSub);
+            mcpi = lab.run("doduc", e).mcpi();
+            auto cost = core::hybridMshrCost(
+                cp, unsigned(cell.subBlocks),
+                unsigned(cell.missesPerSub));
+            bits = std::to_string(cost.storageBits);
+            label = cell.subBlocks == 1
+                        ? "explicit"
+                        : (cell.missesPerSub == 1 ? "implicit"
+                                                  : "hybrid");
+        }
+        t.row({label,
+               cell.subBlocks < 0 ? "-" : std::to_string(cell.subBlocks),
+               cell.missesPerSub < 0 ? "-"
+                                     : std::to_string(cell.missesPerSub),
+               Table::num(mcpi, 3), Table::num(mcpi / inf, 2), bits,
+               Table::num(cell.mcpi, 3), Table::num(cell.ratio, 2)});
+    }
+    t.print();
+
+    std::printf("\nsection-2 storage arithmetic: basic implicit 4x8B "
+                "= %llu bits, implicit 8 sub-blocks = %llu, explicit "
+                "4 fields = %llu, hybrid 2x2 = %llu (paper: 92, 140, "
+                "112, 106).\n",
+                (unsigned long long)core::implicitMshrCost(cp, 4)
+                    .storageBits,
+                (unsigned long long)core::implicitMshrCost(cp, 8)
+                    .storageBits,
+                (unsigned long long)core::explicitMshrCost(cp, 4)
+                    .storageBits,
+                (unsigned long long)core::hybridMshrCost(cp, 2, 2)
+                    .storageBits);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 15: baseline miss CPI for su2cor, including the per-set
+ * fetch restrictions fs=1 (the in-cache MSHR storage limit of a
+ * direct-mapped cache) and fs=2.
+ *
+ * Expected shape (paper): su2cor's misses are conflict misses to
+ * different addresses in the same set, so fs=1 hurts badly (2.3x the
+ * unrestricted MCPI at latency 10) while fs=2 recovers most of it
+ * (1.3x); the ordinary configurations bracket them.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::ExperimentConfig base;
+    auto curves = nbl_bench::runCurveFigure(
+        "Figure 15", "baseline miss CPI for su2cor (with fs= curves)",
+        "su2cor", base, harness::perSetConfigList());
+
+    double inf = curves.back().mcpiAt(10);
+    std::printf("\nratios to 'no restrict' at latency 10 "
+                "(paper: fs=1 2.3, fs=2 1.3, mc=1 11, fc=2 4.2):\n");
+    for (const auto &c : curves) {
+        std::printf("  %-10s %.2f\n", c.label.c_str(),
+                    c.mcpiAt(10) / inf);
+    }
+    return 0;
+}

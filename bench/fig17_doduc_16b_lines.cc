@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 17: miss CPI for doduc with 16-byte cache lines. The
+ * pipelined memory model gives a 14-cycle penalty for 16 B lines
+ * (14 + 2 per extra 16 B chunk), as in section 5.2.
+ *
+ * Expected shape (paper): with smaller lines, supporting unlimited
+ * secondary misses to one line is worth less: the fc=1 curve moves
+ * toward mc=1 (at 32 B lines it sits midway between mc=1 and mc=2).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::ExperimentConfig cfg;
+    cfg.lineBytes = 16; // pipelined-bus model -> 14-cycle penalty
+    auto curves = nbl_bench::runCurveFigure(
+        "Figure 17", "miss CPI for doduc, 16B lines", "doduc", cfg,
+        harness::baselineConfigList());
+
+    // Where does fc=1 sit between mc=1 and mc=2? (0 = at mc=1,
+    // 1 = at mc=2; paper: < 0.5 for 16B lines, ~0.5 for 32B.)
+    double mc1 = curves[2].mcpiAt(10);
+    double mc2 = curves[3].mcpiAt(10);
+    double fc1 = curves[4].mcpiAt(10);
+    std::printf("\nfc=1 position between mc=1 and mc=2 at latency 10: "
+                "%.2f (16B lines; smaller = closer to mc=1)\n",
+                mc1 != mc2 ? (mc1 - fc1) / (mc1 - mc2) : 0.0);
+    return 0;
+}

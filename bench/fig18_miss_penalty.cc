@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 18: tomcatv MCPI as a function of the miss penalty (4 to 128
+ * cycles) at scheduled load latency 10.
+ *
+ * Expected shape (paper): the blocking cache's MCPI is *strictly
+ * linear* in the penalty; non-blocking MCPI is strongly super-linear
+ * (the unrestricted cache grows ~5x from penalty 16 to 32) because
+ * the overlappable computation is exhausted as the penalty grows.
+ */
+
+#include "bench_common.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    harness::Lab lab(nbl_bench::benchScale());
+
+    harness::ExperimentConfig base;
+    base.loadLatency = 10;
+    harness::printHeader("Figure 18",
+                         "tomcatv MCPI vs miss penalty, latency 10",
+                         base);
+
+    auto cfgs = harness::baselineConfigList();
+    Table t("MCPI by miss penalty (paper values in parentheses row)");
+    std::vector<std::string> head = {"config"};
+    for (unsigned p : harness::paper::fig18Penalties)
+        head.push_back(std::to_string(p));
+    t.header(std::move(head));
+
+    for (size_t ci = 0; ci < cfgs.size(); ++ci) {
+        std::vector<std::string> row = {core::configLabel(cfgs[ci])};
+        for (unsigned pen : harness::paper::fig18Penalties) {
+            harness::ExperimentConfig e = base;
+            e.config = cfgs[ci];
+            e.missPenalty = pen;
+            row.push_back(Table::num(lab.run("tomcatv", e).mcpi(), 3));
+        }
+        t.row(std::move(row));
+        // Paper reference row.
+        const auto &paper_rows = harness::paper::fig18();
+        for (const auto &pr : paper_rows) {
+            if (pr.config == std::string(core::configLabel(cfgs[ci]))) {
+                std::vector<std::string> ref = {" (paper)"};
+                for (double v : pr.mcpi)
+                    ref.push_back(Table::num(v, 3));
+                t.row(std::move(ref));
+            }
+        }
+    }
+    t.print();
+
+    std::printf("\ncheck: blocking (mc=0) MCPI must scale exactly "
+                "with the penalty; unrestricted MCPI grows "
+                "super-linearly (paper: ~4.5x from 16 to 32).\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Methodology study: why the paper simulates execution-driven.
+ *
+ * Section 3.2 builds an object-code instrumentation system so that
+ * "both the functional behavior and the memory behavior of the
+ * application are simulated" -- i.e., access *timing* responds to
+ * stalls. The cheap alternative, trace-driven replay, cannot see
+ * register dependences. This study measures the error that choice
+ * would introduce: per configuration, the execution-driven MCPI
+ * (ground truth here) against the trace-replay MCPI (structural
+ * stalls only).
+ *
+ * Expected shape: identical for blocking caches (timing-independent),
+ * a modest gap for heavily restricted organizations (structural
+ * stalls dominate), and a huge gap for unrestricted ones (all that is
+ * left is exactly the dependency component a trace cannot express).
+ */
+
+#include "bench_common.hh"
+#include "compiler/compile.hh"
+#include "exec/trace.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+int
+main()
+{
+    using namespace nbl;
+    double scale = nbl_bench::benchScale() * 0.5;
+
+    harness::ExperimentConfig base;
+    base.loadLatency = 10;
+    harness::printHeader("Methodology",
+                         "trace-driven replay vs execution-driven",
+                         base);
+
+    mem::CacheGeometry geom(8 * 1024, 32, 1);
+    Table t("MCPI: execution-driven (exec) vs trace replay (trace)");
+    t.header({"benchmark", "config", "exec", "trace",
+              "missing (dep) %"});
+
+    for (const char *wl : {"doduc", "tomcatv", "ora", "eqntott"}) {
+        workloads::Workload w = workloads::makeWorkload(wl, scale);
+        compiler::CompileParams cp;
+        cp.loadLatency = 10;
+        isa::Program prog = compiler::compile(w.program, cp);
+        mem::SparseMemory tm = w.makeMemory();
+        exec::MemTrace trace = exec::recordTrace(prog, tm);
+
+        for (auto cfg : {core::ConfigName::Mc0, core::ConfigName::Mc1,
+                         core::ConfigName::Fc2,
+                         core::ConfigName::NoRestrict}) {
+            mem::SparseMemory m = w.makeMemory();
+            exec::MachineConfig mc;
+            mc.policy = core::makePolicy(cfg);
+            auto run = exec::run(prog, m, mc);
+            auto rep = exec::replayTrace(trace, geom,
+                                         core::makePolicy(cfg),
+                                         mem::MainMemory());
+            double err = run.cpu.mcpi() > 0
+                             ? 100.0 * (run.cpu.mcpi() - rep.mcpi()) /
+                                   run.cpu.mcpi()
+                             : 0.0;
+            t.row({wl, core::configLabel(cfg),
+                   Table::num(run.cpu.mcpi(), 3),
+                   Table::num(rep.mcpi(), 3), Table::num(err, 1)});
+        }
+        t.separator();
+    }
+    t.print();
+
+    std::printf("\nreading: the blocking rows agree exactly; the "
+                "unrestricted rows lose everything to the trace's "
+                "missing dependences. Non-blocking load studies need "
+                "execution-driven simulation -- the methodological "
+                "point behind the paper's section 3.2 "
+                "infrastructure.\n");
+    return 0;
+}

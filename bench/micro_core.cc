@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the simulator's hot paths:
+ * cache access classification, MSHR file search/allocate, inverted
+ * MSHR probe, and end-to-end simulation throughput. These guard
+ * against performance regressions in the library itself (they say
+ * nothing about the paper's results).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compile.hh"
+#include "core/nonblocking_cache.hh"
+#include "exec/machine.hh"
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    mem::CacheGeometry geom(8192, 32, 1);
+    core::MshrPolicy policy = core::makePolicy(core::ConfigName::Fc2);
+    core::NonblockingCache cache(geom, policy, mem::MainMemory());
+    uint64_t now = 0;
+    // Warm one line.
+    cache.load(0x1000, 8, now, 1);
+    now += 100;
+    for (auto _ : state) {
+        auto out = cache.load(0x1000, 8, now, 1);
+        benchmark::DoNotOptimize(out);
+        now += 2;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    mem::CacheGeometry geom(8192, 32, 1);
+    core::MshrPolicy policy =
+        core::makePolicy(core::ConfigName::NoRestrict);
+    core::NonblockingCache cache(geom, policy, mem::MainMemory());
+    uint64_t now = 0;
+    uint64_t addr = 0x100000;
+    unsigned dest = 1;
+    for (auto _ : state) {
+        auto out = cache.load(addr, 8, now, dest);
+        benchmark::DoNotOptimize(out);
+        addr += 32;
+        now += 4;
+        dest = (dest + 1) % 60;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_InvertedMshrFill(benchmark::State &state)
+{
+    core::InvertedMshr inv;
+    uint64_t block = 0x2000;
+    for (auto _ : state) {
+        for (unsigned d = 0; d < 8; ++d)
+            inv.allocate(d, block, 8 * d, 8);
+        auto filled = inv.fill(block);
+        benchmark::DoNotOptimize(filled);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 8);
+}
+BENCHMARK(BM_InvertedMshrFill);
+
+void
+BM_SimulationThroughput(benchmark::State &state)
+{
+    workloads::Workload w = workloads::makeWorkload("tomcatv", 0.05);
+    compiler::CompileParams cp;
+    cp.loadLatency = 10;
+    isa::Program prog = compiler::compile(w.program, cp);
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::Fc2);
+
+    uint64_t instrs = 0;
+    for (auto _ : state) {
+        mem::SparseMemory data = w.makeMemory();
+        auto out = exec::run(prog, data, mc);
+        instrs += out.cpu.instructions;
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(int64_t(instrs));
+}
+BENCHMARK(BM_SimulationThroughput);
+
+void
+BM_Compile(benchmark::State &state)
+{
+    workloads::Workload w = workloads::makeWorkload("doduc", 0.1);
+    compiler::CompileParams cp;
+    cp.loadLatency = int(state.range(0));
+    for (auto _ : state) {
+        isa::Program prog = compiler::compile(w.program, cp);
+        benchmark::DoNotOptimize(prog);
+    }
+}
+BENCHMARK(BM_Compile)->Arg(1)->Arg(20);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Example: the paper's compiler-side conclusion -- "schedule load
+ * instructions for cache misses rather than cache hits". This example
+ * compiles one workload at every scheduled load latency and shows how
+ * the same hardware's MCPI moves, plus the code-size cost (register
+ * spills) the longer schedules pay.
+ *
+ * Usage: compiler_scheduling [workload] (default: fpppp)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hh"
+
+using namespace nbl;
+
+int
+main(int argc, char **argv)
+{
+    std::string wl = argc > 1 ? argv[1] : "fpppp";
+    harness::Lab lab(0.5);
+
+    std::printf("scheduling study: %s on the baseline cache\n\n",
+                wl.c_str());
+    std::printf("%-4s | %8s %8s %8s | %10s %10s\n", "lat", "mc=1",
+                "fc=2", "norestr", "spill refs", "instrs");
+
+    for (int lat : harness::paperLatencies) {
+        double m[3];
+        int i = 0;
+        harness::ExperimentResult last;
+        for (auto cfg : {core::ConfigName::Mc1, core::ConfigName::Fc2,
+                         core::ConfigName::NoRestrict}) {
+            harness::ExperimentConfig e;
+            e.loadLatency = lat;
+            e.config = cfg;
+            last = lab.run(wl, e);
+            m[i++] = last.mcpi();
+        }
+        std::printf("%-4d | %8.3f %8.3f %8.3f | %10u %10llu\n", lat,
+                    m[0], m[1], m[2],
+                    last.compileInfo.spillLoads +
+                        last.compileInfo.spillStores,
+                    (unsigned long long)last.run.cpu.instructions);
+    }
+
+    std::printf(
+        "\nreading: with non-blocking hardware, MCPI keeps falling as "
+        "the compiler schedules for longer (miss-like) latencies; the "
+        "price is register pressure -- spill references grow with the "
+        "assumed latency (the paper's Figure 4 effect).\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Example: define your own workload with the kernel-builder API and
+ * evaluate it across MSHR organizations.
+ *
+ * The workload below is a sparse matrix-vector product y = A*x in CSR
+ * form -- a classic mixed pattern: streaming over the values/column
+ * arrays, gather loads from x, and a serial row loop. It shows how to
+ *
+ *   1. lay out data with AddressSpace and initialize simulated memory,
+ *   2. express the inner loop over virtual registers,
+ *   3. compile at several scheduled load latencies, and
+ *   4. run the machine and read the timing results.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "compiler/kernel.hh"
+#include "exec/machine.hh"
+#include "util/rng.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using compiler::KernelBuilder;
+using compiler::VReg;
+
+namespace
+{
+
+constexpr uint64_t kRows = 256;
+constexpr uint64_t kNnzPerRow = 8;
+constexpr uint64_t kCols = 4096;
+
+workloads::Workload
+makeSpmv()
+{
+    workloads::Workload w;
+    w.name = "spmv";
+    w.program.name = "spmv";
+
+    workloads::AddressSpace as;
+    // CSR arrays: values + column indices, streamed; x gathered.
+    auto vals = as.alloc(kRows * kNnzPerRow * 8);
+    auto cols = as.alloc(kRows * kNnzPerRow * 8);
+    auto x = as.alloc(kCols * 8);
+    auto y = as.alloc(kRows * 8);
+
+    KernelBuilder b("spmv.row", w.program.nextVRegId);
+    b.countedLoop(0, int64_t(kRows * kNnzPerRow / 4));
+    VReg vp = b.constI(int64_t(vals.base));
+    VReg cp = b.constI(int64_t(cols.base));
+    VReg xb = b.constI(int64_t(x.base));
+    VReg yp = b.constI(int64_t(y.base));
+
+    // Four nonzeros per iteration: stream val/col, gather from x.
+    VReg acc{};
+    for (int j = 0; j < 4; ++j) {
+        VReg a = b.fload(vp, j * 8, vals.space);
+        VReg ci = b.load(cp, j * 8, cols.space);
+        VReg xa = b.add(xb, b.shli(ci, 3));
+        VReg xv = b.fload(xa, 0, x.space);
+        VReg prod = b.fmul(a, xv);
+        acc = acc.valid() ? b.fadd(acc, prod) : prod;
+    }
+    b.fstore(yp, 0, acc, y.space);
+    b.bump(vp, 32);
+    b.bump(cp, 32);
+    b.bump(yp, 8);
+    w.program.kernels.push_back(b.take());
+    w.program.outerReps = 4;
+
+    w.init = [=](mem::SparseMemory &m) {
+        Rng rng(0x5437);
+        for (uint64_t i = 0; i < kRows * kNnzPerRow; ++i) {
+            m.writeF64(vals.base + i * 8, 1.0 + 1e-3 * double(i % 97));
+            m.write(cols.base + i * 8, 8, rng.below(kCols));
+        }
+        for (uint64_t c = 0; c < kCols; ++c)
+            m.writeF64(x.base + c * 8, 0.5 + 1e-4 * double(c % 31));
+    };
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    workloads::Workload w = makeSpmv();
+    std::printf("custom workload: CSR sparse matrix-vector product\n");
+    std::printf("%-4s %-12s %8s %8s %8s\n", "lat", "config", "MCPI",
+                "dep", "struct");
+
+    for (int lat : {1, 10}) {
+        compiler::CompileParams cp;
+        cp.loadLatency = lat;
+        isa::Program prog = compiler::compile(w.program, cp);
+        for (auto cfg : {core::ConfigName::Mc0, core::ConfigName::Mc1,
+                         core::ConfigName::Fc2,
+                         core::ConfigName::NoRestrict}) {
+            mem::SparseMemory m = w.makeMemory();
+            exec::MachineConfig mc;
+            mc.policy = core::makePolicy(cfg);
+            auto out = exec::run(prog, m, mc);
+            std::printf("%-4d %-12s %8.3f %8.3f %8.3f\n", lat,
+                        core::configLabel(cfg), out.mcpi(),
+                        double(out.cpu.depStallCycles) /
+                            double(out.cpu.instructions),
+                        double(out.cpu.structStallCycles) /
+                            double(out.cpu.instructions));
+        }
+    }
+    std::printf("\nthe gather from x makes spmv miss-heavy; watch the "
+                "mc=1 -> fc=2 gap grow with the scheduled latency.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+#include "compiler/compile.hh"
+
+#include "compiler/list_scheduler.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+#include "util/log.hh"
+
+namespace nbl::compiler
+{
+
+isa::Program
+compile(const KernelProgram &kp, const CompileParams &params,
+        CompileInfo *info)
+{
+    std::vector<RegAllocResult> allocs;
+    allocs.reserve(kp.kernels.size());
+
+    unsigned slot = 0;
+    CompileInfo ci;
+    for (const Kernel &k : kp.kernels) {
+        std::vector<VOp> body =
+            params.schedule
+                ? scheduleBody(k.body, params.loadLatency,
+                               kp.aggressiveHoist)
+                : k.body;
+        RegAllocResult a = allocate(k, body, slot);
+        slot += a.spillSlots;
+        ci.spillSlots += a.spillSlots;
+        ci.spillLoads += a.spillLoads;
+        ci.spillStores += a.spillStores;
+        allocs.push_back(std::move(a));
+    }
+
+    if (uint64_t(slot) * 8 > spillAreaBytes) {
+        fatal("program %s needs %u spill slots; spill area holds %llu",
+              kp.name.c_str(), slot,
+              static_cast<unsigned long long>(spillAreaBytes / 8));
+    }
+
+    if (info)
+        *info = ci;
+
+    isa::Program prog = lower(kp, allocs);
+    return prog;
+}
+
+} // namespace nbl::compiler

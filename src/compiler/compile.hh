@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Compiler pipeline driver: schedule -> allocate -> lower.
+ */
+
+#ifndef NBL_COMPILER_COMPILE_HH
+#define NBL_COMPILER_COMPILE_HH
+
+#include "compiler/vir.hh"
+#include "isa/program.hh"
+
+namespace nbl::compiler
+{
+
+/** Knobs of one compilation. */
+struct CompileParams
+{
+    /**
+     * The assumed load latency L the schedule targets (paper section
+     * 3.3). The timing simulator always charges 1 cycle on a hit; L
+     * expresses how far the compiler separates loads from their uses.
+     */
+    int loadLatency = 1;
+    /** Disable scheduling entirely (source order); for tests. */
+    bool schedule = true;
+};
+
+/** Static code metrics of a compilation (for Figure 4 style tables). */
+struct CompileInfo
+{
+    unsigned spillSlots = 0;
+    unsigned spillLoads = 0;
+    unsigned spillStores = 0;
+};
+
+/** Compile a kernel program; info (if non-null) gets code metrics. */
+isa::Program compile(const KernelProgram &kp, const CompileParams &params,
+                     CompileInfo *info = nullptr);
+
+} // namespace nbl::compiler
+
+#endif // NBL_COMPILER_COMPILE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fluent builder for kernels: the API workloads use to express their
+ * loop bodies over virtual registers.
+ */
+
+#ifndef NBL_COMPILER_KERNEL_HH
+#define NBL_COMPILER_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/vir.hh"
+
+namespace nbl::compiler
+{
+
+/**
+ * Builds one Kernel. Preamble values (constants, array bases) are
+ * pinned; body values are SSA temporaries. Type mismatches (e.g.
+ * integer add of FP registers) panic at build time.
+ */
+class KernelBuilder
+{
+  public:
+    /**
+     * @param name Kernel name (diagnostics).
+     * @param next_id In-out id counter shared across a program's
+     *        kernels (KernelProgram::nextVRegId).
+     */
+    KernelBuilder(std::string name, uint32_t &next_id);
+
+    // --- Preamble -------------------------------------------------
+    /** Integer constant (array base address, bound, stride...). */
+    VReg constI(int64_t value);
+    /** FP constant (bit pattern via LImm into an FP register). */
+    VReg constF(double value);
+
+    // --- Loop shape ------------------------------------------------
+    /** Counted loop: counter = start; trips iterations of step. */
+    void countedLoop(int64_t start, int64_t trips, int64_t step = 1);
+    /** The induction variable (countedLoop must have been called). */
+    VReg counter() const;
+    /**
+     * While-loop: run the body until cond == 0. cond must be a pinned
+     * register that the body redefines (e.g. the chased pointer).
+     */
+    void whileNonZero(VReg cond, uint64_t expected_trips);
+
+    // --- Body: integer ---------------------------------------------
+    VReg add(VReg a, VReg b);
+    VReg sub(VReg a, VReg b);
+    VReg mul(VReg a, VReg b);
+    VReg and_(VReg a, VReg b);
+    VReg or_(VReg a, VReg b);
+    VReg xor_(VReg a, VReg b);
+    VReg shl(VReg a, VReg b);
+    VReg shr(VReg a, VReg b);
+    VReg addi(VReg a, int64_t imm);
+    VReg muli(VReg a, int64_t imm);
+    VReg andi(VReg a, int64_t imm);
+    VReg shli(VReg a, int64_t imm);
+    VReg shri(VReg a, int64_t imm);
+    VReg limm(int64_t value); ///< Constant materialized in the body.
+
+    // --- Body: floating point --------------------------------------
+    VReg fadd(VReg a, VReg b);
+    VReg fsub(VReg a, VReg b);
+    VReg fmul(VReg a, VReg b);
+    VReg fdiv(VReg a, VReg b);
+
+    // --- Body: memory ----------------------------------------------
+    VReg load(VReg base, int64_t offset, int32_t space,
+              unsigned size = 8);
+    VReg fload(VReg base, int64_t offset, int32_t space,
+               unsigned size = 8);
+    void store(VReg base, int64_t offset, VReg value, int32_t space,
+               unsigned size = 8);
+    void fstore(VReg base, int64_t offset, VReg value, int32_t space,
+                unsigned size = 8);
+
+    // --- Body: loop-carried updates --------------------------------
+    /** ptr += delta (redefinition of a pinned register). */
+    void bump(VReg ptr, int64_t delta);
+    /** dst = src (redefinition of a pinned register, e.g. chase). */
+    void assign(VReg dst, VReg src);
+
+    /** Finish and return the kernel. */
+    Kernel take();
+
+  private:
+    VReg fresh(isa::RegClass cls);
+    VReg bodyOp(isa::Op op, isa::RegClass cls, VReg a, VReg b,
+                int64_t imm = 0);
+    void requireCls(VReg r, isa::RegClass cls, const char *what) const;
+
+    Kernel k_;
+    uint32_t &next_id_;
+    bool loop_defined_ = false;
+};
+
+} // namespace nbl::compiler
+
+#endif // NBL_COMPILER_KERNEL_HH

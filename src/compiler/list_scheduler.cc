@@ -1,0 +1,167 @@
+#include "compiler/list_scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "util/log.hh"
+
+namespace nbl::compiler
+{
+
+std::vector<DepEdge>
+buildDeps(const std::vector<VOp> &body, int load_latency)
+{
+    std::vector<DepEdge> edges;
+    // Per-vreg def/use tracking.
+    std::unordered_map<uint32_t, unsigned> last_def;
+    std::unordered_map<uint32_t, std::vector<unsigned>> uses_since_def;
+    // Per-space memory ordering.
+    std::unordered_map<int32_t, unsigned> last_store;
+    std::unordered_map<int32_t, std::vector<unsigned>> loads_since_store;
+
+    auto raw_lat = [&](unsigned producer) {
+        return body[producer].isLoad()
+                   ? static_cast<unsigned>(load_latency)
+                   : 1u;
+    };
+
+    for (unsigned i = 0; i < body.size(); ++i) {
+        const VOp &op = body[i];
+
+        auto use = [&](VReg v) {
+            if (!v.valid())
+                return;
+            auto it = last_def.find(v.id);
+            if (it != last_def.end()) {
+                edges.push_back(
+                    DepEdge{it->second, i, raw_lat(it->second),
+                            DepKind::Raw});
+            }
+            uses_since_def[v.id].push_back(i);
+        };
+
+        unsigned ns = op.numSrcs();
+        if (ns >= 1)
+            use(op.src1);
+        if (ns >= 2)
+            use(op.src2);
+
+        if (op.hasDst()) {
+            uint32_t d = op.dst.id;
+            auto it = last_def.find(d);
+            if (it != last_def.end())
+                edges.push_back(DepEdge{it->second, i, 1, DepKind::Waw});
+            for (unsigned u : uses_since_def[d]) {
+                if (u != i)
+                    edges.push_back(DepEdge{u, i, 1, DepKind::War});
+            }
+            last_def[d] = i;
+            uses_since_def[d].clear();
+        }
+
+        if (op.isMem() && op.space >= 0) {
+            int32_t s = op.space;
+            if (op.isLoad()) {
+                auto it = last_store.find(s);
+                if (it != last_store.end()) {
+                    edges.push_back(
+                        DepEdge{it->second, i, 1, DepKind::Mem});
+                }
+                loads_since_store[s].push_back(i);
+            } else {
+                auto it = last_store.find(s);
+                if (it != last_store.end()) {
+                    edges.push_back(
+                        DepEdge{it->second, i, 1, DepKind::Mem});
+                }
+                for (unsigned u : loads_since_store[s])
+                    edges.push_back(DepEdge{u, i, 1, DepKind::Mem});
+                last_store[s] = i;
+                loads_since_store[s].clear();
+            }
+        }
+    }
+    return edges;
+}
+
+std::vector<VOp>
+scheduleBody(const std::vector<VOp> &body, int load_latency,
+             bool aggressive_hoist)
+{
+    if (load_latency < 1)
+        fatal("load latency must be >= 1");
+    const unsigned n = static_cast<unsigned>(body.size());
+    if (n == 0)
+        return {};
+
+    std::vector<DepEdge> edges = buildDeps(body, load_latency);
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> succs(n);
+    std::vector<unsigned> indeg(n, 0);
+    for (const DepEdge &e : edges) {
+        succs[e.from].emplace_back(e.to, e.latency);
+        ++indeg[e.to];
+    }
+
+    // Greedy in-order issue with lookahead: at each virtual slot, pick
+    // the dependence-ready op that comes earliest in source order.
+    // With load latency 1 this reproduces the source order (the
+    // "schedule for hits" compiler of the paper); with larger assumed
+    // latencies, later independent operations -- frequently loads --
+    // are pulled forward into load shadows, which is exactly the
+    // behaviour the paper attributes to its compiler (section 4).
+    std::vector<uint64_t> ready(n, 0);
+    std::vector<bool> avail(n, false);
+    std::vector<bool> done(n, false);
+    for (unsigned i = 0; i < n; ++i)
+        avail[i] = indeg[i] == 0;
+
+    // Vector-loop mode: loads sort as if they appeared boost slots
+    // earlier, modeling a trace scheduler pipelining loads across the
+    // whole unrolled body. boost = 0 keeps plain source order.
+    const long boost = aggressive_hoist ? 3L * (load_latency - 1) : 0;
+    auto sort_key = [&](unsigned i) {
+        return long(i) - (body[i].isLoad() ? boost : 0);
+    };
+
+    std::vector<VOp> out;
+    out.reserve(n);
+    uint64_t t = 0;
+    unsigned emitted = 0;
+    while (emitted < n) {
+        int pick = -1;
+        uint64_t soonest = std::numeric_limits<uint64_t>::max();
+        for (unsigned i = 0; i < n; ++i) {
+            if (done[i] || !avail[i])
+                continue;
+            if (ready[i] <= t) {
+                if (pick < 0 || sort_key(i) < sort_key(unsigned(pick)))
+                    pick = int(i);
+            } else {
+                soonest = std::min(soonest, ready[i]);
+            }
+        }
+        if (pick < 0) {
+            // Nothing ready: let (virtual) time advance. No nops are
+            // emitted; the gap just means the schedule could not fill
+            // the latency.
+            t = soonest;
+            continue;
+        }
+        unsigned i = unsigned(pick);
+        done[i] = true;
+        avail[i] = false;
+        out.push_back(body[i]);
+        ++emitted;
+        for (auto [s, lat] : succs[i]) {
+            ready[s] = std::max(ready[s], t + lat);
+            if (--indeg[s] == 0)
+                avail[s] = true;
+        }
+        ++t;
+    }
+    return out;
+}
+
+} // namespace nbl::compiler

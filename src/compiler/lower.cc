@@ -1,0 +1,89 @@
+#include "compiler/lower.hh"
+
+#include "util/log.hh"
+
+namespace nbl::compiler
+{
+
+using isa::Instr;
+using isa::Op;
+
+isa::Program
+lower(const KernelProgram &kp, const std::vector<RegAllocResult> &allocs)
+{
+    if (allocs.size() != kp.kernels.size())
+        panic("lower: allocation results do not match kernels");
+
+    isa::Program prog(kp.name);
+
+    auto limm = [&](isa::RegId dst, int64_t v) {
+        Instr in;
+        in.op = Op::LImm;
+        in.dst = dst;
+        in.imm = v;
+        prog.push(in);
+    };
+
+    limm(reg_conv::spillBase, int64_t(spillAreaBase));
+    limm(reg_conv::outerCounter, 0);
+    limm(reg_conv::outerLimit, int64_t(kp.outerReps));
+    size_t outer_head = prog.size();
+
+    for (size_t ki = 0; ki < kp.kernels.size(); ++ki) {
+        const Kernel &k = kp.kernels[ki];
+        const RegAllocResult &a = allocs[ki];
+
+        for (const Instr &in : a.preamble)
+            prog.push(in);
+
+        size_t head = prog.size();
+        for (const Instr &in : a.body)
+            prog.push(in);
+
+        if (k.kind == LoopKind::Counted) {
+            Instr bump;
+            bump.op = Op::AddI;
+            bump.dst = a.counter;
+            bump.src1 = a.counter;
+            bump.imm = k.step;
+            prog.push(bump);
+
+            Instr br;
+            br.op = Op::BLt;
+            br.src1 = a.counter;
+            br.src2 = a.limit;
+            br.imm = int64_t(head);
+            prog.push(br);
+        } else {
+            Instr br;
+            br.op = Op::BNe;
+            br.src1 = a.cond;
+            br.src2 = isa::regZero;
+            br.imm = int64_t(head);
+            prog.push(br);
+        }
+    }
+
+    Instr bump;
+    bump.op = Op::AddI;
+    bump.dst = reg_conv::outerCounter;
+    bump.src1 = reg_conv::outerCounter;
+    bump.imm = 1;
+    prog.push(bump);
+
+    Instr br;
+    br.op = Op::BLt;
+    br.src1 = reg_conv::outerCounter;
+    br.src2 = reg_conv::outerLimit;
+    br.imm = int64_t(outer_head);
+    prog.push(br);
+
+    Instr halt;
+    halt.op = Op::Halt;
+    prog.push(halt);
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace nbl::compiler

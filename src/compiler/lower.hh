@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Lowering: assemble allocated kernels into a flat isa::Program.
+ *
+ * Program shape (instruction indices):
+ *
+ *   LImm  r31, spill_area_base
+ *   LImm  r30, 0                      ; outer rep counter
+ *   LImm  r29, outer_reps
+ *   outer_head:
+ *     for each kernel:
+ *       <preamble>
+ *       head_k:
+ *         <body with spill code>
+ *         AddI counter, counter, step ; counted loops
+ *         BLt  counter, limit, head_k ; or BNe cond, r0, head_k
+ *     AddI r30, r30, 1
+ *     BLt  r30, r29, outer_head
+ *   Halt
+ */
+
+#ifndef NBL_COMPILER_LOWER_HH
+#define NBL_COMPILER_LOWER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/regalloc.hh"
+#include "compiler/vir.hh"
+#include "isa/program.hh"
+
+namespace nbl::compiler
+{
+
+/** Base address of the spill area in simulated memory. */
+inline constexpr uint64_t spillAreaBase = 0x8000;
+/** Size of the spill area in bytes (512 eight-byte slots). */
+inline constexpr uint64_t spillAreaBytes = 4096;
+
+/** Assemble a program from its kernels' allocation results. */
+isa::Program lower(const KernelProgram &kp,
+                   const std::vector<RegAllocResult> &allocs);
+
+} // namespace nbl::compiler
+
+#endif // NBL_COMPILER_LOWER_HH

@@ -1,0 +1,262 @@
+#include "compiler/regalloc.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/log.hh"
+
+namespace nbl::compiler
+{
+
+using isa::Op;
+using isa::RegClass;
+using isa::RegId;
+
+namespace
+{
+
+/** Allocation state for one register class. */
+class Pool
+{
+  public:
+    Pool(RegClass cls, unsigned first, unsigned count)
+        : cls_(cls)
+    {
+        for (unsigned i = 0; i < count; ++i)
+            free_.push_back(first + count - 1 - i); // ascending pops
+    }
+
+    bool empty() const { return free_.empty(); }
+
+    RegId
+    take()
+    {
+        if (free_.empty())
+            panic("register pool exhausted");
+        unsigned idx = free_.back();
+        free_.pop_back();
+        return RegId{cls_, static_cast<uint8_t>(idx)};
+    }
+
+    void give(RegId r) { free_.push_back(r.idx); }
+
+  private:
+    RegClass cls_;
+    std::vector<unsigned> free_;
+};
+
+struct TempInfo
+{
+    int def = -1;
+    int lastUse = -1;
+    bool spilled = false;
+    unsigned slot = 0;    ///< Spill slot if spilled.
+    RegId phys{};         ///< Physical register if not spilled.
+    bool assigned = false;
+    RegClass cls = RegClass::Int;
+};
+
+} // namespace
+
+RegAllocResult
+allocate(const Kernel &kernel, const std::vector<VOp> &scheduled_body,
+         unsigned first_spill_slot)
+{
+    RegAllocResult res;
+
+    Pool int_pool(RegClass::Int, 1, reg_conv::numAllocInt);
+    Pool fp_pool(RegClass::Fp, 0, reg_conv::numAllocFp);
+    auto pool_for = [&](RegClass c) -> Pool & {
+        return c == RegClass::Int ? int_pool : fp_pool;
+    };
+
+    // --- Pinned registers: dedicated for the whole kernel. ----------
+    std::unordered_map<uint32_t, RegId> pinned_phys;
+    auto pin = [&](VReg v) {
+        if (!v.valid() || pinned_phys.count(v.id))
+            return;
+        if (pool_for(v.cls).empty()) {
+            fatal("kernel %s: too many pinned values for the register "
+                  "file", kernel.name.c_str());
+        }
+        pinned_phys[v.id] = pool_for(v.cls).take();
+    };
+    for (const VOp &op : kernel.preamble)
+        pin(op.dst);
+    if (kernel.kind == LoopKind::Counted) {
+        pin(kernel.counter);
+        pin(kernel.limit);
+    } else {
+        pin(kernel.cond);
+    }
+    for (uint32_t id : kernel.pinned) {
+        if (!pinned_phys.count(id)) {
+            fatal("kernel %s: pinned vreg %u not defined in preamble",
+                  kernel.name.c_str(), id);
+        }
+    }
+
+    // --- Temporary live ranges over the scheduled body. -------------
+    std::unordered_map<uint32_t, TempInfo> temps;
+    auto is_pinned = [&](VReg v) {
+        return pinned_phys.count(v.id) != 0;
+    };
+    for (int i = 0; i < int(scheduled_body.size()); ++i) {
+        const VOp &op = scheduled_body[i];
+        auto use = [&](VReg v) {
+            if (!v.valid() || is_pinned(v))
+                return;
+            auto it = temps.find(v.id);
+            if (it == temps.end() || it->second.def < 0) {
+                fatal("kernel %s: temporary used before definition "
+                      "(loop-carried temp must be pinned)",
+                      kernel.name.c_str());
+            }
+            it->second.lastUse = i;
+        };
+        unsigned ns = op.numSrcs();
+        if (ns >= 1)
+            use(op.src1);
+        if (ns >= 2)
+            use(op.src2);
+        if (op.hasDst() && !is_pinned(op.dst)) {
+            TempInfo &t = temps[op.dst.id];
+            if (t.def >= 0) {
+                fatal("kernel %s: temporary redefined (non-SSA temp)",
+                      kernel.name.c_str());
+            }
+            t.def = i;
+            t.lastUse = i;
+            t.cls = op.dst.cls;
+        }
+    }
+
+    // --- Linear scan: assign or spill in definition order. ----------
+    // expiring[i]: temps whose last use is at op i.
+    std::vector<std::vector<uint32_t>> expiring(scheduled_body.size());
+    for (auto &[id, t] : temps)
+        expiring[t.lastUse].push_back(id);
+
+    unsigned next_slot = first_spill_slot;
+    for (int i = 0; i < int(scheduled_body.size()); ++i) {
+        const VOp &op = scheduled_body[i];
+        // Free registers whose interval ended strictly before i.
+        if (i > 0) {
+            for (uint32_t id : expiring[i - 1]) {
+                TempInfo &t = temps[id];
+                if (t.assigned)
+                    pool_for(t.cls).give(t.phys);
+            }
+        }
+        if (op.hasDst() && !is_pinned(op.dst)) {
+            TempInfo &t = temps[op.dst.id];
+            Pool &pool = pool_for(t.cls);
+            if (!pool.empty()) {
+                t.phys = pool.take();
+                t.assigned = true;
+            } else {
+                t.spilled = true;
+                t.slot = next_slot++;
+            }
+        }
+    }
+
+    // --- Rewrite into physical instructions with spill code. --------
+    auto slot_off = [](unsigned slot) { return int64_t(slot) * 8; };
+    auto map_reg = [&](VReg v) -> RegId {
+        auto it = pinned_phys.find(v.id);
+        if (it != pinned_phys.end())
+            return it->second;
+        TempInfo &t = temps.at(v.id);
+        if (!t.spilled && !t.assigned)
+            panic("unassigned temporary survived allocation");
+        return t.phys;
+    };
+
+    for (const VOp &op : kernel.preamble) {
+        isa::Instr in;
+        in.op = op.op;
+        in.dst = map_reg(op.dst);
+        in.imm = op.imm;
+        res.preamble.push_back(in);
+    }
+
+    for (const VOp &op : scheduled_body) {
+        isa::Instr in;
+        in.op = op.op;
+        in.imm = op.imm;
+        in.size = op.size;
+
+        auto reload = [&](VReg v, RegId scratch) -> RegId {
+            if (is_pinned(v))
+                return pinned_phys.at(v.id);
+            TempInfo &t = temps.at(v.id);
+            if (!t.spilled)
+                return t.phys;
+            isa::Instr ld;
+            ld.op = v.cls == RegClass::Int ? Op::Ld : Op::Fld;
+            ld.dst = scratch;
+            ld.src1 = reg_conv::spillBase;
+            ld.imm = slot_off(t.slot);
+            ld.size = 8;
+            res.body.push_back(ld);
+            ++res.spillLoads;
+            return scratch;
+        };
+
+        unsigned ns = op.numSrcs();
+        if (ns >= 1) {
+            in.src1 = reload(op.src1, op.src1.cls == RegClass::Int
+                                          ? reg_conv::scratchInt0
+                                          : reg_conv::scratchFp0);
+        }
+        if (ns >= 2) {
+            in.src2 = reload(op.src2, op.src2.cls == RegClass::Int
+                                          ? reg_conv::scratchInt1
+                                          : reg_conv::scratchFp1);
+        }
+
+        bool dst_spilled = false;
+        unsigned dst_slot = 0;
+        if (op.hasDst()) {
+            if (is_pinned(op.dst)) {
+                in.dst = pinned_phys.at(op.dst.id);
+            } else {
+                TempInfo &t = temps.at(op.dst.id);
+                if (t.spilled) {
+                    dst_spilled = true;
+                    dst_slot = t.slot;
+                    in.dst = op.dst.cls == RegClass::Int
+                                 ? reg_conv::scratchInt0
+                                 : reg_conv::scratchFp0;
+                } else {
+                    in.dst = t.phys;
+                }
+            }
+        }
+
+        res.body.push_back(in);
+
+        if (dst_spilled) {
+            isa::Instr st;
+            st.op = op.dst.cls == RegClass::Int ? Op::St : Op::Fst;
+            st.src1 = reg_conv::spillBase;
+            st.src2 = in.dst;
+            st.imm = slot_off(dst_slot);
+            st.size = 8;
+            res.body.push_back(st);
+            ++res.spillStores;
+        }
+    }
+
+    if (kernel.kind == LoopKind::Counted) {
+        res.counter = pinned_phys.at(kernel.counter.id);
+        res.limit = pinned_phys.at(kernel.limit.id);
+    } else {
+        res.cond = pinned_phys.at(kernel.cond.id);
+    }
+    res.spillSlots = next_slot - first_spill_slot;
+    return res;
+}
+
+} // namespace nbl::compiler

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register allocation with spilling.
+ *
+ * Pinned virtual registers (preamble constants, induction variables,
+ * chased pointers) get dedicated physical registers for the whole
+ * kernel. Body temporaries are allocated by linear scan over the
+ * *scheduled* order; when the pool is exhausted a temporary is spilled
+ * to a stack slot: its definition is followed by a store and each use
+ * is preceded by a reload through reserved scratch registers.
+ *
+ * Spill code goes through the data cache like any other reference, so
+ * -- as in the paper (section 3.3, Figure 4) -- the number of data
+ * references varies with the scheduled load latency: longer assumed
+ * latencies stretch live ranges and induce more spills.
+ *
+ * Register conventions (integer):
+ *   r0         hard-wired zero
+ *   r1  - r26  allocatable
+ *   r27, r28   spill-reload scratch
+ *   r29, r30   outer-loop bound / counter (lowerer)
+ *   r31        spill-area base pointer
+ * Floating point: f0 - f29 allocatable, f30/f31 scratch.
+ */
+
+#ifndef NBL_COMPILER_REGALLOC_HH
+#define NBL_COMPILER_REGALLOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/vir.hh"
+#include "isa/program.hh"
+
+namespace nbl::compiler
+{
+
+/** Fixed register roles (see file comment). */
+namespace reg_conv
+{
+inline constexpr isa::RegId spillBase = isa::intReg(31);
+inline constexpr isa::RegId outerCounter = isa::intReg(30);
+inline constexpr isa::RegId outerLimit = isa::intReg(29);
+inline constexpr isa::RegId scratchInt0 = isa::intReg(27);
+inline constexpr isa::RegId scratchInt1 = isa::intReg(28);
+inline constexpr isa::RegId scratchFp0 = isa::fpReg(30);
+inline constexpr isa::RegId scratchFp1 = isa::fpReg(31);
+inline constexpr unsigned numAllocInt = 26; ///< r1..r26
+inline constexpr unsigned numAllocFp = 30;  ///< f0..f29
+} // namespace reg_conv
+
+/** Output of allocating one kernel. */
+struct RegAllocResult
+{
+    std::vector<isa::Instr> preamble;
+    std::vector<isa::Instr> body;
+    isa::RegId counter{};  ///< Physical induction register (Counted).
+    isa::RegId limit{};
+    isa::RegId cond{};     ///< Physical condition register (While).
+    unsigned spillSlots = 0;     ///< Slots used by this kernel.
+    unsigned spillLoads = 0;     ///< Static reloads inserted.
+    unsigned spillStores = 0;    ///< Static spill stores inserted.
+};
+
+/**
+ * Allocate registers for a kernel whose body has been scheduled.
+ * @param kernel The kernel (for the preamble and pinned set).
+ * @param scheduled_body The scheduled body operations.
+ * @param first_spill_slot First free 8-byte slot in the spill area
+ *        (slots are shared program-wide).
+ */
+RegAllocResult allocate(const Kernel &kernel,
+                        const std::vector<VOp> &scheduled_body,
+                        unsigned first_spill_slot);
+
+} // namespace nbl::compiler
+
+#endif // NBL_COMPILER_REGALLOC_HH

@@ -1,0 +1,84 @@
+#include "compiler/unroller.hh"
+
+#include <unordered_map>
+
+#include "util/log.hh"
+
+namespace nbl::compiler
+{
+
+Kernel
+unroll(const Kernel &kernel, unsigned factor, uint32_t &next_id)
+{
+    if (factor == 0)
+        fatal("unroll factor must be >= 1");
+    if (factor == 1)
+        return kernel;
+    if (kernel.kind != LoopKind::Counted)
+        fatal("kernel %s: only counted loops can be unrolled",
+              kernel.name.c_str());
+    if (kernel.trips % factor != 0)
+        fatal("kernel %s: trips (%lld) not divisible by unroll factor "
+              "%u", kernel.name.c_str(),
+              static_cast<long long>(kernel.trips), factor);
+
+    Kernel out = kernel;
+    out.body.clear();
+    out.trips = kernel.trips / factor;
+    out.step = kernel.step * factor;
+
+    for (unsigned copy = 0; copy < factor; ++copy) {
+        std::unordered_map<uint32_t, VReg> rename;
+
+        // Copy i reads the induction value counter + i*step.
+        VReg iter_counter = kernel.counter;
+        bool counter_read = false;
+        for (const VOp &op : kernel.body) {
+            unsigned ns = op.numSrcs();
+            if ((ns >= 1 && op.src1 == kernel.counter) ||
+                (ns >= 2 && op.src2 == kernel.counter)) {
+                counter_read = true;
+                break;
+            }
+        }
+        if (copy > 0 && counter_read) {
+            iter_counter = VReg{next_id++, isa::RegClass::Int};
+            out.body.push_back(
+                VOp{isa::Op::AddI, iter_counter, kernel.counter, {},
+                    kernel.step * int64_t(copy), 8, -1});
+        }
+
+        auto map_use = [&](VReg v) -> VReg {
+            if (!v.valid())
+                return v;
+            if (v == kernel.counter)
+                return iter_counter;
+            auto it = rename.find(v.id);
+            return it != rename.end() ? it->second : v;
+        };
+
+        for (const VOp &op : kernel.body) {
+            VOp n = op;
+            unsigned ns = op.numSrcs();
+            if (ns >= 1)
+                n.src1 = map_use(op.src1);
+            if (ns >= 2)
+                n.src2 = map_use(op.src2);
+            if (op.hasDst()) {
+                if (kernel.pinned.count(op.dst.id)) {
+                    // Loop-carried redefinition: keep the name so the
+                    // next copy (and iteration) sees the new value.
+                    n.dst = op.dst;
+                } else {
+                    VReg fresh{next_id++, op.dst.cls};
+                    rename[op.dst.id] = fresh;
+                    n.dst = fresh;
+                }
+            }
+            out.body.push_back(n);
+        }
+    }
+    return out;
+}
+
+} // namespace nbl::compiler

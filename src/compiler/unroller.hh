@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Loop unroller.
+ *
+ * Replicates a counted kernel's body `factor` times. Temporaries are
+ * renamed per copy; loop-carried redefinitions of pinned registers
+ * (pointer bumps, accumulators) are left in place so sequential
+ * semantics chain naturally across copies. Reads of the induction
+ * variable in copy i > 0 are rewritten to a fresh `counter + i*step`
+ * temporary. The trip count divides by the factor and the step
+ * multiplies by it, so the iteration space is unchanged.
+ *
+ * Unrolling is how the paper's compiler exposes independent loads for
+ * the scheduler to hoist (tomcatv's loops are "unrolled many times",
+ * section 4).
+ */
+
+#ifndef NBL_COMPILER_UNROLLER_HH
+#define NBL_COMPILER_UNROLLER_HH
+
+#include "compiler/vir.hh"
+
+namespace nbl::compiler
+{
+
+/**
+ * Unroll a counted kernel by factor (trips must be divisible by it;
+ * factor 1 returns the kernel unchanged). While-loops are rejected:
+ * their early exit cannot be replicated.
+ * @param next_id In-out vreg id counter (KernelProgram::nextVRegId).
+ */
+Kernel unroll(const Kernel &kernel, unsigned factor, uint32_t &next_id);
+
+} // namespace nbl::compiler
+
+#endif // NBL_COMPILER_UNROLLER_HH

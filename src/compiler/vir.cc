@@ -1,0 +1,38 @@
+#include "compiler/vir.hh"
+
+namespace nbl::compiler
+{
+
+unsigned
+VOp::numSrcs() const
+{
+    // Mirror isa::Instr::numSrcs for the shared opcodes.
+    isa::Instr in;
+    in.op = op;
+    return in.numSrcs();
+}
+
+uint64_t
+bodyCostPerIteration(const Kernel &k)
+{
+    // Body ops + induction update + backward branch.
+    uint64_t n = k.body.size() + 1;
+    if (k.kind == LoopKind::Counted)
+        n += 1;
+    return n;
+}
+
+uint64_t
+estimateDynamicSize(const KernelProgram &kp)
+{
+    uint64_t total = 0;
+    for (const Kernel &k : kp.kernels) {
+        uint64_t trips = k.kind == LoopKind::Counted
+                             ? uint64_t(k.trips)
+                             : k.expectedTrips;
+        total += k.preamble.size() + trips * bodyCostPerIteration(k);
+    }
+    return total * kp.outerReps + 4; // prologue + halt
+}
+
+} // namespace nbl::compiler

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Virtual-register IR for the mini compiler.
+ *
+ * Workloads are written as kernels: an innermost loop body over
+ * virtual registers plus a preamble that materializes constants and
+ * array base addresses. The compiler pipeline (schedule -> allocate ->
+ * lower) turns a KernelProgram into an isa::Program. The scheduler's
+ * assumed load latency is the paper's central code-scheduling
+ * parameter (section 3.3, item 1).
+ *
+ * Conventions:
+ *  - values defined in the preamble are "pinned": they live across
+ *    loop iterations and get dedicated physical registers;
+ *  - body temporaries are SSA (defined once per iteration);
+ *  - loop-carried updates (pointer bumps, chased pointers) are
+ *    expressed as redefinitions of pinned virtual registers.
+ */
+
+#ifndef NBL_COMPILER_VIR_HH
+#define NBL_COMPILER_VIR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace nbl::compiler
+{
+
+/** A virtual register. */
+struct VReg
+{
+    static constexpr uint32_t invalidId = UINT32_MAX;
+
+    uint32_t id = invalidId;
+    isa::RegClass cls = isa::RegClass::Int;
+
+    bool valid() const { return id != invalidId; }
+    bool operator==(const VReg &) const = default;
+};
+
+/** One IR operation on virtual registers. */
+struct VOp
+{
+    isa::Op op = isa::Op::Nop;
+    VReg dst;
+    VReg src1;
+    VReg src2;
+    int64_t imm = 0;
+    uint8_t size = 8;
+    /**
+     * Memory-dependence space for memory ops: ops in different spaces
+     * never alias (distinct arrays); ops in the same space are ordered
+     * conservatively (load-store, store-load, store-store). Spaces are
+     * allocated by the workload through AddressSpace/KernelBuilder.
+     */
+    int32_t space = -1;
+
+    bool isLoad() const { return op == isa::Op::Ld || op == isa::Op::Fld; }
+    bool isStore() const { return op == isa::Op::St || op == isa::Op::Fst; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    hasDst() const
+    {
+        return dst.valid();
+    }
+    unsigned numSrcs() const;
+};
+
+/** Loop forms supported by the lowerer. */
+enum class LoopKind
+{
+    Counted,       ///< counter from start, trips iterations of step.
+    WhileNonZero,  ///< do body while cond != 0.
+};
+
+/** One innermost loop. */
+struct Kernel
+{
+    std::string name;
+    std::vector<VOp> preamble;
+    std::vector<VOp> body;
+
+    LoopKind kind = LoopKind::Counted;
+    VReg counter;       ///< Counted: induction variable (pinned).
+    VReg limit;         ///< Counted: bound (pinned).
+    int64_t start = 0;
+    int64_t trips = 0;
+    int64_t step = 1;
+    VReg cond;          ///< WhileNonZero: pinned, redefined in body.
+    uint64_t expectedTrips = 0;
+
+    /** Virtual registers that must survive across iterations. */
+    std::unordered_set<uint32_t> pinned;
+};
+
+/** A whole synthetic benchmark: kernels run in order, repeated. */
+struct KernelProgram
+{
+    std::string name;
+    std::vector<Kernel> kernels;
+    uint64_t outerReps = 1;
+    /** First id never used by any vreg (for renaming passes). */
+    uint32_t nextVRegId = 0;
+    /**
+     * Vectorizable codes (tomcatv-style inner loops): the compiler
+     * hoists loads well past the nominal scheduled latency, as a
+     * trace-scheduling compiler does on unrolled vector loops. The
+     * scheduler gives loads a priority boost proportional to the
+     * scheduled load latency when this is set.
+     */
+    bool aggressiveHoist = false;
+};
+
+/** Number of dynamic instructions one iteration of a kernel costs
+ *  before spills (body + counter update + branch). */
+uint64_t bodyCostPerIteration(const Kernel &k);
+
+/** Estimated dynamic instructions of the whole program (pre-spill). */
+uint64_t estimateDynamicSize(const KernelProgram &kp);
+
+} // namespace nbl::compiler
+
+#endif // NBL_COMPILER_VIR_HH

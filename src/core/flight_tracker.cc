@@ -1,0 +1,89 @@
+#include "core/flight_tracker.hh"
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+void
+LevelHistogram::set(unsigned level, uint64_t now)
+{
+    if (finalized_)
+        panic("LevelHistogram changed after finalize");
+    if (now < last_time_)
+        panic("LevelHistogram fed non-monotone time (%llu < %llu)",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(last_time_));
+    unsigned bucket = level_ > maxLevel ? maxLevel : level_;
+    cycles_at_[bucket] += now - last_time_;
+    last_time_ = now;
+    level_ = level;
+    if (level_ > max_seen_)
+        max_seen_ = level_;
+}
+
+void
+LevelHistogram::decrement(uint64_t now)
+{
+    if (level_ == 0)
+        panic("LevelHistogram decrement below zero");
+    set(level_ - 1, now);
+}
+
+void
+LevelHistogram::finalize(uint64_t end_cycle)
+{
+    set(level_, end_cycle);
+    total_ = 0;
+    for (uint64_t c : cycles_at_)
+        total_ += c;
+    finalized_ = true;
+}
+
+uint64_t
+LevelHistogram::cyclesAt(unsigned level) const
+{
+    if (level > maxLevel)
+        level = maxLevel;
+    return cycles_at_[level];
+}
+
+uint64_t
+LevelHistogram::cyclesAbove0() const
+{
+    uint64_t c = 0;
+    for (unsigned l = 1; l <= maxLevel; ++l)
+        c += cycles_at_[l];
+    return c;
+}
+
+double
+LevelHistogram::fractionAbove0() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return double(cyclesAbove0()) / double(total_);
+}
+
+double
+LevelHistogram::fractionOfBusyAt(unsigned n) const
+{
+    uint64_t busy = cyclesAbove0();
+    if (busy == 0 || n == 0)
+        return 0.0;
+    return double(cyclesAt(n)) / double(busy);
+}
+
+double
+LevelHistogram::fractionOfBusyAtLeast(unsigned n) const
+{
+    uint64_t busy = cyclesAbove0();
+    if (busy == 0 || n == 0)
+        return 0.0;
+    uint64_t c = 0;
+    for (unsigned l = n; l <= maxLevel; ++l)
+        c += cycles_at_[l];
+    return double(c) / double(busy);
+}
+
+} // namespace nbl::core

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Time-weighted histograms of in-flight misses and fetches (Figure 6).
+ *
+ * The tracker is fed level-change events in non-decreasing time order
+ * and charges each interval to the level that held during it. The
+ * harness derives the paper's Figure 6 columns from the result: the
+ * percentage of run time with more than zero misses in flight (MIF),
+ * the distribution of that time over 1, 2, ..., 7+ in-flight, and the
+ * maximum.
+ */
+
+#ifndef NBL_CORE_FLIGHT_TRACKER_HH
+#define NBL_CORE_FLIGHT_TRACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace nbl::core
+{
+
+/** One time-weighted level histogram. */
+class LevelHistogram
+{
+  public:
+    /** Levels at or above maxLevel share the final bucket. */
+    static constexpr unsigned maxLevel = 64;
+
+    LevelHistogram() : cycles_at_(maxLevel + 1, 0) {}
+
+    /** The level changes to level at time now (now must not decrease). */
+    void set(unsigned level, uint64_t now);
+
+    /** Adjust the level by +/-1 at time now. */
+    void increment(uint64_t now) { set(level_ + 1, now); }
+    void decrement(uint64_t now);
+
+    /** Charge the final interval up to end_cycle. */
+    void finalize(uint64_t end_cycle);
+
+    unsigned level() const { return level_; }
+    unsigned maxSeen() const { return max_seen_; }
+
+    /** Cycles spent with exactly this level (capped bucket at top). */
+    uint64_t cyclesAt(unsigned level) const;
+
+    /** Cycles spent with level >= 1. */
+    uint64_t cyclesAbove0() const;
+
+    /** Total cycles observed (finalize must have been called). */
+    uint64_t totalCycles() const { return total_; }
+
+    /** Fraction of total time with level >= 1 (0 if no time). */
+    double fractionAbove0() const;
+
+    /**
+     * Of the time with level >= 1, the fraction spent at exactly
+     * level n (Figure 6's "% of MIF" columns); n >= 1.
+     */
+    double fractionOfBusyAt(unsigned n) const;
+
+    /** Fraction of busy time at level >= n (used for the 7+ column). */
+    double fractionOfBusyAtLeast(unsigned n) const;
+
+  private:
+    std::vector<uint64_t> cycles_at_;
+    unsigned level_ = 0;
+    unsigned max_seen_ = 0;
+    uint64_t last_time_ = 0;
+    uint64_t total_ = 0;
+    bool finalized_ = false;
+};
+
+/** The pair of histograms reported by Figure 6. */
+struct FlightTracker
+{
+    LevelHistogram misses;
+    LevelHistogram fetches;
+
+    void
+    finalize(uint64_t end_cycle)
+    {
+        misses.finalize(end_cycle);
+        fetches.finalize(end_cycle);
+    }
+};
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_FLIGHT_TRACKER_HH

@@ -1,0 +1,47 @@
+#include "core/inverted_mshr.hh"
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+InvertedMshr::InvertedMshr() : entries_(isa::numDests)
+{
+}
+
+void
+InvertedMshr::allocate(unsigned dest, uint64_t block_addr,
+                       unsigned offset, unsigned size)
+{
+    if (dest >= entries_.size())
+        panic("inverted MSHR destination %u out of range", dest);
+    Entry &e = entries_[dest];
+    if (e.valid) {
+        panic("inverted MSHR destination %u already waiting "
+              "(missing WAW interlock?)", dest);
+    }
+    e.valid = true;
+    e.blockAddr = block_addr;
+    e.offsetInBlock = offset;
+    e.size = size;
+    ++active_;
+    if (active_ > max_active_)
+        max_active_ = active_;
+}
+
+std::vector<unsigned>
+InvertedMshr::fill(uint64_t block_addr)
+{
+    std::vector<unsigned> filled;
+    for (unsigned d = 0; d < entries_.size(); ++d) {
+        Entry &e = entries_[d];
+        if (e.valid && e.blockAddr == block_addr) {
+            e.valid = false;
+            --active_;
+            filled.push_back(d);
+        }
+    }
+    return filled;
+}
+
+} // namespace nbl::core

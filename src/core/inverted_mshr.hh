@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Inverted MSHR organization (paper section 2.4).
+ *
+ * Instead of one record per outstanding fetch, the inverted MSHR keeps
+ * one record per possible destination of fetch data (every integer and
+ * floating-point register plus the PC). A new miss writes the entry of
+ * its destination register; when a block returns, all entries whose
+ * block request address matches are filled simultaneously (the "match
+ * encoder" of Figure 3). The organization imposes no limit on the
+ * number of blocks being fetched or misses per block beyond the number
+ * of destinations in the machine.
+ */
+
+#ifndef NBL_CORE_INVERTED_MSHR_HH
+#define NBL_CORE_INVERTED_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/reg.hh"
+
+namespace nbl::core
+{
+
+/** Per-destination miss-status file; TLB-like associative structure. */
+class InvertedMshr
+{
+  public:
+    InvertedMshr();
+
+    /**
+     * Record that destination dest is waiting on [offset, offset+size)
+     * of block block_addr. The destination must not already be valid
+     * (the processor's WAW interlock guarantees this).
+     */
+    void allocate(unsigned dest, uint64_t block_addr, unsigned offset,
+                  unsigned size);
+
+    /**
+     * A block has returned: clear and report every destination waiting
+     * on it (the associative probe + match encoder).
+     * @return destination numbers filled, in entry order.
+     */
+    std::vector<unsigned> fill(uint64_t block_addr);
+
+    /** Is this destination waiting on an outstanding fetch? */
+    bool busy(unsigned dest) const { return entries_[dest].valid; }
+
+    /** Number of valid entries (in-flight misses). */
+    unsigned activeMisses() const { return active_; }
+
+    /** High-water mark of valid entries over the run. */
+    unsigned maxMisses() const { return max_active_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t blockAddr = 0;
+        unsigned offsetInBlock = 0;
+        unsigned size = 0;
+    };
+
+    std::vector<Entry> entries_;
+    unsigned active_ = 0;
+    unsigned max_active_ = 0;
+};
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_INVERTED_MSHR_HH

@@ -1,0 +1,57 @@
+#include "core/mshr.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+Mshr::Mshr(uint64_t block_addr, uint64_t set_index,
+           uint64_t complete_cycle, unsigned line_bytes,
+           const MshrPolicy &policy)
+    : block_addr_(block_addr), set_index_(set_index),
+      complete_cycle_(complete_cycle), line_bytes_(line_bytes),
+      sub_blocks_(std::max(policy.subBlocks, 1)),
+      misses_per_sub_(policy.missesPerSubBlock),
+      sub_counts_(static_cast<size_t>(sub_blocks_), 0)
+{
+    if (line_bytes_ % sub_blocks_ != 0)
+        fatal("line size %u not divisible by %d sub-blocks", line_bytes_,
+              sub_blocks_);
+}
+
+std::pair<unsigned, unsigned>
+Mshr::subRange(unsigned offset, unsigned size) const
+{
+    unsigned gran = line_bytes_ / static_cast<unsigned>(sub_blocks_);
+    unsigned first = offset / gran;
+    unsigned last = (offset + size - 1) / gran;
+    if (last >= static_cast<unsigned>(sub_blocks_))
+        panic("access [%u, %u) escapes the block", offset, offset + size);
+    return {first, last};
+}
+
+bool
+Mshr::canAccept(unsigned offset, unsigned size) const
+{
+    if (misses_per_sub_ < 0)
+        return true;
+    auto [first, last] = subRange(offset, size);
+    for (unsigned s = first; s <= last; ++s) {
+        if (sub_counts_[s] >= static_cast<unsigned>(misses_per_sub_))
+            return false;
+    }
+    return true;
+}
+
+void
+Mshr::addDest(unsigned dest_linear, unsigned offset, unsigned size)
+{
+    auto [first, last] = subRange(offset, size);
+    for (unsigned s = first; s <= last; ++s)
+        ++sub_counts_[s];
+    dests_.push_back(MshrDest{dest_linear, offset, size});
+}
+
+} // namespace nbl::core

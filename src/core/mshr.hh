@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A single Miss Status Holding Register (Kroft 1981).
+ *
+ * One MSHR tracks one outstanding fetch: the block request address and
+ * a set of destination fields describing the load misses merged into
+ * the fetch. The field organization (implicitly addressed, explicitly
+ * addressed, or hybrid; paper sections 2.1-2.2 and Figure 14) is
+ * expressed by MshrPolicy::subBlocks / missesPerSubBlock and decides
+ * when a new miss to the block can be merged (secondary miss) versus
+ * when it must stall the processor (structural-stall miss).
+ */
+
+#ifndef NBL_CORE_MSHR_HH
+#define NBL_CORE_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace nbl::core
+{
+
+/** One destination field: a register waiting on part of the block. */
+struct MshrDest
+{
+    unsigned destLinear;   ///< Linear register/destination number.
+    unsigned offsetInBlock;///< Byte offset of the data within the block.
+    unsigned size;         ///< Access size in bytes ("format" info).
+};
+
+/** One in-flight fetch and the misses merged into it. */
+class Mshr
+{
+  public:
+    /**
+     * @param block_addr Block request address.
+     * @param set_index Cache set the block maps to.
+     * @param complete_cycle Cycle at which the fetched block arrives.
+     * @param line_bytes Cache line size (for sub-block arithmetic).
+     * @param policy Field organization limits.
+     */
+    Mshr(uint64_t block_addr, uint64_t set_index, uint64_t complete_cycle,
+         unsigned line_bytes, const MshrPolicy &policy);
+
+    uint64_t blockAddr() const { return block_addr_; }
+    uint64_t setIndex() const { return set_index_; }
+    uint64_t completeCycle() const { return complete_cycle_; }
+
+    /**
+     * Could a miss covering [offset, offset + size) within the block be
+     * merged as a secondary miss, or would it exhaust the destination
+     * fields (a structural-stall miss)?
+     */
+    bool canAccept(unsigned offset, unsigned size) const;
+
+    /** Merge a miss; canAccept must have returned true. */
+    void addDest(unsigned dest_linear, unsigned offset, unsigned size);
+
+    /** Number of misses merged into this fetch (>= 1 once used). */
+    unsigned numDests() const { return unsigned(dests_.size()); }
+
+    const std::vector<MshrDest> &dests() const { return dests_; }
+
+  private:
+    /** Range of sub-block slots covered by [offset, offset+size). */
+    std::pair<unsigned, unsigned> subRange(unsigned offset,
+                                           unsigned size) const;
+
+    uint64_t block_addr_;
+    uint64_t set_index_;
+    uint64_t complete_cycle_;
+    unsigned line_bytes_;
+    int sub_blocks_;            ///< Positional groups (>= 1).
+    int misses_per_sub_;        ///< Capacity per group; -1 = unlimited.
+    std::vector<uint16_t> sub_counts_;
+    std::vector<MshrDest> dests_;
+};
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_MSHR_HH

@@ -1,0 +1,156 @@
+#include "core/mshr_cost.hh"
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+unsigned
+addrInBlockBits(const CostParams &p)
+{
+    return bitsFor(p.lineBytes);
+}
+
+unsigned
+blockRequestAddrBits(const CostParams &p)
+{
+    return p.physAddrBits - addrInBlockBits(p);
+}
+
+unsigned
+implicitFieldBits(const CostParams &p)
+{
+    // valid + destination + format.
+    return 1 + p.destBits + p.formatBits;
+}
+
+unsigned
+hybridFieldBits(const CostParams &p, unsigned sub_blocks,
+                unsigned misses_per_sub)
+{
+    if (sub_blocks == 0 || p.lineBytes % sub_blocks != 0)
+        fatal("bad sub-block count %u", sub_blocks);
+    // Positional fields (one miss per sub-block, several sub-blocks)
+    // carry no address; otherwise the field addresses within its
+    // sub-block.
+    if (misses_per_sub <= 1 && sub_blocks > 1)
+        return implicitFieldBits(p);
+    unsigned within = bitsFor(p.lineBytes / sub_blocks);
+    return implicitFieldBits(p) + within;
+}
+
+namespace
+{
+
+MshrCost
+baseMshr(const CostParams &p)
+{
+    MshrCost c;
+    // Block valid bit + block request address, plus the associative
+    // comparator over the block request address.
+    c.storageBits = 1 + blockRequestAddrBits(p);
+    c.comparators = 1;
+    c.comparatorBits = blockRequestAddrBits(p);
+    return c;
+}
+
+} // namespace
+
+MshrCost
+implicitMshrCost(const CostParams &p, unsigned sub_blocks)
+{
+    MshrCost c = baseMshr(p);
+    c.storageBits += uint64_t(sub_blocks) * implicitFieldBits(p);
+    return c;
+}
+
+MshrCost
+explicitMshrCost(const CostParams &p, unsigned num_fields)
+{
+    MshrCost c = baseMshr(p);
+    c.storageBits +=
+        uint64_t(num_fields) * hybridFieldBits(p, 1, num_fields);
+    return c;
+}
+
+MshrCost
+hybridMshrCost(const CostParams &p, unsigned sub_blocks,
+               unsigned misses_per_sub)
+{
+    MshrCost c = baseMshr(p);
+    c.storageBits += uint64_t(sub_blocks) * misses_per_sub *
+                     hybridFieldBits(p, sub_blocks, misses_per_sub);
+    return c;
+}
+
+MshrCost
+invertedMshrCost(const CostParams &p)
+{
+    MshrCost c;
+    // Per destination: valid + block request address + format +
+    // address in block (Figure 3), plus a comparator per entry.
+    uint64_t per_entry = 1 + blockRequestAddrBits(p) + p.formatBits +
+                         addrInBlockBits(p);
+    c.storageBits = per_entry * p.numDests;
+    c.comparators = p.numDests;
+    c.comparatorBits = blockRequestAddrBits(p);
+    return c;
+}
+
+MshrCost
+inCacheMshrCost(const CostParams &p, uint64_t num_lines)
+{
+    MshrCost c;
+    // One transit bit per cache line; MSHR info lives in the line
+    // itself. A single comparator serves the (tag-resident) address.
+    c.extraCacheBits = num_lines;
+    c.comparators = 1;
+    c.comparatorBits = blockRequestAddrBits(p);
+    return c;
+}
+
+MshrCost
+policyCost(const CostParams &p, const MshrPolicy &policy,
+           unsigned assumed_max)
+{
+    if (policy.blocking())
+        return MshrCost{};
+    if (policy.mode == CacheMode::Inverted)
+        return invertedMshrCost(p);
+
+    if (policy.maxMisses >= 0) {
+        // mc=N: N single-destination (explicitly addressed) MSHRs.
+        MshrCost one = explicitMshrCost(p, 1);
+        MshrCost c;
+        c.storageBits = one.storageBits * unsigned(policy.maxMisses);
+        c.comparators = unsigned(policy.maxMisses);
+        c.comparatorBits = one.comparatorBits;
+        return c;
+    }
+
+    unsigned mshrs = policy.numMshrs >= 0
+                         ? static_cast<unsigned>(policy.numMshrs)
+                         : assumed_max;
+    unsigned sub = policy.subBlocks >= 1
+                       ? static_cast<unsigned>(policy.subBlocks)
+                       : 1;
+    unsigned per_sub;
+    if (policy.missesPerSubBlock >= 0) {
+        per_sub = static_cast<unsigned>(policy.missesPerSubBlock);
+    } else {
+        // Unlimited fields costed as one per word of the sub-block.
+        per_sub = (p.lineBytes / sub) / 8;
+        if (per_sub == 0)
+            per_sub = 1;
+    }
+
+    MshrCost one = hybridMshrCost(p, sub, per_sub);
+    MshrCost c;
+    c.storageBits = one.storageBits * mshrs;
+    c.comparators = one.comparators * mshrs;
+    c.comparatorBits = one.comparatorBits;
+    return c;
+}
+
+} // namespace nbl::core

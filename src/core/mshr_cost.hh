@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Hardware cost model for MSHR organizations (paper section 2).
+ *
+ * Reproduces the paper's storage arithmetic: with a 48-bit physical
+ * address and 32-byte lines, the block request address takes 43 bits
+ * (+1 valid bit = 44), each destination field takes 1 valid + 6
+ * destination + ~5 format = 12 bits, and explicitly addressed fields
+ * add an address-in-block field sized by the bytes they can reach:
+ *
+ *   - basic implicit, 4 words of 8 B:    44 + 4*12           =  92 bits
+ *   - implicit, 8 sub-blocks of 4 B:     44 + 8*12           = 140 bits
+ *   - explicit, 4 fields:                44 + 4*(12+5)       = 112 bits
+ *   - hybrid, 2 sub-blocks x 2 fields:   44 + 4*(12+4)       = 106 bits
+ *
+ * Traditional MSHRs carry one block-address comparator each; the
+ * inverted organization carries one comparator per destination entry;
+ * in-cache MSHR storage adds one transit bit per cache line.
+ */
+
+#ifndef NBL_CORE_MSHR_COST_HH
+#define NBL_CORE_MSHR_COST_HH
+
+#include <cstdint>
+
+#include "core/policy.hh"
+
+namespace nbl::core
+{
+
+/** Machine parameters feeding the bit arithmetic. */
+struct CostParams
+{
+    unsigned physAddrBits = 48;
+    unsigned lineBytes = 32;
+    unsigned destBits = 6;    ///< Register number incl. int/fp bit.
+    unsigned formatBits = 5;  ///< Width/sign-extend/etc. ("~5").
+    unsigned numDests = 65;   ///< Inverted MSHR entries (64 regs + PC).
+};
+
+/** Storage and comparator cost of one organization. */
+struct MshrCost
+{
+    uint64_t storageBits = 0;      ///< Register bits outside the cache.
+    uint64_t comparators = 0;      ///< Number of address comparators.
+    uint64_t comparatorBits = 0;   ///< Width of each comparator.
+    uint64_t extraCacheBits = 0;   ///< e.g. transit bits, in-cache MSHRs.
+
+    uint64_t
+    totalBits() const
+    {
+        return storageBits + extraCacheBits;
+    }
+};
+
+/** Bits to address a byte within the block (5 for 32 B lines). */
+unsigned addrInBlockBits(const CostParams &p);
+
+/** Block request address field width (43 for 48-bit PA, 32 B lines). */
+unsigned blockRequestAddrBits(const CostParams &p);
+
+/** One destination field without any explicit address (12 bits). */
+unsigned implicitFieldBits(const CostParams &p);
+
+/**
+ * One destination field of a hybrid MSHR with sub_blocks positional
+ * groups holding misses_per_sub fields each. A field needs explicit
+ * address bits only to disambiguate within its sub-block: a purely
+ * positional field (one miss per sub-block, several sub-blocks) needs
+ * none, a fully explicit field (one sub-block) needs bits for the
+ * whole line. sub_blocks == 1, misses_per_sub == 4 gives the paper's
+ * 17-bit explicit field.
+ */
+unsigned hybridFieldBits(const CostParams &p, unsigned sub_blocks,
+                         unsigned misses_per_sub);
+
+/** A whole implicitly addressed MSHR with sub_blocks fields. */
+MshrCost implicitMshrCost(const CostParams &p, unsigned sub_blocks);
+
+/** A whole explicitly addressed MSHR with num_fields fields. */
+MshrCost explicitMshrCost(const CostParams &p, unsigned num_fields);
+
+/** A hybrid MSHR: sub_blocks groups x misses_per_sub fields each. */
+MshrCost hybridMshrCost(const CostParams &p, unsigned sub_blocks,
+                        unsigned misses_per_sub);
+
+/** A full inverted MSHR (one entry + comparator per destination). */
+MshrCost invertedMshrCost(const CostParams &p);
+
+/** In-cache MSHR storage: transit bit per line + one comparator. */
+MshrCost inCacheMshrCost(const CostParams &p, uint64_t num_lines);
+
+/**
+ * Cost of a whole MshrPolicy as configured (numMshrs copies of the
+ * per-MSHR organization; unlimited values are costed at `assumed_max`
+ * MSHRs / fields, defaulting to 16 fetches and one field per line
+ * word, so relative comparisons stay meaningful).
+ */
+MshrCost policyCost(const CostParams &p, const MshrPolicy &policy,
+                    unsigned assumed_max = 16);
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_MSHR_COST_HH

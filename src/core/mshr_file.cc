@@ -1,0 +1,89 @@
+#include "core/mshr_file.hh"
+
+#include <optional>
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+MshrFile::MshrFile(const MshrPolicy &policy, unsigned line_bytes)
+    : policy_(policy), line_bytes_(line_bytes)
+{
+}
+
+Mshr *
+MshrFile::findBlock(uint64_t block_addr)
+{
+    for (Mshr &m : fifo_) {
+        if (m.blockAddr() == block_addr)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+MshrFile::canAllocate(uint64_t set_index) const
+{
+    if (policy_.numMshrs >= 0 &&
+        fifo_.size() >= static_cast<size_t>(policy_.numMshrs)) {
+        return false;
+    }
+    if (policy_.fetchesPerSet >= 0) {
+        auto it = per_set_.find(set_index);
+        unsigned in_set = it == per_set_.end() ? 0 : it->second;
+        if (in_set >= static_cast<unsigned>(policy_.fetchesPerSet))
+            return false;
+    }
+    return true;
+}
+
+Mshr &
+MshrFile::allocate(uint64_t block_addr, uint64_t set_index,
+                   uint64_t complete_cycle)
+{
+    if (!canAllocate(set_index))
+        panic("MshrFile::allocate without capacity");
+    if (!fifo_.empty() && complete_cycle < fifo_.back().completeCycle())
+        panic("fetch completion times must be monotone");
+    fifo_.emplace_back(block_addr, set_index, complete_cycle, line_bytes_,
+                       policy_);
+    ++per_set_[set_index];
+    return fifo_.back();
+}
+
+uint64_t
+MshrFile::allocFreeCycle(uint64_t set_index) const
+{
+    if (fifo_.empty())
+        panic("allocFreeCycle with nothing in flight");
+    if (policy_.numMshrs >= 0 &&
+        fifo_.size() >= static_cast<size_t>(policy_.numMshrs)) {
+        return fifo_.front().completeCycle();
+    }
+    // Per-set limit is binding: oldest fetch in this set (FIFO order
+    // makes the first match the oldest).
+    for (const Mshr &m : fifo_) {
+        if (m.setIndex() == set_index)
+            return m.completeCycle();
+    }
+    panic("allocFreeCycle: no fetch in the blocked set");
+}
+
+std::optional<Mshr>
+MshrFile::popCompleted(uint64_t now)
+{
+    if (fifo_.empty() || fifo_.front().completeCycle() > now)
+        return std::nullopt;
+    Mshr done = std::move(fifo_.front());
+    fifo_.pop_front();
+    auto it = per_set_.find(done.setIndex());
+    if (it == per_set_.end() || it->second == 0)
+        panic("per-set fetch count underflow");
+    if (--it->second == 0)
+        per_set_.erase(it);
+    active_misses_ -= done.numDests();
+    return done;
+}
+
+} // namespace nbl::core

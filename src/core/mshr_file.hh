@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The pool of MSHRs backing a lockup-free cache.
+ *
+ * Tracks every in-flight fetch, enforces the whole-cache restrictions
+ * (number of MSHRs == max fetches; max fetches per cache set), and
+ * hands completed fetches back in completion order so the cache can
+ * apply fills and keep the in-flight histograms exact.
+ *
+ * Because the modeled memory is fully pipelined with a constant
+ * penalty, fetches complete in allocation order; the pool is a FIFO.
+ */
+
+#ifndef NBL_CORE_MSHR_FILE_HH
+#define NBL_CORE_MSHR_FILE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "core/mshr.hh"
+#include "core/policy.hh"
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+/** Pool of in-flight fetches with the paper's mc/fc/fs restrictions. */
+class MshrFile
+{
+  public:
+    MshrFile(const MshrPolicy &policy, unsigned line_bytes);
+
+    /** Find the MSHR fetching block_addr, if any. */
+    Mshr *findBlock(uint64_t block_addr);
+
+    /** May a new fetch be started for a block in set set_index? */
+    bool canAllocate(uint64_t set_index) const;
+
+    /** May another miss (destination) be tracked at all? (mc= cap) */
+    bool
+    canAddMiss() const
+    {
+        return policy_.maxMisses < 0 ||
+               active_misses_ <
+                   static_cast<unsigned>(policy_.maxMisses);
+    }
+
+    /** Cycle at which the oldest fetch completes, freeing its
+     *  destination slots (the mc= cap's release point). */
+    uint64_t
+    missFreeCycle() const
+    {
+        if (fifo_.empty())
+            panic("missFreeCycle with nothing in flight");
+        return fifo_.front().completeCycle();
+    }
+
+    /**
+     * Start a fetch. canAllocate must have returned true. The caller
+     * guarantees complete_cycle is monotonically non-decreasing across
+     * allocations (constant miss penalty).
+     */
+    Mshr &allocate(uint64_t block_addr, uint64_t set_index,
+                   uint64_t complete_cycle);
+
+    /**
+     * Earliest cycle at which the resource blocking a new allocation in
+     * set_index frees: the oldest fetch overall if the MSHR count is
+     * the binding limit, else the oldest fetch in the set.
+     */
+    uint64_t allocFreeCycle(uint64_t set_index) const;
+
+    /**
+     * Pop the oldest fetch if it has completed by cycle now.
+     * @return the completed MSHR (moved out), or nullopt.
+     */
+    std::optional<Mshr> popCompleted(uint64_t now);
+
+    /** Number of in-flight fetches. */
+    unsigned activeFetches() const { return unsigned(fifo_.size()); }
+
+    /** Number of in-flight misses (destination fields in use). */
+    unsigned activeMisses() const { return active_misses_; }
+    void noteMissAdded() { ++active_misses_; }
+
+    /** High-water marks, for reporting. */
+    unsigned maxFetches() const { return max_fetches_seen_; }
+    unsigned maxMisses() const { return max_misses_seen_; }
+    void
+    updatePeaks()
+    {
+        if (fifo_.size() > max_fetches_seen_)
+            max_fetches_seen_ = unsigned(fifo_.size());
+        if (active_misses_ > max_misses_seen_)
+            max_misses_seen_ = active_misses_;
+    }
+
+  private:
+    MshrPolicy policy_;
+    unsigned line_bytes_;
+    std::deque<Mshr> fifo_;     ///< Completion (== allocation) order.
+    std::unordered_map<uint64_t, unsigned> per_set_;
+    unsigned active_misses_ = 0;
+    unsigned max_fetches_seen_ = 0;
+    unsigned max_misses_seen_ = 0;
+};
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_MSHR_FILE_HH

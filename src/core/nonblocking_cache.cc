@@ -1,0 +1,310 @@
+#include "core/nonblocking_cache.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+namespace
+{
+
+/** Resolve geometry-dependent policy fields (in-cache storage). */
+MshrPolicy
+resolvePolicy(MshrPolicy p, const mem::CacheGeometry &geom)
+{
+    if (p.fetchesPerSetTracksWays) {
+        p.fetchesPerSet =
+            geom.fullyAssociative() ? -1 : int(geom.ways());
+    }
+    return p;
+}
+
+/** Fetch-tracking policy for the inverted organization: unlimited. */
+MshrPolicy
+fetchTrackingPolicy(const MshrPolicy &policy)
+{
+    if (policy.mode != CacheMode::Inverted)
+        return policy;
+    MshrPolicy p = policy;
+    p.numMshrs = -1;
+    p.maxMisses = -1;
+    p.fetchesPerSet = -1;
+    p.subBlocks = 1;
+    p.missesPerSubBlock = -1;
+    return p;
+}
+
+} // namespace
+
+NonblockingCache::NonblockingCache(const mem::CacheGeometry &geom,
+                                   const MshrPolicy &policy,
+                                   const mem::MainMemory &memory,
+                                   unsigned fill_write_ports)
+    : geom_(geom), policy_(resolvePolicy(policy, geom)),
+      memory_(memory), tags_(geom),
+      mshrs_(fetchTrackingPolicy(policy_),
+             static_cast<unsigned>(geom.lineBytes())),
+      fill_write_ports_(fill_write_ports)
+{
+    if (policy_.mode == CacheMode::Inverted)
+        inverted_ = std::make_unique<InvertedMshr>();
+    if (!policy_.blocking() && policy_.numMshrs == 0)
+        fatal("non-blocking cache with zero MSHRs cannot make progress");
+    if (policy_.fetchesPerSet == 0)
+        fatal("fetchesPerSet of zero cannot make progress");
+}
+
+void
+NonblockingCache::expireUpTo(uint64_t now)
+{
+    while (auto done = mshrs_.popCompleted(now)) {
+        uint64_t at = done->completeCycle();
+        if (tags_.fill(done->blockAddr()))
+            ++stats_.evictions;
+        tracker_.fetches.decrement(at);
+        for (unsigned i = 0; i < done->numDests(); ++i)
+            tracker_.misses.decrement(at);
+        if (inverted_) {
+            auto filled = inverted_->fill(done->blockAddr());
+            if (filled.size() != done->numDests())
+                panic("inverted MSHR / MSHR file dest mismatch");
+        }
+        last_drain_cycle_ = std::max(last_drain_cycle_, at);
+    }
+}
+
+uint64_t
+NonblockingCache::drainAll()
+{
+    expireUpTo(UINT64_MAX);
+    return last_drain_cycle_;
+}
+
+void
+NonblockingCache::structStall(uint64_t &t, uint64_t until, bool &stalled)
+{
+    if (until <= t)
+        panic("structural stall that does not advance time");
+    if (!stalled) {
+        ++stats_.structStallMisses;
+        stalled = true;
+    }
+    stats_.structStallCycles += until - t;
+    t = until;
+    expireUpTo(t);
+}
+
+AccessOutcome
+NonblockingCache::blockingFill(uint64_t addr, uint64_t now, bool is_load)
+{
+    // Lockup cache miss: the processor stalls for the full penalty
+    // while the line is fetched; all later references see it filled.
+    uint64_t complete = now + 1 + missPenalty();
+    if (is_load)
+        ++stats_.primaryMisses;
+    else
+        ++stats_.storePrimaryMisses;
+    ++stats_.fetches;
+    tracker_.fetches.increment(now);
+    tracker_.fetches.decrement(complete);
+    if (is_load) {
+        tracker_.misses.increment(now);
+        tracker_.misses.decrement(complete);
+    }
+    if (tags_.fill(addr))
+        ++stats_.evictions;
+    last_drain_cycle_ = std::max(last_drain_cycle_, complete);
+    return {now, complete, complete, AccessKind::Primary, false};
+}
+
+AccessOutcome
+NonblockingCache::blockingLoad(uint64_t addr, uint64_t now)
+{
+    if (tags_.lookup(addr)) {
+        ++stats_.loadHits;
+        return {now, now + 1, now + 1, AccessKind::Hit, false};
+    }
+    return blockingFill(addr, now, true);
+}
+
+AccessOutcome
+NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
+                           unsigned dest_linear, bool is_store,
+                           bool stalled)
+{
+    while (true) {
+        if (tags_.lookup(addr)) {
+            // Only reachable after a structural stall: the blocking
+            // fetch filled this line. Counted as a structural-stall
+            // miss, not a hit.
+            return {t, t + 1, t + 1, AccessKind::Hit, stalled};
+        }
+
+        uint64_t blk = geom_.blockAddr(addr);
+        unsigned off = static_cast<unsigned>(geom_.offset(addr));
+
+        if (Mshr *m = mshrs_.findBlock(blk)) {
+            if (!mshrs_.canAddMiss()) {
+                // The whole-cache miss cap (mc=) is exhausted: wait
+                // for the oldest fetch to free its destinations.
+                structStall(t, mshrs_.missFreeCycle(), stalled);
+                continue;
+            }
+            if (m->canAccept(off, size)) {
+                unsigned slot = m->numDests();
+                m->addDest(dest_linear, off, size);
+                mshrs_.noteMissAdded();
+                mshrs_.updatePeaks();
+                if (inverted_)
+                    inverted_->allocate(dest_linear, blk, off, size);
+                if (is_store)
+                    ++stats_.storeSecondaryMisses;
+                else
+                    ++stats_.secondaryMisses;
+                tracker_.misses.increment(t);
+                return {t, destReadyAt(m->completeCycle(), slot),
+                        t + 1, AccessKind::Secondary, stalled};
+            }
+            // All destination fields for this block are in use: a
+            // structural-stall miss. Wait for the block to arrive,
+            // after which the retry hits in the cache.
+            structStall(t, m->completeCycle(), stalled);
+            continue;
+        }
+
+        // Per-set fetch limits model one pending line per cache set
+        // (in-cache MSHR storage). In a fully associative cache any
+        // line can hold a pending fetch, so the limit is per *block*,
+        // i.e. never binding.
+        uint64_t set = geom_.fullyAssociative() ? blk
+                                                : geom_.setIndex(addr);
+        if (!mshrs_.canAddMiss()) {
+            structStall(t, mshrs_.missFreeCycle(), stalled);
+            continue;
+        }
+        if (mshrs_.canAllocate(set)) {
+            uint64_t complete =
+                t + 1 + missPenalty() + policy_.fillExtraCycles;
+            Mshr &m = mshrs_.allocate(blk, set, complete);
+            m.addDest(dest_linear, off, size);
+            mshrs_.noteMissAdded();
+            mshrs_.updatePeaks();
+            if (inverted_)
+                inverted_->allocate(dest_linear, blk, off, size);
+            if (is_store)
+                ++stats_.storePrimaryMisses;
+            else
+                ++stats_.primaryMisses;
+            ++stats_.fetches;
+            memory_.countFetch();
+            tracker_.fetches.increment(t);
+            tracker_.misses.increment(t);
+            return {t, complete, t + 1, AccessKind::Primary, stalled};
+        }
+
+        // No MSHR (or per-set slot) available: structural-stall miss.
+        structStall(t, mshrs_.allocFreeCycle(set), stalled);
+    }
+}
+
+AccessOutcome
+NonblockingCache::load(uint64_t addr, unsigned size, uint64_t now,
+                       unsigned dest_linear)
+{
+    expireUpTo(now);
+    ++stats_.loads;
+
+    if (policy_.blocking())
+        return blockingLoad(addr, now);
+
+    if (tags_.lookup(addr)) {
+        ++stats_.loadHits;
+        return {now, now + 1, now + 1, AccessKind::Hit, false};
+    }
+    return missPath(addr, size, now, dest_linear, /*is_store=*/false,
+                    false);
+}
+
+AccessOutcome
+NonblockingCache::storeAllocate(uint64_t addr, unsigned size,
+                                uint64_t now)
+{
+    // Non-blocking fetch-on-write (paper section 1, first method):
+    // the data waits in a write-buffer entry while the line is
+    // fetched through the normal miss machinery. A free write-buffer
+    // destination entry is a resource like any other: none free is a
+    // structural hazard.
+    uint64_t t = now;
+    bool stalled = false;
+    for (;;) {
+        int entry = -1;
+        uint64_t soonest = UINT64_MAX;
+        for (unsigned i = 0; i < isa::numWriteBufferDests; ++i) {
+            if (wb_dest_free_[i] <= t) {
+                entry = int(i);
+                break;
+            }
+            soonest = std::min(soonest, wb_dest_free_[i]);
+        }
+        if (entry < 0) {
+            structStall(t, soonest, stalled);
+            continue;
+        }
+        AccessOutcome out = missPath(addr, size, t,
+                                     isa::writeBufferDest(unsigned(entry)),
+                                     /*is_store=*/true, stalled);
+        if (out.kind != AccessKind::Hit)
+            wb_dest_free_[unsigned(entry)] = out.dataReady;
+        // The processor itself never waits on the buffered data.
+        out.procFreeAt = out.issueCycle + 1;
+        if (out.structStalled)
+            ++stats_.storeStructStalls;
+        wbuf_.push(geom_.blockAddr(addr), out.issueCycle);
+        return out;
+    }
+}
+
+AccessOutcome
+NonblockingCache::store(uint64_t addr, unsigned size, uint64_t now)
+{
+    expireUpTo(now);
+    ++stats_.stores;
+
+    uint64_t blk = geom_.blockAddr(addr);
+    if (tags_.lookup(addr)) {
+        // Write-through: update the line and send the data onward.
+        ++stats_.storeHits;
+        wbuf_.push(blk, now);
+        return {now, now + 1, now + 1, AccessKind::Hit, false};
+    }
+
+    ++stats_.storeMisses;
+
+    if (policy_.writeMissAllocate()) {
+        // Blocking fetch-on-write: stall for the fill, then write
+        // through it ("mc=0 +wma").
+        AccessOutcome out = blockingFill(addr, now, false);
+        wbuf_.push(blk, out.procFreeAt);
+        return out;
+    }
+
+    if (!policy_.blocking() &&
+        policy_.storeMode == StoreMode::WriteAllocate) {
+        return storeAllocate(addr, size, now);
+    }
+
+    // Write-around: the data goes straight to the next level; the
+    // cache is not filled and the processor does not stall.
+    wbuf_.push(blk, now);
+    return {now, now + 1, now + 1, AccessKind::Primary, false};
+}
+
+unsigned
+NonblockingCache::maxInflightMisses() const
+{
+    return std::max(mshrs_.maxMisses(), tracker_.misses.maxSeen());
+}
+
+} // namespace nbl::core

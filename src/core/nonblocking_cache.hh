@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Lockup-free data cache with configurable miss-handling restrictions.
+ *
+ * Implements the paper's memory-side model: a write-through,
+ * write-around (no-write-allocate) data cache in front of a fully
+ * pipelined memory, with a free write buffer. Loads that miss are
+ * classified as primary, secondary, or structural-stall misses
+ * according to the configured MshrPolicy (paper section 2):
+ *
+ *  - primary: no outstanding fetch for the block and a fetch can be
+ *    started; the miss allocates an MSHR;
+ *  - secondary: the block is already being fetched and a destination
+ *    field is available; the miss merges into the existing fetch;
+ *  - structural-stall: resources are exhausted; the processor stalls
+ *    until the blocking fetch completes, then the access retries.
+ *
+ * Blocking modes (mc=0 and mc=0 +wma) stall the processor for the full
+ * miss penalty on every load miss (and, with +wma, write miss).
+ *
+ * Timing is tracked without a global event queue: memory is fully
+ * pipelined with a constant penalty, so every fetch's completion cycle
+ * is known when it is issued and fetches complete in issue order.
+ * Completed fetches are applied lazily, in completion order, before
+ * each access.
+ */
+
+#ifndef NBL_CORE_NONBLOCKING_CACHE_HH
+#define NBL_CORE_NONBLOCKING_CACHE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "core/flight_tracker.hh"
+#include "isa/reg.hh"
+#include "core/inverted_mshr.hh"
+#include "core/mshr_file.hh"
+#include "core/policy.hh"
+#include "mem/cache_geometry.hh"
+#include "mem/main_memory.hh"
+#include "mem/tag_array.hh"
+#include "mem/write_buffer.hh"
+
+namespace nbl::core
+{
+
+/** How an access resolved (stores report Hit or Primary=missed). */
+enum class AccessKind { Hit, Primary, Secondary };
+
+/** Timing result of one cache access. */
+struct AccessOutcome
+{
+    /** Cycle the access actually performed (> request on a
+     *  structural stall). */
+    uint64_t issueCycle;
+    /** Loads: cycle the destination register becomes valid. */
+    uint64_t dataReady;
+    /** Earliest cycle the processor may issue the next instruction
+     *  (> issueCycle + 1 only for blocking modes). */
+    uint64_t procFreeAt;
+    AccessKind kind;
+    /** The access experienced a structural-hazard stall. */
+    bool structStalled;
+};
+
+/** Aggregate counters kept by the cache. */
+struct CacheStats
+{
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t loadHits = 0;
+    uint64_t storeHits = 0;
+    uint64_t primaryMisses = 0;     ///< Load primary misses.
+    uint64_t secondaryMisses = 0;   ///< Load secondary misses.
+    uint64_t structStallMisses = 0; ///< Loads that structurally stalled.
+    uint64_t structStallCycles = 0;
+    uint64_t storeMisses = 0;
+    /** Write-allocate stores merged into / starting fetches. */
+    uint64_t storePrimaryMisses = 0;
+    uint64_t storeSecondaryMisses = 0;
+    uint64_t storeStructStalls = 0;
+    uint64_t fetches = 0;           ///< Line fetches issued to memory.
+    uint64_t evictions = 0;
+
+    /** Primary + secondary load miss rate (per load). */
+    double
+    loadMissRate() const
+    {
+        return loads ? double(primaryMisses + secondaryMisses) /
+                           double(loads)
+                     : 0.0;
+    }
+
+    double
+    secondaryMissRate() const
+    {
+        return loads ? double(secondaryMisses) / double(loads) : 0.0;
+    }
+};
+
+/** The lockup-free data cache. */
+class NonblockingCache
+{
+  public:
+    /**
+     * @param geom Cache geometry.
+     * @param policy Miss-handling restrictions.
+     * @param memory Main-memory timing model.
+     * @param fill_write_ports Register-file write ports available to
+     *        a returning fill: the paper's baseline fills all waiting
+     *        destinations simultaneously (0 = unlimited, section
+     *        3.1); a finite value staggers destinations by
+     *        1/ports cycles each (the section-6 correction).
+     */
+    NonblockingCache(const mem::CacheGeometry &geom,
+                     const MshrPolicy &policy,
+                     const mem::MainMemory &memory,
+                     unsigned fill_write_ports = 0);
+
+    /**
+     * Perform a load at cycle now.
+     * @param addr Virtual = physical address of the access.
+     * @param size Access size in bytes.
+     * @param now Cycle the processor presents the access.
+     * @param dest_linear Linear destination-register number.
+     */
+    AccessOutcome load(uint64_t addr, unsigned size, uint64_t now,
+                       unsigned dest_linear);
+
+    /** Perform a store at cycle now (write-through, write-around). */
+    AccessOutcome store(uint64_t addr, unsigned size, uint64_t now);
+
+    /** Apply every fill that has completed by cycle now. */
+    void expireUpTo(uint64_t now);
+
+    /**
+     * Drain all outstanding fetches (end of run).
+     * @return the completion cycle of the last fetch, or 0 if none.
+     */
+    uint64_t drainAll();
+
+    /** Finish the in-flight histograms; call after drainAll(). */
+    void finalizeTracker(uint64_t end_cycle) { tracker_.finalize(end_cycle); }
+
+    const CacheStats &stats() const { return stats_; }
+    const FlightTracker &tracker() const { return tracker_; }
+    const mem::TagArray &tags() const { return tags_; }
+    const MshrPolicy &policy() const { return policy_; }
+    const mem::CacheGeometry &geometry() const { return geom_; }
+    const mem::WriteBuffer &writeBuffer() const { return wbuf_; }
+
+    /** Peak in-flight misses/fetches over the run. */
+    unsigned maxInflightMisses() const;
+    unsigned maxInflightFetches() const { return mshrs_.maxFetches(); }
+
+    /** Miss penalty in cycles for this cache's line size. */
+    unsigned
+    missPenalty() const
+    {
+        return memory_.penalty(geom_.lineBytes());
+    }
+
+  private:
+    AccessOutcome blockingLoad(uint64_t addr, uint64_t now);
+    AccessOutcome blockingFill(uint64_t addr, uint64_t now, bool is_load);
+
+    /**
+     * The shared miss path: classify the access as secondary /
+     * primary / structural-stall against the MSHR resources, merge or
+     * start the fetch, and return the outcome. Used by loads and by
+     * write-allocate store misses (is_store selects the counters).
+     */
+    AccessOutcome missPath(uint64_t addr, unsigned size, uint64_t t,
+                           unsigned dest_linear, bool is_store,
+                           bool stalled);
+
+    /** Non-blocking write-allocate store miss (StoreMode::WriteAllocate). */
+    AccessOutcome storeAllocate(uint64_t addr, unsigned size,
+                                uint64_t now);
+
+    /** Data-ready time of the k-th destination of a fill. */
+    uint64_t
+    destReadyAt(uint64_t complete, unsigned k) const
+    {
+        if (fill_write_ports_ == 0)
+            return complete;
+        return complete + k / fill_write_ports_;
+    }
+
+    /** Account a structural stall from *t until `until`; retries. */
+    void structStall(uint64_t &t, uint64_t until, bool &stalled);
+
+    mem::CacheGeometry geom_;
+    MshrPolicy policy_;
+    mem::MainMemory memory_;
+    mem::TagArray tags_;
+    MshrFile mshrs_;
+    std::unique_ptr<InvertedMshr> inverted_;
+    mem::WriteBuffer wbuf_;
+    FlightTracker tracker_;
+    CacheStats stats_;
+    uint64_t last_drain_cycle_ = 0;
+    unsigned fill_write_ports_;
+    /** Write-allocate stores: cycle each write-buffer destination
+     *  entry frees (its fetch's fill time). */
+    std::array<uint64_t, isa::numWriteBufferDests> wb_dest_free_{};
+};
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_NONBLOCKING_CACHE_HH

@@ -1,0 +1,105 @@
+#include "core/policy.hh"
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+const char *
+configLabel(ConfigName name)
+{
+    switch (name) {
+      case ConfigName::Mc0Wma: return "mc=0 +wma";
+      case ConfigName::Mc0: return "mc=0";
+      case ConfigName::Mc1: return "mc=1";
+      case ConfigName::Mc2: return "mc=2";
+      case ConfigName::Fc1: return "fc=1";
+      case ConfigName::Fc2: return "fc=2";
+      case ConfigName::Fs1: return "fs=1";
+      case ConfigName::Fs2: return "fs=2";
+      case ConfigName::InCache: return "in-cache";
+      case ConfigName::NoRestrict: return "no restrict";
+    }
+    panic("bad ConfigName");
+}
+
+MshrPolicy
+makePolicy(ConfigName name)
+{
+    MshrPolicy p;
+    p.label = configLabel(name);
+    switch (name) {
+      case ConfigName::Mc0Wma:
+        p.mode = CacheMode::BlockingWMA;
+        p.numMshrs = 0;
+        break;
+      case ConfigName::Mc0:
+        p.mode = CacheMode::Blocking;
+        p.numMshrs = 0;
+        break;
+      case ConfigName::Mc1:
+        // One single-destination MSHR: any second miss (even to the
+        // block being fetched) stalls -- hit under miss.
+        p.maxMisses = 1;
+        p.missesPerSubBlock = -1;
+        break;
+      case ConfigName::Mc2:
+        // Two single-destination MSHRs: two misses in flight, one or
+        // both of which can be primary (paper section 4).
+        p.maxMisses = 2;
+        p.missesPerSubBlock = -1;
+        break;
+      case ConfigName::Fc1:
+        p.numMshrs = 1;
+        p.subBlocks = 1;
+        p.missesPerSubBlock = -1;
+        break;
+      case ConfigName::Fc2:
+        p.numMshrs = 2;
+        p.subBlocks = 1;
+        p.missesPerSubBlock = -1;
+        break;
+      case ConfigName::Fs1:
+        p.numMshrs = -1;
+        p.missesPerSubBlock = -1;
+        p.fetchesPerSet = 1;
+        break;
+      case ConfigName::Fs2:
+        p.numMshrs = -1;
+        p.missesPerSubBlock = -1;
+        p.fetchesPerSet = 2;
+        break;
+      case ConfigName::InCache:
+        p.numMshrs = -1;
+        p.missesPerSubBlock = -1;
+        p.fetchesPerSet = 1;          // one way in the baseline cache
+        p.fetchesPerSetTracksWays = true;
+        // Reading the in-line MSHR information back through an
+        // 8-byte cache port when the fill arrives (section 2.3).
+        p.fillExtraCycles = 3;
+        break;
+      case ConfigName::NoRestrict:
+        p.mode = CacheMode::Inverted;
+        p.numMshrs = -1;
+        p.missesPerSubBlock = -1;
+        break;
+    }
+    return p;
+}
+
+MshrPolicy
+makeFieldPolicy(int sub_blocks, int misses_per_sub)
+{
+    MshrPolicy p;
+    p.numMshrs = -1;
+    p.subBlocks = sub_blocks;
+    p.missesPerSubBlock = misses_per_sub;
+    if (misses_per_sub < 0) {
+        p.label = "unlimited fields";
+    } else {
+        p.label = strfmt("sb=%d mps=%d", sub_blocks, misses_per_sub);
+    }
+    return p;
+}
+
+} // namespace nbl::core

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Miss-handling policy vocabulary.
+ *
+ * An MshrPolicy captures every restriction the paper studies on
+ * in-flight misses:
+ *
+ *  - mode: blocking cache (with or without write-miss-allocate),
+ *    conventional MSHR file, or inverted MSHR;
+ *  - numMshrs: the number of MSHRs == the maximum number of in-flight
+ *    fetches ("fc=" curves; "mc=" curves are N MSHRs with one
+ *    destination field each);
+ *  - subBlocks / missesPerSubBlock: the per-MSHR destination-field
+ *    organization of Figure 14 (implicit = N sub-blocks x 1 miss,
+ *    explicit = 1 sub-block x K misses, hybrid = S x K);
+ *  - fetchesPerSet: the in-cache MSHR-storage restriction of Figure 15
+ *    ("fs=" curves).
+ *
+ * Named configurations replicate the labels used throughout the paper's
+ * figures.
+ */
+
+#ifndef NBL_CORE_POLICY_HH
+#define NBL_CORE_POLICY_HH
+
+#include <string>
+
+namespace nbl::core
+{
+
+/** Overall cache operating mode. */
+enum class CacheMode
+{
+    Blocking,     ///< "mc=0": lockup cache; write-around stores free.
+    BlockingWMA,  ///< "mc=0 +wma": lockup + write-miss-allocate stalls.
+    MshrFile,     ///< Conventional MSHRs with the limits below.
+    Inverted,     ///< Inverted MSHR: limited only by destinations.
+};
+
+/**
+ * How stores that miss are handled (paper section 1 describes both
+ * common non-blocking store methods).
+ */
+enum class StoreMode
+{
+    /** Write-around / no-write-allocate: the data goes straight to
+     *  the next level; the cache is not filled (the baseline). */
+    WriteAround,
+    /**
+     * Buffered write-allocate: the data waits in a write-buffer entry
+     * while the line is fetched through the normal miss-handling
+     * machinery. Store misses then consume MSHR resources, and the
+     * write-buffer entries become destinations of fetch data (the
+     * inverted MSHR's extra entries).
+     */
+    WriteAllocate,
+};
+
+/** Restrictions on in-flight misses; see file comment. */
+struct MshrPolicy
+{
+    CacheMode mode = CacheMode::MshrFile;
+
+    /** Max in-flight fetches (number of MSHRs); -1 = unlimited. */
+    int numMshrs = -1;
+
+    /**
+     * Max in-flight misses (primary + secondary) to the cache as a
+     * whole; -1 = unlimited. This models the "mc=" configurations: N
+     * MSHRs with one destination field each can track N misses spread
+     * over up to N distinct blocks (two single-field MSHRs may hold
+     * the same block address, sharing one fetch).
+     */
+    int maxMisses = -1;
+
+    /**
+     * Destination-field organization within one MSHR: the line is
+     * divided into subBlocks positional groups, each able to track
+     * missesPerSubBlock misses (-1 = unlimited). subBlocks = 1 with a
+     * finite missesPerSubBlock models a purely explicitly addressed
+     * MSHR; missesPerSubBlock = 1 with several subBlocks models a
+     * purely implicitly addressed MSHR.
+     */
+    int subBlocks = 1;
+    int missesPerSubBlock = -1;
+
+    /** Max in-flight fetches per cache set; -1 = unlimited. */
+    int fetchesPerSet = -1;
+
+    /**
+     * In-cache MSHR storage stores the pending-miss information in
+     * the waiting line itself, so the per-set fetch capacity equals
+     * the associativity ("by implementing the in-cache MSHR storage
+     * method in a set-associative cache, more than one fetch per set
+     * could be in progress", section 4.2). When set, the cache
+     * overrides fetchesPerSet with its number of ways (unlimited for
+     * a fully associative cache).
+     */
+    bool fetchesPerSetTracksWays = false;
+
+    /** Store handling (non-blocking modes only; the BlockingWMA mode
+     *  implies fetch-on-write with a full stall). */
+    StoreMode storeMode = StoreMode::WriteAround;
+
+    /**
+     * Extra cycles added to every fill, e.g. for reading in-cache
+     * MSHR information through a narrow cache port (section 2.3) --
+     * pair with fetchesPerSet = 1 to model in-cache MSHR storage with
+     * its read-bandwidth cost.
+     */
+    unsigned fillExtraCycles = 0;
+
+    /** Figure label, e.g. "mc=1" or "no restrict". */
+    std::string label;
+
+    bool
+    blocking() const
+    {
+        return mode == CacheMode::Blocking || mode == CacheMode::BlockingWMA;
+    }
+
+    bool
+    writeMissAllocate() const
+    {
+        return mode == CacheMode::BlockingWMA;
+    }
+};
+
+/** The named configurations used by the paper's figures. */
+enum class ConfigName
+{
+    Mc0Wma,     ///< lockup, write-miss-allocate
+    Mc0,        ///< lockup
+    Mc1,        ///< hit under miss: 1 MSHR x 1 destination field
+    Mc2,        ///< 2 MSHRs x 1 destination field
+    Fc1,        ///< 1 MSHR, unlimited destination fields
+    Fc2,        ///< 2 MSHRs, unlimited destination fields
+    Fs1,        ///< unlimited MSHRs, 1 fetch per cache set
+    Fs2,        ///< unlimited MSHRs, 2 fetches per set
+    /**
+     * In-cache MSHR storage (section 2.3): the pending line itself
+     * holds the MSHR information (one transit bit per line). One
+     * fetch per set as with Fs1, plus extra fill cycles for reading
+     * the MSHR information back through the cache port.
+     */
+    InCache,
+    NoRestrict, ///< inverted MSHR, no restrictions
+};
+
+/** Build the policy for a named configuration. */
+MshrPolicy makePolicy(ConfigName name);
+
+/** Figure label for a named configuration (e.g. "mc=0 +wma"). */
+const char *configLabel(ConfigName name);
+
+/**
+ * Build a Figure-14 style policy: unlimited MSHRs, each organized as
+ * sub_blocks x misses_per_sub destination fields (-1 = unlimited).
+ */
+MshrPolicy makeFieldPolicy(int sub_blocks, int misses_per_sub);
+
+/** The seven configurations plotted in the baseline MCPI figures. */
+inline constexpr ConfigName baselineConfigs[] = {
+    ConfigName::Mc0Wma, ConfigName::Mc0, ConfigName::Mc1,
+    ConfigName::Mc2, ConfigName::Fc1, ConfigName::Fc2,
+    ConfigName::NoRestrict,
+};
+
+/** The six configurations tabulated in Figure 13. */
+inline constexpr ConfigName fig13Configs[] = {
+    ConfigName::Mc0, ConfigName::Mc1, ConfigName::Mc2,
+    ConfigName::Fc1, ConfigName::Fc2, ConfigName::NoRestrict,
+};
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_POLICY_HH

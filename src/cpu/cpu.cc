@@ -1,0 +1,128 @@
+#include "cpu/cpu.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace nbl::cpu
+{
+
+Cpu::Cpu(core::NonblockingCache *cache, unsigned issue_width,
+         bool perfect)
+    : cache_(cache), issue_width_(issue_width), perfect_(perfect)
+{
+    if (issue_width_ < 1 || issue_width_ > 4)
+        fatal("issue width must be between 1 and 4");
+    if (!perfect_ && !cache_)
+        fatal("non-perfect CPU requires a data cache");
+}
+
+void
+Cpu::advanceTo(uint64_t c)
+{
+    if (c == cycle_)
+        return;
+    if (c < cycle_)
+        panic("CPU time moved backwards");
+    cycle_ = c;
+    slots_used_ = 0;
+    mem_used_ = false;
+    written_mask_ = 0;
+}
+
+bool
+Cpu::writtenThisCycle(isa::RegId reg) const
+{
+    return (written_mask_ >> reg.destLinear()) & 1;
+}
+
+void
+Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
+{
+    if (finished_)
+        panic("instruction after finish()");
+
+    ++stats_.instructions;
+    if (in.isLoad())
+        ++stats_.loads;
+    else if (in.isStore())
+        ++stats_.stores;
+    else if (in.isBranch())
+        ++stats_.branches;
+
+    // An issue slot must be free.
+    if (slots_used_ >= issue_width_)
+        advanceTo(cycle_ + 1);
+
+    // True-data-dependency interlock: all sources (and, for loads, the
+    // destination -- the WAW interlock) must be valid.
+    uint64_t earliest = cycle_;
+    unsigned ns = in.numSrcs();
+    if (ns >= 1)
+        earliest = std::max(earliest, sb_.readyAt(in.src1));
+    if (ns >= 2)
+        earliest = std::max(earliest, sb_.readyAt(in.src2));
+    if (in.isLoad())
+        earliest = std::max(earliest, sb_.readyAt(in.dst));
+    if (earliest > cycle_) {
+        stats_.depStallCycles += earliest - cycle_;
+        advanceTo(earliest);
+    }
+
+    // Dual-issue pairing constraints within the current cycle: at most
+    // one memory op, and no intra-cycle register dependence.
+    if (slots_used_ > 0) {
+        bool conflict = (in.isMem() && mem_used_) ||
+                        (ns >= 1 && writtenThisCycle(in.src1)) ||
+                        (ns >= 2 && writtenThisCycle(in.src2)) ||
+                        (in.hasDst() && writtenThisCycle(in.dst));
+        if (conflict) {
+            stats_.pairLostSlots += issue_width_ - slots_used_;
+            advanceTo(cycle_ + 1);
+        }
+    }
+
+    auto mark_issued = [&] {
+        ++slots_used_;
+        if (in.isMem())
+            mem_used_ = true;
+        if (in.hasDst())
+            written_mask_ |= uint64_t{1} << in.dst.destLinear();
+    };
+
+    if (in.isMem() && !perfect_) {
+        core::AccessOutcome out =
+            in.isLoad()
+                ? cache_->load(eff_addr, in.size, cycle_,
+                               in.dst.destLinear())
+                : cache_->store(eff_addr, in.size, cycle_);
+        if (out.issueCycle > cycle_) {
+            stats_.structStallCycles += out.issueCycle - cycle_;
+            advanceTo(out.issueCycle);
+        }
+        if (in.isLoad())
+            sb_.setReady(in.dst, out.dataReady);
+        mark_issued();
+        if (out.procFreeAt > cycle_ + 1) {
+            // Lockup cache: the processor is stalled for the rest of
+            // the miss service.
+            stats_.blockStallCycles += out.procFreeAt - (cycle_ + 1);
+            advanceTo(out.procFreeAt);
+        }
+    } else {
+        if (in.hasDst())
+            sb_.setReady(in.dst, cycle_ + 1);
+        mark_issued();
+    }
+}
+
+void
+Cpu::finish()
+{
+    if (finished_)
+        return;
+    stats_.cycles = cycle_ + (slots_used_ > 0 ? 1 : 0);
+    finished_ = true;
+}
+
+} // namespace nbl::cpu

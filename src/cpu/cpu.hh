@@ -1,0 +1,94 @@
+/**
+ * @file
+ * In-order CPU timing model (paper section 3.1).
+ *
+ * Single-cycle instruction latencies, perfect branch prediction, no
+ * branch delay slots, instruction fetch always hits: the only stalls
+ * are (a) using a register before a pending load fills it and (b)
+ * miss-handling structural hazards reported by the data cache.
+ *
+ * The model is execution-driven: the interpreter (src/exec) feeds one
+ * dynamic instruction at a time together with its effective address;
+ * the Cpu advances its cycle counter and the register scoreboard.
+ *
+ * A multi-issue variant (issue width 2..4) supports the Figure 19
+ * scaling study and its superscalar generalization (section 6): up to
+ * `width` instructions issue per cycle, later slots must be
+ * independent of earlier ones in the same cycle, and only one memory
+ * operation may issue per cycle. A "perfect cache" mode treats every
+ * access as a hit and yields the ideal cycle count used to compute
+ * multi-issue MCPI and IPC.
+ */
+
+#ifndef NBL_CPU_CPU_HH
+#define NBL_CPU_CPU_HH
+
+#include <cstdint>
+
+#include "cpu/scoreboard.hh"
+#include "cpu/stats.hh"
+#include "core/nonblocking_cache.hh"
+#include "isa/instr.hh"
+
+namespace nbl::cpu
+{
+
+/** Execution-driven in-order timing model. */
+class Cpu
+{
+  public:
+    /**
+     * @param cache Data cache; may be nullptr only in perfect mode.
+     * @param issue_width 1 (baseline) to 4 (superscalar scaling).
+     * @param perfect Treat all data accesses as cache hits.
+     */
+    explicit Cpu(core::NonblockingCache *cache, unsigned issue_width = 1,
+                 bool perfect = false);
+
+    /**
+     * Account one dynamic instruction.
+     * @param in The instruction.
+     * @param eff_addr Effective address for memory operations.
+     */
+    void onInstr(const isa::Instr &in, uint64_t eff_addr);
+
+    /** Close out the run; stats().cycles becomes valid. */
+    void finish();
+
+    const CpuStats &stats() const { return stats_; }
+    uint64_t cycle() const { return cycle_; }
+
+    /** Instructions per cycle (valid after finish()). */
+    double
+    ipc() const
+    {
+        return stats_.cycles
+                   ? double(stats_.instructions) / double(stats_.cycles)
+                   : 0.0;
+    }
+
+  private:
+    /** Move to cycle c, clearing the per-cycle issue state. */
+    void advanceTo(uint64_t c);
+
+    /** True if reg was written by an instruction in this cycle. */
+    bool writtenThisCycle(isa::RegId reg) const;
+
+    core::NonblockingCache *cache_;
+    unsigned issue_width_;
+    bool perfect_;
+
+    Scoreboard sb_;
+    CpuStats stats_;
+
+    uint64_t cycle_ = 0;        ///< Cycle currently being filled.
+    unsigned slots_used_ = 0;   ///< Instructions issued this cycle.
+    bool mem_used_ = false;     ///< A memory op issued this cycle.
+    /** Dests written this cycle (bitmap over destLinear numbers). */
+    uint64_t written_mask_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace nbl::cpu
+
+#endif // NBL_CPU_CPU_HH

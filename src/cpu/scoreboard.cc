@@ -1,0 +1,3 @@
+#include "cpu/scoreboard.hh"
+
+// Scoreboard is header-only; this translation unit anchors it.

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Register scoreboard: tracks the cycle at which each architectural
+ * register's value becomes available.
+ *
+ * The paper's processor stalls when an instruction uses the target
+ * register of a load before the register is filled; the scoreboard is
+ * the mechanism that detects this (the simulator's "scoreboard
+ * procedure" of section 3.2).
+ */
+
+#ifndef NBL_CPU_SCOREBOARD_HH
+#define NBL_CPU_SCOREBOARD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/reg.hh"
+
+namespace nbl::cpu
+{
+
+/** Per-register ready cycles; integer r0 is always ready. */
+class Scoreboard
+{
+  public:
+    Scoreboard() { reset(); }
+
+    void
+    reset()
+    {
+        ready_.fill(0);
+    }
+
+    /** Cycle at which reg's value is available (0 = since reset). */
+    uint64_t
+    readyAt(isa::RegId reg) const
+    {
+        return ready_[reg.destLinear()];
+    }
+
+    /** Record that reg's value becomes available at cycle. */
+    void
+    setReady(isa::RegId reg, uint64_t cycle)
+    {
+        if (reg == isa::regZero)
+            return; // r0 is hard-wired.
+        ready_[reg.destLinear()] = cycle;
+    }
+
+    /** True if reg is still waiting at cycle now. */
+    bool
+    pending(isa::RegId reg, uint64_t now) const
+    {
+        return readyAt(reg) > now;
+    }
+
+  private:
+    std::array<uint64_t, isa::numIntRegs + isa::numFpRegs> ready_;
+};
+
+} // namespace nbl::cpu
+
+#endif // NBL_CPU_SCOREBOARD_HH

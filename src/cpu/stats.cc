@@ -1,0 +1,23 @@
+#include "cpu/stats.hh"
+
+#include "util/log.hh"
+
+namespace nbl::cpu
+{
+
+std::string
+CpuStats::str() const
+{
+    return strfmt(
+        "instrs=%llu loads=%llu stores=%llu cycles=%llu "
+        "mcpi=%.4f (dep=%llu struct=%llu block=%llu)",
+        static_cast<unsigned long long>(instructions),
+        static_cast<unsigned long long>(loads),
+        static_cast<unsigned long long>(stores),
+        static_cast<unsigned long long>(cycles), mcpi(),
+        static_cast<unsigned long long>(depStallCycles),
+        static_cast<unsigned long long>(structStallCycles),
+        static_cast<unsigned long long>(blockStallCycles));
+}
+
+} // namespace nbl::cpu

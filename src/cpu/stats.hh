@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Execution statistics kept by the CPU timing model.
+ *
+ * The central metric is MCPI, miss (stall) cycles per instruction
+ * (paper section 3.1): the model is built so the only stalls are those
+ * attributable to data-cache misses, so
+ * MCPI = (total cycles - ideal cycles) / instructions. On the
+ * single-issue model the ideal cycle count is exactly the instruction
+ * count and the stall categories below account for the difference
+ * cycle-for-cycle.
+ */
+
+#ifndef NBL_CPU_STATS_HH
+#define NBL_CPU_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nbl::cpu
+{
+
+/** Counters for one simulated run. */
+struct CpuStats
+{
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+
+    /** Final cycle count, valid after Cpu::finish(). */
+    uint64_t cycles = 0;
+
+    /** Stalls from using a register before its load completed. */
+    uint64_t depStallCycles = 0;
+    /** Stalls from exhausted miss-handling resources. */
+    uint64_t structStallCycles = 0;
+    /** Lockup-cache stalls (the whole miss penalty, mc=0 modes). */
+    uint64_t blockStallCycles = 0;
+    /**
+     * Dual-issue pairing cycles: second slot unusable for non-miss
+     * reasons (dependence within the pair, two memory ops). Zero on
+     * the single-issue model.
+     */
+    uint64_t pairLostSlots = 0;
+
+    uint64_t
+    missStallCycles() const
+    {
+        return depStallCycles + structStallCycles + blockStallCycles;
+    }
+
+    /** Miss CPI on the single-issue model. */
+    double
+    mcpi() const
+    {
+        return instructions
+                   ? double(missStallCycles()) / double(instructions)
+                   : 0.0;
+    }
+
+    /** Fraction of miss stall cycles due to structural hazards. */
+    double
+    structuralFraction() const
+    {
+        uint64_t total = missStallCycles();
+        return total ? double(structStallCycles) / double(total) : 0.0;
+    }
+
+    std::string str() const;
+};
+
+} // namespace nbl::cpu
+
+#endif // NBL_CPU_STATS_HH

@@ -1,0 +1,165 @@
+#include "exec/interpreter.hh"
+
+#include <bit>
+
+#include "util/log.hh"
+
+namespace nbl::exec
+{
+
+using isa::Op;
+using isa::RegClass;
+using isa::RegId;
+
+Interpreter::Interpreter(const isa::Program &program,
+                         mem::SparseMemory &memory)
+    : program_(program), mem_(memory)
+{
+}
+
+uint64_t
+Interpreter::readReg(RegId r) const
+{
+    if (r.cls == RegClass::Int)
+        return r.idx == 0 ? 0 : iregs_[r.idx];
+    return fregs_[r.idx];
+}
+
+void
+Interpreter::writeReg(RegId r, uint64_t v)
+{
+    if (r.cls == RegClass::Int) {
+        if (r.idx != 0)
+            iregs_[r.idx] = v;
+    } else {
+        fregs_[r.idx] = v;
+    }
+}
+
+double
+Interpreter::fpReg(unsigned idx) const
+{
+    return std::bit_cast<double>(fregs_[idx]);
+}
+
+void
+Interpreter::setIntReg(unsigned idx, uint64_t v)
+{
+    if (idx != 0)
+        iregs_[idx] = v;
+}
+
+StepResult
+Interpreter::step(size_t pc)
+{
+    const isa::Instr &in = program_.at(pc);
+    StepResult res;
+    res.nextPc = pc + 1;
+
+    auto fbin = [&](auto fn) {
+        double a = std::bit_cast<double>(readReg(in.src1));
+        double b = std::bit_cast<double>(readReg(in.src2));
+        writeReg(in.dst, std::bit_cast<uint64_t>(fn(a, b)));
+    };
+    auto s64 = [](uint64_t v) { return static_cast<int64_t>(v); };
+
+    switch (in.op) {
+      case Op::Nop:
+        break;
+      case Op::Add:
+        writeReg(in.dst, readReg(in.src1) + readReg(in.src2));
+        break;
+      case Op::Sub:
+        writeReg(in.dst, readReg(in.src1) - readReg(in.src2));
+        break;
+      case Op::Mul:
+        writeReg(in.dst, readReg(in.src1) * readReg(in.src2));
+        break;
+      case Op::And:
+        writeReg(in.dst, readReg(in.src1) & readReg(in.src2));
+        break;
+      case Op::Or:
+        writeReg(in.dst, readReg(in.src1) | readReg(in.src2));
+        break;
+      case Op::Xor:
+        writeReg(in.dst, readReg(in.src1) ^ readReg(in.src2));
+        break;
+      case Op::Shl:
+        writeReg(in.dst, readReg(in.src1) << (readReg(in.src2) & 63));
+        break;
+      case Op::Shr:
+        writeReg(in.dst, readReg(in.src1) >> (readReg(in.src2) & 63));
+        break;
+      case Op::AddI:
+        writeReg(in.dst, readReg(in.src1) + uint64_t(in.imm));
+        break;
+      case Op::MulI:
+        writeReg(in.dst, readReg(in.src1) * uint64_t(in.imm));
+        break;
+      case Op::AndI:
+        writeReg(in.dst, readReg(in.src1) & uint64_t(in.imm));
+        break;
+      case Op::ShlI:
+        writeReg(in.dst, readReg(in.src1) << (in.imm & 63));
+        break;
+      case Op::ShrI:
+        writeReg(in.dst, readReg(in.src1) >> (in.imm & 63));
+        break;
+      case Op::LImm:
+        writeReg(in.dst, uint64_t(in.imm));
+        break;
+      case Op::FAdd:
+        fbin([](double a, double b) { return a + b; });
+        break;
+      case Op::FSub:
+        fbin([](double a, double b) { return a - b; });
+        break;
+      case Op::FMul:
+        fbin([](double a, double b) { return a * b; });
+        break;
+      case Op::FDiv:
+        fbin([](double a, double b) { return b == 0.0 ? 0.0 : a / b; });
+        break;
+      case Op::MovIF:
+      case Op::MovFI:
+        writeReg(in.dst, readReg(in.src1));
+        break;
+      case Op::Ld:
+      case Op::Fld:
+        res.effAddr = readReg(in.src1) + uint64_t(in.imm);
+        writeReg(in.dst, mem_.read(res.effAddr, in.size));
+        break;
+      case Op::St:
+      case Op::Fst:
+        res.effAddr = readReg(in.src1) + uint64_t(in.imm);
+        mem_.write(res.effAddr, in.size, readReg(in.src2));
+        break;
+      case Op::BEq:
+        if (readReg(in.src1) == readReg(in.src2))
+            res.nextPc = size_t(in.imm);
+        break;
+      case Op::BNe:
+        if (readReg(in.src1) != readReg(in.src2))
+            res.nextPc = size_t(in.imm);
+        break;
+      case Op::BLt:
+        if (s64(readReg(in.src1)) < s64(readReg(in.src2)))
+            res.nextPc = size_t(in.imm);
+        break;
+      case Op::BGe:
+        if (s64(readReg(in.src1)) >= s64(readReg(in.src2)))
+            res.nextPc = size_t(in.imm);
+        break;
+      case Op::Jmp:
+        res.nextPc = size_t(in.imm);
+        break;
+      case Op::Halt:
+        res.halted = true;
+        break;
+      default:
+        panic("unhandled opcode %u", unsigned(in.op));
+    }
+    return res;
+}
+
+} // namespace nbl::exec

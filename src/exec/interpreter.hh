@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Functional interpreter for the mini RISC ISA.
+ *
+ * Holds the architectural state (register values and the sparse data
+ * memory) and executes one instruction at a time, producing the
+ * effective address of memory operations and the next PC. The timing
+ * model (cpu::Cpu) consumes this dynamic stream in lockstep, mirroring
+ * the paper's execution-driven instrumentation methodology (section
+ * 3.2): functional behaviour and memory behaviour are both simulated.
+ */
+
+#ifndef NBL_EXEC_INTERPRETER_HH
+#define NBL_EXEC_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nbl::exec
+{
+
+/** Result of executing one instruction functionally. */
+struct StepResult
+{
+    uint64_t effAddr = 0;  ///< Effective address (memory ops only).
+    size_t nextPc = 0;
+    bool halted = false;
+};
+
+/** Architectural state + single-step execution. */
+class Interpreter
+{
+  public:
+    Interpreter(const isa::Program &program, mem::SparseMemory &memory);
+
+    /** Execute the instruction at pc; returns address/next-pc/halt. */
+    StepResult step(size_t pc);
+
+    uint64_t intReg(unsigned idx) const { return iregs_[idx]; }
+    double fpReg(unsigned idx) const;
+    uint64_t fpRegBits(unsigned idx) const { return fregs_[idx]; }
+
+    void setIntReg(unsigned idx, uint64_t v);
+    void setFpRegBits(unsigned idx, uint64_t v) { fregs_[idx] = v; }
+
+  private:
+    uint64_t readReg(isa::RegId r) const;
+    void writeReg(isa::RegId r, uint64_t v);
+
+    const isa::Program &program_;
+    mem::SparseMemory &mem_;
+    std::array<uint64_t, isa::numIntRegs> iregs_{};
+    std::array<uint64_t, isa::numFpRegs> fregs_{};
+};
+
+} // namespace nbl::exec
+
+#endif // NBL_EXEC_INTERPRETER_HH

@@ -1,0 +1,64 @@
+#include "exec/machine.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "cpu/cpu.hh"
+#include "exec/interpreter.hh"
+#include "util/log.hh"
+
+namespace nbl::exec
+{
+
+RunOutput
+run(const isa::Program &program, mem::SparseMemory &data,
+    const MachineConfig &config)
+{
+    program.validate();
+
+    std::unique_ptr<core::NonblockingCache> cache;
+    if (!config.perfectCache) {
+        cache = std::make_unique<core::NonblockingCache>(
+            config.geometry, config.policy, config.memory,
+            config.fillWritePorts);
+    }
+    cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
+    Interpreter interp(program, data);
+
+    RunOutput out;
+    size_t pc = 0;
+    uint64_t executed = 0;
+    while (true) {
+        if (executed >= config.maxInstructions) {
+            out.hitInstructionCap = true;
+            warn("program %s hit the %llu-instruction cap",
+                 program.name().c_str(),
+                 static_cast<unsigned long long>(config.maxInstructions));
+            break;
+        }
+        const isa::Instr &in = program.at(pc);
+        StepResult step = interp.step(pc);
+        cpu.onInstr(in, step.effAddr);
+        ++executed;
+        if (step.halted)
+            break;
+        pc = step.nextPc;
+    }
+
+    cpu.finish();
+    out.cpu = cpu.stats();
+
+    if (cache) {
+        uint64_t last_fill = cache->drainAll();
+        uint64_t end = std::max<uint64_t>(out.cpu.cycles, last_fill);
+        cache->finalizeTracker(end);
+        out.cache = cache->stats();
+        out.tracker = cache->tracker();
+        out.maxInflightMisses = cache->maxInflightMisses();
+        out.maxInflightFetches = cache->maxInflightFetches();
+        out.missPenalty = cache->missPenalty();
+    }
+    return out;
+}
+
+} // namespace nbl::exec

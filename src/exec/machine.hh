@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine: assembles interpreter + CPU timing model + data cache and
+ * runs a program to completion. This is the library's main entry point
+ * for timing simulation.
+ */
+
+#ifndef NBL_EXEC_MACHINE_HH
+#define NBL_EXEC_MACHINE_HH
+
+#include <cstdint>
+
+#include "core/flight_tracker.hh"
+#include "core/nonblocking_cache.hh"
+#include "core/policy.hh"
+#include "cpu/stats.hh"
+#include "isa/program.hh"
+#include "mem/cache_geometry.hh"
+#include "mem/main_memory.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nbl::exec
+{
+
+/** Machine configuration for one run. */
+struct MachineConfig
+{
+    mem::CacheGeometry geometry{8 * 1024, 32, 1}; ///< Baseline 8KB DM.
+    core::MshrPolicy policy;
+    mem::MainMemory memory;    ///< Default pipelined-bus latencies.
+    unsigned issueWidth = 1;
+    bool perfectCache = false; ///< All accesses hit (ideal run).
+    /** Register-file write ports serving fills; 0 = unlimited (the
+     *  paper's baseline multi-ported register file). */
+    unsigned fillWritePorts = 0;
+    uint64_t maxInstructions = 200'000'000;
+};
+
+/** Everything measured during one run. */
+struct RunOutput
+{
+    cpu::CpuStats cpu;
+    core::CacheStats cache;
+    core::FlightTracker tracker;
+    unsigned maxInflightMisses = 0;
+    unsigned maxInflightFetches = 0;
+    unsigned missPenalty = 0;
+    bool hitInstructionCap = false;
+
+    double mcpi() const { return cpu.mcpi(); }
+};
+
+/**
+ * Run program on a machine configured by config, with data as the
+ * initial architectural memory (modified in place).
+ */
+RunOutput run(const isa::Program &program, mem::SparseMemory &data,
+              const MachineConfig &config);
+
+} // namespace nbl::exec
+
+#endif // NBL_EXEC_MACHINE_HH

@@ -1,0 +1,86 @@
+#include "exec/trace.hh"
+
+#include <algorithm>
+
+#include "exec/interpreter.hh"
+#include "util/log.hh"
+
+namespace nbl::exec
+{
+
+MemTrace
+recordTrace(const isa::Program &program, mem::SparseMemory &data,
+            uint64_t max_instructions)
+{
+    program.validate();
+    Interpreter interp(program, data);
+
+    MemTrace trace;
+    size_t pc = 0;
+    uint32_t gap = 0;
+    while (trace.instructions < max_instructions) {
+        const isa::Instr &in = program.at(pc);
+        StepResult step = interp.step(pc);
+        ++trace.instructions;
+        ++gap;
+        if (in.isMem()) {
+            TraceRecord rec;
+            rec.addr = step.effAddr;
+            rec.gap = gap;
+            rec.size = in.size;
+            rec.isLoad = in.isLoad();
+            rec.destLinear =
+                in.isLoad() ? uint8_t(in.dst.destLinear()) : 0;
+            trace.records.push_back(rec);
+            gap = 0;
+        }
+        if (step.halted)
+            break;
+        pc = step.nextPc;
+    }
+    return trace;
+}
+
+ReplayResult
+replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
+            const core::MshrPolicy &policy,
+            const mem::MainMemory &memory)
+{
+    core::NonblockingCache cache(geom, policy, memory);
+
+    ReplayResult res;
+    res.instructions = trace.instructions;
+
+    // A trace carries no dataflow, so the recorded destination
+    // register may still be "waiting" from the replayer's point of
+    // view (the real CPU's WAW interlock is what prevents that).
+    // Replay is therefore destination-agnostic: destinations rotate
+    // over the register space, which can never collide because far
+    // fewer misses than registers are ever in flight.
+    unsigned rot = 0;
+    uint64_t now = 0;
+    for (const TraceRecord &rec : trace.records) {
+        now += rec.gap; // one instruction per cycle between accesses
+        core::AccessOutcome out =
+            rec.isLoad
+                ? cache.load(rec.addr, rec.size, now,
+                             rot++ % (isa::numIntRegs + isa::numFpRegs))
+                : cache.store(rec.addr, rec.size, now);
+        // Structural stalls and blocking-miss service advance the
+        // clock; dependences do not exist in a trace.
+        uint64_t stall = (out.issueCycle - now) +
+                         (out.procFreeAt - (out.issueCycle + 1));
+        res.stallCycles += stall;
+        now = out.procFreeAt - 1;
+    }
+
+    uint64_t tail = trace.instructions;
+    for (const TraceRecord &rec : trace.records)
+        tail -= rec.gap;
+    cache.drainAll();
+    res.cycles = now + 1 + tail;
+    res.cache = cache.stats();
+    return res;
+}
+
+} // namespace nbl::exec

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace-driven simulation support.
+ *
+ * The paper simulates execution-driven (section 3.2): the functional
+ * program runs in lockstep with the timing model, so the *timing* of
+ * each access reflects earlier stalls. The classic cheaper
+ * alternative is trace-driven simulation: record the memory-access
+ * stream once, then replay it through cache models.
+ *
+ * This module provides both halves and makes their relationship
+ * precise:
+ *
+ *  - for a blocking cache, replay is *exact*: the access stream and
+ *    the miss stream do not depend on timing, and each miss costs the
+ *    full penalty (property-tested);
+ *  - for a non-blocking cache, replay is an *optimistic bound*: the
+ *    replayer has no register dependences, so it only charges
+ *    structural stalls -- the gap between replayed and
+ *    execution-driven MCPI is exactly the true-data-dependency
+ *    component the paper's methodology exists to capture.
+ */
+
+#ifndef NBL_EXEC_TRACE_HH
+#define NBL_EXEC_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nonblocking_cache.hh"
+#include "isa/program.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nbl::exec
+{
+
+/** One memory reference in a recorded trace. */
+struct TraceRecord
+{
+    uint64_t addr;
+    /** Instructions (including this one) since the previous memory
+     *  reference; paces the replay clock. */
+    uint32_t gap;
+    uint8_t size;
+    bool isLoad;
+    uint8_t destLinear; ///< Destination register (loads).
+};
+
+/** A recorded memory-reference trace. */
+struct MemTrace
+{
+    std::vector<TraceRecord> records;
+    uint64_t instructions = 0; ///< Total dynamic instructions.
+
+    double
+    referencesPerInstruction() const
+    {
+        return instructions
+                   ? double(records.size()) / double(instructions)
+                   : 0.0;
+    }
+};
+
+/**
+ * Execute the program functionally and record its memory-reference
+ * stream. `data` is modified (the program runs once).
+ */
+MemTrace recordTrace(const isa::Program &program,
+                     mem::SparseMemory &data,
+                     uint64_t max_instructions = 200'000'000);
+
+/** Result of replaying a trace through a cache model. */
+struct ReplayResult
+{
+    core::CacheStats cache;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t stallCycles = 0;
+
+    /** Miss stall cycles per instruction (replay definition). */
+    double
+    mcpi() const
+    {
+        return instructions ? double(stallCycles) / double(instructions)
+                            : 0.0;
+    }
+};
+
+/**
+ * Replay a trace through a cache configuration. Issue is paced by
+ * each record's instruction gap (one instruction per cycle); blocking
+ * misses and structural stalls advance the clock, register
+ * dependences do not (there are none in a trace).
+ */
+ReplayResult replayTrace(const MemTrace &trace,
+                         const mem::CacheGeometry &geom,
+                         const core::MshrPolicy &policy,
+                         const mem::MainMemory &memory);
+
+} // namespace nbl::exec
+
+#endif // NBL_EXEC_TRACE_HH

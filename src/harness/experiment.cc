@@ -1,0 +1,91 @@
+#include "harness/experiment.hh"
+
+#include "util/log.hh"
+
+namespace nbl::harness
+{
+
+exec::MachineConfig
+makeMachineConfig(const ExperimentConfig &cfg)
+{
+    exec::MachineConfig mc;
+    mc.geometry = mem::CacheGeometry(cfg.cacheBytes, cfg.lineBytes,
+                                     cfg.ways);
+    mc.policy = cfg.customPolicy ? *cfg.customPolicy
+                                 : core::makePolicy(cfg.config);
+    mc.memory = cfg.missPenalty ? mem::MainMemory(cfg.missPenalty)
+                                : mem::MainMemory();
+    mc.issueWidth = cfg.issueWidth;
+    mc.perfectCache = cfg.perfectCache;
+    mc.fillWritePorts = cfg.fillWritePorts;
+    mc.maxInstructions = cfg.maxInstructions;
+    return mc;
+}
+
+ExperimentResult
+runExperiment(const workloads::Workload &workload,
+              const ExperimentConfig &cfg)
+{
+    compiler::CompileParams cp;
+    cp.loadLatency = cfg.loadLatency;
+    ExperimentResult res;
+    isa::Program prog = compiler::compile(workload.program, cp,
+                                          &res.compileInfo);
+    mem::SparseMemory data = workload.makeMemory();
+    res.run = exec::run(prog, data, makeMachineConfig(cfg));
+    return res;
+}
+
+const workloads::Workload &
+Lab::workload(const std::string &name)
+{
+    auto it = workloads_.find(name);
+    if (it == workloads_.end()) {
+        it = workloads_
+                 .emplace(name, workloads::makeWorkload(name, scale_))
+                 .first;
+    }
+    return it->second;
+}
+
+const Lab::Compiled &
+Lab::compiled(const std::string &name, int latency)
+{
+    auto key = std::make_pair(name, latency);
+    auto it = programs_.find(key);
+    if (it == programs_.end()) {
+        const workloads::Workload &w = workload(name);
+        compiler::CompileParams cp;
+        cp.loadLatency = latency;
+        Compiled c;
+        c.program = compiler::compile(w.program, cp, &c.info);
+        it = programs_.emplace(key, std::move(c)).first;
+    }
+    return it->second;
+}
+
+const isa::Program &
+Lab::program(const std::string &name, int latency)
+{
+    return compiled(name, latency).program;
+}
+
+compiler::CompileInfo
+Lab::compileInfo(const std::string &name, int latency)
+{
+    return compiled(name, latency).info;
+}
+
+ExperimentResult
+Lab::run(const std::string &name, const ExperimentConfig &cfg)
+{
+    const workloads::Workload &w = workload(name);
+    const Compiled &c = compiled(name, cfg.loadLatency);
+    mem::SparseMemory data = w.makeMemory();
+    ExperimentResult res;
+    res.compileInfo = c.info;
+    res.run = exec::run(c.program, data, makeMachineConfig(cfg));
+    return res;
+}
+
+} // namespace nbl::harness

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Experiment runner: one (workload, schedule, cache configuration)
+ * simulation, plus the Lab cache that reuses workloads and compiled
+ * programs across a sweep.
+ */
+
+#ifndef NBL_HARNESS_EXPERIMENT_HH
+#define NBL_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "compiler/compile.hh"
+#include "core/policy.hh"
+#include "exec/machine.hh"
+#include "workloads/workload.hh"
+
+namespace nbl::harness
+{
+
+/** The scheduled load latencies simulated by the paper. */
+inline constexpr int paperLatencies[] = {1, 2, 3, 6, 10, 20};
+
+/** One experiment's knobs (defaults = the paper's baseline system). */
+struct ExperimentConfig
+{
+    uint64_t cacheBytes = 8 * 1024;
+    uint64_t lineBytes = 32;
+    unsigned ways = 1;            ///< 0 = fully associative.
+    core::ConfigName config = core::ConfigName::NoRestrict;
+    /** Overrides `config` when set (Figure 14 field organizations). */
+    std::optional<core::MshrPolicy> customPolicy;
+    int loadLatency = 10;
+    /** 0 selects the pipelined-bus model (16 cycles at 32 B lines). */
+    unsigned missPenalty = 0;
+    unsigned issueWidth = 1;
+    bool perfectCache = false;    ///< Ideal run (IPC baseline).
+    /** Register write ports serving fills (0 = unlimited). */
+    unsigned fillWritePorts = 0;
+    uint64_t maxInstructions = 200'000'000;
+};
+
+/** Result of one experiment. */
+struct ExperimentResult
+{
+    exec::RunOutput run;
+    compiler::CompileInfo compileInfo;
+
+    /** Single-issue MCPI (stall cycles per instruction). */
+    double mcpi() const { return run.cpu.mcpi(); }
+};
+
+/** Build the machine configuration an ExperimentConfig describes. */
+exec::MachineConfig makeMachineConfig(const ExperimentConfig &cfg);
+
+/**
+ * Compile (at cfg.loadLatency) and run one workload under cfg. The
+ * memory image is rebuilt from the workload's initializer, so calls
+ * are independent.
+ */
+ExperimentResult runExperiment(const workloads::Workload &workload,
+                               const ExperimentConfig &cfg);
+
+/**
+ * Caches workloads and compiled programs so sweeps do not rebuild
+ * them for every cache configuration.
+ */
+class Lab
+{
+  public:
+    explicit Lab(double scale = 1.0) : scale_(scale) {}
+
+    const workloads::Workload &workload(const std::string &name);
+
+    /** The program compiled at the given scheduled load latency. */
+    const isa::Program &program(const std::string &name, int latency);
+
+    compiler::CompileInfo compileInfo(const std::string &name,
+                                      int latency);
+
+    /** Run a cached workload/program pair under cfg (uses
+     *  cfg.loadLatency for the schedule). */
+    ExperimentResult run(const std::string &name,
+                         const ExperimentConfig &cfg);
+
+    double scale() const { return scale_; }
+
+  private:
+    struct Compiled
+    {
+        isa::Program program;
+        compiler::CompileInfo info;
+    };
+
+    const Compiled &compiled(const std::string &name, int latency);
+
+    double scale_;
+    std::map<std::string, workloads::Workload> workloads_;
+    std::map<std::pair<std::string, int>, Compiled> programs_;
+};
+
+} // namespace nbl::harness
+
+#endif // NBL_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The paper's published numbers, for side-by-side comparison in the
+ * bench output and EXPERIMENTS.md. All values are transcribed from
+ * WRL Research Report 94/3 (Figures 4, 6, 13, 14, 18 and 19).
+ */
+
+#ifndef NBL_HARNESS_PAPER_DATA_HH
+#define NBL_HARNESS_PAPER_DATA_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nbl::harness::paper
+{
+
+/** One Figure 13 row: MCPI at load latency 10, baseline cache. */
+struct Fig13Row
+{
+    const char *name;
+    double mc0;
+    double mc1;
+    double mc2;
+    double fc1;
+    double fc2;
+    double unrestricted;
+};
+
+/** All 18 rows of Figure 13, in the paper's order. */
+const std::vector<Fig13Row> &fig13();
+
+/** Find a Figure 13 row by benchmark name. */
+std::optional<Fig13Row> fig13Row(const std::string &name);
+
+/** One Figure 14 cell: doduc, latency 10, field organization. */
+struct Fig14Cell
+{
+    int subBlocks;       ///< -1 marks the unrestricted row.
+    int missesPerSub;
+    double mcpi;
+    double ratio;
+};
+
+/** The Figure 14 grid (explicit / implicit / hybrid MSHRs). */
+const std::vector<Fig14Cell> &fig14();
+
+/** Figure 18: tomcatv MCPI vs miss penalty at load latency 10. */
+struct Fig18Row
+{
+    const char *config;  ///< Figure label, e.g. "mc=1".
+    std::array<double, 6> mcpi; ///< Penalties 4, 8, 16, 32, 64, 128.
+};
+
+inline constexpr std::array<unsigned, 6> fig18Penalties =
+    {4, 8, 16, 32, 64, 128};
+
+const std::vector<Fig18Row> &fig18();
+
+/** Figure 19: dual-issue scaling comparison. */
+struct Fig19Row
+{
+    const char *name;
+    double ipc;          ///< Dual-issue IPC (ideal cache).
+    double scaledLat;    ///< 10 * IPC.
+    double scaledPen;    ///< 16 * IPC.
+    double mc0;          ///< Measured dual-issue MCPI.
+    double mc1;
+    double fc2;
+    double unrestricted;
+};
+
+const std::vector<Fig19Row> &fig19();
+
+/** Figure 6: doduc in-flight histograms (16-cycle penalty). */
+struct Fig6Row
+{
+    int latency;
+    int pctTimeInflight;          ///< % time with > 0 misses in flight.
+    std::array<int, 7> missPct;   ///< % of that time at 1..6, 7+.
+    std::array<int, 7> fetchPct;
+    int maxMisses;
+    int maxFetches;
+};
+
+const std::vector<Fig6Row> &fig6();
+
+/** Figure 4: benchmark characteristics (references in millions). */
+struct Fig4Row
+{
+    const char *name;
+    double instrMin, instrMax;
+    int instrMinLat, instrMaxLat;
+    double loadMin, loadMax;
+    int loadMinLat, loadMaxLat;
+    double storeMin, storeMax;
+    int storeMinLat, storeMaxLat;
+};
+
+const std::vector<Fig4Row> &fig4();
+
+} // namespace nbl::harness::paper
+
+#endif // NBL_HARNESS_PAPER_DATA_HH

@@ -1,0 +1,94 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+
+#include "util/log.hh"
+#include "util/table.hh"
+
+namespace nbl::harness
+{
+
+void
+printHeader(const std::string &figure, const std::string &what,
+            const ExperimentConfig &cfg)
+{
+    std::printf("==== %s: %s ====\n", figure.c_str(), what.c_str());
+    mem::MainMemory memory = cfg.missPenalty
+                                 ? mem::MainMemory(cfg.missPenalty)
+                                 : mem::MainMemory();
+    std::printf(
+        "cache: %lluKB %s, %lluB lines, miss penalty %u cycles, "
+        "issue width %u\n",
+        static_cast<unsigned long long>(cfg.cacheBytes / 1024),
+        cfg.ways == 0 ? "fully-associative"
+                      : (cfg.ways == 1 ? "direct-mapped"
+                                       : "set-associative"),
+        static_cast<unsigned long long>(cfg.lineBytes),
+        memory.penalty(cfg.lineBytes), cfg.issueWidth);
+}
+
+void
+printConfigTable(const std::string &title,
+                 const std::vector<std::string> &config_labels,
+                 const std::vector<ConfigRow> &measured,
+                 const std::vector<ConfigRow> &reference)
+{
+    Table t(title);
+    std::vector<std::string> head = {"benchmark"};
+    for (const std::string &c : config_labels) {
+        head.push_back(c);
+        head.push_back("x");
+    }
+    t.header(std::move(head));
+
+    auto emit = [&](const ConfigRow &row, const char *tag) {
+        std::vector<std::string> cells = {row.name + std::string(tag)};
+        double base = row.mcpi.back();
+        for (double v : row.mcpi) {
+            cells.push_back(Table::num(v, 3));
+            cells.push_back(base > 0 ? Table::ratio(v / base) : "-");
+        }
+        t.row(std::move(cells));
+    };
+
+    for (size_t i = 0; i < measured.size(); ++i) {
+        emit(measured[i], "");
+        if (i < reference.size() && !reference[i].mcpi.empty())
+            emit(reference[i], " (paper)");
+    }
+    t.print();
+}
+
+void
+printFlightHistogram(const std::string &title, int latency,
+                     const core::FlightTracker &tracker,
+                     unsigned max_misses, unsigned max_fetches)
+{
+    Table t(title);
+    t.header({"lat", ">0 in-flight", "", "1", "2", "3", "4", "5", "6",
+              "7+", "max"});
+
+    auto row = [&](const core::LevelHistogram &h, const char *what,
+                   bool with_lat, unsigned max_seen) {
+        std::vector<std::string> cells;
+        cells.push_back(with_lat ? std::to_string(latency) : "");
+        cells.push_back(
+            with_lat ? strfmt("%2.0f%%", 100.0 * h.fractionAbove0())
+                     : "");
+        cells.push_back(what);
+        for (unsigned n = 1; n <= 6; ++n) {
+            cells.push_back(
+                strfmt("%2.0f", 100.0 * h.fractionOfBusyAt(n)));
+        }
+        cells.push_back(
+            strfmt("%2.0f", 100.0 * h.fractionOfBusyAtLeast(7)));
+        cells.push_back(std::to_string(max_seen));
+        t.row(std::move(cells));
+    };
+
+    row(tracker.misses, "misses", true, max_misses);
+    row(tracker.fetches, "fetches", false, max_fetches);
+    t.print();
+}
+
+} // namespace nbl::harness

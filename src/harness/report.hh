@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Report helpers shared by the bench binaries: figure-style tables
+ * with measured values alongside the paper's published numbers.
+ */
+
+#ifndef NBL_HARNESS_REPORT_HH
+#define NBL_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/flight_tracker.hh"
+#include "exec/machine.hh"
+#include "harness/sweep.hh"
+
+namespace nbl::harness
+{
+
+/** Print a standard bench header with the system configuration. */
+void printHeader(const std::string &figure, const std::string &what,
+                 const ExperimentConfig &cfg);
+
+/**
+ * Print a Figure-13 style row set: MCPI and ratio-to-unrestricted per
+ * configuration; when the paper value is known, print it next to the
+ * measured number.
+ */
+struct ConfigRow
+{
+    std::string name;                 ///< Benchmark name.
+    std::vector<double> mcpi;         ///< Per configuration.
+};
+
+void printConfigTable(const std::string &title,
+                      const std::vector<std::string> &config_labels,
+                      const std::vector<ConfigRow> &measured,
+                      const std::vector<ConfigRow> &reference);
+
+/** Print a Figure-6 style in-flight histogram table. */
+void printFlightHistogram(const std::string &title, int latency,
+                          const core::FlightTracker &tracker,
+                          unsigned max_misses, unsigned max_fetches);
+
+} // namespace nbl::harness
+
+#endif // NBL_HARNESS_REPORT_HH

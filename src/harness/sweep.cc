@@ -1,0 +1,107 @@
+#include "harness/sweep.hh"
+
+#include "util/chart.hh"
+#include "util/table.hh"
+
+namespace nbl::harness
+{
+
+std::vector<Curve>
+sweepCurves(Lab &lab, const std::string &workload, ExperimentConfig base,
+            const std::vector<core::ConfigName> &cfgs)
+{
+    std::vector<Curve> curves;
+    for (core::ConfigName cfg : cfgs) {
+        Curve c;
+        c.label = core::configLabel(cfg);
+        for (int lat : paperLatencies) {
+            ExperimentConfig e = base;
+            e.config = cfg;
+            e.customPolicy.reset();
+            e.loadLatency = lat;
+            c.latencies.push_back(lat);
+            c.results.push_back(lab.run(workload, e));
+        }
+        curves.push_back(std::move(c));
+    }
+    return curves;
+}
+
+std::vector<core::ConfigName>
+baselineConfigList()
+{
+    return {core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+            core::ConfigName::Mc1, core::ConfigName::Mc2,
+            core::ConfigName::Fc1, core::ConfigName::Fc2,
+            core::ConfigName::NoRestrict};
+}
+
+std::vector<core::ConfigName>
+perSetConfigList()
+{
+    return {core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+            core::ConfigName::Mc1, core::ConfigName::Mc2,
+            core::ConfigName::Fc1, core::ConfigName::Fc2,
+            core::ConfigName::Fs1, core::ConfigName::Fs2,
+            core::ConfigName::NoRestrict};
+}
+
+std::string
+curvesCsv(const std::vector<Curve> &curves)
+{
+    std::string out = "load_latency";
+    for (const Curve &c : curves) {
+        std::string label = c.label;
+        for (char &ch : label) {
+            if (ch == ' ' || ch == '=')
+                ch = '_';
+        }
+        out += "," + label;
+    }
+    out += "\n";
+    if (curves.empty())
+        return out;
+    for (size_t i = 0; i < curves[0].latencies.size(); ++i) {
+        out += std::to_string(curves[0].latencies[i]);
+        for (const Curve &c : curves)
+            out += "," + Table::num(c.results[i].mcpi(), 6);
+        out += "\n";
+    }
+    return out;
+}
+
+void
+plotCurves(const std::vector<Curve> &curves)
+{
+    AsciiChart chart(60, 16, "scheduled load latency", "miss CPI");
+    for (const Curve &c : curves) {
+        std::vector<std::pair<double, double>> pts;
+        for (size_t i = 0; i < c.latencies.size(); ++i)
+            pts.emplace_back(double(c.latencies[i]),
+                             c.results[i].mcpi());
+        chart.addSeries(c.label, std::move(pts));
+    }
+    chart.print();
+}
+
+void
+printCurves(const std::string &title, const std::vector<Curve> &curves)
+{
+    Table t(title);
+    std::vector<std::string> head = {"load latency"};
+    for (const Curve &c : curves)
+        head.push_back(c.label);
+    t.header(std::move(head));
+    if (curves.empty())
+        return;
+    for (size_t i = 0; i < curves[0].latencies.size(); ++i) {
+        std::vector<std::string> row = {
+            std::to_string(curves[0].latencies[i])};
+        for (const Curve &c : curves)
+            row.push_back(Table::num(c.results[i].mcpi(), 3));
+        t.row(std::move(row));
+    }
+    t.print();
+}
+
+} // namespace nbl::harness

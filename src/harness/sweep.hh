@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Parameter sweeps that regenerate the paper's figures: MCPI-vs-load-
+ * latency curves for a set of configurations, and the common printing
+ * shapes they feed.
+ */
+
+#ifndef NBL_HARNESS_SWEEP_HH
+#define NBL_HARNESS_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace nbl::harness
+{
+
+/** One curve: a configuration label and its per-latency results. */
+struct Curve
+{
+    std::string label;
+    std::vector<int> latencies;
+    std::vector<ExperimentResult> results;
+
+    double
+    mcpiAt(int latency) const
+    {
+        for (size_t i = 0; i < latencies.size(); ++i) {
+            if (latencies[i] == latency)
+                return results[i].mcpi();
+        }
+        return -1.0;
+    }
+};
+
+/**
+ * Sweep MCPI over the paper's load latencies for each configuration.
+ * `base` supplies everything except config and loadLatency.
+ */
+std::vector<Curve> sweepCurves(Lab &lab, const std::string &workload,
+                               ExperimentConfig base,
+                               const std::vector<core::ConfigName> &cfgs);
+
+/** The seven baseline-figure configurations (Figs 5, 9, 11, 12...). */
+std::vector<core::ConfigName> baselineConfigList();
+
+/** Baseline plus the per-set fs=1 / fs=2 configurations (Fig 15). */
+std::vector<core::ConfigName> perSetConfigList();
+
+/** Render curves as an ASCII table: rows = latency, cols = configs. */
+void printCurves(const std::string &title,
+                 const std::vector<Curve> &curves);
+
+/**
+ * Render curves as CSV (header row, then one row per latency) for
+ * plotting tools. The bench binaries emit this too when the NBL_CSV
+ * environment variable is set.
+ */
+std::string curvesCsv(const std::vector<Curve> &curves);
+
+/** Render curves as an ASCII plot (the figures as actual figures). */
+void plotCurves(const std::vector<Curve> &curves);
+
+} // namespace nbl::harness
+
+#endif // NBL_HARNESS_SWEEP_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Instruction definition for the mini RISC ISA.
+ *
+ * The ISA is deliberately small: three-operand register instructions,
+ * loads/stores with base+displacement addressing, and compare-and-branch
+ * instructions. All instructions execute in one cycle on the modeled
+ * processor (paper section 3.1); only data-cache behaviour affects
+ * timing.
+ */
+
+#ifndef NBL_ISA_INSTR_HH
+#define NBL_ISA_INSTR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/reg.hh"
+
+namespace nbl::isa
+{
+
+/** Operation codes. */
+enum class Op : uint8_t
+{
+    Nop,
+    // Integer ALU (dst, src1, src2).
+    Add, Sub, Mul, And, Or, Xor, Shl, Shr,
+    // Integer ALU with immediate (dst, src1, imm).
+    AddI, MulI, AndI, ShlI, ShrI,
+    // Load a 64-bit immediate (dst, imm).
+    LImm,
+    // Floating point (dst, src1, src2); values are IEEE double bits.
+    FAdd, FSub, FMul, FDiv,
+    // Int <-> FP moves (1 cycle like everything else).
+    MovIF, MovFI,
+    // Memory: Ld/Fld (dst, [src1 + imm]); St/Fst ([src1 + imm], src2).
+    Ld, Fld, St, Fst,
+    // Control: compare src1, src2 and branch to instruction index imm.
+    BEq, BNe, BLt, BGe,
+    // Unconditional jump to instruction index imm.
+    Jmp,
+    // Stop execution.
+    Halt,
+
+    NumOps
+};
+
+/** One decoded instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    RegId dst{};       ///< Destination (loads, ALU); unused otherwise.
+    RegId src1{};      ///< First source / base register.
+    RegId src2{};      ///< Second source / store-data register.
+    int64_t imm = 0;   ///< Immediate / displacement / branch target.
+    uint8_t size = 8;  ///< Access size in bytes for memory ops.
+
+    bool
+    isLoad() const
+    {
+        return op == Op::Ld || op == Op::Fld;
+    }
+
+    bool
+    isStore() const
+    {
+        return op == Op::St || op == Op::Fst;
+    }
+
+    bool
+    isMem() const
+    {
+        return isLoad() || isStore();
+    }
+
+    bool
+    isBranch() const
+    {
+        return op == Op::BEq || op == Op::BNe || op == Op::BLt ||
+               op == Op::BGe || op == Op::Jmp;
+    }
+
+    bool
+    hasDst() const
+    {
+        switch (op) {
+          case Op::Nop:
+          case Op::St:
+          case Op::Fst:
+          case Op::BEq:
+          case Op::BNe:
+          case Op::BLt:
+          case Op::BGe:
+          case Op::Jmp:
+          case Op::Halt:
+            return false;
+          default:
+            return true;
+        }
+    }
+
+    /** Number of register sources actually read by this instruction. */
+    unsigned numSrcs() const;
+
+    /** Human-readable disassembly (for debugging and tests). */
+    std::string str() const;
+};
+
+/** Mnemonic for an opcode. */
+const char *opName(Op op);
+
+} // namespace nbl::isa
+
+#endif // NBL_ISA_INSTR_HH

@@ -1,0 +1,177 @@
+#include "isa/program.hh"
+
+#include "util/log.hh"
+
+namespace nbl::isa
+{
+
+unsigned
+Instr::numSrcs() const
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::Mul: case Op::And:
+      case Op::Or: case Op::Xor: case Op::Shl: case Op::Shr:
+      case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FDiv:
+      case Op::St: case Op::Fst:
+      case Op::BEq: case Op::BNe: case Op::BLt: case Op::BGe:
+        return 2;
+      case Op::AddI: case Op::MulI: case Op::AndI:
+      case Op::ShlI: case Op::ShrI:
+      case Op::MovIF: case Op::MovFI:
+      case Op::Ld: case Op::Fld:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Shl: return "shl";
+      case Op::Shr: return "shr";
+      case Op::AddI: return "addi";
+      case Op::MulI: return "muli";
+      case Op::AndI: return "andi";
+      case Op::ShlI: return "shli";
+      case Op::ShrI: return "shri";
+      case Op::LImm: return "limm";
+      case Op::FAdd: return "fadd";
+      case Op::FSub: return "fsub";
+      case Op::FMul: return "fmul";
+      case Op::FDiv: return "fdiv";
+      case Op::MovIF: return "movif";
+      case Op::MovFI: return "movfi";
+      case Op::Ld: return "ld";
+      case Op::Fld: return "fld";
+      case Op::St: return "st";
+      case Op::Fst: return "fst";
+      case Op::BEq: return "beq";
+      case Op::BNe: return "bne";
+      case Op::BLt: return "blt";
+      case Op::BGe: return "bge";
+      case Op::Jmp: return "jmp";
+      case Op::Halt: return "halt";
+      default: return "?";
+    }
+}
+
+namespace
+{
+
+std::string
+regStr(RegId r)
+{
+    return strfmt("%c%u", r.cls == RegClass::Int ? 'r' : 'f',
+                  unsigned(r.idx));
+}
+
+} // namespace
+
+std::string
+Instr::str() const
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Halt:
+        return opName(op);
+      case Op::LImm:
+        return strfmt("%s %s, %lld", opName(op), regStr(dst).c_str(),
+                      static_cast<long long>(imm));
+      case Op::AddI: case Op::MulI: case Op::AndI:
+      case Op::ShlI: case Op::ShrI:
+        return strfmt("%s %s, %s, %lld", opName(op), regStr(dst).c_str(),
+                      regStr(src1).c_str(), static_cast<long long>(imm));
+      case Op::MovIF: case Op::MovFI:
+        return strfmt("%s %s, %s", opName(op), regStr(dst).c_str(),
+                      regStr(src1).c_str());
+      case Op::Ld: case Op::Fld:
+        return strfmt("%s %s, %lld(%s) sz=%u", opName(op),
+                      regStr(dst).c_str(), static_cast<long long>(imm),
+                      regStr(src1).c_str(), unsigned(size));
+      case Op::St: case Op::Fst:
+        return strfmt("%s %lld(%s), %s sz=%u", opName(op),
+                      static_cast<long long>(imm), regStr(src1).c_str(),
+                      regStr(src2).c_str(), unsigned(size));
+      case Op::BEq: case Op::BNe: case Op::BLt: case Op::BGe:
+        return strfmt("%s %s, %s, @%lld", opName(op), regStr(src1).c_str(),
+                      regStr(src2).c_str(), static_cast<long long>(imm));
+      case Op::Jmp:
+        return strfmt("jmp @%lld", static_cast<long long>(imm));
+      default:
+        return strfmt("%s %s, %s, %s", opName(op), regStr(dst).c_str(),
+                      regStr(src1).c_str(), regStr(src2).c_str());
+    }
+}
+
+bool
+Program::validate(bool fail_fatal) const
+{
+    auto bad = [&](const std::string &why) {
+        if (fail_fatal)
+            fatal("program %s invalid: %s", name_.c_str(), why.c_str());
+        return false;
+    };
+
+    if (code_.empty())
+        return bad("empty program");
+
+    bool has_halt = false;
+    for (size_t pc = 0; pc < code_.size(); ++pc) {
+        const Instr &in = code_[pc];
+        if (in.op == Op::Halt)
+            has_halt = true;
+        if (in.isBranch()) {
+            if (in.imm < 0 ||
+                static_cast<size_t>(in.imm) >= code_.size()) {
+                return bad(strfmt("branch target out of range at pc %zu",
+                                  pc));
+            }
+        }
+        auto check_reg = [&](RegId r) {
+            unsigned limit = r.cls == RegClass::Int ? numIntRegs
+                                                    : numFpRegs;
+            return r.idx < limit;
+        };
+        if (in.hasDst() && !check_reg(in.dst))
+            return bad(strfmt("bad dst register at pc %zu", pc));
+        if (in.numSrcs() >= 1 && !check_reg(in.src1))
+            return bad(strfmt("bad src1 register at pc %zu", pc));
+        if (in.numSrcs() >= 2 && !check_reg(in.src2))
+            return bad(strfmt("bad src2 register at pc %zu", pc));
+        if (in.isMem()) {
+            if (in.size != 1 && in.size != 2 && in.size != 4 &&
+                in.size != 8) {
+                return bad(strfmt("bad access size at pc %zu", pc));
+            }
+            if ((in.op == Op::Fld || in.op == Op::Fst) && in.size != 8 &&
+                in.size != 4) {
+                return bad(strfmt("fp access must be 4 or 8 bytes "
+                                  "at pc %zu", pc));
+            }
+        }
+    }
+    if (!has_halt)
+        return bad("no halt instruction");
+    return true;
+}
+
+std::string
+Program::str() const
+{
+    std::string out = strfmt("program %s (%zu instrs)\n", name_.c_str(),
+                             code_.size());
+    for (size_t pc = 0; pc < code_.size(); ++pc)
+        out += strfmt("%5zu: %s\n", pc, code_[pc].str().c_str());
+    return out;
+}
+
+} // namespace nbl::isa

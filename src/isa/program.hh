@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Static program representation: a flat vector of instructions with
+ * branch targets expressed as instruction indices.
+ */
+
+#ifndef NBL_ISA_PROGRAM_HH
+#define NBL_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+
+namespace nbl::isa
+{
+
+/**
+ * An executable program for the mini ISA. Programs are produced by the
+ * compiler pipeline (src/compiler) and executed by the interpreter
+ * (src/exec). Execution starts at instruction 0 and ends at a Halt.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Append an instruction; returns its index. */
+    size_t
+    push(const Instr &instr)
+    {
+        code_.push_back(instr);
+        return code_.size() - 1;
+    }
+
+    const std::vector<Instr> &code() const { return code_; }
+    std::vector<Instr> &code() { return code_; }
+
+    size_t size() const { return code_.size(); }
+    const Instr &at(size_t pc) const { return code_[pc]; }
+
+    /**
+     * Check structural validity: branch targets in range, register
+     * indices in range, a Halt is reachable from a linear read. Calls
+     * fatal() with a description on failure when fail_fatal is set;
+     * otherwise returns false.
+     */
+    bool validate(bool fail_fatal = true) const;
+
+    /** Full disassembly listing. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<Instr> code_;
+};
+
+} // namespace nbl::isa
+
+#endif // NBL_ISA_PROGRAM_HH

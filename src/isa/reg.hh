@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Register identifiers for the mini RISC ISA.
+ *
+ * The machine modeled by the paper has 32 integer and 32 floating-point
+ * registers (paper section 3.1). The inverted-MSHR organization also
+ * needs a linear "destination" numbering covering every possible target
+ * of fetch data; destLinear() provides it.
+ */
+
+#ifndef NBL_ISA_REG_HH
+#define NBL_ISA_REG_HH
+
+#include <cstdint>
+
+namespace nbl::isa
+{
+
+/** Number of integer registers in the modeled machine. */
+constexpr unsigned numIntRegs = 32;
+/** Number of floating-point registers in the modeled machine. */
+constexpr unsigned numFpRegs = 32;
+/**
+ * Write-buffer entries that can wait on a fetch (destinations of
+ * fetch data when stores are non-blocking write-allocate; paper
+ * section 2.4 lists them among the inverted MSHR's destinations).
+ */
+constexpr unsigned numWriteBufferDests = 8;
+/**
+ * Total number of possible destinations of fetch data: all registers,
+ * the program counter (instruction fetch is perfect in this study but
+ * the inverted MSHR still provisions the entry), and the write-buffer
+ * entries -- the paper's "between 65 and 75 entries".
+ */
+constexpr unsigned numDests =
+    numIntRegs + numFpRegs + 1 + numWriteBufferDests;
+
+/** Linear destination number of the program counter. */
+constexpr unsigned pcDest = numIntRegs + numFpRegs;
+
+/** Linear destination number of write-buffer entry i. */
+constexpr unsigned
+writeBufferDest(unsigned i)
+{
+    return numIntRegs + numFpRegs + 1 + i;
+}
+
+/** Register class: integer or floating point. */
+enum class RegClass : uint8_t { Int, Fp };
+
+/** A (class, index) register name. Index numIntRegs is never valid. */
+struct RegId
+{
+    RegClass cls = RegClass::Int;
+    uint8_t idx = 0;
+
+    bool operator==(const RegId &) const = default;
+
+    /** Linear destination number for the inverted MSHR (0..numDests-2). */
+    unsigned
+    destLinear() const
+    {
+        return cls == RegClass::Int ? idx : numIntRegs + idx;
+    }
+};
+
+/** Integer register zero is hard-wired to the value 0 (like MIPS $0). */
+constexpr RegId regZero{RegClass::Int, 0};
+
+/** Make an integer register id. */
+constexpr RegId
+intReg(unsigned idx)
+{
+    return RegId{RegClass::Int, static_cast<uint8_t>(idx)};
+}
+
+/** Make a floating-point register id. */
+constexpr RegId
+fpReg(unsigned idx)
+{
+    return RegId{RegClass::Fp, static_cast<uint8_t>(idx)};
+}
+
+} // namespace nbl::isa
+
+#endif // NBL_ISA_REG_HH

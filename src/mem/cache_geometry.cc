@@ -1,0 +1,42 @@
+#include "mem/cache_geometry.hh"
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+
+namespace nbl::mem
+{
+
+CacheGeometry::CacheGeometry(uint64_t size_bytes, uint64_t line_bytes,
+                             unsigned ways)
+    : size_(size_bytes), line_(line_bytes), ways_(ways)
+{
+    if (!isPow2(size_) || !isPow2(line_))
+        fatal("cache size and line size must be powers of two");
+    if (line_ > size_)
+        fatal("cache line larger than the cache");
+    if (ways_ == 0) {
+        num_sets_ = 1;
+    } else {
+        if (size_ % (line_ * ways_) != 0)
+            fatal("cache size not divisible by line size * ways");
+        num_sets_ = size_ / (line_ * ways_);
+        if (!isPow2(num_sets_))
+            fatal("number of sets must be a power of two");
+    }
+}
+
+std::string
+CacheGeometry::str() const
+{
+    if (fullyAssociative()) {
+        return strfmt("%lluB fully-associative, %lluB lines",
+                      static_cast<unsigned long long>(size_),
+                      static_cast<unsigned long long>(line_));
+    }
+    return strfmt("%lluB %u-way, %lluB lines, %llu sets",
+                  static_cast<unsigned long long>(size_), ways_,
+                  static_cast<unsigned long long>(line_),
+                  static_cast<unsigned long long>(num_sets_));
+}
+
+} // namespace nbl::mem

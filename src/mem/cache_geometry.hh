@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cache geometry: address <-> (tag, set, offset) arithmetic.
+ */
+
+#ifndef NBL_MEM_CACHE_GEOMETRY_HH
+#define NBL_MEM_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nbl::mem
+{
+
+/**
+ * Geometry of a cache: total size, line size, and associativity.
+ * An associativity of 0 means fully associative.
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes Total data capacity in bytes (power of two).
+     * @param line_bytes Line size in bytes (power of two).
+     * @param ways Associativity; 0 means fully associative.
+     */
+    CacheGeometry(uint64_t size_bytes, uint64_t line_bytes,
+                  unsigned ways = 1);
+
+    uint64_t sizeBytes() const { return size_; }
+    uint64_t lineBytes() const { return line_; }
+    unsigned ways() const { return ways_; }
+    uint64_t numLines() const { return size_ / line_; }
+    uint64_t numSets() const { return num_sets_; }
+    bool fullyAssociative() const { return ways_ == 0; }
+
+    /** Block (line) address: the address with the offset bits cleared. */
+    uint64_t
+    blockAddr(uint64_t addr) const
+    {
+        return addr & ~(line_ - 1);
+    }
+
+    /** Set index for an address (0 for fully associative caches). */
+    uint64_t
+    setIndex(uint64_t addr) const
+    {
+        if (fullyAssociative())
+            return 0;
+        return (addr / line_) % num_sets_;
+    }
+
+    /** Tag for an address. */
+    uint64_t
+    tag(uint64_t addr) const
+    {
+        if (fullyAssociative())
+            return addr / line_;
+        return addr / line_ / num_sets_;
+    }
+
+    /** Byte offset within the line. */
+    uint64_t
+    offset(uint64_t addr) const
+    {
+        return addr & (line_ - 1);
+    }
+
+    /**
+     * Sub-block index within the line, for an MSHR organization with
+     * num_sub_blocks destination slots per line.
+     */
+    unsigned
+    subBlock(uint64_t addr, unsigned num_sub_blocks) const
+    {
+        uint64_t gran = line_ / num_sub_blocks;
+        return static_cast<unsigned>(offset(addr) / gran);
+    }
+
+    std::string str() const;
+
+  private:
+    uint64_t size_;
+    uint64_t line_;
+    unsigned ways_;
+    uint64_t num_sets_;
+};
+
+} // namespace nbl::mem
+
+#endif // NBL_MEM_CACHE_GEOMETRY_HH

@@ -1,0 +1,4 @@
+#include "mem/main_memory.hh"
+
+// MainMemory is header-only today; this translation unit anchors the
+// class for future extensions (banked or contended memory models).

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Timing model of main memory.
+ *
+ * The paper assumes a fully pipelined main memory: regardless of other
+ * activity, a line fetch completes a constant number of cycles after it
+ * is issued (paper section 3.1). The default penalty follows the
+ * pipelined-bus model of section 5.2: 14 cycles for the first 16 bytes
+ * plus 2 cycles per additional 16 bytes (16 cycles for 32-byte lines,
+ * 14 for 16-byte lines). An explicit penalty override supports the
+ * miss-penalty sweep of Figure 18.
+ */
+
+#ifndef NBL_MEM_MAIN_MEMORY_HH
+#define NBL_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+namespace nbl::mem
+{
+
+/** Fully pipelined constant-latency memory. */
+class MainMemory
+{
+  public:
+    /** Cycles until the first 16 bytes of a fetch return. */
+    static constexpr unsigned defaultFirstChunkCycles = 14;
+    /** Additional cycles per 16 bytes beyond the first. */
+    static constexpr unsigned defaultPerChunkCycles = 2;
+    static constexpr unsigned chunkBytes = 16;
+
+    /** Memory with the paper's pipelined-bus latency model. */
+    MainMemory() = default;
+
+    /** Memory with a fixed, explicit miss penalty (Figure 18 sweeps). */
+    explicit MainMemory(unsigned fixed_penalty)
+        : fixed_penalty_(fixed_penalty)
+    {}
+
+    /** Miss penalty in cycles for fetching a line of line_bytes. */
+    unsigned
+    penalty(uint64_t line_bytes) const
+    {
+        if (fixed_penalty_ != 0)
+            return fixed_penalty_;
+        unsigned chunks = static_cast<unsigned>(
+            (line_bytes + chunkBytes - 1) / chunkBytes);
+        if (chunks == 0)
+            chunks = 1;
+        return defaultFirstChunkCycles +
+               defaultPerChunkCycles * (chunks - 1);
+    }
+
+    /** Completion time of a fetch issued at issue_cycle. */
+    uint64_t
+    completeAt(uint64_t issue_cycle, uint64_t line_bytes) const
+    {
+        return issue_cycle + penalty(line_bytes);
+    }
+
+    /** Fetches issued (for stats). */
+    uint64_t fetches() const { return fetches_; }
+    void countFetch() { ++fetches_; }
+
+  private:
+    unsigned fixed_penalty_ = 0; ///< 0 selects the pipelined-bus model.
+    uint64_t fetches_ = 0;
+};
+
+} // namespace nbl::mem
+
+#endif // NBL_MEM_MAIN_MEMORY_HH

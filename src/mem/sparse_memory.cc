@@ -1,0 +1,114 @@
+#include "mem/sparse_memory.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/log.hh"
+
+namespace nbl::mem
+{
+
+uint8_t
+SparseMemory::peek(uint64_t addr) const
+{
+    auto it = pages.find(addr / pageBytes);
+    if (it == pages.end())
+        return 0;
+    return (*it->second)[addr % pageBytes];
+}
+
+void
+SparseMemory::poke(uint64_t addr, uint8_t value)
+{
+    pageFor(addr)[addr % pageBytes] = value;
+}
+
+SparseMemory::Page &
+SparseMemory::pageFor(uint64_t addr)
+{
+    auto &slot = pages[addr / pageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint64_t
+SparseMemory::read(uint64_t addr, unsigned size) const
+{
+    if (size != 1 && size != 2 && size != 4 && size != 8)
+        panic("SparseMemory::read with bad size %u", size);
+    uint64_t v = 0;
+    // Fast path: access within one page.
+    uint64_t off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        auto it = pages.find(addr / pageBytes);
+        if (it == pages.end())
+            return 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= uint64_t((*it->second)[off + i]) << (8 * i);
+        return v;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        v |= uint64_t(peek(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+SparseMemory::write(uint64_t addr, unsigned size, uint64_t value)
+{
+    if (size != 1 && size != 2 && size != 4 && size != 8)
+        panic("SparseMemory::write with bad size %u", size);
+    uint64_t off = addr % pageBytes;
+    if (off + size <= pageBytes) {
+        Page &p = pageFor(addr);
+        for (unsigned i = 0; i < size; ++i)
+            p[off + i] = uint8_t(value >> (8 * i));
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        poke(addr + i, uint8_t(value >> (8 * i)));
+}
+
+double
+SparseMemory::readF64(uint64_t addr) const
+{
+    return std::bit_cast<double>(read(addr, 8));
+}
+
+void
+SparseMemory::writeF64(uint64_t addr, double value)
+{
+    write(addr, 8, std::bit_cast<uint64_t>(value));
+}
+
+uint64_t
+SparseMemory::checksum() const
+{
+    // FNV-1a over (page number, page bytes), combined order-independently
+    // by summing per-page hashes.
+    uint64_t total = 0;
+    for (const auto &[pn, page] : pages) {
+        uint64_t h = 1469598103934665603ULL ^ pn;
+        for (uint8_t b : *page) {
+            h ^= b;
+            h *= 1099511628211ULL;
+        }
+        total += h;
+    }
+    return total;
+}
+
+uint64_t
+SparseMemory::checksumRange(uint64_t start, uint64_t end) const
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t a = start; a < end; ++a) {
+        h ^= peek(a);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace nbl::mem

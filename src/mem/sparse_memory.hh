@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Byte-addressable sparse functional memory.
+ *
+ * Holds the architectural memory state of the simulated program. It is
+ * purely functional: timing lives in mem/main_memory.hh and
+ * core/nonblocking_cache.hh. Pages are allocated lazily so workloads can
+ * use widely separated address regions cheaply.
+ */
+
+#ifndef NBL_MEM_SPARSE_MEMORY_HH
+#define NBL_MEM_SPARSE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace nbl::mem
+{
+
+/**
+ * Sparse 64-bit byte-addressable memory backed by lazily allocated 4 KB
+ * pages. Unwritten bytes read as zero.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr uint64_t pageBytes = 4096;
+
+    /** Read size bytes (1, 2, 4, or 8) little-endian, zero-extended. */
+    uint64_t read(uint64_t addr, unsigned size) const;
+
+    /** Write the low size bytes (1, 2, 4, or 8) of value little-endian. */
+    void write(uint64_t addr, unsigned size, uint64_t value);
+
+    /** Read a double stored with write64 of its bit pattern. */
+    double readF64(uint64_t addr) const;
+
+    /** Store a double's bit pattern. */
+    void writeF64(uint64_t addr, double value);
+
+    /** Number of pages currently allocated (for tests/diagnostics). */
+    size_t numPages() const { return pages.size(); }
+
+    /**
+     * Checksum of all allocated pages (order independent). Used by
+     * property tests to check that different schedules of the same
+     * program leave identical architectural memory.
+     */
+    uint64_t checksum() const;
+
+    /**
+     * Checksum of an address range (inclusive start, exclusive end).
+     * Unlike checksum(), ignores content outside [start, end), e.g.
+     * spill slots that legitimately differ across schedules.
+     */
+    uint64_t checksumRange(uint64_t start, uint64_t end) const;
+
+  private:
+    using Page = std::array<uint8_t, pageBytes>;
+
+    uint8_t peek(uint64_t addr) const;
+    void poke(uint64_t addr, uint8_t value);
+    Page &pageFor(uint64_t addr);
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace nbl::mem
+
+#endif // NBL_MEM_SPARSE_MEMORY_HH

@@ -1,0 +1,107 @@
+#include "mem/tag_array.hh"
+
+namespace nbl::mem
+{
+
+TagArray::TagArray(const CacheGeometry &geom)
+    : geom_(geom),
+      ways_per_set_(geom.fullyAssociative()
+                        ? static_cast<unsigned>(geom.numLines())
+                        : geom.ways()),
+      ways_(geom.numSets() * ways_per_set_)
+{
+}
+
+TagArray::Way *
+TagArray::find(uint64_t addr)
+{
+    uint64_t set = geom_.setIndex(addr);
+    uint64_t tag = geom_.tag(addr);
+    Way *base = &ways_[set * ways_per_set_];
+    for (unsigned w = 0; w < ways_per_set_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const TagArray::Way *
+TagArray::find(uint64_t addr) const
+{
+    return const_cast<TagArray *>(this)->find(addr);
+}
+
+bool
+TagArray::lookup(uint64_t addr, bool touch)
+{
+    Way *w = find(addr);
+    if (!w)
+        return false;
+    if (touch)
+        w->lru = ++lru_clock_;
+    return true;
+}
+
+bool
+TagArray::present(uint64_t addr) const
+{
+    return find(addr) != nullptr;
+}
+
+std::optional<uint64_t>
+TagArray::fill(uint64_t addr)
+{
+    if (Way *w = find(addr)) {
+        // Already present (e.g. two overlapping fetches of one block);
+        // just refresh LRU.
+        w->lru = ++lru_clock_;
+        return std::nullopt;
+    }
+
+    uint64_t set = geom_.setIndex(addr);
+    Way *base = &ways_[set * ways_per_set_];
+    Way *victim = &base[0];
+    for (unsigned w = 0; w < ways_per_set_; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+
+    std::optional<uint64_t> evicted;
+    if (victim->valid)
+        evicted = victim->block_addr;
+    victim->valid = true;
+    victim->tag = geom_.tag(addr);
+    victim->block_addr = geom_.blockAddr(addr);
+    victim->lru = ++lru_clock_;
+    return evicted;
+}
+
+void
+TagArray::invalidate(uint64_t addr)
+{
+    if (Way *w = find(addr))
+        w->valid = false;
+}
+
+void
+TagArray::reset()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+    lru_clock_ = 0;
+}
+
+uint64_t
+TagArray::numValid() const
+{
+    uint64_t n = 0;
+    for (const Way &w : ways_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace nbl::mem

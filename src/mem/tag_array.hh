@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cache tag array with LRU replacement.
+ *
+ * Supports direct-mapped, set-associative, and fully-associative
+ * organizations through CacheGeometry. Only tags are stored; data is
+ * functional and lives in SparseMemory.
+ */
+
+#ifndef NBL_MEM_TAG_ARRAY_HH
+#define NBL_MEM_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/cache_geometry.hh"
+
+namespace nbl::mem
+{
+
+/**
+ * Tag store with per-set LRU. The non-blocking cache calls lookup() on
+ * every access and fill() when a fetch completes.
+ */
+class TagArray
+{
+  public:
+    explicit TagArray(const CacheGeometry &geom);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /**
+     * Is the block containing addr present? Updates LRU state on a hit
+     * when touch is set.
+     */
+    bool lookup(uint64_t addr, bool touch = true);
+
+    /** Present check without LRU side effects. */
+    bool present(uint64_t addr) const;
+
+    /**
+     * Install the block containing addr, evicting the LRU victim in its
+     * set if the set is full.
+     * @return the block address of the evicted line, if any.
+     */
+    std::optional<uint64_t> fill(uint64_t addr);
+
+    /** Drop the block containing addr if present. */
+    void invalidate(uint64_t addr);
+
+    /** Invalidate everything. */
+    void reset();
+
+    /** Number of valid lines (for tests). */
+    uint64_t numValid() const;
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t block_addr = 0;
+        uint64_t lru = 0;
+    };
+
+    Way *find(uint64_t addr);
+    const Way *find(uint64_t addr) const;
+
+    CacheGeometry geom_;
+    unsigned ways_per_set_;
+    std::vector<Way> ways_;   ///< num_sets * ways_per_set_, set-major.
+    uint64_t lru_clock_ = 0;
+};
+
+} // namespace nbl::mem
+
+#endif // NBL_MEM_TAG_ARRAY_HH

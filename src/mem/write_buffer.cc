@@ -1,0 +1,63 @@
+#include "mem/write_buffer.hh"
+
+#include <algorithm>
+
+namespace nbl::mem
+{
+
+void
+WriteBuffer::drain(uint64_t now)
+{
+    while (!fifo_.empty() && fifo_.front().second <= now)
+        fifo_.pop_front();
+}
+
+uint64_t
+WriteBuffer::push(uint64_t block_addr, uint64_t now)
+{
+    ++stats_.writes;
+    if (retire_cycles_ == 0) {
+        // Free retirement: the entry never actually occupies the
+        // buffer. This is the paper's model.
+        return now;
+    }
+
+    drain(now);
+
+    // Merge into a live entry for the same block, if any.
+    for (auto &e : fifo_) {
+        if (e.first == block_addr) {
+            ++stats_.merges;
+            return now;
+        }
+    }
+
+    uint64_t start = now;
+    if (capacity_ != 0 && fifo_.size() >= capacity_) {
+        // Stall until the oldest entry retires.
+        uint64_t free_at = fifo_.front().second;
+        stats_.fullStallCycles += free_at - now;
+        start = free_at;
+        drain(start);
+    }
+
+    uint64_t begin = std::max(start, next_retire_free_);
+    uint64_t done = begin + retire_cycles_;
+    next_retire_free_ = done;
+    fifo_.emplace_back(block_addr, done);
+    stats_.maxOccupancy = std::max<uint64_t>(stats_.maxOccupancy,
+                                             fifo_.size());
+    return start;
+}
+
+unsigned
+WriteBuffer::occupancy(uint64_t now) const
+{
+    unsigned n = 0;
+    for (const auto &e : fifo_)
+        if (e.second > now)
+            ++n;
+    return n;
+}
+
+} // namespace nbl::mem

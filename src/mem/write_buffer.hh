@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Write buffer model.
+ *
+ * The paper places a write buffer between the write-through data cache
+ * and the rest of the hierarchy and assumes writes retire for free
+ * (section 3.1), so the buffer never causes stalls in the baseline
+ * model. This class still tracks occupancy against a finite capacity so
+ * that (a) stats on write traffic and merging are available, and (b) a
+ * bounded, stalling configuration can be studied as an extension.
+ */
+
+#ifndef NBL_MEM_WRITE_BUFFER_HH
+#define NBL_MEM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace nbl::mem
+{
+
+/**
+ * FIFO write buffer with optional finite retirement bandwidth. With the
+ * default settings (free retirement) it never stalls the processor,
+ * matching the paper's model.
+ */
+class WriteBuffer
+{
+  public:
+    struct Stats
+    {
+        uint64_t writes = 0;        ///< Entries pushed.
+        uint64_t merges = 0;        ///< Writes merged into a live entry.
+        uint64_t maxOccupancy = 0;  ///< High-water mark.
+        uint64_t fullStallCycles = 0;
+    };
+
+    /**
+     * @param entries Capacity; 0 means unbounded.
+     * @param retire_cycles Cycles to retire one entry; 0 means free
+     *        (retire instantly), the paper's assumption.
+     */
+    explicit WriteBuffer(unsigned entries = 0, unsigned retire_cycles = 0)
+        : capacity_(entries), retire_cycles_(retire_cycles)
+    {}
+
+    /**
+     * Record a write at time now.
+     * @return the cycle at which the processor may proceed (== now
+     *         unless the buffer is full under a finite configuration).
+     */
+    uint64_t push(uint64_t block_addr, uint64_t now);
+
+    /** Entries still in flight at time now. */
+    unsigned occupancy(uint64_t now) const;
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    void drain(uint64_t now);
+
+    unsigned capacity_;
+    unsigned retire_cycles_;
+    /** (block address, retire-complete cycle) of in-flight entries. */
+    std::deque<std::pair<uint64_t, uint64_t>> fifo_;
+    uint64_t next_retire_free_ = 0;
+    Stats stats_;
+};
+
+} // namespace nbl::mem
+
+#endif // NBL_MEM_WRITE_BUFFER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache geometry and MSHR
+ * cost models.
+ */
+
+#ifndef NBL_UTIL_BITOPS_HH
+#define NBL_UTIL_BITOPS_HH
+
+#include <cstdint>
+
+namespace nbl
+{
+
+/** True if x is a non-zero power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log base 2; log2i(0) is defined as 0. */
+constexpr unsigned
+log2i(uint64_t x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Number of bits needed to represent values in [0, n). */
+constexpr unsigned
+bitsFor(uint64_t n)
+{
+    if (n <= 1)
+        return 0;
+    unsigned b = log2i(n);
+    return (uint64_t{1} << b) == n ? b : b + 1;
+}
+
+/** Round x down to a multiple of align (align must be a power of two). */
+constexpr uint64_t
+alignDown(uint64_t x, uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+/** Round x up to a multiple of align (align must be a power of two). */
+constexpr uint64_t
+alignUp(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+} // namespace nbl
+
+#endif // NBL_UTIL_BITOPS_HH

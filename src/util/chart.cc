@@ -1,0 +1,104 @@
+#include "util/chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace nbl
+{
+
+AsciiChart::AsciiChart(unsigned width, unsigned height,
+                       std::string x_label, std::string y_label)
+    : width_(std::max(width, 16u)), height_(std::max(height, 6u)),
+      x_label_(std::move(x_label)), y_label_(std::move(y_label))
+{
+}
+
+void
+AsciiChart::addSeries(const std::string &label,
+                      std::vector<std::pair<double, double>> points)
+{
+    char marker = static_cast<char>('a' + series_.size() % 26);
+    series_.push_back(Series{label, std::move(points), marker});
+}
+
+std::string
+AsciiChart::str() const
+{
+    if (series_.empty())
+        return "(empty chart)\n";
+
+    double xmin = 1e300, xmax = -1e300, ymin = 0.0, ymax = -1e300;
+    for (const Series &s : series_) {
+        for (auto [x, y] : s.points) {
+            xmin = std::min(xmin, x);
+            xmax = std::max(xmax, x);
+            ymax = std::max(ymax, y);
+        }
+    }
+    if (xmax <= xmin)
+        xmax = xmin + 1;
+    if (ymax <= ymin)
+        ymax = ymin + 1;
+    ymax *= 1.05; // headroom so the top point is visible
+
+    // Plot grid.
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    auto plot = [&](double x, double y, char m) {
+        unsigned cx = unsigned(std::lround((x - xmin) / (xmax - xmin) *
+                                           (width_ - 1)));
+        unsigned cy = unsigned(std::lround((y - ymin) / (ymax - ymin) *
+                                           (height_ - 1)));
+        unsigned row = height_ - 1 - std::min(cy, height_ - 1);
+        unsigned col = std::min(cx, width_ - 1);
+        char &cell = grid[row][col];
+        cell = (cell == ' ' || cell == m) ? m : '*'; // overlap marker
+    };
+
+    // Linear interpolation between consecutive points of a series so
+    // curves read as lines, then overdraw the data points.
+    for (const Series &s : series_) {
+        for (size_t i = 0; i + 1 < s.points.size(); ++i) {
+            auto [x0, y0] = s.points[i];
+            auto [x1, y1] = s.points[i + 1];
+            int steps = int(width_);
+            for (int k = 0; k <= steps; ++k) {
+                double f = double(k) / steps;
+                plot(x0 + f * (x1 - x0), y0 + f * (y1 - y0),
+                     s.marker);
+            }
+        }
+    }
+
+    // Compose with a y-axis gutter.
+    std::string out;
+    if (!y_label_.empty())
+        out += y_label_ + "\n";
+    for (unsigned r = 0; r < height_; ++r) {
+        double yv = ymin + (ymax - ymin) *
+                               double(height_ - 1 - r) / (height_ - 1);
+        out += strfmt("%8.3f |", yv);
+        out += grid[r];
+        out += "\n";
+    }
+    out += std::string(8, ' ') + "+" + std::string(width_, '-') + "\n";
+    out += strfmt("%8s  %-8.3g%*s%8.3g", "", xmin,
+                  int(width_) - 14, "", xmax);
+    if (!x_label_.empty())
+        out += "  " + x_label_;
+    out += "\n  legend: ";
+    for (const Series &s : series_)
+        out += strfmt("%c=%s  ", s.marker, s.label.c_str());
+    out += "(* = overlap)\n";
+    return out;
+}
+
+void
+AsciiChart::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace nbl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII line-chart renderer.
+ *
+ * The paper's evaluation is mostly figures; the bench binaries
+ * reproduce them as tables plus, via this class, as actual plots on
+ * the terminal. Series are drawn with distinct marker characters and
+ * a legend; axes are linear, sized to the data.
+ */
+
+#ifndef NBL_UTIL_CHART_HH
+#define NBL_UTIL_CHART_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nbl
+{
+
+/** Multi-series scatter/line chart rendered as text. */
+class AsciiChart
+{
+  public:
+    /**
+     * @param width Plot-area width in columns (without axis labels).
+     * @param height Plot-area height in rows.
+     */
+    AsciiChart(unsigned width = 60, unsigned height = 16,
+               std::string x_label = "", std::string y_label = "");
+
+    /** Add a series; points are (x, y). Marker is assigned a-z. */
+    void addSeries(const std::string &label,
+                   std::vector<std::pair<double, double>> points);
+
+    /** Render the chart (axes, points, legend). */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    struct Series
+    {
+        std::string label;
+        std::vector<std::pair<double, double>> points;
+        char marker;
+    };
+
+    unsigned width_;
+    unsigned height_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<Series> series_;
+};
+
+} // namespace nbl
+
+#endif // NBL_UTIL_CHART_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (simulator bugs); it
+ * aborts. fatal() is for user errors (bad configuration); it exits with
+ * an error code. warn()/inform() report conditions without stopping.
+ */
+
+#ifndef NBL_UTIL_LOG_HH
+#define NBL_UTIL_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace nbl
+{
+
+/** Print a message and abort; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a message and exit(1); use for user/configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace nbl
+
+#endif // NBL_UTIL_LOG_HH

@@ -1,0 +1,49 @@
+#include "util/rng.hh"
+
+#include "util/log.hh"
+
+namespace nbl
+{
+
+uint64_t
+Rng::next()
+{
+    uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::below called with zero bound");
+    // Modulo bias is negligible for the bounds used by the workload
+    // generators (all far below 2^32).
+    return next() % bound;
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::range with lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::real()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return real() < p;
+}
+
+} // namespace nbl

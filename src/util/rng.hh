@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*).
+ *
+ * The simulator must be fully reproducible across runs and platforms, so
+ * workload generators use this instead of std::mt19937 (whose
+ * distributions are implementation-defined).
+ */
+
+#ifndef NBL_UTIL_RNG_HH
+#define NBL_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace nbl
+{
+
+/**
+ * xorshift64* generator with helpers for bounded draws. All workload
+ * randomness flows through this class so that every experiment is
+ * bit-reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform draw in [0, bound); bound must be non-zero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+  private:
+    uint64_t state;
+};
+
+} // namespace nbl
+
+#endif // NBL_UTIL_RNG_HH

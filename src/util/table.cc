@@ -1,0 +1,114 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/log.hh"
+
+namespace nbl
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+Table::separator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+Table::str() const
+{
+    // Compute column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r.cells);
+
+    auto fmt_row = [&](const std::vector<std::string> &cells) {
+        std::string out;
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            // Left-align the first column (labels), right-align data.
+            if (i == 0) {
+                out += cell;
+                out += std::string(widths[i] - cell.size(), ' ');
+            } else {
+                out += std::string(widths[i] - cell.size(), ' ');
+                out += cell;
+            }
+            if (i + 1 < widths.size())
+                out += "  ";
+        }
+        out += "\n";
+        return out;
+    };
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    if (!widths.empty())
+        total += 2 * (widths.size() - 1);
+
+    std::string out;
+    if (!title_.empty()) {
+        out += title_;
+        out += "\n";
+        out += std::string(std::max(title_.size(), total), '=');
+        out += "\n";
+    }
+    if (!header_.empty()) {
+        out += fmt_row(header_);
+        out += std::string(total, '-');
+        out += "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.is_separator) {
+            out += std::string(total, '-');
+            out += "\n";
+        } else {
+            out += fmt_row(r.cells);
+        }
+    }
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    return strfmt("%.*f", decimals, v);
+}
+
+std::string
+Table::ratio(double v)
+{
+    // The paper prints ratios with two significant figures: "1.4",
+    // "2.9", "14", "11", "9.8".
+    if (v >= 9.95)
+        return strfmt("%.0f", v);
+    return strfmt("%.1f", v);
+}
+
+} // namespace nbl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal ASCII table printer used by the benchmark harness to render
+ * the paper's figures and tables on stdout.
+ */
+
+#ifndef NBL_UTIL_TABLE_HH
+#define NBL_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbl
+{
+
+/**
+ * Column-aligned ASCII table. Build it row by row, then render. All
+ * cells are strings; numeric helpers are provided for the common
+ * formats used by the harness (fixed-point MCPI values and ratios).
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Format a ratio the way Fig 13 does (e.g. "1.4", "14", "2.9"). */
+    static std::string ratio(double v);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace nbl
+
+#endif // NBL_UTIL_TABLE_HH

@@ -1,0 +1,355 @@
+#include "workloads/archetypes.hh"
+
+#include <algorithm>
+
+#include "compiler/kernel.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+
+namespace nbl::workloads
+{
+
+using compiler::Kernel;
+using compiler::KernelBuilder;
+using compiler::VReg;
+
+Region
+AddressSpace::alloc(uint64_t bytes, uint64_t align, uint64_t phase)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("region alignment must be a power of two");
+    // Regions are laid out contiguously with a 1088-byte (17-line)
+    // pad, the way a real allocator's headers and odd sizes place
+    // arrays: consecutive bases are then incongruent modulo *any*
+    // power-of-two cache size, so multi-stream workloads do not
+    // accidentally become same-set conflict tests at one cache size
+    // or another. Callers that *want* same-set behaviour pass a large
+    // alignment (the cache size): those regions are placed exactly.
+    uint64_t base = (cursor_ + align - 1) & ~(align - 1);
+    base += phase;
+    cursor_ = base + bytes;
+    if (align < 4096)
+        cursor_ += 1088;
+    return Region{base, bytes, next_space_++};
+}
+
+void
+finalizeSize(compiler::KernelProgram &kp, uint64_t target_instrs)
+{
+    kp.outerReps = 1;
+    uint64_t per_rep = compiler::estimateDynamicSize(kp);
+    if (per_rep == 0)
+        fatal("program %s is empty", kp.name.c_str());
+    kp.outerReps = std::max<uint64_t>(1, target_instrs / per_rep);
+}
+
+std::function<void(mem::SparseMemory &)>
+combineInits(std::vector<std::function<void(mem::SparseMemory &)>> inits)
+{
+    return [inits = std::move(inits)](mem::SparseMemory &m) {
+        for (const auto &f : inits)
+            f(m);
+    };
+}
+
+void
+addStreamKernel(BuildCtx &ctx, const std::string &name,
+                const StreamSpec &spec)
+{
+    if (spec.streams == 0 || spec.loadsPerStream == 0)
+        fatal("stream kernel %s: needs streams and loads", name.c_str());
+
+    KernelBuilder b(name, ctx.kp.nextVRegId);
+
+    // Allocate the input streams (and the output stream if any).
+    // samePhase aligns every base to `align` (e.g. the cache size),
+    // which puts all streams on the same cache sets as they advance.
+    std::vector<Region> regions;
+    for (unsigned s = 0; s < spec.streams; ++s) {
+        regions.push_back(ctx.as.alloc(
+            spec.bytesPerStream, spec.samePhase ? spec.align : 64));
+    }
+    Region out;
+    if (spec.storeResult)
+        out = ctx.as.alloc(spec.bytesPerStream, 64);
+
+    // Trips: stay inside the smallest stream.
+    int64_t adv = spec.strideBytes * int64_t(spec.unroll);
+    int64_t span = int64_t(spec.unroll) * spec.strideBytes +
+                   int64_t(std::max(spec.loadsPerStream,
+                                    spec.echoLoads + 1)) *
+                       8 +
+                   32;
+    int64_t trips = spec.trips;
+    if (trips == 0)
+        trips = (int64_t(spec.bytesPerStream) - span) / adv;
+    if (trips < 1)
+        fatal("stream kernel %s: footprint too small", name.c_str());
+
+    b.countedLoop(0, trips);
+
+    std::vector<VReg> ptrs;
+    for (unsigned s = 0; s < spec.streams; ++s) {
+        uint64_t phase = (uint64_t(s) * spec.phaseStep) % 32;
+        ptrs.push_back(b.constI(int64_t(regions[s].base + phase)));
+    }
+    VReg outp;
+    if (spec.storeResult)
+        outp = b.constI(int64_t(out.base));
+    VReg fone;
+    if (spec.fpData)
+        fone = b.constF(1.0000001);
+
+    for (unsigned copy = 0; copy < spec.unroll; ++copy) {
+        int64_t cbase = int64_t(copy) * spec.strideBytes;
+
+        // Each load is folded into the accumulator *immediately* in
+        // source order, like the paper's scalar code: at load latency
+        // 1 the schedule keeps the use adjacent (all configurations
+        // converge, Figure 5); at larger assumed latencies the
+        // scheduler hoists later loads into the shadow.
+        unsigned folds = 0;
+        auto fold_into = [&](VReg &a, VReg v) {
+            if (!a.valid()) {
+                a = v;
+            } else if (spec.fpData) {
+                a = (++folds % 2) ? b.fadd(a, v) : b.fmul(a, v);
+            } else {
+                a = b.add(a, v);
+            }
+        };
+        auto load_one = [&](unsigned s, int64_t off) {
+            return spec.fpData
+                       ? b.fload(ptrs[s], off, regions[s].space)
+                       : b.load(ptrs[s], off, regions[s].space);
+        };
+        auto filler = [&](unsigned i) {
+            if (spec.fpData)
+                b.fadd(fone, fone);
+            else
+                b.addi(b.counter(), int64_t(i));
+        };
+        auto emit_store = [&](int64_t off, VReg value) {
+            if (spec.fpData)
+                b.fstore(outp, off, value, out.space);
+            else
+                b.store(outp, off, value, out.space);
+        };
+
+        VReg acc{};
+        for (unsigned s = 0; s < spec.streams; ++s) {
+            for (unsigned j = 0; j < spec.loadsPerStream; ++j)
+                fold_into(acc, load_one(s, cbase + int64_t(j) * 8));
+            for (unsigned i = 0; i < spec.interleaveOps; ++i)
+                filler(i);
+        }
+
+        // Each echo round is an independent element computation over
+        // the next word of every line: its loads are secondary misses
+        // of the fetches the primary round started.
+        for (unsigned e = 0; e < spec.echoLoads; ++e) {
+            VReg acc_e{};
+            for (unsigned s = 0; s < spec.streams; ++s) {
+                fold_into(acc_e,
+                          load_one(s, cbase + int64_t(e + 1) * 8));
+            }
+            if (spec.storeResult)
+                emit_store(cbase + int64_t(e + 1) * 8, acc_e);
+        }
+
+        for (unsigned i = 0; i < spec.chainOps; ++i) {
+            acc = spec.fpData ? b.fmul(acc, fone)
+                              : b.addi(acc, 1);
+        }
+        for (unsigned i = 0; i < spec.indepOps; ++i)
+            filler(i);
+
+        if (spec.storeResult)
+            emit_store(cbase, acc);
+    }
+
+    for (unsigned s = 0; s < spec.streams; ++s)
+        b.bump(ptrs[s], adv);
+    if (spec.storeResult)
+        b.bump(outp, adv);
+
+    ctx.kp.kernels.push_back(b.take());
+
+    // Initialize stream contents.
+    std::vector<Region> to_init = regions;
+    bool fp = spec.fpData;
+    uint64_t seed = ctx.seed ^ std::hash<std::string>{}(name);
+    ctx.inits.push_back([to_init, fp, seed](mem::SparseMemory &m) {
+        Rng rng(seed);
+        for (const Region &r : to_init) {
+            for (uint64_t a = r.base; a + 8 <= r.base + r.bytes; a += 8) {
+                if (fp)
+                    m.writeF64(a, 1.0 + double(rng.below(1000)) * 1e-4);
+                else
+                    m.write(a, 8, rng.below(1 << 20));
+            }
+        }
+    });
+}
+
+void
+addResidentKernel(BuildCtx &ctx, const std::string &name,
+                  const ResidentSpec &spec)
+{
+    if ((spec.bytes & (spec.bytes - 1)) != 0)
+        fatal("resident kernel %s: bytes must be a power of two",
+              name.c_str());
+
+    // Slack so loads at off + j*8 stay inside the initialized area.
+    Region r = ctx.as.alloc(spec.bytes + 64, 64);
+
+    KernelBuilder b(name, ctx.kp.nextVRegId);
+    b.countedLoop(0, spec.trips);
+    VReg base = b.constI(int64_t(r.base));
+    VReg off = b.constI(0);
+    VReg fone;
+    if (spec.fpData)
+        fone = b.constF(1.0000001);
+
+    VReg addr = b.add(base, off);
+    std::vector<VReg> vals;
+    for (unsigned j = 0; j < spec.loads; ++j) {
+        if (spec.fpData)
+            vals.push_back(b.fload(addr, int64_t(j) * 8, r.space));
+        else
+            vals.push_back(b.load(addr, int64_t(j) * 8, r.space));
+    }
+    VReg acc = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i)
+        acc = spec.fpData ? b.fadd(acc, vals[i]) : b.add(acc, vals[i]);
+    for (unsigned i = 0; i < spec.chainOps; ++i)
+        acc = spec.fpData ? b.fmul(acc, fone) : b.addi(acc, 1);
+    for (unsigned i = 0; i < spec.indepOps; ++i) {
+        if (spec.fpData)
+            b.fadd(vals[i % vals.size()], fone);
+        else
+            b.addi(b.counter(), int64_t(i));
+    }
+
+    VReg next = b.andi(b.addi(off, spec.strideBytes),
+                       int64_t(spec.bytes - 1) & ~int64_t(7));
+    b.assign(off, next);
+
+    ctx.kp.kernels.push_back(b.take());
+
+    uint64_t seed = ctx.seed ^ std::hash<std::string>{}(name);
+    bool fp = spec.fpData;
+    ctx.inits.push_back([r, fp, seed](mem::SparseMemory &m) {
+        Rng rng(seed);
+        for (uint64_t a = r.base; a + 8 <= r.base + r.bytes; a += 8) {
+            if (fp)
+                m.writeF64(a, 1.0 + double(rng.below(1000)) * 1e-4);
+            else
+                m.write(a, 8, rng.below(1 << 20));
+        }
+    });
+}
+
+void
+addChaseKernel(BuildCtx &ctx, const std::string &name,
+               const ChaseSpec &spec)
+{
+    if (spec.nodes < 2 || spec.nodeStride < 8 * (1 + spec.payloadLoads))
+        fatal("chase kernel %s: bad node layout", name.c_str());
+
+    Region region = ctx.as.alloc(spec.nodes * spec.nodeStride,
+                                 spec.regionAlign);
+
+    KernelBuilder b(name, ctx.kp.nextVRegId);
+    VReg ptr = b.constI(int64_t(region.base)); // head is node 0
+    b.whileNonZero(ptr, spec.nodes);
+
+    VReg next = b.load(ptr, 0, region.space);
+    VReg acc = next;
+    for (unsigned j = 0; j < spec.payloadLoads; ++j) {
+        VReg p = b.load(ptr, 8 + int64_t(j) * 8, region.space);
+        acc = b.add(acc, p);
+    }
+    for (unsigned i = 0; i < spec.intOps; ++i)
+        acc = b.addi(acc, 1);
+    b.assign(ptr, next);
+
+    ctx.kp.kernels.push_back(b.take());
+
+    uint64_t seed = ctx.seed ^ std::hash<std::string>{}(name);
+    ChaseSpec s = spec;
+    ctx.inits.push_back([region, s, seed](mem::SparseMemory &m) {
+        // Build the chain: node slot order is either sequential or a
+        // seeded permutation starting at slot 0.
+        std::vector<uint64_t> order(s.nodes);
+        for (uint64_t i = 0; i < s.nodes; ++i)
+            order[i] = i;
+        if (s.randomOrder) {
+            Rng rng(seed);
+            // Fisher-Yates over slots 1..n-1 (slot 0 stays the head).
+            for (uint64_t i = s.nodes - 1; i > 1; --i) {
+                uint64_t j = 1 + rng.below(i);
+                std::swap(order[i], order[j]);
+            }
+        }
+        for (uint64_t i = 0; i < s.nodes; ++i) {
+            uint64_t slot = order[i];
+            uint64_t addr = region.base + slot * s.nodeStride;
+            uint64_t next_addr =
+                i + 1 < s.nodes
+                    ? region.base + order[i + 1] * s.nodeStride
+                    : 0;
+            m.write(addr, 8, next_addr);
+            for (unsigned j = 0; j < s.payloadLoads; ++j)
+                m.write(addr + 8 + j * 8, 8, slot + j);
+        }
+    });
+}
+
+void
+addHashKernel(BuildCtx &ctx, const std::string &name,
+              const HashSpec &spec)
+{
+    if ((spec.tableBytes & (spec.tableBytes - 1)) != 0)
+        fatal("hash kernel %s: table size must be a power of two",
+              name.c_str());
+
+    Region table = ctx.as.alloc(spec.tableBytes, 64);
+
+    KernelBuilder b(name, ctx.kp.nextVRegId);
+    b.countedLoop(0, spec.trips);
+    VReg base = b.constI(int64_t(table.base));
+    VReg state = b.constI(int64_t(ctx.seed | 1));
+    int64_t mask = int64_t(spec.tableBytes - 1) & ~int64_t(7);
+
+    VReg cur = state;
+    for (unsigned p = 0; p < spec.probes; ++p) {
+        // xorshift-style mixing in registers (real computed indices).
+        VReg t1 = b.muli(cur, 0x9E3779B97F4A7C15LL);
+        VReg t2 = b.xor_(t1, b.shri(t1, 29));
+        VReg off = b.andi(b.shri(t2, 7), mask);
+        VReg addr = b.add(base, off);
+        VReg v = b.load(addr, 0, table.space);
+        for (unsigned i = 0; i < spec.indepOps; ++i)
+            b.addi(t2, int64_t(i)); // shadow work, independent of v
+        for (unsigned i = 0; i < spec.intOps; ++i)
+            v = b.addi(v, 1);
+        if (spec.storeBack)
+            b.store(addr, 0, v, table.space);
+        cur = spec.dependent ? b.xor_(t2, v) : t2;
+    }
+    b.assign(state, cur);
+
+    ctx.kp.kernels.push_back(b.take());
+
+    uint64_t seed = ctx.seed ^ std::hash<std::string>{}(name);
+    ctx.inits.push_back([table, seed](mem::SparseMemory &m) {
+        Rng rng(seed);
+        for (uint64_t a = table.base; a + 8 <= table.base + table.bytes;
+             a += 8) {
+            m.write(a, 8, rng.next() >> 8);
+        }
+    });
+}
+
+} // namespace nbl::workloads

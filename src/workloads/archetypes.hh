@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Archetype kernel builders.
+ *
+ * The 18 synthetic SPEC92 stand-ins are composed from three archetype
+ * families, whose knobs control exactly the properties that decide how
+ * much a non-blocking cache can help:
+ *
+ *  - stream kernels: unit- or line-strided sweeps over one or more
+ *    arrays with FP/integer compute; knobs set miss rate (footprint,
+ *    stride), miss clustering (streams x unroll), and dependence
+ *    distance (chain vs independent ops). Cache-size-aligned bases
+ *    reproduce su2cor's same-set conflict behaviour.
+ *  - chase kernels: serial pointer chasing (xlisp, spice2g6, ora):
+ *    every load depends on the previous one, so no organization can
+ *    overlap misses; random node order defeats spatial locality.
+ *  - hash kernels: computed-index probing (compress, eqntott,
+ *    espresso): indices come from register arithmetic; probes can be
+ *    dependent (serial) or drawn from independent streams.
+ */
+
+#ifndef NBL_WORKLOADS_ARCHETYPES_HH
+#define NBL_WORKLOADS_ARCHETYPES_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "compiler/vir.hh"
+#include "workloads/workload.hh"
+
+namespace nbl::workloads
+{
+
+/** Shared state threaded through archetype builders. */
+struct BuildCtx
+{
+    compiler::KernelProgram &kp;
+    AddressSpace &as;
+    std::vector<std::function<void(mem::SparseMemory &)>> &inits;
+    uint64_t seed;
+};
+
+/** Multi-stream sweep (see file comment). */
+struct StreamSpec
+{
+    unsigned streams = 2;
+    uint64_t bytesPerStream = 64 * 1024;
+    int64_t strideBytes = 8;      ///< Advance per (unrolled) iteration.
+    unsigned loadsPerStream = 1;  ///< Loads at ptr+0, +8, ... per iter.
+    bool fpData = true;
+    unsigned chainOps = 2;   ///< Dependent compute ops on the loads.
+    unsigned indepOps = 0;   ///< Independent compute ops (filler).
+    /**
+     * Independent ops emitted between the loads of consecutive
+     * streams. They separate misses in the instruction stream (the
+     * paper's codes have address arithmetic and bookkeeping between
+     * loads), which is what lets a hit-under-miss cache overlap part
+     * of each miss instead of stalling for the full penalty.
+     */
+    unsigned interleaveOps = 0;
+    /**
+     * Extra loads per stream at line offsets +8, +16, ... emitted
+     * *after* all streams' primary loads (and their interleaves).
+     * They revisit lines that are still in flight: configurations
+     * with secondary-miss merging (fc=, no restrict) absorb them for
+     * free, single-destination MSHRs (mc=) stall on them -- the
+     * paper's fc1-between-mc1-and-mc2 effect for doduc.
+     */
+    unsigned echoLoads = 0;
+    bool storeResult = false;///< Store the result to an output stream.
+    unsigned unroll = 1;     ///< Body replication at build time.
+    int64_t trips = 0;       ///< 0 = derive from the footprint.
+    uint64_t align = 64;     ///< Base alignment of each stream.
+    bool samePhase = false;  ///< All bases at phase 0 of `align`.
+    /**
+     * Per-stream line-phase offset in bytes (mod 32). 0 puts every
+     * stream at the same phase, so all streams cross a cache-line
+     * boundary on the same iteration: misses arrive in clusters of
+     * `streams` (what makes mc=2/fc=2 pay off). 8 staggers the
+     * crossings so misses arrive spread out (mc=1 is then enough).
+     */
+    unsigned phaseStep = 8;
+};
+
+/** Serial pointer chase. */
+struct ChaseSpec
+{
+    uint64_t nodes = 4096;
+    uint64_t nodeStride = 64;   ///< Spacing of node slots.
+    bool randomOrder = true;    ///< Permute the chain order.
+    unsigned payloadLoads = 1;  ///< Extra loads at ptr+8, +16, ...
+    unsigned intOps = 4;        ///< Filler ops on the payload.
+    uint64_t regionAlign = 64;
+};
+
+/**
+ * Cache-resident compute loop: loads sweep a small power-of-two
+ * region with the offset wrapped by a mask, so the trip count is
+ * independent of the footprint. Nearly every access hits; these
+ * kernels model the register-blocked compute phases that dilute a
+ * benchmark's miss density.
+ */
+struct ResidentSpec
+{
+    uint64_t bytes = 2048;   ///< Power of two, well under cache size.
+    unsigned loads = 1;
+    bool fpData = true;
+    unsigned chainOps = 4;
+    unsigned indepOps = 0;
+    int64_t strideBytes = 8;
+    int64_t trips = 1000;
+};
+
+/** Computed-index table probing. */
+struct HashSpec
+{
+    uint64_t tableBytes = 64 * 1024;
+    unsigned probes = 1;     ///< Probes per iteration.
+    bool dependent = true;   ///< Next index depends on loaded value.
+    unsigned intOps = 6;     ///< Ops on the loaded value (dependent).
+    unsigned indepOps = 0;   ///< Ops independent of the loaded value.
+    /**
+     * Store the updated value back to the probed slot. With dependent
+     * probing this makes the probe sequence evolve across outer
+     * repetitions (each pass sees the previous pass's updates), i.e.
+     * the traffic stays genuinely cold instead of cycling.
+     */
+    bool storeBack = false;
+    int64_t trips = 4096;
+};
+
+/** Append a stream kernel to the program. */
+void addStreamKernel(BuildCtx &ctx, const std::string &name,
+                     const StreamSpec &spec);
+
+/** Append a resident compute kernel to the program. */
+void addResidentKernel(BuildCtx &ctx, const std::string &name,
+                       const ResidentSpec &spec);
+
+/** Append a pointer-chase kernel to the program. */
+void addChaseKernel(BuildCtx &ctx, const std::string &name,
+                    const ChaseSpec &spec);
+
+/** Append a hash-probe kernel to the program. */
+void addHashKernel(BuildCtx &ctx, const std::string &name,
+                   const HashSpec &spec);
+
+/** Combine per-kernel initializers into one Workload initializer. */
+std::function<void(mem::SparseMemory &)>
+combineInits(std::vector<std::function<void(mem::SparseMemory &)>> inits);
+
+/**
+ * Choose KernelProgram::outerReps so the program executes roughly
+ * target_instrs dynamic instructions (pre-spill estimate).
+ */
+void finalizeSize(compiler::KernelProgram &kp, uint64_t target_instrs);
+
+} // namespace nbl::workloads
+
+#endif // NBL_WORKLOADS_ARCHETYPES_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Internal declarations of the 18 per-benchmark generators. Each
+ * make_* function builds the synthetic stand-in for one SPEC92
+ * benchmark; the comments in the implementation files cite the
+ * Figure 13 row each generator targets.
+ */
+
+#ifndef NBL_WORKLOADS_SPEC_DETAIL_HH
+#define NBL_WORKLOADS_SPEC_DETAIL_HH
+
+#include "workloads/archetypes.hh"
+#include "workloads/workload.hh"
+
+namespace nbl::workloads::detail
+{
+
+/** Shared scaffolding for the per-benchmark generators. */
+struct Builder
+{
+    Workload w;
+    AddressSpace as;
+    std::vector<std::function<void(mem::SparseMemory &)>> inits;
+    BuildCtx ctx;
+
+    Builder(const char *name, uint64_t seed)
+        : ctx{w.program, as, inits, seed}
+    {
+        w.name = name;
+        w.program.name = name;
+    }
+
+    /** Size to roughly base_instrs * scale and seal the workload. */
+    Workload
+    finish(double scale, uint64_t base_instrs)
+    {
+        finalizeSize(w.program, uint64_t(double(base_instrs) * scale));
+        w.init = combineInits(std::move(inits));
+        return std::move(w);
+    }
+};
+
+// spec_int.cc
+Workload make_compress(double scale);
+Workload make_eqntott(double scale);
+Workload make_espresso(double scale);
+Workload make_xlisp(double scale);
+
+// spec_fp_a.cc
+Workload make_alvinn(double scale);
+Workload make_doduc(double scale);
+Workload make_ear(double scale);
+Workload make_fpppp(double scale);
+Workload make_hydro2d(double scale);
+
+// spec_fp_b.cc
+Workload make_mdljdp2(double scale);
+Workload make_mdljsp2(double scale);
+Workload make_nasa7(double scale);
+Workload make_ora(double scale);
+Workload make_su2cor(double scale);
+
+// spec_fp_c.cc
+Workload make_swm256(double scale);
+Workload make_spice2g6(double scale);
+Workload make_tomcatv(double scale);
+Workload make_wave5(double scale);
+
+} // namespace nbl::workloads::detail
+
+#endif // NBL_WORKLOADS_SPEC_DETAIL_HH

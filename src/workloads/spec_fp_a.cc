@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Synthetic stand-ins for SPEC92 FP benchmarks: alvinn, doduc, ear,
+ * fpppp, hydro2d. Paper rows targeted (Figure 13, MCPI at latency 10):
+ *
+ *   alvinn   mc0 0.494  mc1 0.398  mc2 0.371  fc2 0.367  inf 0.365
+ *   doduc    mc0 0.346  mc1 0.245  mc2 0.147  fc1 0.197  fc2 0.109  inf 0.084
+ *   ear      mc0 0.094  mc1 0.067  mc2 0.050  inf 0.048
+ *   fpppp    mc0 0.434  mc1 0.234  mc2 0.119  fc2 0.091  inf 0.062
+ *   hydro2d  mc0 0.708  mc1 0.466  mc2 0.246  fc2 0.242  inf 0.189
+ *
+ * Tuning levers (see archetypes.hh): miss density = footprint /
+ * stride / body length; miss clustering = streams with phaseStep 0
+ * (all cross a line together); dependence depth = chainOps vs
+ * indepOps; dilution = resident kernels.
+ */
+
+#include "compiler/kernel.hh"
+#include "workloads/spec_detail.hh"
+
+namespace nbl::workloads::detail
+{
+
+/**
+ * alvinn: back-propagation network. One long weight stream with a
+ * tight dependent accumulation: misses are isolated and the consumer
+ * follows closely, so even the unrestricted cache hides only ~25% of
+ * the miss time and extra MSHRs barely help.
+ */
+Workload
+make_alvinn(double scale)
+{
+    Builder b("alvinn", 0xA141);
+
+    StreamSpec w;
+    w.streams = 1;
+    w.bytesPerStream = 128 * 1024;
+    w.strideBytes = 8;
+    w.chainOps = 3;    // acc = acc*w + x style chain
+    w.indepOps = 4;
+    addStreamKernel(b.ctx, "alvinn.fprop", w);
+
+    return b.finish(scale, 400000);
+}
+
+/**
+ * doduc: Monte Carlo reactor simulation; scalar FP code with clusters
+ * of ~3 misses to *different* lines, so two primary misses (mc=2)
+ * beat unlimited secondaries to one line (fc=1) -- the paper's key
+ * doduc observation. Resident physics tables dilute the miss density
+ * to doduc's ~9% load miss rate (Figure 8).
+ */
+Workload
+make_doduc(double scale)
+{
+    Builder b("doduc", 0xD0D0);
+
+    StreamSpec hot;
+    hot.streams = 3;             // cluster of 3 different lines
+    hot.bytesPerStream = 8 * 1024;
+    hot.strideBytes = 32;        // a new line per stream per iter
+    hot.interleaveOps = 4;       // address arithmetic between loads
+    hot.chainOps = 8;
+    hot.indepOps = 4;
+    hot.storeResult = true;
+    addStreamKernel(b.ctx, "doduc.sweep", hot);
+
+    // A second phase whose loads come in same-line pairs: secondary
+    // misses that fc-style merging absorbs but single-destination
+    // MSHRs serialize (gives fc=1 its edge over mc=1, Figure 5).
+    StreamSpec paired = hot;
+    paired.bytesPerStream = 6 * 1024;
+    paired.loadsPerStream = 2;
+    paired.chainOps = 6;
+    addStreamKernel(b.ctx, "doduc.paired", paired);
+
+    ResidentSpec tables;
+    tables.bytes = 2048;
+    tables.loads = 2;
+    tables.chainOps = 10;
+    tables.indepOps = 2;
+    tables.trips = 2000;
+    addResidentKernel(b.ctx, "doduc.tables", tables);
+    addResidentKernel(b.ctx, "doduc.tables2", tables);
+
+    return b.finish(scale, 500000);
+}
+
+/**
+ * ear: cochlea filterbank. Mostly resident filter state with a slow
+ * cold input stream: low miss rate, shallow clustering (mc2 == inf).
+ */
+Workload
+make_ear(double scale)
+{
+    Builder b("ear", 0xEA12);
+
+    StreamSpec in;
+    in.streams = 1;
+    in.bytesPerStream = 64 * 1024;
+    in.strideBytes = 8;
+    in.interleaveOps = 4;
+    in.chainOps = 10;
+    addStreamKernel(b.ctx, "ear.input", in);
+
+    ResidentSpec state;
+    state.bytes = 2048;
+    state.loads = 2;
+    state.chainOps = 12;
+    state.trips = 7000;
+    addResidentKernel(b.ctx, "ear.filter", state);
+
+    return b.finish(scale, 400000);
+}
+
+/**
+ * fpppp: electron-integral code famous for enormous basic blocks:
+ * wide clusters of independent loads (4 streams in phase) buried in
+ * deep arithmetic, plus heavy register pressure (its reference counts
+ * vary with the scheduled latency through spills). Strong gains from
+ * every added MSHR (mc1 3.8x vs inf in the paper).
+ */
+Workload
+make_fpppp(double scale)
+{
+    Builder b("fpppp", 0xF999);
+
+    StreamSpec big;
+    big.streams = 4;             // clusters of 4 different lines
+    big.bytesPerStream = 24 * 1024;
+    big.strideBytes = 32;
+    big.interleaveOps = 3;
+    big.chainOps = 18;
+    big.indepOps = 2;
+    big.storeResult = true;
+    addStreamKernel(b.ctx, "fpppp.block", big);
+
+    StreamSpec paired = big;
+    paired.bytesPerStream = 8 * 1024;
+    paired.loadsPerStream = 2;
+    paired.interleaveOps = 2;
+    addStreamKernel(b.ctx, "fpppp.paired", paired);
+
+    ResidentSpec aux;
+    aux.bytes = 2048;
+    aux.loads = 2;
+    aux.chainOps = 12;
+    aux.trips = 3000;
+    addResidentKernel(b.ctx, "fpppp.aux", aux);
+
+    // The famous fpppp basic block: two wide independent reduction
+    // chains over a resident table. At short scheduled latencies the
+    // temporaries die quickly; at long latencies the scheduler hoists
+    // both chains' loads and the allocator runs out of FP registers,
+    // spilling -- the paper's Figure 4 reference-count variation.
+    {
+        compiler::KernelBuilder kb("fpppp.integrals",
+                                   b.w.program.nextVRegId);
+        kb.countedLoop(0, 150);
+        compiler::VReg tbl = kb.constI(0x900000);
+        compiler::VReg out = kb.constI(0x908000);
+        // Twelve live coefficient registers, as a basis-function
+        // evaluation would hold, squeeze the allocatable FP pool.
+        std::vector<compiler::VReg> coef;
+        for (int c = 0; c < 12; ++c)
+            coef.push_back(kb.constF(1.0 + 0.001 * c));
+        for (int chain = 0; chain < 2; ++chain) {
+            compiler::VReg acc{};
+            for (int j = 0; j < 16; ++j) {
+                compiler::VReg v =
+                    kb.fload(tbl, (chain * 16 + j) * 8, -1);
+                compiler::VReg scaled = kb.fmul(v, coef[j % 12]);
+                acc = acc.valid() ? kb.fadd(acc, scaled) : scaled;
+            }
+            kb.fstore(out, chain * 8, acc, -1);
+        }
+        b.w.program.kernels.push_back(kb.take());
+        b.inits.push_back([](mem::SparseMemory &m) {
+            for (int j = 0; j < 32; ++j)
+                m.writeF64(0x900000 + j * 8, 1.0 + 1e-4 * j);
+        });
+    }
+
+    return b.finish(scale, 500000);
+}
+
+/**
+ * hydro2d: Navier-Stokes difference equations; paired grid streams
+ * with moderate compute. Higher miss rate than doduc, clusters of ~3.
+ */
+Workload
+make_hydro2d(double scale)
+{
+    Builder b("hydro2d", 0x46D0);
+
+    StreamSpec grid;
+    grid.streams = 3;            // clusters of 3 different lines
+    grid.bytesPerStream = 64 * 1024;
+    grid.strideBytes = 32;
+    grid.interleaveOps = 4;
+    grid.chainOps = 8;
+    grid.indepOps = 0;
+    grid.storeResult = true;
+    addStreamKernel(b.ctx, "hydro2d.step", grid);
+
+    ResidentSpec aux;
+    aux.bytes = 2048;
+    aux.loads = 2;
+    aux.chainOps = 8;
+    aux.trips = 2500;
+    addResidentKernel(b.ctx, "hydro2d.aux", aux);
+
+    return b.finish(scale, 450000);
+}
+
+} // namespace nbl::workloads::detail

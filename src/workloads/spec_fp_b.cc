@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Synthetic stand-ins for SPEC92 FP benchmarks: mdljdp2, mdljsp2,
+ * nasa7, ora, su2cor. Paper rows targeted (Figure 13, latency 10):
+ *
+ *   mdljdp2  mc0 0.314  mc1 0.231  mc2 0.193  inf 0.167
+ *   mdljsp2  mc0 0.154  mc1 0.088  mc2 0.057  inf 0.046
+ *   nasa7    mc0 1.865  mc1 1.452  mc2 0.753  fc2 0.670  inf 0.519
+ *   ora      all configurations 1.000 (fully serial misses)
+ *   su2cor   mc0 1.266  mc1 1.055  mc2 0.437  fc2 0.394  inf 0.093
+ *            and Figure 15: fs=1 is 2.3x inf, fs=2 is 1.3x
+ */
+
+#include "workloads/spec_detail.hh"
+
+namespace nbl::workloads::detail
+{
+
+/**
+ * mdljdp2: molecular dynamics (double precision). Staggered pair-list
+ * walks with a deep dependent force computation: misses are mostly
+ * isolated (mc1 close to inf) and moderately rare.
+ */
+Workload
+make_mdljdp2(double scale)
+{
+    Builder b("mdljdp2", 0x3D02);
+
+    StreamSpec pairs;
+    pairs.streams = 1;           // isolated misses, deep chains
+    pairs.bytesPerStream = 64 * 1024;
+    pairs.strideBytes = 32;
+    pairs.interleaveOps = 3;
+    pairs.echoLoads = 1;
+    pairs.chainOps = 14;
+    pairs.indepOps = 4;
+    addStreamKernel(b.ctx, "mdljdp2.force", pairs);
+    addStreamKernel(b.ctx, "mdljdp2.force2", pairs);
+
+    ResidentSpec upd;
+    upd.bytes = 2048;
+    upd.loads = 2;
+    upd.chainOps = 10;
+    upd.trips = 2600;
+    addResidentKernel(b.ctx, "mdljdp2.update", upd);
+
+    return b.finish(scale, 450000);
+}
+
+/**
+ * mdljsp2: the single-precision twin; lighter arithmetic with paired
+ * misses, heavily diluted by a resident update phase: rare misses
+ * that overlap well (mc1 1.9x inf, mc2 1.2x).
+ */
+Workload
+make_mdljsp2(double scale)
+{
+    Builder b("mdljsp2", 0x3D51);
+
+    StreamSpec pairs;
+    pairs.streams = 2;           // pairs of misses, light compute
+    pairs.bytesPerStream = 32 * 1024;
+    pairs.strideBytes = 32;
+    pairs.interleaveOps = 8;
+    pairs.chainOps = 2;
+    pairs.indepOps = 6;
+    addStreamKernel(b.ctx, "mdljsp2.force", pairs);
+
+    ResidentSpec upd;
+    upd.bytes = 2048;
+    upd.loads = 2;
+    upd.chainOps = 12;
+    upd.trips = 8000;
+    addResidentKernel(b.ctx, "mdljsp2.update", upd);
+
+    return b.finish(scale, 450000);
+}
+
+/**
+ * nasa7: seven numerical kernels (FFT, matrix ops, ...). Load-dense
+ * unrolled sweeps over large matrices: the highest MCPI of the suite;
+ * clusters of ~4 so each added MSHR pays off.
+ */
+Workload
+make_nasa7(double scale)
+{
+    Builder b("nasa7", 0x4A5A);
+
+    StreamSpec mxm;
+    mxm.streams = 4;             // clusters of 4 different lines
+    mxm.bytesPerStream = 96 * 1024;
+    mxm.strideBytes = 32;
+    mxm.interleaveOps = 2;
+    mxm.chainOps = 3;
+    mxm.storeResult = true;
+    addStreamKernel(b.ctx, "nasa7.mxm", mxm);
+
+    StreamSpec fft;
+    fft.streams = 2;
+    fft.bytesPerStream = 64 * 1024;
+    fft.strideBytes = 32;
+    fft.loadsPerStream = 2;      // paired: secondaries for fc=
+    fft.interleaveOps = 2;
+    fft.chainOps = 4;
+    addStreamKernel(b.ctx, "nasa7.fft", fft);
+
+    return b.finish(scale, 500000);
+}
+
+/**
+ * ora: ray tracing through optical surfaces. Modeled as a serial
+ * dependent chain where every miss is isolated and immediately used:
+ * no organization can overlap anything, reproducing the striking
+ * all-1.000 row of Figure 13. Body sized so one 16-cycle miss per 16
+ * instructions gives MCPI 1.0.
+ */
+Workload
+make_ora(double scale)
+{
+    Builder b("ora", 0x0ABA);
+
+    ChaseSpec ray;
+    ray.nodes = 8192;
+    ray.nodeStride = 64;     // one node per line, 512 KB footprint
+    ray.randomOrder = true;
+    ray.payloadLoads = 0;
+    ray.intOps = 13;         // 16 instructions per iteration
+    addChaseKernel(b.ctx, "ora.trace", ray);
+
+    return b.finish(scale, 400000);
+}
+
+/**
+ * su2cor: quantum-physics lattice code. Three large arrays whose
+ * bases are aligned to the cache size, so concurrent streams collide
+ * in the same sets of the direct-mapped cache: misses are conflict
+ * misses to *different addresses in the same set*. In-cache MSHR
+ * storage (one fetch per set, fs=1) serializes them; fs=2 recovers
+ * most of the loss (Figure 15); with enough MSHRs the independent
+ * conflict misses overlap almost fully (inf 0.093 vs mc1 1.055).
+ */
+Workload
+make_su2cor(double scale)
+{
+    Builder b("su2cor", 0x52C0);
+
+    // Bulk lattice sweep: clustered misses to *different* sets --
+    // overlappable even with one fetch per set.
+    StreamSpec lattice;
+    lattice.streams = 3;
+    lattice.bytesPerStream = 64 * 1024;
+    lattice.strideBytes = 32;   // a new line per stream per iter
+    lattice.interleaveOps = 3;
+    lattice.echoLoads = 1;
+    lattice.chainOps = 2;
+    lattice.indepOps = 4;
+    addStreamKernel(b.ctx, "su2cor.gauge", lattice);
+
+    // Update phase: arrays cache-size aligned and in phase, so its
+    // concurrent misses are to different addresses in the *same set*:
+    // the component that one-fetch-per-set (fs=1, in-cache MSHR
+    // storage) serializes (Figure 15).
+    StreamSpec conflict = lattice;
+    conflict.bytesPerStream = 32 * 1024;
+    conflict.align = 8 * 1024;
+    conflict.samePhase = true;
+    addStreamKernel(b.ctx, "su2cor.update", conflict);
+
+    ResidentSpec prop;
+    prop.bytes = 2048;
+    prop.loads = 2;
+    prop.chainOps = 8;
+    prop.trips = 5000;
+    addResidentKernel(b.ctx, "su2cor.prop", prop);
+
+    return b.finish(scale, 450000);
+}
+
+} // namespace nbl::workloads::detail

@@ -1,0 +1,64 @@
+#include "workloads/workload.hh"
+
+#include <unordered_map>
+
+#include "util/log.hh"
+#include "workloads/spec_detail.hh"
+
+namespace nbl::workloads
+{
+
+const std::vector<std::string> &
+workloadNames()
+{
+    // Figure 13 order.
+    static const std::vector<std::string> names = {
+        "alvinn", "doduc", "ear", "fpppp", "hydro2d", "mdljdp2",
+        "mdljsp2", "nasa7", "ora", "su2cor", "swm256", "spice2g6",
+        "tomcatv", "wave5", "compress", "eqntott", "espresso", "xlisp",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+detailedWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "doduc", "eqntott", "su2cor", "tomcatv", "xlisp",
+    };
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name, double scale)
+{
+    using Factory = Workload (*)(double);
+    static const std::unordered_map<std::string, Factory> factories = {
+        {"alvinn", detail::make_alvinn},
+        {"compress", detail::make_compress},
+        {"doduc", detail::make_doduc},
+        {"ear", detail::make_ear},
+        {"eqntott", detail::make_eqntott},
+        {"espresso", detail::make_espresso},
+        {"fpppp", detail::make_fpppp},
+        {"hydro2d", detail::make_hydro2d},
+        {"mdljdp2", detail::make_mdljdp2},
+        {"mdljsp2", detail::make_mdljsp2},
+        {"nasa7", detail::make_nasa7},
+        {"ora", detail::make_ora},
+        {"spice2g6", detail::make_spice2g6},
+        {"su2cor", detail::make_su2cor},
+        {"swm256", detail::make_swm256},
+        {"tomcatv", detail::make_tomcatv},
+        {"wave5", detail::make_wave5},
+        {"xlisp", detail::make_xlisp},
+    };
+    auto it = factories.find(name);
+    if (it == factories.end())
+        fatal("unknown workload '%s'", name.c_str());
+    if (scale <= 0.0)
+        fatal("workload scale must be positive");
+    return it->second(scale);
+}
+
+} // namespace nbl::workloads

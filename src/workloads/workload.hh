@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Synthetic workload infrastructure.
+ *
+ * The paper evaluates 18 SPEC92 benchmarks compiled by the Multiflow
+ * compiler and executed through an object-code translation system. We
+ * have neither SPEC92 sources nor that toolchain, so each benchmark is
+ * replaced by a synthetic generator that reproduces the *structural*
+ * properties that drive non-blocking-load behaviour: data footprint,
+ * miss rate, miss clustering, load->use dependence distance, set
+ * conflicts, and instruction mix. DESIGN.md documents the substitution
+ * rationale; each generator's comment cites the Figure 13 row it
+ * targets.
+ *
+ * A Workload is a KernelProgram (compiled at each scheduled load
+ * latency by the harness) plus a memory-image initializer.
+ */
+
+#ifndef NBL_WORKLOADS_WORKLOAD_HH
+#define NBL_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "compiler/vir.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nbl::workloads
+{
+
+/** A named region of simulated memory with a dependence-space id. */
+struct Region
+{
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+    int32_t space = -1;
+};
+
+/**
+ * Bump allocator for simulated memory regions. Also hands out the
+ * memory-dependence space ids the scheduler uses for alias analysis.
+ * The area below the start address is reserved (spill area lives at
+ * compiler::spillAreaBase).
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(uint64_t start = 0x100000) : cursor_(start) {}
+
+    /**
+     * Allocate a region.
+     * @param bytes Region size.
+     * @param align Base alignment (power of two). Aligning to the
+     *        cache size forces regions onto the same cache sets
+     *        (used by the su2cor-style conflict workloads).
+     * @param phase Byte offset added after alignment.
+     */
+    Region alloc(uint64_t bytes, uint64_t align = 64, uint64_t phase = 0);
+
+  private:
+    uint64_t cursor_;
+    int32_t next_space_ = 0;
+};
+
+/** A complete synthetic benchmark. */
+struct Workload
+{
+    std::string name;
+    compiler::KernelProgram program;
+    /** Prepare the architectural memory image before a run. */
+    std::function<void(mem::SparseMemory &)> init;
+
+    /** Apply init to a fresh memory image. */
+    mem::SparseMemory
+    makeMemory() const
+    {
+        mem::SparseMemory m;
+        if (init)
+            init(m);
+        return m;
+    }
+};
+
+/** The 18 SPEC92 benchmark names, in Figure 13 order. */
+const std::vector<std::string> &workloadNames();
+
+/** The five benchmarks the paper discusses in detail. */
+const std::vector<std::string> &detailedWorkloadNames();
+
+/**
+ * Build a workload by name.
+ * @param name One of workloadNames().
+ * @param scale Size multiplier on the dynamic instruction count
+ *        (approximately; 1.0 is a few hundred thousand instructions).
+ */
+Workload makeWorkload(const std::string &name, double scale = 1.0);
+
+} // namespace nbl::workloads
+
+#endif // NBL_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for cache geometry arithmetic, including the baseline
+ * configurations the paper uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_geometry.hh"
+
+using namespace nbl::mem;
+
+TEST(CacheGeometry, Baseline8KDirectMapped)
+{
+    CacheGeometry g(8 * 1024, 32, 1);
+    EXPECT_EQ(g.numSets(), 256u);
+    EXPECT_EQ(g.numLines(), 256u);
+    EXPECT_FALSE(g.fullyAssociative());
+}
+
+TEST(CacheGeometry, AddressDecomposition)
+{
+    CacheGeometry g(8 * 1024, 32, 1);
+    uint64_t addr = 0x12345678;
+    EXPECT_EQ(g.blockAddr(addr), 0x12345660u);
+    EXPECT_EQ(g.offset(addr), 0x18u);
+    EXPECT_EQ(g.setIndex(addr), (addr / 32) % 256);
+    EXPECT_EQ(g.tag(addr), addr / 32 / 256);
+    // Reassembly is lossless.
+    EXPECT_EQ(g.tag(addr) * 256 * 32 + g.setIndex(addr) * 32 +
+                  g.offset(addr),
+              addr);
+}
+
+TEST(CacheGeometry, SameSetDifferentTag)
+{
+    CacheGeometry g(8 * 1024, 32, 1);
+    // Addresses 8KB apart map to the same set (su2cor's conflicts).
+    EXPECT_EQ(g.setIndex(0x100000), g.setIndex(0x100000 + 8 * 1024));
+    EXPECT_NE(g.tag(0x100000), g.tag(0x100000 + 8 * 1024));
+}
+
+TEST(CacheGeometry, FullyAssociative)
+{
+    CacheGeometry g(8 * 1024, 32, 0);
+    EXPECT_TRUE(g.fullyAssociative());
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.setIndex(0xabcdef), 0u);
+    EXPECT_EQ(g.tag(0xabcdef), 0xabcdefu / 32);
+}
+
+TEST(CacheGeometry, SetAssociative)
+{
+    CacheGeometry g(8 * 1024, 32, 4);
+    EXPECT_EQ(g.numSets(), 64u);
+    EXPECT_EQ(g.ways(), 4u);
+}
+
+TEST(CacheGeometry, SubBlockIndex)
+{
+    CacheGeometry g(8 * 1024, 32, 1);
+    // 4 sub-blocks of 8 bytes.
+    EXPECT_EQ(g.subBlock(0x1000, 4), 0u);
+    EXPECT_EQ(g.subBlock(0x1008, 4), 1u);
+    EXPECT_EQ(g.subBlock(0x101f, 4), 3u);
+    // 8 sub-blocks of 4 bytes (the paper's 140-bit implicit MSHR).
+    EXPECT_EQ(g.subBlock(0x1004, 8), 1u);
+    EXPECT_EQ(g.subBlock(0x101c, 8), 7u);
+}
+
+class GeometryParams
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>>
+{
+};
+
+TEST_P(GeometryParams, InvariantsHold)
+{
+    auto [size, line] = GetParam();
+    CacheGeometry g(size, line, 1);
+    EXPECT_EQ(g.numSets() * line, size);
+    for (uint64_t addr : {uint64_t{0}, uint64_t{0x7fff}, uint64_t{1} << 40,
+                          (uint64_t{1} << 47) - 1}) {
+        EXPECT_EQ(g.blockAddr(addr) % line, 0u);
+        EXPECT_LT(g.offset(addr), line);
+        EXPECT_LT(g.setIndex(addr), g.numSets());
+        EXPECT_EQ(g.blockAddr(addr) + g.offset(addr), addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeometryParams,
+    ::testing::Combine(::testing::Values(uint64_t{8192}, uint64_t{65536}),
+                       ::testing::Values(uint64_t{16}, uint64_t{32},
+                                         uint64_t{64})));
+
+using CacheGeometryDeath = CacheGeometry;
+
+TEST(CacheGeometryDeathTest, RejectsNonPow2Size)
+{
+    EXPECT_EXIT(CacheGeometry(8000, 32, 1),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(CacheGeometryDeathTest, RejectsLineBiggerThanCache)
+{
+    EXPECT_EXIT(CacheGeometry(32, 64, 1), ::testing::ExitedWithCode(1),
+                "");
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the output back ends: the ASCII chart renderer and the
+ * CSV exporter that feed the figure binaries and nbl-sim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hh"
+#include "util/chart.hh"
+
+using namespace nbl;
+
+TEST(AsciiChart, EmptyChartDoesNotCrash)
+{
+    AsciiChart c;
+    EXPECT_NE(c.str().find("empty"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersAxesAndLegend)
+{
+    AsciiChart c(40, 10, "x", "y");
+    c.addSeries("alpha", {{1, 0.5}, {10, 1.5}});
+    c.addSeries("beta", {{1, 1.0}, {10, 0.2}});
+    std::string s = c.str();
+    EXPECT_NE(s.find("a=alpha"), std::string::npos);
+    EXPECT_NE(s.find("b=beta"), std::string::npos);
+    EXPECT_NE(s.find('x'), std::string::npos);
+    EXPECT_NE(s.find('y'), std::string::npos);
+    EXPECT_NE(s.find('|'), std::string::npos);  // y axis
+    EXPECT_NE(s.find("+--"), std::string::npos); // x axis
+    // Both markers appear in the plot body.
+    EXPECT_NE(s.find('a'), std::string::npos);
+    EXPECT_NE(s.find('b'), std::string::npos);
+}
+
+TEST(AsciiChart, HigherValuesPlotHigher)
+{
+    AsciiChart c(40, 10);
+    c.addSeries("hi", {{0, 10.0}, {1, 10.0}});
+    c.addSeries("lo", {{0, 1.0}, {1, 1.0}});
+    std::string s = c.str();
+    size_t hi_pos = s.find('a');
+    size_t lo_pos = s.find('b');
+    ASSERT_NE(hi_pos, std::string::npos);
+    ASSERT_NE(lo_pos, std::string::npos);
+    EXPECT_LT(hi_pos, lo_pos); // earlier in the string = higher row
+}
+
+TEST(AsciiChart, OverlappingSeriesMarkedWithStar)
+{
+    AsciiChart c(40, 10);
+    c.addSeries("one", {{0, 1.0}, {1, 1.0}});
+    c.addSeries("two", {{0, 1.0}, {1, 1.0}});
+    EXPECT_NE(c.str().find('*'), std::string::npos);
+}
+
+TEST(CurvesCsv, HeaderAndRows)
+{
+    harness::Lab lab(0.05);
+    harness::ExperimentConfig base;
+    auto curves = harness::sweepCurves(lab, "eqntott", base,
+                                       {core::ConfigName::Mc0,
+                                        core::ConfigName::NoRestrict});
+    std::string csv = harness::curvesCsv(curves);
+    // Header with sanitized labels, then one row per latency.
+    EXPECT_EQ(csv.find("load_latency,mc_0,no_restrict"), 0u);
+    size_t rows = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(rows, 1u + 6u); // header + 6 latencies
+    EXPECT_NE(csv.find("\n1,"), std::string::npos);
+    EXPECT_NE(csv.find("\n20,"), std::string::npos);
+    // No spaces anywhere (machine-readable).
+    EXPECT_EQ(csv.find(' '), std::string::npos);
+}
+
+TEST(CurvesCsv, EmptyCurves)
+{
+    EXPECT_EQ(harness::curvesCsv({}), "load_latency\n");
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Integration tests of the whole compiler pipeline + interpreter:
+ * loop trip counts, while-loops, outer repetitions, and the central
+ * property that the scheduled load latency never changes a program's
+ * architectural results -- only its timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/kernel.hh"
+#include "exec/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using namespace nbl::compiler;
+
+namespace
+{
+
+exec::MachineConfig
+baseline(core::ConfigName cfg = core::ConfigName::NoRestrict)
+{
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(cfg);
+    return mc;
+}
+
+} // namespace
+
+TEST(CompileExecute, CountedLoopRunsExactTripCount)
+{
+    KernelProgram kp;
+    kp.name = "count";
+    KernelBuilder b("count", kp.nextVRegId);
+    b.countedLoop(0, 37);
+    VReg out = b.constI(0x10000);
+    VReg v = b.load(out, 0, 0);
+    VReg v2 = b.addi(v, 1);
+    b.store(out, 0, v2, 0);
+    kp.kernels.push_back(b.take());
+
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    auto res = exec::run(prog, m, baseline());
+    EXPECT_EQ(m.read(0x10000, 8), 37u); // incremented once per trip
+    EXPECT_FALSE(res.hitInstructionCap);
+}
+
+TEST(CompileExecute, OuterRepsMultiplyWork)
+{
+    KernelProgram kp;
+    kp.name = "reps";
+    KernelBuilder b("reps", kp.nextVRegId);
+    b.countedLoop(0, 5);
+    VReg out = b.constI(0x10000);
+    VReg v = b.load(out, 0, 0);
+    b.store(out, 0, b.addi(v, 1), 0);
+    kp.kernels.push_back(b.take());
+    kp.outerReps = 7;
+
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::run(prog, m, baseline());
+    EXPECT_EQ(m.read(0x10000, 8), 35u);
+}
+
+TEST(CompileExecute, WhileLoopTerminatesOnNullPointer)
+{
+    KernelProgram kp;
+    kp.name = "chase";
+    KernelBuilder b("chase", kp.nextVRegId);
+    VReg ptr = b.constI(0x10000);
+    b.whileNonZero(ptr, 3);
+    VReg next = b.load(ptr, 0, 0);
+    VReg cnt_ptr = b.constI(0x20000);
+    VReg c = b.load(cnt_ptr, 0, 1);
+    b.store(cnt_ptr, 0, b.addi(c, 1), 1);
+    b.assign(ptr, next);
+    kp.kernels.push_back(b.take());
+
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    // 3-node chain: 0x10000 -> 0x11000 -> 0x12000 -> null.
+    m.write(0x10000, 8, 0x11000);
+    m.write(0x11000, 8, 0x12000);
+    m.write(0x12000, 8, 0);
+    exec::run(prog, m, baseline());
+    EXPECT_EQ(m.read(0x20000, 8), 3u); // visited every node once
+}
+
+TEST(CompileExecute, MultipleKernelsRunInOrder)
+{
+    KernelProgram kp;
+    kp.name = "two";
+    {
+        KernelBuilder b("first", kp.nextVRegId);
+        b.countedLoop(0, 1);
+        VReg out = b.constI(0x10000);
+        b.store(out, 0, b.limm(11), 0);
+        kp.kernels.push_back(b.take());
+    }
+    {
+        KernelBuilder b("second", kp.nextVRegId);
+        b.countedLoop(0, 1);
+        VReg out = b.constI(0x10000);
+        VReg v = b.load(out, 0, 0);
+        b.store(out, 8, b.muli(v, 3), 0);
+        kp.kernels.push_back(b.take());
+    }
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::run(prog, m, baseline());
+    EXPECT_EQ(m.read(0x10008, 8), 33u);
+}
+
+TEST(CompileExecute, InstructionCapIsReported)
+{
+    KernelProgram kp;
+    kp.name = "cap";
+    KernelBuilder b("cap", kp.nextVRegId);
+    b.countedLoop(0, 1000000);
+    VReg out = b.constI(0x10000);
+    b.load(out, 0, 0);
+    kp.kernels.push_back(b.take());
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::MachineConfig mc = baseline();
+    mc.maxInstructions = 1000;
+    auto res = exec::run(prog, m, mc);
+    EXPECT_TRUE(res.hitInstructionCap);
+    EXPECT_LE(res.cpu.instructions, 1000u);
+}
+
+class ScheduleTransparency
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(ScheduleTransparency, LatencyNeverChangesResults)
+{
+    // The paper's methodology requires that the load-latency parameter
+    // affects only scheduling. We verify the stronger architectural
+    // property on the synthetic workloads themselves: every scheduled
+    // latency leaves the same workload data behind (spill slots are
+    // excluded -- they legitimately differ between schedules).
+    auto [name, lat] = GetParam();
+    workloads::Workload w = workloads::makeWorkload(name, 0.05);
+
+    auto run_mem = [&](int latency, bool schedule) {
+        CompileParams cp;
+        cp.loadLatency = latency;
+        cp.schedule = schedule;
+        isa::Program prog = compile(w.program, cp);
+        mem::SparseMemory m = w.makeMemory();
+        exec::run(prog, m, baseline());
+        // Skip the spill area (first 64 KB of address space).
+        return m.checksumRange(0x100000, 0x500000);
+    };
+
+    uint64_t reference = run_mem(1, /*schedule=*/false);
+    EXPECT_EQ(run_mem(lat, true), reference)
+        << name << " at latency " << lat;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ScheduleTransparency,
+    ::testing::Combine(::testing::Values("doduc", "tomcatv", "eqntott",
+                                         "xlisp", "su2cor", "ora"),
+                       ::testing::Values(1, 6, 20)));
+
+TEST(CompileExecute, TimingConfigsShareFunctionalResults)
+{
+    // Cache policy must never change architectural state either.
+    workloads::Workload w = workloads::makeWorkload("compress", 0.05);
+    isa::Program prog = compile(w.program, CompileParams{});
+    uint64_t ref = 0;
+    bool first = true;
+    for (auto cfg : {core::ConfigName::Mc0Wma, core::ConfigName::Mc1,
+                     core::ConfigName::Fs1,
+                     core::ConfigName::NoRestrict}) {
+        mem::SparseMemory m = w.makeMemory();
+        exec::run(prog, m, baseline(cfg));
+        uint64_t sum = m.checksumRange(0x100000, 0x500000);
+        if (first) {
+            ref = sum;
+            first = false;
+        } else {
+            EXPECT_EQ(sum, ref) << core::configLabel(cfg);
+        }
+    }
+}
+
+TEST(CompileExecute, SpilledScheduleStillCorrect)
+{
+    // fpppp's big block spills at long latencies; its results must
+    // still match the unscheduled build.
+    workloads::Workload w = workloads::makeWorkload("fpppp", 0.05);
+    CompileParams sched;
+    sched.loadLatency = 20;
+    CompileInfo info;
+    isa::Program p1 = compile(w.program, sched, &info);
+    CompileParams plain;
+    plain.schedule = false;
+    isa::Program p0 = compile(w.program, plain);
+
+    mem::SparseMemory m1 = w.makeMemory();
+    mem::SparseMemory m0 = w.makeMemory();
+    exec::run(p1, m1, baseline());
+    exec::run(p0, m0, baseline());
+    EXPECT_EQ(m1.checksumRange(0x100000, 0x500000),
+              m0.checksumRange(0x100000, 0x500000));
+}

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the modeled extensions beyond the paper's baseline:
+ * non-blocking write-allocate stores (section 1's buffered
+ * fetch-on-write), finite register write ports for fills (the
+ * section-6 correction), and the in-cache MSHR fill penalty
+ * (section 2.3's read-port observation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/nonblocking_cache.hh"
+#include "harness/experiment.hh"
+
+using namespace nbl;
+using namespace nbl::core;
+using nbl::mem::CacheGeometry;
+using nbl::mem::MainMemory;
+
+namespace
+{
+
+constexpr uint64_t kA = 0x100000;
+constexpr uint64_t kB = 0x200040;
+
+MshrPolicy
+allocStores(ConfigName cfg)
+{
+    MshrPolicy p = makePolicy(cfg);
+    p.storeMode = StoreMode::WriteAllocate;
+    return p;
+}
+
+} // namespace
+
+TEST(StoreAllocate, StoreMissFetchesWithoutStalling)
+{
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       allocStores(ConfigName::Fc2), MainMemory());
+    auto out = c.store(kA, 8, 100);
+    EXPECT_EQ(out.kind, AccessKind::Primary);
+    EXPECT_EQ(out.procFreeAt, 101u); // processor does not wait
+    EXPECT_EQ(c.stats().storePrimaryMisses, 1u);
+    EXPECT_EQ(c.stats().fetches, 1u);
+    // The line arrives and subsequent accesses hit.
+    auto hit = c.load(kA + 8, 8, 200, 1);
+    EXPECT_EQ(hit.kind, AccessKind::Hit);
+}
+
+TEST(StoreAllocate, StoreMergesIntoInflightLoadFetch)
+{
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       allocStores(ConfigName::Fc2), MainMemory());
+    c.load(kA, 8, 100, 1);
+    auto out = c.store(kA + 8, 8, 103);
+    EXPECT_EQ(out.kind, AccessKind::Secondary);
+    EXPECT_EQ(c.stats().storeSecondaryMisses, 1u);
+    EXPECT_EQ(c.stats().fetches, 1u); // merged
+}
+
+TEST(StoreAllocate, StoresConsumeMissResources)
+{
+    // Under mc=1 with write-allocate stores, a store miss occupies
+    // the single MSHR: a following load miss structurally stalls.
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       allocStores(ConfigName::Mc1), MainMemory());
+    c.store(kA, 8, 100);
+    auto out = c.load(kB, 8, 102, 1);
+    EXPECT_TRUE(out.structStalled);
+    EXPECT_EQ(out.issueCycle, 117u);
+}
+
+TEST(StoreAllocate, WriteBufferEntriesAreFinite)
+{
+    // Nine outstanding store misses need nine write-buffer entries;
+    // only eight exist, so the ninth stalls until the first fill.
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       allocStores(ConfigName::NoRestrict),
+                       MainMemory());
+    for (unsigned i = 0; i < isa::numWriteBufferDests; ++i) {
+        auto out = c.store(kA + 0x1000 * i, 8, 100 + i);
+        EXPECT_FALSE(out.structStalled) << i;
+    }
+    auto ninth = c.store(kA + 0x9000, 8, 110);
+    EXPECT_TRUE(ninth.structStalled);
+    EXPECT_EQ(ninth.issueCycle, 117u); // first store's fill time
+    EXPECT_GE(c.stats().storeStructStalls, 1u);
+}
+
+TEST(StoreAllocate, BlockingModesIgnoreStoreMode)
+{
+    MshrPolicy p = makePolicy(ConfigName::Mc0);
+    p.storeMode = StoreMode::WriteAllocate;
+    NonblockingCache c(CacheGeometry(8192, 32, 1), p, MainMemory());
+    auto out = c.store(kA, 8, 100);
+    EXPECT_EQ(out.procFreeAt, 101u); // plain write-around
+    EXPECT_FALSE(c.tags().present(kA));
+}
+
+TEST(StoreAllocate, EndToEndOrderingPreserved)
+{
+    // Write-allocate stores must not break the capability ordering.
+    harness::Lab lab(0.08);
+    double prev = 1e9;
+    for (auto cfg : {ConfigName::Mc1, ConfigName::Fc2,
+                     ConfigName::NoRestrict}) {
+        harness::ExperimentConfig e;
+        e.loadLatency = 10;
+        e.customPolicy = allocStores(cfg);
+        double m = lab.run("tomcatv", e).mcpi();
+        EXPECT_LE(m, prev + 1e-9) << configLabel(cfg);
+        prev = m;
+    }
+}
+
+TEST(FillPorts, UnlimitedPortsFillSimultaneously)
+{
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       makePolicy(ConfigName::NoRestrict),
+                       MainMemory(), /*fill_write_ports=*/0);
+    auto a = c.load(kA, 8, 100, 1);
+    auto b = c.load(kA + 8, 8, 101, 2);
+    EXPECT_EQ(a.dataReady, b.dataReady); // paper baseline
+}
+
+TEST(FillPorts, OnePortStaggersDestinations)
+{
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       makePolicy(ConfigName::NoRestrict),
+                       MainMemory(), /*fill_write_ports=*/1);
+    auto a = c.load(kA, 8, 100, 1);
+    auto b = c.load(kA + 8, 8, 101, 2);
+    auto d = c.load(kA + 16, 8, 102, 3);
+    EXPECT_EQ(a.dataReady, 117u);
+    EXPECT_EQ(b.dataReady, 118u); // second register fills a cycle later
+    EXPECT_EQ(d.dataReady, 119u);
+}
+
+TEST(FillPorts, TwoPortsFillPairsPerCycle)
+{
+    NonblockingCache c(CacheGeometry(8192, 32, 1),
+                       makePolicy(ConfigName::NoRestrict),
+                       MainMemory(), /*fill_write_ports=*/2);
+    uint64_t ready[4];
+    for (unsigned i = 0; i < 4; ++i)
+        ready[i] = c.load(kA + 8 * i, 8, 100 + i, i + 1).dataReady;
+    EXPECT_EQ(ready[0], ready[1]);
+    EXPECT_EQ(ready[2], ready[3]);
+    EXPECT_EQ(ready[2], ready[0] + 1);
+}
+
+TEST(FillPorts, FewerPortsNeverFaster)
+{
+    harness::Lab lab(0.08);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    e.config = ConfigName::Fc2;
+    double unlimited = lab.run("tomcatv", e).mcpi();
+    e.fillWritePorts = 1;
+    double one = lab.run("tomcatv", e).mcpi();
+    EXPECT_GE(one, unlimited);
+}
+
+TEST(PerSetLimits, FullyAssociativeCacheHasNoPerSetBinding)
+{
+    // In-cache MSHR storage allows one pending fetch per cache line;
+    // with full associativity any line can be in transit, so fs=1
+    // must not serialize independent fetches.
+    NonblockingCache c(CacheGeometry(8192, 32, 0),
+                       makePolicy(ConfigName::Fs1), MainMemory());
+    auto a = c.load(kA, 8, 100, 1);
+    auto b = c.load(kB, 8, 101, 2);
+    EXPECT_FALSE(a.structStalled);
+    EXPECT_FALSE(b.structStalled);
+    EXPECT_EQ(c.stats().fetches, 2u);
+}
+
+TEST(InCachePenalty, ExtraFillCyclesLengthenMisses)
+{
+    MshrPolicy p = makePolicy(ConfigName::Fs1);
+    p.fillExtraCycles = 3; // e.g. reading a 32B line 8B at a time
+    NonblockingCache c(CacheGeometry(8192, 32, 1), p, MainMemory());
+    auto out = c.load(kA, 8, 100, 1);
+    EXPECT_EQ(out.dataReady, 100u + 1 + 16 + 3);
+}
+
+TEST(InCachePenalty, NamedInCacheConfig)
+{
+    // The named configuration combines one-fetch-per-set with the
+    // fill read penalty.
+    MshrPolicy p = makePolicy(ConfigName::InCache);
+    EXPECT_EQ(p.fetchesPerSet, 1);
+    EXPECT_GT(p.fillExtraCycles, 0u);
+    EXPECT_STREQ(configLabel(ConfigName::InCache), "in-cache");
+
+    NonblockingCache c(CacheGeometry(8192, 32, 1), p, MainMemory());
+    auto out = c.load(kA, 8, 100, 1);
+    EXPECT_EQ(out.dataReady, 100u + 1 + 16 + p.fillExtraCycles);
+    // And it must never beat plain fs=1.
+    harness::Lab lab(0.08);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    e.config = ConfigName::InCache;
+    double incache = lab.run("su2cor", e).mcpi();
+    e.config = ConfigName::Fs1;
+    double fs1 = lab.run("su2cor", e).mcpi();
+    EXPECT_GE(incache, fs1);
+}
+
+TEST(InCachePenalty, PerSetCapacityTracksAssociativity)
+{
+    // Section 4.2: in-cache storage in a set-associative cache can
+    // keep one fetch per way in flight.
+    NonblockingCache two(CacheGeometry(8192, 32, 2),
+                         makePolicy(ConfigName::InCache), MainMemory());
+    EXPECT_EQ(two.policy().fetchesPerSet, 2);
+    // Two conflicting blocks (same set) fetch concurrently...
+    auto a = two.load(kA, 8, 100, 1);
+    auto b = two.load(kA + 4096, 8, 101, 2); // same set in 2-way 8KB
+    EXPECT_FALSE(a.structStalled);
+    EXPECT_FALSE(b.structStalled);
+    // ...but a third stalls.
+    auto c3 = two.load(kA + 3 * 4096, 8, 102, 3);
+    EXPECT_TRUE(c3.structStalled);
+}
+
+TEST(InCachePenalty, EndToEndCostOfInCacheStorage)
+{
+    // fs=1 with the read penalty must be at least as slow as fs=1
+    // without it.
+    harness::Lab lab(0.08);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    e.config = ConfigName::Fs1;
+    double plain = lab.run("su2cor", e).mcpi();
+    MshrPolicy p = makePolicy(ConfigName::Fs1);
+    p.fillExtraCycles = 3;
+    e.customPolicy = p;
+    double taxed = lab.run("su2cor", e).mcpi();
+    EXPECT_GE(taxed, plain);
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the time-weighted in-flight histograms (Figure 6's
+ * measurement machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/flight_tracker.hh"
+
+using namespace nbl::core;
+
+TEST(LevelHistogram, ChargesIntervalsToLevels)
+{
+    LevelHistogram h;
+    h.set(1, 10);  // level 0 during [0, 10)
+    h.set(2, 15);  // level 1 during [10, 15)
+    h.set(0, 25);  // level 2 during [15, 25)
+    h.finalize(100); // level 0 during [25, 100)
+    EXPECT_EQ(h.cyclesAt(0), 85u);
+    EXPECT_EQ(h.cyclesAt(1), 5u);
+    EXPECT_EQ(h.cyclesAt(2), 10u);
+    EXPECT_EQ(h.totalCycles(), 100u);
+    EXPECT_EQ(h.maxSeen(), 2u);
+}
+
+TEST(LevelHistogram, IncrementDecrement)
+{
+    LevelHistogram h;
+    h.increment(5);
+    h.increment(7);
+    h.decrement(12);
+    h.decrement(20);
+    h.finalize(20);
+    EXPECT_EQ(h.cyclesAt(0), 5u);
+    EXPECT_EQ(h.cyclesAt(1), 2u + 8u);
+    EXPECT_EQ(h.cyclesAt(2), 5u);
+}
+
+TEST(LevelHistogram, Fractions)
+{
+    LevelHistogram h;
+    h.set(1, 50);   // busy from 50
+    h.set(2, 75);
+    h.set(0, 100);
+    h.finalize(100);
+    EXPECT_DOUBLE_EQ(h.fractionAbove0(), 0.5);
+    // Of the 50 busy cycles: 25 at level 1, 25 at level 2.
+    EXPECT_DOUBLE_EQ(h.fractionOfBusyAt(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionOfBusyAt(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionOfBusyAt(3), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionOfBusyAtLeast(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionOfBusyAtLeast(1), 1.0);
+}
+
+TEST(LevelHistogram, EmptyHistogramHasZeroFractions)
+{
+    LevelHistogram h;
+    h.finalize(0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove0(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionOfBusyAt(1), 0.0);
+}
+
+TEST(LevelHistogram, DeepLevelsShareTopBucket)
+{
+    LevelHistogram h;
+    h.set(LevelHistogram::maxLevel + 10, 0);
+    h.set(0, 5);
+    h.finalize(5);
+    EXPECT_EQ(h.cyclesAt(LevelHistogram::maxLevel), 5u);
+    EXPECT_EQ(h.maxSeen(), LevelHistogram::maxLevel + 10);
+}
+
+TEST(LevelHistogram, SameTimeEventsAreFine)
+{
+    LevelHistogram h;
+    h.increment(10);
+    h.increment(10);
+    h.increment(10);
+    h.decrement(10);
+    h.finalize(20);
+    EXPECT_EQ(h.cyclesAt(2), 10u);
+}
+
+TEST(LevelHistogramDeathTest, TimeMovingBackwardsPanics)
+{
+    LevelHistogram h;
+    h.set(1, 10);
+    EXPECT_DEATH(h.set(2, 9), "monotone");
+}
+
+TEST(LevelHistogramDeathTest, DecrementBelowZeroPanics)
+{
+    LevelHistogram h;
+    EXPECT_DEATH(h.decrement(5), "below zero");
+}
+
+TEST(FlightTracker, TracksTwoSeries)
+{
+    FlightTracker t;
+    t.misses.increment(0);
+    t.fetches.increment(0);
+    t.misses.increment(5);
+    t.misses.decrement(10);
+    t.misses.decrement(10);
+    t.fetches.decrement(10);
+    t.finalize(20);
+    EXPECT_EQ(t.misses.cyclesAbove0(), 10u);
+    EXPECT_EQ(t.fetches.cyclesAbove0(), 10u);
+    EXPECT_EQ(t.misses.maxSeen(), 2u);
+    EXPECT_EQ(t.fetches.maxSeen(), 1u);
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Golden regression suite: the calibrated Figure-13 surface, pinned.
+ *
+ * The ordering/identity properties in test_machine_properties.cc
+ * guarantee the model is *sane*; this suite guarantees it stays
+ * *calibrated*. The numbers below are the measured MCPIs of every
+ * workload under the six Figure-13 configurations at scheduled load
+ * latency 10, workload scale 0.25 (deterministic). If a change to
+ * the cache model, compiler, or workloads moves any value by more
+ * than the tolerance, this test fails -- on purpose: recalibrate
+ * deliberately and regenerate the table, or fix the regression.
+ *
+ * Regenerate with:
+ *   Lab lab(0.25); lab.run(<wl>, {config, loadLatency=10}).mcpi()
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace nbl;
+using namespace nbl::harness;
+
+namespace
+{
+
+struct GoldenRow
+{
+    const char *name;
+    double mc0, mc1, mc2, fc1, fc2, inf;
+};
+
+// Scale 0.25, load latency 10, baseline cache. Regenerated 2026-07.
+const GoldenRow kGolden[] = {
+    {"alvinn", 0.3637, 0.2500, 0.2500, 0.2500, 0.2500, 0.2500},
+    {"doduc", 0.2313, 0.1835, 0.1032, 0.1459, 0.0751, 0.0575},
+    {"ear", 0.1148, 0.0794, 0.0794, 0.0794, 0.0794, 0.0794},
+    {"fpppp", 0.5240, 0.3957, 0.1880, 0.3692, 0.1356, 0.0771},
+    {"hydro2d", 0.9189, 0.6140, 0.2920, 0.6140, 0.2920, 0.1594},
+    {"mdljdp2", 0.4268, 0.3468, 0.1892, 0.1892, 0.1892, 0.1892},
+    {"mdljsp2", 0.1688, 0.0809, 0.0400, 0.0809, 0.0400, 0.0400},
+    {"nasa7", 2.2066, 1.8446, 0.8877, 1.6895, 0.6637, 0.3792},
+    {"ora", 0.9999, 0.9999, 0.9999, 0.9999, 0.9999, 0.9999},
+    {"su2cor", 1.1142, 0.8649, 0.2992, 0.8302, 0.2819, 0.1260},
+    {"swm256", 0.4212, 0.1729, 0.0948, 0.1729, 0.0948, 0.0948},
+    {"spice2g6", 0.9795, 0.9767, 0.9164, 0.8561, 0.8561, 0.8561},
+    {"tomcatv", 1.3795, 0.8795, 0.4139, 0.8795, 0.2932, 0.0345},
+    {"wave5", 0.4284, 0.3613, 0.1504, 0.2953, 0.1109, 0.1109},
+    {"compress", 0.4924, 0.3712, 0.3712, 0.3712, 0.3712, 0.3712},
+    {"eqntott", 0.1200, 0.0856, 0.0856, 0.0856, 0.0856, 0.0856},
+    {"espresso", 0.2565, 0.1945, 0.1945, 0.1945, 0.1945, 0.1945},
+    {"xlisp", 0.3123, 0.2758, 0.2529, 0.2711, 0.2529, 0.2529},
+};
+
+/** 2% relative + small absolute slack: room for harmless refactors,
+ *  failure on real calibration drift. */
+void
+expectClose(double measured, double golden, const char *what)
+{
+    EXPECT_NEAR(measured, golden, 0.02 * golden + 0.002) << what;
+}
+
+} // namespace
+
+class GoldenFig13 : public ::testing::TestWithParam<GoldenRow>
+{
+};
+
+TEST_P(GoldenFig13, McpiSurfaceUnchanged)
+{
+    const GoldenRow &g = GetParam();
+    Lab lab(0.25);
+    auto run = [&](core::ConfigName cfg) {
+        ExperimentConfig e;
+        e.config = cfg;
+        e.loadLatency = 10;
+        return lab.run(g.name, e).mcpi();
+    };
+    expectClose(run(core::ConfigName::Mc0), g.mc0, "mc0");
+    expectClose(run(core::ConfigName::Mc1), g.mc1, "mc1");
+    expectClose(run(core::ConfigName::Mc2), g.mc2, "mc2");
+    expectClose(run(core::ConfigName::Fc1), g.fc1, "fc1");
+    expectClose(run(core::ConfigName::Fc2), g.fc2, "fc2");
+    expectClose(run(core::ConfigName::NoRestrict), g.inf, "inf");
+}
+
+INSTANTIATE_TEST_SUITE_P(All18, GoldenFig13,
+                         ::testing::ValuesIn(kGolden),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });

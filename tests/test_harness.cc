@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the experiment harness: configuration plumbing, the Lab
+ * cache, sweeps, and the transcribed paper data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/paper_data.hh"
+#include "harness/sweep.hh"
+
+using namespace nbl;
+using namespace nbl::harness;
+
+TEST(Harness, MachineConfigMapsFields)
+{
+    ExperimentConfig e;
+    e.cacheBytes = 64 * 1024;
+    e.lineBytes = 16;
+    e.ways = 0;
+    e.config = core::ConfigName::Fc2;
+    e.missPenalty = 32;
+    e.issueWidth = 2;
+    exec::MachineConfig mc = makeMachineConfig(e);
+    EXPECT_EQ(mc.geometry.sizeBytes(), 64u * 1024);
+    EXPECT_EQ(mc.geometry.lineBytes(), 16u);
+    EXPECT_TRUE(mc.geometry.fullyAssociative());
+    EXPECT_EQ(mc.policy.numMshrs, 2);
+    EXPECT_EQ(mc.memory.penalty(16), 32u);
+    EXPECT_EQ(mc.issueWidth, 2u);
+}
+
+TEST(Harness, DefaultIsThePaperBaseline)
+{
+    ExperimentConfig e;
+    exec::MachineConfig mc = makeMachineConfig(e);
+    EXPECT_EQ(mc.geometry.sizeBytes(), 8u * 1024);
+    EXPECT_EQ(mc.geometry.lineBytes(), 32u);
+    EXPECT_EQ(mc.geometry.ways(), 1u);
+    EXPECT_EQ(mc.memory.penalty(32), 16u);
+    EXPECT_EQ(mc.issueWidth, 1u);
+}
+
+TEST(Harness, CustomPolicyOverridesNamedConfig)
+{
+    ExperimentConfig e;
+    e.config = core::ConfigName::Mc0; // would be blocking...
+    e.customPolicy = core::makeFieldPolicy(2, 2);
+    exec::MachineConfig mc = makeMachineConfig(e);
+    EXPECT_EQ(mc.policy.subBlocks, 2);
+    EXPECT_EQ(mc.policy.missesPerSubBlock, 2);
+    EXPECT_FALSE(mc.policy.blocking());
+}
+
+TEST(Harness, LabCachesCompiledPrograms)
+{
+    Lab lab(0.05);
+    const isa::Program &a = lab.program("eqntott", 10);
+    const isa::Program &b = lab.program("eqntott", 10);
+    EXPECT_EQ(&a, &b); // same object: compiled once
+    const isa::Program &c = lab.program("eqntott", 20);
+    EXPECT_NE(&a, &c); // new schedule per latency
+}
+
+TEST(Harness, LabRunMatchesStandaloneExperiment)
+{
+    Lab lab(0.05);
+    ExperimentConfig e;
+    e.config = core::ConfigName::Mc1;
+    e.loadLatency = 6;
+    auto via_lab = lab.run("espresso", e);
+    auto standalone =
+        runExperiment(workloads::makeWorkload("espresso", 0.05), e);
+    EXPECT_EQ(via_lab.run.cpu.cycles, standalone.run.cpu.cycles);
+    EXPECT_EQ(via_lab.run.cache.primaryMisses,
+              standalone.run.cache.primaryMisses);
+}
+
+TEST(Harness, SweepCoversAllLatenciesAndConfigs)
+{
+    Lab lab(0.05);
+    ExperimentConfig base;
+    auto curves = sweepCurves(lab, "eqntott", base,
+                              {core::ConfigName::Mc0,
+                               core::ConfigName::NoRestrict});
+    ASSERT_EQ(curves.size(), 2u);
+    EXPECT_EQ(curves[0].label, "mc=0");
+    ASSERT_EQ(curves[0].latencies.size(), 6u);
+    EXPECT_EQ(curves[0].latencies.front(), 1);
+    EXPECT_EQ(curves[0].latencies.back(), 20);
+    EXPECT_GE(curves[0].mcpiAt(10), curves[1].mcpiAt(10));
+    EXPECT_EQ(curves[0].mcpiAt(99), -1.0); // unknown latency
+}
+
+TEST(Harness, ConfigListsMatchTheFigures)
+{
+    auto base = baselineConfigList();
+    ASSERT_EQ(base.size(), 7u);
+    EXPECT_EQ(base.front(), core::ConfigName::Mc0Wma);
+    EXPECT_EQ(base.back(), core::ConfigName::NoRestrict);
+    auto per_set = perSetConfigList();
+    ASSERT_EQ(per_set.size(), 9u);
+}
+
+TEST(Harness, ConfigLabelsMatchThePaper)
+{
+    EXPECT_STREQ(core::configLabel(core::ConfigName::Mc0Wma),
+                 "mc=0 +wma");
+    EXPECT_STREQ(core::configLabel(core::ConfigName::Fc1), "fc=1");
+    EXPECT_STREQ(core::configLabel(core::ConfigName::NoRestrict),
+                 "no restrict");
+}
+
+TEST(PaperData, Figure13HasAll18Rows)
+{
+    const auto &rows = paper::fig13();
+    ASSERT_EQ(rows.size(), 18u);
+    // Spot checks against the table.
+    auto doduc = paper::fig13Row("doduc");
+    ASSERT_TRUE(doduc.has_value());
+    EXPECT_DOUBLE_EQ(doduc->mc0, 0.346);
+    EXPECT_DOUBLE_EQ(doduc->unrestricted, 0.084);
+    auto ora = paper::fig13Row("ora");
+    ASSERT_TRUE(ora.has_value());
+    EXPECT_DOUBLE_EQ(ora->mc1, 1.000);
+    EXPECT_FALSE(paper::fig13Row("dhrystone").has_value());
+}
+
+TEST(PaperData, Figure13RatiosAreConsistent)
+{
+    // Every row's MCPIs must be weakly decreasing left to right in
+    // capability order mc0 >= mc1 >= {mc2, fc1} >= fc2 >= inf.
+    for (const auto &r : paper::fig13()) {
+        EXPECT_GE(r.mc0, r.mc1) << r.name;
+        EXPECT_GE(r.mc1, r.mc2) << r.name;
+        EXPECT_GE(r.mc1, r.fc1) << r.name;
+        EXPECT_GE(r.fc1, r.fc2) << r.name;
+        EXPECT_GE(r.fc2 + 1e-9, r.unrestricted) << r.name;
+    }
+}
+
+TEST(PaperData, Figure18BlockingRowIsLinear)
+{
+    for (const auto &row : paper::fig18()) {
+        if (std::string(row.config) == "mc=0") {
+            for (size_t i = 1; i < row.mcpi.size(); ++i) {
+                EXPECT_NEAR(row.mcpi[i] / row.mcpi[i - 1], 2.0, 0.02);
+            }
+        }
+    }
+    EXPECT_EQ(paper::fig18().size(), 7u);
+}
+
+TEST(PaperData, Figure19IpcRange)
+{
+    for (const auto &r : paper::fig19()) {
+        EXPECT_GE(r.ipc, 1.0);
+        EXPECT_LE(r.ipc, 2.0);
+        EXPECT_NEAR(r.scaledPen, 16.0 * r.ipc, 0.2);
+    }
+}
+
+TEST(PaperData, Figure6RowsSumToRoughly100)
+{
+    for (const auto &r : paper::fig6()) {
+        int sum = 0;
+        for (int v : r.missPct)
+            sum += v;
+        EXPECT_GE(sum, 97);
+        EXPECT_LE(sum, 103);
+    }
+}
+
+TEST(PaperData, Figure14GridMatchesCostModel)
+{
+    // Every restricted cell's ratio must be >= 1 and decreasing as
+    // fields are added along each axis.
+    const auto &grid = paper::fig14();
+    for (const auto &c : grid)
+        EXPECT_GE(c.ratio, 0.99);
+}

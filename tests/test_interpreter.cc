@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the functional interpreter: opcode semantics,
+ * branches, effective addresses, and the hard-wired zero register.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "exec/interpreter.hh"
+
+using namespace nbl;
+using namespace nbl::exec;
+using isa::Instr;
+using isa::Op;
+using isa::Program;
+
+namespace
+{
+
+Instr
+make(Op op, unsigned dst, unsigned s1, unsigned s2, int64_t imm = 0)
+{
+    Instr in;
+    in.op = op;
+    in.dst = isa::intReg(dst);
+    in.src1 = isa::intReg(s1);
+    in.src2 = isa::intReg(s2);
+    in.imm = imm;
+    return in;
+}
+
+/** Run a single op with r1 = a, r2 = b; return r3. */
+uint64_t
+evalInt(Op op, uint64_t a, uint64_t b, int64_t imm = 0)
+{
+    Program p("t");
+    Instr in = make(op, 3, 1, 2, imm);
+    p.push(in);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    interp.setIntReg(1, a);
+    interp.setIntReg(2, b);
+    interp.step(0);
+    return interp.intReg(3);
+}
+
+} // namespace
+
+TEST(Interpreter, IntegerAlu)
+{
+    EXPECT_EQ(evalInt(Op::Add, 5, 7), 12u);
+    EXPECT_EQ(evalInt(Op::Sub, 5, 7), uint64_t(-2));
+    EXPECT_EQ(evalInt(Op::Mul, 6, 7), 42u);
+    EXPECT_EQ(evalInt(Op::And, 0b1100, 0b1010), 0b1000u);
+    EXPECT_EQ(evalInt(Op::Or, 0b1100, 0b1010), 0b1110u);
+    EXPECT_EQ(evalInt(Op::Xor, 0b1100, 0b1010), 0b0110u);
+    EXPECT_EQ(evalInt(Op::Shl, 1, 4), 16u);
+    EXPECT_EQ(evalInt(Op::Shr, 16, 4), 1u);
+    // Shift amounts are taken modulo 64.
+    EXPECT_EQ(evalInt(Op::Shl, 1, 64), 1u);
+}
+
+TEST(Interpreter, ImmediateAlu)
+{
+    EXPECT_EQ(evalInt(Op::AddI, 5, 0, 10), 15u);
+    EXPECT_EQ(evalInt(Op::AddI, 5, 0, -3), 2u);
+    EXPECT_EQ(evalInt(Op::MulI, 5, 0, 3), 15u);
+    EXPECT_EQ(evalInt(Op::AndI, 0xff, 0, 0x0f), 0x0fu);
+    EXPECT_EQ(evalInt(Op::ShlI, 3, 0, 2), 12u);
+    EXPECT_EQ(evalInt(Op::ShrI, 12, 0, 2), 3u);
+    EXPECT_EQ(evalInt(Op::LImm, 0, 0, -42), uint64_t(-42));
+}
+
+TEST(Interpreter, FloatingPoint)
+{
+    Program p("fp");
+    Instr in;
+    in.op = Op::FAdd;
+    in.dst = isa::fpReg(2);
+    in.src1 = isa::fpReg(0);
+    in.src2 = isa::fpReg(1);
+    p.push(in);
+    in.op = Op::FMul;
+    in.dst = isa::fpReg(3);
+    p.push(in);
+    in.op = Op::FSub;
+    in.dst = isa::fpReg(4);
+    p.push(in);
+    in.op = Op::FDiv;
+    in.dst = isa::fpReg(5);
+    p.push(in);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    interp.setFpRegBits(0, std::bit_cast<uint64_t>(6.0));
+    interp.setFpRegBits(1, std::bit_cast<uint64_t>(1.5));
+    for (size_t pc = 0; pc < 4; ++pc)
+        interp.step(pc);
+    EXPECT_DOUBLE_EQ(interp.fpReg(2), 7.5);
+    EXPECT_DOUBLE_EQ(interp.fpReg(3), 9.0);
+    EXPECT_DOUBLE_EQ(interp.fpReg(4), 4.5);
+    EXPECT_DOUBLE_EQ(interp.fpReg(5), 4.0);
+}
+
+TEST(Interpreter, DivByZeroYieldsZero)
+{
+    Program p("div0");
+    Instr in;
+    in.op = Op::FDiv;
+    in.dst = isa::fpReg(2);
+    in.src1 = isa::fpReg(0);
+    in.src2 = isa::fpReg(1);
+    p.push(in);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    interp.setFpRegBits(0, std::bit_cast<uint64_t>(3.0));
+    interp.setFpRegBits(1, 0);
+    interp.step(0);
+    EXPECT_DOUBLE_EQ(interp.fpReg(2), 0.0);
+}
+
+TEST(Interpreter, LoadStoreRoundTrip)
+{
+    Program p("mem");
+    Instr st = make(Op::St, 0, 1, 2, 16);
+    st.size = 8;
+    p.push(st);
+    Instr ld = make(Op::Ld, 3, 1, 0, 16);
+    ld.size = 8;
+    p.push(ld);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    interp.setIntReg(1, 0x5000);
+    interp.setIntReg(2, 0xfeedface);
+    StepResult s0 = interp.step(0);
+    EXPECT_EQ(s0.effAddr, 0x5010u);
+    EXPECT_EQ(m.read(0x5010, 8), 0xfeedfaceu);
+    StepResult s1 = interp.step(1);
+    EXPECT_EQ(s1.effAddr, 0x5010u);
+    EXPECT_EQ(interp.intReg(3), 0xfeedfaceu);
+}
+
+TEST(Interpreter, RegZeroIsHardwired)
+{
+    EXPECT_EQ(evalInt(Op::Add, 1, 1), 2u); // sanity
+    Program p("r0");
+    p.push(make(Op::LImm, 0, 0, 0, 999)); // write r0
+    p.push(make(Op::Add, 3, 0, 0));       // r3 = r0 + r0
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    interp.step(0);
+    interp.step(1);
+    EXPECT_EQ(interp.intReg(3), 0u);
+}
+
+struct BranchCase
+{
+    Op op;
+    int64_t a, b;
+    bool taken;
+};
+
+class InterpreterBranches : public ::testing::TestWithParam<BranchCase>
+{
+};
+
+TEST_P(InterpreterBranches, Semantics)
+{
+    auto c = GetParam();
+    Program p("br");
+    Instr br = make(c.op, 0, 1, 2, 5);
+    p.push(br);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    interp.setIntReg(1, uint64_t(c.a));
+    interp.setIntReg(2, uint64_t(c.b));
+    StepResult s = interp.step(0);
+    EXPECT_EQ(s.nextPc, c.taken ? 5u : 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, InterpreterBranches,
+    ::testing::Values(BranchCase{Op::BEq, 3, 3, true},
+                      BranchCase{Op::BEq, 3, 4, false},
+                      BranchCase{Op::BNe, 3, 4, true},
+                      BranchCase{Op::BNe, 3, 3, false},
+                      BranchCase{Op::BLt, -5, 0, true},
+                      BranchCase{Op::BLt, 0, -5, false},
+                      BranchCase{Op::BLt, 3, 3, false},
+                      BranchCase{Op::BGe, 3, 3, true},
+                      BranchCase{Op::BGe, -1, 0, false}));
+
+TEST(Interpreter, JumpAndHalt)
+{
+    Program p("j");
+    Instr j;
+    j.op = Op::Jmp;
+    j.imm = 2;
+    p.push(j);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    p.push(halt);
+    mem::SparseMemory m;
+    Interpreter interp(p, m);
+    StepResult s = interp.step(0);
+    EXPECT_EQ(s.nextPc, 2u);
+    EXPECT_FALSE(s.halted);
+    EXPECT_TRUE(interp.step(2).halted);
+}
+
+TEST(Program, ValidateCatchesBadBranchTarget)
+{
+    Program p("bad");
+    Instr br = make(Op::BEq, 0, 1, 2, 99);
+    p.push(br);
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    EXPECT_FALSE(p.validate(/*fail_fatal=*/false));
+}
+
+TEST(Program, ValidateCatchesMissingHalt)
+{
+    Program p("nohalt");
+    p.push(make(Op::Add, 1, 2, 3));
+    EXPECT_FALSE(p.validate(false));
+}
+
+TEST(Program, ValidateAcceptsWellFormed)
+{
+    Program p("ok");
+    p.push(make(Op::Add, 1, 2, 3));
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    EXPECT_TRUE(p.validate(false));
+}
+
+TEST(Program, DisassemblyMentionsEveryInstruction)
+{
+    Program p("dis");
+    p.push(make(Op::AddI, 1, 2, 0, 42));
+    Instr halt;
+    halt.op = Op::Halt;
+    p.push(halt);
+    std::string s = p.str();
+    EXPECT_NE(s.find("addi"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("halt"), std::string::npos);
+}

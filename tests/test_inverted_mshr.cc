@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the inverted MSHR organization (paper section 2.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/inverted_mshr.hh"
+
+using namespace nbl::core;
+
+TEST(InvertedMshr, StartsEmpty)
+{
+    InvertedMshr im;
+    EXPECT_EQ(im.activeMisses(), 0u);
+    for (unsigned d = 0; d < nbl::isa::numDests; ++d)
+        EXPECT_FALSE(im.busy(d));
+}
+
+TEST(InvertedMshr, AllocateAndFill)
+{
+    InvertedMshr im;
+    im.allocate(3, 0x1000, 8, 8);
+    im.allocate(7, 0x1000, 16, 8);
+    im.allocate(9, 0x2000, 0, 4);
+    EXPECT_TRUE(im.busy(3));
+    EXPECT_TRUE(im.busy(7));
+    EXPECT_EQ(im.activeMisses(), 3u);
+
+    // The associative probe finds exactly the destinations waiting on
+    // the returning block (the match encoder of Figure 3).
+    auto filled = im.fill(0x1000);
+    ASSERT_EQ(filled.size(), 2u);
+    EXPECT_EQ(filled[0], 3u);
+    EXPECT_EQ(filled[1], 7u);
+    EXPECT_FALSE(im.busy(3));
+    EXPECT_TRUE(im.busy(9));
+    EXPECT_EQ(im.activeMisses(), 1u);
+}
+
+TEST(InvertedMshr, FillOfUnknownBlockIsEmpty)
+{
+    InvertedMshr im;
+    im.allocate(1, 0x1000, 0, 8);
+    EXPECT_TRUE(im.fill(0x9999000).empty());
+    EXPECT_EQ(im.activeMisses(), 1u);
+}
+
+TEST(InvertedMshr, NoLimitOnBlocksOrMissesPerBlock)
+{
+    InvertedMshr im;
+    // One miss per destination: every register can wait at once
+    // ("no restrictions ... other than the number of possible
+    // destinations of fetch data in the machine").
+    for (unsigned d = 0; d < 64; ++d)
+        im.allocate(d, 0x1000 + (d % 16) * 0x100, (d % 4) * 8, 8);
+    EXPECT_EQ(im.activeMisses(), 64u);
+    EXPECT_EQ(im.maxMisses(), 64u);
+}
+
+TEST(InvertedMshr, ReuseAfterFill)
+{
+    InvertedMshr im;
+    im.allocate(5, 0x1000, 0, 8);
+    im.fill(0x1000);
+    im.allocate(5, 0x2000, 8, 8); // same destination, new miss
+    EXPECT_TRUE(im.busy(5));
+    auto filled = im.fill(0x2000);
+    ASSERT_EQ(filled.size(), 1u);
+    EXPECT_EQ(filled[0], 5u);
+}
+
+TEST(InvertedMshrDeathTest, DoubleAllocatePanics)
+{
+    InvertedMshr im;
+    im.allocate(4, 0x1000, 0, 8);
+    // A second load to a still-waiting destination means the WAW
+    // interlock failed upstream.
+    EXPECT_DEATH(im.allocate(4, 0x2000, 0, 8), "WAW");
+}
+
+TEST(InvertedMshrDeathTest, DestinationOutOfRangePanics)
+{
+    InvertedMshr im;
+    EXPECT_DEATH(im.allocate(nbl::isa::numDests, 0x1000, 0, 8),
+                 "out of range");
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the kernel builder and the virtual IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/kernel.hh"
+
+using namespace nbl::compiler;
+
+TEST(KernelBuilder, CountedLoopShape)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 10, 2);
+    VReg base = b.constI(0x1000);
+    VReg v = b.load(base, 0, 0);
+    b.store(base, 8, v, 0);
+    Kernel k = b.take();
+
+    EXPECT_EQ(k.kind, LoopKind::Counted);
+    EXPECT_EQ(k.trips, 10);
+    EXPECT_EQ(k.step, 2);
+    EXPECT_EQ(k.body.size(), 2u);
+    // Preamble: counter, limit, base constants.
+    EXPECT_EQ(k.preamble.size(), 3u);
+    EXPECT_TRUE(k.pinned.count(k.counter.id));
+    EXPECT_TRUE(k.pinned.count(k.limit.id));
+    EXPECT_TRUE(k.pinned.count(base.id));
+    EXPECT_FALSE(k.pinned.count(v.id)); // body temp
+}
+
+TEST(KernelBuilder, FreshVRegsAreUnique)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 1);
+    VReg a = b.limm(1);
+    VReg c = b.limm(2);
+    VReg d = b.add(a, c);
+    EXPECT_NE(a.id, c.id);
+    EXPECT_NE(c.id, d.id);
+    EXPECT_EQ(id, 5u); // counter, limit, a, c, d
+}
+
+TEST(KernelBuilder, SharedIdCounterAcrossKernels)
+{
+    uint32_t id = 0;
+    KernelBuilder b1("k1", id);
+    b1.countedLoop(0, 1);
+    b1.addi(b1.counter(), 1);
+    Kernel k1 = b1.take();
+    KernelBuilder b2("k2", id);
+    b2.countedLoop(0, 1);
+    VReg t = b2.addi(b2.counter(), 1);
+    Kernel k2 = b2.take();
+    EXPECT_GT(t.id, k1.counter.id); // no reuse across kernels
+}
+
+TEST(KernelBuilder, FpOpsProduceFpRegs)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 1);
+    VReg base = b.constI(0x1000);
+    VReg f = b.fload(base, 0, 0);
+    VReg g = b.fmul(f, b.constF(2.0));
+    EXPECT_EQ(f.cls, nbl::isa::RegClass::Fp);
+    EXPECT_EQ(g.cls, nbl::isa::RegClass::Fp);
+}
+
+TEST(KernelBuilder, WhileLoopRequiresPinnedCond)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    VReg ptr = b.constI(0x1000); // pinned (preamble)
+    b.whileNonZero(ptr, 100);
+    VReg next = b.load(ptr, 0, 0);
+    b.assign(ptr, next);
+    Kernel k = b.take();
+    EXPECT_EQ(k.kind, LoopKind::WhileNonZero);
+    EXPECT_EQ(k.cond, ptr);
+    EXPECT_EQ(k.expectedTrips, 100u);
+}
+
+TEST(KernelBuilder, BumpEmitsRedefinition)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 4);
+    VReg p = b.constI(0x1000);
+    b.load(p, 0, 0);
+    b.bump(p, 32);
+    Kernel k = b.take();
+    const VOp &bump = k.body.back();
+    EXPECT_EQ(bump.op, nbl::isa::Op::AddI);
+    EXPECT_EQ(bump.dst, p);
+    EXPECT_EQ(bump.src1, p);
+    EXPECT_EQ(bump.imm, 32);
+}
+
+TEST(KernelBuilder, MemOpsCarrySpaceAndSize)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 1);
+    VReg base = b.constI(0x1000);
+    b.load(base, 24, 7, 4);
+    Kernel k = b.take();
+    EXPECT_EQ(k.body[0].space, 7);
+    EXPECT_EQ(k.body[0].size, 4u);
+    EXPECT_EQ(k.body[0].imm, 24);
+}
+
+TEST(KernelBuilderDeathTest, TypeMismatchPanics)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 1);
+    VReg i = b.limm(1);
+    VReg base = b.constI(0x1000);
+    VReg f = b.fload(base, 0, 0);
+    EXPECT_DEATH(b.add(i, f), "class");
+    EXPECT_DEATH(b.fmul(f, i), "class");
+}
+
+TEST(KernelBuilderDeathTest, BumpOfTempPanics)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 1);
+    VReg t = b.limm(5);
+    EXPECT_DEATH(b.bump(t, 8), "pinned");
+}
+
+TEST(KernelBuilderDeathTest, TakeWithoutLoopPanics)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.constI(1);
+    EXPECT_DEATH(b.take(), "loop");
+}
+
+TEST(KernelBuilderDeathTest, DoubleLoopPanics)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 1);
+    EXPECT_DEATH(b.countedLoop(0, 2), "already");
+}
+
+TEST(Vir, BodyCostPerIteration)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 10);
+    VReg base = b.constI(0x1000);
+    b.load(base, 0, 0);
+    b.load(base, 8, 0);
+    Kernel k = b.take();
+    // 2 body ops + counter update + branch.
+    EXPECT_EQ(bodyCostPerIteration(k), 4u);
+}
+
+TEST(Vir, EstimateDynamicSize)
+{
+    uint32_t id = 0;
+    KernelProgram kp;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 10);
+    VReg base = b.constI(0x1000);
+    b.load(base, 0, 0);
+    kp.kernels.push_back(b.take());
+    kp.outerReps = 3;
+    // (preamble 3 + 10 * (1 + 2)) * 3 + epilogue 4.
+    EXPECT_EQ(estimateDynamicSize(kp), (3 + 30) * 3 + 4u);
+}

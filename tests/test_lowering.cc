@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the lowering stage: overall program shape, loop control,
+ * register conventions, and the spill-area bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/kernel.hh"
+#include "compiler/lower.hh"
+#include "compiler/regalloc.hh"
+
+using namespace nbl;
+using namespace nbl::compiler;
+using isa::Op;
+
+namespace
+{
+
+KernelProgram
+simpleProgram(uint64_t outer_reps = 1)
+{
+    KernelProgram kp;
+    kp.name = "simple";
+    KernelBuilder b("k", kp.nextVRegId);
+    b.countedLoop(0, 4);
+    VReg base = b.constI(0x10000);
+    VReg v = b.load(base, 0, 0);
+    b.store(base, 8, v, 0);
+    kp.kernels.push_back(b.take());
+    kp.outerReps = outer_reps;
+    return kp;
+}
+
+} // namespace
+
+TEST(Lowering, ProgramShape)
+{
+    KernelProgram kp = simpleProgram(3);
+    isa::Program prog = compile(kp, CompileParams{});
+    const auto &code = prog.code();
+
+    // Prologue: spill base, outer counter, outer limit.
+    EXPECT_EQ(code[0].op, Op::LImm);
+    EXPECT_EQ(code[0].dst, reg_conv::spillBase);
+    EXPECT_EQ(uint64_t(code[0].imm), spillAreaBase);
+    EXPECT_EQ(code[1].dst, reg_conv::outerCounter);
+    EXPECT_EQ(code[2].dst, reg_conv::outerLimit);
+    EXPECT_EQ(code[2].imm, 3);
+
+    // Ends with outer bump, outer branch, halt.
+    ASSERT_GE(code.size(), 3u);
+    EXPECT_EQ(code[code.size() - 1].op, Op::Halt);
+    EXPECT_EQ(code[code.size() - 2].op, Op::BLt);
+    EXPECT_EQ(code[code.size() - 2].src1, reg_conv::outerCounter);
+    EXPECT_EQ(code[code.size() - 3].op, Op::AddI);
+    EXPECT_EQ(code[code.size() - 3].dst, reg_conv::outerCounter);
+}
+
+TEST(Lowering, CountedLoopBackEdge)
+{
+    isa::Program prog = compile(simpleProgram(), CompileParams{});
+    // Exactly one inner BLt whose target is the loop head (after the
+    // kernel preamble), plus the outer BLt.
+    unsigned inner_branches = 0;
+    for (size_t pc = 0; pc < prog.size(); ++pc) {
+        const isa::Instr &in = prog.at(pc);
+        if (in.op == Op::BLt && in.src1 != reg_conv::outerCounter) {
+            ++inner_branches;
+            EXPECT_LT(size_t(in.imm), pc); // backward branch
+        }
+    }
+    EXPECT_EQ(inner_branches, 1u);
+}
+
+TEST(Lowering, WhileLoopBranchesOnCondRegister)
+{
+    KernelProgram kp;
+    kp.name = "while";
+    KernelBuilder b("k", kp.nextVRegId);
+    VReg ptr = b.constI(0x10000);
+    b.whileNonZero(ptr, 2);
+    VReg next = b.load(ptr, 0, 0);
+    b.assign(ptr, next);
+    kp.kernels.push_back(b.take());
+
+    isa::Program prog = compile(kp, CompileParams{});
+    bool found = false;
+    for (size_t pc = 0; pc < prog.size(); ++pc) {
+        const isa::Instr &in = prog.at(pc);
+        if (in.op == Op::BNe) {
+            EXPECT_EQ(in.src2, isa::regZero);
+            EXPECT_LT(size_t(in.imm), pc);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lowering, KernelsConcatenateInOrder)
+{
+    KernelProgram kp;
+    kp.name = "multi";
+    for (int k = 0; k < 3; ++k) {
+        KernelBuilder b("k" + std::to_string(k), kp.nextVRegId);
+        b.countedLoop(0, 2);
+        VReg base = b.constI(0x10000 + k * 0x1000);
+        b.load(base, 0, k);
+        kp.kernels.push_back(b.take());
+    }
+    isa::Program prog = compile(kp, CompileParams{});
+    // The three base-address constants appear in kernel order.
+    std::vector<int64_t> bases;
+    for (const isa::Instr &in : prog.code()) {
+        if (in.op == Op::LImm && in.imm >= 0x10000 &&
+            in.imm < 0x14000) {
+            bases.push_back(in.imm);
+        }
+    }
+    ASSERT_EQ(bases.size(), 3u);
+    EXPECT_LT(bases[0], bases[1]);
+    EXPECT_LT(bases[1], bases[2]);
+}
+
+TEST(Lowering, ValidatesOutput)
+{
+    // compile() runs Program::validate(); a well-formed kernel
+    // program must produce a well-formed binary at every latency.
+    for (int lat : {1, 6, 20}) {
+        CompileParams cp;
+        cp.loadLatency = lat;
+        isa::Program prog = compile(simpleProgram(5), cp);
+        EXPECT_TRUE(prog.validate(false)) << lat;
+    }
+}
+
+TEST(LoweringDeathTest, SpillAreaOverflowIsFatal)
+{
+    // A kernel needing more spill slots than the spill area holds
+    // must die with a diagnostic, not write past the area.
+    KernelProgram kp;
+    kp.name = "huge";
+    KernelBuilder b("k", kp.nextVRegId);
+    b.countedLoop(0, 1);
+    VReg base = b.constI(0x10000);
+    std::vector<VReg> vals;
+    // ~600 simultaneously-live temporaries >> 512 spill slots.
+    for (int i = 0; i < 600; ++i)
+        vals.push_back(b.load(base, i * 8, 0));
+    VReg acc = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i)
+        acc = b.add(acc, vals[i]);
+    b.store(base, 0, acc, 0);
+    kp.kernels.push_back(b.take());
+
+    CompileParams cp;
+    cp.schedule = false; // keep all 600 live at once
+    EXPECT_EXIT(compile(kp, cp), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Lowering, SpillBaseIsNeverClobbered)
+{
+    // Even under heavy pressure nothing may write r29-r31 or r0.
+    KernelProgram kp;
+    kp.name = "pressure";
+    KernelBuilder b("k", kp.nextVRegId);
+    b.countedLoop(0, 2);
+    VReg base = b.constI(0x10000);
+    std::vector<VReg> vals;
+    for (int i = 0; i < 40; ++i)
+        vals.push_back(b.load(base, i * 8, 0));
+    VReg acc = vals[0];
+    for (size_t i = 1; i < vals.size(); ++i)
+        acc = b.add(acc, vals[i]);
+    b.store(base, 0, acc, 0);
+    kp.kernels.push_back(b.take());
+
+    CompileParams cp;
+    cp.schedule = false;
+    isa::Program prog = compile(kp, cp);
+    for (size_t pc = 3; pc + 3 < prog.size(); ++pc) {
+        const isa::Instr &in = prog.at(pc);
+        if (in.hasDst() && in.dst.cls == isa::RegClass::Int) {
+            EXPECT_NE(in.dst.idx, 31u) << pc;
+            EXPECT_NE(in.dst.idx, 0u) << pc;
+        }
+    }
+}

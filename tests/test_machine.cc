@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the machine run loop and its outputs: halting, stats
+ * plumbing, tracker finalization, and perfect-cache mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/kernel.hh"
+#include "exec/machine.hh"
+
+using namespace nbl;
+using namespace nbl::compiler;
+
+namespace
+{
+
+KernelProgram
+countedProgram(int64_t trips)
+{
+    KernelProgram kp;
+    kp.name = "m";
+    KernelBuilder b("k", kp.nextVRegId);
+    b.countedLoop(0, trips);
+    VReg base = b.constI(0x10000);
+    VReg v = b.load(base, 0, 0);
+    b.store(base, 8, v, 0);
+    b.bump(base, 32);
+    kp.kernels.push_back(b.take());
+    return kp;
+}
+
+} // namespace
+
+TEST(Machine, InstructionCountIsExact)
+{
+    KernelProgram kp = countedProgram(10);
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::NoRestrict);
+    auto out = exec::run(prog, m, mc);
+    // prologue 3 + preamble 3 + 10*(load+store+bump+update+branch)
+    // + outer bump + outer branch + halt.
+    EXPECT_EQ(out.cpu.instructions, 3u + 3u + 10u * 5u + 3u);
+    EXPECT_EQ(out.cpu.loads, 10u);
+    EXPECT_EQ(out.cpu.stores, 10u);
+    EXPECT_EQ(out.cpu.branches, 10u + 1u); // inner + outer
+}
+
+TEST(Machine, PerfectCacheMeansNoCacheStats)
+{
+    KernelProgram kp = countedProgram(10);
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::MachineConfig mc;
+    mc.perfectCache = true;
+    auto out = exec::run(prog, m, mc);
+    EXPECT_EQ(out.cpu.cycles, out.cpu.instructions);
+    EXPECT_EQ(out.cache.loads, 0u); // cache never consulted
+    EXPECT_EQ(out.missPenalty, 0u);
+}
+
+TEST(Machine, TrackerIsFinalized)
+{
+    KernelProgram kp = countedProgram(40);
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::NoRestrict);
+    auto out = exec::run(prog, m, mc);
+    // The histograms cover the whole run.
+    EXPECT_GE(out.tracker.fetches.totalCycles(), out.cpu.cycles);
+    EXPECT_EQ(out.tracker.fetches.totalCycles(),
+              out.tracker.misses.totalCycles());
+    // This program misses (stride 32): some busy time must exist.
+    EXPECT_GT(out.tracker.fetches.cyclesAbove0(), 0u);
+}
+
+TEST(Machine, RunsAreIndependent)
+{
+    KernelProgram kp = countedProgram(10);
+    isa::Program prog = compile(kp, CompileParams{});
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::Mc1);
+    mem::SparseMemory m1, m2;
+    auto a = exec::run(prog, m1, mc);
+    auto b = exec::run(prog, m2, mc);
+    EXPECT_EQ(a.cpu.cycles, b.cpu.cycles);
+    EXPECT_EQ(a.cache.primaryMisses, b.cache.primaryMisses);
+}
+
+TEST(Machine, MissPenaltyReported)
+{
+    KernelProgram kp = countedProgram(4);
+    isa::Program prog = compile(kp, CompileParams{});
+    mem::SparseMemory m;
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::Mc0);
+    mc.memory = mem::MainMemory(42);
+    auto out = exec::run(prog, m, mc);
+    EXPECT_EQ(out.missPenalty, 42u);
+}
+
+TEST(MachineDeathTest, InvalidProgramIsFatal)
+{
+    isa::Program prog("broken");
+    isa::Instr in;
+    in.op = isa::Op::Add; // no halt
+    prog.push(in);
+    mem::SparseMemory m;
+    exec::MachineConfig mc;
+    mc.perfectCache = true;
+    EXPECT_EXIT(exec::run(prog, m, mc), ::testing::ExitedWithCode(1),
+                "");
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Property tests over whole-machine simulations: the orderings and
+ * identities the paper's results rest on must hold for every workload
+ * and latency.
+ *
+ *  - More miss-handling capability never hurts:
+ *    mc0+wma >= mc0 >= mc1 >= mc2 >= inf, mc1 >= fc1 >= fc2 >= inf,
+ *    fs1 >= fs2 >= inf (MCPI, within measurement noise of 0).
+ *  - The blocking cache's MCPI is exactly (load misses x penalty +
+ *    wma store misses x penalty) / instructions and therefore exactly
+ *    linear in the penalty (Figure 18's mc=0 row).
+ *  - Single-issue cycles decompose exactly into instructions + stall
+ *    categories.
+ *  - Instruction counts depend on the schedule, never on the cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace nbl;
+using namespace nbl::harness;
+
+namespace
+{
+
+constexpr double kSmallWorkloadScale = 0.08;
+
+ExperimentResult
+runCfg(Lab &lab, const std::string &wl, core::ConfigName cfg, int lat,
+       unsigned penalty = 0)
+{
+    ExperimentConfig e;
+    e.config = cfg;
+    e.loadLatency = lat;
+    e.missPenalty = penalty;
+    return lab.run(wl, e);
+}
+
+} // namespace
+
+class OrderingProperty
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+  protected:
+    static Lab &
+    lab()
+    {
+        static Lab l(kSmallWorkloadScale);
+        return l;
+    }
+};
+
+TEST_P(OrderingProperty, CapabilityNeverHurts)
+{
+    auto [wl, lat] = GetParam();
+    auto mcpi = [&](core::ConfigName c) {
+        return runCfg(lab(), wl, c, lat).mcpi();
+    };
+    double wma = mcpi(core::ConfigName::Mc0Wma);
+    double mc0 = mcpi(core::ConfigName::Mc0);
+    double mc1 = mcpi(core::ConfigName::Mc1);
+    double mc2 = mcpi(core::ConfigName::Mc2);
+    double fc1 = mcpi(core::ConfigName::Fc1);
+    double fc2 = mcpi(core::ConfigName::Fc2);
+    double fs1 = mcpi(core::ConfigName::Fs1);
+    double fs2 = mcpi(core::ConfigName::Fs2);
+    double inf = mcpi(core::ConfigName::NoRestrict);
+
+    const double eps = 1e-9;
+    EXPECT_GE(wma, mc0 - eps);
+    EXPECT_GE(mc0, mc1 - eps);
+    EXPECT_GE(mc1, mc2 - eps);
+    EXPECT_GE(mc2, inf - eps);
+    EXPECT_GE(mc1, fc1 - eps);
+    EXPECT_GE(fc1, fc2 - eps);
+    EXPECT_GE(fc2, inf - eps);
+    EXPECT_GE(fs1, fs2 - eps);
+    EXPECT_GE(fs2, inf - eps);
+}
+
+TEST_P(OrderingProperty, SingleIssueCycleIdentity)
+{
+    auto [wl, lat] = GetParam();
+    for (auto cfg : {core::ConfigName::Mc0, core::ConfigName::Mc1,
+                     core::ConfigName::NoRestrict}) {
+        auto r = runCfg(lab(), wl, cfg, lat);
+        const auto &s = r.run.cpu;
+        EXPECT_EQ(s.cycles, s.instructions + s.missStallCycles())
+            << wl << " " << core::configLabel(cfg);
+    }
+}
+
+TEST_P(OrderingProperty, InstructionCountsIndependentOfCache)
+{
+    auto [wl, lat] = GetParam();
+    auto a = runCfg(lab(), wl, core::ConfigName::Mc0, lat);
+    auto b = runCfg(lab(), wl, core::ConfigName::NoRestrict, lat);
+    EXPECT_EQ(a.run.cpu.instructions, b.run.cpu.instructions);
+    EXPECT_EQ(a.run.cpu.loads, b.run.cpu.loads);
+    EXPECT_EQ(a.run.cpu.stores, b.run.cpu.stores);
+}
+
+TEST_P(OrderingProperty, BlockingMcpiIsMissesTimesPenalty)
+{
+    auto [wl, lat] = GetParam();
+    auto r = runCfg(lab(), wl, core::ConfigName::Mc0, lat);
+    const auto &cs = r.run.cache;
+    uint64_t expected = (cs.primaryMisses) * r.run.missPenalty;
+    EXPECT_EQ(r.run.cpu.missStallCycles(), expected);
+}
+
+TEST_P(OrderingProperty, BlockingMcpiLinearInPenalty)
+{
+    auto [wl, lat] = GetParam();
+    auto m8 = runCfg(lab(), wl, core::ConfigName::Mc0, lat, 8);
+    auto m32 = runCfg(lab(), wl, core::ConfigName::Mc0, lat, 32);
+    // Exactly 4x (identical miss stream: a blocking cache's contents
+    // do not depend on the penalty).
+    EXPECT_DOUBLE_EQ(m32.mcpi(), 4.0 * m8.mcpi());
+}
+
+TEST_P(OrderingProperty, NonBlockingSuperLinearInPenalty)
+{
+    auto [wl, lat] = GetParam();
+    auto m8 = runCfg(lab(), wl, core::ConfigName::NoRestrict, lat, 8);
+    auto m64 = runCfg(lab(), wl, core::ConfigName::NoRestrict, lat, 64);
+    // Growing the penalty 8x grows non-blocking MCPI by at least 8x
+    // (overlap is exhausted; Figure 18), modulo zero-MCPI cases.
+    if (m8.mcpi() > 1e-6) {
+        EXPECT_GE(m64.mcpi() / m8.mcpi(), 7.0);
+    }
+}
+
+TEST_P(OrderingProperty, DualIssueNeverSlowerInCycles)
+{
+    auto [wl, lat] = GetParam();
+    ExperimentConfig e;
+    e.config = core::ConfigName::Fc2;
+    e.loadLatency = lat;
+    auto single = lab().run(wl, e);
+    e.issueWidth = 2;
+    auto dual = lab().run(wl, e);
+    EXPECT_LE(dual.run.cpu.cycles, single.run.cpu.cycles);
+}
+
+TEST_P(OrderingProperty, PerfectCacheIsALowerBound)
+{
+    auto [wl, lat] = GetParam();
+    ExperimentConfig e;
+    e.loadLatency = lat;
+    e.perfectCache = true;
+    auto ideal = lab().run(wl, e);
+    EXPECT_EQ(ideal.run.cpu.cycles, ideal.run.cpu.instructions);
+    auto real = runCfg(lab(), wl, core::ConfigName::NoRestrict, lat);
+    EXPECT_GE(real.run.cpu.cycles, ideal.run.cpu.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrderingProperty,
+    ::testing::Combine(::testing::Values("doduc", "tomcatv", "su2cor",
+                                         "xlisp", "eqntott", "ora",
+                                         "compress", "nasa7"),
+                       ::testing::Values(1, 10)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_lat" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MachineProperties, DeterministicAcrossRuns)
+{
+    Lab lab(kSmallWorkloadScale);
+    auto a = runCfg(lab, "doduc", core::ConfigName::Fc2, 10);
+    auto b = runCfg(lab, "doduc", core::ConfigName::Fc2, 10);
+    EXPECT_EQ(a.run.cpu.cycles, b.run.cpu.cycles);
+    EXPECT_EQ(a.run.cache.primaryMisses, b.run.cache.primaryMisses);
+}
+
+TEST(MachineProperties, FullyAssociativeNeverMoreConflicts)
+{
+    // For xlisp (conflict-dominated), a fully associative cache of
+    // the same size must not have more misses (Figures 9 vs 10).
+    Lab lab(kSmallWorkloadScale);
+    ExperimentConfig dm;
+    dm.loadLatency = 10;
+    dm.config = core::ConfigName::Mc1;
+    auto a = lab.run("xlisp", dm);
+    ExperimentConfig fa = dm;
+    fa.ways = 0;
+    auto b = lab.run("xlisp", fa);
+    EXPECT_LT(b.run.cache.primaryMisses, a.run.cache.primaryMisses);
+    EXPECT_LT(b.mcpi(), a.mcpi());
+}
+
+TEST(MachineProperties, BiggerCacheNeverWorseForStreams)
+{
+    // Full-size run: cross-repetition reuse is what the bigger cache
+    // captures (a single cold sweep looks identical in both).
+    Lab lab(1.0);
+    ExperimentConfig small;
+    small.loadLatency = 10;
+    small.config = core::ConfigName::Fc2;
+    auto s = lab.run("doduc", small);
+    ExperimentConfig big = small;
+    big.cacheBytes = 64 * 1024;
+    auto b = lab.run("doduc", big);
+    EXPECT_LT(b.mcpi(), s.mcpi());
+}
+
+TEST(MachineProperties, SecondaryMissesOnlyWithMerging)
+{
+    Lab lab(kSmallWorkloadScale);
+    // mc0 and mc1 cannot merge secondaries by construction.
+    for (auto cfg : {core::ConfigName::Mc0, core::ConfigName::Mc1}) {
+        auto r = runCfg(lab, "tomcatv", cfg, 10);
+        EXPECT_EQ(r.run.cache.secondaryMisses, 0u)
+            << core::configLabel(cfg);
+    }
+    auto inf =
+        runCfg(lab, "tomcatv", core::ConfigName::NoRestrict, 10);
+    EXPECT_GT(inf.run.cache.secondaryMisses, 0u);
+}
+
+TEST(MachineProperties, MaxInflightRespectsPolicy)
+{
+    Lab lab(kSmallWorkloadScale);
+    EXPECT_LE(runCfg(lab, "tomcatv", core::ConfigName::Mc1, 10)
+                  .run.maxInflightMisses,
+              1u);
+    EXPECT_LE(runCfg(lab, "tomcatv", core::ConfigName::Mc2, 10)
+                  .run.maxInflightMisses,
+              2u);
+    EXPECT_LE(runCfg(lab, "tomcatv", core::ConfigName::Fc2, 10)
+                  .run.maxInflightFetches,
+              2u);
+    // Unrestricted tomcatv overlaps deeply.
+    EXPECT_GT(runCfg(lab, "tomcatv", core::ConfigName::NoRestrict, 10)
+                  .run.maxInflightMisses,
+              4u);
+}
+
+TEST(MachineProperties, MaxFetchesBoundedByPenalty)
+{
+    // One load per cycle and a 16-cycle penalty bound the number of
+    // concurrent fetches to 16 (the paper notes exactly this).
+    Lab lab(kSmallWorkloadScale);
+    auto r = runCfg(lab, "tomcatv", core::ConfigName::NoRestrict, 20);
+    EXPECT_LE(r.run.maxInflightFetches, 17u);
+}

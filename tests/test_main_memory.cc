@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Unit tests for the pipelined main-memory timing model (paper
+ * sections 3.1 and 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+using namespace nbl::mem;
+
+TEST(MainMemory, PaperLineSizePenalties)
+{
+    MainMemory m;
+    // Section 5.2: 14 cycles for the first 16 bytes, 2 per additional
+    // 16 bytes.
+    EXPECT_EQ(m.penalty(16), 14u);
+    EXPECT_EQ(m.penalty(32), 16u);
+    EXPECT_EQ(m.penalty(64), 20u);
+    EXPECT_EQ(m.penalty(128), 28u);
+}
+
+TEST(MainMemory, TinyLineRoundsUpToOneChunk)
+{
+    MainMemory m;
+    EXPECT_EQ(m.penalty(8), 14u);
+}
+
+TEST(MainMemory, FixedPenaltyOverride)
+{
+    for (unsigned p : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        MainMemory m(p);
+        EXPECT_EQ(m.penalty(32), p);
+        EXPECT_EQ(m.penalty(16), p);
+    }
+}
+
+TEST(MainMemory, FullyPipelinedCompletion)
+{
+    MainMemory m;
+    // Completion depends only on issue time: back-to-back fetches
+    // complete back-to-back (the paper's fully pipelined assumption).
+    EXPECT_EQ(m.completeAt(100, 32), 116u);
+    EXPECT_EQ(m.completeAt(101, 32), 117u);
+    EXPECT_EQ(m.completeAt(102, 32), 118u);
+}
+
+TEST(MainMemory, FetchCounter)
+{
+    MainMemory m;
+    EXPECT_EQ(m.fetches(), 0u);
+    m.countFetch();
+    m.countFetch();
+    EXPECT_EQ(m.fetches(), 2u);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for a single MSHR's destination-field organizations
+ * (implicit / explicit / hybrid, paper sections 2.1-2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mshr.hh"
+
+using namespace nbl::core;
+
+namespace
+{
+
+MshrPolicy
+fieldPolicy(int sub_blocks, int misses_per_sub)
+{
+    MshrPolicy p;
+    p.subBlocks = sub_blocks;
+    p.missesPerSubBlock = misses_per_sub;
+    return p;
+}
+
+} // namespace
+
+TEST(Mshr, BasicProperties)
+{
+    Mshr m(0x1000, 3, 117, 32, fieldPolicy(1, -1));
+    EXPECT_EQ(m.blockAddr(), 0x1000u);
+    EXPECT_EQ(m.setIndex(), 3u);
+    EXPECT_EQ(m.completeCycle(), 117u);
+    EXPECT_EQ(m.numDests(), 0u);
+}
+
+TEST(Mshr, UnlimitedFieldsAcceptEverything)
+{
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(1, -1));
+    for (unsigned i = 0; i < 100; ++i) {
+        ASSERT_TRUE(m.canAccept(0, 8)); // even the exact same word
+        m.addDest(i % 64, 0, 8);
+    }
+    EXPECT_EQ(m.numDests(), 100u);
+}
+
+TEST(Mshr, SingleFieldTracksOneMiss)
+{
+    // mc=1's MSHR: one destination field.
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(1, 1));
+    EXPECT_TRUE(m.canAccept(8, 8));
+    m.addDest(5, 8, 8);
+    EXPECT_FALSE(m.canAccept(16, 8)); // different word: still full
+    EXPECT_FALSE(m.canAccept(8, 8));
+}
+
+TEST(Mshr, ImplicitOneMissPerWord)
+{
+    // Kroft-style: 4 sub-blocks of 8 bytes, one miss each.
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(4, 1));
+    EXPECT_TRUE(m.canAccept(0, 8));
+    m.addDest(1, 0, 8);
+    // A second miss to the same word stalls (the paper's key
+    // implicit-MSHR limitation)...
+    EXPECT_FALSE(m.canAccept(0, 8));
+    EXPECT_FALSE(m.canAccept(4, 4)); // ...even a byte of that word
+    // ...but other words are free.
+    EXPECT_TRUE(m.canAccept(8, 8));
+    m.addDest(2, 8, 8);
+    m.addDest(3, 16, 8);
+    m.addDest(4, 24, 8);
+    EXPECT_FALSE(m.canAccept(24, 8));
+    EXPECT_EQ(m.numDests(), 4u);
+}
+
+TEST(Mshr, ExplicitFieldsAllowSameWord)
+{
+    // Explicitly addressed MSHR with 4 generic fields: "four misses
+    // to the exact same address without stalling" (section 2.2).
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(1, 4));
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_TRUE(m.canAccept(0, 8));
+        m.addDest(i, 0, 8);
+    }
+    EXPECT_FALSE(m.canAccept(0, 8));
+    EXPECT_FALSE(m.canAccept(24, 8)); // fields are shared by the block
+}
+
+TEST(Mshr, HybridTwoByTwo)
+{
+    // 2 sub-blocks of 16 bytes, 2 misses each (the paper's 106-bit
+    // organization).
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(2, 2));
+    EXPECT_TRUE(m.canAccept(0, 8));
+    m.addDest(1, 0, 8);
+    m.addDest(2, 8, 8); // same sub-block, second field
+    EXPECT_FALSE(m.canAccept(0, 8)); // lower sub-block now full
+    EXPECT_TRUE(m.canAccept(16, 8)); // upper sub-block free
+    m.addDest(3, 16, 8);
+    m.addDest(4, 24, 8);
+    EXPECT_FALSE(m.canAccept(16, 8));
+}
+
+TEST(Mshr, ByteAccessesShareAWordSlot)
+{
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(4, 1));
+    m.addDest(1, 3, 1); // byte load in word 0
+    EXPECT_FALSE(m.canAccept(5, 1)); // another byte of word 0: stall
+    EXPECT_TRUE(m.canAccept(11, 1));
+}
+
+TEST(Mshr, AccessSpanningSubBlocksNeedsBoth)
+{
+    // 8 sub-blocks of 4 bytes; an 8-byte access covers two.
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(8, 1));
+    m.addDest(1, 0, 8);
+    EXPECT_FALSE(m.canAccept(0, 4));
+    EXPECT_FALSE(m.canAccept(4, 4));
+    EXPECT_TRUE(m.canAccept(8, 4));
+    m.addDest(2, 12, 4);
+    EXPECT_FALSE(m.canAccept(8, 8)); // spans an occupied sub-block
+}
+
+TEST(Mshr, DestRecordsKeepFormatInfo)
+{
+    Mshr m(0x1000, 0, 17, 32, fieldPolicy(1, -1));
+    m.addDest(42, 24, 4);
+    ASSERT_EQ(m.dests().size(), 1u);
+    EXPECT_EQ(m.dests()[0].destLinear, 42u);
+    EXPECT_EQ(m.dests()[0].offsetInBlock, 24u);
+    EXPECT_EQ(m.dests()[0].size, 4u);
+}

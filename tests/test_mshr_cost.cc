@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the section-2 hardware cost model. The expected
+ * numbers are the paper's own arithmetic. (Note: the paper prints the
+ * 2x2 hybrid as "44+(4x16)=106"; 44 + 64 is 108 -- the formula is
+ * reproduced, the paper's addition slip is not.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mshr_cost.hh"
+
+using namespace nbl::core;
+
+namespace
+{
+const CostParams params; // 48-bit PA, 32 B lines, 6+5 bit fields
+}
+
+TEST(MshrCost, AddressFieldWidths)
+{
+    EXPECT_EQ(addrInBlockBits(params), 5u);        // 32-byte line
+    EXPECT_EQ(blockRequestAddrBits(params), 43u);  // 48 - 5
+    EXPECT_EQ(implicitFieldBits(params), 12u);     // 1 + 6 + 5
+}
+
+TEST(MshrCost, PaperBasicImplicitMshr92Bits)
+{
+    // Section 2.1: (4 x 12) + 44 = 92 bits for four 8-byte words.
+    MshrCost c = implicitMshrCost(params, 4);
+    EXPECT_EQ(c.storageBits, 92u);
+    EXPECT_EQ(c.comparators, 1u);
+    EXPECT_EQ(c.comparatorBits, 43u);
+}
+
+TEST(MshrCost, PaperImplicit8SubBlocks140Bits)
+{
+    // Section 2.2: doubling the word records to 32-bit granularity:
+    // 8 x 12 = 96, total 140 bits.
+    EXPECT_EQ(implicitMshrCost(params, 8).storageBits, 140u);
+}
+
+TEST(MshrCost, PaperExplicit4Fields112Bits)
+{
+    // Section 2.2: (4 x 17) + 44 = 112 bits.
+    EXPECT_EQ(hybridFieldBits(params, 1, 4), 17u);
+    EXPECT_EQ(explicitMshrCost(params, 4).storageBits, 112u);
+}
+
+TEST(MshrCost, PaperHybrid2x2)
+{
+    // Section 4.1: per-field cost drops to 16 bits because one
+    // address bit is implied by the sub-block position.
+    EXPECT_EQ(hybridFieldBits(params, 2, 2), 16u);
+    EXPECT_EQ(hybridMshrCost(params, 2, 2).storageBits, 44u + 4 * 16);
+}
+
+TEST(MshrCost, PositionalFieldsCarryNoAddress)
+{
+    // A hybrid with one miss per sub-block is purely implicit.
+    EXPECT_EQ(hybridFieldBits(params, 4, 1), 12u);
+    EXPECT_EQ(hybridMshrCost(params, 4, 1).storageBits,
+              implicitMshrCost(params, 4).storageBits);
+}
+
+TEST(MshrCost, InvertedMshrScalesWithDestinations)
+{
+    MshrCost c = invertedMshrCost(params);
+    // Per entry: 1 valid + 43 address + 5 format + 5 addr-in-block.
+    EXPECT_EQ(c.storageBits, 65u * 54u);
+    EXPECT_EQ(c.comparators, 65u); // one comparator per entry
+    CostParams wide = params;
+    wide.numDests = 75; // "between 65 and 75 entries"
+    EXPECT_EQ(invertedMshrCost(wide).storageBits, 75u * 54u);
+}
+
+TEST(MshrCost, InCacheStorageIsOneTransitBitPerLine)
+{
+    MshrCost c = inCacheMshrCost(params, 256); // 8KB / 32B lines
+    EXPECT_EQ(c.extraCacheBits, 256u);
+    EXPECT_EQ(c.storageBits, 0u);
+    EXPECT_EQ(c.totalBits(), 256u);
+    // Section 2.3: for very large caches the transit bits may exceed
+    // a discrete MSHR file.
+    MshrCost big = inCacheMshrCost(params, 4 * 1024 * 1024 / 32);
+    EXPECT_GT(big.totalBits(), implicitMshrCost(params, 8).storageBits);
+}
+
+TEST(MshrCost, BlockingCacheCostsNothing)
+{
+    MshrPolicy p = makePolicy(ConfigName::Mc0);
+    EXPECT_EQ(policyCost(params, p).totalBits(), 0u);
+    EXPECT_EQ(policyCost(params, makePolicy(ConfigName::Mc0Wma))
+                  .totalBits(),
+              0u);
+}
+
+TEST(MshrCost, PolicyCostOrdering)
+{
+    // More capability must never cost fewer bits.
+    auto bits = [&](ConfigName c) {
+        return policyCost(params, makePolicy(c)).totalBits();
+    };
+    EXPECT_LT(bits(ConfigName::Mc0), bits(ConfigName::Mc1));
+    EXPECT_LE(bits(ConfigName::Mc1), bits(ConfigName::Mc2));
+    EXPECT_LE(bits(ConfigName::Fc1), bits(ConfigName::Fc2));
+    EXPECT_GT(bits(ConfigName::NoRestrict), bits(ConfigName::Mc2));
+}
+
+TEST(MshrCost, LineSizeChangesAddressSplit)
+{
+    CostParams p16 = params;
+    p16.lineBytes = 16;
+    EXPECT_EQ(addrInBlockBits(p16), 4u);
+    EXPECT_EQ(blockRequestAddrBits(p16), 44u);
+    // Figure 17's system: fewer words per line, smaller MSHRs.
+    EXPECT_LT(implicitMshrCost(p16, 2).storageBits,
+              implicitMshrCost(params, 4).storageBits);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: whole-cache restrictions (number of
+ * fetches, misses, fetches per set) and completion ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mshr_file.hh"
+
+using namespace nbl::core;
+
+namespace
+{
+
+MshrPolicy
+filePolicy(int num_mshrs, int max_misses = -1, int per_set = -1)
+{
+    MshrPolicy p;
+    p.numMshrs = num_mshrs;
+    p.maxMisses = max_misses;
+    p.fetchesPerSet = per_set;
+    p.missesPerSubBlock = -1;
+    return p;
+}
+
+} // namespace
+
+TEST(MshrFile, FindBlock)
+{
+    MshrFile f(filePolicy(-1), 32);
+    f.allocate(0x1000, 1, 17);
+    f.allocate(0x2000, 2, 18);
+    EXPECT_NE(f.findBlock(0x1000), nullptr);
+    EXPECT_NE(f.findBlock(0x2000), nullptr);
+    EXPECT_EQ(f.findBlock(0x3000), nullptr);
+    EXPECT_EQ(f.findBlock(0x1000)->setIndex(), 1u);
+}
+
+TEST(MshrFile, FetchCountLimit)
+{
+    MshrFile f(filePolicy(2), 32);
+    EXPECT_TRUE(f.canAllocate(0));
+    f.allocate(0x1000, 0, 17);
+    EXPECT_TRUE(f.canAllocate(1));
+    f.allocate(0x2000, 1, 18);
+    EXPECT_FALSE(f.canAllocate(2));
+    // The oldest fetch frees the slot.
+    EXPECT_EQ(f.allocFreeCycle(2), 17u);
+}
+
+TEST(MshrFile, PerSetLimit)
+{
+    MshrFile f(filePolicy(-1, -1, 1), 32); // fs=1
+    f.allocate(0x1000, 5, 17);
+    EXPECT_FALSE(f.canAllocate(5));
+    EXPECT_TRUE(f.canAllocate(6));
+    f.allocate(0x2000, 6, 18);
+    // The blocking fetch for set 5 completes at 17.
+    EXPECT_EQ(f.allocFreeCycle(5), 17u);
+}
+
+TEST(MshrFile, PerSetLimitOfTwo)
+{
+    MshrFile f(filePolicy(-1, -1, 2), 32); // fs=2
+    f.allocate(0x1000, 5, 17);
+    EXPECT_TRUE(f.canAllocate(5));
+    f.allocate(0x3000, 5, 18);
+    EXPECT_FALSE(f.canAllocate(5));
+    EXPECT_EQ(f.allocFreeCycle(5), 17u); // oldest in the set
+}
+
+TEST(MshrFile, MissCapIndependentOfFetches)
+{
+    // mc=2: two misses total, however they spread over blocks.
+    MshrFile f(filePolicy(-1, 2), 32);
+    EXPECT_TRUE(f.canAddMiss());
+    Mshr &a = f.allocate(0x1000, 0, 17);
+    a.addDest(1, 0, 8);
+    f.noteMissAdded();
+    EXPECT_TRUE(f.canAddMiss());
+    a.addDest(2, 8, 8); // second miss merged into the same fetch
+    f.noteMissAdded();
+    EXPECT_FALSE(f.canAddMiss());
+    EXPECT_EQ(f.missFreeCycle(), 17u);
+    EXPECT_EQ(f.activeMisses(), 2u);
+}
+
+TEST(MshrFile, PopCompletedInOrder)
+{
+    MshrFile f(filePolicy(-1), 32);
+    f.allocate(0x1000, 0, 17);
+    f.allocate(0x2000, 1, 18);
+    f.allocate(0x3000, 2, 19);
+    EXPECT_FALSE(f.popCompleted(16).has_value());
+    auto first = f.popCompleted(18);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->blockAddr(), 0x1000u);
+    auto second = f.popCompleted(18);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->blockAddr(), 0x2000u);
+    EXPECT_FALSE(f.popCompleted(18).has_value());
+    EXPECT_EQ(f.activeFetches(), 1u);
+}
+
+TEST(MshrFile, PopReleasesPerSetSlot)
+{
+    MshrFile f(filePolicy(-1, -1, 1), 32);
+    f.allocate(0x1000, 5, 17);
+    EXPECT_FALSE(f.canAllocate(5));
+    (void)f.popCompleted(17);
+    EXPECT_TRUE(f.canAllocate(5));
+}
+
+TEST(MshrFile, PopReleasesMissSlots)
+{
+    MshrFile f(filePolicy(-1, 1), 32); // mc=1
+    Mshr &a = f.allocate(0x1000, 0, 17);
+    a.addDest(1, 0, 8);
+    f.noteMissAdded();
+    EXPECT_FALSE(f.canAddMiss());
+    (void)f.popCompleted(17);
+    EXPECT_TRUE(f.canAddMiss());
+    EXPECT_EQ(f.activeMisses(), 0u);
+}
+
+TEST(MshrFile, PeaksTracked)
+{
+    MshrFile f(filePolicy(-1), 32);
+    f.allocate(0x1000, 0, 17);
+    f.allocate(0x2000, 1, 18);
+    f.updatePeaks();
+    (void)f.popCompleted(18);
+    (void)f.popCompleted(18);
+    f.updatePeaks();
+    EXPECT_EQ(f.maxFetches(), 2u);
+}
+
+TEST(MshrFileDeathTest, NonMonotoneCompletionPanics)
+{
+    MshrFile f(filePolicy(-1), 32);
+    f.allocate(0x1000, 0, 20);
+    EXPECT_DEATH(f.allocate(0x2000, 1, 19), "monotone");
+}
+
+TEST(MshrFileDeathTest, AllocateWithoutCapacityPanics)
+{
+    MshrFile f(filePolicy(1), 32);
+    f.allocate(0x1000, 0, 17);
+    EXPECT_DEATH(f.allocate(0x2000, 1, 18), "capacity");
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Unit tests for the lockup-free cache: hit/miss timing, miss
+ * classification (primary / secondary / structural stall), the named
+ * restriction policies, blocking modes, and store handling.
+ *
+ * The baseline system throughout: 8 KB direct-mapped, 32 B lines,
+ * pipelined memory (16-cycle penalty), matching the paper. A load at
+ * cycle t hits at t+1; a primary miss's data arrives at t+1+16.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/nonblocking_cache.hh"
+
+using namespace nbl::core;
+using nbl::mem::CacheGeometry;
+using nbl::mem::MainMemory;
+
+namespace
+{
+
+NonblockingCache
+makeCache(ConfigName cfg)
+{
+    return NonblockingCache(CacheGeometry(8 * 1024, 32, 1),
+                            makePolicy(cfg), MainMemory());
+}
+
+constexpr uint64_t kA = 0x100000; // set 0
+constexpr uint64_t kB = 0x200040; // a different set
+constexpr uint64_t kC = 0x300080;
+constexpr uint64_t kConflictA = 0x100000 + 8 * 1024; // same set as kA
+
+} // namespace
+
+TEST(Cache, PrimaryMissThenHitTiming)
+{
+    auto c = makeCache(ConfigName::NoRestrict);
+    auto miss = c.load(kA, 8, 100, 1);
+    EXPECT_EQ(miss.kind, AccessKind::Primary);
+    EXPECT_EQ(miss.issueCycle, 100u);
+    EXPECT_EQ(miss.dataReady, 117u); // t + 1 + 16
+    EXPECT_EQ(miss.procFreeAt, 101u); // lockup-free: continue at once
+    EXPECT_FALSE(miss.structStalled);
+
+    // Before the fill the line is not present, after it is.
+    auto hit = c.load(kA + 8, 8, 200, 2);
+    EXPECT_EQ(hit.kind, AccessKind::Hit);
+    EXPECT_EQ(hit.dataReady, 201u);
+    EXPECT_EQ(c.stats().loadHits, 1u);
+    EXPECT_EQ(c.stats().primaryMisses, 1u);
+}
+
+TEST(Cache, SecondaryMissMergesIntoFetch)
+{
+    auto c = makeCache(ConfigName::NoRestrict);
+    auto first = c.load(kA, 8, 100, 1);
+    auto second = c.load(kA + 8, 8, 103, 2);
+    EXPECT_EQ(second.kind, AccessKind::Secondary);
+    EXPECT_EQ(second.issueCycle, 103u);
+    // Both destinations fill when the block arrives.
+    EXPECT_EQ(second.dataReady, first.dataReady);
+    EXPECT_EQ(c.stats().fetches, 1u); // one fetch served both
+    EXPECT_EQ(c.stats().secondaryMisses, 1u);
+}
+
+TEST(Cache, Mc1SecondMissStallsUntilFill)
+{
+    auto c = makeCache(ConfigName::Mc1);
+    c.load(kA, 8, 100, 1); // miss in flight, fills at 117
+    // A miss to a *different* block stalls (structural), then retries
+    // and becomes a primary miss.
+    auto out = c.load(kB, 8, 102, 2);
+    EXPECT_TRUE(out.structStalled);
+    EXPECT_EQ(out.issueCycle, 117u);
+    EXPECT_EQ(out.kind, AccessKind::Primary);
+    EXPECT_EQ(out.dataReady, 117u + 17u);
+    EXPECT_EQ(c.stats().structStallMisses, 1u);
+    EXPECT_EQ(c.stats().structStallCycles, 15u);
+}
+
+TEST(Cache, Mc1SameBlockSecondMissRetriesToHit)
+{
+    auto c = makeCache(ConfigName::Mc1);
+    c.load(kA, 8, 100, 1);
+    // Same block: after the stall the line is present -> hit.
+    auto out = c.load(kA + 16, 8, 101, 2);
+    EXPECT_TRUE(out.structStalled);
+    EXPECT_EQ(out.issueCycle, 117u);
+    EXPECT_EQ(out.kind, AccessKind::Hit);
+    EXPECT_EQ(out.dataReady, 118u);
+    // Counted as a structural-stall miss, not a hit.
+    EXPECT_EQ(c.stats().loadHits, 0u);
+}
+
+TEST(Cache, Mc2AllowsTwoMissesAnywhere)
+{
+    auto c = makeCache(ConfigName::Mc2);
+    c.load(kA, 8, 100, 1);
+    auto two = c.load(kB, 8, 101, 2); // second primary: fine
+    EXPECT_FALSE(two.structStalled);
+    EXPECT_EQ(two.kind, AccessKind::Primary);
+    auto three = c.load(kC, 8, 102, 3); // third stalls
+    EXPECT_TRUE(three.structStalled);
+    EXPECT_EQ(three.issueCycle, 117u); // oldest miss freed
+}
+
+TEST(Cache, Mc2MergesSecondMissIntoSameBlock)
+{
+    // "two in-flight misses, one or both of which can be primary".
+    auto c = makeCache(ConfigName::Mc2);
+    c.load(kA, 8, 100, 1);
+    auto sec = c.load(kA + 8, 8, 101, 2);
+    EXPECT_EQ(sec.kind, AccessKind::Secondary);
+    EXPECT_FALSE(sec.structStalled);
+    EXPECT_EQ(c.stats().fetches, 1u);
+    // But a third miss stalls even though only one fetch is out.
+    auto third = c.load(kB, 8, 102, 3);
+    EXPECT_TRUE(third.structStalled);
+}
+
+TEST(Cache, Fc1UnlimitedSecondariesOneFetch)
+{
+    auto c = makeCache(ConfigName::Fc1);
+    c.load(kA, 8, 100, 1);
+    for (unsigned i = 1; i < 4; ++i) {
+        auto out = c.load(kA + 8 * i, 8, 100 + i, 10 + i);
+        EXPECT_EQ(out.kind, AccessKind::Secondary) << i;
+        EXPECT_FALSE(out.structStalled);
+    }
+    // A second *fetch* stalls.
+    auto other = c.load(kB, 8, 110, 2);
+    EXPECT_TRUE(other.structStalled);
+    EXPECT_EQ(other.issueCycle, 117u);
+}
+
+TEST(Cache, Fs1OneFetchPerSet)
+{
+    auto c = makeCache(ConfigName::Fs1);
+    c.load(kA, 8, 100, 1);
+    // Different set: no restriction.
+    auto other_set = c.load(kB, 8, 101, 2);
+    EXPECT_FALSE(other_set.structStalled);
+    // Same set, different block: must wait for the in-flight fetch.
+    auto conflict = c.load(kConflictA, 8, 102, 3);
+    EXPECT_TRUE(conflict.structStalled);
+    EXPECT_EQ(conflict.issueCycle, 117u);
+    EXPECT_EQ(conflict.kind, AccessKind::Primary);
+}
+
+TEST(Cache, Fs2TwoFetchesPerSet)
+{
+    auto c = makeCache(ConfigName::Fs2);
+    c.load(kA, 8, 100, 1);
+    auto second = c.load(kConflictA, 8, 101, 2);
+    EXPECT_FALSE(second.structStalled);
+    auto third = c.load(kA + 16 * 1024, 8, 102, 3); // same set again
+    EXPECT_TRUE(third.structStalled);
+}
+
+TEST(Cache, OverlappingFetchesToSameSetEvictEachOther)
+{
+    auto c = makeCache(ConfigName::NoRestrict);
+    c.load(kA, 8, 100, 1);          // fills at 117
+    c.load(kConflictA, 8, 101, 2);  // fills at 118, evicts kA's line
+    c.expireUpTo(120);
+    EXPECT_TRUE(c.tags().present(kConflictA));
+    EXPECT_FALSE(c.tags().present(kA));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, BlockingLoadStallsProcessor)
+{
+    auto c = makeCache(ConfigName::Mc0);
+    auto out = c.load(kA, 8, 100, 1);
+    EXPECT_EQ(out.kind, AccessKind::Primary);
+    EXPECT_EQ(out.dataReady, 117u);
+    EXPECT_EQ(out.procFreeAt, 117u); // lockup: processor waits
+    // The line is filled: an immediate re-access hits.
+    auto hit = c.load(kA + 8, 8, 117, 2);
+    EXPECT_EQ(hit.kind, AccessKind::Hit);
+}
+
+TEST(Cache, WriteAroundStoreNeverStallsOrAllocates)
+{
+    for (auto cfg : {ConfigName::Mc0, ConfigName::Mc1,
+                     ConfigName::NoRestrict}) {
+        auto c = makeCache(cfg);
+        auto out = c.store(kA, 8, 100);
+        EXPECT_EQ(out.procFreeAt, 101u) << configLabel(cfg);
+        EXPECT_FALSE(c.tags().present(kA)) << configLabel(cfg);
+        EXPECT_EQ(c.stats().storeMisses, 1u) << configLabel(cfg);
+        EXPECT_EQ(c.stats().fetches, 0u) << configLabel(cfg);
+    }
+}
+
+TEST(Cache, WriteMissAllocateStallsAndFills)
+{
+    auto c = makeCache(ConfigName::Mc0Wma);
+    auto out = c.store(kA, 8, 100);
+    EXPECT_EQ(out.procFreeAt, 117u); // fetch-on-write stall
+    EXPECT_TRUE(c.tags().present(kA));
+    auto hit = c.store(kA + 8, 8, 120);
+    EXPECT_EQ(hit.procFreeAt, 121u);
+    EXPECT_EQ(c.stats().storeHits, 1u);
+}
+
+TEST(Cache, StoreHitIsOneCycleEverywhere)
+{
+    auto c = makeCache(ConfigName::Mc1);
+    c.load(kA, 8, 100, 1);
+    c.expireUpTo(200);
+    auto out = c.store(kA + 8, 8, 200);
+    EXPECT_EQ(out.kind, AccessKind::Hit);
+    EXPECT_EQ(out.procFreeAt, 201u);
+    EXPECT_EQ(c.writeBuffer().stats().writes, 1u);
+}
+
+TEST(Cache, StoreToInflightBlockWritesAround)
+{
+    auto c = makeCache(ConfigName::Fc1);
+    c.load(kA, 8, 100, 1);
+    auto out = c.store(kA + 8, 8, 105); // block in transit
+    EXPECT_EQ(out.procFreeAt, 106u);    // no interaction, no stall
+    EXPECT_EQ(c.stats().secondaryMisses, 0u);
+}
+
+TEST(Cache, InvertedTracksDestinations)
+{
+    auto c = makeCache(ConfigName::NoRestrict);
+    for (unsigned d = 0; d < 8; ++d)
+        c.load(kA + 0x1000 * d, 8, 100 + d, d);
+    EXPECT_EQ(c.maxInflightMisses(), 8u);
+    EXPECT_EQ(c.maxInflightFetches(), 8u);
+    uint64_t last = c.drainAll();
+    EXPECT_EQ(last, 107u + 17u);
+}
+
+TEST(Cache, FlightTrackerSeesMergedMisses)
+{
+    auto c = makeCache(ConfigName::NoRestrict);
+    c.load(kA, 8, 100, 1);
+    c.load(kA + 8, 8, 101, 2); // secondary
+    c.drainAll();
+    c.finalizeTracker(200);
+    EXPECT_EQ(c.tracker().misses.maxSeen(), 2u);
+    EXPECT_EQ(c.tracker().fetches.maxSeen(), 1u);
+    // Fetch in flight from 100 to 117.
+    EXPECT_EQ(c.tracker().fetches.cyclesAbove0(), 17u);
+}
+
+TEST(Cache, MissRateAccounting)
+{
+    auto c = makeCache(ConfigName::NoRestrict);
+    c.load(kA, 8, 100, 1);      // primary
+    c.load(kA + 8, 8, 101, 2);  // secondary
+    c.load(kB, 8, 200, 1);      // primary (kA long since filled)
+    c.expireUpTo(300);
+    c.load(kB, 8, 300, 2);      // hit
+    EXPECT_DOUBLE_EQ(c.stats().loadMissRate(), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(c.stats().secondaryMissRate(), 1.0 / 4.0);
+}
+
+TEST(Cache, SixteenByteLinesUseFourteenCyclePenalty)
+{
+    NonblockingCache c(CacheGeometry(8 * 1024, 16, 1),
+                       makePolicy(ConfigName::NoRestrict),
+                       MainMemory());
+    EXPECT_EQ(c.missPenalty(), 14u);
+    auto out = c.load(kA, 8, 100, 1);
+    EXPECT_EQ(out.dataReady, 100u + 1 + 14);
+}
+
+TEST(CacheDeathTest, NonBlockingZeroMshrsIsFatal)
+{
+    MshrPolicy p;
+    p.numMshrs = 0;
+    EXPECT_EXIT(NonblockingCache(CacheGeometry(8192, 32, 1), p,
+                                 MainMemory()),
+                ::testing::ExitedWithCode(1), "");
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the sparse functional memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/sparse_memory.hh"
+
+using namespace nbl::mem;
+
+TEST(SparseMemory, ReadsZeroWhenUntouched)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.read(0, 8), 0u);
+    EXPECT_EQ(m.read(0xdeadbeef, 4), 0u);
+    EXPECT_EQ(m.numPages(), 0u);
+}
+
+class SparseMemorySizes : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SparseMemorySizes, RoundTrip)
+{
+    unsigned size = GetParam();
+    SparseMemory m;
+    uint64_t value = 0x1122334455667788ULL;
+    uint64_t mask = size == 8 ? ~uint64_t{0}
+                              : ((uint64_t{1} << (8 * size)) - 1);
+    m.write(0x1000, size, value);
+    EXPECT_EQ(m.read(0x1000, size), value & mask);
+}
+
+TEST_P(SparseMemorySizes, RoundTripAcrossPageBoundary)
+{
+    unsigned size = GetParam();
+    SparseMemory m;
+    uint64_t addr = SparseMemory::pageBytes - size / 2 - 1;
+    uint64_t value = 0xa1b2c3d4e5f60718ULL;
+    uint64_t mask = size == 8 ? ~uint64_t{0}
+                              : ((uint64_t{1} << (8 * size)) - 1);
+    m.write(addr, size, value);
+    EXPECT_EQ(m.read(addr, size), value & mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, SparseMemorySizes,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(SparseMemory, LittleEndianLayout)
+{
+    SparseMemory m;
+    m.write(0x2000, 8, 0x0807060504030201ULL);
+    EXPECT_EQ(m.read(0x2000, 1), 0x01u);
+    EXPECT_EQ(m.read(0x2001, 1), 0x02u);
+    EXPECT_EQ(m.read(0x2000, 4), 0x04030201u);
+    EXPECT_EQ(m.read(0x2004, 4), 0x08070605u);
+}
+
+TEST(SparseMemory, PartialOverwrite)
+{
+    SparseMemory m;
+    m.write(0x3000, 8, ~uint64_t{0});
+    m.write(0x3002, 2, 0);
+    EXPECT_EQ(m.read(0x3000, 8), 0xffffffff0000ffffULL);
+}
+
+TEST(SparseMemory, DoubleRoundTrip)
+{
+    SparseMemory m;
+    m.writeF64(0x4000, 3.14159);
+    EXPECT_DOUBLE_EQ(m.readF64(0x4000), 3.14159);
+    m.writeF64(0x4000, -0.0);
+    EXPECT_DOUBLE_EQ(m.readF64(0x4000), -0.0);
+}
+
+TEST(SparseMemory, PagesAllocatedLazily)
+{
+    SparseMemory m;
+    m.write(0, 1, 1);
+    m.write(10 * SparseMemory::pageBytes, 1, 1);
+    EXPECT_EQ(m.numPages(), 2u);
+}
+
+TEST(SparseMemory, ChecksumDetectsChanges)
+{
+    SparseMemory a, b;
+    a.write(0x1000, 8, 42);
+    b.write(0x1000, 8, 42);
+    EXPECT_EQ(a.checksum(), b.checksum());
+    b.write(0x1000, 1, 43);
+    EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(SparseMemory, ChecksumOrderIndependent)
+{
+    SparseMemory a, b;
+    a.write(0x1000, 8, 1);
+    a.write(0x9000, 8, 2);
+    b.write(0x9000, 8, 2);
+    b.write(0x1000, 8, 1);
+    EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(SparseMemory, ChecksumRangeIgnoresOutside)
+{
+    SparseMemory a, b;
+    a.write(0x1000, 8, 7);
+    b.write(0x1000, 8, 7);
+    b.write(0x5000, 8, 99); // outside the range
+    EXPECT_EQ(a.checksumRange(0x1000, 0x1100),
+              b.checksumRange(0x1000, 0x1100));
+    b.write(0x1008, 8, 1);
+    EXPECT_NE(a.checksumRange(0x1000, 0x1100),
+              b.checksumRange(0x1000, 0x1100));
+}

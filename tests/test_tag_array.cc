@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the tag array: hits, fills, evictions, and LRU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tag_array.hh"
+
+using namespace nbl::mem;
+
+namespace
+{
+
+TagArray
+smallDirect()
+{
+    return TagArray(CacheGeometry(256, 32, 1)); // 8 sets
+}
+
+} // namespace
+
+TEST(TagArray, MissThenFillThenHit)
+{
+    TagArray t = smallDirect();
+    EXPECT_FALSE(t.lookup(0x1000));
+    EXPECT_FALSE(t.fill(0x1000).has_value());
+    EXPECT_TRUE(t.lookup(0x1000));
+    EXPECT_TRUE(t.lookup(0x101f)); // same line
+    EXPECT_FALSE(t.lookup(0x1020)); // next line
+    EXPECT_EQ(t.numValid(), 1u);
+}
+
+TEST(TagArray, DirectMappedConflictEvicts)
+{
+    TagArray t = smallDirect();
+    t.fill(0x1000);
+    // 0x1000 + 256 maps to the same set with a different tag.
+    auto evicted = t.fill(0x1100);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0x1000u);
+    EXPECT_FALSE(t.present(0x1000));
+    EXPECT_TRUE(t.present(0x1100));
+}
+
+TEST(TagArray, RefillingPresentLineEvictsNothing)
+{
+    TagArray t = smallDirect();
+    t.fill(0x1000);
+    EXPECT_FALSE(t.fill(0x1000).has_value());
+    EXPECT_EQ(t.numValid(), 1u);
+}
+
+TEST(TagArray, DifferentSetsDoNotConflict)
+{
+    TagArray t = smallDirect();
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_FALSE(t.fill(0x1000 + i * 32).has_value());
+    EXPECT_EQ(t.numValid(), 8u);
+}
+
+TEST(TagArray, FullyAssociativeLru)
+{
+    TagArray t(TagArray(CacheGeometry(128, 32, 0))); // 4 lines
+    t.fill(0x000);
+    t.fill(0x100);
+    t.fill(0x200);
+    t.fill(0x300);
+    EXPECT_EQ(t.numValid(), 4u);
+    // Touch the oldest so 0x100 becomes LRU.
+    EXPECT_TRUE(t.lookup(0x000));
+    auto evicted = t.fill(0x400);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0x100u);
+    EXPECT_TRUE(t.present(0x000));
+}
+
+TEST(TagArray, LookupWithoutTouchDoesNotRefreshLru)
+{
+    TagArray t(TagArray(CacheGeometry(64, 32, 0))); // 2 lines
+    t.fill(0xa00);
+    t.fill(0xb00);
+    EXPECT_TRUE(t.lookup(0xa00, /*touch=*/false));
+    auto evicted = t.fill(0xc00);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0xa00u); // untouched lookup kept it oldest
+}
+
+TEST(TagArray, SetAssociativeLruWithinSet)
+{
+    TagArray t(TagArray(CacheGeometry(128, 32, 2))); // 2 sets, 2 ways
+    // Set 0: lines at 0x000 and 0x080.
+    t.fill(0x000);
+    t.fill(0x080);
+    t.lookup(0x000); // refresh
+    auto evicted = t.fill(0x100); // same set, third line
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(*evicted, 0x080u);
+}
+
+TEST(TagArray, Invalidate)
+{
+    TagArray t = smallDirect();
+    t.fill(0x1000);
+    t.invalidate(0x1008); // same line
+    EXPECT_FALSE(t.present(0x1000));
+    EXPECT_EQ(t.numValid(), 0u);
+    t.invalidate(0x2000); // not present: no-op
+}
+
+TEST(TagArray, Reset)
+{
+    TagArray t = smallDirect();
+    t.fill(0x1000);
+    t.fill(0x2000);
+    t.reset();
+    EXPECT_EQ(t.numValid(), 0u);
+    EXPECT_FALSE(t.present(0x1000));
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for trace recording and trace-driven replay, including the
+ * two methodological properties the module documents: replay is
+ * exact for a blocking cache and an optimistic bound for
+ * non-blocking ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "exec/machine.hh"
+#include "exec/trace.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using namespace nbl::exec;
+
+namespace
+{
+
+MemTrace
+traceOf(const std::string &wl, int latency = 10)
+{
+    workloads::Workload w = workloads::makeWorkload(wl, 0.05);
+    compiler::CompileParams cp;
+    cp.loadLatency = latency;
+    isa::Program prog = compiler::compile(w.program, cp);
+    mem::SparseMemory m = w.makeMemory();
+    return recordTrace(prog, m);
+}
+
+exec::RunOutput
+execRun(const std::string &wl, core::ConfigName cfg, int latency = 10)
+{
+    workloads::Workload w = workloads::makeWorkload(wl, 0.05);
+    compiler::CompileParams cp;
+    cp.loadLatency = latency;
+    isa::Program prog = compiler::compile(w.program, cp);
+    mem::SparseMemory m = w.makeMemory();
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(cfg);
+    return exec::run(prog, m, mc);
+}
+
+const mem::CacheGeometry kBaseline{8 * 1024, 32, 1};
+
+} // namespace
+
+TEST(Trace, RecordsEveryMemoryReference)
+{
+    MemTrace t = traceOf("eqntott");
+    auto run = execRun("eqntott", core::ConfigName::NoRestrict);
+    EXPECT_EQ(t.records.size(), run.cpu.loads + run.cpu.stores);
+    EXPECT_EQ(t.instructions, run.cpu.instructions);
+    EXPECT_GT(t.referencesPerInstruction(), 0.0);
+}
+
+TEST(Trace, GapsSumToInstructionsUpToTail)
+{
+    MemTrace t = traceOf("doduc");
+    uint64_t sum = 0;
+    for (const auto &r : t.records) {
+        EXPECT_GE(r.gap, 1u);
+        sum += r.gap;
+    }
+    EXPECT_LE(sum, t.instructions);
+}
+
+TEST(Trace, RecordFieldsAreSane)
+{
+    MemTrace t = traceOf("tomcatv");
+    size_t loads = 0;
+    for (const auto &r : t.records) {
+        EXPECT_TRUE(r.size == 1 || r.size == 2 || r.size == 4 ||
+                    r.size == 8);
+        if (r.isLoad) {
+            ++loads;
+            EXPECT_LT(r.destLinear, isa::numIntRegs + isa::numFpRegs);
+        }
+    }
+    EXPECT_GT(loads, 0u);
+}
+
+TEST(Trace, DeterministicRecording)
+{
+    MemTrace a = traceOf("xlisp");
+    MemTrace b = traceOf("xlisp");
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); i += 97)
+        EXPECT_EQ(a.records[i].addr, b.records[i].addr) << i;
+}
+
+class ReplayExactForBlocking
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ReplayExactForBlocking, MatchesExecutionDriven)
+{
+    // For a blocking cache the access stream, the miss stream, and
+    // the stall cost are all timing-independent: trace-driven replay
+    // must agree with the execution-driven simulator exactly.
+    const char *wl = GetParam();
+    MemTrace t = traceOf(wl);
+    ReplayResult rep = replayTrace(t, kBaseline,
+                                   core::makePolicy(core::ConfigName::Mc0),
+                                   mem::MainMemory());
+    auto run = execRun(wl, core::ConfigName::Mc0);
+    EXPECT_EQ(rep.cache.primaryMisses, run.cache.primaryMisses);
+    EXPECT_EQ(rep.stallCycles, run.cpu.missStallCycles());
+    EXPECT_DOUBLE_EQ(rep.mcpi(), run.cpu.mcpi());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ReplayExactForBlocking,
+                         ::testing::Values("doduc", "tomcatv",
+                                           "eqntott", "ora", "xlisp"));
+
+class ReplayBoundsNonBlocking
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ReplayBoundsNonBlocking, ReplayIsOptimistic)
+{
+    // Without register dependences, the replayer only charges
+    // structural stalls: its MCPI is a lower bound on the
+    // execution-driven value for every organization.
+    const char *wl = GetParam();
+    MemTrace t = traceOf(wl);
+    for (auto cfg : {core::ConfigName::Mc1, core::ConfigName::Fc2,
+                     core::ConfigName::NoRestrict}) {
+        ReplayResult rep = replayTrace(t, kBaseline,
+                                       core::makePolicy(cfg),
+                                       mem::MainMemory());
+        auto run = execRun(wl, cfg);
+        EXPECT_LE(rep.mcpi(), run.cpu.mcpi() + 1e-9)
+            << core::configLabel(cfg);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ReplayBoundsNonBlocking,
+                         ::testing::Values("doduc", "tomcatv",
+                                           "su2cor", "ora"));
+
+TEST(Replay, UnrestrictedReplayHasNoStalls)
+{
+    // With no dependences and no resource limits there is nothing to
+    // stall on: unrestricted replay MCPI is exactly zero.
+    MemTrace t = traceOf("tomcatv");
+    ReplayResult rep =
+        replayTrace(t, kBaseline,
+                    core::makePolicy(core::ConfigName::NoRestrict),
+                    mem::MainMemory());
+    EXPECT_DOUBLE_EQ(rep.mcpi(), 0.0);
+}
+
+TEST(Replay, SameMissClassificationAsExecutionForSerialCode)
+{
+    // ora's accesses are so far apart that timing feedback does not
+    // change classification: replay and execution agree on all
+    // counters even for non-blocking organizations.
+    MemTrace t = traceOf("ora");
+    ReplayResult rep = replayTrace(t, kBaseline,
+                                   core::makePolicy(core::ConfigName::Fc2),
+                                   mem::MainMemory());
+    auto run = execRun("ora", core::ConfigName::Fc2);
+    EXPECT_EQ(rep.cache.primaryMisses, run.cache.primaryMisses);
+    EXPECT_EQ(rep.cache.secondaryMisses, run.cache.secondaryMisses);
+}

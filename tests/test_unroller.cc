@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the loop unroller, including semantic equivalence of
+ * unrolled and rolled kernels checked by execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/kernel.hh"
+#include "compiler/unroller.hh"
+#include "exec/machine.hh"
+
+using namespace nbl;
+using namespace nbl::compiler;
+
+namespace
+{
+
+/** out[i] = in[i] * 2 + i for i in [0, trips), via counter indexing. */
+KernelProgram
+scaleProgram(unsigned unroll_factor)
+{
+    KernelProgram kp;
+    kp.name = "scale";
+    KernelBuilder b("scale", kp.nextVRegId);
+    b.countedLoop(0, 16);
+    VReg in = b.constI(0x10000);
+    VReg out = b.constI(0x20000);
+    VReg idx = b.shli(b.counter(), 3);
+    VReg src = b.add(in, idx);
+    VReg dst = b.add(out, idx);
+    VReg v = b.load(src, 0, 0);
+    VReg doubled = b.shli(v, 1);
+    VReg plus = b.add(doubled, b.counter());
+    b.store(dst, 0, plus, 1);
+    Kernel k = b.take();
+    if (unroll_factor > 1)
+        k = unroll(k, unroll_factor, kp.nextVRegId);
+    kp.kernels.push_back(k);
+    return kp;
+}
+
+uint64_t
+runAndChecksum(const KernelProgram &kp)
+{
+    CompileParams cp;
+    cp.loadLatency = 1;
+    isa::Program prog = compile(kp, cp);
+    mem::SparseMemory m;
+    for (uint64_t i = 0; i < 16; ++i)
+        m.write(0x10000 + i * 8, 8, i * 3 + 1);
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::NoRestrict);
+    exec::run(prog, m, mc);
+    return m.checksumRange(0x20000, 0x20000 + 16 * 8);
+}
+
+} // namespace
+
+TEST(Unroller, FactorOneIsIdentity)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 8);
+    VReg p = b.constI(0x1000);
+    b.load(p, 0, 0);
+    Kernel k = b.take();
+    Kernel u = unroll(k, 1, id);
+    EXPECT_EQ(u.body.size(), k.body.size());
+    EXPECT_EQ(u.trips, k.trips);
+}
+
+TEST(Unroller, AdjustsTripsAndStep)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 12, 2);
+    VReg p = b.constI(0x1000);
+    b.load(p, 0, 0);
+    Kernel k = b.take();
+    Kernel u = unroll(k, 4, id);
+    EXPECT_EQ(u.trips, 3);
+    EXPECT_EQ(u.step, 8);
+    // Iteration space unchanged: start + trips*step.
+    EXPECT_EQ(u.start + u.trips * u.step, k.start + k.trips * k.step);
+}
+
+TEST(Unroller, RenamesTemporariesPerCopy)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 8);
+    VReg p = b.constI(0x1000);
+    VReg v = b.load(p, 0, 0);
+    b.addi(v, 1);
+    Kernel k = b.take();
+    Kernel u = unroll(k, 2, id);
+    // Two loads with different destination vregs.
+    std::vector<uint32_t> load_dsts;
+    for (const VOp &op : u.body) {
+        if (op.isLoad())
+            load_dsts.push_back(op.dst.id);
+    }
+    ASSERT_EQ(load_dsts.size(), 2u);
+    EXPECT_NE(load_dsts[0], load_dsts[1]);
+}
+
+TEST(Unroller, CounterReadsGetPerCopyOffsets)
+{
+    KernelProgram rolled = scaleProgram(1);
+    Kernel u = rolled.kernels[0];
+    uint32_t id = rolled.nextVRegId;
+    Kernel un = unroll(u, 4, id);
+    // Copies 1..3 read counter + i*step through inserted AddIs.
+    unsigned addi_on_counter = 0;
+    for (const VOp &op : un.body) {
+        if (op.op == isa::Op::AddI && op.src1 == u.counter &&
+            op.dst != u.counter) {
+            ++addi_on_counter;
+        }
+    }
+    EXPECT_EQ(addi_on_counter, 3u);
+}
+
+TEST(Unroller, ChainsPinnedRedefinitions)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 8);
+    VReg p = b.constI(0x1000);
+    b.load(p, 0, 0);
+    b.bump(p, 8);
+    Kernel k = b.take();
+    Kernel u = unroll(k, 2, id);
+    // Both copies bump the same pinned vreg (sequentially chained).
+    unsigned bumps = 0;
+    for (const VOp &op : u.body)
+        bumps += op.op == isa::Op::AddI && op.dst == p && op.src1 == p;
+    EXPECT_EQ(bumps, 2u);
+}
+
+class UnrollEquivalence : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(UnrollEquivalence, SameResultsAsRolledLoop)
+{
+    // Property: unrolling must not change the program's output.
+    uint64_t rolled = runAndChecksum(scaleProgram(1));
+    uint64_t unrolled = runAndChecksum(scaleProgram(GetParam()));
+    EXPECT_EQ(rolled, unrolled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnrollEquivalence,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(UnrollerDeathTest, RejectsWhileLoops)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    VReg p = b.constI(0x1000);
+    b.whileNonZero(p, 4);
+    VReg n = b.load(p, 0, 0);
+    b.assign(p, n);
+    Kernel k = b.take();
+    EXPECT_EXIT(unroll(k, 2, id), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(UnrollerDeathTest, RejectsIndivisibleTrips)
+{
+    uint32_t id = 0;
+    KernelBuilder b("k", id);
+    b.countedLoop(0, 10);
+    VReg p = b.constI(0x1000);
+    b.load(p, 0, 0);
+    Kernel k = b.take();
+    EXPECT_EXIT(unroll(k, 3, id), ::testing::ExitedWithCode(1), "");
+}

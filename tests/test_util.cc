@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for util: bit operations, the deterministic RNG, the
+ * ASCII table printer, and string formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitops.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace nbl;
+
+TEST(BitOps, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(4097));
+    EXPECT_TRUE(isPow2(uint64_t{1} << 63));
+    EXPECT_FALSE(isPow2((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitOps, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(3), 1u);
+    EXPECT_EQ(log2i(4), 2u);
+    EXPECT_EQ(log2i(32), 5u);
+    EXPECT_EQ(log2i(uint64_t{1} << 48), 48u);
+}
+
+TEST(BitOps, BitsFor)
+{
+    EXPECT_EQ(bitsFor(0), 0u);
+    EXPECT_EQ(bitsFor(1), 0u);
+    EXPECT_EQ(bitsFor(2), 1u);
+    EXPECT_EQ(bitsFor(3), 2u);
+    EXPECT_EQ(bitsFor(4), 2u);
+    EXPECT_EQ(bitsFor(5), 3u);
+    EXPECT_EQ(bitsFor(32), 5u);   // address within a 32-byte line
+    EXPECT_EQ(bitsFor(256), 8u);
+}
+
+TEST(BitOps, Align)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignDown(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all values reachable
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.5, 0.05); // roughly uniform
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("title");
+    t.header({"name", "v"});
+    t.row({"a", "1"});
+    t.row({"long-name", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("title"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    // Data columns are right-aligned: "22" ends where " 1" ends.
+    EXPECT_NE(s.find(" 1\n"), std::string::npos);
+    EXPECT_NE(s.find("22\n"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(0.1234, 3), "0.123");
+    EXPECT_EQ(Table::num(1.0, 1), "1.0");
+    EXPECT_EQ(Table::num(-2.5, 2), "-2.50");
+}
+
+TEST(Table, RatioFormatsLikeThePaper)
+{
+    EXPECT_EQ(Table::ratio(1.4), "1.4");
+    EXPECT_EQ(Table::ratio(2.94), "2.9");
+    EXPECT_EQ(Table::ratio(14.2), "14");
+    EXPECT_EQ(Table::ratio(9.96), "10");
+    EXPECT_EQ(Table::ratio(1.0), "1.0");
+}
+
+TEST(Table, SeparatorAndMissingCells)
+{
+    Table t;
+    t.header({"a", "b", "c"});
+    t.row({"x"});
+    t.separator();
+    t.row({"y", "2", "3"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Log, Strfmt)
+{
+    EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+    EXPECT_EQ(strfmt("%.2f", 1.005), "1.00");
+    // Long strings are not truncated.
+    std::string long_arg(500, 'a');
+    EXPECT_EQ(strfmt("%s", long_arg.c_str()).size(), 500u);
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests of the 18 synthetic SPEC92 stand-ins: construction, validity,
+ * determinism, and the per-benchmark structural signatures the
+ * substitution argument rests on (DESIGN.md section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using namespace nbl::workloads;
+
+TEST(Workloads, EighteenBenchmarksInFigure13Order)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 18u);
+    EXPECT_EQ(names.front(), "alvinn");
+    EXPECT_EQ(names[8], "ora");
+    EXPECT_EQ(names.back(), "xlisp");
+}
+
+TEST(Workloads, DetailedFiveArePresent)
+{
+    const auto &d = detailedWorkloadNames();
+    ASSERT_EQ(d.size(), 5u);
+    for (const std::string &n : d) {
+        EXPECT_NE(std::find(workloadNames().begin(),
+                            workloadNames().end(), n),
+                  workloadNames().end());
+    }
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("spec95"), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Workloads, BadScaleIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("doduc", 0.0), ::testing::ExitedWithCode(1),
+                "");
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, CompilesValidatesAndRuns)
+{
+    Workload w = makeWorkload(GetParam(), 0.05);
+    EXPECT_EQ(w.name, GetParam());
+    compiler::CompileParams cp;
+    cp.loadLatency = 10;
+    isa::Program prog = compiler::compile(w.program, cp);
+    EXPECT_TRUE(prog.validate(false));
+
+    mem::SparseMemory m = w.makeMemory();
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::Fc2);
+    auto res = exec::run(prog, m, mc);
+    EXPECT_FALSE(res.hitInstructionCap);
+    EXPECT_GT(res.cpu.instructions, 1000u);
+    EXPECT_GT(res.cpu.loads, 0u);
+    EXPECT_GT(res.cache.primaryMisses, 0u) << "a benchmark with no "
+                                              "misses tests nothing";
+}
+
+TEST_P(EveryWorkload, DeterministicMemoryImage)
+{
+    Workload a = makeWorkload(GetParam(), 0.05);
+    Workload b = makeWorkload(GetParam(), 0.05);
+    EXPECT_EQ(a.makeMemory().checksum(), b.makeMemory().checksum());
+}
+
+TEST_P(EveryWorkload, ScaleGrowsDynamicSize)
+{
+    // One outer repetition is the floor, so compare scales large
+    // enough that both are above it.
+    Workload small = makeWorkload(GetParam(), 0.5);
+    Workload big = makeWorkload(GetParam(), 8.0);
+    EXPECT_GT(compiler::estimateDynamicSize(big.program),
+              2 * compiler::estimateDynamicSize(small.program));
+}
+
+INSTANTIATE_TEST_SUITE_P(All18, EveryWorkload,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadSignatures, OraIsFullySerial)
+{
+    // Figure 13's striking row: every configuration at MCPI 1.000.
+    harness::Lab lab(0.1);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    double mc0, inf;
+    e.config = core::ConfigName::Mc0;
+    mc0 = lab.run("ora", e).mcpi();
+    e.config = core::ConfigName::NoRestrict;
+    inf = lab.run("ora", e).mcpi();
+    EXPECT_NEAR(mc0, 1.0, 0.08);
+    EXPECT_NEAR(inf, mc0, 0.02); // no overlap possible
+}
+
+TEST(WorkloadSignatures, IntegerCodesNearOptimalWithHitUnderMiss)
+{
+    // Section 7: "for integer benchmarks, a simple hit-under-miss
+    // organization is the most cost effective".
+    harness::Lab lab(0.1);
+    for (const char *wl : {"compress", "eqntott", "espresso", "xlisp"}) {
+        harness::ExperimentConfig e;
+        e.loadLatency = 10;
+        e.config = core::ConfigName::Mc1;
+        double mc1 = lab.run(wl, e).mcpi();
+        e.config = core::ConfigName::NoRestrict;
+        double inf = lab.run(wl, e).mcpi();
+        EXPECT_LT(mc1 / inf, 1.25) << wl;
+    }
+}
+
+TEST(WorkloadSignatures, NumericCodesNeedMoreMshrs)
+{
+    // Section 7: numeric codes gain a factor ~4-10 from non-blocking
+    // support beyond hit-under-miss.
+    harness::Lab lab(0.1);
+    for (const char *wl : {"tomcatv", "su2cor"}) {
+        harness::ExperimentConfig e;
+        e.loadLatency = 10;
+        e.config = core::ConfigName::Mc1;
+        double mc1 = lab.run(wl, e).mcpi();
+        e.config = core::ConfigName::NoRestrict;
+        double inf = lab.run(wl, e).mcpi();
+        EXPECT_GT(mc1 / inf, 3.0) << wl;
+    }
+}
+
+TEST(WorkloadSignatures, DoducPrefersPrimariesOverSecondaries)
+{
+    // Figure 5: mc=2 beats fc=1 for doduc.
+    harness::Lab lab(0.2);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    e.config = core::ConfigName::Mc2;
+    double mc2 = lab.run("doduc", e).mcpi();
+    e.config = core::ConfigName::Fc1;
+    double fc1 = lab.run("doduc", e).mcpi();
+    EXPECT_LT(mc2, fc1);
+}
+
+TEST(WorkloadSignatures, Su2corHurtByOneFetchPerSet)
+{
+    // Figure 15: fs=1 is distinctly worse than fs=2 for su2cor.
+    harness::Lab lab(0.1);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    e.config = core::ConfigName::Fs1;
+    double fs1 = lab.run("su2cor", e).mcpi();
+    e.config = core::ConfigName::Fs2;
+    double fs2 = lab.run("su2cor", e).mcpi();
+    EXPECT_GT(fs1 / fs2, 1.5);
+}
+
+TEST(WorkloadSignatures, XlispLoadsAreASmallFraction)
+{
+    // Figure 4: xlisp executes few loads relative to instructions.
+    harness::Lab lab(0.1);
+    harness::ExperimentConfig e;
+    e.loadLatency = 10;
+    e.config = core::ConfigName::Mc1;
+    auto r = lab.run("xlisp", e);
+    double frac = double(r.run.cpu.loads) /
+                  double(r.run.cpu.instructions);
+    EXPECT_LT(frac, 0.15);
+}
+
+TEST(WorkloadSignatures, TomcatvMcpiFallsWithLatency)
+{
+    // Figure 12: monotone decrease, flattening at long latencies.
+    harness::Lab lab(0.1);
+    harness::ExperimentConfig e;
+    e.config = core::ConfigName::NoRestrict;
+    double prev = 1e9;
+    for (int lat : {1, 2, 3, 6, 10}) {
+        e.loadLatency = lat;
+        double m = lab.run("tomcatv", e).mcpi();
+        EXPECT_LE(m, prev + 1e-9) << "latency " << lat;
+        prev = m;
+    }
+}
+
+TEST(WorkloadSignatures, ConfigsConvergeAtLatencyOne)
+{
+    // Figure 5: "all the lockup-free implementations achieve very
+    // similar MCPIs for a load latency of 1."
+    harness::Lab lab(0.1);
+    for (const char *wl : {"doduc", "tomcatv"}) {
+        harness::ExperimentConfig e;
+        e.loadLatency = 1;
+        e.config = core::ConfigName::Mc1;
+        double mc1 = lab.run(wl, e).mcpi();
+        e.config = core::ConfigName::NoRestrict;
+        double inf = lab.run(wl, e).mcpi();
+        EXPECT_LT(mc1 / inf, 1.35) << wl;
+    }
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * nbl-repro: regenerate the paper-vs-measured comparison as markdown.
+ *
+ * Runs the core quantitative comparisons (Figure 13's 18-benchmark
+ * table, Figure 14's field-organization grid, Figure 18's penalty
+ * sweep) and emits a markdown report with measured values beside the
+ * paper's, plus pass/fail against the shape criteria of DESIGN.md
+ * section 4. This is the automated backbone of EXPERIMENTS.md.
+ *
+ *   nbl-repro [scale] > report.md
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/paper_data.hh"
+#include "harness/sweep.hh"
+#include "util/log.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+int checks_run = 0;
+int checks_passed = 0;
+
+void
+check(bool ok, const char *what)
+{
+    ++checks_run;
+    checks_passed += ok;
+    std::printf("- %s %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+void
+fig13(harness::Lab &lab)
+{
+    std::printf("## Figure 13: 18 benchmarks, latency 10\n\n");
+    std::printf("| benchmark | mc0 | mc1 | mc2 | fc1 | fc2 | inf | "
+                "paper mc0..inf |\n");
+    std::printf("|---|---|---|---|---|---|---|---|\n");
+
+    double worst_int_ratio = 0.0;
+    double best_vec_ratio = 1e9;
+    bool ordering_ok = true;
+    double doduc_mc2 = 0, doduc_fc1 = 0;
+
+    for (const auto &p : harness::paper::fig13()) {
+        double m[6];
+        int i = 0;
+        for (auto cfg : {core::ConfigName::Mc0, core::ConfigName::Mc1,
+                         core::ConfigName::Mc2, core::ConfigName::Fc1,
+                         core::ConfigName::Fc2,
+                         core::ConfigName::NoRestrict}) {
+            harness::ExperimentConfig e;
+            e.config = cfg;
+            e.loadLatency = 10;
+            m[i++] = lab.run(p.name, e).mcpi();
+        }
+        std::printf("| %s | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f "
+                    "| %.3f..%.3f |\n",
+                    p.name, m[0], m[1], m[2], m[3], m[4], m[5], p.mc0,
+                    p.unrestricted);
+
+        ordering_ok &= m[0] >= m[1] - 1e-9 && m[1] >= m[2] - 1e-9 &&
+                       m[1] >= m[3] - 1e-9 && m[3] >= m[4] - 1e-9 &&
+                       m[4] >= m[5] - 1e-9;
+        std::string name = p.name;
+        if (name == "compress" || name == "eqntott" ||
+            name == "espresso" || name == "xlisp") {
+            worst_int_ratio =
+                std::max(worst_int_ratio, m[1] / m[5]);
+        }
+        if (name == "tomcatv" || name == "su2cor")
+            best_vec_ratio = std::min(best_vec_ratio, m[1] / m[5]);
+        if (name == "doduc") {
+            doduc_mc2 = m[2];
+            doduc_fc1 = m[3];
+        }
+    }
+    std::printf("\n");
+    check(ordering_ok, "capability ordering holds on every row");
+    check(worst_int_ratio < 1.25,
+          "integer codes: mc=1 within 25% of unrestricted");
+    check(best_vec_ratio > 3.0,
+          "vector codes: mc=1 at least 3x unrestricted");
+    check(doduc_mc2 < doduc_fc1,
+          "doduc: two primary misses beat unlimited secondaries");
+    std::printf("\n");
+}
+
+void
+fig14(harness::Lab &lab)
+{
+    std::printf("## Figure 14: MSHR field organizations (doduc)\n\n");
+    std::printf("| sb | mps | measured | paper |\n|---|---|---|---|\n");
+    harness::ExperimentConfig base;
+    base.loadLatency = 10;
+    double single = 0, four = 0;
+    for (const auto &cell : harness::paper::fig14()) {
+        if (cell.subBlocks < 0)
+            continue;
+        harness::ExperimentConfig e = base;
+        e.customPolicy =
+            core::makeFieldPolicy(cell.subBlocks, cell.missesPerSub);
+        double m = lab.run("doduc", e).mcpi();
+        std::printf("| %d | %d | %.3f | %.3f |\n", cell.subBlocks,
+                    cell.missesPerSub, m, cell.mcpi);
+        if (cell.subBlocks == 1 && cell.missesPerSub == 1)
+            single = m;
+        if (cell.subBlocks == 1 && cell.missesPerSub == 4)
+            four = m;
+    }
+    std::printf("\n");
+    check(four < single, "adding destination fields always helps");
+    base.config = core::ConfigName::NoRestrict;
+    double inf = lab.run("doduc", base).mcpi();
+    check(four <= 1.10 * inf,
+          "4 explicit fields within 10% of unrestricted");
+    std::printf("\n");
+}
+
+void
+fig18(harness::Lab &lab)
+{
+    std::printf("## Figure 18: tomcatv MCPI vs miss penalty\n\n");
+    std::printf("| config | 4 | 8 | 16 | 32 | 64 | 128 |\n");
+    std::printf("|---|---|---|---|---|---|---|\n");
+    double mc0[6], inf[6];
+    int col;
+    for (auto cfg : {core::ConfigName::Mc0,
+                     core::ConfigName::NoRestrict}) {
+        std::printf("| %s |", core::configLabel(cfg));
+        col = 0;
+        for (unsigned pen : harness::paper::fig18Penalties) {
+            harness::ExperimentConfig e;
+            e.config = cfg;
+            e.loadLatency = 10;
+            e.missPenalty = pen;
+            double m = lab.run("tomcatv", e).mcpi();
+            (cfg == core::ConfigName::Mc0 ? mc0 : inf)[col++] = m;
+            std::printf(" %.3f |", m);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+    bool linear = true;
+    for (int i = 1; i < 6; ++i)
+        linear &= std::abs(mc0[i] / mc0[i - 1] - 2.0) < 1e-6;
+    check(linear, "blocking MCPI exactly linear in the penalty");
+    check(inf[3] > 4.0 * inf[2],
+          "unrestricted MCPI super-linear (16 -> 32 grows > 4x)");
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+    if (scale <= 0)
+        fatal("usage: nbl-repro [scale]");
+    harness::Lab lab(scale);
+
+    std::printf("# Reproduction report\n\n"
+                "Workload scale %.2f; baseline: 8KB direct-mapped, "
+                "32B lines, 16-cycle miss penalty, load latency 10.\n"
+                "Shape criteria from DESIGN.md section 4.\n\n",
+                scale);
+    fig13(lab);
+    fig14(lab);
+    fig18(lab);
+
+    std::printf("## Verdict\n\n%d/%d shape criteria passed.\n",
+                checks_passed, checks_run);
+    return checks_passed == checks_run ? 0 : 1;
+}

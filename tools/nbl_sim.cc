@@ -1,0 +1,247 @@
+/**
+ * @file
+ * nbl-sim: command-line driver for the simulator.
+ *
+ * Runs one workload (or all of them) under one configuration (or all
+ * of them) and prints MCPI plus the stall breakdown, or emits the
+ * full latency sweep as CSV for plotting. Everything the bench
+ * binaries do is reachable from here with explicit knobs.
+ *
+ *   nbl-sim --list
+ *   nbl-sim --workload tomcatv --config mc=1 --latency 10
+ *   nbl-sim --workload doduc --config all
+ *   nbl-sim --workload su2cor --sweep --csv > su2cor.csv
+ *   nbl-sim --workload xlisp --cache 8192 --ways 0   # fully assoc
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/report.hh"
+#include "harness/sweep.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "doduc";
+    std::string config = "no restrict";
+    int latency = 10;
+    uint64_t cacheBytes = 8 * 1024;
+    uint64_t lineBytes = 32;
+    unsigned ways = 1;
+    unsigned penalty = 0;
+    unsigned issueWidth = 1;
+    unsigned fillPorts = 0;
+    double scale = 1.0;
+    bool sweep = false;
+    bool csv = false;
+    bool plot = false;
+    bool list = false;
+};
+
+const std::vector<std::pair<std::string, core::ConfigName>> &
+configTable()
+{
+    static const std::vector<std::pair<std::string, core::ConfigName>>
+        table = {
+            {"mc=0 +wma", core::ConfigName::Mc0Wma},
+            {"mc=0", core::ConfigName::Mc0},
+            {"mc=1", core::ConfigName::Mc1},
+            {"mc=2", core::ConfigName::Mc2},
+            {"fc=1", core::ConfigName::Fc1},
+            {"fc=2", core::ConfigName::Fc2},
+            {"fs=1", core::ConfigName::Fs1},
+            {"fs=2", core::ConfigName::Fs2},
+            {"in-cache", core::ConfigName::InCache},
+            {"no restrict", core::ConfigName::NoRestrict},
+        };
+    return table;
+}
+
+std::optional<core::ConfigName>
+parseConfig(const std::string &name)
+{
+    for (const auto &[label, cfg] : configTable()) {
+        if (label == name)
+            return cfg;
+    }
+    return std::nullopt;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "nbl-sim: non-blocking-loads cache simulator\n"
+        "\n"
+        "  --workload NAME|all   synthetic SPEC92 stand-in (doduc)\n"
+        "  --config LABEL|all    miss-handling config (no restrict)\n"
+        "  --latency N           scheduled load latency (10)\n"
+        "  --cache BYTES         cache size (8192)\n"
+        "  --line BYTES          line size (32)\n"
+        "  --ways N              associativity; 0 = fully assoc (1)\n"
+        "  --penalty N           fixed miss penalty; 0 = pipelined "
+        "bus model\n"
+        "  --issue N             issue width 1-4 (1)\n"
+        "  --fill-ports N        register write ports for fills; 0 = "
+        "unlimited\n"
+        "  --scale F             workload size multiplier (1.0)\n"
+        "  --sweep               sweep all scheduled latencies\n"
+        "  --csv                 with --sweep: emit CSV\n"
+        "  --plot                with --sweep: ASCII plot\n"
+        "  --list                list workloads and configs\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--workload")
+            o.workload = need(i);
+        else if (a == "--config")
+            o.config = need(i);
+        else if (a == "--latency")
+            o.latency = std::atoi(need(i));
+        else if (a == "--cache")
+            o.cacheBytes = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--line")
+            o.lineBytes = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--ways")
+            o.ways = unsigned(std::atoi(need(i)));
+        else if (a == "--penalty")
+            o.penalty = unsigned(std::atoi(need(i)));
+        else if (a == "--issue")
+            o.issueWidth = unsigned(std::atoi(need(i)));
+        else if (a == "--fill-ports")
+            o.fillPorts = unsigned(std::atoi(need(i)));
+        else if (a == "--scale")
+            o.scale = std::atof(need(i));
+        else if (a == "--sweep")
+            o.sweep = true;
+        else if (a == "--csv")
+            o.csv = true;
+        else if (a == "--plot")
+            o.plot = true;
+        else if (a == "--list")
+            o.list = true;
+        else
+            usage();
+    }
+    return o;
+}
+
+harness::ExperimentConfig
+experimentOf(const Options &o, core::ConfigName cfg)
+{
+    harness::ExperimentConfig e;
+    e.cacheBytes = o.cacheBytes;
+    e.lineBytes = o.lineBytes;
+    e.ways = o.ways;
+    e.config = cfg;
+    e.loadLatency = o.latency;
+    e.missPenalty = o.penalty;
+    e.issueWidth = o.issueWidth;
+    e.fillWritePorts = o.fillPorts;
+    return e;
+}
+
+void
+printRun(const std::string &wl, const std::string &label,
+         const harness::ExperimentResult &r)
+{
+    const auto &c = r.run.cpu;
+    const auto &k = r.run.cache;
+    std::printf(
+        "%-10s %-11s MCPI %.4f  (dep %.4f struct %.4f block %.4f)  "
+        "instrs %llu  load miss %.2f%% (sec %.2f%%)  peak mshr %u\n",
+        wl.c_str(), label.c_str(), c.mcpi(),
+        double(c.depStallCycles) / double(c.instructions),
+        double(c.structStallCycles) / double(c.instructions),
+        double(c.blockStallCycles) / double(c.instructions),
+        (unsigned long long)c.instructions,
+        100.0 * k.loadMissRate(), 100.0 * k.secondaryMissRate(),
+        r.run.maxInflightMisses);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    if (o.list) {
+        std::printf("workloads:");
+        for (const auto &w : workloads::workloadNames())
+            std::printf(" %s", w.c_str());
+        std::printf("\nconfigs:");
+        for (const auto &[label, cfg] : configTable())
+            std::printf(" '%s'", label.c_str());
+        std::printf("\n");
+        return 0;
+    }
+
+    std::vector<std::string> wls;
+    if (o.workload == "all")
+        wls = workloads::workloadNames();
+    else
+        wls.push_back(o.workload);
+
+    std::vector<std::pair<std::string, core::ConfigName>> cfgs;
+    if (o.config == "all") {
+        cfgs.assign(configTable().begin(), configTable().end());
+    } else {
+        auto cfg = parseConfig(o.config);
+        if (!cfg)
+            fatal("unknown config '%s' (try --list)", o.config.c_str());
+        cfgs.emplace_back(o.config, *cfg);
+    }
+
+    harness::Lab lab(o.scale);
+
+    if (o.sweep) {
+        std::vector<core::ConfigName> names;
+        for (const auto &[label, cfg] : cfgs)
+            names.push_back(cfg);
+        for (const auto &wl : wls) {
+            auto curves = harness::sweepCurves(
+                lab, wl, experimentOf(o, cfgs[0].second), names);
+            if (o.csv) {
+                std::printf("# %s\n%s", wl.c_str(),
+                            harness::curvesCsv(curves).c_str());
+            } else {
+                harness::printCurves(wl + ": miss CPI vs scheduled "
+                                          "load latency",
+                                     curves);
+                if (o.plot)
+                    harness::plotCurves(curves);
+            }
+        }
+        return 0;
+    }
+
+    for (const auto &wl : wls) {
+        for (const auto &[label, cfg] : cfgs)
+            printRun(wl, label, lab.run(wl, experimentOf(o, cfg)));
+    }
+    return 0;
+}
