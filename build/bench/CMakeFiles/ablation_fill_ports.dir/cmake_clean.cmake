@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fill_ports.dir/ablation_fill_ports.cc.o"
+  "CMakeFiles/ablation_fill_ports.dir/ablation_fill_ports.cc.o.d"
+  "ablation_fill_ports"
+  "ablation_fill_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fill_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mshr_fields.dir/ablation_mshr_fields.cc.o"
+  "CMakeFiles/ablation_mshr_fields.dir/ablation_mshr_fields.cc.o.d"
+  "ablation_mshr_fields"
+  "ablation_mshr_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mshr_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

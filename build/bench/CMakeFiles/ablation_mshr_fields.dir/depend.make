@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_mshr_fields.
+# This may be replaced when dependencies are built.

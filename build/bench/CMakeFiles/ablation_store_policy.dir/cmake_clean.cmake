@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_store_policy.dir/ablation_store_policy.cc.o"
+  "CMakeFiles/ablation_store_policy.dir/ablation_store_policy.cc.o.d"
+  "ablation_store_policy"
+  "ablation_store_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_store_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

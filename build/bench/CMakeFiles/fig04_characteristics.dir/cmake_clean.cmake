@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_characteristics.dir/fig04_characteristics.cc.o"
+  "CMakeFiles/fig04_characteristics.dir/fig04_characteristics.cc.o.d"
+  "fig04_characteristics"
+  "fig04_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

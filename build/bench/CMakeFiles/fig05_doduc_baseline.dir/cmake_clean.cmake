@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_doduc_baseline.dir/fig05_doduc_baseline.cc.o"
+  "CMakeFiles/fig05_doduc_baseline.dir/fig05_doduc_baseline.cc.o.d"
+  "fig05_doduc_baseline"
+  "fig05_doduc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_doduc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_inflight_histogram.dir/fig06_inflight_histogram.cc.o"
+  "CMakeFiles/fig06_inflight_histogram.dir/fig06_inflight_histogram.cc.o.d"
+  "fig06_inflight_histogram"
+  "fig06_inflight_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_inflight_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

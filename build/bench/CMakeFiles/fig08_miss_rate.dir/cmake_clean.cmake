@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_miss_rate.dir/fig08_miss_rate.cc.o"
+  "CMakeFiles/fig08_miss_rate.dir/fig08_miss_rate.cc.o.d"
+  "fig08_miss_rate"
+  "fig08_miss_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_miss_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

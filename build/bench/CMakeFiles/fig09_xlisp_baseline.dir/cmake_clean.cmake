@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_xlisp_baseline.dir/fig09_xlisp_baseline.cc.o"
+  "CMakeFiles/fig09_xlisp_baseline.dir/fig09_xlisp_baseline.cc.o.d"
+  "fig09_xlisp_baseline"
+  "fig09_xlisp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_xlisp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

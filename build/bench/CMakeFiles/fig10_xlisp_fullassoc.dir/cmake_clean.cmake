@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_xlisp_fullassoc.dir/fig10_xlisp_fullassoc.cc.o"
+  "CMakeFiles/fig10_xlisp_fullassoc.dir/fig10_xlisp_fullassoc.cc.o.d"
+  "fig10_xlisp_fullassoc"
+  "fig10_xlisp_fullassoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_xlisp_fullassoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_xlisp_fullassoc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_eqntott_baseline.dir/fig11_eqntott_baseline.cc.o"
+  "CMakeFiles/fig11_eqntott_baseline.dir/fig11_eqntott_baseline.cc.o.d"
+  "fig11_eqntott_baseline"
+  "fig11_eqntott_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_eqntott_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tomcatv_baseline.dir/fig12_tomcatv_baseline.cc.o"
+  "CMakeFiles/fig12_tomcatv_baseline.dir/fig12_tomcatv_baseline.cc.o.d"
+  "fig12_tomcatv_baseline"
+  "fig12_tomcatv_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tomcatv_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_all18_table.dir/fig13_all18_table.cc.o"
+  "CMakeFiles/fig13_all18_table.dir/fig13_all18_table.cc.o.d"
+  "fig13_all18_table"
+  "fig13_all18_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_all18_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

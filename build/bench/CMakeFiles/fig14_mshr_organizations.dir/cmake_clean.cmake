@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mshr_organizations.dir/fig14_mshr_organizations.cc.o"
+  "CMakeFiles/fig14_mshr_organizations.dir/fig14_mshr_organizations.cc.o.d"
+  "fig14_mshr_organizations"
+  "fig14_mshr_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mshr_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_su2cor_per_set.dir/fig15_su2cor_per_set.cc.o"
+  "CMakeFiles/fig15_su2cor_per_set.dir/fig15_su2cor_per_set.cc.o.d"
+  "fig15_su2cor_per_set"
+  "fig15_su2cor_per_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_su2cor_per_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_su2cor_per_set.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_su2cor_per_set.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_doduc_64kb.dir/fig16_doduc_64kb.cc.o"
+  "CMakeFiles/fig16_doduc_64kb.dir/fig16_doduc_64kb.cc.o.d"
+  "fig16_doduc_64kb"
+  "fig16_doduc_64kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_doduc_64kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_doduc_64kb.
+# This may be replaced when dependencies are built.

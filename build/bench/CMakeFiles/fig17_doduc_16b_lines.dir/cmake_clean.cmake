@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_doduc_16b_lines.dir/fig17_doduc_16b_lines.cc.o"
+  "CMakeFiles/fig17_doduc_16b_lines.dir/fig17_doduc_16b_lines.cc.o.d"
+  "fig17_doduc_16b_lines"
+  "fig17_doduc_16b_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_doduc_16b_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

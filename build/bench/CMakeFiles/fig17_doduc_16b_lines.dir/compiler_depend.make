@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_doduc_16b_lines.
+# This may be replaced when dependencies are built.

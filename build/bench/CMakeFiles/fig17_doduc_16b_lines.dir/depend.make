@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_doduc_16b_lines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_miss_penalty.dir/fig18_miss_penalty.cc.o"
+  "CMakeFiles/fig18_miss_penalty.dir/fig18_miss_penalty.cc.o.d"
+  "fig18_miss_penalty"
+  "fig18_miss_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_miss_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

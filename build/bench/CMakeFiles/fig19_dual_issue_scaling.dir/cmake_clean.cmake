@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dual_issue_scaling.dir/fig19_dual_issue_scaling.cc.o"
+  "CMakeFiles/fig19_dual_issue_scaling.dir/fig19_dual_issue_scaling.cc.o.d"
+  "fig19_dual_issue_scaling"
+  "fig19_dual_issue_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dual_issue_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_dual_issue_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology_trace_vs_exec.dir/methodology_trace_vs_exec.cc.o"
+  "CMakeFiles/methodology_trace_vs_exec.dir/methodology_trace_vs_exec.cc.o.d"
+  "methodology_trace_vs_exec"
+  "methodology_trace_vs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology_trace_vs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for methodology_trace_vs_exec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_scheduling.dir/compiler_scheduling.cpp.o"
+  "CMakeFiles/compiler_scheduling.dir/compiler_scheduling.cpp.o.d"
+  "compiler_scheduling"
+  "compiler_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

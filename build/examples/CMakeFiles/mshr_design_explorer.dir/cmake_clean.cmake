@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mshr_design_explorer.dir/mshr_design_explorer.cpp.o"
+  "CMakeFiles/mshr_design_explorer.dir/mshr_design_explorer.cpp.o.d"
+  "mshr_design_explorer"
+  "mshr_design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mshr_design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/compile.cc" "src/CMakeFiles/nbl.dir/compiler/compile.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/compile.cc.o.d"
+  "/root/repo/src/compiler/kernel.cc" "src/CMakeFiles/nbl.dir/compiler/kernel.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/kernel.cc.o.d"
+  "/root/repo/src/compiler/list_scheduler.cc" "src/CMakeFiles/nbl.dir/compiler/list_scheduler.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/list_scheduler.cc.o.d"
+  "/root/repo/src/compiler/lower.cc" "src/CMakeFiles/nbl.dir/compiler/lower.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/lower.cc.o.d"
+  "/root/repo/src/compiler/regalloc.cc" "src/CMakeFiles/nbl.dir/compiler/regalloc.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/regalloc.cc.o.d"
+  "/root/repo/src/compiler/unroller.cc" "src/CMakeFiles/nbl.dir/compiler/unroller.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/unroller.cc.o.d"
+  "/root/repo/src/compiler/vir.cc" "src/CMakeFiles/nbl.dir/compiler/vir.cc.o" "gcc" "src/CMakeFiles/nbl.dir/compiler/vir.cc.o.d"
+  "/root/repo/src/core/flight_tracker.cc" "src/CMakeFiles/nbl.dir/core/flight_tracker.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/flight_tracker.cc.o.d"
+  "/root/repo/src/core/inverted_mshr.cc" "src/CMakeFiles/nbl.dir/core/inverted_mshr.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/inverted_mshr.cc.o.d"
+  "/root/repo/src/core/mshr.cc" "src/CMakeFiles/nbl.dir/core/mshr.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/mshr.cc.o.d"
+  "/root/repo/src/core/mshr_cost.cc" "src/CMakeFiles/nbl.dir/core/mshr_cost.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/mshr_cost.cc.o.d"
+  "/root/repo/src/core/mshr_file.cc" "src/CMakeFiles/nbl.dir/core/mshr_file.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/mshr_file.cc.o.d"
+  "/root/repo/src/core/nonblocking_cache.cc" "src/CMakeFiles/nbl.dir/core/nonblocking_cache.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/nonblocking_cache.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/nbl.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/nbl.dir/core/policy.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/nbl.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/nbl.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/cpu/scoreboard.cc" "src/CMakeFiles/nbl.dir/cpu/scoreboard.cc.o" "gcc" "src/CMakeFiles/nbl.dir/cpu/scoreboard.cc.o.d"
+  "/root/repo/src/cpu/stats.cc" "src/CMakeFiles/nbl.dir/cpu/stats.cc.o" "gcc" "src/CMakeFiles/nbl.dir/cpu/stats.cc.o.d"
+  "/root/repo/src/exec/interpreter.cc" "src/CMakeFiles/nbl.dir/exec/interpreter.cc.o" "gcc" "src/CMakeFiles/nbl.dir/exec/interpreter.cc.o.d"
+  "/root/repo/src/exec/machine.cc" "src/CMakeFiles/nbl.dir/exec/machine.cc.o" "gcc" "src/CMakeFiles/nbl.dir/exec/machine.cc.o.d"
+  "/root/repo/src/exec/trace.cc" "src/CMakeFiles/nbl.dir/exec/trace.cc.o" "gcc" "src/CMakeFiles/nbl.dir/exec/trace.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/nbl.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/nbl.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/paper_data.cc" "src/CMakeFiles/nbl.dir/harness/paper_data.cc.o" "gcc" "src/CMakeFiles/nbl.dir/harness/paper_data.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/nbl.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/nbl.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/sweep.cc" "src/CMakeFiles/nbl.dir/harness/sweep.cc.o" "gcc" "src/CMakeFiles/nbl.dir/harness/sweep.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/nbl.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/nbl.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/cache_geometry.cc" "src/CMakeFiles/nbl.dir/mem/cache_geometry.cc.o" "gcc" "src/CMakeFiles/nbl.dir/mem/cache_geometry.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/CMakeFiles/nbl.dir/mem/main_memory.cc.o" "gcc" "src/CMakeFiles/nbl.dir/mem/main_memory.cc.o.d"
+  "/root/repo/src/mem/sparse_memory.cc" "src/CMakeFiles/nbl.dir/mem/sparse_memory.cc.o" "gcc" "src/CMakeFiles/nbl.dir/mem/sparse_memory.cc.o.d"
+  "/root/repo/src/mem/tag_array.cc" "src/CMakeFiles/nbl.dir/mem/tag_array.cc.o" "gcc" "src/CMakeFiles/nbl.dir/mem/tag_array.cc.o.d"
+  "/root/repo/src/mem/write_buffer.cc" "src/CMakeFiles/nbl.dir/mem/write_buffer.cc.o" "gcc" "src/CMakeFiles/nbl.dir/mem/write_buffer.cc.o.d"
+  "/root/repo/src/util/chart.cc" "src/CMakeFiles/nbl.dir/util/chart.cc.o" "gcc" "src/CMakeFiles/nbl.dir/util/chart.cc.o.d"
+  "/root/repo/src/util/log.cc" "src/CMakeFiles/nbl.dir/util/log.cc.o" "gcc" "src/CMakeFiles/nbl.dir/util/log.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/nbl.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/nbl.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/nbl.dir/util/table.cc.o" "gcc" "src/CMakeFiles/nbl.dir/util/table.cc.o.d"
+  "/root/repo/src/workloads/archetypes.cc" "src/CMakeFiles/nbl.dir/workloads/archetypes.cc.o" "gcc" "src/CMakeFiles/nbl.dir/workloads/archetypes.cc.o.d"
+  "/root/repo/src/workloads/spec_fp_a.cc" "src/CMakeFiles/nbl.dir/workloads/spec_fp_a.cc.o" "gcc" "src/CMakeFiles/nbl.dir/workloads/spec_fp_a.cc.o.d"
+  "/root/repo/src/workloads/spec_fp_b.cc" "src/CMakeFiles/nbl.dir/workloads/spec_fp_b.cc.o" "gcc" "src/CMakeFiles/nbl.dir/workloads/spec_fp_b.cc.o.d"
+  "/root/repo/src/workloads/spec_fp_c.cc" "src/CMakeFiles/nbl.dir/workloads/spec_fp_c.cc.o" "gcc" "src/CMakeFiles/nbl.dir/workloads/spec_fp_c.cc.o.d"
+  "/root/repo/src/workloads/spec_int.cc" "src/CMakeFiles/nbl.dir/workloads/spec_int.cc.o" "gcc" "src/CMakeFiles/nbl.dir/workloads/spec_int.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/nbl.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/nbl.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

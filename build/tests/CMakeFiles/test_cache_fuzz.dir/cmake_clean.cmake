@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_fuzz.dir/test_cache_fuzz.cc.o"
+  "CMakeFiles/test_cache_fuzz.dir/test_cache_fuzz.cc.o.d"
+  "test_cache_fuzz"
+  "test_cache_fuzz.pdb"
+  "test_cache_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

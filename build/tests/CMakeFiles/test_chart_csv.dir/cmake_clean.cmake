@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chart_csv.dir/test_chart_csv.cc.o"
+  "CMakeFiles/test_chart_csv.dir/test_chart_csv.cc.o.d"
+  "test_chart_csv"
+  "test_chart_csv.pdb"
+  "test_chart_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chart_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile_execute.dir/test_compile_execute.cc.o"
+  "CMakeFiles/test_compile_execute.dir/test_compile_execute.cc.o.d"
+  "test_compile_execute"
+  "test_compile_execute.pdb"
+  "test_compile_execute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flight_tracker.dir/test_flight_tracker.cc.o"
+  "CMakeFiles/test_flight_tracker.dir/test_flight_tracker.cc.o.d"
+  "test_flight_tracker"
+  "test_flight_tracker.pdb"
+  "test_flight_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flight_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_flight_tracker.
+# This may be replaced when dependencies are built.

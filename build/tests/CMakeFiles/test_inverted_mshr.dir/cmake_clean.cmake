@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inverted_mshr.dir/test_inverted_mshr.cc.o"
+  "CMakeFiles/test_inverted_mshr.dir/test_inverted_mshr.cc.o.d"
+  "test_inverted_mshr"
+  "test_inverted_mshr.pdb"
+  "test_inverted_mshr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inverted_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_main_memory.dir/test_main_memory.cc.o"
+  "CMakeFiles/test_main_memory.dir/test_main_memory.cc.o.d"
+  "test_main_memory"
+  "test_main_memory.pdb"
+  "test_main_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_main_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mshr_cost.dir/test_mshr_cost.cc.o"
+  "CMakeFiles/test_mshr_cost.dir/test_mshr_cost.cc.o.d"
+  "test_mshr_cost"
+  "test_mshr_cost.pdb"
+  "test_mshr_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mshr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mshr_file.dir/test_mshr_file.cc.o"
+  "CMakeFiles/test_mshr_file.dir/test_mshr_file.cc.o.d"
+  "test_mshr_file"
+  "test_mshr_file.pdb"
+  "test_mshr_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mshr_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

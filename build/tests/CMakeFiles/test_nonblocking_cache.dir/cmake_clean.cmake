@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonblocking_cache.dir/test_nonblocking_cache.cc.o"
+  "CMakeFiles/test_nonblocking_cache.dir/test_nonblocking_cache.cc.o.d"
+  "test_nonblocking_cache"
+  "test_nonblocking_cache.pdb"
+  "test_nonblocking_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonblocking_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

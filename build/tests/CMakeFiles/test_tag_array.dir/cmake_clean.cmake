@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tag_array.dir/test_tag_array.cc.o"
+  "CMakeFiles/test_tag_array.dir/test_tag_array.cc.o.d"
+  "test_tag_array"
+  "test_tag_array.pdb"
+  "test_tag_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tag_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

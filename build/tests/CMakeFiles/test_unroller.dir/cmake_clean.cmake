@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unroller.dir/test_unroller.cc.o"
+  "CMakeFiles/test_unroller.dir/test_unroller.cc.o.d"
+  "test_unroller"
+  "test_unroller.pdb"
+  "test_unroller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unroller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbl-repro.dir/nbl_repro.cc.o"
+  "CMakeFiles/nbl-repro.dir/nbl_repro.cc.o.d"
+  "nbl-repro"
+  "nbl-repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbl-repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

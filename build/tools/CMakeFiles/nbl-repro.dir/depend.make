@@ -1,0 +1,2 @@
+# Empty dependencies file for nbl-repro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbl-sim.dir/nbl_sim.cc.o"
+  "CMakeFiles/nbl-sim.dir/nbl_sim.cc.o.d"
+  "nbl-sim"
+  "nbl-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbl-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
