@@ -18,13 +18,29 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
     harness::printHeader("Ablation",
                          "associativity vs per-set fetch limits",
                          base);
+
+    {
+        std::vector<harness::ExperimentConfig> cfgs;
+        for (auto cfg : {core::ConfigName::Fs1,
+                         core::ConfigName::InCache,
+                         core::ConfigName::Mc1,
+                         core::ConfigName::NoRestrict}) {
+            for (unsigned ways : {1u, 2u, 4u, 0u}) {
+                harness::ExperimentConfig e = base;
+                e.config = cfg;
+                e.ways = ways;
+                cfgs.push_back(e);
+            }
+        }
+        nbl_bench::prewarm({"su2cor", "xlisp", "doduc"}, cfgs);
+    }
 
     Table t("MCPI by associativity (8KB cache)");
     t.header({"benchmark", "config", "1-way", "2-way", "4-way",

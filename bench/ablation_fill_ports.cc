@@ -17,7 +17,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
@@ -25,6 +25,17 @@ main()
     harness::printHeader("Ablation",
                          "fill write ports (section 6 correction)",
                          base);
+
+    {
+        std::vector<harness::ExperimentConfig> cfgs;
+        for (unsigned ports : {1u, 2u, 4u, 0u}) {
+            harness::ExperimentConfig e = base;
+            e.fillWritePorts = ports;
+            cfgs.push_back(e);
+        }
+        nbl_bench::prewarm({"tomcatv", "su2cor", "nasa7", "doduc",
+                            "eqntott"}, cfgs);
+    }
 
     Table t("MCPI by number of register write ports serving fills");
     t.header({"benchmark", "1 port", "2 ports", "4 ports",

@@ -18,7 +18,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
@@ -55,6 +55,17 @@ main()
         core::MshrPolicy p = core::makeFieldPolicy(sb, mps);
         p.numMshrs = 4; // a practical four-MSHR file
         entries.push_back({"4x " + p.label, p, core::policyCost(cp, p)});
+    }
+
+    {
+        std::vector<harness::SweepPoint> points;
+        for (const Entry &e : entries) {
+            harness::ExperimentConfig cfg = base;
+            cfg.customPolicy = e.policy;
+            points.push_back({"doduc", cfg});
+            points.push_back({"tomcatv", cfg});
+        }
+        nbl_bench::prewarm(points);
     }
 
     for (const Entry &e : entries) {

@@ -19,12 +19,28 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
     harness::printHeader("Ablation", "store policies, latency 10",
                          base);
+
+    {
+        std::vector<harness::ExperimentConfig> cfgs;
+        for (auto cfg : {core::ConfigName::Mc1, core::ConfigName::Fc2,
+                         core::ConfigName::NoRestrict}) {
+            harness::ExperimentConfig e = base;
+            e.config = cfg;
+            cfgs.push_back(e);
+            core::MshrPolicy p = core::makePolicy(cfg);
+            p.storeMode = core::StoreMode::WriteAllocate;
+            e.customPolicy = p;
+            cfgs.push_back(e);
+        }
+        nbl_bench::prewarm({"tomcatv", "doduc", "compress", "xlisp",
+                            "su2cor"}, cfgs);
+    }
 
     Table t("MCPI by store policy (wa = write-around, alloc = "
             "buffered write-allocate)");

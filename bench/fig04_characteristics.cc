@@ -18,7 +18,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig cfg;
     cfg.config = core::ConfigName::NoRestrict;
@@ -31,6 +31,14 @@ main()
               "spill slots"});
     std::vector<std::string> names = workloads::detailedWorkloadNames();
     names.push_back("fpppp"); // the register-pressure benchmark
+    {
+        std::vector<harness::ExperimentConfig> cfgs;
+        for (int lat : harness::paperLatencies) {
+            cfg.loadLatency = lat;
+            cfgs.push_back(cfg);
+        }
+        nbl_bench::prewarm(names, cfgs);
+    }
     for (const std::string &name : names) {
         uint64_t imin = UINT64_MAX, imax = 0;
         for (int lat : harness::paperLatencies) {

@@ -16,7 +16,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig cfg;
     cfg.config = core::ConfigName::NoRestrict;
@@ -24,6 +24,14 @@ main()
                          "in-flight misses/fetches for doduc "
                          "(unrestricted cache)", cfg);
 
+    {
+        std::vector<harness::ExperimentConfig> cfgs;
+        for (int lat : harness::paperLatencies) {
+            cfg.loadLatency = lat;
+            cfgs.push_back(cfg);
+        }
+        nbl_bench::prewarm({"doduc"}, cfgs);
+    }
     for (int lat : harness::paperLatencies) {
         cfg.loadLatency = lat;
         auto r = lab.run("doduc", cfg);

@@ -23,8 +23,8 @@ main()
         "xlisp", fa, harness::baselineConfigList());
 
     // Compare against the direct-mapped baseline at latency 10.
-    nbl::harness::Lab lab(nbl_bench::benchScale());
-    auto dm_curves = harness::sweepCurves(lab, "xlisp", dm,
+    auto dm_curves = harness::sweepCurves(nbl_bench::benchLab(),
+                                          "xlisp", dm,
                                           {core::ConfigName::Mc1});
     double dm10 = dm_curves[0].mcpiAt(10);
     double fa10 = fa_curves[2].mcpiAt(10);

@@ -18,7 +18,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
@@ -29,6 +29,22 @@ main()
     std::vector<std::string> labels = {"mc=0", "mc=1", "mc=2",
                                        "fc=1", "fc=2", "inf"};
     std::vector<harness::ConfigRow> measured, reference;
+
+    {
+        std::vector<std::string> names;
+        for (const auto &p : harness::paper::fig13())
+            names.push_back(p.name);
+        std::vector<harness::ExperimentConfig> cfgs;
+        for (core::ConfigName cfg :
+             {core::ConfigName::Mc0, core::ConfigName::Mc1,
+              core::ConfigName::Mc2, core::ConfigName::Fc1,
+              core::ConfigName::Fc2, core::ConfigName::NoRestrict}) {
+            harness::ExperimentConfig e = base;
+            e.config = cfg;
+            cfgs.push_back(e);
+        }
+        nbl_bench::prewarm(names, cfgs);
+    }
 
     for (const harness::paper::Fig13Row &p : harness::paper::fig13()) {
         harness::ConfigRow m{p.name, {}};

@@ -20,7 +20,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
@@ -31,6 +31,21 @@ main()
     // Unrestricted reference.
     harness::ExperimentConfig uncfg = base;
     uncfg.config = core::ConfigName::NoRestrict;
+
+    {
+        std::vector<harness::SweepPoint> points;
+        points.push_back({"doduc", uncfg});
+        for (const auto &cell : harness::paper::fig14()) {
+            if (cell.subBlocks < 0)
+                continue;
+            harness::ExperimentConfig e = base;
+            e.customPolicy = core::makeFieldPolicy(cell.subBlocks,
+                                                   cell.missesPerSub);
+            points.push_back({"doduc", e});
+        }
+        nbl_bench::prewarm(points);
+    }
+
     double inf = lab.run("doduc", uncfg).mcpi();
 
     core::CostParams cp;

@@ -21,11 +21,10 @@ main()
         "Figure 16", "miss CPI for doduc, 64KB cache", "doduc", big,
         harness::baselineConfigList());
 
-    harness::Lab lab(nbl_bench::benchScale());
     harness::ExperimentConfig base;
     base.loadLatency = 10;
     base.config = core::ConfigName::Mc1;
-    double small = lab.run("doduc", base).mcpi();
+    double small = nbl_bench::benchLab().run("doduc", base).mcpi();
     double inf64 = curves.back().mcpiAt(10);
     std::printf("\nmc=1 8KB/64KB MCPI at latency 10: %.1fx (paper: "
                 "~5x); mc=1/unrestricted at 64KB: %.2f (paper "

@@ -16,7 +16,7 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
@@ -25,6 +25,18 @@ main()
                          base);
 
     auto cfgs = harness::baselineConfigList();
+    {
+        std::vector<harness::ExperimentConfig> pcfgs;
+        for (core::ConfigName c : cfgs) {
+            for (unsigned pen : harness::paper::fig18Penalties) {
+                harness::ExperimentConfig e = base;
+                e.config = c;
+                e.missPenalty = pen;
+                pcfgs.push_back(e);
+            }
+        }
+        nbl_bench::prewarm({"tomcatv"}, pcfgs);
+    }
     Table t("MCPI by miss penalty (paper values in parentheses row)");
     std::vector<std::string> head = {"config"};
     for (unsigned p : harness::paper::fig18Penalties)

@@ -41,7 +41,7 @@ snapLatency(double want)
 int
 main()
 {
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
@@ -52,6 +52,33 @@ main()
     const std::vector<core::ConfigName> cfgs = {
         core::ConfigName::Mc0, core::ConfigName::Mc1,
         core::ConfigName::Fc2, core::ConfigName::NoRestrict};
+
+    // The scaled single-issue points depend on each benchmark's
+    // measured IPC, so only the directly enumerable dual/quad-issue
+    // points are prewarmed; the rest run (and memoize) on demand.
+    {
+        std::vector<harness::SweepPoint> points;
+        auto widthPoints = [&](const std::string &wl, unsigned width,
+                               const std::vector<core::ConfigName> &cs) {
+            harness::ExperimentConfig ideal = base;
+            ideal.issueWidth = width;
+            ideal.perfectCache = true;
+            points.push_back({wl, ideal});
+            for (core::ConfigName cfg : cs) {
+                harness::ExperimentConfig e = base;
+                e.issueWidth = width;
+                e.config = cfg;
+                points.push_back({wl, e});
+            }
+        };
+        for (const auto &p : harness::paper::fig19())
+            widthPoints(p.name, 2, cfgs);
+        for (const char *wl : {"doduc", "tomcatv", "eqntott"}) {
+            widthPoints(wl, 4, {core::ConfigName::Mc1,
+                                core::ConfigName::NoRestrict});
+        }
+        nbl_bench::prewarm(points);
+    }
 
     Table t("dual-issue MCPI and scaled single-issue prediction");
     t.header({"benchmark", "IPC", "lat*", "pen*", "config", "dual",

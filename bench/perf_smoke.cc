@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Perf smoke test for the sweep engine: run a fixed set of experiment
+ * points serially and in parallel, then emit one JSON line with the
+ * point count, wall time, and simulation throughput so BENCH_*.json
+ * snapshots can track performance across revisions.
+ *
+ * Unlike the figure binaries this prints machine-readable output only;
+ * NBL_SCALE and NBL_JOBS apply as usual.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** The fixed sweep: two workloads x baseline configs x latencies. */
+std::vector<harness::SweepPoint>
+smokePoints()
+{
+    std::vector<harness::SweepPoint> points;
+    for (const char *wl : {"doduc", "tomcatv"}) {
+        for (core::ConfigName cfg : harness::baselineConfigList()) {
+            for (int lat : harness::paperLatencies) {
+                harness::ExperimentConfig e;
+                e.config = cfg;
+                e.loadLatency = lat;
+                points.push_back({wl, e});
+            }
+        }
+    }
+    return points;
+}
+
+uint64_t
+totalInstructions(const std::vector<harness::ExperimentResult> &rs)
+{
+    uint64_t n = 0;
+    for (const auto &r : rs)
+        n += r.run.cpu.instructions;
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    harness::Lab serial_lab(nbl_bench::benchScale());
+    harness::Lab parallel_lab(nbl_bench::benchScale());
+    auto points = smokePoints();
+
+    // Compile outside the timed region for both labs so the timings
+    // compare simulation only.
+    for (const auto &p : points)
+        serial_lab.program(p.workload, p.cfg.loadLatency);
+    for (const auto &p : points)
+        parallel_lab.program(p.workload, p.cfg.loadLatency);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<harness::ExperimentResult> serial;
+    serial.reserve(points.size());
+    for (const auto &p : points)
+        serial.push_back(serial_lab.run(p.workload, p.cfg));
+    double serial_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    auto par = harness::runPointsParallel(parallel_lab, points);
+    double parallel_s = secondsSince(t0);
+
+    uint64_t instrs = totalInstructions(par);
+    if (instrs != totalInstructions(serial)) {
+        std::fprintf(stderr, "serial/parallel instruction mismatch\n");
+        return 1;
+    }
+
+    std::printf("{\"sweep_points\": %zu, \"jobs\": %u, "
+                "\"wall_s\": %.3f, \"serial_wall_s\": %.3f, "
+                "\"speedup\": %.2f, \"instructions\": %llu, "
+                "\"sim_minstr_per_s\": %.1f}\n",
+                points.size(), harness::ThreadPool::defaultJobs(),
+                parallel_s, serial_s,
+                parallel_s > 0 ? serial_s / parallel_s : 0.0,
+                (unsigned long long)instrs,
+                parallel_s > 0 ? double(instrs) / 1e6 / parallel_s
+                               : 0.0);
+    return 0;
+}

@@ -16,13 +16,23 @@ int
 main()
 {
     using namespace nbl;
-    harness::Lab lab(nbl_bench::benchScale());
+    harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;
     base.loadLatency = 10;
     base.config = core::ConfigName::NoRestrict;
     harness::printHeader("Characterization",
                          "workload structure (latency 10)", base);
+
+    {
+        std::vector<harness::ExperimentConfig> cfgs = {base};
+        for (uint64_t kb : {2u, 8u, 32u, 128u}) {
+            harness::ExperimentConfig es = base;
+            es.cacheBytes = kb * 1024;
+            cfgs.push_back(es);
+        }
+        nbl_bench::prewarm(workloads::workloadNames(), cfgs);
+    }
 
     Table t("instruction mix, miss rate vs cache size, clustering");
     t.header({"benchmark", "ld%", "st%", "br%", "miss%@2K", "@8K",

@@ -29,19 +29,19 @@ InvertedMshr::allocate(unsigned dest, uint64_t block_addr,
         max_active_ = active_;
 }
 
-std::vector<unsigned>
+const std::vector<unsigned> &
 InvertedMshr::fill(uint64_t block_addr)
 {
-    std::vector<unsigned> filled;
+    filled_.clear();
     for (unsigned d = 0; d < entries_.size(); ++d) {
         Entry &e = entries_[d];
         if (e.valid && e.blockAddr == block_addr) {
             e.valid = false;
             --active_;
-            filled.push_back(d);
+            filled_.push_back(d);
         }
     }
-    return filled;
+    return filled_;
 }
 
 } // namespace nbl::core

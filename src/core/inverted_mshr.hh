@@ -40,9 +40,12 @@ class InvertedMshr
     /**
      * A block has returned: clear and report every destination waiting
      * on it (the associative probe + match encoder).
-     * @return destination numbers filled, in entry order.
+     * @return destination numbers filled, in entry order. The
+     *         reference is into a reused internal buffer, valid until
+     *         the next fill() call (avoids an allocation per fill on
+     *         the simulation hot path).
      */
-    std::vector<unsigned> fill(uint64_t block_addr);
+    const std::vector<unsigned> &fill(uint64_t block_addr);
 
     /** Is this destination waiting on an outstanding fetch? */
     bool busy(unsigned dest) const { return entries_[dest].valid; }
@@ -63,6 +66,7 @@ class InvertedMshr
     };
 
     std::vector<Entry> entries_;
+    std::vector<unsigned> filled_;  ///< Reused fill() result buffer.
     unsigned active_ = 0;
     unsigned max_active_ = 0;
 };

@@ -67,7 +67,7 @@ NonblockingCache::expireUpTo(uint64_t now)
         for (unsigned i = 0; i < done->numDests(); ++i)
             tracker_.misses.decrement(at);
         if (inverted_) {
-            auto filled = inverted_->fill(done->blockAddr());
+            const auto &filled = inverted_->fill(done->blockAddr());
             if (filled.size() != done->numDests())
                 panic("inverted MSHR / MSHR file dest mismatch");
         }

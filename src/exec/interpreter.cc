@@ -20,39 +20,41 @@ Interpreter::Interpreter(const isa::Program &program,
 uint64_t
 Interpreter::readReg(RegId r) const
 {
-    if (r.cls == RegClass::Int)
-        return r.idx == 0 ? 0 : iregs_[r.idx];
-    return fregs_[r.idx];
+    // regs_[0] is kept zero by writeReg, so no x0 special case here.
+    return regs_[r.destLinear()];
 }
 
 void
 Interpreter::writeReg(RegId r, uint64_t v)
 {
-    if (r.cls == RegClass::Int) {
-        if (r.idx != 0)
-            iregs_[r.idx] = v;
-    } else {
-        fregs_[r.idx] = v;
-    }
+    // Branch-free x0 handling: store unconditionally, then restore the
+    // hard-wired zero (a plain store, cheaper than a test per write).
+    regs_[r.destLinear()] = v;
+    regs_[0] = 0;
 }
 
 double
 Interpreter::fpReg(unsigned idx) const
 {
-    return std::bit_cast<double>(fregs_[idx]);
+    return std::bit_cast<double>(regs_[isa::numIntRegs + idx]);
 }
 
 void
 Interpreter::setIntReg(unsigned idx, uint64_t v)
 {
-    if (idx != 0)
-        iregs_[idx] = v;
+    regs_[idx] = v;
+    regs_[0] = 0;
 }
 
 StepResult
 Interpreter::step(size_t pc)
 {
-    const isa::Instr &in = program_.at(pc);
+    return step(program_.at(pc), pc);
+}
+
+StepResult
+Interpreter::step(const isa::Instr &in, size_t pc)
+{
     StepResult res;
     res.nextPc = pc + 1;
 

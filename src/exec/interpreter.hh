@@ -39,12 +39,27 @@ class Interpreter
     /** Execute the instruction at pc; returns address/next-pc/halt. */
     StepResult step(size_t pc);
 
-    uint64_t intReg(unsigned idx) const { return iregs_[idx]; }
+    /**
+     * Execute `in`, the already-fetched instruction at pc. Hot-loop
+     * entry point: callers that also need the instruction (the timing
+     * model does) fetch it once and pass it here.
+     */
+    StepResult step(const isa::Instr &in, size_t pc);
+
+    uint64_t intReg(unsigned idx) const { return regs_[idx]; }
     double fpReg(unsigned idx) const;
-    uint64_t fpRegBits(unsigned idx) const { return fregs_[idx]; }
+    uint64_t
+    fpRegBits(unsigned idx) const
+    {
+        return regs_[isa::numIntRegs + idx];
+    }
 
     void setIntReg(unsigned idx, uint64_t v);
-    void setFpRegBits(unsigned idx, uint64_t v) { fregs_[idx] = v; }
+    void
+    setFpRegBits(unsigned idx, uint64_t v)
+    {
+        regs_[isa::numIntRegs + idx] = v;
+    }
 
   private:
     uint64_t readReg(isa::RegId r) const;
@@ -52,8 +67,14 @@ class Interpreter
 
     const isa::Program &program_;
     mem::SparseMemory &mem_;
-    std::array<uint64_t, isa::numIntRegs> iregs_{};
-    std::array<uint64_t, isa::numFpRegs> fregs_{};
+    /**
+     * Unified register file indexed by RegId::destLinear(): integer
+     * registers at [0, numIntRegs), FP registers above them. The
+     * single array makes readReg/writeReg branch-free; slot 0 (the
+     * hard-wired integer zero register) is re-cleared after every
+     * write instead of testing for it on each access.
+     */
+    std::array<uint64_t, isa::numIntRegs + isa::numFpRegs> regs_{};
 };
 
 } // namespace nbl::exec

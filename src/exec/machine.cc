@@ -28,16 +28,18 @@ run(const isa::Program &program, mem::SparseMemory &data,
     RunOutput out;
     size_t pc = 0;
     uint64_t executed = 0;
+    const uint64_t max_instructions = config.maxInstructions;
     while (true) {
-        if (executed >= config.maxInstructions) {
+        if (executed >= max_instructions) {
             out.hitInstructionCap = true;
             warn("program %s hit the %llu-instruction cap",
                  program.name().c_str(),
-                 static_cast<unsigned long long>(config.maxInstructions));
+                 static_cast<unsigned long long>(max_instructions));
             break;
         }
+        // Fetch once; the interpreter and the timing model share it.
         const isa::Instr &in = program.at(pc);
-        StepResult step = interp.step(pc);
+        StepResult step = interp.step(in, pc);
         cpu.onInstr(in, step.effAddr);
         ++executed;
         if (step.halted)

@@ -20,7 +20,7 @@ recordTrace(const isa::Program &program, mem::SparseMemory &data,
     uint32_t gap = 0;
     while (trace.instructions < max_instructions) {
         const isa::Instr &in = program.at(pc);
-        StepResult step = interp.step(pc);
+        StepResult step = interp.step(in, pc);
         ++trace.instructions;
         ++gap;
         if (in.isMem()) {

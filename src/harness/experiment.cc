@@ -22,6 +22,36 @@ makeMachineConfig(const ExperimentConfig &cfg)
     return mc;
 }
 
+std::string
+experimentKey(const std::string &workload, const ExperimentConfig &cfg)
+{
+    std::string key;
+    key.reserve(workload.size() + 128);
+    key += workload;
+    key += strfmt("|%llu|%llu|%u|",
+                  static_cast<unsigned long long>(cfg.cacheBytes),
+                  static_cast<unsigned long long>(cfg.lineBytes),
+                  cfg.ways);
+    if (cfg.customPolicy) {
+        // Serialize the resolved policy: two custom policies with the
+        // same restrictions are the same experiment regardless of the
+        // ConfigName they nominally override.
+        const core::MshrPolicy &p = *cfg.customPolicy;
+        key += strfmt("P%d.%d.%d.%d.%d.%d.%d.%d.%u", int(p.mode),
+                      p.numMshrs, p.maxMisses, p.subBlocks,
+                      p.missesPerSubBlock, p.fetchesPerSet,
+                      int(p.fetchesPerSetTracksWays), int(p.storeMode),
+                      p.fillExtraCycles);
+    } else {
+        key += strfmt("C%d", int(cfg.config));
+    }
+    key += strfmt("|%d|%u|%u|%d|%u|%llu", cfg.loadLatency,
+                  cfg.missPenalty, cfg.issueWidth,
+                  int(cfg.perfectCache), cfg.fillWritePorts,
+                  static_cast<unsigned long long>(cfg.maxInstructions));
+    return key;
+}
+
 ExperimentResult
 runExperiment(const workloads::Workload &workload,
               const ExperimentConfig &cfg)
@@ -39,6 +69,7 @@ runExperiment(const workloads::Workload &workload,
 const workloads::Workload &
 Lab::workload(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(buildMutex_);
     auto it = workloads_.find(name);
     if (it == workloads_.end()) {
         it = workloads_
@@ -51,10 +82,12 @@ Lab::workload(const std::string &name)
 const Lab::Compiled &
 Lab::compiled(const std::string &name, int latency)
 {
+    // Build the workload first: workload() takes buildMutex_ itself.
+    const workloads::Workload &w = workload(name);
+    std::lock_guard<std::mutex> lock(buildMutex_);
     auto key = std::make_pair(name, latency);
     auto it = programs_.find(key);
     if (it == programs_.end()) {
-        const workloads::Workload &w = workload(name);
         compiler::CompileParams cp;
         cp.loadLatency = latency;
         Compiled c;
@@ -79,13 +112,50 @@ Lab::compileInfo(const std::string &name, int latency)
 ExperimentResult
 Lab::run(const std::string &name, const ExperimentConfig &cfg)
 {
+    std::string key = experimentKey(name, cfg);
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        auto it = results_.find(key);
+        if (it != results_.end()) {
+            ++result_hits_;
+            return it->second;
+        }
+    }
+
     const workloads::Workload &w = workload(name);
     const Compiled &c = compiled(name, cfg.loadLatency);
     mem::SparseMemory data = w.makeMemory();
     ExperimentResult res;
     res.compileInfo = c.info;
     res.run = exec::run(c.program, data, makeMachineConfig(cfg));
+
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    // Two threads may race to simulate the same point; results are
+    // deterministic, so first-in wins and the copies are identical.
+    results_.emplace(key, res);
     return res;
+}
+
+size_t
+Lab::cachedResults() const
+{
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    return results_.size();
+}
+
+uint64_t
+Lab::resultCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    return result_hits_;
+}
+
+void
+Lab::clearResultCache()
+{
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    results_.clear();
+    result_hits_ = 0;
 }
 
 } // namespace nbl::harness

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -57,6 +58,16 @@ struct ExperimentResult
 exec::MachineConfig makeMachineConfig(const ExperimentConfig &cfg);
 
 /**
+ * Canonical cache key for one experiment point: the workload name plus
+ * every ExperimentConfig field (including a resolved custom policy)
+ * serialized into a string. Two points with equal keys simulate to
+ * bit-identical results, so the Lab result cache may serve either from
+ * the other's run.
+ */
+std::string experimentKey(const std::string &workload,
+                          const ExperimentConfig &cfg);
+
+/**
  * Compile (at cfg.loadLatency) and run one workload under cfg. The
  * memory image is rebuilt from the workload's initializer, so calls
  * are independent.
@@ -65,8 +76,19 @@ ExperimentResult runExperiment(const workloads::Workload &workload,
                                const ExperimentConfig &cfg);
 
 /**
- * Caches workloads and compiled programs so sweeps do not rebuild
- * them for every cache configuration.
+ * Caches workloads, compiled programs, and experiment results so
+ * sweeps do not rebuild or re-simulate them for every figure.
+ *
+ * Thread safety: all public member functions may be called
+ * concurrently (the parallel sweep engine in harness/parallel.hh fans
+ * experiment points out over a thread pool sharing one Lab). The
+ * workload/program caches hand out references into node-based maps,
+ * which remain stable across inserts.
+ *
+ * Result caching: run() memoizes its ExperimentResult keyed by
+ * experimentKey(name, cfg), so a point repeated across figures within
+ * one process is simulated once. Simulations are deterministic, so a
+ * cached result is bit-identical to a fresh one.
  */
 class Lab
 {
@@ -82,11 +104,20 @@ class Lab
                                       int latency);
 
     /** Run a cached workload/program pair under cfg (uses
-     *  cfg.loadLatency for the schedule). */
+     *  cfg.loadLatency for the schedule). Memoized; see class docs. */
     ExperimentResult run(const std::string &name,
                          const ExperimentConfig &cfg);
 
     double scale() const { return scale_; }
+
+    /** Distinct experiment points currently memoized. */
+    size_t cachedResults() const;
+
+    /** run() calls served from the result cache (diagnostics). */
+    uint64_t resultCacheHits() const;
+
+    /** Drop all memoized results (workloads/programs are kept). */
+    void clearResultCache();
 
   private:
     struct Compiled
@@ -98,8 +129,14 @@ class Lab
     const Compiled &compiled(const std::string &name, int latency);
 
     double scale_;
+    /** Guards workloads_ and programs_. */
+    mutable std::mutex buildMutex_;
+    /** Guards results_ and result_hits_. */
+    mutable std::mutex resultMutex_;
     std::map<std::string, workloads::Workload> workloads_;
     std::map<std::pair<std::string, int>, Compiled> programs_;
+    std::map<std::string, ExperimentResult> results_;
+    uint64_t result_hits_ = 0;
 };
 
 } // namespace nbl::harness

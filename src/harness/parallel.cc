@@ -1,0 +1,163 @@
+#include "harness/parallel.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "util/log.hh"
+
+namespace nbl::harness
+{
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *s = std::getenv("NBL_JOBS")) {
+        int v = std::atoi(s);
+        if (v > 0)
+            return unsigned(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            panic("ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = ThreadPool::defaultJobs();
+    if (n <= 1 || jobs <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(unsigned(std::min<size_t>(jobs, n)));
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+std::vector<Curve>
+runSweepParallel(Lab &lab, const std::string &workload,
+                 ExperimentConfig base,
+                 const std::vector<core::ConfigName> &cfgs, unsigned jobs)
+{
+    constexpr size_t nlat = std::size(paperLatencies);
+
+    // Pre-compile every (workload, latency) pair so the fanned-out
+    // simulations share compiled programs instead of contending to
+    // build them behind the Lab's build lock.
+    for (int lat : paperLatencies)
+        lab.program(workload, lat);
+
+    std::vector<Curve> curves(cfgs.size());
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        curves[c].label = core::configLabel(cfgs[c]);
+        curves[c].latencies.assign(std::begin(paperLatencies),
+                                   std::end(paperLatencies));
+        curves[c].results.resize(nlat);
+    }
+
+    parallelFor(
+        cfgs.size() * nlat,
+        [&](size_t i) {
+            size_t c = i / nlat;
+            size_t l = i % nlat;
+            ExperimentConfig e = base;
+            e.config = cfgs[c];
+            e.customPolicy.reset();
+            e.loadLatency = paperLatencies[l];
+            curves[c].results[l] = lab.run(workload, e);
+        },
+        jobs);
+    return curves;
+}
+
+std::vector<ExperimentResult>
+runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
+                  unsigned jobs)
+{
+    // Pre-compile the distinct (workload, latency) pairs (see above).
+    std::set<std::pair<std::string, int>> pairs;
+    for (const SweepPoint &p : points)
+        pairs.emplace(p.workload, p.cfg.loadLatency);
+    for (const auto &[wl, lat] : pairs)
+        lab.program(wl, lat);
+
+    std::vector<ExperimentResult> results(points.size());
+    parallelFor(
+        points.size(),
+        [&](size_t i) {
+            results[i] = lab.run(points[i].workload, points[i].cfg);
+        },
+        jobs);
+    return results;
+}
+
+} // namespace nbl::harness

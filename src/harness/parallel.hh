@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel experiment engine.
+ *
+ * Every figure in the reproduction is a sweep over (workload x MSHR
+ * configuration x scheduled load latency), and each point is an
+ * independent simulation. This module fans those points out over a
+ * fixed-size thread pool sharing one Lab (which is thread-safe and
+ * memoizes results) and reassembles the output in deterministic
+ * order, so parallel sweeps are bit-identical to serial ones.
+ *
+ * The worker count defaults to std::thread::hardware_concurrency and
+ * may be overridden with the NBL_JOBS environment variable (NBL_JOBS=1
+ * forces serial execution).
+ */
+
+#ifndef NBL_HARNESS_PARALLEL_HH
+#define NBL_HARNESS_PARALLEL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace nbl::harness
+{
+
+/**
+ * Fixed-size thread pool. Jobs are run in submission order by a fixed
+ * set of workers; wait() blocks until every submitted job finished.
+ * Exceptions escaping a job terminate the process (simulation jobs do
+ * not throw; errors in this codebase use fatal()/panic()).
+ */
+class ThreadPool
+{
+  public:
+    /** @param jobs Worker count; 0 = defaultJobs(). */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** NBL_JOBS if set and positive, else hardware_concurrency. */
+    static unsigned defaultJobs();
+
+    unsigned size() const { return unsigned(workers_.size()); }
+
+    /** Enqueue one job. */
+    void submit(std::function<void()> job);
+
+    /** Block until all submitted jobs have completed. */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< Signals queued work / stop.
+    std::condition_variable idle_cv_;  ///< Signals in-flight drained.
+    std::deque<std::function<void()>> queue_;
+    unsigned in_flight_ = 0;           ///< Queued + currently running.
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(i) for every i in [0, n), fanned out over `jobs` workers
+ * (0 = defaultJobs()). Runs inline when n <= 1 or one worker.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 unsigned jobs = 0);
+
+/**
+ * Parallel equivalent of sweepCurves: sweep MCPI over the paper's
+ * load latencies for each configuration, one thread-pool job per
+ * (config, latency) point. Results are placed by index, so the
+ * returned curves are in the same deterministic order -- and, because
+ * simulation is deterministic, bit-identical -- as the serial path.
+ */
+std::vector<Curve> runSweepParallel(Lab &lab, const std::string &workload,
+                                    ExperimentConfig base,
+                                    const std::vector<core::ConfigName> &cfgs,
+                                    unsigned jobs = 0);
+
+/** One arbitrary experiment point (for runPointsParallel). */
+struct SweepPoint
+{
+    std::string workload;
+    ExperimentConfig cfg;
+};
+
+/**
+ * Simulate every point in parallel through lab.run(), returning the
+ * results in input order. Because the Lab memoizes results, this also
+ * serves as a cache pre-warmer: a bench binary can fan out its whole
+ * point set up front and keep its original serial reporting loops,
+ * which then hit the cache.
+ */
+std::vector<ExperimentResult>
+runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
+                  unsigned jobs = 0);
+
+} // namespace nbl::harness
+
+#endif // NBL_HARNESS_PARALLEL_HH

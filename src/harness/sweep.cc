@@ -1,5 +1,6 @@
 #include "harness/sweep.hh"
 
+#include "harness/parallel.hh"
 #include "util/chart.hh"
 #include "util/table.hh"
 
@@ -9,6 +10,14 @@ namespace nbl::harness
 std::vector<Curve>
 sweepCurves(Lab &lab, const std::string &workload, ExperimentConfig base,
             const std::vector<core::ConfigName> &cfgs)
+{
+    return runSweepParallel(lab, workload, base, cfgs);
+}
+
+std::vector<Curve>
+sweepCurvesSerial(Lab &lab, const std::string &workload,
+                  ExperimentConfig base,
+                  const std::vector<core::ConfigName> &cfgs)
 {
     std::vector<Curve> curves;
     for (core::ConfigName cfg : cfgs) {
@@ -49,23 +58,29 @@ perSetConfigList()
 std::string
 curvesCsv(const std::vector<Curve> &curves)
 {
-    std::string out = "load_latency";
+    size_t rows = curves.empty() ? 0 : curves[0].latencies.size();
+    std::string out;
+    // One ~12-char cell per (row+header, curve+key) pair; a single
+    // up-front reservation keeps the appends below from reallocating.
+    out.reserve((rows + 1) * (curves.size() + 1) * 16);
+    out += "load_latency";
     for (const Curve &c : curves) {
         std::string label = c.label;
         for (char &ch : label) {
             if (ch == ' ' || ch == '=')
                 ch = '_';
         }
-        out += "," + label;
+        out += ',';
+        out += label;
     }
-    out += "\n";
-    if (curves.empty())
-        return out;
-    for (size_t i = 0; i < curves[0].latencies.size(); ++i) {
+    out += '\n';
+    for (size_t i = 0; i < rows; ++i) {
         out += std::to_string(curves[0].latencies[i]);
-        for (const Curve &c : curves)
-            out += "," + Table::num(c.results[i].mcpi(), 6);
-        out += "\n";
+        for (const Curve &c : curves) {
+            out += ',';
+            out += Table::num(c.results[i].mcpi(), 6);
+        }
+        out += '\n';
     }
     return out;
 }

@@ -37,10 +37,21 @@ struct Curve
 /**
  * Sweep MCPI over the paper's load latencies for each configuration.
  * `base` supplies everything except config and loadLatency.
+ *
+ * Fans the points out over the parallel engine (harness/parallel.hh;
+ * NBL_JOBS workers, default hardware_concurrency). The simulation of
+ * each point is independent and deterministic, so the result is
+ * bit-identical to sweepCurvesSerial.
  */
 std::vector<Curve> sweepCurves(Lab &lab, const std::string &workload,
                                ExperimentConfig base,
                                const std::vector<core::ConfigName> &cfgs);
+
+/** The single-threaded reference implementation of sweepCurves. */
+std::vector<Curve>
+sweepCurvesSerial(Lab &lab, const std::string &workload,
+                  ExperimentConfig base,
+                  const std::vector<core::ConfigName> &cfgs);
 
 /** The seven baseline-figure configurations (Figs 5, 9, 11, 12...). */
 std::vector<core::ConfigName> baselineConfigList();

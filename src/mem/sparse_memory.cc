@@ -8,13 +8,25 @@
 namespace nbl::mem
 {
 
+SparseMemory::Page *
+SparseMemory::findPage(uint64_t addr) const
+{
+    uint64_t page_no = addr / pageBytes;
+    if (page_no == cached_page_no_)
+        return cached_page_;
+    auto it = pages.find(page_no);
+    if (it == pages.end())
+        return nullptr;
+    cached_page_no_ = page_no;
+    cached_page_ = it->second.get();
+    return cached_page_;
+}
+
 uint8_t
 SparseMemory::peek(uint64_t addr) const
 {
-    auto it = pages.find(addr / pageBytes);
-    if (it == pages.end())
-        return 0;
-    return (*it->second)[addr % pageBytes];
+    const Page *p = findPage(addr);
+    return p ? (*p)[addr % pageBytes] : 0;
 }
 
 void
@@ -26,30 +38,61 @@ SparseMemory::poke(uint64_t addr, uint8_t value)
 SparseMemory::Page &
 SparseMemory::pageFor(uint64_t addr)
 {
+    if (Page *p = findPage(addr))
+        return *p;
     auto &slot = pages[addr / pageBytes];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
-    }
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+    cached_page_no_ = addr / pageBytes;
+    cached_page_ = slot.get();
     return *slot;
 }
+
+namespace
+{
+
+/** Little-endian load of size bytes (1..8) from p. */
+inline uint64_t
+loadLe(const uint8_t *p, unsigned size)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        uint64_t v = 0;
+        std::memcpy(&v, p, size);
+        return v;
+    } else {
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= uint64_t(p[i]) << (8 * i);
+        return v;
+    }
+}
+
+/** Little-endian store of the low size bytes (1..8) of v to p. */
+inline void
+storeLe(uint8_t *p, unsigned size, uint64_t v)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(p, &v, size);
+    } else {
+        for (unsigned i = 0; i < size; ++i)
+            p[i] = uint8_t(v >> (8 * i));
+    }
+}
+
+} // namespace
 
 uint64_t
 SparseMemory::read(uint64_t addr, unsigned size) const
 {
     if (size != 1 && size != 2 && size != 4 && size != 8)
         panic("SparseMemory::read with bad size %u", size);
-    uint64_t v = 0;
     // Fast path: access within one page.
     uint64_t off = addr % pageBytes;
     if (off + size <= pageBytes) {
-        auto it = pages.find(addr / pageBytes);
-        if (it == pages.end())
-            return 0;
-        for (unsigned i = 0; i < size; ++i)
-            v |= uint64_t((*it->second)[off + i]) << (8 * i);
-        return v;
+        const Page *p = findPage(addr);
+        return p ? loadLe(p->data() + off, size) : 0;
     }
+    uint64_t v = 0;
     for (unsigned i = 0; i < size; ++i)
         v |= uint64_t(peek(addr + i)) << (8 * i);
     return v;
@@ -62,9 +105,7 @@ SparseMemory::write(uint64_t addr, unsigned size, uint64_t value)
         panic("SparseMemory::write with bad size %u", size);
     uint64_t off = addr % pageBytes;
     if (off + size <= pageBytes) {
-        Page &p = pageFor(addr);
-        for (unsigned i = 0; i < size; ++i)
-            p[off + i] = uint8_t(value >> (8 * i));
+        storeLe(pageFor(addr).data() + off, size, value);
         return;
     }
     for (unsigned i = 0; i < size; ++i)

@@ -22,6 +22,12 @@ namespace nbl::mem
 /**
  * Sparse 64-bit byte-addressable memory backed by lazily allocated 4 KB
  * pages. Unwritten bytes read as zero.
+ *
+ * The last-touched page is cached so the common sequential-access
+ * pattern skips the page-map lookup. The cache makes read() mutate
+ * internal state: a SparseMemory is not safe for concurrent use, even
+ * read-only (each simulation owns its memory image, so the parallel
+ * sweep engine never shares one).
  */
 class SparseMemory
 {
@@ -64,7 +70,19 @@ class SparseMemory
     void poke(uint64_t addr, uint8_t value);
     Page &pageFor(uint64_t addr);
 
+    /** The page holding addr, or nullptr if never written. Refreshes
+     *  the last-touched cache on a hit. */
+    Page *findPage(uint64_t addr) const;
+
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+
+    // Last-touched page. Pages are heap-allocated and never freed or
+    // reallocated while the map lives, so the pointer stays valid
+    // across inserts (and across moves of the whole SparseMemory).
+    // Only existing pages are cached: a cached "absent" entry would go
+    // stale as soon as a write allocated the page.
+    mutable uint64_t cached_page_no_ = ~uint64_t{0};
+    mutable Page *cached_page_ = nullptr;
 };
 
 } // namespace nbl::mem

@@ -72,18 +72,27 @@ AsciiChart::str() const
         }
     }
 
-    // Compose with a y-axis gutter.
+    // Compose with a y-axis gutter. Reserve the whole canvas up front
+    // (rows + axis + legend) so the appends never reallocate.
     std::string out;
-    if (!y_label_.empty())
-        out += y_label_ + "\n";
+    out.reserve((height_ + 4) * (width_ + 12) +
+                series_.size() * 24 + y_label_.size() +
+                x_label_.size());
+    if (!y_label_.empty()) {
+        out += y_label_;
+        out += '\n';
+    }
     for (unsigned r = 0; r < height_; ++r) {
         double yv = ymin + (ymax - ymin) *
                                double(height_ - 1 - r) / (height_ - 1);
         out += strfmt("%8.3f |", yv);
         out += grid[r];
-        out += "\n";
+        out += '\n';
     }
-    out += std::string(8, ' ') + "+" + std::string(width_, '-') + "\n";
+    out.append(8, ' ');
+    out += '+';
+    out.append(width_, '-');
+    out += '\n';
     out += strfmt("%8s  %-8.3g%*s%8.3g", "", xmin,
                   int(width_) - 14, "", xmax);
     if (!x_label_.empty())

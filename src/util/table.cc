@@ -41,25 +41,6 @@ Table::str() const
     for (const auto &r : rows_)
         grow(r.cells);
 
-    auto fmt_row = [&](const std::vector<std::string> &cells) {
-        std::string out;
-        for (size_t i = 0; i < widths.size(); ++i) {
-            std::string cell = i < cells.size() ? cells[i] : "";
-            // Left-align the first column (labels), right-align data.
-            if (i == 0) {
-                out += cell;
-                out += std::string(widths[i] - cell.size(), ' ');
-            } else {
-                out += std::string(widths[i] - cell.size(), ' ');
-                out += cell;
-            }
-            if (i + 1 < widths.size())
-                out += "  ";
-        }
-        out += "\n";
-        return out;
-    };
-
     size_t total = 0;
     for (size_t w : widths)
         total += w;
@@ -67,23 +48,47 @@ Table::str() const
         total += 2 * (widths.size() - 1);
 
     std::string out;
+    // Reserve once: every rendered line (title, rule, header, rows) is
+    // at most total+1 bytes wide, so appends below never reallocate.
+    out.reserve((rows_.size() + 4) *
+                (std::max(total, title_.size()) + 1));
+
+    auto fmt_row = [&](const std::vector<std::string> &cells) {
+        static const std::string empty;
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : empty;
+            // Left-align the first column (labels), right-align data.
+            if (i == 0) {
+                out += cell;
+                out.append(widths[i] - cell.size(), ' ');
+            } else {
+                out.append(widths[i] - cell.size(), ' ');
+                out += cell;
+            }
+            if (i + 1 < widths.size())
+                out += "  ";
+        }
+        out += '\n';
+    };
+
     if (!title_.empty()) {
         out += title_;
-        out += "\n";
-        out += std::string(std::max(title_.size(), total), '=');
-        out += "\n";
+        out += '\n';
+        out.append(std::max(title_.size(), total), '=');
+        out += '\n';
     }
     if (!header_.empty()) {
-        out += fmt_row(header_);
-        out += std::string(total, '-');
-        out += "\n";
+        fmt_row(header_);
+        out.append(total, '-');
+        out += '\n';
     }
     for (const auto &r : rows_) {
         if (r.is_separator) {
-            out += std::string(total, '-');
-            out += "\n";
+            out.append(total, '-');
+            out += '\n';
         } else {
-            out += fmt_row(r.cells);
+            fmt_row(r.cells);
         }
     }
     return out;

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine (harness/parallel.hh): the
+ * thread pool itself, bit-identity of parallel sweeps against the
+ * serial reference, and the Lab result cache the engine prewarms.
+ */
+
+#include <atomic>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "harness/parallel.hh"
+#include "harness/sweep.hh"
+
+using namespace nbl;
+using harness::Curve;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::Lab;
+
+namespace
+{
+
+/** Scale small enough to keep the multi-workload sweeps quick. */
+constexpr double kScale = 0.05;
+
+void
+expectSameStats(const ExperimentResult &a, const ExperimentResult &b)
+{
+    const auto &ca = a.run.cpu, &cb = b.run.cpu;
+    EXPECT_EQ(ca.instructions, cb.instructions);
+    EXPECT_EQ(ca.loads, cb.loads);
+    EXPECT_EQ(ca.stores, cb.stores);
+    EXPECT_EQ(ca.branches, cb.branches);
+    EXPECT_EQ(ca.cycles, cb.cycles);
+    EXPECT_EQ(ca.depStallCycles, cb.depStallCycles);
+    EXPECT_EQ(ca.structStallCycles, cb.structStallCycles);
+    EXPECT_EQ(ca.blockStallCycles, cb.blockStallCycles);
+    EXPECT_EQ(ca.pairLostSlots, cb.pairLostSlots);
+
+    const auto &ka = a.run.cache, &kb = b.run.cache;
+    EXPECT_EQ(ka.loads, kb.loads);
+    EXPECT_EQ(ka.stores, kb.stores);
+    EXPECT_EQ(ka.loadHits, kb.loadHits);
+    EXPECT_EQ(ka.storeHits, kb.storeHits);
+    EXPECT_EQ(ka.primaryMisses, kb.primaryMisses);
+    EXPECT_EQ(ka.secondaryMisses, kb.secondaryMisses);
+    EXPECT_EQ(ka.structStallMisses, kb.structStallMisses);
+    EXPECT_EQ(ka.structStallCycles, kb.structStallCycles);
+    EXPECT_EQ(ka.storeMisses, kb.storeMisses);
+    EXPECT_EQ(ka.storePrimaryMisses, kb.storePrimaryMisses);
+    EXPECT_EQ(ka.storeSecondaryMisses, kb.storeSecondaryMisses);
+    EXPECT_EQ(ka.storeStructStalls, kb.storeStructStalls);
+    EXPECT_EQ(ka.fetches, kb.fetches);
+    EXPECT_EQ(ka.evictions, kb.evictions);
+
+    EXPECT_EQ(a.run.maxInflightMisses, b.run.maxInflightMisses);
+    EXPECT_EQ(a.run.maxInflightFetches, b.run.maxInflightFetches);
+    EXPECT_EQ(a.run.missPenalty, b.run.missPenalty);
+    EXPECT_EQ(a.run.hitInstructionCap, b.run.hitInstructionCap);
+    EXPECT_EQ(a.compileInfo.spillSlots, b.compileInfo.spillSlots);
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEveryJobOnce)
+{
+    harness::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> sum{0};
+    for (int i = 1; i <= 100; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5050);
+
+    // The pool is reusable after wait().
+    pool.submit([&sum] { sum += 1; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), 5051);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    std::vector<std::atomic<int>> hits(257);
+    harness::parallelFor(hits.size(),
+                         [&](size_t i) { hits[i].fetch_add(1); }, 3);
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, SweepBitIdenticalToSerial)
+{
+    // NBL_JOBS=4 exercises real fan-out even on a 1-core host.
+    setenv("NBL_JOBS", "4", 1);
+
+    ExperimentConfig base;
+    const std::vector<core::ConfigName> cfgs = {
+        core::ConfigName::Mc0, core::ConfigName::Mc1,
+        core::ConfigName::Fc2, core::ConfigName::NoRestrict};
+
+    for (const char *wl : {"doduc", "compress"}) {
+        Lab serial_lab(kScale);
+        Lab parallel_lab(kScale);
+        auto serial = harness::sweepCurvesSerial(serial_lab, wl, base,
+                                                 cfgs);
+        auto par = harness::runSweepParallel(parallel_lab, wl, base,
+                                             cfgs);
+
+        ASSERT_EQ(serial.size(), par.size());
+        for (size_t c = 0; c < serial.size(); ++c) {
+            EXPECT_EQ(serial[c].label, par[c].label);
+            ASSERT_EQ(serial[c].latencies, par[c].latencies);
+            ASSERT_EQ(serial[c].results.size(), par[c].results.size());
+            for (size_t i = 0; i < serial[c].results.size(); ++i)
+                expectSameStats(serial[c].results[i], par[c].results[i]);
+        }
+    }
+    unsetenv("NBL_JOBS");
+}
+
+TEST(Parallel, SweepCurvesDelegatesIdentically)
+{
+    // The public sweepCurves() is the parallel engine; its output must
+    // match the serial reference exactly.
+    ExperimentConfig base;
+    const std::vector<core::ConfigName> cfgs = {
+        core::ConfigName::Mc1, core::ConfigName::NoRestrict};
+    Lab a(kScale), b(kScale);
+    auto serial = harness::sweepCurvesSerial(a, "eqntott", base, cfgs);
+    auto pub = harness::sweepCurves(b, "eqntott", base, cfgs);
+    ASSERT_EQ(serial.size(), pub.size());
+    for (size_t c = 0; c < serial.size(); ++c) {
+        for (size_t i = 0; i < serial[c].results.size(); ++i)
+            expectSameStats(serial[c].results[i], pub[c].results[i]);
+    }
+}
+
+TEST(Parallel, ResultCacheServesRepeatsIdentically)
+{
+    Lab lab(kScale);
+    ExperimentConfig cfg;
+    cfg.config = core::ConfigName::Mc2;
+    cfg.loadLatency = 6;
+
+    auto first = lab.run("xlisp", cfg);
+    size_t cached = lab.cachedResults();
+    uint64_t hits = lab.resultCacheHits();
+    EXPECT_GE(cached, 1u);
+
+    auto second = lab.run("xlisp", cfg);
+    EXPECT_EQ(lab.cachedResults(), cached);     // No new entry.
+    EXPECT_EQ(lab.resultCacheHits(), hits + 1); // Served from cache.
+    expectSameStats(first, second);
+
+    lab.clearResultCache();
+    EXPECT_EQ(lab.cachedResults(), 0u);
+    auto third = lab.run("xlisp", cfg); // Re-simulated, still equal.
+    expectSameStats(first, third);
+}
+
+TEST(Parallel, RunPointsParallelPrewarmsCache)
+{
+    Lab lab(kScale);
+    std::vector<harness::SweepPoint> points;
+    for (int lat : {1, 10}) {
+        for (core::ConfigName c :
+             {core::ConfigName::Mc1, core::ConfigName::NoRestrict}) {
+            ExperimentConfig e;
+            e.config = c;
+            e.loadLatency = lat;
+            points.push_back({"compress", e});
+        }
+    }
+
+    auto results = harness::runPointsParallel(lab, points, 4);
+    ASSERT_EQ(results.size(), points.size());
+    EXPECT_EQ(lab.cachedResults(), points.size());
+
+    // Re-running any point is now a cache hit with identical stats.
+    uint64_t hits = lab.resultCacheHits();
+    for (size_t i = 0; i < points.size(); ++i) {
+        auto again = lab.run(points[i].workload, points[i].cfg);
+        expectSameStats(results[i], again);
+    }
+    EXPECT_EQ(lab.resultCacheHits(), hits + points.size());
+}
+
+TEST(Parallel, ExperimentKeyDistinguishesConfigs)
+{
+    ExperimentConfig a, b;
+    EXPECT_EQ(harness::experimentKey("doduc", a),
+              harness::experimentKey("doduc", b));
+    EXPECT_NE(harness::experimentKey("doduc", a),
+              harness::experimentKey("tomcatv", a));
+
+    b.loadLatency = 2;
+    EXPECT_NE(harness::experimentKey("doduc", a),
+              harness::experimentKey("doduc", b));
+
+    // A custom policy equal to the named config still keys differently
+    // from... nothing: resolved fields are serialized either way.
+    ExperimentConfig c;
+    c.customPolicy = core::makePolicy(core::ConfigName::NoRestrict);
+    EXPECT_NE(harness::experimentKey("doduc", a),
+              harness::experimentKey("doduc", c));
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification plus a ThreadSanitizer pass over the parallel
+# engine. Run from the repository root:
+#
+#     tools/check.sh [jobs]
+#
+# Step 1 is the ROADMAP tier-1 gate (full build + ctest). Step 2
+# rebuilds with -DNBL_SANITIZE=thread into build-tsan/ and runs the
+# parallel-engine and harness tests under TSan, which exercises the
+# thread pool, the shared Lab caches, and the sweep fan-out.
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== tsan: parallel engine =="
+cmake -B build-tsan -S . -DNBL_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs" --target test_parallel test_harness
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_harness
+
+echo "check.sh: all passes clean"
