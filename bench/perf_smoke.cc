@@ -61,16 +61,26 @@ main()
 {
     harness::Lab serial_lab(nbl_bench::benchScale());
     harness::Lab parallel_lab(nbl_bench::benchScale());
+    harness::Lab exec_lab(nbl_bench::benchScale());
+    exec_lab.setReplayEnabled(false); // Classic execution-driven.
     auto points = smokePoints();
 
-    // Compile outside the timed region for both labs so the timings
+    // Compile outside the timed region for every lab so the timings
     // compare simulation only.
-    for (const auto &p : points)
+    for (const auto &p : points) {
         serial_lab.program(p.workload, p.cfg.loadLatency);
-    for (const auto &p : points)
         parallel_lab.program(p.workload, p.cfg.loadLatency);
+        exec_lab.program(p.workload, p.cfg.loadLatency);
+    }
 
     auto t0 = std::chrono::steady_clock::now();
+    std::vector<harness::ExperimentResult> exec_driven;
+    exec_driven.reserve(points.size());
+    for (const auto &p : points)
+        exec_driven.push_back(exec_lab.run(p.workload, p.cfg));
+    double exec_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
     std::vector<harness::ExperimentResult> serial;
     serial.reserve(points.size());
     for (const auto &p : points)
@@ -82,18 +92,22 @@ main()
     double parallel_s = secondsSince(t0);
 
     uint64_t instrs = totalInstructions(par);
-    if (instrs != totalInstructions(serial)) {
-        std::fprintf(stderr, "serial/parallel instruction mismatch\n");
+    if (instrs != totalInstructions(serial) ||
+        instrs != totalInstructions(exec_driven)) {
+        std::fprintf(stderr, "methodology instruction mismatch\n");
         return 1;
     }
 
     std::printf("{\"sweep_points\": %zu, \"jobs\": %u, "
                 "\"wall_s\": %.3f, \"serial_wall_s\": %.3f, "
-                "\"speedup\": %.2f, \"instructions\": %llu, "
+                "\"exec_wall_s\": %.3f, "
+                "\"speedup\": %.2f, \"replay_speedup\": %.2f, "
+                "\"instructions\": %llu, "
                 "\"sim_minstr_per_s\": %.1f}\n",
                 points.size(), harness::ThreadPool::defaultJobs(),
-                parallel_s, serial_s,
+                parallel_s, serial_s, exec_s,
                 parallel_s > 0 ? serial_s / parallel_s : 0.0,
+                serial_s > 0 ? exec_s / serial_s : 0.0,
                 (unsigned long long)instrs,
                 parallel_s > 0 ? double(instrs) / 1e6 / parallel_s
                                : 0.0);

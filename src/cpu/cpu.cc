@@ -70,8 +70,11 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
     }
 
     // Dual-issue pairing constraints within the current cycle: at most
-    // one memory op, and no intra-cycle register dependence.
-    if (slots_used_ > 0) {
+    // one memory op, and no intra-cycle register dependence. At issue
+    // width 1 slots_used_ is always 0 here (the slot check above just
+    // advanced the cycle), so the single-issue hot path skips the
+    // pairing state entirely.
+    if (issue_width_ > 1 && slots_used_ > 0) {
         bool conflict = (in.isMem() && mem_used_) ||
                         (ns >= 1 && writtenThisCycle(in.src1)) ||
                         (ns >= 2 && writtenThisCycle(in.src2)) ||
@@ -84,10 +87,12 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
 
     auto mark_issued = [&] {
         ++slots_used_;
-        if (in.isMem())
-            mem_used_ = true;
-        if (in.hasDst())
-            written_mask_ |= uint64_t{1} << in.dst.destLinear();
+        if (issue_width_ > 1) {
+            if (in.isMem())
+                mem_used_ = true;
+            if (in.hasDst())
+                written_mask_ |= uint64_t{1} << in.dst.destLinear();
+        }
     };
 
     if (in.isMem() && !perfect_) {
@@ -114,6 +119,141 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
             sb_.setReady(in.dst, cycle_ + 1);
         mark_issued();
     }
+}
+
+const uint64_t *
+Cpu::replayRun(const isa::Instr *code, size_t n,
+               const uint64_t *eff_addrs)
+{
+    for (size_t i = 0; i < n; ++i) {
+        const isa::Instr &in = code[i];
+        uint64_t ea = 0;
+        if (in.isMem())
+            ea = *eff_addrs++;
+        onInstr(in, ea);
+    }
+    return eff_addrs;
+}
+
+std::vector<ReplayDecoded>
+decodeForReplay(const isa::Program &program)
+{
+    std::vector<ReplayDecoded> out(program.size());
+    for (size_t pc = 0; pc < program.size(); ++pc) {
+        const isa::Instr &in = program.code()[pc];
+        ReplayDecoded &d = out[pc];
+        d.flags = uint8_t((in.isLoad() ? kReplayLoad : 0) |
+                          (in.isStore() ? kReplayStore : 0) |
+                          (in.isMem() ? kReplayMem : 0) |
+                          (in.isBranch() ? kReplayBranch : 0) |
+                          (in.hasDst() ? kReplayHasDst : 0));
+        d.dstLin = uint8_t(in.dst.destLinear());
+        d.src1Lin = uint8_t(in.src1.destLinear());
+        d.src2Lin = uint8_t(in.src2.destLinear());
+        d.ns = uint8_t(in.numSrcs());
+        d.size = in.size;
+        if (d.ns >= 1)
+            d.useMask |= uint64_t{1} << d.src1Lin;
+        if (d.ns >= 2)
+            d.useMask |= uint64_t{1} << d.src2Lin;
+        if (in.isLoad())
+            d.useMask |= uint64_t{1} << d.dstLin; // WAW interlock.
+        d.useMask &= ~uint64_t{1}; // r0 is hard-wired, never pending.
+    }
+    return out;
+}
+
+const uint64_t *
+Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
+                      const uint64_t *eff_addrs)
+{
+    if (finished_)
+        panic("instruction after finish()");
+    if (issue_width_ != 1)
+        panic("replayRunDecoded requires issue width 1");
+
+    // Local mirrors of the per-run state (advanceTo() at width 1
+    // reduces to "bump the cycle, clear the issued flag"); written
+    // back before returning so finish() and the generic path stay
+    // coherent.
+    uint64_t cycle = cycle_;
+    bool issued = slots_used_ > 0;
+    uint64_t pending = replay_pending_;
+
+    for (size_t i = 0; i < n; ++i) {
+        const ReplayDecoded &in = code[i];
+        ++stats_.instructions;
+        stats_.loads += in.flags & kReplayLoad;
+        stats_.stores += (in.flags / kReplayStore) & 1;
+        stats_.branches += (in.flags / kReplayBranch) & 1;
+
+        // An issue slot must be free.
+        if (issued) {
+            ++cycle;
+            issued = false;
+        }
+
+        // True-data-dependency interlock, filtered by the pending
+        // mask: when no use register can still be in flight, skip the
+        // scoreboard entirely (the common case).
+        if (pending & in.useMask) {
+            uint64_t earliest = cycle;
+            if (in.ns >= 1)
+                earliest = std::max(earliest,
+                                    sb_.readyAtLinear(in.src1Lin));
+            if (in.ns >= 2)
+                earliest = std::max(earliest,
+                                    sb_.readyAtLinear(in.src2Lin));
+            if (in.flags & kReplayLoad)
+                earliest = std::max(earliest,
+                                    sb_.readyAtLinear(in.dstLin));
+            if (earliest > cycle) {
+                stats_.depStallCycles += earliest - cycle;
+                cycle = earliest;
+            }
+            // Every consulted register is ready by `cycle` now.
+            pending &= ~in.useMask;
+        }
+
+        if ((in.flags & kReplayMem) && !perfect_) {
+            core::AccessOutcome out =
+                (in.flags & kReplayLoad)
+                    ? cache_->load(*eff_addrs, in.size, cycle, in.dstLin)
+                    : cache_->store(*eff_addrs, in.size, cycle);
+            ++eff_addrs;
+            if (out.issueCycle > cycle) {
+                stats_.structStallCycles += out.issueCycle - cycle;
+                cycle = out.issueCycle;
+            }
+            if (in.flags & kReplayLoad) {
+                sb_.setReadyLinear(in.dstLin, out.dataReady);
+                // A ready cycle <= cycle+1 can never stall a later
+                // instruction (they all issue at cycle+1 or after).
+                if (out.dataReady > cycle + 1)
+                    pending |= uint64_t{1} << in.dstLin;
+            }
+            issued = true;
+            if (out.procFreeAt > cycle + 1) {
+                // Lockup cache: the processor is stalled for the rest
+                // of the miss service (and the issue slot state is
+                // reset, exactly as advanceTo() does).
+                stats_.blockStallCycles += out.procFreeAt - (cycle + 1);
+                cycle = out.procFreeAt;
+                issued = false;
+            }
+        } else {
+            if (in.flags & kReplayMem)
+                ++eff_addrs; // Perfect cache still consumes the address.
+            if (in.flags & kReplayHasDst)
+                sb_.setReadyLinear(in.dstLin, cycle + 1);
+            issued = true;
+        }
+    }
+
+    cycle_ = cycle;
+    slots_used_ = issued ? 1 : 0;
+    replay_pending_ = pending;
+    return eff_addrs;
 }
 
 void

@@ -24,14 +24,45 @@
 #define NBL_CPU_CPU_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "cpu/scoreboard.hh"
 #include "cpu/stats.hh"
 #include "core/nonblocking_cache.hh"
 #include "isa/instr.hh"
+#include "isa/program.hh"
 
 namespace nbl::cpu
 {
+
+/**
+ * One statically pre-decoded instruction for the single-issue replay
+ * fast path (exec/event_trace.hh): the few fields the width-1 timing
+ * model reads, packed into 16 bytes, plus a bitmask of the registers
+ * whose scoreboard entries could stall this instruction. The replay
+ * loop tests that mask against a conservative "possibly pending"
+ * mask, so the common no-stall instruction never touches the
+ * scoreboard at all.
+ */
+struct ReplayDecoded
+{
+    uint64_t useMask = 0; ///< src1/src2 (+ dst for loads, WAW); r0 excluded.
+    uint8_t flags = 0;    ///< Or of the Replay* bits below.
+    uint8_t dstLin = 0;   ///< RegId::destLinear() of dst.
+    uint8_t size = 0;     ///< Access size (memory ops).
+    uint8_t ns = 0;       ///< numSrcs().
+    uint8_t src1Lin = 0;
+    uint8_t src2Lin = 0;
+};
+
+inline constexpr uint8_t kReplayLoad = 1;
+inline constexpr uint8_t kReplayStore = 2;
+inline constexpr uint8_t kReplayMem = 4;
+inline constexpr uint8_t kReplayBranch = 8;
+inline constexpr uint8_t kReplayHasDst = 16;
+
+/** Pre-decode every static instruction of program for replayRunDecoded. */
+std::vector<ReplayDecoded> decodeForReplay(const isa::Program &program);
 
 /** Execution-driven in-order timing model. */
 class Cpu
@@ -51,6 +82,29 @@ class Cpu
      * @param eff_addr Effective address for memory operations.
      */
     void onInstr(const isa::Instr &in, uint64_t eff_addr);
+
+    /**
+     * Replay entry for the scoreboard path (exec/event_trace.hh):
+     * account a straight-line run of n instructions starting at
+     * code[0], consuming one recorded effective address per memory
+     * operation. Behaviorally identical to calling onInstr() once per
+     * instruction; living beside onInstr lets the compiler inline the
+     * per-instruction call in the replay hot loop.
+     * @return The advanced effective-address cursor.
+     */
+    const uint64_t *replayRun(const isa::Instr *code, size_t n,
+                              const uint64_t *eff_addrs);
+
+    /**
+     * Single-issue replay fast path over pre-decoded instructions
+     * (decodeForReplay()). Cycle-for-cycle and stat-for-stat identical
+     * to replayRun(); the decoded form carries a per-instruction
+     * register-use mask so the scoreboard is consulted only when a use
+     * might actually be pending. Only valid at issue width 1.
+     * @return The advanced effective-address cursor.
+     */
+    const uint64_t *replayRunDecoded(const ReplayDecoded *code, size_t n,
+                                     const uint64_t *eff_addrs);
 
     /** Close out the run; stats().cycles becomes valid. */
     void finish();
@@ -86,6 +140,13 @@ class Cpu
     bool mem_used_ = false;     ///< A memory op issued this cycle.
     /** Dests written this cycle (bitmap over destLinear numbers). */
     uint64_t written_mask_ = 0;
+    /**
+     * Conservative superset of the registers whose scoreboard entry
+     * may still lie in the future (bitmap over destLinear numbers);
+     * maintained only by replayRunDecoded(), lazily cleared when a
+     * flagged register turns out to be ready.
+     */
+    uint64_t replay_pending_ = 0;
     bool finished_ = false;
 };
 

@@ -48,6 +48,22 @@ class Scoreboard
         ready_[reg.destLinear()] = cycle;
     }
 
+    /** readyAt() by destLinear() number (replay fast path). */
+    uint64_t
+    readyAtLinear(unsigned lin) const
+    {
+        return ready_[lin];
+    }
+
+    /** setReady() by destLinear() number; linear 0 is integer r0. */
+    void
+    setReadyLinear(unsigned lin, uint64_t cycle)
+    {
+        if (lin == 0)
+            return; // r0 is hard-wired.
+        ready_[lin] = cycle;
+    }
+
     /** True if reg is still waiting at cycle now. */
     bool
     pending(isa::RegId reg, uint64_t now) const

@@ -1,0 +1,121 @@
+#include "exec/event_trace.hh"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "cpu/cpu.hh"
+#include "exec/interpreter.hh"
+#include "exec/stepping.hh"
+#include "util/log.hh"
+
+namespace nbl::exec
+{
+
+EventTrace
+recordEventTrace(const isa::Program &program, mem::SparseMemory &data,
+                 uint64_t max_instructions)
+{
+    program.validate();
+    if (program.size() > std::numeric_limits<uint32_t>::max())
+        fatal("recordEventTrace: program %s too large for 32-bit pcs",
+              program.name().c_str());
+    Interpreter interp(program, data);
+
+    EventTrace trace;
+    trace.recordCap = max_instructions;
+    trace.effAddrs.reserve(4096);
+    trace.segStart.reserve(1024);
+    trace.segLen.reserve(1024);
+
+    uint32_t seg_start = 0;
+    uint32_t seg_len = 0;
+    trace.hitInstructionCap = stepProgram(
+        program, interp, max_instructions,
+        [&](const isa::Instr &in, size_t pc, const StepResult &step) {
+            if (seg_len == 0)
+                seg_start = uint32_t(pc);
+            ++seg_len;
+            ++trace.instructions;
+            if (in.isMem()) {
+                chunkedReserve(trace.effAddrs);
+                trace.effAddrs.push_back(step.effAddr);
+            }
+            if (step.nextPc != pc + 1) {
+                // Taken branch: close the straight-line segment.
+                chunkedReserve(trace.segStart);
+                chunkedReserve(trace.segLen);
+                trace.segStart.push_back(seg_start);
+                trace.segLen.push_back(seg_len);
+                seg_len = 0;
+            }
+        });
+    if (seg_len) {
+        trace.segStart.push_back(seg_start);
+        trace.segLen.push_back(seg_len);
+    }
+    return trace;
+}
+
+RunOutput
+replayExact(const isa::Program &program, const EventTrace &trace,
+            const MachineConfig &config)
+{
+    program.validate();
+
+    const uint64_t max_instructions = config.maxInstructions;
+    if (trace.hitInstructionCap && max_instructions > trace.instructions) {
+        fatal("replayExact: trace of %s was capped at %llu instructions "
+              "but the replay asks for up to %llu; re-record the trace "
+              "under the larger cap",
+              program.name().c_str(),
+              static_cast<unsigned long long>(trace.instructions),
+              static_cast<unsigned long long>(max_instructions));
+    }
+
+    std::unique_ptr<core::NonblockingCache> cache;
+    if (!config.perfectCache) {
+        cache = std::make_unique<core::NonblockingCache>(
+            config.geometry, config.policy, config.memory,
+            config.fillWritePorts);
+    }
+    cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
+
+    // The cap truncates replay exactly as it truncates execution: a
+    // trace longer than the budget is cut mid-stream with the flag
+    // set; a trace that was itself capped at the budget re-reports it.
+    uint64_t budget = std::min(trace.instructions, max_instructions);
+    bool hit_cap =
+        budget < trace.instructions || trace.hitInstructionCap;
+
+    const uint64_t *ea = trace.effAddrs.data();
+    uint64_t remaining = budget;
+    if (config.issueWidth == 1) {
+        // Single-issue (the paper's baseline and nearly every sweep
+        // point): run the pre-decoded fast path. Decoding is per
+        // static instruction -- noise next to the dynamic stream.
+        std::vector<cpu::ReplayDecoded> decoded =
+            cpu::decodeForReplay(program);
+        const cpu::ReplayDecoded *code = decoded.data();
+        for (size_t s = 0; remaining > 0; ++s) {
+            uint32_t len =
+                uint32_t(std::min<uint64_t>(trace.segLen[s], remaining));
+            ea = cpu.replayRunDecoded(code + trace.segStart[s], len, ea);
+            remaining -= len;
+        }
+    } else {
+        const isa::Instr *code = program.code().data();
+        for (size_t s = 0; remaining > 0; ++s) {
+            uint32_t len =
+                uint32_t(std::min<uint64_t>(trace.segLen[s], remaining));
+            ea = cpu.replayRun(code + trace.segStart[s], len, ea);
+            remaining -= len;
+        }
+    }
+    if (hit_cap)
+        warnInstructionCap(program, max_instructions);
+
+    return detail::finishRun(cpu, cache.get(), hit_cap);
+}
+
+} // namespace nbl::exec

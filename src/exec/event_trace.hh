@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Record-once / replay-many: exact event-trace replay.
+ *
+ * Every sweep point shares one fact the harness can exploit: the
+ * dynamic instruction stream and the effective addresses of a run are
+ * a function of (program, initial memory) only -- the cache
+ * configuration changes *when* things happen, never *what* executes.
+ * The timing side (cpu::Cpu + core::NonblockingCache) consumes nothing
+ * but the fetched instruction and its effective address, so a recorded
+ * (pc stream, effective-address stream) pair drives the unchanged
+ * timing models to bit-identical results without re-running the
+ * functional interpreter.
+ *
+ * Unlike the optimistic MemTrace replayer (exec/trace.hh), which drops
+ * register identities and therefore under-charges dependence stalls,
+ * the event trace preserves the exact instruction sequence; the
+ * scoreboard sees the very same loads, uses, and WAW hazards as the
+ * execution-driven run. replayExact() is exact by construction and
+ * property-tested against exec::run field by field.
+ *
+ * Encoding: the dynamic PC stream is delta-encoded as straight-line
+ * segments -- maximal runs of consecutive pcs stored as one
+ * (start, length) pair, so only taken branches cost trace space.
+ * Effective addresses are stored densely in reference order;
+ * instruction metadata is not stored at all, it is re-fetched from the
+ * Program by pc at replay time. Footprint is therefore roughly
+ * 8 bytes per memory reference plus 8 bytes per taken branch,
+ * independent of total instruction count for straight-line code.
+ */
+
+#ifndef NBL_EXEC_EVENT_TRACE_HH
+#define NBL_EXEC_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/machine.hh"
+#include "isa/program.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nbl::exec
+{
+
+/**
+ * A recorded run: the delta-encoded dynamic PC stream plus the
+ * effective address of every memory reference (SoA layout).
+ */
+struct EventTrace
+{
+    /** Start pc of each straight-line segment. */
+    std::vector<uint32_t> segStart;
+    /** Instruction count of each segment (parallel to segStart). */
+    std::vector<uint32_t> segLen;
+    /** Effective addresses, one per memory reference, in order. */
+    std::vector<uint64_t> effAddrs;
+
+    uint64_t instructions = 0; ///< Total dynamic instructions.
+    /** The max_instructions the recording ran under. */
+    uint64_t recordCap = 0;
+    /** The recording was cut off by recordCap: the trace is a prefix
+     *  of the full run, exact only up to recordCap instructions. */
+    bool hitInstructionCap = false;
+
+    uint64_t memoryRefs() const { return effAddrs.size(); }
+
+    double
+    referencesPerInstruction() const
+    {
+        return instructions
+                   ? double(memoryRefs()) / double(instructions)
+                   : 0.0;
+    }
+
+    /** Heap footprint of the encoded trace in bytes. */
+    size_t
+    bytes() const
+    {
+        return segStart.capacity() * sizeof(uint32_t) +
+               segLen.capacity() * sizeof(uint32_t) +
+               effAddrs.capacity() * sizeof(uint64_t);
+    }
+};
+
+/**
+ * Execute the program functionally (once) and record the event trace.
+ * `data` is modified in place, exactly as by exec::run.
+ */
+EventTrace recordEventTrace(const isa::Program &program,
+                            mem::SparseMemory &data,
+                            uint64_t max_instructions = 200'000'000);
+
+/**
+ * Drive the timing models over a recorded trace: bit-identical
+ * RunOutput to exec::run(program, data, config) for any config, at
+ * timing-model-only cost. `program` must be the program the trace was
+ * recorded from. config.maxInstructions may truncate the replay (the
+ * cap behaves exactly as in exec::run); asking for *more* instructions
+ * than a capped trace holds is a usage error (fatal) -- re-record
+ * under the larger cap instead.
+ */
+RunOutput replayExact(const isa::Program &program,
+                      const EventTrace &trace,
+                      const MachineConfig &config);
+
+} // namespace nbl::exec
+
+#endif // NBL_EXEC_EVENT_TRACE_HH

@@ -5,10 +5,39 @@
 
 #include "cpu/cpu.hh"
 #include "exec/interpreter.hh"
+#include "exec/stepping.hh"
 #include "util/log.hh"
 
 namespace nbl::exec
 {
+
+namespace detail
+{
+
+RunOutput
+finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
+          bool hit_instruction_cap)
+{
+    cpu.finish();
+
+    RunOutput out;
+    out.hitInstructionCap = hit_instruction_cap;
+    out.cpu = cpu.stats();
+
+    if (cache) {
+        uint64_t last_fill = cache->drainAll();
+        uint64_t end = std::max<uint64_t>(out.cpu.cycles, last_fill);
+        cache->finalizeTracker(end);
+        out.cache = cache->stats();
+        out.tracker = cache->tracker();
+        out.maxInflightMisses = cache->maxInflightMisses();
+        out.maxInflightFetches = cache->maxInflightFetches();
+        out.missPenalty = cache->missPenalty();
+    }
+    return out;
+}
+
+} // namespace detail
 
 RunOutput
 run(const isa::Program &program, mem::SparseMemory &data,
@@ -25,42 +54,13 @@ run(const isa::Program &program, mem::SparseMemory &data,
     cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
     Interpreter interp(program, data);
 
-    RunOutput out;
-    size_t pc = 0;
-    uint64_t executed = 0;
-    const uint64_t max_instructions = config.maxInstructions;
-    while (true) {
-        if (executed >= max_instructions) {
-            out.hitInstructionCap = true;
-            warn("program %s hit the %llu-instruction cap",
-                 program.name().c_str(),
-                 static_cast<unsigned long long>(max_instructions));
-            break;
-        }
-        // Fetch once; the interpreter and the timing model share it.
-        const isa::Instr &in = program.at(pc);
-        StepResult step = interp.step(in, pc);
-        cpu.onInstr(in, step.effAddr);
-        ++executed;
-        if (step.halted)
-            break;
-        pc = step.nextPc;
-    }
+    bool hit_cap = stepProgram(
+        program, interp, config.maxInstructions,
+        [&](const isa::Instr &in, size_t, const StepResult &step) {
+            cpu.onInstr(in, step.effAddr);
+        });
 
-    cpu.finish();
-    out.cpu = cpu.stats();
-
-    if (cache) {
-        uint64_t last_fill = cache->drainAll();
-        uint64_t end = std::max<uint64_t>(out.cpu.cycles, last_fill);
-        cache->finalizeTracker(end);
-        out.cache = cache->stats();
-        out.tracker = cache->tracker();
-        out.maxInflightMisses = cache->maxInflightMisses();
-        out.maxInflightFetches = cache->maxInflightFetches();
-        out.missPenalty = cache->missPenalty();
-    }
-    return out;
+    return detail::finishRun(cpu, cache.get(), hit_cap);
 }
 
 } // namespace nbl::exec

@@ -19,6 +19,11 @@
 #include "mem/main_memory.hh"
 #include "mem/sparse_memory.hh"
 
+namespace nbl::cpu
+{
+class Cpu;
+}
+
 namespace nbl::exec
 {
 
@@ -56,6 +61,20 @@ struct RunOutput
  */
 RunOutput run(const isa::Program &program, mem::SparseMemory &data,
               const MachineConfig &config);
+
+namespace detail
+{
+
+/**
+ * Shared tail of exec::run and exec::replayExact: finish the CPU,
+ * drain the cache, finalize the flight tracker, and collect every
+ * RunOutput field. Keeping it in one place is what lets the replay
+ * engine (exec/event_trace.hh) claim bit-identity by construction.
+ */
+RunOutput finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
+                    bool hit_instruction_cap);
+
+} // namespace detail
 
 } // namespace nbl::exec
 

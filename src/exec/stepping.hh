@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared stepping core for the execution-driven entry points.
+ *
+ * exec::run (functional + timing in lockstep), exec::recordTrace (the
+ * optimistic memory-reference recorder), and exec::recordEventTrace
+ * (the exact dependence-annotated recorder) all walk the same dynamic
+ * instruction stream: fetch once, step the interpreter, hand the
+ * result to a consumer, honor the instruction cap. This header is that
+ * loop, templated over the consumer, so the cap policy and the fetch
+ * discipline cannot drift between the recording and simulation paths.
+ */
+
+#ifndef NBL_EXEC_STEPPING_HH
+#define NBL_EXEC_STEPPING_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "exec/interpreter.hh"
+#include "isa/program.hh"
+#include "util/log.hh"
+
+namespace nbl::exec
+{
+
+/** The one cap diagnostic, shared so replay can reproduce it. */
+inline void
+warnInstructionCap(const isa::Program &program, uint64_t max_instructions)
+{
+    warn("program %s hit the %llu-instruction cap",
+         program.name().c_str(),
+         static_cast<unsigned long long>(max_instructions));
+}
+
+/**
+ * Drive the interpreter over program from pc 0 until Halt or the
+ * instruction cap, invoking per(in, pc, step) after each functional
+ * step (in is the fetched instruction, step the interpreter result).
+ *
+ * @return true if the run was cut off by max_instructions.
+ */
+template <typename PerInstr>
+bool
+stepProgram(const isa::Program &program, Interpreter &interp,
+            uint64_t max_instructions, PerInstr &&per)
+{
+    size_t pc = 0;
+    uint64_t executed = 0;
+    while (true) {
+        if (executed >= max_instructions) {
+            warnInstructionCap(program, max_instructions);
+            return true;
+        }
+        // Fetch once; the interpreter and the consumer share it.
+        const isa::Instr &in = program.at(pc);
+        StepResult step = interp.step(in, pc);
+        per(in, pc, step);
+        ++executed;
+        if (step.halted)
+            return false;
+        pc = step.nextPc;
+    }
+}
+
+/**
+ * Grow v ahead of a push_back in bounded chunks instead of the
+ * implementation's exponential doubling: proportional (half the
+ * current size) while small, clamped to max_chunk entries once large.
+ * Long recordings then overshoot their final size by at most one
+ * chunk instead of up to 2x.
+ */
+template <typename T>
+inline void
+chunkedReserve(std::vector<T> &v, size_t min_chunk = 4096,
+               size_t max_chunk = size_t{1} << 20)
+{
+    if (v.size() == v.capacity())
+        v.reserve(v.size() + std::clamp(v.size() / 2, min_chunk, max_chunk));
+}
+
+} // namespace nbl::exec
+
+#endif // NBL_EXEC_STEPPING_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/interpreter.hh"
+#include "exec/stepping.hh"
 #include "util/log.hh"
 
 namespace nbl::exec
@@ -16,28 +17,27 @@ recordTrace(const isa::Program &program, mem::SparseMemory &data,
     Interpreter interp(program, data);
 
     MemTrace trace;
-    size_t pc = 0;
+    trace.records.reserve(4096);
     uint32_t gap = 0;
-    while (trace.instructions < max_instructions) {
-        const isa::Instr &in = program.at(pc);
-        StepResult step = interp.step(in, pc);
-        ++trace.instructions;
-        ++gap;
-        if (in.isMem()) {
-            TraceRecord rec;
-            rec.addr = step.effAddr;
-            rec.gap = gap;
-            rec.size = in.size;
-            rec.isLoad = in.isLoad();
-            rec.destLinear =
-                in.isLoad() ? uint8_t(in.dst.destLinear()) : 0;
-            trace.records.push_back(rec);
-            gap = 0;
-        }
-        if (step.halted)
-            break;
-        pc = step.nextPc;
-    }
+    stepProgram(program, interp, max_instructions,
+                [&](const isa::Instr &in, size_t,
+                    const StepResult &step) {
+                    ++trace.instructions;
+                    ++gap;
+                    if (in.isMem()) {
+                        TraceRecord rec;
+                        rec.addr = step.effAddr;
+                        rec.gap = gap;
+                        rec.size = in.size;
+                        rec.isLoad = in.isLoad();
+                        rec.destLinear =
+                            in.isLoad() ? uint8_t(in.dst.destLinear())
+                                        : 0;
+                        chunkedReserve(trace.records);
+                        trace.records.push_back(rec);
+                        gap = 0;
+                    }
+                });
     return trace;
 }
 
@@ -59,7 +59,9 @@ replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
     // fewer misses than registers are ever in flight.
     unsigned rot = 0;
     uint64_t now = 0;
+    uint64_t gap_sum = 0; // paced instructions; the rest are the tail
     for (const TraceRecord &rec : trace.records) {
+        gap_sum += rec.gap;
         now += rec.gap; // one instruction per cycle between accesses
         core::AccessOutcome out =
             rec.isLoad
@@ -74,11 +76,8 @@ replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
         now = out.procFreeAt - 1;
     }
 
-    uint64_t tail = trace.instructions;
-    for (const TraceRecord &rec : trace.records)
-        tail -= rec.gap;
     cache.drainAll();
-    res.cycles = now + 1 + tail;
+    res.cycles = now + 1 + (trace.instructions - gap_sum);
     res.cache = cache.stats();
     return res;
 }

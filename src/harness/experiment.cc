@@ -1,9 +1,16 @@
 #include "harness/experiment.hh"
 
+#include <cstdlib>
+
 #include "util/log.hh"
 
 namespace nbl::harness
 {
+
+Lab::Lab(double scale)
+    : scale_(scale), replay_(std::getenv("NBL_EXEC_DRIVEN") == nullptr)
+{
+}
 
 exec::MachineConfig
 makeMachineConfig(const ExperimentConfig &cfg)
@@ -92,6 +99,7 @@ Lab::compiled(const std::string &name, int latency)
         cp.loadLatency = latency;
         Compiled c;
         c.program = compiler::compile(w.program, cp, &c.info);
+        c.fingerprint = c.program.fingerprint();
         it = programs_.emplace(key, std::move(c)).first;
     }
     return it->second;
@@ -109,6 +117,50 @@ Lab::compileInfo(const std::string &name, int latency)
     return compiled(name, latency).info;
 }
 
+std::shared_ptr<const exec::EventTrace>
+Lab::eventTrace(const std::string &name, int latency,
+                uint64_t maxInstructions)
+{
+    const workloads::Workload &w = workload(name);
+    const Compiled &c = compiled(name, latency);
+    auto key = std::make_pair(name, c.fingerprint);
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        auto it = traces_.find(key);
+        if (it != traces_.end() &&
+            !(it->second->hitInstructionCap &&
+              maxInstructions > it->second->instructions)) {
+            ++trace_hits_;
+            return it->second;
+        }
+    }
+
+    // Record outside the lock (this is the expensive functional run).
+    mem::SparseMemory data = w.makeMemory();
+    auto trace = std::make_shared<const exec::EventTrace>(
+        exec::recordEventTrace(c.program, data, maxInstructions));
+
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    auto [it, inserted] = traces_.emplace(key, trace);
+    if (!inserted && it->second->instructions < trace->instructions) {
+        // Racing recorders (or a capped trace superseded by a larger
+        // cap): the streams are prefixes of one another, so the longer
+        // recording serves every request the shorter one could.
+        it->second = trace;
+    }
+    return it->second;
+}
+
+void
+Lab::prewarmTrace(const std::string &name, int latency,
+                  uint64_t maxInstructions)
+{
+    if (replay_)
+        eventTrace(name, latency, maxInstructions);
+    else
+        program(name, latency);
+}
+
 ExperimentResult
 Lab::run(const std::string &name, const ExperimentConfig &cfg)
 {
@@ -124,10 +176,19 @@ Lab::run(const std::string &name, const ExperimentConfig &cfg)
 
     const workloads::Workload &w = workload(name);
     const Compiled &c = compiled(name, cfg.loadLatency);
-    mem::SparseMemory data = w.makeMemory();
     ExperimentResult res;
     res.compileInfo = c.info;
-    res.run = exec::run(c.program, data, makeMachineConfig(cfg));
+    if (replay_) {
+        // Record once, replay many: only the first point of this
+        // (workload, program) pair pays for functional execution.
+        auto trace = eventTrace(name, cfg.loadLatency,
+                                cfg.maxInstructions);
+        res.run = exec::replayExact(c.program, *trace,
+                                    makeMachineConfig(cfg));
+    } else {
+        mem::SparseMemory data = w.makeMemory();
+        res.run = exec::run(c.program, data, makeMachineConfig(cfg));
+    }
 
     std::lock_guard<std::mutex> lock(resultMutex_);
     // Two threads may race to simulate the same point; results are
@@ -148,6 +209,20 @@ Lab::resultCacheHits() const
 {
     std::lock_guard<std::mutex> lock(resultMutex_);
     return result_hits_;
+}
+
+size_t
+Lab::recordedTraces() const
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    return traces_.size();
+}
+
+uint64_t
+Lab::traceCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    return trace_hits_;
 }
 
 void

@@ -16,6 +16,7 @@
 
 #include "compiler/compile.hh"
 #include "core/policy.hh"
+#include "exec/event_trace.hh"
 #include "exec/machine.hh"
 #include "workloads/workload.hh"
 
@@ -89,11 +90,22 @@ ExperimentResult runExperiment(const workloads::Workload &workload,
  * experimentKey(name, cfg), so a point repeated across figures within
  * one process is simulated once. Simulations are deterministic, so a
  * cached result is bit-identical to a fresh one.
+ *
+ * Record once, replay many: run() does not normally re-run the
+ * functional interpreter per point. The first run of a (workload,
+ * compiled program) pair records an exact event trace
+ * (exec/event_trace.hh); every further point replays it through the
+ * timing models at timing-only cost with bit-identical results.
+ * Traces are keyed by the program's content fingerprint -- a
+ * latency-independent identity, so two scheduled latencies that
+ * compile to the same code share one recording. Set NBL_EXEC_DRIVEN
+ * in the environment (or call setReplayEnabled(false) before fanning
+ * work out) to force classic execution-driven simulation per point.
  */
 class Lab
 {
   public:
-    explicit Lab(double scale = 1.0) : scale_(scale) {}
+    explicit Lab(double scale = 1.0);
 
     const workloads::Workload &workload(const std::string &name);
 
@@ -108,6 +120,30 @@ class Lab
     ExperimentResult run(const std::string &name,
                          const ExperimentConfig &cfg);
 
+    /**
+     * The recorded event trace for (workload, program compiled at
+     * latency), recording it on first use. maxInstructions bounds the
+     * recording exactly as in exec::run; a cached trace that was
+     * capped below a later, larger request is re-recorded.
+     */
+    std::shared_ptr<const exec::EventTrace>
+    eventTrace(const std::string &name, int latency,
+               uint64_t maxInstructions = 200'000'000);
+
+    /**
+     * Ensure (workload, latency) is compiled and, when replay is
+     * enabled, its event trace recorded. The sweep entry points call
+     * this up front so fanned-out points are replay-only.
+     */
+    void prewarmTrace(const std::string &name, int latency,
+                      uint64_t maxInstructions = 200'000'000);
+
+    /** Toggle record-once/replay-many (default on, unless the
+     *  NBL_EXEC_DRIVEN environment variable is set). Not synchronized:
+     *  call before fanning work out over threads. */
+    void setReplayEnabled(bool on) { replay_ = on; }
+    bool replayEnabled() const { return replay_; }
+
     double scale() const { return scale_; }
 
     /** Distinct experiment points currently memoized. */
@@ -115,6 +151,12 @@ class Lab
 
     /** run() calls served from the result cache (diagnostics). */
     uint64_t resultCacheHits() const;
+
+    /** Distinct event traces currently recorded. */
+    size_t recordedTraces() const;
+
+    /** eventTrace() calls served from the trace cache. */
+    uint64_t traceCacheHits() const;
 
     /** Drop all memoized results (workloads/programs are kept). */
     void clearResultCache();
@@ -124,19 +166,28 @@ class Lab
     {
         isa::Program program;
         compiler::CompileInfo info;
+        uint64_t fingerprint = 0;
     };
 
     const Compiled &compiled(const std::string &name, int latency);
 
     double scale_;
+    bool replay_ = true;
     /** Guards workloads_ and programs_. */
     mutable std::mutex buildMutex_;
     /** Guards results_ and result_hits_. */
     mutable std::mutex resultMutex_;
+    /** Guards traces_ and trace_hits_. */
+    mutable std::mutex traceMutex_;
     std::map<std::string, workloads::Workload> workloads_;
     std::map<std::pair<std::string, int>, Compiled> programs_;
     std::map<std::string, ExperimentResult> results_;
+    /** Key: (workload, program fingerprint) -- see class docs. */
+    std::map<std::pair<std::string, uint64_t>,
+             std::shared_ptr<const exec::EventTrace>>
+        traces_;
     uint64_t result_hits_ = 0;
+    uint64_t trace_hits_ = 0;
 };
 
 } // namespace nbl::harness

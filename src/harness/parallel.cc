@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <set>
+#include <map>
 #include <utility>
 
 #include "util/log.hh"
@@ -110,11 +110,18 @@ runSweepParallel(Lab &lab, const std::string &workload,
 {
     constexpr size_t nlat = std::size(paperLatencies);
 
-    // Pre-compile every (workload, latency) pair so the fanned-out
-    // simulations share compiled programs instead of contending to
-    // build them behind the Lab's build lock.
-    for (int lat : paperLatencies)
-        lab.program(workload, lat);
+    // Record once, replay many: pre-compile every (workload, latency)
+    // pair and record its event trace up front (fanned out itself --
+    // recordings at different latencies are independent), so the
+    // per-point jobs below are replay-only: timing-model cost with no
+    // functional execution, and no contention on the Lab build lock.
+    parallelFor(
+        nlat,
+        [&](size_t l) {
+            lab.prewarmTrace(workload, paperLatencies[l],
+                             base.maxInstructions);
+        },
+        jobs);
 
     std::vector<Curve> curves(cfgs.size());
     for (size_t c = 0; c < cfgs.size(); ++c) {
@@ -143,12 +150,26 @@ std::vector<ExperimentResult>
 runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
                   unsigned jobs)
 {
-    // Pre-compile the distinct (workload, latency) pairs (see above).
-    std::set<std::pair<std::string, int>> pairs;
-    for (const SweepPoint &p : points)
-        pairs.emplace(p.workload, p.cfg.loadLatency);
-    for (const auto &[wl, lat] : pairs)
-        lab.program(wl, lat);
+    // Pre-compile and pre-record the distinct (workload, latency)
+    // pairs (see above), under the largest instruction cap any point
+    // using the pair asks for so one recording serves them all.
+    std::map<std::pair<std::string, int>, uint64_t> pairs;
+    for (const SweepPoint &p : points) {
+        uint64_t &cap = pairs[{p.workload, p.cfg.loadLatency}];
+        cap = std::max(cap, p.cfg.maxInstructions);
+    }
+    std::vector<std::pair<const std::pair<std::string, int>, uint64_t> *>
+        flat;
+    flat.reserve(pairs.size());
+    for (auto &kv : pairs)
+        flat.push_back(&kv);
+    parallelFor(
+        flat.size(),
+        [&](size_t i) {
+            lab.prewarmTrace(flat[i]->first.first, flat[i]->first.second,
+                             flat[i]->second);
+        },
+        jobs);
 
     std::vector<ExperimentResult> results(points.size());
     parallelFor(

@@ -100,8 +100,27 @@ struct Instr
         }
     }
 
-    /** Number of register sources actually read by this instruction. */
-    unsigned numSrcs() const;
+    /** Number of register sources actually read by this instruction.
+     *  Table-driven and inline: this sits on the per-instruction hot
+     *  path of both the interpreter and the timing model. */
+    unsigned
+    numSrcs() const
+    {
+        constexpr static uint8_t counts[size_t(Op::NumOps)] = {
+            /*Nop*/ 0,
+            /*Add*/ 2, /*Sub*/ 2, /*Mul*/ 2, /*And*/ 2, /*Or*/ 2,
+            /*Xor*/ 2, /*Shl*/ 2, /*Shr*/ 2,
+            /*AddI*/ 1, /*MulI*/ 1, /*AndI*/ 1, /*ShlI*/ 1, /*ShrI*/ 1,
+            /*LImm*/ 0,
+            /*FAdd*/ 2, /*FSub*/ 2, /*FMul*/ 2, /*FDiv*/ 2,
+            /*MovIF*/ 1, /*MovFI*/ 1,
+            /*Ld*/ 1, /*Fld*/ 1, /*St*/ 2, /*Fst*/ 2,
+            /*BEq*/ 2, /*BNe*/ 2, /*BLt*/ 2, /*BGe*/ 2,
+            /*Jmp*/ 0,
+            /*Halt*/ 0,
+        };
+        return counts[size_t(op)];
+    }
 
     /** Human-readable disassembly (for debugging and tests). */
     std::string str() const;

@@ -5,26 +5,6 @@
 namespace nbl::isa
 {
 
-unsigned
-Instr::numSrcs() const
-{
-    switch (op) {
-      case Op::Add: case Op::Sub: case Op::Mul: case Op::And:
-      case Op::Or: case Op::Xor: case Op::Shl: case Op::Shr:
-      case Op::FAdd: case Op::FSub: case Op::FMul: case Op::FDiv:
-      case Op::St: case Op::Fst:
-      case Op::BEq: case Op::BNe: case Op::BLt: case Op::BGe:
-        return 2;
-      case Op::AddI: case Op::MulI: case Op::AndI:
-      case Op::ShlI: case Op::ShrI:
-      case Op::MovIF: case Op::MovFI:
-      case Op::Ld: case Op::Fld:
-        return 1;
-      default:
-        return 0;
-    }
-}
-
 const char *
 opName(Op op)
 {
@@ -162,6 +142,29 @@ Program::validate(bool fail_fatal) const
     if (!has_halt)
         return bad("no halt instruction");
     return true;
+}
+
+uint64_t
+Program::fingerprint() const
+{
+    // FNV-1a over the semantic fields (not the raw struct bytes, which
+    // would hash padding).
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const Instr &in : code_) {
+        mix(uint64_t(in.op) | uint64_t(in.size) << 8 |
+            uint64_t(in.dst.destLinear()) << 16 |
+            uint64_t(in.src1.destLinear()) << 24 |
+            uint64_t(in.src2.destLinear()) << 32);
+        mix(uint64_t(in.imm));
+    }
+    mix(code_.size());
+    return h;
 }
 
 std::string

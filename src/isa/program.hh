@@ -51,6 +51,17 @@ class Program
      */
     bool validate(bool fail_fatal = true) const;
 
+    /**
+     * 64-bit FNV-1a content fingerprint over the instruction stream
+     * (opcode, registers, immediate, and access size of every
+     * instruction; the program name is excluded). Equal fingerprints
+     * mean the programs execute the same code, so timing-independent
+     * artifacts derived from one -- notably recorded event traces
+     * (exec/event_trace.hh) -- may be shared with the other even when
+     * they were compiled for different scheduled load latencies.
+     */
+    uint64_t fingerprint() const;
+
     /** Full disassembly listing. */
     std::string str() const;
 

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Tests for the exact replay engine (exec/event_trace.hh) and the Lab
+ * trace cache built on it.
+ *
+ * The heart is a property test: for every workload, replayExact() over
+ * a recorded event trace must produce a RunOutput equal field-by-field
+ * (including the flight-tracker histograms) to execution-driven
+ * exec::run, across the full spread of MSHR configurations and
+ * scheduled load latencies the paper sweeps.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/event_trace.hh"
+#include "exec/machine.hh"
+#include "harness/parallel.hh"
+#include "harness/sweep.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using exec::EventTrace;
+using exec::MachineConfig;
+using exec::RunOutput;
+using harness::ExperimentConfig;
+using harness::Lab;
+
+namespace
+{
+
+/** Small scale: the full property sweep covers ~2000 simulations. */
+constexpr double kScale = 0.02;
+
+/** The latencies exercised per workload (ends + paper default). */
+constexpr int kLatencies[] = {1, 6, 20};
+
+void
+expectSameHistogram(const core::LevelHistogram &a,
+                    const core::LevelHistogram &b, const char *which)
+{
+    EXPECT_EQ(a.maxSeen(), b.maxSeen()) << which;
+    EXPECT_EQ(a.totalCycles(), b.totalCycles()) << which;
+    for (unsigned l = 0; l <= core::LevelHistogram::maxLevel; ++l)
+        EXPECT_EQ(a.cyclesAt(l), b.cyclesAt(l)) << which << " level " << l;
+}
+
+/** Every RunOutput field must match bit for bit. */
+void
+expectSameRun(const RunOutput &a, const RunOutput &b)
+{
+    EXPECT_EQ(a.cpu.instructions, b.cpu.instructions);
+    EXPECT_EQ(a.cpu.loads, b.cpu.loads);
+    EXPECT_EQ(a.cpu.stores, b.cpu.stores);
+    EXPECT_EQ(a.cpu.branches, b.cpu.branches);
+    EXPECT_EQ(a.cpu.cycles, b.cpu.cycles);
+    EXPECT_EQ(a.cpu.depStallCycles, b.cpu.depStallCycles);
+    EXPECT_EQ(a.cpu.structStallCycles, b.cpu.structStallCycles);
+    EXPECT_EQ(a.cpu.blockStallCycles, b.cpu.blockStallCycles);
+    EXPECT_EQ(a.cpu.pairLostSlots, b.cpu.pairLostSlots);
+
+    EXPECT_EQ(a.cache.loads, b.cache.loads);
+    EXPECT_EQ(a.cache.stores, b.cache.stores);
+    EXPECT_EQ(a.cache.loadHits, b.cache.loadHits);
+    EXPECT_EQ(a.cache.storeHits, b.cache.storeHits);
+    EXPECT_EQ(a.cache.primaryMisses, b.cache.primaryMisses);
+    EXPECT_EQ(a.cache.secondaryMisses, b.cache.secondaryMisses);
+    EXPECT_EQ(a.cache.structStallMisses, b.cache.structStallMisses);
+    EXPECT_EQ(a.cache.structStallCycles, b.cache.structStallCycles);
+    EXPECT_EQ(a.cache.storeMisses, b.cache.storeMisses);
+    EXPECT_EQ(a.cache.storePrimaryMisses, b.cache.storePrimaryMisses);
+    EXPECT_EQ(a.cache.storeSecondaryMisses, b.cache.storeSecondaryMisses);
+    EXPECT_EQ(a.cache.storeStructStalls, b.cache.storeStructStalls);
+    EXPECT_EQ(a.cache.fetches, b.cache.fetches);
+    EXPECT_EQ(a.cache.evictions, b.cache.evictions);
+
+    expectSameHistogram(a.tracker.misses, b.tracker.misses, "misses");
+    expectSameHistogram(a.tracker.fetches, b.tracker.fetches, "fetches");
+
+    EXPECT_EQ(a.maxInflightMisses, b.maxInflightMisses);
+    EXPECT_EQ(a.maxInflightFetches, b.maxInflightFetches);
+    EXPECT_EQ(a.missPenalty, b.missPenalty);
+    EXPECT_EQ(a.hitInstructionCap, b.hitInstructionCap);
+}
+
+/**
+ * The 18 MSHR configurations of the property sweep: all ten named
+ * configurations plus eight Figure-14 field organizations (explicit,
+ * implicit, and hybrid).
+ */
+std::vector<core::MshrPolicy>
+propertyPolicies()
+{
+    std::vector<core::MshrPolicy> out;
+    for (core::ConfigName name :
+         {core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+          core::ConfigName::Mc1, core::ConfigName::Mc2,
+          core::ConfigName::Fc1, core::ConfigName::Fc2,
+          core::ConfigName::Fs1, core::ConfigName::Fs2,
+          core::ConfigName::InCache, core::ConfigName::NoRestrict})
+        out.push_back(core::makePolicy(name));
+    constexpr int kFields[][2] = {{1, 1}, {1, 2}, {1, 4}, {2, 1},
+                                  {4, 1}, {8, 1}, {2, 2}, {4, 4}};
+    for (auto [sb, mps] : kFields)
+        out.push_back(core::makeFieldPolicy(sb, mps));
+    return out;
+}
+
+class ReplayExact : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+/**
+ * The core exactness property: one recording per (workload, latency)
+ * drives every cache configuration to the same RunOutput as a fresh
+ * execution-driven run.
+ */
+TEST_P(ReplayExact, MatchesExecutionDrivenEverywhere)
+{
+    const std::string name = GetParam();
+    workloads::Workload w = workloads::makeWorkload(name, kScale);
+    const std::vector<core::MshrPolicy> policies = propertyPolicies();
+
+    Lab lab(kScale);
+    for (int latency : kLatencies) {
+        const isa::Program &prog = lab.program(name, latency);
+        mem::SparseMemory rec_mem = w.makeMemory();
+        EventTrace trace = exec::recordEventTrace(prog, rec_mem);
+        ASSERT_FALSE(trace.hitInstructionCap);
+        ASSERT_GT(trace.instructions, 0u);
+
+        for (const core::MshrPolicy &policy : policies) {
+            MachineConfig mc;
+            mc.policy = policy;
+            mem::SparseMemory run_mem = w.makeMemory();
+            RunOutput ref = exec::run(prog, run_mem, mc);
+            RunOutput rep = exec::replayExact(prog, trace, mc);
+            expectSameRun(ref, rep);
+        }
+    }
+}
+
+/**
+ * The multi-issue and perfect-cache variants use the generic replay
+ * path (no pre-decoded fast path); they must be exact too.
+ */
+TEST_P(ReplayExact, MatchesExecutionDrivenWideAndPerfect)
+{
+    const std::string name = GetParam();
+    workloads::Workload w = workloads::makeWorkload(name, kScale);
+
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program(name, 10);
+    mem::SparseMemory rec_mem = w.makeMemory();
+    EventTrace trace = exec::recordEventTrace(prog, rec_mem);
+
+    for (unsigned width : {1u, 2u, 4u}) {
+        for (bool perfect : {false, true}) {
+            MachineConfig mc;
+            mc.policy = core::makePolicy(core::ConfigName::NoRestrict);
+            mc.issueWidth = width;
+            mc.perfectCache = perfect;
+            mem::SparseMemory run_mem = w.makeMemory();
+            RunOutput ref = exec::run(prog, run_mem, mc);
+            RunOutput rep = exec::replayExact(prog, trace, mc);
+            expectSameRun(ref, rep);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ReplayExact,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(EventTrace, EncodingIsCompact)
+{
+    workloads::Workload w = workloads::makeWorkload("doduc", kScale);
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("doduc", 10);
+    mem::SparseMemory m = w.makeMemory();
+    EventTrace trace = exec::recordEventTrace(prog, m);
+
+    EXPECT_EQ(trace.segStart.size(), trace.segLen.size());
+    uint64_t seg_sum = 0;
+    for (size_t s = 0; s < trace.segLen.size(); ++s) {
+        EXPECT_GT(trace.segLen[s], 0u);
+        EXPECT_LT(trace.segStart[s], prog.size());
+        seg_sum += trace.segLen[s];
+    }
+    EXPECT_EQ(seg_sum, trace.instructions);
+    EXPECT_GT(trace.memoryRefs(), 0u);
+    EXPECT_LT(trace.memoryRefs(), trace.instructions);
+    // Delta encoding: far fewer segments than dynamic instructions.
+    EXPECT_LT(trace.segLen.size(), trace.instructions / 2);
+}
+
+TEST(EventTrace, InstructionCapTruncatesExactlyAsRun)
+{
+    workloads::Workload w = workloads::makeWorkload("compress", kScale);
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("compress", 10);
+
+    mem::SparseMemory full_mem = w.makeMemory();
+    EventTrace full = exec::recordEventTrace(prog, full_mem);
+    ASSERT_GT(full.instructions, 1000u);
+    const uint64_t cap = full.instructions / 2;
+
+    MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::Mc1);
+    mc.maxInstructions = cap;
+
+    // Replaying a full trace under a smaller budget truncates exactly
+    // as execution does.
+    mem::SparseMemory run_mem = w.makeMemory();
+    RunOutput ref = exec::run(prog, run_mem, mc);
+    EXPECT_TRUE(ref.hitInstructionCap);
+    RunOutput rep = exec::replayExact(prog, full, mc);
+    expectSameRun(ref, rep);
+
+    // A trace recorded under the same cap replays identically too.
+    mem::SparseMemory capped_mem = w.makeMemory();
+    EventTrace capped = exec::recordEventTrace(prog, capped_mem, cap);
+    EXPECT_TRUE(capped.hitInstructionCap);
+    EXPECT_EQ(capped.instructions, cap);
+    RunOutput rep2 = exec::replayExact(prog, capped, mc);
+    expectSameRun(ref, rep2);
+}
+
+TEST(EventTrace, CappedTraceRefusesLargerBudget)
+{
+    workloads::Workload w = workloads::makeWorkload("compress", kScale);
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("compress", 10);
+
+    mem::SparseMemory m = w.makeMemory();
+    EventTrace capped = exec::recordEventTrace(prog, m, 500);
+    ASSERT_TRUE(capped.hitInstructionCap);
+
+    MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::NoRestrict);
+    mc.maxInstructions = 1000; // More than the trace holds.
+    EXPECT_DEATH(exec::replayExact(prog, capped, mc), "re-record");
+}
+
+TEST(Fingerprint, IdentifiesProgramContent)
+{
+    Lab a(kScale), b(kScale);
+    // Deterministic compilation: equal content across Lab instances.
+    EXPECT_EQ(a.program("doduc", 10).fingerprint(),
+              b.program("doduc", 10).fingerprint());
+    // Different workloads (and usually different schedules) differ.
+    EXPECT_NE(a.program("doduc", 10).fingerprint(),
+              a.program("compress", 10).fingerprint());
+}
+
+TEST(TraceCache, ReplayMatchesExecutionDrivenLab)
+{
+    Lab replay_lab(kScale);
+    Lab exec_lab(kScale);
+    replay_lab.setReplayEnabled(true);
+    exec_lab.setReplayEnabled(false);
+
+    ExperimentConfig cfg;
+    for (core::ConfigName c :
+         {core::ConfigName::Mc0, core::ConfigName::Fc2,
+          core::ConfigName::NoRestrict}) {
+        for (int lat : {1, 10}) {
+            cfg.config = c;
+            cfg.loadLatency = lat;
+            auto rep = replay_lab.run("xlisp", cfg);
+            auto ref = exec_lab.run("xlisp", cfg);
+            expectSameRun(ref.run, rep.run);
+        }
+    }
+    EXPECT_GT(replay_lab.recordedTraces(), 0u);
+    EXPECT_EQ(exec_lab.recordedTraces(), 0u);
+}
+
+TEST(TraceCache, RecordsOncePerProgramIdentity)
+{
+    Lab lab(kScale);
+    ExperimentConfig cfg;
+    cfg.loadLatency = 10;
+
+    // Many configurations at one latency: one recording, many hits.
+    for (core::ConfigName c :
+         {core::ConfigName::Mc0, core::ConfigName::Mc1,
+          core::ConfigName::Mc2, core::ConfigName::Fc1,
+          core::ConfigName::Fc2, core::ConfigName::NoRestrict}) {
+        cfg.config = c;
+        lab.run("ear", cfg);
+    }
+    EXPECT_EQ(lab.recordedTraces(), 1u);
+    EXPECT_EQ(lab.traceCacheHits(), 5u);
+
+    // Traces are keyed by program fingerprint, so distinct latencies
+    // add at most one recording each (fewer if schedules coincide).
+    for (int lat : {1, 6, 20}) {
+        cfg.loadLatency = lat;
+        lab.run("ear", cfg);
+    }
+    EXPECT_LE(lab.recordedTraces(), 4u);
+}
+
+TEST(TraceCache, ConcurrentSweepBitIdenticalToSerial)
+{
+    // NBL_JOBS=4 exercises concurrent recording/lookup even on a
+    // 1-core host; run under TSan by tools/check.sh.
+    setenv("NBL_JOBS", "4", 1);
+
+    ExperimentConfig base;
+    const std::vector<core::ConfigName> cfgs = {
+        core::ConfigName::Mc0, core::ConfigName::Mc2,
+        core::ConfigName::Fc1, core::ConfigName::NoRestrict};
+
+    Lab serial_lab(kScale);
+    serial_lab.setReplayEnabled(false); // Execution-driven reference.
+    Lab parallel_lab(kScale);
+    auto serial =
+        harness::sweepCurvesSerial(serial_lab, "swm256", base, cfgs);
+    auto par =
+        harness::runSweepParallel(parallel_lab, "swm256", base, cfgs);
+
+    ASSERT_EQ(serial.size(), par.size());
+    for (size_t c = 0; c < serial.size(); ++c) {
+        ASSERT_EQ(serial[c].results.size(), par[c].results.size());
+        for (size_t i = 0; i < serial[c].results.size(); ++i)
+            expectSameRun(serial[c].results[i].run,
+                          par[c].results[i].run);
+    }
+    EXPECT_GT(parallel_lab.recordedTraces(), 0u);
+    unsetenv("NBL_JOBS");
+}
+
+TEST(TraceCache, ConcurrentPointFanOutSharesTraces)
+{
+    setenv("NBL_JOBS", "4", 1);
+    Lab lab(kScale);
+    std::vector<harness::SweepPoint> points;
+    for (int lat : {1, 10}) {
+        for (core::ConfigName c :
+             {core::ConfigName::Mc1, core::ConfigName::Fc2,
+              core::ConfigName::NoRestrict}) {
+            ExperimentConfig e;
+            e.config = c;
+            e.loadLatency = lat;
+            points.push_back({"eqntott", e});
+        }
+    }
+    auto results = harness::runPointsParallel(lab, points, 4);
+    ASSERT_EQ(results.size(), points.size());
+    // At most one recording per distinct latency.
+    EXPECT_LE(lab.recordedTraces(), 2u);
+
+    Lab ref(kScale);
+    ref.setReplayEnabled(false);
+    for (size_t i = 0; i < points.size(); ++i) {
+        auto again = ref.run(points[i].workload, points[i].cfg);
+        expectSameRun(again.run, results[i].run);
+    }
+    unsetenv("NBL_JOBS");
+}

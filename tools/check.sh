@@ -7,7 +7,8 @@
 # Step 1 is the ROADMAP tier-1 gate (full build + ctest). Step 2
 # rebuilds with -DNBL_SANITIZE=thread into build-tsan/ and runs the
 # parallel-engine and harness tests under TSan, which exercises the
-# thread pool, the shared Lab caches, and the sweep fan-out.
+# thread pool, the shared Lab caches (results and event traces), and
+# the sweep fan-out.
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -21,8 +22,11 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== tsan: parallel engine =="
 cmake -B build-tsan -S . -DNBL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs" --target test_parallel test_harness
+cmake --build build-tsan -j "$jobs" \
+    --target test_parallel test_harness test_event_trace
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_harness
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/test_event_trace --gtest_filter='TraceCache*'
 
 echo "check.sh: all passes clean"
