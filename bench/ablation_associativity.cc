@@ -15,8 +15,9 @@
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     harness::Lab &lab = nbl_bench::benchLab();
 

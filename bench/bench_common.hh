@@ -15,12 +15,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "harness/experiment.hh"
 #include "harness/paper_data.hh"
 #include "harness/parallel.hh"
 #include "harness/report.hh"
+#include "harness/stats_export.hh"
 #include "harness/sweep.hh"
 
 namespace nbl_bench
@@ -46,6 +48,89 @@ benchLab()
 {
     static nbl::harness::Lab lab(benchScale());
     return lab;
+}
+
+namespace detail
+{
+
+/** Export destinations (set by init, read by the atexit flusher). */
+struct ExportTargets
+{
+    std::string binary;   ///< argv[0] basename, labels artifacts.
+    std::string jsonPath; ///< --json=FILE or NBL_STATS_DIR/<bin>.json.
+    std::string csvPath;  ///< --csv=FILE.
+};
+
+inline ExportTargets &
+exportTargets()
+{
+    static ExportTargets t;
+    return t;
+}
+
+/**
+ * atexit handler: serialize every point benchLab() simulated. Runs
+ * after main returns, so it sees the final result cache; init()
+ * constructs the Lab before registering it, so the Lab is destroyed
+ * after the handler runs. Writes only to the requested files --
+ * stdout stays byte-identical with or without export.
+ */
+inline void
+flushExports()
+{
+    const ExportTargets &t = exportTargets();
+    if (!t.jsonPath.empty()) {
+        nbl::harness::writeFileOrDie(
+            t.jsonPath, nbl::harness::statsJson(benchLab(), t.binary));
+    }
+    if (!t.csvPath.empty()) {
+        nbl::harness::writeFileOrDie(
+            t.csvPath, nbl::harness::statsCsv(benchLab(), t.binary));
+    }
+}
+
+} // namespace detail
+
+/**
+ * Parse export destinations and arm the atexit emitter. Every bench
+ * main calls this first. Recognized:
+ *   --json=FILE     write the nbl-stats-v1 JSON document to FILE;
+ *   --csv=FILE      write the per-counter CSV to FILE;
+ *   NBL_STATS_DIR   (env) write <dir>/<binary>.json.
+ * Unknown arguments are ignored (benches take none of their own).
+ * With no destination configured this is a no-op, and in all cases
+ * stdout is untouched.
+ */
+inline void
+init(int argc, char **argv)
+{
+    detail::ExportTargets &t = detail::exportTargets();
+
+    std::string prog = argc > 0 && argv[0] ? argv[0] : "bench";
+    size_t slash = prog.find_last_of('/');
+    t.binary = slash == std::string::npos ? prog
+                                          : prog.substr(slash + 1);
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--json=", 7) == 0)
+            t.jsonPath = a + 7;
+        else if (std::strncmp(a, "--csv=", 6) == 0)
+            t.csvPath = a + 6;
+    }
+    if (t.jsonPath.empty()) {
+        if (const char *dir = std::getenv("NBL_STATS_DIR"))
+            t.jsonPath = std::string(dir) + "/" + t.binary + ".json";
+    }
+    if (t.jsonPath.empty() && t.csvPath.empty())
+        return;
+
+    // Construct the Lab before registering the handler: atexit
+    // handlers and static destructors interleave in reverse order of
+    // registration, so this ordering keeps the Lab alive when the
+    // flusher reads it.
+    benchLab();
+    std::atexit(detail::flushExports);
 }
 
 /**

@@ -11,10 +11,12 @@
  */
 
 #include "bench_common.hh"
+#include "stats/run_stats.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     harness::Lab &lab = nbl_bench::benchLab();
 
@@ -37,8 +39,7 @@ main()
         auto r = lab.run("doduc", cfg);
         harness::printFlightHistogram(
             lat == 1 ? "% of busy time at each in-flight level" : "",
-            lat, r.run.tracker, r.run.maxInflightMisses,
-            r.run.maxInflightFetches);
+            lat, stats::snapshotOfRun(r.run));
     }
 
     std::printf("\npaper (Figure 6, doduc): lat 1: 27%% busy, 92%% of "

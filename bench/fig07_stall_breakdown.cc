@@ -11,11 +11,13 @@
  */
 
 #include "bench_common.hh"
+#include "stats/run_stats.hh"
 #include "util/table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     harness::Lab &lab = nbl_bench::benchLab();
 
@@ -37,7 +39,9 @@ main()
             std::to_string(curves[0].latencies[i])};
         for (const auto &c : curves) {
             row.push_back(Table::num(
-                100.0 * c.results[i].run.cpu.structuralFraction(), 1));
+                100.0 * stats::snapshotOfRun(c.results[i].run)
+                            .derivedValue("cpu.structural_share"),
+                1));
         }
         t.row(std::move(row));
     }

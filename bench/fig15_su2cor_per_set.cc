@@ -13,8 +13,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     harness::ExperimentConfig base;
     auto curves = nbl_bench::runCurveFigure(

@@ -12,8 +12,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     harness::ExperimentConfig big;
     big.cacheBytes = 64 * 1024;

@@ -12,8 +12,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     harness::ExperimentConfig cfg;
     cfg.lineBytes = 16; // pipelined-bus model -> 14-cycle penalty

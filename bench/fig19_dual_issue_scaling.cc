@@ -39,8 +39,9 @@ snapLatency(double want)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     harness::Lab &lab = nbl_bench::benchLab();
 
     harness::ExperimentConfig base;

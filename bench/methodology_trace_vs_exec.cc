@@ -33,8 +33,9 @@
 #include "workloads/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     using namespace nbl;
     double scale = nbl_bench::benchScale() * 0.5;
 

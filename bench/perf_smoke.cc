@@ -57,8 +57,9 @@ totalInstructions(const std::vector<harness::ExperimentResult> &rs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    nbl_bench::init(argc, argv);
     harness::Lab serial_lab(nbl_bench::benchScale());
     harness::Lab parallel_lab(nbl_bench::benchScale());
     harness::Lab exec_lab(nbl_bench::benchScale());

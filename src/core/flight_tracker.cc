@@ -1,9 +1,34 @@
 #include "core/flight_tracker.hh"
 
+#include <algorithm>
+
+#include "stats/registry.hh"
 #include "util/log.hh"
 
 namespace nbl::core
 {
+
+void
+LevelHistogram::registerStats(stats::Registry &r,
+                              const std::string &name,
+                              const std::string &section) const
+{
+    r.histogram(name, "cycles", section);
+    unsigned top = std::min(max_seen_, maxLevel);
+    for (unsigned l = 0; l <= top; ++l) {
+        r.bucket(l == maxLevel ? std::to_string(l) + "+"
+                               : std::to_string(l),
+                 cycles_at_[l]);
+    }
+    r.scalarValue(name + ".max", max_seen_, "in flight", section);
+}
+
+void
+FlightTracker::registerStats(stats::Registry &r) const
+{
+    misses.registerStats(r, "flight.misses", "s4.1 (fig06)");
+    fetches.registerStats(r, "flight.fetches", "s4.1 (fig06)");
+}
 
 void
 LevelHistogram::set(unsigned level, uint64_t now)

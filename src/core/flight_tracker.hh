@@ -14,7 +14,13 @@
 #define NBL_CORE_FLIGHT_TRACKER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+namespace nbl::stats
+{
+class Registry;
+}
 
 namespace nbl::core
 {
@@ -62,6 +68,13 @@ class LevelHistogram
     /** Fraction of busy time at level >= n (used for the 7+ column). */
     double fractionOfBusyAtLeast(unsigned n) const;
 
+    /**
+     * Register the histogram under `name` (buckets trimmed to the
+     * maximum level seen; sums to totalCycles once finalized).
+     */
+    void registerStats(stats::Registry &r, const std::string &name,
+                       const std::string &section) const;
+
   private:
     std::vector<uint64_t> cycles_at_;
     unsigned level_ = 0;
@@ -83,6 +96,9 @@ struct FlightTracker
         misses.finalize(end_cycle);
         fetches.finalize(end_cycle);
     }
+
+    /** Register both histograms (docs/OBSERVABILITY.md). */
+    void registerStats(stats::Registry &r) const;
 };
 
 } // namespace nbl::core

@@ -1,11 +1,27 @@
 #include "core/mshr_file.hh"
 
+#include <algorithm>
 #include <optional>
+#include <string>
 
+#include "stats/registry.hh"
 #include "util/log.hh"
 
 namespace nbl::core
 {
+
+void
+MshrFileStats::registerStats(stats::Registry &r) const
+{
+    r.scalar("mshr.max_per_set", &maxPerSet, "fetches",
+             "s4.2 (fig15)");
+    r.histogram("mshr.per_set_occupancy", "fetches", "s4.2 (fig15)");
+    for (unsigned i = 1; i < perSetOccupancy.size(); ++i) {
+        r.bucket(i + 1 < perSetOccupancy.size() ? std::to_string(i)
+                                                : "8+",
+                 perSetOccupancy[i]);
+    }
+}
 
 MshrFile::MshrFile(const MshrPolicy &policy, unsigned line_bytes)
     : policy_(policy), line_bytes_(line_bytes)
@@ -48,7 +64,9 @@ MshrFile::allocate(uint64_t block_addr, uint64_t set_index,
         panic("fetch completion times must be monotone");
     fifo_.emplace_back(block_addr, set_index, complete_cycle, line_bytes_,
                        policy_);
-    ++per_set_[set_index];
+    unsigned in_set = ++per_set_[set_index];
+    ++stats_.perSetOccupancy[std::min<unsigned>(in_set, 8)];
+    stats_.maxPerSet = std::max<uint64_t>(stats_.maxPerSet, in_set);
     return fifo_.back();
 }
 

@@ -14,6 +14,7 @@
 #ifndef NBL_CORE_MSHR_FILE_HH
 #define NBL_CORE_MSHR_FILE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -23,8 +24,33 @@
 #include "core/policy.hh"
 #include "util/log.hh"
 
+namespace nbl::stats
+{
+class Registry;
+}
+
 namespace nbl::core
 {
+
+/** Counters kept by the MSHR pool (beyond the high-water marks). */
+struct MshrFileStats
+{
+    /**
+     * Per-set fetch pressure: every fetch allocation is bucketed by
+     * the number of fetches in flight *to its cache set* after the
+     * allocation (bucket index 8 = 8-or-more). Bucket 1 dominating
+     * means per-set limits (fs=, in-cache MSHR storage, section
+     * 4.2 / Figure 15) would never bind; weight at 2+ is exactly the
+     * traffic those organizations stall. Sums to the number of
+     * MSHR-pool fetches (blocking-mode fetches bypass the pool).
+     */
+    std::array<uint64_t, 9> perSetOccupancy{};
+    /** Max fetches ever in flight to one set. */
+    uint64_t maxPerSet = 0;
+
+    /** Register the counters (docs/OBSERVABILITY.md). */
+    void registerStats(stats::Registry &r) const;
+};
 
 /** Pool of in-flight fetches with the paper's mc/fc/fs restrictions. */
 class MshrFile
@@ -88,6 +114,8 @@ class MshrFile
     /** High-water marks, for reporting. */
     unsigned maxFetches() const { return max_fetches_seen_; }
     unsigned maxMisses() const { return max_misses_seen_; }
+
+    const MshrFileStats &stats() const { return stats_; }
     void
     updatePeaks()
     {
@@ -105,6 +133,7 @@ class MshrFile
     unsigned active_misses_ = 0;
     unsigned max_fetches_seen_ = 0;
     unsigned max_misses_seen_ = 0;
+    MshrFileStats stats_;
 };
 
 } // namespace nbl::core

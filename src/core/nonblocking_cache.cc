@@ -1,11 +1,44 @@
 #include "core/nonblocking_cache.hh"
 
 #include <algorithm>
+#include <string>
 
+#include "stats/registry.hh"
 #include "util/log.hh"
 
 namespace nbl::core
 {
+
+void
+CacheStats::registerStats(stats::Registry &r) const
+{
+    r.scalar("cache.loads", &loads, "accesses", "s3.1");
+    r.scalar("cache.stores", &stores, "accesses", "s3.1");
+    r.scalar("cache.load_hits", &loadHits, "accesses", "s3.1");
+    r.scalar("cache.store_hits", &storeHits, "accesses", "s3.1");
+    r.scalar("cache.primary_misses", &primaryMisses, "misses", "s2");
+    r.scalar("cache.secondary_misses", &secondaryMisses, "misses",
+             "s2");
+    r.scalar("cache.struct_stall_misses", &structStallMisses, "misses",
+             "s2");
+    r.scalar("cache.struct_stall_cycles", &structStallCycles, "cycles",
+             "s2");
+    r.scalar("cache.store_misses", &storeMisses, "misses", "s3.1");
+    r.scalar("cache.store_primary_misses", &storePrimaryMisses,
+             "misses", "s5 (fig17)");
+    r.scalar("cache.store_secondary_misses", &storeSecondaryMisses,
+             "misses", "s5 (fig17)");
+    r.scalar("cache.store_struct_stalls", &storeStructStalls, "misses",
+             "s5 (fig17)");
+    r.scalar("cache.fetches", &fetches, "fetches", "s3.1");
+    r.scalar("cache.evictions", &evictions, "evictions", "s3.1");
+    r.histogram("cache.dests_per_fetch", "fetches", "s4.1 (fig09)");
+    for (unsigned i = 0; i < destsPerFetch.size(); ++i) {
+        r.bucket(i + 1 < destsPerFetch.size() ? std::to_string(i)
+                                              : "8+",
+                 destsPerFetch[i]);
+    }
+}
 
 namespace
 {
@@ -61,6 +94,7 @@ NonblockingCache::expireUpTo(uint64_t now)
 {
     while (auto done = mshrs_.popCompleted(now)) {
         uint64_t at = done->completeCycle();
+        ++stats_.destsPerFetch[std::min<unsigned>(done->numDests(), 8)];
         if (tags_.fill(done->blockAddr()))
             ++stats_.evictions;
         tracker_.fetches.decrement(at);
@@ -107,6 +141,7 @@ NonblockingCache::blockingFill(uint64_t addr, uint64_t now, bool is_load)
     else
         ++stats_.storePrimaryMisses;
     ++stats_.fetches;
+    ++stats_.destsPerFetch[is_load ? 1 : 0];
     tracker_.fetches.increment(now);
     tracker_.fetches.decrement(complete);
     if (is_load) {

@@ -42,6 +42,11 @@
 #include "mem/tag_array.hh"
 #include "mem/write_buffer.hh"
 
+namespace nbl::stats
+{
+class Registry;
+}
+
 namespace nbl::core
 {
 
@@ -82,6 +87,18 @@ struct CacheStats
     uint64_t storeStructStalls = 0;
     uint64_t fetches = 0;           ///< Line fetches issued to memory.
     uint64_t evictions = 0;
+    /**
+     * Destination-field utilization: each completed fetch is bucketed
+     * by the number of destination fields it carried when it filled
+     * (bucket 8 = 8-or-more). The paper's section-4.1 argument for
+     * small destination counts is exactly the claim that this
+     * distribution concentrates at 1. Sums to `fetches` (blocking-mode
+     * fetches land in bucket 1 for loads, 0 for write-allocate).
+     */
+    std::array<uint64_t, 9> destsPerFetch{};
+
+    /** Register the counters (docs/OBSERVABILITY.md). */
+    void registerStats(stats::Registry &r) const;
 
     /** Primary + secondary load miss rate (per load). */
     double
@@ -149,6 +166,8 @@ class NonblockingCache
     const MshrPolicy &policy() const { return policy_; }
     const mem::CacheGeometry &geometry() const { return geom_; }
     const mem::WriteBuffer &writeBuffer() const { return wbuf_; }
+    const mem::MainMemory &memory() const { return memory_; }
+    const MshrFileStats &mshrStats() const { return mshrs_.stats(); }
 
     /** Peak in-flight misses/fetches over the run. */
     unsigned maxInflightMisses() const;

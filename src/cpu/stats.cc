@@ -1,9 +1,28 @@
 #include "cpu/stats.hh"
 
+#include "stats/registry.hh"
 #include "util/log.hh"
 
 namespace nbl::cpu
 {
+
+void
+CpuStats::registerStats(stats::Registry &r) const
+{
+    r.scalar("cpu.instructions", &instructions, "instructions", "s3.1");
+    r.scalar("cpu.loads", &loads, "instructions", "s3.1");
+    r.scalar("cpu.stores", &stores, "instructions", "s3.1");
+    r.scalar("cpu.branches", &branches, "instructions", "s3.1");
+    r.scalar("cpu.cycles", &cycles, "cycles", "s3.1");
+    r.scalar("cpu.dep_stall_cycles", &depStallCycles, "cycles",
+             "s3.1 (fig07)");
+    r.scalar("cpu.struct_stall_cycles", &structStallCycles, "cycles",
+             "s3.1 (fig07)");
+    r.scalar("cpu.block_stall_cycles", &blockStallCycles, "cycles",
+             "s3.1 (fig07)");
+    r.scalar("cpu.pair_lost_slots", &pairLostSlots, "slots",
+             "s3.2");
+}
 
 std::string
 CpuStats::str() const

@@ -17,6 +17,11 @@
 #include <cstdint>
 #include <string>
 
+namespace nbl::stats
+{
+class Registry;
+}
+
 namespace nbl::cpu
 {
 
@@ -68,6 +73,9 @@ struct CpuStats
     }
 
     std::string str() const;
+
+    /** Register the counters (docs/OBSERVABILITY.md). */
+    void registerStats(stats::Registry &r) const;
 };
 
 } // namespace nbl::cpu

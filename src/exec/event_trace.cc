@@ -115,7 +115,8 @@ replayExact(const isa::Program &program, const EventTrace &trace,
     if (hit_cap)
         warnInstructionCap(program, max_instructions);
 
-    return detail::finishRun(cpu, cache.get(), hit_cap);
+    return detail::finishRun(cpu, cache.get(), hit_cap,
+                             Provenance::Replay);
 }
 
 } // namespace nbl::exec

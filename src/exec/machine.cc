@@ -11,17 +11,24 @@
 namespace nbl::exec
 {
 
+const char *
+provenanceName(Provenance p)
+{
+    return p == Provenance::Replay ? "replay" : "exec";
+}
+
 namespace detail
 {
 
 RunOutput
 finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
-          bool hit_instruction_cap)
+          bool hit_instruction_cap, Provenance provenance)
 {
     cpu.finish();
 
     RunOutput out;
     out.hitInstructionCap = hit_instruction_cap;
+    out.provenance = provenance;
     out.cpu = cpu.stats();
 
     if (cache) {
@@ -30,6 +37,10 @@ finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
         cache->finalizeTracker(end);
         out.cache = cache->stats();
         out.tracker = cache->tracker();
+        out.mshr = cache->mshrStats();
+        out.wbuf = cache->writeBuffer().stats();
+        out.tags = cache->tags().stats();
+        out.memFetches = cache->memory().fetches();
         out.maxInflightMisses = cache->maxInflightMisses();
         out.maxInflightFetches = cache->maxInflightFetches();
         out.missPenalty = cache->missPenalty();
@@ -60,7 +71,8 @@ run(const isa::Program &program, mem::SparseMemory &data,
             cpu.onInstr(in, step.effAddr);
         });
 
-    return detail::finishRun(cpu, cache.get(), hit_cap);
+    return detail::finishRun(cpu, cache.get(), hit_cap,
+                             Provenance::Exec);
 }
 
 } // namespace nbl::exec

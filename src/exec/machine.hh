@@ -14,10 +14,13 @@
 #include "core/nonblocking_cache.hh"
 #include "core/policy.hh"
 #include "cpu/stats.hh"
+#include "core/mshr_file.hh"
 #include "isa/program.hh"
 #include "mem/cache_geometry.hh"
 #include "mem/main_memory.hh"
 #include "mem/sparse_memory.hh"
+#include "mem/tag_array.hh"
+#include "mem/write_buffer.hh"
 
 namespace nbl::cpu
 {
@@ -41,16 +44,27 @@ struct MachineConfig
     uint64_t maxInstructions = 200'000'000;
 };
 
+/** How a RunOutput was produced (metadata, never a counter). */
+enum class Provenance { Exec, Replay };
+
+/** Name used in exported snapshots ("exec" / "replay"). */
+const char *provenanceName(Provenance p);
+
 /** Everything measured during one run. */
 struct RunOutput
 {
     cpu::CpuStats cpu;
     core::CacheStats cache;
     core::FlightTracker tracker;
+    core::MshrFileStats mshr;
+    mem::WriteBuffer::Stats wbuf;
+    mem::TagArray::Stats tags;
+    uint64_t memFetches = 0; ///< Fetches seen by main memory.
     unsigned maxInflightMisses = 0;
     unsigned maxInflightFetches = 0;
     unsigned missPenalty = 0;
     bool hitInstructionCap = false;
+    Provenance provenance = Provenance::Exec;
 
     double mcpi() const { return cpu.mcpi(); }
 };
@@ -72,7 +86,7 @@ namespace detail
  * engine (exec/event_trace.hh) claim bit-identity by construction.
  */
 RunOutput finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
-                    bool hit_instruction_cap);
+                    bool hit_instruction_cap, Provenance provenance);
 
 } // namespace detail
 

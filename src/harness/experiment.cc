@@ -170,7 +170,7 @@ Lab::run(const std::string &name, const ExperimentConfig &cfg)
         auto it = results_.find(key);
         if (it != results_.end()) {
             ++result_hits_;
-            return it->second;
+            return it->second.result;
         }
     }
 
@@ -193,8 +193,19 @@ Lab::run(const std::string &name, const ExperimentConfig &cfg)
     std::lock_guard<std::mutex> lock(resultMutex_);
     // Two threads may race to simulate the same point; results are
     // deterministic, so first-in wins and the copies are identical.
-    results_.emplace(key, res);
+    results_.emplace(key, CachedResult{name, cfg, res});
     return res;
+}
+
+void
+Lab::forEachResult(
+    const std::function<void(const std::string &,
+                             const ExperimentConfig &,
+                             const ExperimentResult &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    for (const auto &[key, cached] : results_)
+        fn(cached.workload, cached.cfg, cached.result);
 }
 
 size_t

@@ -8,6 +8,7 @@
 #ifndef NBL_HARNESS_EXPERIMENT_HH
 #define NBL_HARNESS_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -149,6 +150,19 @@ class Lab
     /** Distinct experiment points currently memoized. */
     size_t cachedResults() const;
 
+    /**
+     * Visit every memoized experiment point, in experiment-key order
+     * (deterministic across runs of the same binary). The bench
+     * emitter (bench/bench_common.hh) walks this to export one
+     * stats snapshot per simulated point. The callback must not call
+     * back into run() (the result lock is held).
+     */
+    void forEachResult(
+        const std::function<void(const std::string &workload,
+                                 const ExperimentConfig &cfg,
+                                 const ExperimentResult &result)> &fn)
+        const;
+
     /** run() calls served from the result cache (diagnostics). */
     uint64_t resultCacheHits() const;
 
@@ -171,6 +185,16 @@ class Lab
 
     const Compiled &compiled(const std::string &name, int latency);
 
+    /** A memoized point, with the inputs that produced it (so the
+     *  export log can label artifacts without re-deriving them from
+     *  the serialized key). */
+    struct CachedResult
+    {
+        std::string workload;
+        ExperimentConfig cfg;
+        ExperimentResult result;
+    };
+
     double scale_;
     bool replay_ = true;
     /** Guards workloads_ and programs_. */
@@ -181,7 +205,7 @@ class Lab
     mutable std::mutex traceMutex_;
     std::map<std::string, workloads::Workload> workloads_;
     std::map<std::pair<std::string, int>, Compiled> programs_;
-    std::map<std::string, ExperimentResult> results_;
+    std::map<std::string, CachedResult> results_;
     /** Key: (workload, program fingerprint) -- see class docs. */
     std::map<std::pair<std::string, uint64_t>,
              std::shared_ptr<const exec::EventTrace>>

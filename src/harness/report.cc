@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "stats/registry.hh"
 #include "util/log.hh"
 #include "util/table.hh"
 
@@ -61,33 +62,48 @@ printConfigTable(const std::string &title,
 
 void
 printFlightHistogram(const std::string &title, int latency,
-                     const core::FlightTracker &tracker,
-                     unsigned max_misses, unsigned max_fetches)
+                     const stats::Snapshot &snap)
 {
     Table t(title);
     t.header({"lat", ">0 in-flight", "", "1", "2", "3", "4", "5", "6",
               "7+", "max"});
 
-    auto row = [&](const core::LevelHistogram &h, const char *what,
-                   bool with_lat, unsigned max_seen) {
+    auto row = [&](const std::string &name, const char *what,
+                   bool with_lat, uint64_t max_seen) {
+        // Equivalent to LevelHistogram's fraction helpers, recomputed
+        // from the registered buckets: busy = total - time at level 0,
+        // and everything past bucket 6 folds into the 7+ column.
+        const stats::Histogram &h = snap.histogram(name);
+        uint64_t total = h.total();
+        uint64_t busy = total - h.at("0");
         std::vector<std::string> cells;
         cells.push_back(with_lat ? std::to_string(latency) : "");
         cells.push_back(
-            with_lat ? strfmt("%2.0f%%", 100.0 * h.fractionAbove0())
-                     : "");
+            with_lat
+                ? strfmt("%2.0f%%",
+                         total ? 100.0 * double(busy) / double(total)
+                               : 0.0)
+                : "");
         cells.push_back(what);
+        uint64_t below7 = 0;
         for (unsigned n = 1; n <= 6; ++n) {
-            cells.push_back(
-                strfmt("%2.0f", 100.0 * h.fractionOfBusyAt(n)));
+            uint64_t c = h.at(std::to_string(n));
+            below7 += c;
+            cells.push_back(strfmt(
+                "%2.0f",
+                busy ? 100.0 * double(c) / double(busy) : 0.0));
         }
-        cells.push_back(
-            strfmt("%2.0f", 100.0 * h.fractionOfBusyAtLeast(7)));
+        cells.push_back(strfmt(
+            "%2.0f", busy ? 100.0 * double(busy - below7) / double(busy)
+                          : 0.0));
         cells.push_back(std::to_string(max_seen));
         t.row(std::move(cells));
     };
 
-    row(tracker.misses, "misses", true, max_misses);
-    row(tracker.fetches, "fetches", false, max_fetches);
+    row("flight.misses", "misses", true,
+        snap.value("run.max_inflight_misses"));
+    row("flight.fetches", "fetches", false,
+        snap.value("run.max_inflight_fetches"));
     t.print();
 }
 

@@ -10,9 +10,13 @@
 #include <string>
 #include <vector>
 
-#include "core/flight_tracker.hh"
 #include "exec/machine.hh"
 #include "harness/sweep.hh"
+
+namespace nbl::stats
+{
+struct Snapshot;
+}
 
 namespace nbl::harness
 {
@@ -37,10 +41,13 @@ void printConfigTable(const std::string &title,
                       const std::vector<ConfigRow> &measured,
                       const std::vector<ConfigRow> &reference);
 
-/** Print a Figure-6 style in-flight histogram table. */
+/**
+ * Print a Figure-6 style in-flight histogram table from a run
+ * snapshot (reads the flight.misses / flight.fetches histograms and
+ * the run.max_inflight_* scalars).
+ */
 void printFlightHistogram(const std::string &title, int latency,
-                          const core::FlightTracker &tracker,
-                          unsigned max_misses, unsigned max_fetches);
+                          const stats::Snapshot &snap);
 
 } // namespace nbl::harness
 

@@ -1,0 +1,135 @@
+#include "harness/stats_export.hh"
+
+#include <cstdio>
+
+#include "core/policy.hh"
+#include "stats/json.hh"
+#include "stats/run_stats.hh"
+#include "util/log.hh"
+
+namespace nbl::harness
+{
+
+namespace
+{
+
+/** Prefix every line of a multi-line block with `spaces` spaces. */
+std::string
+indentBlock(const std::string &text, unsigned spaces)
+{
+    std::string pad(spaces, ' ');
+    std::string out = pad;
+    for (char c : text) {
+        out += c;
+        if (c == '\n')
+            out += pad;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+policyKey(const core::MshrPolicy &p)
+{
+    return strfmt("P%d.%d.%d.%d.%d.%d.%d.%d.%u", int(p.mode),
+                  p.numMshrs, p.maxMisses, p.subBlocks,
+                  p.missesPerSubBlock, p.fetchesPerSet,
+                  int(p.fetchesPerSetTracksWays), int(p.storeMode),
+                  p.fillExtraCycles);
+}
+
+std::string
+configJson(const ExperimentConfig &cfg)
+{
+    std::string policy;
+    if (cfg.customPolicy)
+        policy = policyKey(*cfg.customPolicy);
+    return strfmt(
+        "{\"label\": %s, \"policy\": %s, \"cache_bytes\": %llu, "
+        "\"line_bytes\": %llu, \"ways\": %u, \"load_latency\": %d, "
+        "\"miss_penalty\": %u, \"issue_width\": %u, "
+        "\"perfect_cache\": %s, \"fill_write_ports\": %u}",
+        stats::jsonQuote(cfg.customPolicy
+                             ? std::string("custom")
+                             : std::string(core::configLabel(cfg.config)))
+            .c_str(),
+        stats::jsonQuote(policy).c_str(),
+        static_cast<unsigned long long>(cfg.cacheBytes),
+        static_cast<unsigned long long>(cfg.lineBytes), cfg.ways,
+        cfg.loadLatency, cfg.missPenalty, cfg.issueWidth,
+        cfg.perfectCache ? "true" : "false", cfg.fillWritePorts);
+}
+
+std::string
+statsJson(const Lab &lab, const std::string &binary)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"nbl-stats-v1\",\n";
+    out += "  \"binary\": " + stats::jsonQuote(binary) + ",\n";
+    out += "  \"scale\": " + stats::jsonDouble(lab.scale()) + ",\n";
+    out += "  \"results\": [";
+
+    bool first = true;
+    lab.forEachResult([&](const std::string &workload,
+                          const ExperimentConfig &cfg,
+                          const ExperimentResult &result) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    {\n";
+        out += "      \"workload\": " + stats::jsonQuote(workload) +
+               ",\n";
+        out += "      \"key\": " +
+               stats::jsonQuote(experimentKey(workload, cfg)) + ",\n";
+        out += "      \"config\": " + configJson(cfg) + ",\n";
+        out += "      \"stats\": " +
+               // Re-indent the snapshot under "stats": but keep its
+               // first line on the key's line.
+               indentBlock(stats::snapshotOfRun(result.run).toJson(2), 6)
+                   .substr(6) +
+               "\n";
+        out += "    }";
+    });
+
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+statsCsv(const Lab &lab, const std::string &binary)
+{
+    std::string out = "binary,workload,key," + stats::Snapshot::csvHeader();
+    lab.forEachResult([&](const std::string &workload,
+                          const ExperimentConfig &cfg,
+                          const ExperimentResult &result) {
+        std::string prefix = binary + "," + workload + "," +
+                             experimentKey(workload, cfg) + ",";
+        std::string rows = stats::snapshotOfRun(result.run).toCsv();
+        size_t start = 0;
+        while (start < rows.size()) {
+            size_t end = rows.find('\n', start);
+            if (end == std::string::npos)
+                end = rows.size();
+            out += prefix + rows.substr(start, end - start) + "\n";
+            start = end + 1;
+        }
+    });
+    return out;
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+        std::fclose(f);
+        fatal("short write to '%s'", path.c_str());
+    }
+    if (std::fclose(f) != 0)
+        fatal("error closing '%s'", path.c_str());
+}
+
+} // namespace nbl::harness

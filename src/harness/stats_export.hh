@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structured export of a Lab's memoized experiment points.
+ *
+ * Serializes every (workload, config, result) triple a bench binary
+ * simulated into one machine-readable document (schema
+ * "nbl-stats-v1", described in docs/OBSERVABILITY.md). The bench
+ * emitter (bench/bench_common.hh) writes these to files named by
+ * --json= / --csv= / NBL_STATS_DIR; tools/nbl_report consumes them.
+ */
+
+#ifndef NBL_HARNESS_STATS_EXPORT_HH
+#define NBL_HARNESS_STATS_EXPORT_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace nbl::harness
+{
+
+/**
+ * Canonical serialization of a custom MSHR policy, identical to the
+ * one experimentKey embeds. tools/nbl_report rebuilds these strings
+ * (via core::makeFieldPolicy) to identify Figure-14 organizations in
+ * artifacts, so the two sides must share one implementation.
+ */
+std::string policyKey(const core::MshrPolicy &p);
+
+/** The ExperimentConfig as a JSON object (one line, no newline). */
+std::string configJson(const ExperimentConfig &cfg);
+
+/**
+ * Every memoized point of lab as an "nbl-stats-v1" JSON document:
+ * {schema, binary, scale, results: [{workload, key, config, stats}]}.
+ * Results appear in experiment-key order, so the document is
+ * deterministic for a deterministic binary.
+ */
+std::string statsJson(const Lab &lab, const std::string &binary);
+
+/**
+ * The same data as CSV: a header row, then one row per counter per
+ * point (`binary,workload,key,` + Snapshot::toCsv columns).
+ */
+std::string statsCsv(const Lab &lab, const std::string &binary);
+
+/** Write text to path, fatal on I/O failure. Never touches stdout. */
+void writeFileOrDie(const std::string &path, const std::string &text);
+
+} // namespace nbl::harness
+
+#endif // NBL_HARNESS_STATS_EXPORT_HH

@@ -1,7 +1,19 @@
 #include "mem/tag_array.hh"
 
+#include "stats/registry.hh"
+
 namespace nbl::mem
 {
+
+void
+TagArray::Stats::registerStats(stats::Registry &r) const
+{
+    r.scalar("tag.fills", &fills, "fills", "s3.1");
+    r.scalar("tag.conflict_evictions", &conflictEvictions, "evictions",
+             "s4.2 (fig10)");
+    r.scalar("tag.capacity_evictions", &capacityEvictions, "evictions",
+             "s4.2 (fig10)");
+}
 
 TagArray::TagArray(const CacheGeometry &geom)
     : geom_(geom),
@@ -51,6 +63,7 @@ TagArray::present(uint64_t addr) const
 std::optional<uint64_t>
 TagArray::fill(uint64_t addr)
 {
+    ++stats_.fills;
     if (Way *w = find(addr)) {
         // Already present (e.g. two overlapping fetches of one block);
         // just refresh LRU.
@@ -71,8 +84,18 @@ TagArray::fill(uint64_t addr)
     }
 
     std::optional<uint64_t> evicted;
-    if (victim->valid)
+    if (victim->valid) {
         evicted = victim->block_addr;
+        // Conflict/capacity approximation (see Stats): room elsewhere
+        // in the array means a same-size fully-associative cache
+        // would not have evicted.
+        if (valid_count_ < ways_.size())
+            ++stats_.conflictEvictions;
+        else
+            ++stats_.capacityEvictions;
+    } else {
+        ++valid_count_;
+    }
     victim->valid = true;
     victim->tag = geom_.tag(addr);
     victim->block_addr = geom_.blockAddr(addr);
@@ -83,8 +106,10 @@ TagArray::fill(uint64_t addr)
 void
 TagArray::invalidate(uint64_t addr)
 {
-    if (Way *w = find(addr))
+    if (Way *w = find(addr)) {
         w->valid = false;
+        --valid_count_;
+    }
 }
 
 void
@@ -93,15 +118,7 @@ TagArray::reset()
     for (Way &w : ways_)
         w.valid = false;
     lru_clock_ = 0;
-}
-
-uint64_t
-TagArray::numValid() const
-{
-    uint64_t n = 0;
-    for (const Way &w : ways_)
-        n += w.valid ? 1 : 0;
-    return n;
+    valid_count_ = 0;
 }
 
 } // namespace nbl::mem

@@ -16,6 +16,11 @@
 
 #include "mem/cache_geometry.hh"
 
+namespace nbl::stats
+{
+class Registry;
+}
+
 namespace nbl::mem
 {
 
@@ -26,6 +31,27 @@ namespace nbl::mem
 class TagArray
 {
   public:
+    /**
+     * Tag-array occupancy counters, including the classical
+     * conflict-vs-capacity *approximation*: an eviction that happens
+     * while some line anywhere in the array is still invalid is
+     * counted as a conflict eviction (a fully associative cache of
+     * the same size would not yet have evicted anything); an eviction
+     * from a completely full array is counted as capacity. Exact
+     * classification would need a shadow fully-associative simulation
+     * — this one-counter approximation is what Figure 10's
+     * direct-mapped vs fully-associative comparison needs.
+     */
+    struct Stats
+    {
+        uint64_t fills = 0;
+        uint64_t conflictEvictions = 0;
+        uint64_t capacityEvictions = 0;
+
+        /** Register the counters (docs/OBSERVABILITY.md). */
+        void registerStats(stats::Registry &r) const;
+    };
+
     explicit TagArray(const CacheGeometry &geom);
 
     const CacheGeometry &geometry() const { return geom_; }
@@ -49,11 +75,13 @@ class TagArray
     /** Drop the block containing addr if present. */
     void invalidate(uint64_t addr);
 
-    /** Invalidate everything. */
+    /** Invalidate everything (counters are kept). */
     void reset();
 
-    /** Number of valid lines (for tests). */
-    uint64_t numValid() const;
+    /** Number of valid lines (O(1)). */
+    uint64_t numValid() const { return valid_count_; }
+
+    const Stats &stats() const { return stats_; }
 
   private:
     struct Way
@@ -71,6 +99,8 @@ class TagArray
     unsigned ways_per_set_;
     std::vector<Way> ways_;   ///< num_sets * ways_per_set_, set-major.
     uint64_t lru_clock_ = 0;
+    uint64_t valid_count_ = 0;
+    Stats stats_;
 };
 
 } // namespace nbl::mem

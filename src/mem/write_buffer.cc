@@ -1,16 +1,49 @@
 #include "mem/write_buffer.hh"
 
 #include <algorithm>
+#include <string>
+
+#include "stats/registry.hh"
 
 namespace nbl::mem
 {
 
 void
+WriteBuffer::Stats::registerStats(stats::Registry &r) const
+{
+    r.scalar("wbuf.writes", &writes, "writes", "s3.1");
+    r.scalar("wbuf.merges", &merges, "writes", "s3.1");
+    r.scalar("wbuf.retired", &retired, "entries", "s3.1");
+    r.scalar("wbuf.max_occupancy", &maxOccupancy, "entries", "s3.1");
+    r.scalar("wbuf.full_stall_cycles", &fullStallCycles, "cycles",
+             "s3.1");
+    r.histogram("wbuf.depth_on_push", "writes", "s3.1");
+    for (unsigned i = 0; i < depthOnPush.size(); ++i) {
+        r.bucket(i + 1 < depthOnPush.size() ? std::to_string(i) : "8+",
+                 depthOnPush[i]);
+    }
+}
+
+void
 WriteBuffer::drain(uint64_t now)
 {
-    while (!fifo_.empty() && fifo_.front().second <= now)
+    while (!fifo_.empty() && fifo_.front().second <= now) {
         fifo_.pop_front();
+        ++stats_.retired;
+    }
 }
+
+namespace
+{
+
+/** Histogram bucket for a buffer depth (top bucket is 8+). */
+inline size_t
+depthBucket(size_t depth)
+{
+    return std::min<size_t>(depth, 8);
+}
+
+} // namespace
 
 uint64_t
 WriteBuffer::push(uint64_t block_addr, uint64_t now)
@@ -19,6 +52,7 @@ WriteBuffer::push(uint64_t block_addr, uint64_t now)
     if (retire_cycles_ == 0) {
         // Free retirement: the entry never actually occupies the
         // buffer. This is the paper's model.
+        ++stats_.depthOnPush[0];
         return now;
     }
 
@@ -28,6 +62,7 @@ WriteBuffer::push(uint64_t block_addr, uint64_t now)
     for (auto &e : fifo_) {
         if (e.first == block_addr) {
             ++stats_.merges;
+            ++stats_.depthOnPush[depthBucket(fifo_.size())];
             return now;
         }
     }
@@ -45,6 +80,7 @@ WriteBuffer::push(uint64_t block_addr, uint64_t now)
     uint64_t done = begin + retire_cycles_;
     next_retire_free_ = done;
     fifo_.emplace_back(block_addr, done);
+    ++stats_.depthOnPush[depthBucket(fifo_.size())];
     stats_.maxOccupancy = std::max<uint64_t>(stats_.maxOccupancy,
                                              fifo_.size());
     return start;

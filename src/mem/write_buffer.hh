@@ -13,8 +13,14 @@
 #ifndef NBL_MEM_WRITE_BUFFER_HH
 #define NBL_MEM_WRITE_BUFFER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
+
+namespace nbl::stats
+{
+class Registry;
+}
 
 namespace nbl::mem
 {
@@ -31,8 +37,20 @@ class WriteBuffer
     {
         uint64_t writes = 0;        ///< Entries pushed.
         uint64_t merges = 0;        ///< Writes merged into a live entry.
+        uint64_t retired = 0;       ///< Entries drained to the next level.
         uint64_t maxOccupancy = 0;  ///< High-water mark.
         uint64_t fullStallCycles = 0;
+        /**
+         * Buffer depth observed by each push, *after* the push took
+         * effect (bucket 8 = 8-or-deeper). Under the paper's free
+         * retirement every write lands in bucket 0 — the histogram is
+         * the evidence the baseline write buffer never queues.
+         * Sums to `writes`.
+         */
+        std::array<uint64_t, 9> depthOnPush{};
+
+        /** Register the counters (docs/OBSERVABILITY.md). */
+        void registerStats(stats::Registry &r) const;
     };
 
     /**

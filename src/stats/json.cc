@@ -1,0 +1,292 @@
+#include "stats/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.hh"
+
+namespace nbl::stats
+{
+
+bool
+Json::boolean() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: not a boolean");
+    return bool_;
+}
+
+double
+Json::number() const
+{
+    if (kind_ != Kind::Number)
+        fatal("json: not a number");
+    return std::strtod(num_.c_str(), nullptr);
+}
+
+uint64_t
+Json::u64() const
+{
+    if (kind_ != Kind::Number)
+        fatal("json: not a number");
+    if (num_.find_first_of(".eE") != std::string::npos ||
+        (!num_.empty() && num_[0] == '-'))
+        fatal("json: '%s' is not an unsigned integer", num_.c_str());
+    return std::strtoull(num_.c_str(), nullptr, 10);
+}
+
+const std::string &
+Json::str() const
+{
+    if (kind_ != Kind::String)
+        fatal("json: not a string");
+    return str_;
+}
+
+const std::vector<Json> &
+Json::array() const
+{
+    if (kind_ != Kind::Array)
+        fatal("json: not an array");
+    return arr_;
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    const Json *v = find(key);
+    if (!v)
+        fatal("json: missing key '%s'", key.c_str());
+    return *v;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: not an object (looking up '%s')", key.c_str());
+    auto it = obj_.find(key);
+    return it == obj_.end() ? nullptr : &it->second;
+}
+
+/** Strict recursive-descent parser over the supported subset. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    Json
+    document()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        fatal("json: %s at offset %zu", what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() && std::isspace(uint8_t(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *lit)
+    {
+        size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    std::string
+    stringToken()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'u': {
+                // Only the escapes jsonQuote emits (ASCII control
+                // codes) are supported.
+                if (pos_ + 4 > s_.size())
+                    fail("bad \\u escape");
+                unsigned code = unsigned(
+                    std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out.push_back(char(code));
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    value()
+    {
+        char c = peek();
+        Json v;
+        if (c == '{') {
+            ++pos_;
+            v.kind_ = Json::Kind::Object;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                std::string key = stringToken();
+                expect(':');
+                v.obj_.emplace(std::move(key), value());
+                char d = peek();
+                ++pos_;
+                if (d == '}')
+                    return v;
+                if (d != ',')
+                    fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            v.kind_ = Json::Kind::Array;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                v.arr_.push_back(value());
+                char d = peek();
+                ++pos_;
+                if (d == ']')
+                    return v;
+                if (d != ',')
+                    fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            v.kind_ = Json::Kind::String;
+            v.str_ = stringToken();
+            return v;
+        }
+        if (consume("true")) {
+            v.kind_ = Json::Kind::Bool;
+            v.bool_ = true;
+            return v;
+        }
+        if (consume("false")) {
+            v.kind_ = Json::Kind::Bool;
+            v.bool_ = false;
+            return v;
+        }
+        if (consume("null"))
+            return v;
+
+        // Number: copy the token verbatim.
+        size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(uint8_t(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' ||
+                s_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start)
+            fail("unexpected character");
+        v.kind_ = Json::Kind::Number;
+        v.num_ = s_.substr(start, pos_ - start);
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+Json
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (uint8_t(c) < 0x20)
+                out += strfmt("\\u%04x", unsigned(uint8_t(c)));
+            else
+                out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    return strfmt("%.17g", v);
+}
+
+} // namespace nbl::stats

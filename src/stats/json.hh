@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal JSON reader/writer for the stats subsystem.
+ *
+ * The observability layer (docs/OBSERVABILITY.md) emits and ingests
+ * its own artifacts only, so this is deliberately a small, strict
+ * subset of JSON: objects, arrays, strings, numbers, booleans, null.
+ * Numbers keep their raw token so uint64 counters round-trip exactly
+ * (doubles are printed with %.17g, which also round-trips).
+ *
+ * No external dependency: the container bakes in no JSON library, and
+ * the repo's rule is to stub rather than add one.
+ */
+
+#ifndef NBL_STATS_JSON_HH
+#define NBL_STATS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nbl::stats
+{
+
+/** One parsed JSON value (small DOM). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    bool boolean() const;
+    /** The number as a double (fatal if not a number). */
+    double number() const;
+    /** The number as an exact uint64 (fatal if not an integer). */
+    uint64_t u64() const;
+    const std::string &str() const;
+
+    const std::vector<Json> &array() const;
+    /** Object member, fatal if missing. */
+    const Json &at(const std::string &key) const;
+    /** Object member or nullptr. */
+    const Json *find(const std::string &key) const;
+
+    /**
+     * Parse a complete JSON document. Fatal (util/log.hh) on any
+     * syntax error: artifacts are machine-written, so malformed input
+     * is a usage error, not a recoverable condition.
+     */
+    static Json parse(const std::string &text);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    /** Raw number token (exact integer round-trip). */
+    std::string num_;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+};
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonQuote(const std::string &s);
+
+/** Format a double so it parses back to the identical value. */
+std::string jsonDouble(double v);
+
+} // namespace nbl::stats
+
+#endif // NBL_STATS_JSON_HH

@@ -1,0 +1,315 @@
+#include "stats/registry.hh"
+
+#include "stats/json.hh"
+#include "util/log.hh"
+
+namespace nbl::stats
+{
+
+uint64_t
+Histogram::total() const
+{
+    uint64_t t = 0;
+    for (const Bucket &b : buckets)
+        t += b.count;
+    return t;
+}
+
+uint64_t
+Histogram::at(const std::string &label) const
+{
+    for (const Bucket &b : buckets)
+        if (b.label == label)
+            return b.count;
+    return 0;
+}
+
+const Scalar *
+Snapshot::findScalar(const std::string &name) const
+{
+    for (const Scalar &s : scalars)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+uint64_t
+Snapshot::value(const std::string &name) const
+{
+    const Scalar *s = findScalar(name);
+    if (!s)
+        fatal("stats: unknown scalar '%s'", name.c_str());
+    return s->value;
+}
+
+const Histogram *
+Snapshot::findHistogram(const std::string &name) const
+{
+    for (const Histogram &h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+const Histogram &
+Snapshot::histogram(const std::string &name) const
+{
+    const Histogram *h = findHistogram(name);
+    if (!h)
+        fatal("stats: unknown histogram '%s'", name.c_str());
+    return *h;
+}
+
+double
+Snapshot::derivedValue(const std::string &name) const
+{
+    for (const Derived &d : derived)
+        if (d.name == name)
+            return d.value;
+    fatal("stats: unknown derived metric '%s'", name.c_str());
+}
+
+bool
+Snapshot::countersEqual(const Snapshot &other) const
+{
+    if (scalars.size() != other.scalars.size() ||
+        histograms.size() != other.histograms.size() ||
+        derived.size() != other.derived.size())
+        return false;
+    for (size_t i = 0; i < scalars.size(); ++i) {
+        if (scalars[i].name != other.scalars[i].name ||
+            scalars[i].value != other.scalars[i].value)
+            return false;
+    }
+    for (size_t i = 0; i < histograms.size(); ++i) {
+        const Histogram &a = histograms[i];
+        const Histogram &b = other.histograms[i];
+        if (a.name != b.name || a.buckets.size() != b.buckets.size())
+            return false;
+        for (size_t j = 0; j < a.buckets.size(); ++j) {
+            if (a.buckets[j].label != b.buckets[j].label ||
+                a.buckets[j].count != b.buckets[j].count)
+                return false;
+        }
+    }
+    for (size_t i = 0; i < derived.size(); ++i) {
+        if (derived[i].name != other.derived[i].name ||
+            derived[i].value != other.derived[i].value)
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** indent*level spaces, or empty in compact mode (indent == 0). */
+std::string
+pad(int indent, int level)
+{
+    return indent ? std::string(size_t(indent) * size_t(level), ' ')
+                  : std::string();
+}
+
+} // namespace
+
+std::string
+Snapshot::toJson(int indent) const
+{
+    const char *nl = indent ? "\n" : "";
+    std::string out = "{";
+    out += nl;
+    out += pad(indent, 1) + "\"provenance\": " + jsonQuote(provenance) +
+           "," + nl;
+
+    out += pad(indent, 1) + "\"scalars\": [";
+    out += nl;
+    for (size_t i = 0; i < scalars.size(); ++i) {
+        const Scalar &s = scalars[i];
+        out += pad(indent, 2) +
+               strfmt("{\"name\": %s, \"value\": %llu, \"unit\": %s, "
+                      "\"section\": %s}%s",
+                      jsonQuote(s.name).c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      jsonQuote(s.unit).c_str(),
+                      jsonQuote(s.section).c_str(),
+                      i + 1 < scalars.size() ? "," : "") +
+               nl;
+    }
+    out += pad(indent, 1) + "],";
+    out += nl;
+
+    out += pad(indent, 1) + "\"histograms\": [";
+    out += nl;
+    for (size_t i = 0; i < histograms.size(); ++i) {
+        const Histogram &h = histograms[i];
+        out += pad(indent, 2) +
+               strfmt("{\"name\": %s, \"unit\": %s, \"section\": %s, "
+                      "\"buckets\": [",
+                      jsonQuote(h.name).c_str(),
+                      jsonQuote(h.unit).c_str(),
+                      jsonQuote(h.section).c_str());
+        for (size_t j = 0; j < h.buckets.size(); ++j) {
+            out += strfmt("[%s, %llu]%s",
+                          jsonQuote(h.buckets[j].label).c_str(),
+                          static_cast<unsigned long long>(
+                              h.buckets[j].count),
+                          j + 1 < h.buckets.size() ? ", " : "");
+        }
+        out += "]}";
+        out += i + 1 < histograms.size() ? "," : "";
+        out += nl;
+    }
+    out += pad(indent, 1) + "],";
+    out += nl;
+
+    out += pad(indent, 1) + "\"derived\": [";
+    out += nl;
+    for (size_t i = 0; i < derived.size(); ++i) {
+        const Derived &d = derived[i];
+        out += pad(indent, 2) +
+               strfmt("{\"name\": %s, \"value\": %s, \"section\": %s}%s",
+                      jsonQuote(d.name).c_str(),
+                      jsonDouble(d.value).c_str(),
+                      jsonQuote(d.section).c_str(),
+                      i + 1 < derived.size() ? "," : "") +
+               nl;
+    }
+    out += pad(indent, 1) + "]";
+    out += nl;
+    out += pad(indent, 0) + "}";
+    return out;
+}
+
+std::string
+Snapshot::csvHeader()
+{
+    return "kind,name,label,value,unit,section\n";
+}
+
+std::string
+Snapshot::toCsv() const
+{
+    std::string out;
+    for (const Scalar &s : scalars) {
+        out += strfmt("scalar,%s,,%llu,%s,%s\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.value),
+                      s.unit.c_str(), s.section.c_str());
+    }
+    for (const Histogram &h : histograms) {
+        for (const Bucket &b : h.buckets) {
+            out += strfmt("histogram,%s,%s,%llu,%s,%s\n",
+                          h.name.c_str(), b.label.c_str(),
+                          static_cast<unsigned long long>(b.count),
+                          h.unit.c_str(), h.section.c_str());
+        }
+    }
+    for (const Derived &d : derived) {
+        out += strfmt("derived,%s,,%s,,%s\n", d.name.c_str(),
+                      jsonDouble(d.value).c_str(), d.section.c_str());
+    }
+    return out;
+}
+
+Snapshot
+snapshotFromJson(const Json &obj)
+{
+    Snapshot snap;
+    snap.provenance = obj.at("provenance").str();
+    for (const Json &s : obj.at("scalars").array()) {
+        snap.scalars.push_back({s.at("name").str(), s.at("value").u64(),
+                                s.at("unit").str(),
+                                s.at("section").str()});
+    }
+    for (const Json &h : obj.at("histograms").array()) {
+        Histogram hist;
+        hist.name = h.at("name").str();
+        hist.unit = h.at("unit").str();
+        hist.section = h.at("section").str();
+        for (const Json &b : h.at("buckets").array()) {
+            const auto &pair = b.array();
+            if (pair.size() != 2)
+                fatal("stats: histogram bucket is not a [label, count] "
+                      "pair");
+            hist.buckets.push_back({pair[0].str(), pair[1].u64()});
+        }
+        snap.histograms.push_back(std::move(hist));
+    }
+    for (const Json &d : obj.at("derived").array()) {
+        snap.derived.push_back({d.at("name").str(),
+                                d.at("value").number(),
+                                d.at("section").str()});
+    }
+    return snap;
+}
+
+Snapshot
+parseSnapshot(const std::string &json)
+{
+    return snapshotFromJson(Json::parse(json));
+}
+
+void
+Registry::scalar(const std::string &name, const uint64_t *counter,
+                 const std::string &unit, const std::string &section)
+{
+    Entry e;
+    e.scalar = {name, 0, unit, section};
+    e.live = counter;
+    entries_.push_back(std::move(e));
+}
+
+void
+Registry::scalarValue(const std::string &name, uint64_t value,
+                      const std::string &unit,
+                      const std::string &section)
+{
+    Entry e;
+    e.scalar = {name, value, unit, section};
+    entries_.push_back(std::move(e));
+}
+
+void
+Registry::histogram(const std::string &name, const std::string &unit,
+                    const std::string &section)
+{
+    Histogram h;
+    h.name = name;
+    h.unit = unit;
+    h.section = section;
+    histograms_.push_back(std::move(h));
+}
+
+void
+Registry::bucket(const std::string &label, uint64_t count)
+{
+    if (histograms_.empty())
+        fatal("stats: bucket() before histogram()");
+    histograms_.back().buckets.push_back({label, count});
+}
+
+void
+Registry::derived(const std::string &name, double value,
+                  const std::string &section)
+{
+    derived_.push_back({name, value, section});
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    snap.provenance = provenance_;
+    snap.scalars.reserve(entries_.size());
+    for (const Entry &e : entries_) {
+        Scalar s = e.scalar;
+        if (e.live)
+            s.value = *e.live;
+        snap.scalars.push_back(std::move(s));
+    }
+    snap.histograms = histograms_;
+    snap.derived = derived_;
+    return snap;
+}
+
+} // namespace nbl::stats

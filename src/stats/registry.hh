@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Stats registry: named scalar and histogram counters with JSON/CSV
+ * serialization.
+ *
+ * Design rule (docs/OBSERVABILITY.md): the model's hot paths keep
+ * their plain `uint64_t` members and increment them directly — the
+ * registry never sits on an increment path. A component registers
+ * *pointers* to those members once (typically right after a run
+ * finishes, over the value structs a RunOutput carries), and
+ * `Registry::snapshot()` materializes a self-contained, copyable
+ * `Snapshot` by reading them. Snapshots serialize to JSON (round-trip
+ * exact, see parseSnapshot) and CSV, and are what the bench emitter
+ * (bench/bench_common.hh) and tools/nbl_report exchange.
+ *
+ * Every counter carries its unit and the paper section (WRL 94/3) it
+ * maps to, so artifacts are self-describing.
+ */
+
+#ifndef NBL_STATS_REGISTRY_HH
+#define NBL_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbl::stats
+{
+
+/** One named scalar counter, snapshotted. */
+struct Scalar
+{
+    std::string name;
+    uint64_t value = 0;
+    std::string unit;
+    std::string section; ///< Paper section / figure the counter maps to.
+};
+
+/** One histogram bucket: a label (level, count, ...) and its weight. */
+struct Bucket
+{
+    std::string label;
+    uint64_t count = 0;
+};
+
+/** One named histogram, snapshotted. */
+struct Histogram
+{
+    std::string name;
+    std::string unit;    ///< Unit of the bucket *weights*.
+    std::string section;
+    std::vector<Bucket> buckets;
+
+    /** Sum of all bucket weights. */
+    uint64_t total() const;
+    /** Weight of the bucket labelled `label` (0 if absent). */
+    uint64_t at(const std::string &label) const;
+};
+
+/** One named derived metric (a ratio/rate computed from counters). */
+struct Derived
+{
+    std::string name;
+    double value = 0.0;
+    std::string section;
+};
+
+/**
+ * A self-contained set of counters from one run: value type, cheap to
+ * copy relative to a simulation, ordered deterministically (by
+ * registration order).
+ */
+struct Snapshot
+{
+    /** How the run was produced: "exec" (execution-driven) or
+     *  "replay" (exact event-trace replay). Metadata, not a counter:
+     *  countersEqual() ignores it — the PR-3 bit-identity property
+     *  says the two provenances must agree on everything else. */
+    std::string provenance;
+
+    std::vector<Scalar> scalars;
+    std::vector<Histogram> histograms;
+    std::vector<Derived> derived;
+
+    /** Scalar value by name; fatal if the name is unknown. */
+    uint64_t value(const std::string &name) const;
+    const Scalar *findScalar(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+    /** Histogram by name; fatal if unknown. */
+    const Histogram &histogram(const std::string &name) const;
+    /** Derived metric by name; fatal if unknown. */
+    double derivedValue(const std::string &name) const;
+
+    /**
+     * All counters (scalars, histograms, derived) equal, provenance
+     * ignored. Derived doubles are compared bit-for-bit: they are
+     * computed from equal integers by identical code, so equality is
+     * exact, not approximate.
+     */
+    bool countersEqual(const Snapshot &other) const;
+
+    /** Serialize as a JSON object (schema in docs/OBSERVABILITY.md). */
+    std::string toJson(int indent = 0) const;
+
+    /**
+     * Serialize as CSV rows `kind,name,label,value,unit,section`
+     * (no header; see csvHeader()).
+     */
+    std::string toCsv() const;
+    static std::string csvHeader();
+};
+
+/** Parse a Snapshot back from Snapshot::toJson() output. */
+Snapshot parseSnapshot(const std::string &json);
+
+/** Forward declaration (stats/json.hh). */
+class Json;
+
+/** Build a Snapshot from an already-parsed JSON object. */
+Snapshot snapshotFromJson(const Json &obj);
+
+/**
+ * Collects registered counters and materializes Snapshots.
+ *
+ * Registration order is preserved and becomes the serialization
+ * order. The registry borrows the pointed-to counters; they must
+ * outlive the snapshot() call (they need not outlive the Snapshot).
+ */
+class Registry
+{
+  public:
+    /** Register a live counter by pointer (read at snapshot time). */
+    void scalar(const std::string &name, const uint64_t *counter,
+                const std::string &unit, const std::string &section);
+
+    /** Register a point-in-time value (already-computed scalar). */
+    void scalarValue(const std::string &name, uint64_t value,
+                     const std::string &unit,
+                     const std::string &section);
+
+    /** Start a histogram; subsequent bucket() calls append to it. */
+    void histogram(const std::string &name, const std::string &unit,
+                   const std::string &section);
+
+    /** Append a bucket to the most recently started histogram. */
+    void bucket(const std::string &label, uint64_t count);
+
+    /** Register a derived metric (computed double). */
+    void derived(const std::string &name, double value,
+                 const std::string &section);
+
+    void setProvenance(const std::string &p) { provenance_ = p; }
+
+    Snapshot snapshot() const;
+
+  private:
+    struct Entry
+    {
+        Scalar scalar;             ///< Name/unit/section (+ value if fixed).
+        const uint64_t *live = nullptr; ///< Read at snapshot time if set.
+    };
+
+    std::string provenance_;
+    std::vector<Entry> entries_;
+    std::vector<Histogram> histograms_;
+    std::vector<Derived> derived_;
+};
+
+} // namespace nbl::stats
+
+#endif // NBL_STATS_REGISTRY_HH

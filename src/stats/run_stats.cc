@@ -1,0 +1,55 @@
+#include "stats/run_stats.hh"
+
+#include "exec/machine.hh"
+
+namespace nbl::stats
+{
+
+void
+registerRun(Registry &r, const exec::RunOutput &out)
+{
+    r.setProvenance(exec::provenanceName(out.provenance));
+
+    r.scalarValue("run.miss_penalty", out.missPenalty, "cycles",
+                  "s3.1");
+    r.scalarValue("run.max_inflight_misses", out.maxInflightMisses,
+                  "misses", "s4.1 (fig06)");
+    r.scalarValue("run.max_inflight_fetches", out.maxInflightFetches,
+                  "fetches", "s4.1 (fig06)");
+    r.scalarValue("run.hit_instruction_cap",
+                  out.hitInstructionCap ? 1 : 0, "flag", "s3.1");
+    r.scalar("mem.fetches", &out.memFetches, "fetches", "s3.1");
+
+    out.cpu.registerStats(r);
+    out.cache.registerStats(r);
+    out.mshr.registerStats(r);
+    out.wbuf.registerStats(r);
+    out.tags.registerStats(r);
+    out.tracker.registerStats(r);
+
+    r.derived("cpu.mcpi", out.cpu.mcpi(), "s3.1");
+    r.derived("cpu.ipc",
+              out.cpu.cycles ? double(out.cpu.instructions) /
+                                   double(out.cpu.cycles)
+                             : 0.0,
+              "s3.1");
+    r.derived("cpu.structural_share", out.cpu.structuralFraction(),
+              "s4.1 (fig07)");
+    r.derived("cache.load_miss_rate", out.cache.loadMissRate(), "s3.1");
+    r.derived("cache.secondary_miss_rate",
+              out.cache.secondaryMissRate(), "s4.1");
+    r.derived("flight.misses.busy_fraction",
+              out.tracker.misses.fractionAbove0(), "s4.1 (fig06)");
+    r.derived("flight.fetches.busy_fraction",
+              out.tracker.fetches.fractionAbove0(), "s4.1 (fig06)");
+}
+
+Snapshot
+snapshotOfRun(const exec::RunOutput &out)
+{
+    Registry r;
+    registerRun(r, out);
+    return r.snapshot();
+}
+
+} // namespace nbl::stats

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Bridge from a finished run to the stats registry: build a complete
+ * Snapshot from the value structs an exec::RunOutput carries.
+ *
+ * This is the one place that knows the full counter inventory of a
+ * run (docs/OBSERVABILITY.md lists it). Components own their
+ * registerStats methods; this file only sequences them and adds the
+ * run-level scalars and derived metrics.
+ */
+
+#ifndef NBL_STATS_RUN_STATS_HH
+#define NBL_STATS_RUN_STATS_HH
+
+#include "stats/registry.hh"
+
+namespace nbl::exec
+{
+struct RunOutput;
+}
+
+namespace nbl::stats
+{
+
+/**
+ * Register every counter of `out` into `r` (run.* scalars, cpu.*,
+ * cache.*, mshr.*, wbuf.*, tag.*, flight.* histograms, derived
+ * rates) and set the provenance. The registry borrows `out`; call
+ * snapshot() before it goes away.
+ */
+void registerRun(Registry &r, const exec::RunOutput &out);
+
+/** One-shot: registerRun into a fresh registry and snapshot it. */
+Snapshot snapshotOfRun(const exec::RunOutput &out);
+
+} // namespace nbl::stats
+
+#endif // NBL_STATS_RUN_STATS_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the stats registry (stats/registry.hh) and the run-level
+ * counter bridge (stats/run_stats.hh).
+ *
+ * The heart is the stall-attribution property of docs/MODEL.md: on a
+ * single-issue machine every cycle beyond one-per-instruction is
+ * charged to exactly one stall bucket, so the snapshot scalars must
+ * satisfy cycles == instructions + dep + struct + block exactly, for
+ * every workload under every MSHR restriction. Around it: histogram
+ * conservation laws, JSON round-tripping, and the provenance metadata
+ * carried by exec-vs-replay snapshots.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/policy.hh"
+#include "exec/event_trace.hh"
+#include "exec/machine.hh"
+#include "harness/sweep.hh"
+#include "stats/registry.hh"
+#include "stats/run_stats.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using harness::ExperimentConfig;
+using harness::Lab;
+using stats::Snapshot;
+
+namespace
+{
+
+constexpr double kScale = 0.02;
+
+/** The ten named cache configurations of the paper's sweeps. */
+const std::vector<core::ConfigName> kConfigs = {
+    core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+    core::ConfigName::Mc1,    core::ConfigName::Mc2,
+    core::ConfigName::Fc1,    core::ConfigName::Fc2,
+    core::ConfigName::Fs1,    core::ConfigName::Fs2,
+    core::ConfigName::InCache, core::ConfigName::NoRestrict};
+
+bool
+isBlocking(core::ConfigName c)
+{
+    return c == core::ConfigName::Mc0Wma || c == core::ConfigName::Mc0;
+}
+
+class StatsProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+/**
+ * Stall attribution (docs/MODEL.md): dep + struct + block stalls
+ * exactly partition the non-issue cycles of a single-issue run, and
+ * the conservation laws every histogram promises hold: the flight
+ * histograms integrate to total cycles, cache.dests_per_fetch and
+ * mshr.per_set_occupancy count every fetch once, and wbuf.depth_on_push
+ * counts every buffered write once.
+ */
+TEST_P(StatsProperty, StallPartitionAndHistogramSums)
+{
+    const std::string name = GetParam();
+    Lab lab(kScale);
+    ExperimentConfig cfg;
+
+    for (core::ConfigName c : kConfigs) {
+        for (int lat : {1, 10}) {
+            cfg.config = c;
+            cfg.loadLatency = lat;
+            Snapshot s = stats::snapshotOfRun(lab.run(name, cfg).run);
+
+            const uint64_t cycles = s.value("cpu.cycles");
+            const uint64_t insts = s.value("cpu.instructions");
+            EXPECT_EQ(cycles, insts + s.value("cpu.dep_stall_cycles") +
+                                  s.value("cpu.struct_stall_cycles") +
+                                  s.value("cpu.block_stall_cycles"))
+                << name << " " << core::configLabel(c) << " lat " << lat;
+
+            EXPECT_EQ(s.histogram("flight.misses").total(), cycles);
+            EXPECT_EQ(s.histogram("flight.fetches").total(), cycles);
+            EXPECT_EQ(s.histogram("cache.dests_per_fetch").total(),
+                      s.value("cache.fetches"));
+            EXPECT_EQ(s.histogram("wbuf.depth_on_push").total(),
+                      s.value("wbuf.writes"));
+            // Blocking configurations fetch without allocating an
+            // MSHR, so the per-set occupancy histogram is empty there.
+            EXPECT_EQ(s.histogram("mshr.per_set_occupancy").total(),
+                      isBlocking(c) ? 0 : s.value("cache.fetches"))
+                << name << " " << core::configLabel(c);
+        }
+    }
+}
+
+/** Snapshots survive a JSON round trip exactly, provenance included. */
+TEST_P(StatsProperty, JsonRoundTrip)
+{
+    const std::string name = GetParam();
+    Lab lab(kScale);
+    ExperimentConfig cfg;
+    cfg.config = core::ConfigName::Fc2;
+
+    Snapshot s = stats::snapshotOfRun(lab.run(name, cfg).run);
+    Snapshot back = stats::parseSnapshot(s.toJson(2));
+    EXPECT_TRUE(s.countersEqual(back));
+    EXPECT_EQ(s.provenance, back.provenance);
+
+    // And unindented output parses to the same thing.
+    EXPECT_TRUE(s.countersEqual(stats::parseSnapshot(s.toJson())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SomeWorkloads, StatsProperty,
+    ::testing::Values("doduc", "compress", "eqntott"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+/**
+ * Exact replay (PR 3) must agree with execution-driven runs on every
+ * counter; the snapshots differ only in their provenance metadata,
+ * which countersEqual deliberately ignores.
+ */
+TEST(RunStats, ReplayAndExecSnapshotsAgreeModuloProvenance)
+{
+    workloads::Workload w = workloads::makeWorkload("xlisp", kScale);
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("xlisp", 10);
+
+    mem::SparseMemory rec_mem = w.makeMemory();
+    exec::EventTrace trace = exec::recordEventTrace(prog, rec_mem);
+
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(core::ConfigName::Fs1);
+    mem::SparseMemory run_mem = w.makeMemory();
+    Snapshot ex = stats::snapshotOfRun(exec::run(prog, run_mem, mc));
+    Snapshot rep =
+        stats::snapshotOfRun(exec::replayExact(prog, trace, mc));
+
+    EXPECT_EQ(ex.provenance, "exec");
+    EXPECT_EQ(rep.provenance, "replay");
+    EXPECT_TRUE(ex.countersEqual(rep));
+}
+
+/** Derived metrics recompute from the integer counters they summarize. */
+TEST(RunStats, DerivedMetricsMatchCounters)
+{
+    Lab lab(kScale);
+    ExperimentConfig cfg;
+    cfg.config = core::ConfigName::Mc1;
+    Snapshot s = stats::snapshotOfRun(lab.run("su2cor", cfg).run);
+
+    const double insts = double(s.value("cpu.instructions"));
+    ASSERT_GT(insts, 0.0);
+    EXPECT_DOUBLE_EQ(s.derivedValue("cpu.mcpi"),
+                     double(s.value("cpu.cycles") -
+                            s.value("cpu.instructions")) /
+                         insts);
+    // Miss rate counts primary + secondary misses (not structural
+    // retries, which re-present the same load).
+    EXPECT_DOUBLE_EQ(s.derivedValue("cache.load_miss_rate"),
+                     double(s.value("cache.primary_misses") +
+                            s.value("cache.secondary_misses")) /
+                         double(s.value("cache.loads")));
+
+    const stats::Histogram &fm = s.histogram("flight.misses");
+    EXPECT_DOUBLE_EQ(s.derivedValue("flight.misses.busy_fraction"),
+                     double(fm.total() - fm.at("0")) /
+                         double(fm.total()));
+}
+
+/** The registry snapshots live counters at snapshot() time. */
+TEST(Registry, LiveScalarsReadAtSnapshotTime)
+{
+    uint64_t counter = 1;
+    stats::Registry r;
+    r.scalar("live", &counter, "events", "test");
+    r.scalarValue("fixed", 7, "events", "test");
+    counter = 42; // After registration, before snapshot.
+
+    Snapshot s = r.snapshot();
+    EXPECT_EQ(s.value("live"), 42u);
+    EXPECT_EQ(s.value("fixed"), 7u);
+
+    counter = 99; // Snapshots are self-contained copies.
+    EXPECT_EQ(s.value("live"), 42u);
+    EXPECT_EQ(r.snapshot().value("live"), 99u);
+}
+
+TEST(Registry, HistogramAndCsvShape)
+{
+    stats::Registry r;
+    r.scalarValue("a", 3, "widgets", "test");
+    r.histogram("h", "cycles", "test");
+    r.bucket("0", 10);
+    r.bucket("1", 20);
+    r.bucket("8+", 5);
+    r.derived("d", 0.25, "test");
+
+    Snapshot s = r.snapshot();
+    EXPECT_EQ(s.histogram("h").total(), 35u);
+    EXPECT_EQ(s.histogram("h").at("8+"), 5u);
+    EXPECT_EQ(s.histogram("h").at("absent"), 0u);
+    EXPECT_EQ(s.findScalar("missing"), nullptr);
+    EXPECT_EQ(s.findHistogram("missing"), nullptr);
+
+    // One CSV row per scalar, bucket, and derived metric.
+    std::string csv = s.toCsv();
+    size_t rows = 0;
+    for (char c : csv)
+        rows += c == '\n';
+    EXPECT_EQ(rows, 1u + 3u + 1u);
+
+    Snapshot back = stats::parseSnapshot(s.toJson());
+    EXPECT_TRUE(s.countersEqual(back));
+    back.histograms[0].buckets[1].count += 1;
+    EXPECT_FALSE(s.countersEqual(back));
+}

@@ -8,7 +8,11 @@
 # rebuilds with -DNBL_SANITIZE=thread into build-tsan/ and runs the
 # parallel-engine and harness tests under TSan, which exercises the
 # thread pool, the shared Lab caches (results and event traces), and
-# the sweep fan-out.
+# the sweep fan-out. Step 3 is the observability gate: nbl-report
+# checks the committed data/stats artifacts against the generated
+# EXPERIMENTS.md tables (the artifacts are full-scale and committed,
+# so this needs no simulation), and a quick smoke run proves the
+# stats emitter never alters a bench binary's stdout.
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -28,5 +32,18 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_harness
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/test_event_trace --gtest_filter='TraceCache*'
+
+echo "== observability: EXPERIMENTS.md drift gate =="
+./build/tools/nbl-report --check
+
+echo "== observability: stats export leaves stdout untouched =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+NBL_SCALE=0.05 ./build/bench/fig06_inflight_histogram > "$tmp/plain.txt"
+NBL_SCALE=0.05 ./build/bench/fig06_inflight_histogram \
+    --json="$tmp/out.json" --csv="$tmp/out.csv" > "$tmp/export.txt"
+diff "$tmp/plain.txt" "$tmp/export.txt"
+test -s "$tmp/out.json"
+test -s "$tmp/out.csv"
 
 echo "check.sh: all passes clean"

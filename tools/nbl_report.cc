@@ -1,0 +1,582 @@
+/**
+ * @file
+ * nbl-report: check reproduction targets and regenerate the
+ * measured-vs-paper tables in EXPERIMENTS.md from stats artifacts.
+ *
+ * Input is the nbl-stats-v1 JSON documents the bench binaries emit
+ * (bench/bench_common.hh; regenerate with
+ * `NBL_STATS_DIR=data/stats build/bench/figNN_...`). The tool never
+ * simulates anything itself -- it is a pure transform from committed
+ * artifacts to tables and pass/fail verdicts, so it runs in
+ * milliseconds and is scale-agnostic about everything but the
+ * figure-specific thresholds.
+ *
+ *   nbl-report [--stats-dir=DIR] [--experiments=FILE] [mode]
+ *
+ * Modes:
+ *   (none)    print the regenerated tables and run every check;
+ *   --write   rewrite the generated regions of EXPERIMENTS.md
+ *             (between `<!-- BEGIN nbl_report NAME -->` markers);
+ *   --check   verify the in-file regions match the regenerated ones
+ *             (the CI drift gate) and run every check; exit 1 on any
+ *             failure;
+ *   --smoke   with --check: artifacts are from a reduced-scale run,
+ *             so skip the drift comparison and the thresholds that
+ *             only hold at full scale, keeping the exact invariants
+ *             (stall partition, histogram sums, blocking linearity).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+#include "harness/paper_data.hh"
+#include "harness/stats_export.hh"
+#include "stats/json.hh"
+#include "stats/registry.hh"
+#include "util/log.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+/** One (workload, config) point loaded from an artifact. */
+struct Point
+{
+    std::string workload;
+    std::string label;  ///< Config label ("mc=1", ..., or "custom").
+    std::string policy; ///< policyKey() string for custom policies.
+    uint64_t cacheBytes = 0;
+    uint64_t lineBytes = 0;
+    unsigned ways = 0;
+    int loadLatency = 0;
+    unsigned missPenalty = 0; ///< The override; 0 = pipelined bus.
+    unsigned issueWidth = 1;
+    bool perfectCache = false;
+    stats::Snapshot stats;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Every point from every loaded artifact, deduplicated by key. */
+class Artifacts
+{
+  public:
+    void
+    loadFile(const std::string &path)
+    {
+        stats::Json doc = stats::Json::parse(readFile(path));
+        if (doc.at("schema").str() != "nbl-stats-v1")
+            fatal("%s: unknown schema '%s'", path.c_str(),
+                  doc.at("schema").str().c_str());
+        for (const stats::Json &r : doc.at("results").array()) {
+            const stats::Json &c = r.at("config");
+            Point p;
+            p.workload = r.at("workload").str();
+            p.label = c.at("label").str();
+            p.policy = c.at("policy").str();
+            p.cacheBytes = c.at("cache_bytes").u64();
+            p.lineBytes = c.at("line_bytes").u64();
+            p.ways = unsigned(c.at("ways").u64());
+            p.loadLatency = int(c.at("load_latency").number());
+            p.missPenalty = unsigned(c.at("miss_penalty").u64());
+            p.issueWidth = unsigned(c.at("issue_width").u64());
+            p.perfectCache = c.at("perfect_cache").boolean();
+            p.stats = stats::snapshotFromJson(r.at("stats"));
+            points_.emplace(r.at("key").str(), std::move(p));
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[key, p] : points_)
+            fn(p);
+    }
+
+    /**
+     * The unique baseline-geometry point matching (workload, label,
+     * latency, penalty override). Fatal if absent -- a missing point
+     * means the artifact set is stale relative to the benches.
+     */
+    const Point &
+    get(const std::string &workload, const std::string &label,
+        int latency, unsigned penalty = 0,
+        const std::string &policy = std::string()) const
+    {
+        for (const auto &[key, p] : points_) {
+            if (p.workload == workload && p.label == label &&
+                p.loadLatency == latency &&
+                p.missPenalty == penalty && p.policy == policy &&
+                p.cacheBytes == 8 * 1024 && p.lineBytes == 32 &&
+                p.ways == 1 && p.issueWidth == 1 && !p.perfectCache)
+                return p;
+        }
+        fatal("no artifact point for %s/%s lat=%d pen=%u%s%s",
+              workload.c_str(), label.c_str(), latency, penalty,
+              policy.empty() ? "" : " policy=", policy.c_str());
+    }
+
+    double
+    mcpi(const std::string &workload, const std::string &label,
+         int latency, unsigned penalty = 0,
+         const std::string &policy = std::string()) const
+    {
+        return get(workload, label, latency, penalty, policy)
+            .stats.derivedValue("cpu.mcpi");
+    }
+
+    size_t size() const { return points_.size(); }
+
+  private:
+    std::map<std::string, Point> points_;
+};
+
+int checks_run = 0;
+int checks_failed = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    ++checks_run;
+    checks_failed += !ok;
+    std::printf("- %s %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Table generators. Each returns the body of one generated region
+// (the markdown table only; the markers live in EXPERIMENTS.md).
+// ---------------------------------------------------------------------
+
+std::string
+fig05Table(const Artifacts &a)
+{
+    double inf = a.mcpi("doduc", "no restrict", 10);
+    struct Row { const char *label; const char *paper; };
+    const Row rows[] = {
+        {"mc=0 +wma", "— (top curve)"}, {"mc=0", "4.1"},
+        {"mc=1", "2.9"},                {"mc=2", "1.7"},
+        {"fc=1", "2.4"},                {"fc=2", "1.3"},
+    };
+    std::string out = "| config | paper | measured |\n|---|---|---|\n";
+    for (const Row &r : rows) {
+        out += strfmt("| %s | %s | %.2f |\n", r.label, r.paper,
+                      a.mcpi("doduc", r.label, 10) / inf);
+    }
+    return out;
+}
+
+std::string
+fig13Table(const Artifacts &a)
+{
+    const char *labels[] = {"mc=0", "mc=1", "mc=2",
+                            "fc=1", "fc=2", "no restrict"};
+    const char *highlights[] = {"doduc",    "ora",   "su2cor",
+                                "compress", "eqntott", "xlisp",
+                                "swm256"};
+    auto fmtRow = [&](const std::array<double, 6> &m) {
+        std::string s;
+        for (int i = 0; i < 6; ++i)
+            s += strfmt("%s%.3f", i ? "/" : "", m[i]);
+        s += " (";
+        for (int i = 0; i < 5; ++i) {
+            s += strfmt("%s%.1f", i ? "/" : "",
+                        m[5] > 0 ? m[i] / m[5] : 0.0);
+        }
+        s += ")";
+        return s;
+    };
+    std::string out =
+        "| bench | paper mc0/mc1/mc2/fc1/fc2/inf (ratios) | measured "
+        "(ratios) |\n|---|---|---|\n";
+    for (const char *name : highlights) {
+        auto pr = harness::paper::fig13Row(name);
+        if (!pr)
+            fatal("no paper Figure 13 row for '%s'", name);
+        std::array<double, 6> paper = {pr->mc0, pr->mc1, pr->mc2,
+                                       pr->fc1, pr->fc2,
+                                       pr->unrestricted};
+        std::array<double, 6> meas;
+        for (int i = 0; i < 6; ++i)
+            meas[size_t(i)] = a.mcpi(name, labels[i], 10);
+        out += strfmt("| %s | %s | %s |\n", name,
+                      fmtRow(paper).c_str(), fmtRow(meas).c_str());
+    }
+    return out;
+}
+
+/** Display label for one Figure 14 organization. */
+std::string
+fig14Label(int subBlocks, int missesPerSub)
+{
+    if (subBlocks == 1)
+        return strfmt("explicit, %d field%s", missesPerSub,
+                      missesPerSub == 1 ? "" : "s");
+    if (missesPerSub == 1)
+        return strfmt("implicit, %d sub-blocks", subBlocks);
+    return strfmt("hybrid %dx%d", subBlocks, missesPerSub);
+}
+
+std::string
+fig14Table(const Artifacts &a)
+{
+    double inf = a.mcpi("doduc", "no restrict", 10);
+    std::string out =
+        "| organization | paper | measured |\n|---|---|---|\n";
+    for (const auto &cell : harness::paper::fig14()) {
+        if (cell.subBlocks < 0)
+            continue;
+        std::string policy = harness::policyKey(
+            core::makeFieldPolicy(cell.subBlocks, cell.missesPerSub));
+        double m = a.mcpi("doduc", "custom", 10, 0, policy);
+        out += strfmt("| %s | %.2f | %.2f |\n",
+                      fig14Label(cell.subBlocks, cell.missesPerSub)
+                          .c_str(),
+                      cell.ratio, m / inf);
+    }
+    return out;
+}
+
+std::string
+fig15Table(const Artifacts &a)
+{
+    double inf = a.mcpi("su2cor", "no restrict", 10);
+    struct Row { const char *label; const char *paper; };
+    const Row rows[] = {{"mc=1", "11"}, {"fs=1", "2.3"},
+                        {"fs=2", "1.3"}, {"fc=2", "4.2"}};
+    std::string out = "| config | paper | measured |\n|---|---|---|\n";
+    for (const Row &r : rows) {
+        out += strfmt("| %s | %s | %.2f |\n", r.label, r.paper,
+                      a.mcpi("su2cor", r.label, 10) / inf);
+    }
+    return out;
+}
+
+std::string
+fig18Table(const Artifacts &a)
+{
+    const unsigned pens[] = {4, 16, 128};
+    std::string out =
+        "| config | paper @ {4,16,128} | measured @ {4,16,128} |\n"
+        "|---|---|---|\n";
+    for (const char *label : {"mc=0", "mc=1", "fc=2", "no restrict"}) {
+        std::string paper, meas;
+        for (const auto &pr : harness::paper::fig18()) {
+            if (std::string(pr.config) != label)
+                continue;
+            // paper::fig18Penalties = {4, 8, 16, 32, 64, 128}.
+            paper = strfmt("%.3f / %.3f / %.3f", pr.mcpi[0],
+                           pr.mcpi[2], pr.mcpi[5]);
+        }
+        bool first = true;
+        for (unsigned pen : pens) {
+            meas += strfmt("%s%.3f", first ? "" : " / ",
+                           a.mcpi("tomcatv", label, 10, pen));
+            first = false;
+        }
+        const char *note =
+            std::strcmp(label, "mc=0") == 0 ? " (exactly linear)" : "";
+        out += strfmt("| %s | %s%s | %s%s |\n", label, paper.c_str(),
+                      note, meas.c_str(), note);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Checks.
+// ---------------------------------------------------------------------
+
+/** Exact invariants that hold at any workload scale. */
+void
+checkInvariants(const Artifacts &a)
+{
+    std::printf("\n## Exact invariants (every artifact point)\n\n");
+    bool partition = true, dests = true, wbuf = true, mshr = true,
+         flight = true;
+    size_t n = 0;
+    a.forEach([&](const Point &p) {
+        ++n;
+        const stats::Snapshot &s = p.stats;
+        if (p.issueWidth == 1) {
+            partition &= s.value("cpu.cycles") ==
+                         s.value("cpu.instructions") +
+                             s.value("cpu.dep_stall_cycles") +
+                             s.value("cpu.struct_stall_cycles") +
+                             s.value("cpu.block_stall_cycles");
+        }
+        dests &= s.histogram("cache.dests_per_fetch").total() ==
+                 s.value("cache.fetches");
+        wbuf &= s.histogram("wbuf.depth_on_push").total() ==
+                s.value("wbuf.writes");
+        if (p.label != "mc=0" && p.label != "mc=0 +wma" &&
+            !p.perfectCache) {
+            mshr &= s.histogram("mshr.per_set_occupancy").total() ==
+                    s.value("cache.fetches");
+        }
+        // Both time-weighted histograms cover the same timeline.
+        flight &= s.histogram("flight.misses").total() ==
+                  s.histogram("flight.fetches").total();
+    });
+    check(partition, strfmt("stall partition: cycles == instructions "
+                            "+ dep + struct + block (%zu points)",
+                            n));
+    check(dests, "cache.dests_per_fetch sums to cache.fetches");
+    check(wbuf, "wbuf.depth_on_push sums to wbuf.writes");
+    check(mshr, "mshr.per_set_occupancy sums to cache.fetches "
+                "(non-blocking points)");
+    check(flight, "flight.misses / flight.fetches cover one timeline");
+}
+
+/** Scale-robust shape checks usable on smoke artifacts too. */
+void
+checkShapes(const Artifacts &a)
+{
+    std::printf("\n## Shape checks\n\n");
+
+    // Figure 5: restriction ordering for doduc at latency 10.
+    double inf = a.mcpi("doduc", "no restrict", 10);
+    double wma = a.mcpi("doduc", "mc=0 +wma", 10) / inf;
+    double mc0 = a.mcpi("doduc", "mc=0", 10) / inf;
+    double mc1 = a.mcpi("doduc", "mc=1", 10) / inf;
+    double mc2 = a.mcpi("doduc", "mc=2", 10) / inf;
+    double fc1 = a.mcpi("doduc", "fc=1", 10) / inf;
+    double fc2 = a.mcpi("doduc", "fc=2", 10) / inf;
+    check(wma >= mc0 && mc0 > mc1 && mc1 > mc2 && mc2 >= 1.0,
+          "fig05: mc=0 +wma >= mc=0 > mc=1 > mc=2 >= unrestricted");
+    check(fc1 > fc2 && fc2 >= 1.0,
+          "fig05: fc=1 > fc=2 >= unrestricted");
+    check(mc2 < fc1, "fig05: mc=2 beats fc=1 (doduc crossover)");
+
+    // Figure 18: blocking MCPI exactly linear in the penalty.
+    double perPen0 = a.mcpi("tomcatv", "mc=0", 10, 4) / 4.0;
+    bool linear = true;
+    for (unsigned pen : harness::paper::fig18Penalties) {
+        double per = a.mcpi("tomcatv", "mc=0", 10, pen) / double(pen);
+        linear &= std::fabs(per - perPen0) <= 1e-12 * perPen0;
+    }
+    check(linear, "fig18: blocking MCPI exactly linear in penalty");
+    check(a.mcpi("tomcatv", "no restrict", 10, 32) >
+              2.0 * a.mcpi("tomcatv", "no restrict", 10, 16),
+          "fig18: unrestricted MCPI super-linear (16 -> 32 more than "
+          "doubles)");
+
+    // Figure 6: in-flight fetches bounded by the pipelined penalty.
+    bool bound = true;
+    a.forEach([&](const Point &p) {
+        if (p.workload == "doduc" && p.missPenalty == 0 &&
+            !p.perfectCache && p.issueWidth == 1) {
+            bound &= p.stats.value("run.max_inflight_fetches") <=
+                     p.stats.value("run.miss_penalty");
+        }
+    });
+    check(bound, "fig06: max in-flight fetches <= miss penalty "
+                 "(single issue)");
+}
+
+/** Full-scale-only targets (committed artifacts). */
+void
+checkFullScale(const Artifacts &a)
+{
+    std::printf("\n## Full-scale reproduction targets\n\n");
+
+    // Figure 13: hit-under-miss sufficient for integer codes,
+    // insufficient for clustered-miss numeric codes; ora flat.
+    for (const char *name : {"xlisp", "eqntott", "compress", "ora"}) {
+        double r = a.mcpi(name, "mc=1", 10) /
+                   a.mcpi(name, "no restrict", 10);
+        check(r <= 1.15,
+              strfmt("fig13: %s mc=1 within 15%% of unrestricted "
+                     "(%.2f)", name, r));
+    }
+    for (const char *name : {"doduc", "su2cor", "swm256"}) {
+        double r = a.mcpi(name, "mc=1", 10) /
+                   a.mcpi(name, "no restrict", 10);
+        check(r >= 1.5,
+              strfmt("fig13: %s mc=1 at least 1.5x unrestricted "
+                     "(%.2f)", name, r));
+    }
+    {
+        double lo = a.mcpi("ora", "mc=0", 10);
+        double hi = a.mcpi("ora", "no restrict", 10);
+        check(hi > 0 && std::fabs(lo - hi) <= 1e-9 * hi,
+              "fig13: ora identical under every configuration "
+              "(serial misses)");
+    }
+
+    // Figure 14: more fields / sub-blocks never hurt, and the
+    // single-field MSHR is the clear loser.
+    double inf = a.mcpi("doduc", "no restrict", 10);
+    auto org = [&](int sb, int mps) {
+        return a.mcpi("doduc", "custom", 10, 0,
+                      harness::policyKey(core::makeFieldPolicy(sb,
+                                                               mps))) /
+               inf;
+    };
+    check(org(1, 1) >= org(1, 2) && org(1, 2) >= org(1, 4),
+          "fig14: explicit MSHR monotone in field count");
+    check(org(2, 1) >= org(4, 1) && org(4, 1) >= org(8, 1),
+          "fig14: implicit MSHR monotone in sub-block count");
+    check(org(1, 1) >= 1.5 && org(8, 1) <= 1.05,
+          strfmt("fig14: 1 field >= 1.5x (%.2f), 8 sub-blocks within "
+                 "5%% (%.2f)", org(1, 1), org(8, 1)));
+
+    // Figure 15: per-set limits sit between mc=1 and unrestricted.
+    double s_inf = a.mcpi("su2cor", "no restrict", 10);
+    double s_mc1 = a.mcpi("su2cor", "mc=1", 10) / s_inf;
+    double s_fs1 = a.mcpi("su2cor", "fs=1", 10) / s_inf;
+    double s_fs2 = a.mcpi("su2cor", "fs=2", 10) / s_inf;
+    double s_fc2 = a.mcpi("su2cor", "fc=2", 10) / s_inf;
+    check(s_mc1 > s_fs1 && s_fs1 > s_fs2 && s_fs2 > 1.0,
+          "fig15: mc=1 > fs=1 > fs=2 > unrestricted for su2cor");
+    check(s_fs1 > s_fc2,
+          "fig15: one fetch per set worse than fc=2 for su2cor");
+
+    // Figure 7: the structural share of MCPI grows with the
+    // scheduled latency for restricted configurations.
+    for (const char *label : {"mc=1", "mc=2", "fc=1"}) {
+        double lo = a.get("doduc", label, 1)
+                        .stats.derivedValue("cpu.structural_share");
+        double hi = a.get("doduc", label, 20)
+                        .stats.derivedValue("cpu.structural_share");
+        check(hi > lo,
+              strfmt("fig07: %s structural share grows with latency "
+                     "(%.2f -> %.2f)", label, lo, hi));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated-region plumbing for EXPERIMENTS.md.
+// ---------------------------------------------------------------------
+
+std::string
+beginMarker(const std::string &name)
+{
+    return "<!-- BEGIN nbl_report " + name + " -->\n";
+}
+
+std::string
+endMarker(const std::string &name)
+{
+    return "<!-- END nbl_report " + name + " -->";
+}
+
+/** The regions nbl-report owns, in file order. */
+std::vector<std::pair<std::string, std::string>>
+generateRegions(const Artifacts &a)
+{
+    return {{"fig05", fig05Table(a)},
+            {"fig13", fig13Table(a)},
+            {"fig14", fig14Table(a)},
+            {"fig15", fig15Table(a)},
+            {"fig18", fig18Table(a)}};
+}
+
+/**
+ * Replace (write=true) or compare (write=false) every generated
+ * region in text. Returns the updated text; appends one check() per
+ * region in compare mode.
+ */
+std::string
+applyRegions(std::string text, const Artifacts &a, bool write)
+{
+    for (const auto &[name, body] : generateRegions(a)) {
+        std::string begin = beginMarker(name);
+        std::string end = endMarker(name);
+        size_t b = text.find(begin);
+        size_t e = text.find(end);
+        if (b == std::string::npos || e == std::string::npos || e < b)
+            fatal("EXPERIMENTS.md: missing generated-region markers "
+                  "for '%s'", name.c_str());
+        size_t body_at = b + begin.size();
+        if (write) {
+            text = text.substr(0, body_at) + body + text.substr(e);
+        } else {
+            check(text.substr(body_at, e - body_at) == body,
+                  strfmt("EXPERIMENTS.md '%s' table matches "
+                         "regenerated data (drift gate)",
+                         name.c_str()));
+        }
+    }
+    return text;
+}
+
+const char *artifactFiles[] = {
+    "fig05_doduc_baseline.json",   "fig06_inflight_histogram.json",
+    "fig07_stall_breakdown.json",  "fig13_all18_table.json",
+    "fig14_mshr_organizations.json", "fig15_su2cor_per_set.json",
+    "fig18_miss_penalty.json",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string stats_dir = "data/stats";
+    std::string experiments = "EXPERIMENTS.md";
+    bool do_write = false, do_check = false, smoke = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--stats-dir=", 12) == 0)
+            stats_dir = arg + 12;
+        else if (std::strncmp(arg, "--experiments=", 14) == 0)
+            experiments = arg + 14;
+        else if (std::strcmp(arg, "--write") == 0)
+            do_write = true;
+        else if (std::strcmp(arg, "--check") == 0)
+            do_check = true;
+        else if (std::strcmp(arg, "--smoke") == 0)
+            smoke = true;
+        else
+            fatal("unknown argument '%s'", arg);
+    }
+
+    Artifacts a;
+    for (const char *f : artifactFiles)
+        a.loadFile(stats_dir + "/" + f);
+    std::printf("# nbl-report: %zu artifact points from %s\n",
+                a.size(), stats_dir.c_str());
+
+    if (!do_write && !do_check) {
+        for (const auto &[name, body] : generateRegions(a))
+            std::printf("\n## %s\n\n%s", name.c_str(), body.c_str());
+    }
+
+    checkInvariants(a);
+    checkShapes(a);
+    if (!smoke)
+        checkFullScale(a);
+
+    if (do_write) {
+        harness::writeFileOrDie(
+            experiments,
+            applyRegions(readFile(experiments), a, /*write=*/true));
+        std::printf("\nrewrote generated regions in %s\n",
+                    experiments.c_str());
+    } else if (do_check && !smoke) {
+        std::printf("\n## Drift gate\n\n");
+        applyRegions(readFile(experiments), a, /*write=*/false);
+    }
+
+    std::printf("\n%d checks, %d failed\n", checks_run, checks_failed);
+    return checks_failed == 0 ? 0 : 1;
+}
