@@ -24,6 +24,7 @@
 #include "harness/report.hh"
 #include "harness/stats_export.hh"
 #include "harness/sweep.hh"
+#include "util/env.hh"
 
 namespace nbl_bench
 {
@@ -32,9 +33,8 @@ namespace nbl_bench
 inline double
 benchScale()
 {
-    if (const char *s = std::getenv("NBL_SCALE"))
-        return std::atof(s);
-    return 1.0;
+    double v = nbl::envDouble("NBL_SCALE", 1.0);
+    return v > 0.0 ? v : 1.0;
 }
 
 /**
@@ -119,8 +119,9 @@ init(int argc, char **argv)
             t.csvPath = a + 6;
     }
     if (t.jsonPath.empty()) {
-        if (const char *dir = std::getenv("NBL_STATS_DIR"))
-            t.jsonPath = std::string(dir) + "/" + t.binary + ".json";
+        std::string dir = nbl::envString("NBL_STATS_DIR");
+        if (!dir.empty())
+            t.jsonPath = dir + "/" + t.binary + ".json";
     }
     if (t.jsonPath.empty() && t.csvPath.empty())
         return;
@@ -178,7 +179,7 @@ runCurveFigure(const std::string &figure, const std::string &what,
                               curves);
     std::printf("\n");
     nbl::harness::plotCurves(curves);
-    if (std::getenv("NBL_CSV")) {
+    if (nbl::envFlag("NBL_CSV")) {
         std::printf("\n# CSV\n%s",
                     nbl::harness::curvesCsv(curves).c_str());
     }

@@ -1,0 +1,494 @@
+#include "check/differential.hh"
+
+#include <limits>
+#include <map>
+
+#include "check/reference.hh"
+#include "core/policy.hh"
+#include "exec/event_trace.hh"
+#include "exec/machine.hh"
+#include "exec/trace.hh"
+#include "harness/parallel.hh"
+#include "mem/sparse_memory.hh"
+#include "stats/run_stats.hh"
+#include "util/log.hh"
+
+namespace nbl::check
+{
+
+namespace
+{
+
+constexpr long long kInf = std::numeric_limits<long long>::max();
+
+long long
+eff(int v)
+{
+    return v < 0 ? kInf : v;
+}
+
+/**
+ * An ExperimentConfig's MSHR restrictions resolved to the partial
+ * order the monotonicity check walks (-1 widened to kInf, per-set
+ * tracking resolved against the geometry).
+ */
+struct Limits
+{
+    bool blocking = false;
+    bool wma = false;
+    /** Inverted MSHR with unlimited destinations: dominates every
+     *  non-blocking organization with the same store policy. */
+    bool noRestrict = false;
+    /** Shapes the partial order does not cover (e.g. an inverted
+     *  MSHR with *finite* destination fields): skip its pairs. */
+    bool incomparable = false;
+    long long mshrs = kInf;
+    long long misses = kInf;
+    long long perSet = kInf;
+    long long sub = 1;
+    long long mps = kInf;
+    core::StoreMode store = core::StoreMode::WriteAround;
+    unsigned fillExtra = 0;
+    std::string label;
+};
+
+Limits
+resolveLimits(const harness::ExperimentConfig &cfg)
+{
+    core::MshrPolicy p = cfg.customPolicy
+                             ? *cfg.customPolicy
+                             : core::makePolicy(cfg.config);
+    Limits l;
+    l.store = p.storeMode;
+    l.fillExtra = p.fillExtraCycles;
+    l.label = p.label;
+    switch (p.mode) {
+    case core::CacheMode::Blocking:
+        l.blocking = true;
+        return l;
+    case core::CacheMode::BlockingWMA:
+        l.blocking = l.wma = true;
+        return l;
+    case core::CacheMode::Inverted:
+        if (p.subBlocks == 1 && p.missesPerSubBlock < 0)
+            l.noRestrict = true;
+        else
+            l.incomparable = true;
+        return l;
+    case core::CacheMode::MshrFile:
+        break;
+    }
+    l.mshrs = eff(p.numMshrs);
+    l.misses = eff(p.maxMisses);
+    l.perSet = p.fetchesPerSetTracksWays
+                   ? (cfg.ways ? (long long)cfg.ways : kInf)
+                   : eff(p.fetchesPerSet);
+    l.sub = p.subBlocks;
+    l.mps = eff(p.missesPerSubBlock);
+    return l;
+}
+
+/**
+ * True when `a` accepts every miss stream `b` accepts, so cycles(a)
+ * <= cycles(b) is a theorem (under the eviction-free precondition;
+ * see the header). Destination fields compare by accept-set
+ * inclusion: splitting a line into a.sub sub-blocks refines b.sub's
+ * partition only when b.sub divides a.sub.
+ */
+bool
+dominates(const Limits &a, const Limits &b)
+{
+    if (a.blocking || b.blocking || a.incomparable || b.incomparable)
+        return false;
+    if (a.store != b.store || a.fillExtra > b.fillExtra)
+        return false;
+    if (a.noRestrict)
+        return true;
+    if (b.noRestrict)
+        return false;
+    return a.mshrs >= b.mshrs && a.misses >= b.misses &&
+           a.perSet >= b.perSet && a.sub % b.sub == 0 &&
+           a.mps >= b.mps;
+}
+
+/** Machine-identical apart from the MSHR policy? (Monotonicity only
+ *  orders runs over the same cache geometry and memory system.) */
+bool
+sameMachine(const harness::ExperimentConfig &a,
+            const harness::ExperimentConfig &b)
+{
+    return a.cacheBytes == b.cacheBytes && a.lineBytes == b.lineBytes &&
+           a.ways == b.ways && a.missPenalty == b.missPenalty &&
+           a.issueWidth == b.issueWidth &&
+           a.perfectCache == b.perfectCache &&
+           a.fillWritePorts == b.fillWritePorts &&
+           a.maxInstructions == b.maxInstructions;
+}
+
+/** First differing counter between two snapshots, for the report. */
+std::string
+snapshotDiff(const stats::Snapshot &a, const stats::Snapshot &b)
+{
+    if (a.scalars.size() != b.scalars.size() ||
+        a.histograms.size() != b.histograms.size() ||
+        a.derived.size() != b.derived.size())
+        return "snapshots differ in structure";
+    for (size_t i = 0; i < a.scalars.size(); ++i) {
+        const stats::Scalar &x = a.scalars[i];
+        const stats::Scalar &y = b.scalars[i];
+        if (x.name != y.name)
+            return strfmt("scalar #%zu name: %s vs %s", i,
+                          x.name.c_str(), y.name.c_str());
+        if (x.value != y.value)
+            return strfmt("%s: %llu vs %llu", x.name.c_str(),
+                          (unsigned long long)x.value,
+                          (unsigned long long)y.value);
+    }
+    for (size_t i = 0; i < a.histograms.size(); ++i) {
+        const stats::Histogram &x = a.histograms[i];
+        const stats::Histogram &y = b.histograms[i];
+        if (x.name != y.name || x.buckets.size() != y.buckets.size())
+            return strfmt("histogram #%zu structure: %s vs %s", i,
+                          x.name.c_str(), y.name.c_str());
+        for (size_t j = 0; j < x.buckets.size(); ++j) {
+            if (x.buckets[j].label != y.buckets[j].label ||
+                x.buckets[j].count != y.buckets[j].count)
+                return strfmt(
+                    "%s[%s]: %llu vs %llu", x.name.c_str(),
+                    x.buckets[j].label.c_str(),
+                    (unsigned long long)x.buckets[j].count,
+                    (unsigned long long)y.buckets[j].count);
+        }
+    }
+    for (size_t i = 0; i < a.derived.size(); ++i) {
+        const stats::Derived &x = a.derived[i];
+        const stats::Derived &y = b.derived[i];
+        bool both_nan = x.value != x.value && y.value != y.value;
+        if (x.name != y.name || (x.value != y.value && !both_nan))
+            return strfmt("%s: %.17g vs %.17g", x.name.c_str(),
+                          x.value, y.value);
+    }
+    return "counters differ (unlocated)";
+}
+
+std::string
+cfgLabel(const harness::ExperimentConfig &cfg)
+{
+    const std::string policy = cfg.customPolicy
+                                   ? cfg.customPolicy->label
+                                   : core::configLabel(cfg.config);
+    return strfmt("%s %lluB/%lluB/%u-way mp=%u", policy.c_str(),
+                  (unsigned long long)cfg.cacheBytes,
+                  (unsigned long long)cfg.lineBytes, cfg.ways,
+                  cfg.missPenalty);
+}
+
+} // namespace
+
+std::string
+Divergence::str() const
+{
+    return strfmt("seed=%llu cfg#%zu [%s] %s",
+                  (unsigned long long)seed, cfgIndex, check.c_str(),
+                  detail.c_str());
+}
+
+std::vector<Divergence>
+checkProgram(const isa::Program &program,
+             std::vector<harness::ExperimentConfig> cfgs,
+             const CheckOptions &opts)
+{
+    std::vector<Divergence> divs;
+    auto report = [&](size_t i, const char *check, std::string detail) {
+        Divergence d;
+        d.check = check;
+        d.detail = std::move(detail);
+        d.cfgIndex = i;
+        divs.push_back(std::move(d));
+    };
+
+    for (harness::ExperimentConfig &c : cfgs)
+        c.maxInstructions = opts.maxInstructions;
+
+    // Record the functional execution once; every engine below sees
+    // the same architectural prefix.
+    exec::EventTrace etrace;
+    {
+        mem::SparseMemory data;
+        etrace = exec::recordEventTrace(program, data,
+                                        opts.maxInstructions);
+    }
+    exec::MemTrace mtrace;
+    {
+        mem::SparseMemory data;
+        mtrace = exec::recordTrace(program, data, opts.maxInstructions);
+    }
+
+    std::vector<exec::RunOutput> outs(cfgs.size());
+    std::vector<stats::Snapshot> snaps(cfgs.size());
+
+    // mc=0 reference runs, shared across configurations with the same
+    // geometry / penalty / store-miss policy.
+    std::map<std::string, ReferenceResult> refs;
+    auto reference = [&](const harness::ExperimentConfig &cfg,
+                         bool wma) -> const ReferenceResult & {
+        std::string key =
+            strfmt("%llu|%llu|%u|%u|%d",
+                   (unsigned long long)cfg.cacheBytes,
+                   (unsigned long long)cfg.lineBytes, cfg.ways,
+                   cfg.missPenalty, int(wma));
+        auto it = refs.find(key);
+        if (it == refs.end()) {
+            ReferenceConfig rc;
+            rc.cacheBytes = cfg.cacheBytes;
+            rc.lineBytes = cfg.lineBytes;
+            rc.ways = cfg.ways;
+            rc.missPenalty = cfg.missPenalty;
+            rc.writeMissAllocate = wma;
+            rc.maxInstructions = opts.maxInstructions;
+            mem::SparseMemory data;
+            it = refs.emplace(key, referenceRun(program, data, rc))
+                     .first;
+        }
+        return it->second;
+    };
+
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        const harness::ExperimentConfig &cfg = cfgs[i];
+        const exec::MachineConfig mc = harness::makeMachineConfig(cfg);
+        {
+            mem::SparseMemory data;
+            outs[i] = exec::run(program, data, mc);
+        }
+        const exec::RunOutput &out = outs[i];
+        snaps[i] = stats::snapshotOfRun(out);
+
+        // Engine cross: exact replay must be bit-identical to
+        // execution-driven simulation on every counter.
+        {
+            exec::RunOutput rep = exec::replayExact(program, etrace, mc);
+            stats::Snapshot rs = stats::snapshotOfRun(rep);
+            if (!snaps[i].countersEqual(rs))
+                report(i, "exec-vs-replay", snapshotDiff(snaps[i], rs));
+        }
+
+        // Stall-partition identity (single-issue contract).
+        if (cfg.issueWidth == 1) {
+            uint64_t sum = out.cpu.instructions +
+                           out.cpu.depStallCycles +
+                           out.cpu.structStallCycles +
+                           out.cpu.blockStallCycles;
+            if (out.cpu.cycles != sum)
+                report(i, "stall-partition",
+                       strfmt("cycles=%llu but partition sums to %llu",
+                              (unsigned long long)out.cpu.cycles,
+                              (unsigned long long)sum));
+        }
+
+        // Histogram conservation laws (docs/OBSERVABILITY.md,
+        // docs/TESTING.md). The flight histograms integrate over the
+        // cache's lifetime, which extends past Halt while the last
+        // fetches drain: both end together, at most penalty +
+        // fill-extra cycles after the CPU, and exactly at the CPU's
+        // last cycle on a blocking cache (the stall covers the fill).
+        const Limits lim = resolveLimits(cfg);
+        if (!cfg.perfectCache) {
+            const stats::Snapshot &s = snaps[i];
+            uint64_t fm = s.histogram("flight.misses").total();
+            uint64_t ff = s.histogram("flight.fetches").total();
+            uint64_t tail_max = out.cpu.cycles + out.missPenalty +
+                                lim.fillExtra;
+            if (fm != ff || fm < out.cpu.cycles || fm > tail_max ||
+                (lim.blocking && fm != out.cpu.cycles))
+                report(i, "conservation",
+                       strfmt("flight totals %llu/%llu vs cycles %llu "
+                              "(drain tail cap %llu)",
+                              (unsigned long long)fm,
+                              (unsigned long long)ff,
+                              (unsigned long long)out.cpu.cycles,
+                              (unsigned long long)tail_max));
+            struct Law
+            {
+                const char *hist;
+                uint64_t want;
+            };
+            const Law laws[] = {
+                {"cache.dests_per_fetch", out.cache.fetches},
+                {"wbuf.depth_on_push", out.wbuf.writes},
+                {"mshr.per_set_occupancy",
+                 lim.blocking ? 0 : out.cache.fetches},
+            };
+            for (const Law &law : laws) {
+                uint64_t got = s.histogram(law.hist).total();
+                if (got != law.want)
+                    report(i, "conservation",
+                           strfmt("%s.total()=%llu want %llu",
+                                  law.hist, (unsigned long long)got,
+                                  (unsigned long long)law.want));
+            }
+        }
+
+        // Independent blocking reference: exact on mc=0 / mc=0 +wma.
+        if (lim.blocking && cfg.issueWidth == 1 && !cfg.perfectCache &&
+            lim.fillExtra == 0) {
+            const ReferenceResult &ref = reference(cfg, lim.wma);
+            struct Cmp
+            {
+                const char *name;
+                uint64_t ref, got;
+            };
+            const Cmp cmps[] = {
+                {"cycles", ref.cycles, out.cpu.cycles},
+                {"instructions", ref.instructions,
+                 out.cpu.instructions},
+                {"loads", ref.loads, out.cpu.loads},
+                {"stores", ref.stores, out.cpu.stores},
+                {"branches", ref.branches, out.cpu.branches},
+                {"dep_stall", ref.depStallCycles,
+                 out.cpu.depStallCycles},
+                {"struct_stall", 0, out.cpu.structStallCycles},
+                {"block_stall", ref.blockStallCycles,
+                 out.cpu.blockStallCycles},
+                {"load_hits", ref.loadHits, out.cache.loadHits},
+                {"store_hits", ref.storeHits, out.cache.storeHits},
+                {"load_primary_misses", ref.loadPrimaryMisses,
+                 out.cache.primaryMisses},
+                {"secondary_misses", 0, out.cache.secondaryMisses},
+                {"store_primary_misses", ref.storePrimaryMisses,
+                 out.cache.storePrimaryMisses},
+                {"store_misses", ref.storeMisses,
+                 out.cache.storeMisses},
+                {"fetches", ref.fetches, out.cache.fetches},
+                {"evictions", ref.evictions, out.cache.evictions},
+                {"hit_cap", ref.hitInstructionCap,
+                 out.hitInstructionCap},
+            };
+            for (const Cmp &c : cmps) {
+                if (c.ref != c.got)
+                    report(i, "reference-exact",
+                           strfmt("%s: reference=%llu model=%llu (%s)",
+                                  c.name, (unsigned long long)c.ref,
+                                  (unsigned long long)c.got,
+                                  cfgLabel(cfg).c_str()));
+            }
+        }
+
+        // Blocking upper bound: under the eviction-free precondition
+        // a lockup cache can only be slower than any write-around
+        // lockup-free organization with free fills.
+        if (!lim.blocking && !lim.incomparable &&
+            cfg.issueWidth == 1 && !cfg.perfectCache &&
+            lim.store == core::StoreMode::WriteAround &&
+            lim.fillExtra == 0) {
+            const ReferenceResult &ref = reference(cfg, false);
+            if (ref.evictions == 0 && out.cache.evictions == 0 &&
+                out.cpu.cycles > ref.cycles)
+                report(i, "reference-bound",
+                       strfmt("%s cycles=%llu exceeds blocking "
+                              "reference %llu",
+                              cfgLabel(cfg).c_str(),
+                              (unsigned long long)out.cpu.cycles,
+                              (unsigned long long)ref.cycles));
+        }
+
+        // Trace replay: the only information a trace lacks is
+        // dataflow, so whenever execution-driven simulation recorded
+        // zero dependence-stall cycles the two engines must agree
+        // exactly; for blocking caches that holds unconditionally (a
+        // blocked processor never runs ahead into a dependence).
+        // When dependence stalls did occur there is no sound bound
+        // in either direction: shifting accesses earlier moves
+        // write-buffer merge and secondary-miss windows
+        // non-monotonically (this is exactly the paper's
+        // trace-vs-exec methodology gap), so the checker is silent.
+        if (cfg.issueWidth == 1 && !cfg.perfectCache &&
+            (lim.blocking || out.cpu.depStallCycles == 0)) {
+            exec::ReplayResult tr = exec::replayTrace(
+                mtrace, mc.geometry, mc.policy, mc.memory);
+            if (tr.cycles != out.cpu.cycles)
+                report(i, "trace-replay",
+                       strfmt("trace cycles=%llu vs exec %llu (%s)",
+                              (unsigned long long)tr.cycles,
+                              (unsigned long long)out.cpu.cycles,
+                              cfgLabel(cfg).c_str()));
+        }
+    }
+
+    // Cross-config monotonicity: a configuration that accepts every
+    // miss stream another accepts can never take more cycles -- given
+    // both runs are eviction-free (with evictions the replacement
+    // stream itself depends on the policy and ordering is forfeit).
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        if (cfgs[i].issueWidth != 1 || cfgs[i].perfectCache)
+            continue;
+        if (outs[i].cache.evictions != 0)
+            continue;
+        const Limits a = resolveLimits(cfgs[i]);
+        for (size_t j = 0; j < cfgs.size(); ++j) {
+            if (i == j || !sameMachine(cfgs[i], cfgs[j]))
+                continue;
+            if (outs[j].cache.evictions != 0)
+                continue;
+            const Limits b = resolveLimits(cfgs[j]);
+            bool dom = dominates(a, b);
+            // A write-around blocking cache is the floor of the
+            // resource lattice: anything lockup-free dominates it.
+            if (!dom && b.blocking && !b.wma && !a.blocking &&
+                !a.incomparable &&
+                a.store == core::StoreMode::WriteAround &&
+                a.fillExtra == 0)
+                dom = true;
+            if (!dom)
+                continue;
+            if (outs[i].cpu.cycles > outs[j].cpu.cycles)
+                report(i, "monotonicity",
+                       strfmt("%s cycles=%llu exceeds dominated %s "
+                              "cycles=%llu",
+                              cfgLabel(cfgs[i]).c_str(),
+                              (unsigned long long)outs[i].cpu.cycles,
+                              cfgLabel(cfgs[j]).c_str(),
+                              (unsigned long long)outs[j].cpu.cycles));
+        }
+    }
+
+    // Lab engine: serial and parallel sweeps must reproduce the
+    // execution-driven counters bit-for-bit.
+    if (opts.lab) {
+        harness::Lab serial_lab;
+        serial_lab.addRawProgram("fuzz", program);
+        harness::Lab parallel_lab;
+        parallel_lab.addRawProgram("fuzz", program);
+        std::vector<harness::SweepPoint> points;
+        points.reserve(cfgs.size());
+        for (const harness::ExperimentConfig &c : cfgs)
+            points.push_back({"fuzz", c});
+        std::vector<harness::ExperimentResult> par =
+            harness::runPointsParallel(parallel_lab, points,
+                                       opts.labJobs);
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            stats::Snapshot ss = stats::snapshotOfRun(
+                serial_lab.run("fuzz", cfgs[i]).run);
+            if (!snaps[i].countersEqual(ss))
+                report(i, "lab-serial", snapshotDiff(snaps[i], ss));
+            stats::Snapshot ps = stats::snapshotOfRun(par[i].run);
+            if (!snaps[i].countersEqual(ps))
+                report(i, "lab-parallel", snapshotDiff(snaps[i], ps));
+        }
+    }
+
+    return divs;
+}
+
+std::vector<Divergence>
+checkSeed(uint64_t seed, const CheckOptions &opts)
+{
+    Rng rng(seed);
+    isa::Program program = generateProgram(rng);
+    std::vector<harness::ExperimentConfig> cfgs = generateConfigs(rng);
+    std::vector<Divergence> divs = checkProgram(program, cfgs, opts);
+    for (Divergence &d : divs)
+        d.seed = seed;
+    return divs;
+}
+
+} // namespace nbl::check

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Differential runner: execute one generated (program, config-set)
+ * point through every engine the repo has and assert the identities
+ * that make the paper's numbers trustworthy.
+ *
+ * Engines crossed per point:
+ *  - exec::run        (execution-driven, the source of truth)
+ *  - exec::replayExact (record-once/replay-many; bit-identical claim)
+ *  - harness::Lab      (memoizing engine, serial and parallel)
+ *  - exec::replayTrace (optimistic trace replay; exact whenever the
+ *                       exec run had no dependency stalls — the trace
+ *                       drops only dataflow — and unconditionally for
+ *                       blocking caches; unchecked otherwise, where
+ *                       the approximation is non-monotone)
+ *  - check::referenceRun (independent blocking model; exact at mc=0
+ *                       and mc=0 +wma, an upper bound elsewhere)
+ *
+ * Invariants checked on each run (docs/MODEL.md, docs/TESTING.md):
+ * the stall-partition identity, histogram conservation laws, and
+ * cross-config monotonicity: adding MSHR resources never increases
+ * cycles, and `no restrict` lower-bounds every finite organization.
+ * The monotonicity and bound checks require an eviction-free run on
+ * both sides -- with evictions the replacement stream itself depends
+ * on the configuration and the paper's ordering is not a theorem --
+ * and compare only configurations with equal store policy and fill
+ * cost.
+ */
+
+#ifndef NBL_CHECK_DIFFERENTIAL_HH
+#define NBL_CHECK_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/generator.hh"
+#include "harness/experiment.hh"
+#include "isa/program.hh"
+
+namespace nbl::check
+{
+
+/** One failed identity, with enough context to reproduce it. */
+struct Divergence
+{
+    uint64_t seed = 0;    ///< Seed (checkSeed only; 0 otherwise).
+    std::string check;    ///< Identity that failed (e.g. "exec-vs-replay").
+    std::string detail;   ///< Human-readable mismatch description.
+    size_t cfgIndex = 0;  ///< Index into the config vector.
+
+    std::string str() const;
+};
+
+/** Runner knobs. */
+struct CheckOptions
+{
+    /** Cross-check the Lab engine (serial and parallel). */
+    bool lab = true;
+    /** Worker threads for the parallel Lab pass. */
+    unsigned labJobs = 3;
+    /** Instruction cap applied to every engine (bounds shrinker
+     *  candidates whose loops no longer terminate). */
+    uint64_t maxInstructions = 1'000'000;
+};
+
+/**
+ * Run every check for one (program, configs) point. Returns the full
+ * list of divergences (empty = clean). cfg.maxInstructions is
+ * overridden by opts.maxInstructions so all engines replay the same
+ * prefix.
+ */
+std::vector<Divergence>
+checkProgram(const isa::Program &program,
+             std::vector<harness::ExperimentConfig> cfgs,
+             const CheckOptions &opts = {});
+
+/**
+ * One fuzz point end to end: generate the program and config set from
+ * `seed`, run checkProgram, and stamp the seed into any divergence.
+ */
+std::vector<Divergence> checkSeed(uint64_t seed,
+                                  const CheckOptions &opts = {});
+
+} // namespace nbl::check
+
+#endif // NBL_CHECK_DIFFERENTIAL_HH

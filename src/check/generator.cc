@@ -1,0 +1,305 @@
+#include "check/generator.hh"
+
+#include <algorithm>
+
+#include "core/policy.hh"
+
+namespace nbl::check
+{
+
+namespace
+{
+
+using isa::Instr;
+using isa::Op;
+using isa::RegId;
+
+/** Register roles (see generateProgram): bases r1..r4, counter r5,
+ *  integer data r8..r15, FP data f1..f8. */
+constexpr unsigned kFirstBase = 1;
+constexpr unsigned kCounter = 5;
+constexpr unsigned kFirstData = 8;
+constexpr unsigned kNumData = 8;
+constexpr unsigned kFirstFp = 1;
+constexpr unsigned kNumFp = 8;
+
+Instr
+limm(unsigned reg, int64_t value)
+{
+    Instr in;
+    in.op = Op::LImm;
+    in.dst = isa::intReg(reg);
+    in.imm = value;
+    return in;
+}
+
+/** Weighted access size: mostly 8, sometimes narrower. Addresses are
+ *  kept 8-byte aligned, so every size is naturally aligned. FP
+ *  accesses are restricted to 4 or 8 bytes (float/double). */
+uint8_t
+drawSize(Rng &rng, bool fp)
+{
+    double d = rng.real();
+    if (d < 0.70)
+        return 8;
+    if (fp || d < 0.85)
+        return 4;
+    if (d < 0.95)
+        return 2;
+    return 1;
+}
+
+} // namespace
+
+isa::Program
+generateProgram(Rng &rng, const GenParams &p)
+{
+    isa::Program prog("fuzz");
+
+    unsigned nbases = unsigned(rng.range(2, 4));
+    uint64_t anchor_step =
+        std::max<uint64_t>(8, (p.footprint / std::max(1u, p.anchors)) &
+                                  ~uint64_t{7});
+
+    // Prologue: base registers drawn from a small anchor set (so
+    // bases alias at both line and set granularity), the loop
+    // counter, and a few seeded data registers.
+    for (unsigned b = 0; b < nbases; ++b) {
+        uint64_t anchor = 0x1000 + rng.below(p.anchors) * anchor_step;
+        uint64_t jitter = rng.below(4) * 8;
+        prog.push(limm(kFirstBase + b, int64_t(anchor + jitter)));
+    }
+    prog.push(limm(kCounter, int64_t(rng.range(1, p.maxIterations))));
+    for (unsigned d = 0; d < 3; ++d) {
+        prog.push(limm(kFirstData + d, int64_t(rng.below(1 << 16))));
+    }
+    {
+        // Seed one FP register from an integer (LImm is int-only).
+        Instr mv;
+        mv.op = Op::MovIF;
+        mv.dst = isa::fpReg(kFirstFp);
+        mv.src1 = isa::intReg(kFirstData);
+        prog.push(mv);
+    }
+
+    unsigned body_len =
+        unsigned(rng.range(p.minBodyLen, p.maxBodyLen));
+    size_t loop_start = prog.size();
+    // Absolute index of the counter decrement that ends the body:
+    // forward branches may target anything up to and including it.
+    size_t body_end = loop_start + body_len;
+
+    auto base_reg = [&] {
+        return isa::intReg(kFirstBase + unsigned(rng.below(nbases)));
+    };
+    auto data_reg = [&] {
+        return isa::intReg(kFirstData + unsigned(rng.below(kNumData)));
+    };
+    auto fp_data_reg = [&] {
+        return isa::fpReg(kFirstFp + unsigned(rng.below(kNumFp)));
+    };
+    // Dependence-distance control: remember the most recent load/ALU
+    // destinations and draw sources from them with nearDepChance.
+    unsigned recent[2] = {kFirstData, kFirstData + 1};
+    auto src_reg = [&] {
+        if (rng.chance(p.nearDepChance))
+            return isa::intReg(recent[rng.below(2)]);
+        return data_reg();
+    };
+    auto note_written = [&](RegId r) {
+        if (r.cls == isa::RegClass::Int && r.idx >= kFirstData) {
+            recent[1] = recent[0];
+            recent[0] = r.idx;
+        }
+    };
+    auto disp = [&] {
+        uint64_t slots = std::min<uint64_t>(p.footprint / 8, 512);
+        return int64_t(rng.below(slots) * 8);
+    };
+
+    for (unsigned i = 0; i < body_len; ++i) {
+        double d = rng.real();
+        Instr in;
+        if (d < p.loadWeight) {
+            bool fp = rng.chance(0.25);
+            in.op = fp ? Op::Fld : Op::Ld;
+            // Occasionally target r0: a load whose result is
+            // discarded (the hard-wired zero register), probing the
+            // r0 special cases in the scoreboard and replay mask.
+            in.dst = fp ? RegId(fp_data_reg())
+                        : (rng.chance(0.05) ? isa::regZero : data_reg());
+            in.src1 = base_reg();
+            in.imm = disp();
+            in.size = drawSize(rng, fp);
+            note_written(in.dst);
+        } else if (d < p.loadWeight + p.storeWeight) {
+            bool fp = rng.chance(0.25);
+            in.op = fp ? Op::Fst : Op::St;
+            in.src1 = base_reg();
+            in.src2 = fp ? RegId(fp_data_reg()) : data_reg();
+            in.imm = disp();
+            in.size = drawSize(rng, fp);
+        } else if (d < p.loadWeight + p.storeWeight + p.branchWeight &&
+                   i + 1 < body_len) {
+            // Forward conditional branch within the body (never past
+            // the counter decrement, so the loop always terminates).
+            static constexpr Op kBr[] = {Op::BEq, Op::BNe, Op::BLt,
+                                         Op::BGe};
+            in.op = kBr[rng.below(4)];
+            in.src1 = rng.chance(0.3) ? isa::regZero : data_reg();
+            in.src2 = rng.chance(0.3) ? isa::regZero : data_reg();
+            size_t here = prog.size();
+            uint64_t span = std::min<uint64_t>(body_end - here, 6);
+            in.imm = int64_t(here + 1 + rng.below(span));
+        } else if (d < p.loadWeight + p.storeWeight + p.branchWeight +
+                           p.strideBumpWeight) {
+            // Stride bump: advance a base register. Mostly forward,
+            // sometimes backward; 8-aligned so accesses stay aligned.
+            in.op = Op::AddI;
+            in.dst = in.src1 = base_reg();
+            in.imm = rng.chance(0.25)
+                         ? -int64_t(rng.range(1, 8) * 8)
+                         : int64_t(rng.range(1, 16) * 8);
+        } else if (rng.chance(0.3)) {
+            // FP ALU (FDiv included: the interpreter defines x/0).
+            static constexpr Op kFp[] = {Op::FAdd, Op::FSub, Op::FMul,
+                                         Op::FDiv};
+            in.op = kFp[rng.below(4)];
+            in.dst = fp_data_reg();
+            in.src1 = fp_data_reg();
+            in.src2 = fp_data_reg();
+        } else if (rng.chance(0.1)) {
+            in.op = rng.chance(0.5) ? Op::MovIF : Op::MovFI;
+            if (in.op == Op::MovIF) {
+                in.dst = fp_data_reg();
+                in.src1 = src_reg();
+            } else {
+                in.dst = data_reg();
+                in.src1 = fp_data_reg();
+                note_written(in.dst);
+            }
+        } else if (rng.chance(0.5)) {
+            static constexpr Op kAlu[] = {Op::Add, Op::Sub, Op::Mul,
+                                          Op::And, Op::Or,  Op::Xor,
+                                          Op::Shl, Op::Shr};
+            in.op = kAlu[rng.below(8)];
+            in.dst = data_reg();
+            in.src1 = src_reg();
+            in.src2 = src_reg();
+            note_written(in.dst);
+        } else {
+            static constexpr Op kAluI[] = {Op::AddI, Op::MulI, Op::AndI,
+                                           Op::ShlI, Op::ShrI};
+            in.op = kAluI[rng.below(5)];
+            in.dst = data_reg();
+            in.src1 = src_reg();
+            in.imm = int64_t(rng.below(64));
+            note_written(in.dst);
+        }
+        prog.push(in);
+    }
+
+    // Close the counted loop and halt.
+    {
+        Instr dec;
+        dec.op = Op::AddI;
+        dec.dst = dec.src1 = isa::intReg(kCounter);
+        dec.imm = -1;
+        prog.push(dec);
+
+        Instr back;
+        back.op = Op::BNe;
+        back.src1 = isa::intReg(kCounter);
+        back.src2 = isa::regZero;
+        back.imm = int64_t(loop_start);
+        prog.push(back);
+
+        Instr halt;
+        halt.op = Op::Halt;
+        prog.push(halt);
+    }
+
+    prog.validate(); // Generator bug if this ever fires.
+    return prog;
+}
+
+std::vector<harness::ExperimentConfig>
+generateConfigs(Rng &rng)
+{
+    harness::ExperimentConfig base;
+    base.cacheBytes = uint64_t{512} << rng.below(4); // 512B .. 4KB.
+    base.lineBytes = uint64_t{16} << rng.below(3);   // 16/32/64B.
+    static constexpr unsigned kWays[] = {1, 2, 4, 0};
+    do {
+        base.ways = kWays[rng.below(4)];
+    } while (base.ways > base.cacheBytes / base.lineBytes);
+    static constexpr unsigned kPenalty[] = {0, 5, 16, 40};
+    base.missPenalty = kPenalty[rng.below(4)];
+    static constexpr unsigned kPorts[] = {0, 0, 1, 2};
+    base.fillWritePorts = kPorts[rng.below(4)];
+
+    std::vector<harness::ExperimentConfig> cfgs;
+
+    // The ten named configurations: both blocking modes and all the
+    // paper's MSHR restrictions (mc=/fc=/fs=/in-cache/no-restrict).
+    static constexpr core::ConfigName kNamed[] = {
+        core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+        core::ConfigName::Mc1,    core::ConfigName::Mc2,
+        core::ConfigName::Fc1,    core::ConfigName::Fc2,
+        core::ConfigName::Fs1,    core::ConfigName::Fs2,
+        core::ConfigName::InCache, core::ConfigName::NoRestrict};
+    for (core::ConfigName name : kNamed) {
+        harness::ExperimentConfig c = base;
+        c.config = name;
+        cfgs.push_back(c);
+    }
+
+    // Buffered write-allocate variants (stores through the write
+    // buffer's destination entries) for a few organizations.
+    for (core::ConfigName name :
+         {core::ConfigName::Mc1, core::ConfigName::Fc2,
+          core::ConfigName::NoRestrict}) {
+        harness::ExperimentConfig c = base;
+        core::MshrPolicy pol = core::makePolicy(name);
+        pol.storeMode = core::StoreMode::WriteAllocate;
+        pol.label += " +wa";
+        c.customPolicy = pol;
+        cfgs.push_back(c);
+    }
+
+    // The Figure-14 destination-field organizations.
+    static constexpr int kFields[][2] = {{1, 1}, {1, 2}, {1, 4},
+                                         {2, 1}, {4, 1}, {8, 1},
+                                         {2, 2}, {4, 4}};
+    for (auto [sub, per] : kFields) {
+        harness::ExperimentConfig c = base;
+        c.customPolicy = core::makeFieldPolicy(sub, per);
+        cfgs.push_back(c);
+    }
+
+    // Two fully random custom policies.
+    for (int i = 0; i < 2; ++i) {
+        core::MshrPolicy pol;
+        pol.mode = core::CacheMode::MshrFile;
+        pol.numMshrs = rng.chance(0.3) ? -1 : int(rng.range(1, 4));
+        pol.maxMisses = rng.chance(0.5) ? -1 : int(rng.range(1, 6));
+        static constexpr int kSub[] = {1, 2, 4, 8};
+        pol.subBlocks = kSub[rng.below(4)];
+        pol.missesPerSubBlock =
+            rng.chance(0.5) ? -1 : int(rng.range(1, 4));
+        pol.fetchesPerSet = rng.chance(0.6) ? -1 : int(rng.range(1, 2));
+        pol.fetchesPerSetTracksWays = rng.chance(0.2);
+        pol.storeMode = rng.chance(0.3)
+                            ? core::StoreMode::WriteAllocate
+                            : core::StoreMode::WriteAround;
+        pol.fillExtraCycles = unsigned(rng.below(3));
+        pol.label = "random";
+        harness::ExperimentConfig c = base;
+        c.customPolicy = pol;
+        cfgs.push_back(c);
+    }
+
+    return cfgs;
+}
+
+} // namespace nbl::check

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Seeded random generator for differential-fuzz inputs: small mini-ISA
+ * programs with controlled dependence distance, aliasing, and stride
+ * mix, plus cache configurations covering all eight MSHR organizations
+ * crossed with associativity, line size, and latency.
+ *
+ * Generalizes the ad-hoc address-pattern fuzz of
+ * tests/test_cache_fuzz.cc: instead of a fixed kernel shape, whole
+ * programs are drawn from a seeded distribution and executed through
+ * every engine by check/differential.hh. Everything is deterministic
+ * in the seed (util/rng.hh), so any failure is replayable from its
+ * seed alone.
+ */
+
+#ifndef NBL_CHECK_GENERATOR_HH
+#define NBL_CHECK_GENERATOR_HH
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "isa/program.hh"
+#include "util/rng.hh"
+
+namespace nbl::check
+{
+
+/** Program-shape knobs (defaults give a broad mix). */
+struct GenParams
+{
+    unsigned minBodyLen = 4;   ///< Instructions per loop body.
+    unsigned maxBodyLen = 40;
+    unsigned maxIterations = 48;
+    /** Distinct base-address anchors; fewer anchors = more aliasing. */
+    unsigned anchors = 4;
+    /** Data footprint the anchors and strides stay within (bytes). */
+    uint64_t footprint = 16 * 1024;
+    double loadWeight = 0.30;
+    double storeWeight = 0.15;
+    double branchWeight = 0.08;
+    double strideBumpWeight = 0.12;
+    /** Probability an ALU source is a recently written register
+     *  (short dependence distance) rather than any data register. */
+    double nearDepChance = 0.6;
+};
+
+/**
+ * Generate one valid program: an LImm prologue establishing base
+ * registers (drawn from a small anchor set so bases alias), a counted
+ * loop of loads/stores/ALU/forward branches with stride bumps, and a
+ * final Halt. Every memory access is size-aligned (sizes 1/2/4/8 on
+ * 8-byte-aligned addresses), and the program passes
+ * isa::Program::validate(). Dynamic length is bounded by a few
+ * thousand instructions.
+ */
+isa::Program generateProgram(Rng &rng, const GenParams &p = {});
+
+/**
+ * Generate the configuration set one seed is checked under: a random
+ * cache geometry / miss penalty shared by all points, crossed with
+ * the ten named configurations (all eight MSHR organizations plus
+ * both blocking modes), the Figure-14 destination-field
+ * organizations, and a couple of random custom policies. Store mode
+ * and fill write ports vary per draw.
+ */
+std::vector<harness::ExperimentConfig> generateConfigs(Rng &rng);
+
+} // namespace nbl::check
+
+#endif // NBL_CHECK_GENERATOR_HH

@@ -1,0 +1,186 @@
+#include "check/reference.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "exec/interpreter.hh"
+#include "exec/stepping.hh"
+
+namespace nbl::check
+{
+
+namespace
+{
+
+/**
+ * Minimal per-set LRU tag store, written from the MODEL.md contract:
+ * a lookup hit refreshes recency, a fill of an absent line takes an
+ * invalid way if one exists and otherwise evicts the least recently
+ * used line. Fully associative (ways == 0) is one set of all lines.
+ */
+class RefTags
+{
+  public:
+    RefTags(uint64_t cache_bytes, uint64_t line_bytes, unsigned ways)
+        : line_(line_bytes),
+          ways_(ways ? ways
+                     : unsigned(cache_bytes / line_bytes)),
+          sets_(ways ? cache_bytes / line_bytes / ways : 1),
+          tag_(sets_ * ways_, 0), stamp_(sets_ * ways_, 0)
+    {
+    }
+
+    bool
+    lookup(uint64_t addr, bool touch)
+    {
+        uint64_t line = addr / line_;
+        uint64_t set = line % sets_;
+        uint64_t tag = line / sets_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            size_t i = set * ways_ + w;
+            if (stamp_[i] != 0 && tag_[i] == tag) {
+                if (touch)
+                    stamp_[i] = ++clock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Fill an absent line; returns true if a valid line was evicted.
+     *  (The blocking model only fills after a lookup miss, so the
+     *  line is never already present.) */
+    bool
+    fill(uint64_t addr)
+    {
+        uint64_t line = addr / line_;
+        uint64_t set = line % sets_;
+        size_t victim = set * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            size_t i = set * ways_ + w;
+            if (stamp_[i] == 0) {
+                victim = i;
+                break;
+            }
+            if (stamp_[i] < stamp_[victim])
+                victim = i;
+        }
+        bool evicted = stamp_[victim] != 0;
+        tag_[victim] = line / sets_;
+        stamp_[victim] = ++clock_;
+        return evicted;
+    }
+
+  private:
+    uint64_t line_;
+    unsigned ways_;
+    uint64_t sets_;
+    std::vector<uint64_t> tag_;
+    /** 0 = invalid; otherwise the LRU recency stamp. */
+    std::vector<uint64_t> stamp_;
+    uint64_t clock_ = 0;
+};
+
+} // namespace
+
+ReferenceResult
+referenceRun(const isa::Program &program, mem::SparseMemory &data,
+             const ReferenceConfig &cfg)
+{
+    // Pipelined-bus penalty (MODEL.md / paper section 5.2): 14 cycles
+    // for the first 16 bytes, 2 per additional 16 bytes.
+    uint64_t penalty = cfg.missPenalty;
+    if (penalty == 0) {
+        uint64_t chunks = std::max<uint64_t>(1, (cfg.lineBytes + 15) / 16);
+        penalty = 14 + 2 * (chunks - 1);
+    }
+
+    RefTags tags(cfg.cacheBytes, cfg.lineBytes, cfg.ways);
+    ReferenceResult r;
+
+    // ready[i]: cycle at which linear register i is valid. Slot 0 is
+    // the hard-wired integer zero register: always ready, never set.
+    uint64_t ready[isa::numIntRegs + isa::numFpRegs] = {};
+    auto set_ready = [&](isa::RegId reg, uint64_t at) {
+        unsigned i = reg.destLinear();
+        if (i != 0)
+            ready[i] = at;
+    };
+
+    // nc: the earliest cycle the next instruction can issue at. Every
+    // instruction occupies one issue slot; the clock only moves
+    // through the three waits of the MODEL.md timing steps.
+    uint64_t nc = 0;
+
+    exec::Interpreter interp(program, data);
+    r.hitInstructionCap = exec::stepProgram(
+        program, interp, cfg.maxInstructions,
+        [&](const isa::Instr &in, size_t /*pc*/,
+            const exec::StepResult &step) {
+            ++r.instructions;
+
+            // 1. True-data-dependency wait: all sources, plus the
+            //    destination of a load (the WAW interlock).
+            uint64_t t = nc;
+            unsigned ns = in.numSrcs();
+            if (ns >= 1)
+                t = std::max(t, ready[in.src1.destLinear()]);
+            if (ns >= 2)
+                t = std::max(t, ready[in.src2.destLinear()]);
+            if (in.isLoad())
+                t = std::max(t, ready[in.dst.destLinear()]);
+            r.depStallCycles += t - nc;
+
+            if (in.isLoad()) {
+                ++r.loads;
+                if (tags.lookup(step.effAddr, /*touch=*/true)) {
+                    ++r.loadHits;
+                    set_ready(in.dst, t + 1);
+                    nc = t + 1;
+                } else {
+                    // Lockup miss: the processor holds for the full
+                    // fill; data and the next issue slot both arrive
+                    // at the fill's completion.
+                    uint64_t complete = t + 1 + penalty;
+                    r.blockStallCycles += complete - (t + 1);
+                    ++r.loadPrimaryMisses;
+                    ++r.fetches;
+                    r.evictions += tags.fill(step.effAddr);
+                    set_ready(in.dst, complete);
+                    nc = complete;
+                }
+            } else if (in.isStore()) {
+                ++r.stores;
+                if (tags.lookup(step.effAddr, /*touch=*/true)) {
+                    // Write-through: free.
+                    ++r.storeHits;
+                    nc = t + 1;
+                } else {
+                    ++r.storeMisses;
+                    if (cfg.writeMissAllocate) {
+                        // Fetch-on-write with a full stall.
+                        uint64_t complete = t + 1 + penalty;
+                        r.blockStallCycles += complete - (t + 1);
+                        ++r.storePrimaryMisses;
+                        ++r.fetches;
+                        r.evictions += tags.fill(step.effAddr);
+                        nc = complete;
+                    } else {
+                        // Written around: straight to the next level.
+                        nc = t + 1;
+                    }
+                }
+            } else {
+                if (in.isBranch())
+                    ++r.branches;
+                if (in.hasDst())
+                    set_ready(in.dst, t + 1);
+                nc = t + 1;
+            }
+        });
+
+    r.cycles = nc;
+    return r;
+}
+
+} // namespace nbl::check

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Independent blocking reference model for differential checking.
+ *
+ * A second, deliberately simple implementation of the paper's blocking
+ * cache timing (docs/MODEL.md: `mc=0` and `mc=0 +wma`), written
+ * directly against the documented contract and sharing no code with
+ * src/core/. The differential runner (check/differential.hh) demands
+ * bit-exact agreement with the full model on every counter below for
+ * the blocking configurations, and uses the `mc=0` run as an upper
+ * bound on the lockup-free configurations: under the documented
+ * preconditions a blocking cache can only be slower.
+ *
+ * The only machinery reused from the main tree is the functional
+ * layer (exec::Interpreter + exec::stepProgram): the *architectural*
+ * behaviour of a program is not under test here, its timing is.
+ */
+
+#ifndef NBL_CHECK_REFERENCE_HH
+#define NBL_CHECK_REFERENCE_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "mem/sparse_memory.hh"
+
+namespace nbl::check
+{
+
+/** The machine the reference model times (blocking cache only). */
+struct ReferenceConfig
+{
+    uint64_t cacheBytes = 8 * 1024;
+    uint64_t lineBytes = 32;
+    unsigned ways = 1;          ///< 0 = fully associative.
+    /** Fixed miss penalty; 0 selects the pipelined-bus formula
+     *  (14 + 2 cycles per 16-byte chunk beyond the first). */
+    unsigned missPenalty = 0;
+    /** Fetch-on-write with a full stall ("mc=0 +wma"); otherwise
+     *  store misses are written around for free ("mc=0"). */
+    bool writeMissAllocate = false;
+    uint64_t maxInstructions = 200'000'000;
+};
+
+/**
+ * Counters the reference model produces. Each corresponds to one
+ * scalar of the full model's RunOutput (see referenceRun) and must
+ * match it exactly on blocking configurations.
+ */
+struct ReferenceResult
+{
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t cycles = 0;
+    uint64_t depStallCycles = 0;
+    uint64_t blockStallCycles = 0;
+
+    uint64_t loadHits = 0;
+    uint64_t storeHits = 0;
+    uint64_t loadPrimaryMisses = 0;
+    uint64_t storePrimaryMisses = 0; ///< wma only; 0 for write-around.
+    uint64_t storeMisses = 0;        ///< All store misses, either mode.
+    uint64_t fetches = 0;
+    uint64_t evictions = 0;
+    bool hitInstructionCap = false;
+
+    /** The single-issue stall partition, for the identity check
+     *  (structural stalls cannot occur on a blocking cache). */
+    uint64_t
+    stallCycles() const
+    {
+        return depStallCycles + blockStallCycles;
+    }
+};
+
+/**
+ * Run `program` against the reference timing model. `data` is the
+ * initial architectural memory, modified in place (pass a fresh
+ * image, exactly as for exec::run).
+ */
+ReferenceResult referenceRun(const isa::Program &program,
+                             mem::SparseMemory &data,
+                             const ReferenceConfig &cfg);
+
+} // namespace nbl::check
+
+#endif // NBL_CHECK_REFERENCE_HH

@@ -1,0 +1,236 @@
+#include "check/shrink.hh"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "core/policy.hh"
+#include "util/log.hh"
+
+namespace nbl::check
+{
+
+namespace
+{
+
+/**
+ * Delete code_[s, e) and remap branch targets across the cut: targets
+ * before the cut are unchanged, targets past it shift down, targets
+ * into it land on the first surviving instruction. Returns an empty
+ * optional when the result is structurally invalid (e.g. the cut
+ * removed the final Halt's reachability) -- such a candidate is
+ * simply not tried.
+ */
+std::optional<isa::Program>
+deleteRange(const isa::Program &prog, size_t s, size_t e)
+{
+    isa::Program out(prog.name());
+    for (size_t pc = 0; pc < prog.size(); ++pc) {
+        if (pc >= s && pc < e)
+            continue;
+        isa::Instr in = prog.at(pc);
+        if (in.isBranch()) {
+            auto t = uint64_t(in.imm);
+            if (t >= e)
+                in.imm = int64_t(t - (e - s));
+            else if (t >= s)
+                in.imm = int64_t(s);
+        }
+        out.push(in);
+    }
+    if (out.size() == 0 ||
+        out.at(out.size() - 1).op != isa::Op::Halt) {
+        isa::Instr halt;
+        halt.op = isa::Op::Halt;
+        out.push(halt);
+    }
+    if (!out.validate(/*fail_fatal=*/false))
+        return std::nullopt;
+    return out;
+}
+
+const char *
+regClassToken(isa::RegClass cls)
+{
+    return cls == isa::RegClass::Int ? "i" : "f";
+}
+
+bool
+parseReg(const std::string &tok, isa::RegId &reg)
+{
+    if (tok.size() < 2 || (tok[0] != 'i' && tok[0] != 'f'))
+        return false;
+    int idx = 0;
+    for (size_t i = 1; i < tok.size(); ++i) {
+        if (tok[i] < '0' || tok[i] > '9')
+            return false;
+        idx = idx * 10 + (tok[i] - '0');
+    }
+    if (idx > 255)
+        return false;
+    reg.cls = tok[0] == 'i' ? isa::RegClass::Int : isa::RegClass::Fp;
+    reg.idx = uint8_t(idx);
+    return true;
+}
+
+const std::map<std::string, isa::Op> &
+opsByName()
+{
+    static const std::map<std::string, isa::Op> map = [] {
+        std::map<std::string, isa::Op> m;
+        for (unsigned i = 0; i < unsigned(isa::Op::NumOps); ++i)
+            m[isa::opName(isa::Op(i))] = isa::Op(i);
+        return m;
+    }();
+    return map;
+}
+
+} // namespace
+
+ShrunkCase
+shrinkCase(isa::Program program,
+           std::vector<harness::ExperimentConfig> cfgs,
+           const FailPredicate &fails)
+{
+    // Phase 1: drop configurations greedily. Iterate until no single
+    // removal keeps the failure (dropping one config can make another
+    // droppable, e.g. when the failure is a cross-config identity
+    // needing exactly two points).
+    bool changed = true;
+    while (changed && cfgs.size() > 1) {
+        changed = false;
+        for (size_t i = 0; i < cfgs.size() && cfgs.size() > 1; ++i) {
+            std::vector<harness::ExperimentConfig> cand = cfgs;
+            cand.erase(cand.begin() + long(i));
+            if (fails(program, cand)) {
+                cfgs = std::move(cand);
+                changed = true;
+                --i;
+            }
+        }
+    }
+
+    // Phase 2: ddmin over instruction ranges, halving the chunk size
+    // down to single instructions, to a fixpoint.
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t chunk = std::max<size_t>(program.size() / 2, 1);
+             chunk >= 1; chunk /= 2) {
+            for (size_t s = 0; s + 1 <= program.size();) {
+                size_t e = std::min(s + chunk, program.size());
+                std::optional<isa::Program> cand =
+                    deleteRange(program, s, e);
+                if (cand && cand->size() < program.size() &&
+                    fails(*cand, cfgs)) {
+                    program = std::move(*cand);
+                    changed = true;
+                    // Do not advance: the next chunk slid into place.
+                } else {
+                    s += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+    }
+
+    return ShrunkCase{std::move(program), std::move(cfgs)};
+}
+
+std::string
+formatRepro(const ShrunkCase &c)
+{
+    std::string out = "nbl-fuzz-repro v1\n";
+    for (const harness::ExperimentConfig &cfg : c.cfgs) {
+        out += strfmt("config %llu %llu %u %u %u %u",
+                      (unsigned long long)cfg.cacheBytes,
+                      (unsigned long long)cfg.lineBytes, cfg.ways,
+                      cfg.missPenalty, cfg.issueWidth,
+                      cfg.fillWritePorts);
+        const core::MshrPolicy pol =
+            cfg.customPolicy ? *cfg.customPolicy
+                             : core::makePolicy(cfg.config);
+        out += strfmt(" policy %d %d %d %d %d %d %d %d %u\n",
+                      int(pol.mode), pol.numMshrs, pol.maxMisses,
+                      pol.subBlocks, pol.missesPerSubBlock,
+                      pol.fetchesPerSet,
+                      int(pol.fetchesPerSetTracksWays),
+                      int(pol.storeMode), pol.fillExtraCycles);
+    }
+    for (size_t pc = 0; pc < c.program.size(); ++pc) {
+        const isa::Instr &in = c.program.at(pc);
+        out += strfmt("instr %s %s%u %s%u %s%u %lld %u\n",
+                      isa::opName(in.op), regClassToken(in.dst.cls),
+                      unsigned(in.dst.idx),
+                      regClassToken(in.src1.cls),
+                      unsigned(in.src1.idx),
+                      regClassToken(in.src2.cls),
+                      unsigned(in.src2.idx), (long long)in.imm,
+                      unsigned(in.size));
+    }
+    return out;
+}
+
+bool
+parseRepro(const std::string &text, ShrunkCase &out)
+{
+    out = ShrunkCase{};
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != "nbl-fuzz-repro v1")
+        return false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        if (kind == "config") {
+            harness::ExperimentConfig cfg;
+            std::string marker;
+            core::MshrPolicy pol;
+            int mode = 0, tracks = 0, store = 0;
+            ls >> cfg.cacheBytes >> cfg.lineBytes >> cfg.ways >>
+                cfg.missPenalty >> cfg.issueWidth >>
+                cfg.fillWritePorts >> marker >> mode >> pol.numMshrs >>
+                pol.maxMisses >> pol.subBlocks >>
+                pol.missesPerSubBlock >> pol.fetchesPerSet >> tracks >>
+                store >> pol.fillExtraCycles;
+            if (!ls || marker != "policy" || mode < 0 ||
+                mode > int(core::CacheMode::Inverted) || store < 0 ||
+                store > 1)
+                return false;
+            pol.mode = core::CacheMode(mode);
+            pol.fetchesPerSetTracksWays = tracks != 0;
+            pol.storeMode = core::StoreMode(store);
+            pol.label = strfmt("repro cfg %zu", out.cfgs.size());
+            cfg.customPolicy = pol;
+            out.cfgs.push_back(cfg);
+        } else if (kind == "instr") {
+            std::string op, dst, s1, s2;
+            long long imm = 0;
+            unsigned size = 8;
+            ls >> op >> dst >> s1 >> s2 >> imm >> size;
+            if (!ls)
+                return false;
+            auto it = opsByName().find(op);
+            isa::Instr in;
+            if (it == opsByName().end() || !parseReg(dst, in.dst) ||
+                !parseReg(s1, in.src1) || !parseReg(s2, in.src2) ||
+                size > 255)
+                return false;
+            in.op = it->second;
+            in.imm = imm;
+            in.size = uint8_t(size);
+            out.program.push(in);
+        } else {
+            return false;
+        }
+    }
+    return !out.cfgs.empty() && out.program.size() > 0 &&
+           out.program.validate(/*fail_fatal=*/false);
+}
+
+} // namespace nbl::check

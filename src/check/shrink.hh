@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Greedy shrinker for differential-fuzz failures.
+ *
+ * A raw failing point is a generated program (hundreds of dynamic
+ * instructions) crossed with ~20 configurations -- too big to reason
+ * about. shrinkCase() minimizes both sides while the caller's
+ * predicate still fails: configurations are dropped greedily, then
+ * instruction ranges are deleted ddmin-style (with branch targets
+ * remapped across the cut) until a fixpoint.
+ *
+ * The result round-trips through a self-contained text format
+ * (formatRepro / parseRepro) suitable for pasting into a regression
+ * test or re-running with `nbl-fuzz --repro=FILE`.
+ */
+
+#ifndef NBL_CHECK_SHRINK_HH
+#define NBL_CHECK_SHRINK_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "isa/program.hh"
+
+namespace nbl::check
+{
+
+/** Does this (program, configs) point still fail? The shrinker only
+ *  keeps a candidate when the predicate returns true for it. */
+using FailPredicate = std::function<bool(
+    const isa::Program &,
+    const std::vector<harness::ExperimentConfig> &)>;
+
+/** A minimized failing point. */
+struct ShrunkCase
+{
+    isa::Program program{"repro"};
+    std::vector<harness::ExperimentConfig> cfgs;
+};
+
+/**
+ * Minimize (program, cfgs) under `fails`. The inputs must fail (the
+ * caller checked); the output is a local minimum: no single config
+ * can be dropped and no contiguous instruction range deleted without
+ * the failure disappearing. Candidate programs always keep a trailing
+ * Halt and must pass validate(); a deletion that breaks either is
+ * simply not taken. Deleting a loop's decrement can leave an infinite
+ * loop -- run candidates with a bounded maxInstructions (the
+ * differential runner's cap handles this).
+ */
+ShrunkCase shrinkCase(isa::Program program,
+                      std::vector<harness::ExperimentConfig> cfgs,
+                      const FailPredicate &fails);
+
+/** Serialize a case as the `nbl-fuzz-repro v1` text format. */
+std::string formatRepro(const ShrunkCase &c);
+
+/**
+ * Parse the text format back. Returns false (and leaves `out`
+ * unspecified) on malformed input; the parsed program is validated.
+ */
+bool parseRepro(const std::string &text, ShrunkCase &out);
+
+} // namespace nbl::check
+
+#endif // NBL_CHECK_SHRINK_HH

@@ -54,8 +54,13 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
     if (slots_used_ >= issue_width_)
         advanceTo(cycle_ + 1);
 
-    // True-data-dependency interlock: all sources (and, for loads, the
-    // destination -- the WAW interlock) must be valid.
+    // True-data-dependency interlock: all sources must be valid, and
+    // a load's destination must not have an earlier fill still in
+    // flight (the WAW interlock). The WAW check reads fillReady_, not
+    // the scoreboard: an intervening non-load write takes ownership
+    // of the register value without stalling (the stale fill is
+    // squashed on arrival), but the fill's destination-indexed miss
+    // state stays busy until it returns, so a later load must wait.
     uint64_t earliest = cycle_;
     unsigned ns = in.numSrcs();
     if (ns >= 1)
@@ -63,7 +68,7 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
     if (ns >= 2)
         earliest = std::max(earliest, sb_.readyAt(in.src2));
     if (in.isLoad())
-        earliest = std::max(earliest, sb_.readyAt(in.dst));
+        earliest = std::max(earliest, fillReady_[in.dst.destLinear()]);
     if (earliest > cycle_) {
         stats_.depStallCycles += earliest - cycle_;
         advanceTo(earliest);
@@ -105,8 +110,10 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
             stats_.structStallCycles += out.issueCycle - cycle_;
             advanceTo(out.issueCycle);
         }
-        if (in.isLoad())
-            sb_.setReady(in.dst, out.dataReady);
+        if (in.isLoad()) {
+            sb_.setReady(in.dst, out.dataReady); // No-op for r0.
+            fillReady_[in.dst.destLinear()] = out.dataReady;
+        }
         mark_issued();
         if (out.procFreeAt > cycle_ + 1) {
             // Lockup cache: the processor is stalled for the rest of
@@ -156,8 +163,6 @@ decodeForReplay(const isa::Program &program)
             d.useMask |= uint64_t{1} << d.src1Lin;
         if (d.ns >= 2)
             d.useMask |= uint64_t{1} << d.src2Lin;
-        if (in.isLoad())
-            d.useMask |= uint64_t{1} << d.dstLin; // WAW interlock.
         d.useMask &= ~uint64_t{1}; // r0 is hard-wired, never pending.
     }
     return out;
@@ -193,26 +198,29 @@ Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
             issued = false;
         }
 
-        // True-data-dependency interlock, filtered by the pending
-        // mask: when no use register can still be in flight, skip the
-        // scoreboard entirely (the common case).
+        // True-data-dependency interlock. Sources are filtered by the
+        // pending mask: when no source can still be in flight, the
+        // scoreboard is not consulted (the common case). A load's WAW
+        // check reads fillReady_ unconditionally -- an intervening
+        // non-load write can overwrite the scoreboard entry but not
+        // the fill time, so the mask cannot gate it.
+        uint64_t earliest = cycle;
         if (pending & in.useMask) {
-            uint64_t earliest = cycle;
             if (in.ns >= 1)
                 earliest = std::max(earliest,
                                     sb_.readyAtLinear(in.src1Lin));
             if (in.ns >= 2)
                 earliest = std::max(earliest,
                                     sb_.readyAtLinear(in.src2Lin));
-            if (in.flags & kReplayLoad)
-                earliest = std::max(earliest,
-                                    sb_.readyAtLinear(in.dstLin));
-            if (earliest > cycle) {
-                stats_.depStallCycles += earliest - cycle;
-                cycle = earliest;
-            }
-            // Every consulted register is ready by `cycle` now.
+            // Every consulted register is ready once `cycle` reaches
+            // `earliest` below.
             pending &= ~in.useMask;
+        }
+        if (in.flags & kReplayLoad)
+            earliest = std::max(earliest, fillReady_[in.dstLin]);
+        if (earliest > cycle) {
+            stats_.depStallCycles += earliest - cycle;
+            cycle = earliest;
         }
 
         if ((in.flags & kReplayMem) && !perfect_) {
@@ -227,6 +235,7 @@ Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
             }
             if (in.flags & kReplayLoad) {
                 sb_.setReadyLinear(in.dstLin, out.dataReady);
+                fillReady_[in.dstLin] = out.dataReady;
                 // A ready cycle <= cycle+1 can never stall a later
                 // instruction (they all issue at cycle+1 or after).
                 if (out.dataReady > cycle + 1)

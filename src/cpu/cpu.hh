@@ -23,6 +23,7 @@
 #ifndef NBL_CPU_CPU_HH
 #define NBL_CPU_CPU_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -46,7 +47,9 @@ namespace nbl::cpu
  */
 struct ReplayDecoded
 {
-    uint64_t useMask = 0; ///< src1/src2 (+ dst for loads, WAW); r0 excluded.
+    /** src1/src2; r0 excluded. The load-destination WAW check is
+     *  unconditional (Cpu::fillReady_), never mask-gated. */
+    uint64_t useMask = 0;
     uint8_t flags = 0;    ///< Or of the Replay* bits below.
     uint8_t dstLin = 0;   ///< RegId::destLinear() of dst.
     uint8_t size = 0;     ///< Access size (memory ops).
@@ -147,6 +150,20 @@ class Cpu
      * flagged register turns out to be ready.
      */
     uint64_t replay_pending_ = 0;
+    /**
+     * Per-register completion cycle of the last load fill (destLinear
+     * numbering). Distinct from the scoreboard: a later ALU write
+     * takes ownership of the register value without stalling (the
+     * stale fill is squashed on arrival) and overwrites the
+     * scoreboard's ready time, but the fill's destination-indexed
+     * miss-handling state -- most concretely an inverted MSHR entry
+     * -- stays busy until the fill returns. A later *load* targeting
+     * the same register must therefore stall on this fill time (the
+     * WAW interlock), even when the scoreboard says the register is
+     * ready, and even for hard-wired r0 whose scoreboard entry never
+     * moves.
+     */
+    std::array<uint64_t, isa::numIntRegs + isa::numFpRegs> fillReady_{};
     bool finished_ = false;
 };
 

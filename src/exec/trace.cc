@@ -77,7 +77,14 @@ replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
     }
 
     cache.drainAll();
-    res.cycles = now + 1 + (trace.instructions - gap_sum);
+    // `now` is the cycle the last access became free (its issue cycle
+    // plus any blocking service), except it runs one cycle late: the
+    // loop treats the initial now=0 as "last access issued at 0" when
+    // no instruction has issued yet. The late start shifts every
+    // access by the same constant, so stalls and miss classification
+    // are unaffected; the end-of-run cycle count must deduct it. The
+    // trailing non-memory instructions retire one per cycle.
+    res.cycles = now + (trace.instructions - gap_sum);
     res.cache = cache.stats();
     return res;
 }

@@ -1,14 +1,13 @@
 #include "harness/experiment.hh"
 
-#include <cstdlib>
-
+#include "util/env.hh"
 #include "util/log.hh"
 
 namespace nbl::harness
 {
 
 Lab::Lab(double scale)
-    : scale_(scale), replay_(std::getenv("NBL_EXEC_DRIVEN") == nullptr)
+    : scale_(scale), replay_(!envFlag("NBL_EXEC_DRIVEN"))
 {
 }
 
@@ -86,9 +85,30 @@ Lab::workload(const std::string &name)
     return it->second;
 }
 
+void
+Lab::addRawProgram(const std::string &name,
+                   const isa::Program &program)
+{
+    std::lock_guard<std::mutex> lock(buildMutex_);
+    workloads::Workload w;
+    w.name = name; // Null init: runs see a zeroed memory image.
+    workloads_.insert_or_assign(name, std::move(w));
+    Compiled c;
+    c.program = program;
+    c.fingerprint = program.fingerprint();
+    raw_.insert_or_assign(name, std::move(c));
+}
+
 const Lab::Compiled &
 Lab::compiled(const std::string &name, int latency)
 {
+    {
+        // Raw programs serve every latency from one compiled entry.
+        std::lock_guard<std::mutex> lock(buildMutex_);
+        auto rit = raw_.find(name);
+        if (rit != raw_.end())
+            return rit->second;
+    }
     // Build the workload first: workload() takes buildMutex_ itself.
     const workloads::Workload &w = workload(name);
     std::lock_guard<std::mutex> lock(buildMutex_);

@@ -110,6 +110,17 @@ class Lab
 
     const workloads::Workload &workload(const std::string &name);
 
+    /**
+     * Register a pre-built program under `name`, backed by a
+     * zero-initialized memory image. The same program serves every
+     * scheduled load latency (raw programs are never re-scheduled).
+     * The differential fuzzer (check/differential.hh) uses this to
+     * push generated programs through the Lab engine; named
+     * workloads are unaffected.
+     */
+    void addRawProgram(const std::string &name,
+                       const isa::Program &program);
+
     /** The program compiled at the given scheduled load latency. */
     const isa::Program &program(const std::string &name, int latency);
 
@@ -205,6 +216,8 @@ class Lab
     mutable std::mutex traceMutex_;
     std::map<std::string, workloads::Workload> workloads_;
     std::map<std::pair<std::string, int>, Compiled> programs_;
+    /** Raw programs (addRawProgram), latency-independent. */
+    std::map<std::string, Compiled> raw_;
     std::map<std::string, CachedResult> results_;
     /** Key: (workload, program fingerprint) -- see class docs. */
     std::map<std::pair<std::string, uint64_t>,

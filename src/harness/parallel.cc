@@ -1,10 +1,10 @@
 #include "harness/parallel.hh"
 
 #include <algorithm>
-#include <cstdlib>
 #include <map>
 #include <utility>
 
+#include "util/env.hh"
 #include "util/log.hh"
 
 namespace nbl::harness
@@ -13,11 +13,9 @@ namespace nbl::harness
 unsigned
 ThreadPool::defaultJobs()
 {
-    if (const char *s = std::getenv("NBL_JOBS")) {
-        int v = std::atoi(s);
-        if (v > 0)
-            return unsigned(v);
-    }
+    int64_t v = envInt("NBL_JOBS", 0);
+    if (v > 0)
+        return unsigned(v);
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

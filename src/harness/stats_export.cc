@@ -103,8 +103,11 @@ statsCsv(const Lab &lab, const std::string &binary)
     lab.forEachResult([&](const std::string &workload,
                           const ExperimentConfig &cfg,
                           const ExperimentResult &result) {
-        std::string prefix = binary + "," + workload + "," +
-                             experimentKey(workload, cfg) + ",";
+        std::string prefix = stats::csvField(binary) + "," +
+                             stats::csvField(workload) + "," +
+                             stats::csvField(
+                                 experimentKey(workload, cfg)) +
+                             ",";
         std::string rows = stats::snapshotOfRun(result.run).toCsv();
         size_t start = 0;
         while (start < rows.size()) {

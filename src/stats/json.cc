@@ -1,6 +1,7 @@
 #include "stats/json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -286,6 +287,12 @@ jsonQuote(const std::string &s)
 std::string
 jsonDouble(double v)
 {
+    // JSON has no NaN/Infinity literals; a bare `nan` would make the
+    // whole document unparseable. Non-finite values (derived counters
+    // with a zero denominator) serialize as null and parse back as
+    // quiet NaN (snapshotFromJson).
+    if (!std::isfinite(v))
+        return "null";
     return strfmt("%.17g", v);
 }
 

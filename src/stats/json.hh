@@ -68,7 +68,11 @@ class Json
 /** Escape a string for embedding in a JSON document (adds quotes). */
 std::string jsonQuote(const std::string &s);
 
-/** Format a double so it parses back to the identical value. */
+/**
+ * Format a double so it parses back to the identical value. JSON has
+ * no non-finite literals, so NaN/inf serialize as "null"; the stats
+ * reader maps null back to quiet NaN.
+ */
 std::string jsonDouble(double v);
 
 } // namespace nbl::stats

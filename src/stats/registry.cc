@@ -1,5 +1,7 @@
 #include "stats/registry.hh"
 
+#include <cmath>
+
 #include "stats/json.hh"
 #include "util/log.hh"
 
@@ -93,8 +95,14 @@ Snapshot::countersEqual(const Snapshot &other) const
         }
     }
     for (size_t i = 0; i < derived.size(); ++i) {
-        if (derived[i].name != other.derived[i].name ||
-            derived[i].value != other.derived[i].value)
+        if (derived[i].name != other.derived[i].name)
+            return false;
+        // Exact-equal doubles, except that any two non-finite values
+        // match: JSON collapses NaN and both infinities to null (which
+        // parses back as NaN), so a snapshot must still
+        // countersEqual() its own round trip.
+        double a = derived[i].value, b = other.derived[i].value;
+        if (a != b && !(!std::isfinite(a) && !std::isfinite(b)))
             return false;
     }
     return true;
@@ -182,6 +190,23 @@ Snapshot::toJson(int indent) const
 }
 
 std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
 Snapshot::csvHeader()
 {
     return "kind,name,label,value,unit,section\n";
@@ -192,21 +217,26 @@ Snapshot::toCsv() const
 {
     std::string out;
     for (const Scalar &s : scalars) {
-        out += strfmt("scalar,%s,,%llu,%s,%s\n", s.name.c_str(),
+        out += strfmt("scalar,%s,,%llu,%s,%s\n",
+                      csvField(s.name).c_str(),
                       static_cast<unsigned long long>(s.value),
-                      s.unit.c_str(), s.section.c_str());
+                      csvField(s.unit).c_str(),
+                      csvField(s.section).c_str());
     }
     for (const Histogram &h : histograms) {
         for (const Bucket &b : h.buckets) {
             out += strfmt("histogram,%s,%s,%llu,%s,%s\n",
-                          h.name.c_str(), b.label.c_str(),
+                          csvField(h.name).c_str(),
+                          csvField(b.label).c_str(),
                           static_cast<unsigned long long>(b.count),
-                          h.unit.c_str(), h.section.c_str());
+                          csvField(h.unit).c_str(),
+                          csvField(h.section).c_str());
         }
     }
     for (const Derived &d : derived) {
-        out += strfmt("derived,%s,,%s,,%s\n", d.name.c_str(),
-                      jsonDouble(d.value).c_str(), d.section.c_str());
+        out += strfmt("derived,%s,,%s,,%s\n", csvField(d.name).c_str(),
+                      jsonDouble(d.value).c_str(),
+                      csvField(d.section).c_str());
     }
     return out;
 }
@@ -236,9 +266,10 @@ snapshotFromJson(const Json &obj)
         snap.histograms.push_back(std::move(hist));
     }
     for (const Json &d : obj.at("derived").array()) {
-        snap.derived.push_back({d.at("name").str(),
-                                d.at("value").number(),
-                                d.at("section").str()});
+        const Json &v = d.at("value");
+        double value = v.isNull() ? std::nan("") : v.number();
+        snap.derived.push_back(
+            {d.at("name").str(), value, d.at("section").str()});
     }
     return snap;
 }

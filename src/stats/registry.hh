@@ -95,7 +95,8 @@ struct Snapshot
      * All counters (scalars, histograms, derived) equal, provenance
      * ignored. Derived doubles are compared bit-for-bit: they are
      * computed from equal integers by identical code, so equality is
-     * exact, not approximate.
+     * exact, not approximate. NaN matches NaN (a zero-denominator
+     * ratio survives the JSON round-trip as null -> NaN).
      */
     bool countersEqual(const Snapshot &other) const;
 
@@ -112,6 +113,13 @@ struct Snapshot
 
 /** Parse a Snapshot back from Snapshot::toJson() output. */
 Snapshot parseSnapshot(const std::string &json);
+
+/**
+ * Quote one CSV field per RFC 4180: returned verbatim unless it
+ * contains a comma, double quote, CR, or LF, in which case it is
+ * wrapped in double quotes with embedded quotes doubled.
+ */
+std::string csvField(const std::string &s);
 
 /** Forward declaration (stats/json.hh). */
 class Json;

@@ -1,0 +1,76 @@
+#include "util/env.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace nbl
+{
+
+namespace
+{
+
+/** Lower-cased copy for the case-insensitive false spellings. */
+std::string
+lowered(const char *s)
+{
+    std::string out;
+    for (; *s; ++s)
+        out.push_back(char(std::tolower(static_cast<unsigned char>(*s))));
+    return out;
+}
+
+} // namespace
+
+bool
+envFlag(const char *name, bool def)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return def;
+    std::string v = lowered(s);
+    if (v.empty() || v == "0" || v == "false" || v == "no" ||
+        v == "off")
+        return false;
+    return true;
+}
+
+int64_t
+envInt(const char *name, int64_t def)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return def;
+    char *end = nullptr;
+    long long v = std::strtoll(s, &end, 10);
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (end == s || *end != '\0')
+        return def; // Trailing garbage = unparseable, not a prefix.
+    return int64_t(v);
+}
+
+double
+envDouble(const char *name, double def)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return def;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (end == s || *end != '\0')
+        return def; // Trailing garbage = unparseable, not a prefix.
+    return v;
+}
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return def;
+    return s;
+}
+
+} // namespace nbl

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Environment-variable parsing with consistent falsiness.
+ *
+ * Every knob the simulator reads from the environment goes through
+ * these helpers so that `VAR=0` and `VAR=` (set but empty) mean "off"
+ * everywhere, instead of the getenv()!=nullptr trap where any set
+ * value -- including "0" -- enables a feature.
+ */
+
+#ifndef NBL_UTIL_ENV_HH
+#define NBL_UTIL_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nbl
+{
+
+/**
+ * Boolean environment flag. Unset returns `def`; set-but-empty, "0",
+ * "false", "no", and "off" (case-insensitive) return false; any other
+ * value returns true.
+ */
+bool envFlag(const char *name, bool def = false);
+
+/**
+ * Integer environment knob. Unset, empty, or unparseable returns
+ * `def`; otherwise the parsed value (which may be 0 -- callers decide
+ * whether 0 is meaningful or "off").
+ */
+int64_t envInt(const char *name, int64_t def = 0);
+
+/**
+ * Floating-point environment knob. Unset, empty, or unparseable
+ * returns `def`.
+ */
+double envDouble(const char *name, double def = 0.0);
+
+/**
+ * String environment knob. Unset or empty returns `def` (so
+ * `NBL_STATS_DIR=` disables the export instead of producing paths
+ * rooted at "/").
+ */
+std::string envString(const char *name, const std::string &def = {});
+
+} // namespace nbl
+
+#endif // NBL_UTIL_ENV_HH

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Tests for the differential oracle subsystem (src/check/): the
+ * seeded program/config generator, the independent blocking reference
+ * model, the differential runner itself, and the shrinker with its
+ * self-contained repro format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hh"
+#include "check/generator.hh"
+#include "check/reference.hh"
+#include "check/shrink.hh"
+#include "core/policy.hh"
+#include "exec/machine.hh"
+#include "harness/experiment.hh"
+#include "mem/sparse_memory.hh"
+#include "util/rng.hh"
+
+using namespace nbl;
+using namespace nbl::check;
+
+namespace
+{
+
+/** Policy an ExperimentConfig resolves to (named or custom). */
+core::MshrPolicy
+resolvedPolicy(const harness::ExperimentConfig &cfg)
+{
+    return cfg.customPolicy ? *cfg.customPolicy
+                            : core::makePolicy(cfg.config);
+}
+
+isa::Instr
+limm(unsigned reg, int64_t value)
+{
+    isa::Instr in;
+    in.op = isa::Op::LImm;
+    in.dst = isa::intReg(reg);
+    in.imm = value;
+    return in;
+}
+
+isa::Instr
+load(unsigned dst, unsigned base, int64_t disp)
+{
+    isa::Instr in;
+    in.op = isa::Op::Ld;
+    in.dst = isa::intReg(dst);
+    in.src1 = isa::intReg(base);
+    in.imm = disp;
+    in.size = 8;
+    return in;
+}
+
+isa::Instr
+halt()
+{
+    isa::Instr in;
+    in.op = isa::Op::Halt;
+    return in;
+}
+
+} // namespace
+
+TEST(Generator, ProgramsValidateAndTerminate)
+{
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed);
+        isa::Program prog = generateProgram(rng);
+        ASSERT_TRUE(prog.validate(false)) << "seed " << seed;
+        ASSERT_GT(prog.size(), 0u);
+        EXPECT_EQ(prog.at(prog.size() - 1).op, isa::Op::Halt);
+
+        mem::SparseMemory data;
+        exec::MachineConfig mc;
+        mc.maxInstructions = 1'000'000;
+        exec::RunOutput out = exec::run(prog, data, mc);
+        EXPECT_FALSE(out.hitInstructionCap) << "seed " << seed;
+        EXPECT_GT(out.cpu.instructions, 0u);
+    }
+}
+
+TEST(Generator, ProgramsAreDeterministicInTheSeed)
+{
+    Rng a(77), b(77);
+    isa::Program pa = generateProgram(a);
+    isa::Program pb = generateProgram(b);
+    ASSERT_EQ(pa.size(), pb.size());
+    EXPECT_EQ(pa.fingerprint(), pb.fingerprint());
+}
+
+TEST(Generator, ConfigSetCoversTheOrganizationSpace)
+{
+    Rng rng(3);
+    std::vector<harness::ExperimentConfig> cfgs = generateConfigs(rng);
+    ASSERT_GE(cfgs.size(), 20u);
+
+    unsigned blocking = 0, wma = 0, inverted = 0, file = 0, wa = 0;
+    for (const harness::ExperimentConfig &c : cfgs) {
+        core::MshrPolicy pol = resolvedPolicy(c);
+        switch (pol.mode) {
+        case core::CacheMode::Blocking: ++blocking; break;
+        case core::CacheMode::BlockingWMA: ++wma; break;
+        case core::CacheMode::Inverted: ++inverted; break;
+        case core::CacheMode::MshrFile: ++file; break;
+        }
+        if (pol.storeMode == core::StoreMode::WriteAllocate)
+            ++wa;
+        // Geometry is shared across the whole set so cross-config
+        // monotonicity compares like with like.
+        EXPECT_EQ(c.cacheBytes, cfgs[0].cacheBytes);
+        EXPECT_EQ(c.lineBytes, cfgs[0].lineBytes);
+        EXPECT_EQ(c.missPenalty, cfgs[0].missPenalty);
+    }
+    EXPECT_GE(blocking, 1u);
+    EXPECT_GE(wma, 1u);
+    EXPECT_GE(inverted, 1u);
+    EXPECT_GE(file, 8u); // mc=/fc=/fs= named + Figure-14 fields.
+    EXPECT_GE(wa, 3u);   // The buffered write-allocate variants.
+}
+
+/**
+ * The independent reference model agrees with the full simulator,
+ * counter for counter, on both blocking organizations -- across
+ * associativities (including eviction-heavy tiny caches) and both
+ * miss-penalty models.
+ */
+TEST(Reference, ExactOnBlockingConfigsOverManySeeds)
+{
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        isa::Program prog = generateProgram(rng);
+        for (bool wma : {false, true}) {
+            harness::ExperimentConfig cfg;
+            cfg.cacheBytes = 512;
+            cfg.lineBytes = 16;
+            cfg.ways = (seed % 3 == 0) ? 0 : unsigned(seed % 3);
+            cfg.missPenalty = (seed % 2) ? 0 : 5;
+            cfg.config = wma ? core::ConfigName::Mc0Wma
+                             : core::ConfigName::Mc0;
+            cfg.maxInstructions = 1'000'000;
+
+            mem::SparseMemory data;
+            exec::RunOutput out =
+                exec::run(prog, data, harness::makeMachineConfig(cfg));
+
+            ReferenceConfig rc;
+            rc.cacheBytes = cfg.cacheBytes;
+            rc.lineBytes = cfg.lineBytes;
+            rc.ways = cfg.ways;
+            rc.missPenalty = cfg.missPenalty;
+            rc.writeMissAllocate = wma;
+            rc.maxInstructions = cfg.maxInstructions;
+            mem::SparseMemory rdata;
+            ReferenceResult ref = referenceRun(prog, rdata, rc);
+
+            EXPECT_EQ(ref.instructions, out.cpu.instructions);
+            EXPECT_EQ(ref.cycles, out.cpu.cycles);
+            EXPECT_EQ(ref.depStallCycles, out.cpu.depStallCycles);
+            EXPECT_EQ(ref.blockStallCycles, out.cpu.blockStallCycles);
+            EXPECT_EQ(ref.loads, out.cache.loads);
+            EXPECT_EQ(ref.stores, out.cache.stores);
+            EXPECT_EQ(ref.loadHits, out.cache.loadHits);
+            EXPECT_EQ(ref.storeHits, out.cache.storeHits);
+            EXPECT_EQ(ref.loadPrimaryMisses, out.cache.primaryMisses);
+            EXPECT_EQ(ref.storePrimaryMisses,
+                      out.cache.storePrimaryMisses);
+            EXPECT_EQ(ref.storeMisses, out.cache.storeMisses);
+            EXPECT_EQ(ref.fetches, out.cache.fetches);
+            EXPECT_EQ(ref.evictions, out.cache.evictions);
+            EXPECT_EQ(out.cpu.structStallCycles, 0u);
+        }
+    }
+}
+
+/**
+ * End-to-end oracle: a handful of seeds run through every engine and
+ * invariant without a divergence. The sample includes the seeds that
+ * historically exposed real bugs (9/24/28: the WAW interlock hole;
+ * 150: the over-strong trace-replay bound) so a regression in either
+ * fix trips this test, not just the long fuzz run.
+ */
+TEST(Differential, SampledSeedsAreClean)
+{
+    for (uint64_t seed : {1, 9, 24, 28, 150}) {
+        std::vector<Divergence> divs = checkSeed(seed);
+        EXPECT_TRUE(divs.empty())
+            << "seed " << seed << ": " << divs.front().str();
+    }
+}
+
+TEST(Shrink, MinimizesProgramAndConfigSet)
+{
+    // A synthetic failure: the point "fails" iff the program still
+    // contains a Mul and some config still has 64-byte lines.
+    isa::Program prog("big");
+    prog.push(limm(1, 0x1000));
+    prog.push(load(8, 1, 0));
+    {
+        isa::Instr mul;
+        mul.op = isa::Op::Mul;
+        mul.dst = isa::intReg(9);
+        mul.src1 = isa::intReg(8);
+        mul.src2 = isa::intReg(8);
+        prog.push(mul);
+    }
+    prog.push(load(10, 1, 64));
+    prog.push(limm(11, 3));
+    prog.push(halt());
+
+    std::vector<harness::ExperimentConfig> cfgs(3);
+    cfgs[0].lineBytes = 16;
+    cfgs[1].lineBytes = 64;
+    cfgs[2].lineBytes = 32;
+
+    FailPredicate fails =
+        [](const isa::Program &p,
+           const std::vector<harness::ExperimentConfig> &cs) {
+            bool mul = false;
+            for (size_t i = 0; i < p.size(); ++i)
+                mul |= p.at(i).op == isa::Op::Mul;
+            bool wide = false;
+            for (const harness::ExperimentConfig &c : cs)
+                wide |= c.lineBytes == 64;
+            return mul && wide;
+        };
+
+    ShrunkCase c = shrinkCase(prog, cfgs, fails);
+    ASSERT_EQ(c.cfgs.size(), 1u);
+    EXPECT_EQ(c.cfgs[0].lineBytes, 64u);
+    // Local minimum: the Mul plus the mandatory trailing Halt.
+    ASSERT_EQ(c.program.size(), 2u);
+    EXPECT_EQ(c.program.at(0).op, isa::Op::Mul);
+    EXPECT_EQ(c.program.at(1).op, isa::Op::Halt);
+    EXPECT_TRUE(fails(c.program, c.cfgs));
+}
+
+TEST(Shrink, DeletionRemapsBranchTargets)
+{
+    // fails := "program still loops" (executes > 10 instructions).
+    // The shrinker must delete the filler instruction inside the loop
+    // and remap the backward branch across the cut, keeping the loop
+    // alive.
+    isa::Program prog("loop");
+    prog.push(limm(5, 1000));      // 0: counter
+    prog.push(limm(8, 0));         // 1: filler (deletable)
+    {
+        isa::Instr dec;            // 2: loop head
+        dec.op = isa::Op::AddI;
+        dec.dst = dec.src1 = isa::intReg(5);
+        dec.imm = -1;
+        prog.push(dec);
+    }
+    {
+        isa::Instr bne;            // 3: backward branch to 2
+        bne.op = isa::Op::BNe;
+        bne.src1 = isa::intReg(5);
+        bne.src2 = isa::regZero;
+        bne.imm = 2;
+        prog.push(bne);
+    }
+    prog.push(halt());
+
+    FailPredicate fails =
+        [](const isa::Program &p,
+           const std::vector<harness::ExperimentConfig> &) {
+            mem::SparseMemory data;
+            exec::MachineConfig mc;
+            mc.maxInstructions = 100'000;
+            return exec::run(p, data, mc).cpu.instructions > 10;
+        };
+
+    ShrunkCase c = shrinkCase(prog, {harness::ExperimentConfig{}},
+                              fails);
+    EXPECT_TRUE(fails(c.program, c.cfgs));
+    EXPECT_LT(c.program.size(), prog.size());
+}
+
+TEST(Shrink, ReproFormatRoundTrips)
+{
+    Rng rng(42);
+    ShrunkCase c;
+    c.program = generateProgram(rng);
+    c.cfgs = generateConfigs(rng);
+
+    std::string text = formatRepro(c);
+    ShrunkCase back;
+    ASSERT_TRUE(parseRepro(text, back));
+
+    ASSERT_EQ(back.program.size(), c.program.size());
+    for (size_t i = 0; i < c.program.size(); ++i) {
+        const isa::Instr &a = c.program.at(i);
+        const isa::Instr &b = back.program.at(i);
+        EXPECT_EQ(a.op, b.op) << "pc " << i;
+        EXPECT_EQ(a.dst.destLinear(), b.dst.destLinear());
+        EXPECT_EQ(a.src1.destLinear(), b.src1.destLinear());
+        EXPECT_EQ(a.src2.destLinear(), b.src2.destLinear());
+        EXPECT_EQ(a.imm, b.imm);
+        EXPECT_EQ(a.size, b.size);
+    }
+
+    ASSERT_EQ(back.cfgs.size(), c.cfgs.size());
+    for (size_t i = 0; i < c.cfgs.size(); ++i) {
+        const harness::ExperimentConfig &a = c.cfgs[i];
+        const harness::ExperimentConfig &b = back.cfgs[i];
+        EXPECT_EQ(a.cacheBytes, b.cacheBytes);
+        EXPECT_EQ(a.lineBytes, b.lineBytes);
+        EXPECT_EQ(a.ways, b.ways);
+        EXPECT_EQ(a.missPenalty, b.missPenalty);
+        EXPECT_EQ(a.issueWidth, b.issueWidth);
+        EXPECT_EQ(a.fillWritePorts, b.fillWritePorts);
+        core::MshrPolicy pa = resolvedPolicy(a);
+        core::MshrPolicy pb = resolvedPolicy(b);
+        EXPECT_EQ(pa.mode, pb.mode) << "cfg " << i;
+        EXPECT_EQ(pa.numMshrs, pb.numMshrs);
+        EXPECT_EQ(pa.maxMisses, pb.maxMisses);
+        EXPECT_EQ(pa.subBlocks, pb.subBlocks);
+        EXPECT_EQ(pa.missesPerSubBlock, pb.missesPerSubBlock);
+        EXPECT_EQ(pa.fetchesPerSet, pb.fetchesPerSet);
+        EXPECT_EQ(pa.fetchesPerSetTracksWays,
+                  pb.fetchesPerSetTracksWays);
+        EXPECT_EQ(pa.storeMode, pb.storeMode);
+        EXPECT_EQ(pa.fillExtraCycles, pb.fillExtraCycles);
+    }
+}
+
+TEST(Shrink, ParseRejectsMalformedInput)
+{
+    ShrunkCase out;
+    EXPECT_FALSE(parseRepro("", out));
+    EXPECT_FALSE(parseRepro("not-a-repro\n", out));
+    EXPECT_FALSE(parseRepro("nbl-fuzz-repro v1\ninstr bogus\n", out));
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Shrunk regression tests for bugs found by the differential fuzzer
+ * (tools/nbl-fuzz, docs/TESTING.md). Each test is the minimized form
+ * of a real fuzz failure, kept here so the bug class stays covered by
+ * tier-1 even when no fuzz budget is spent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hh"
+#include "core/policy.hh"
+#include "exec/machine.hh"
+#include "exec/trace.hh"
+#include "harness/experiment.hh"
+#include "isa/program.hh"
+#include "mem/sparse_memory.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+isa::Instr
+limm(unsigned reg, int64_t value)
+{
+    isa::Instr in;
+    in.op = isa::Op::LImm;
+    in.dst = isa::intReg(reg);
+    in.imm = value;
+    return in;
+}
+
+isa::Instr
+load(isa::RegId dst, unsigned base, int64_t disp)
+{
+    isa::Instr in;
+    in.op = isa::Op::Ld;
+    in.dst = dst;
+    in.src1 = isa::intReg(base);
+    in.imm = disp;
+    in.size = 8;
+    return in;
+}
+
+isa::Instr
+halt()
+{
+    isa::Instr in;
+    in.op = isa::Op::Halt;
+    return in;
+}
+
+exec::RunOutput
+runOn(const isa::Program &prog, core::ConfigName name,
+      unsigned missPenalty)
+{
+    mem::SparseMemory data;
+    exec::MachineConfig mc;
+    mc.policy = core::makePolicy(name);
+    mc.memory = mem::MainMemory(missPenalty);
+    return exec::run(prog, data, mc);
+}
+
+} // namespace
+
+/**
+ * Fuzz find #1 (shrunk from a lone-Halt program): replayTrace()
+ * started its clock one cycle late -- the initial `now = 0` was
+ * treated as "an access issued at cycle 0" even before any
+ * instruction ran -- so every replay overshot execution-driven
+ * cycles by exactly one. Stalls and miss classification are
+ * shift-invariant, which is why no mcpi-based test ever noticed.
+ */
+TEST(FuzzRegression, TraceReplayCycleCountMatchesExecForBlocking)
+{
+    isa::Program trivial("halt-only");
+    trivial.push(halt());
+
+    isa::Program small("small");
+    small.push(limm(1, 0x1000));
+    small.push(load(isa::intReg(8), 1, 0));
+    small.push(load(isa::intReg(9), 1, 8));
+    small.push(halt());
+
+    for (const isa::Program *prog : {&trivial, &small}) {
+        for (unsigned penalty : {0u, 5u, 16u}) {
+            exec::RunOutput out = runOn(*prog, core::ConfigName::Mc0,
+                                        penalty);
+            mem::SparseMemory tdata;
+            exec::MemTrace trace = exec::recordTrace(*prog, tdata);
+            exec::MachineConfig mc;
+            exec::ReplayResult tr = exec::replayTrace(
+                trace, mc.geometry, core::makePolicy(core::ConfigName::Mc0),
+                mem::MainMemory(penalty));
+            EXPECT_EQ(tr.cycles, out.cpu.cycles)
+                << prog->name() << " penalty " << penalty;
+        }
+    }
+}
+
+/**
+ * Fuzz find #2 (shrunk from seed 9): the WAW interlock only guarded
+ * *load* destinations via the scoreboard, so a non-load write to a
+ * register with a fill in flight erased the recorded fill time; a
+ * later load to the same register then sailed past the interlock and
+ * double-allocated the destination-indexed inverted-MSHR entry
+ * (panic: "destination already waiting"). The fill time now lives
+ * outside the scoreboard, so the overwrite costs nothing but the
+ * later load still waits.
+ */
+TEST(FuzzRegression, NonLoadOverwriteOfInflightDestThenReload)
+{
+    isa::Program prog("waw-overwrite");
+    prog.push(limm(1, 0x1000));
+    prog.push(load(isa::intReg(8), 1, 0));  // Miss; fill in flight.
+    prog.push(limm(8, 7));                  // Overwrites the scoreboard.
+    prog.push(load(isa::intReg(8), 1, 64)); // Same dest, new line.
+    prog.push(halt());
+
+    exec::RunOutput out = runOn(prog, core::ConfigName::NoRestrict, 40);
+    EXPECT_EQ(out.cache.primaryMisses, 2u);
+    // The second load must have served the full WAW wait.
+    EXPECT_GT(out.cpu.depStallCycles, 30u);
+    EXPECT_FALSE(out.hitInstructionCap);
+}
+
+/**
+ * Fuzz find #2, r0 variant: loads targeting hard-wired r0 bypassed
+ * the scoreboard entirely (its entry is pinned at 0), so two
+ * back-to-back r0 misses double-booked inverted-MSHR entry 0.
+ */
+TEST(FuzzRegression, BackToBackR0LoadsSerializeOnTheFill)
+{
+    isa::Program prog("r0-loads");
+    prog.push(limm(1, 0x1000));
+    prog.push(load(isa::regZero, 1, 0));
+    prog.push(load(isa::regZero, 1, 64));
+    prog.push(halt());
+
+    exec::RunOutput out = runOn(prog, core::ConfigName::NoRestrict, 40);
+    EXPECT_EQ(out.cache.primaryMisses, 2u);
+    EXPECT_GT(out.cpu.depStallCycles, 30u);
+}
+
+/**
+ * The full differential oracle stays clean on both WAW repro shapes:
+ * exec, exact replay, trace replay, reference bounds, and the
+ * conservation laws all agree -- i.e. the fix kept the engines
+ * bit-identical rather than patching one of them.
+ */
+TEST(FuzzRegression, WawReprosPassTheFullOracle)
+{
+    isa::Program prog("waw-overwrite");
+    prog.push(limm(1, 0x1000));
+    prog.push(load(isa::intReg(8), 1, 0));
+    prog.push(limm(8, 7));
+    prog.push(load(isa::intReg(8), 1, 64));
+    prog.push(load(isa::regZero, 1, 128));
+    prog.push(load(isa::regZero, 1, 192));
+    prog.push(halt());
+
+    std::vector<harness::ExperimentConfig> cfgs;
+    for (core::ConfigName name :
+         {core::ConfigName::NoRestrict, core::ConfigName::Mc1,
+          core::ConfigName::Mc0}) {
+        harness::ExperimentConfig cfg;
+        cfg.config = name;
+        cfg.missPenalty = 40;
+        cfgs.push_back(cfg);
+    }
+    std::vector<check::Divergence> divs =
+        check::checkProgram(prog, cfgs);
+    EXPECT_TRUE(divs.empty()) << divs.front().str();
+}

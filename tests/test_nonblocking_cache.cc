@@ -280,3 +280,50 @@ TEST(CacheDeathTest, NonBlockingZeroMshrsIsFatal)
                                  MainMemory()),
                 ::testing::ExitedWithCode(1), "");
 }
+
+TEST(Cache, FsLimitFreesAtExactlyTheCompletionCycle)
+{
+    // fs=2 boundary: with two same-set fetches in flight (completing
+    // at 117 and 118), a third same-set miss at 116 stalls to exactly
+    // 117 -- and an identical miss arriving at 117 allocates with no
+    // stall at all, because the per-set slot frees on the completion
+    // cycle itself, not one cycle later.
+    {
+        auto c = makeCache(ConfigName::Fs2);
+        c.load(kA, 8, 100, 1);            // completes at 117
+        c.load(kConflictA, 8, 101, 2);    // completes at 118
+        auto third = c.load(kA + 16 * 1024, 8, 116, 3);
+        EXPECT_TRUE(third.structStalled);
+        EXPECT_EQ(third.issueCycle, 117u);
+        EXPECT_EQ(third.kind, AccessKind::Primary);
+    }
+    {
+        auto c = makeCache(ConfigName::Fs2);
+        c.load(kA, 8, 100, 1);
+        c.load(kConflictA, 8, 101, 2);
+        auto third = c.load(kA + 16 * 1024, 8, 117, 3);
+        EXPECT_FALSE(third.structStalled);
+        EXPECT_EQ(third.issueCycle, 117u);
+    }
+}
+
+TEST(Cache, SameLineArrivalOnTheCompletionCycleIsAHit)
+{
+    // A fetch completing at cycle C is visible to an access *at* C:
+    // one cycle earlier the access still merges as a secondary miss.
+    {
+        auto c = makeCache(ConfigName::NoRestrict);
+        c.load(kA, 8, 100, 1); // completes at 117
+        auto late = c.load(kA + 8, 8, 116, 2);
+        EXPECT_EQ(late.kind, AccessKind::Secondary);
+        EXPECT_EQ(late.dataReady, 117u);
+    }
+    {
+        auto c = makeCache(ConfigName::NoRestrict);
+        c.load(kA, 8, 100, 1);
+        auto at = c.load(kA + 8, 8, 117, 2);
+        EXPECT_EQ(at.kind, AccessKind::Hit);
+        EXPECT_EQ(at.dataReady, 118u);
+        EXPECT_EQ(c.stats().secondaryMisses, 0u);
+    }
+}

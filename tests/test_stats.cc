@@ -12,6 +12,8 @@
  * carried by exec-vs-replay snapshots.
  */
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "exec/event_trace.hh"
 #include "exec/machine.hh"
 #include "harness/sweep.hh"
+#include "stats/json.hh"
 #include "stats/registry.hh"
 #include "stats/run_stats.hh"
 #include "workloads/workload.hh"
@@ -220,4 +223,78 @@ TEST(Registry, HistogramAndCsvShape)
     EXPECT_TRUE(s.countersEqual(back));
     back.histograms[0].buckets[1].count += 1;
     EXPECT_FALSE(s.countersEqual(back));
+}
+
+/**
+ * Non-finite derived values (zero-denominator ratios) must serialize
+ * as JSON null -- a bare `nan` token would make the whole document
+ * unparseable -- and come back as NaN, which countersEqual() treats
+ * as equal to itself.
+ */
+TEST(SnapshotJson, NonFiniteDerivedRoundTripsAsNull)
+{
+    stats::Registry r;
+    r.setProvenance("exec");
+    r.scalarValue("cpu.cycles", 0, "cycles", "s3");
+    r.derived("cpu.mcpi", std::numeric_limits<double>::quiet_NaN(),
+              "s3");
+    r.derived("cpu.ipc", std::numeric_limits<double>::infinity(), "s3");
+    stats::Snapshot s = r.snapshot();
+
+    // Anchor on the value position: "provenance" itself contains
+    // the substring "nan".
+    std::string json = s.toJson();
+    EXPECT_EQ(json.find(": nan"), std::string::npos);
+    EXPECT_EQ(json.find(": inf"), std::string::npos);
+    EXPECT_EQ(json.find(": -inf"), std::string::npos);
+    EXPECT_NE(json.find(": null"), std::string::npos);
+
+    stats::Snapshot back = stats::parseSnapshot(json);
+    EXPECT_TRUE(std::isnan(back.derivedValue("cpu.mcpi")));
+    EXPECT_TRUE(std::isnan(back.derivedValue("cpu.ipc")));
+    EXPECT_TRUE(s.countersEqual(back));
+    EXPECT_TRUE(back.countersEqual(s));
+}
+
+TEST(SnapshotJson, JsonDoubleEmitsNullForEveryNonFiniteValue)
+{
+    EXPECT_EQ(stats::jsonDouble(std::nan("")), "null");
+    EXPECT_EQ(stats::jsonDouble(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(stats::jsonDouble(-std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(stats::jsonDouble(0.25), "0.25");
+}
+
+/** RFC 4180: quoting kicks in exactly for comma, quote, CR, or LF. */
+TEST(SnapshotCsv, FieldsAreEscapedPerRfc4180)
+{
+    EXPECT_EQ(stats::csvField("plain"), "plain");
+    EXPECT_EQ(stats::csvField(""), "");
+    EXPECT_EQ(stats::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(stats::csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(stats::csvField("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(stats::csvField("cr\rhere"), "\"cr\rhere\"");
+}
+
+/** A counter name with a comma cannot shift CSV columns. */
+TEST(SnapshotCsv, CommaInNameStaysInOneColumn)
+{
+    stats::Registry r;
+    r.scalarValue("odd,name", 7, "count", "s3, table 2");
+    stats::Snapshot s = r.snapshot();
+    std::string csv = s.toCsv();
+    // kind,name,label,value,unit,section => exactly five separating
+    // commas outside quotes on the single row.
+    unsigned commas = 0;
+    bool quoted = false;
+    for (char ch : csv) {
+        if (ch == '"')
+            quoted = !quoted;
+        else if (ch == ',' && !quoted)
+            ++commas;
+    }
+    EXPECT_EQ(commas, 5u);
+    EXPECT_NE(csv.find("\"odd,name\""), std::string::npos);
+    EXPECT_NE(csv.find("\"s3, table 2\""), std::string::npos);
 }

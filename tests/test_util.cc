@@ -1,14 +1,17 @@
 /**
  * @file
  * Unit tests for util: bit operations, the deterministic RNG, the
- * ASCII table printer, and string formatting.
+ * ASCII table printer, string formatting, and environment-variable
+ * parsing.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 
 #include "util/bitops.hh"
+#include "util/env.hh"
 #include "util/log.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
@@ -169,4 +172,98 @@ TEST(Log, Strfmt)
     // Long strings are not truncated.
     std::string long_arg(500, 'a');
     EXPECT_EQ(strfmt("%s", long_arg.c_str()).size(), 500u);
+}
+
+namespace
+{
+
+/** RAII environment-variable setter (tests only; not thread-safe). */
+struct ScopedEnv
+{
+    const char *name;
+    ScopedEnv(const char *n, const char *value) : name(n)
+    {
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv() { unsetenv(name); }
+};
+
+} // namespace
+
+TEST(Env, FlagConsistentFalsiness)
+{
+    const char *k = "NBL_TEST_ENV_FLAG";
+    {
+        ScopedEnv e(k, nullptr);
+        EXPECT_FALSE(envFlag(k));
+        EXPECT_TRUE(envFlag(k, true)); // unset -> default
+    }
+    for (const char *off : {"", "0", "false", "FALSE", "no", "off", "Off"}) {
+        ScopedEnv e(k, off);
+        EXPECT_FALSE(envFlag(k)) << '"' << off << '"';
+        // Set-but-falsy beats the default: VAR=0 means off everywhere.
+        EXPECT_FALSE(envFlag(k, true)) << '"' << off << '"';
+    }
+    for (const char *on : {"1", "2", "true", "yes", "on", "x"}) {
+        ScopedEnv e(k, on);
+        EXPECT_TRUE(envFlag(k)) << '"' << on << '"';
+    }
+}
+
+TEST(Env, IntParsesOrFallsBack)
+{
+    const char *k = "NBL_TEST_ENV_INT";
+    {
+        ScopedEnv e(k, nullptr);
+        EXPECT_EQ(envInt(k, 7), 7);
+    }
+    {
+        ScopedEnv e(k, "42");
+        EXPECT_EQ(envInt(k, 7), 42);
+    }
+    {
+        ScopedEnv e(k, "0");
+        EXPECT_EQ(envInt(k, 7), 0); // 0 is a value, not "unset"
+    }
+    {
+        ScopedEnv e(k, "-3");
+        EXPECT_EQ(envInt(k, 7), -3);
+    }
+    for (const char *bad : {"", "zebra", "12abc"}) {
+        ScopedEnv e(k, bad);
+        EXPECT_EQ(envInt(k, 7), 7) << '"' << bad << '"';
+    }
+}
+
+TEST(Env, DoubleParsesOrFallsBack)
+{
+    const char *k = "NBL_TEST_ENV_DOUBLE";
+    {
+        ScopedEnv e(k, "0.05");
+        EXPECT_DOUBLE_EQ(envDouble(k, 1.0), 0.05);
+    }
+    {
+        ScopedEnv e(k, "junk");
+        EXPECT_DOUBLE_EQ(envDouble(k, 1.0), 1.0);
+    }
+}
+
+TEST(Env, StringEmptyMeansDefault)
+{
+    const char *k = "NBL_TEST_ENV_STRING";
+    {
+        ScopedEnv e(k, nullptr);
+        EXPECT_EQ(envString(k, "dflt"), "dflt");
+    }
+    {
+        ScopedEnv e(k, "");
+        EXPECT_EQ(envString(k, "dflt"), "dflt");
+    }
+    {
+        ScopedEnv e(k, "path/to/x");
+        EXPECT_EQ(envString(k, "dflt"), "path/to/x");
+    }
 }

@@ -68,3 +68,44 @@ TEST(WriteBuffer, HighWaterMark)
         wb.push(0x1000 + i * 32, 0);
     EXPECT_EQ(wb.stats().maxOccupancy, 5u);
 }
+
+TEST(WriteBuffer, MergeIntoFullBufferBypassesTheStall)
+{
+    // Merging takes priority over the capacity check: a write to a
+    // block already buffered must not pay the full-buffer stall even
+    // when every entry slot is occupied.
+    WriteBuffer wb(2, 10);
+    EXPECT_EQ(wb.push(0x000, 0), 0u);
+    EXPECT_EQ(wb.push(0x020, 0), 0u); // buffer now full
+    EXPECT_EQ(wb.push(0x020, 1), 1u); // merge: no stall
+    EXPECT_EQ(wb.stats().merges, 1u);
+    EXPECT_EQ(wb.stats().fullStallCycles, 0u);
+    // A write to a *new* block still stalls for the oldest entry.
+    EXPECT_EQ(wb.push(0x040, 2), 10u);
+    EXPECT_EQ(wb.stats().fullStallCycles, 8u);
+}
+
+TEST(WriteBuffer, OverlappingPartialWritesRetireOnce)
+{
+    // Two stores whose byte ranges overlap inside one block (the
+    // cache block-aligns before pushing, so both arrive as the same
+    // block address) coalesce into a single entry and a single
+    // retirement -- the memory system sees one write, not two.
+    WriteBuffer wb(4, 10);
+    wb.push(0x100, 0); // e.g. 8-byte store at +0
+    wb.push(0x100, 1); // overlapping 4-byte store at +4
+    EXPECT_EQ(wb.stats().writes, 2u);
+    EXPECT_EQ(wb.stats().merges, 1u);
+    EXPECT_EQ(wb.occupancy(5), 1u);
+    // The merge neither extends the entry's retirement nor consumes
+    // retirement bandwidth: the single entry is gone at 10, and a
+    // later entry still begins retiring at 10.
+    EXPECT_EQ(wb.occupancy(10), 0u);
+    wb.push(0x200, 5);
+    EXPECT_EQ(wb.occupancy(19), 1u);
+    EXPECT_EQ(wb.occupancy(20), 0u);
+    // Retirement is observed lazily, at the next push's drain: both
+    // completed entries count once each -- the merge never retires.
+    wb.push(0x300, 30);
+    EXPECT_EQ(wb.stats().retired, 2u);
+}

@@ -8,11 +8,15 @@
 # rebuilds with -DNBL_SANITIZE=thread into build-tsan/ and runs the
 # parallel-engine and harness tests under TSan, which exercises the
 # thread pool, the shared Lab caches (results and event traces), and
-# the sweep fan-out. Step 3 is the observability gate: nbl-report
-# checks the committed data/stats artifacts against the generated
-# EXPERIMENTS.md tables (the artifacts are full-scale and committed,
-# so this needs no simulation), and a quick smoke run proves the
-# stats emitter never alters a bench binary's stdout.
+# the sweep fan-out. Step 3 rebuilds with
+# -DNBL_SANITIZE=address,undefined into build-asan/ and runs the
+# differential fuzzer (docs/TESTING.md) under ASan+UBSan for
+# NBL_FUZZ_BUDGET seconds (default 60; 0 skips the step). Step 4 is
+# the observability gate: nbl-report checks the committed data/stats
+# artifacts against the generated EXPERIMENTS.md tables (the
+# artifacts are full-scale and committed, so this needs no
+# simulation), and a quick smoke run proves the stats emitter never
+# alters a bench binary's stdout.
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -32,6 +36,16 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_harness
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/test_event_trace --gtest_filter='TraceCache*'
+
+fuzz_budget="${NBL_FUZZ_BUDGET:-60}"
+if [ "$fuzz_budget" != "0" ]; then
+    echo "== asan+ubsan: differential fuzz (${fuzz_budget}s) =="
+    cmake -B build-asan -S . -DNBL_SANITIZE=address,undefined >/dev/null
+    cmake --build build-asan -j "$jobs" --target nbl-fuzz
+    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+        ./build-asan/tools/nbl-fuzz --seeds=100000 \
+        --budget="$fuzz_budget"
+fi
 
 echo "== observability: EXPERIMENTS.md drift gate =="
 ./build/tools/nbl-report --check

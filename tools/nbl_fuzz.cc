@@ -1,0 +1,188 @@
+/**
+ * @file
+ * nbl-fuzz: differential fuzzer driver (docs/TESTING.md).
+ *
+ * Draws seeded random (program, configuration-set) points
+ * (check/generator.hh) and pushes each through every engine the repo
+ * has, asserting the cross-engine identities and model invariants
+ * (check/differential.hh). On the first failure the case is
+ * minimized (check/shrink.hh) and printed in the `nbl-fuzz-repro v1`
+ * format, ready to paste into a regression test or replay with
+ * `--repro`.
+ *
+ *   nbl-fuzz [--seeds=N] [--start=SEED] [--budget=SECONDS]
+ *            [--max-instructions=N] [--no-lab] [--jobs=N]
+ *            [--write-repro=FILE] [--repro=FILE]
+ *
+ *   --seeds=N         seeds to try (default 200)
+ *   --start=SEED      first seed (default 1)
+ *   --budget=SECONDS  wall-clock budget; stop early when exceeded
+ *                     (default 0 = no budget)
+ *   --no-lab          skip the Lab serial/parallel cross-check
+ *   --jobs=N          worker threads for the parallel Lab pass
+ *   --write-repro=F   also write the shrunk repro to file F
+ *   --repro=FILE      replay one repro file instead of fuzzing
+ *
+ * Exit status: 0 = clean, 1 = divergence found (or repro still
+ * failing), 2 = usage/parse error.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/differential.hh"
+#include "check/shrink.hh"
+#include "util/log.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+bool
+flagValue(const char *arg, const char *name, const char **value)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *value = arg + n + 1;
+    return true;
+}
+
+int
+replayRepro(const std::string &path, const check::CheckOptions &opts)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "nbl-fuzz: cannot open %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    check::ShrunkCase c;
+    if (!check::parseRepro(ss.str(), c)) {
+        std::fprintf(stderr, "nbl-fuzz: %s is not a valid repro\n",
+                     path.c_str());
+        return 2;
+    }
+    std::vector<check::Divergence> divs =
+        check::checkProgram(c.program, c.cfgs, opts);
+    for (const check::Divergence &d : divs)
+        std::printf("FAIL %s\n", d.str().c_str());
+    if (divs.empty()) {
+        std::printf("repro %s: clean (%zu instructions, %zu configs)\n",
+                    path.c_str(), c.program.size(), c.cfgs.size());
+        return 0;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seeds = 200;
+    uint64_t start = 1;
+    uint64_t budget_s = 0;
+    std::string repro_path;
+    std::string write_repro;
+    check::CheckOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *v = nullptr;
+        if (flagValue(argv[i], "--seeds", &v)) {
+            seeds = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(argv[i], "--start", &v)) {
+            start = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(argv[i], "--budget", &v)) {
+            budget_s = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(argv[i], "--max-instructions", &v)) {
+            opts.maxInstructions = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(argv[i], "--jobs", &v)) {
+            opts.labJobs = unsigned(std::strtoul(v, nullptr, 10));
+        } else if (std::strcmp(argv[i], "--no-lab") == 0) {
+            opts.lab = false;
+        } else if (flagValue(argv[i], "--write-repro", &v)) {
+            write_repro = v;
+        } else if (flagValue(argv[i], "--repro", &v)) {
+            repro_path = v;
+        } else {
+            std::fprintf(stderr, "nbl-fuzz: unknown argument %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+
+    if (!repro_path.empty())
+        return replayRepro(repro_path, opts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out_of_budget = [&] {
+        if (budget_s == 0)
+            return false;
+        auto dt = std::chrono::steady_clock::now() - t0;
+        return std::chrono::duration_cast<std::chrono::seconds>(dt)
+                   .count() >= long(budget_s);
+    };
+
+    uint64_t done = 0;
+    for (uint64_t seed = start; seed < start + seeds; ++seed) {
+        if (out_of_budget()) {
+            std::printf("budget exhausted after %llu seeds\n",
+                        (unsigned long long)done);
+            break;
+        }
+        std::vector<check::Divergence> divs =
+            check::checkSeed(seed, opts);
+        ++done;
+        if (divs.empty()) {
+            if (done % 50 == 0)
+                std::printf("... %llu seeds clean\n",
+                            (unsigned long long)done);
+            continue;
+        }
+
+        for (const check::Divergence &d : divs)
+            std::printf("FAIL %s\n", d.str().c_str());
+
+        // Minimize while the *same* identity still fails (shrinking
+        // into a different bug would be confusing, not helpful).
+        const std::string focus = divs.front().check;
+        Rng rng(seed);
+        isa::Program program = check::generateProgram(rng);
+        std::vector<harness::ExperimentConfig> cfgs =
+            check::generateConfigs(rng);
+        check::CheckOptions sopts = opts;
+        sopts.lab = focus.rfind("lab", 0) == 0;
+        check::ShrunkCase shrunk = check::shrinkCase(
+            program, cfgs,
+            [&](const isa::Program &p,
+                const std::vector<harness::ExperimentConfig> &cs) {
+                for (const check::Divergence &d :
+                     check::checkProgram(p, cs, sopts))
+                    if (d.check == focus)
+                        return true;
+                return false;
+            });
+        std::string text = check::formatRepro(shrunk);
+        std::printf("shrunk to %zu instructions, %zu configs:\n%s",
+                    shrunk.program.size(), shrunk.cfgs.size(),
+                    text.c_str());
+        if (!write_repro.empty()) {
+            std::ofstream out(write_repro);
+            out << text;
+            std::printf("repro written to %s\n", write_repro.c_str());
+        }
+        return 1;
+    }
+
+    std::printf("nbl-fuzz: %llu seeds clean (start=%llu)\n",
+                (unsigned long long)done, (unsigned long long)start);
+    return 0;
+}
