@@ -1,16 +1,21 @@
 /**
  * @file
  * Perf smoke test for the sweep engine: run a fixed set of experiment
- * points serially and in parallel, then emit one JSON line with the
- * point count, wall time, and simulation throughput so BENCH_*.json
- * snapshots can track performance across revisions.
+ * points through every engine tier -- execution-driven, per-point
+ * exact replay, single-thread lane-batched replay, and the parallel
+ * engine -- then emit one JSON line (point count, wall times,
+ * per-engine speedups, simulation throughput) so BENCH_*.json
+ * snapshots can track performance across revisions, plus a one-line
+ * per-engine table for CI logs.
  *
- * Unlike the figure binaries this prints machine-readable output only;
- * NBL_SCALE and NBL_JOBS apply as usual.
+ * Unlike the figure binaries this output is diagnostic, not
+ * byte-stable; NBL_SCALE and NBL_JOBS apply as usual.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <set>
+#include <thread>
 
 #include "bench_common.hh"
 
@@ -60,18 +65,26 @@ int
 main(int argc, char **argv)
 {
     nbl_bench::init(argc, argv);
-    harness::Lab serial_lab(nbl_bench::benchScale());
-    harness::Lab parallel_lab(nbl_bench::benchScale());
     harness::Lab exec_lab(nbl_bench::benchScale());
     exec_lab.setReplayEnabled(false); // Classic execution-driven.
+    harness::Lab serial_lab(nbl_bench::benchScale());
+    serial_lab.setLaneReplayEnabled(false); // Per-point exact replay.
+    harness::Lab lane_lab(nbl_bench::benchScale());
+    harness::Lab parallel_lab(nbl_bench::benchScale());
     auto points = smokePoints();
+
+    // Lane batches group points sharing a (workload, latency) trace.
+    std::set<std::pair<std::string, int>> batch_keys;
+    for (const auto &p : points)
+        batch_keys.insert({p.workload, p.cfg.loadLatency});
 
     // Compile outside the timed region for every lab so the timings
     // compare simulation only.
     for (const auto &p : points) {
-        serial_lab.program(p.workload, p.cfg.loadLatency);
-        parallel_lab.program(p.workload, p.cfg.loadLatency);
         exec_lab.program(p.workload, p.cfg.loadLatency);
+        serial_lab.program(p.workload, p.cfg.loadLatency);
+        lane_lab.program(p.workload, p.cfg.loadLatency);
+        parallel_lab.program(p.workload, p.cfg.loadLatency);
     }
 
     auto t0 = std::chrono::steady_clock::now();
@@ -88,29 +101,58 @@ main(int argc, char **argv)
         serial.push_back(serial_lab.run(p.workload, p.cfg));
     double serial_s = secondsSince(t0);
 
+    // Single-thread lane-batched replay: jobs=1 runs the batches
+    // inline, so this isolates the lockstep win from thread scaling.
+    t0 = std::chrono::steady_clock::now();
+    auto lanes = harness::runPointsParallel(lane_lab, points, 1);
+    double lane_s = secondsSince(t0);
+
     t0 = std::chrono::steady_clock::now();
     auto par = harness::runPointsParallel(parallel_lab, points);
     double parallel_s = secondsSince(t0);
 
     uint64_t instrs = totalInstructions(par);
     if (instrs != totalInstructions(serial) ||
-        instrs != totalInstructions(exec_driven)) {
+        instrs != totalInstructions(exec_driven) ||
+        instrs != totalInstructions(lanes)) {
         std::fprintf(stderr, "methodology instruction mismatch\n");
         return 1;
     }
 
-    std::printf("{\"sweep_points\": %zu, \"jobs\": %u, "
-                "\"wall_s\": %.3f, \"serial_wall_s\": %.3f, "
-                "\"exec_wall_s\": %.3f, "
-                "\"speedup\": %.2f, \"replay_speedup\": %.2f, "
-                "\"instructions\": %llu, "
-                "\"sim_minstr_per_s\": %.1f}\n",
-                points.size(), harness::ThreadPool::defaultJobs(),
-                parallel_s, serial_s, exec_s,
-                parallel_s > 0 ? serial_s / parallel_s : 0.0,
-                serial_s > 0 ? exec_s / serial_s : 0.0,
-                (unsigned long long)instrs,
-                parallel_s > 0 ? double(instrs) / 1e6 / parallel_s
-                               : 0.0);
+    const unsigned host_cores = std::thread::hardware_concurrency();
+    const double lane_speedup = lane_s > 0 ? serial_s / lane_s : 0.0;
+    std::printf(
+        "{\"sweep_points\": %zu, \"jobs\": %u, \"host_cores\": %u, "
+        "\"wall_s\": %.3f, \"serial_wall_s\": %.3f, "
+        "\"exec_wall_s\": %.3f, "
+        "\"speedup\": %.2f, \"replay_speedup\": %.2f, "
+        "\"lane_speedup\": %.2f, "
+        "\"lane_replay\": {\"points\": %zu, \"batches\": %zu, "
+        "\"wall_s\": %.3f, \"speedup_vs_replay\": %.2f}, "
+        "\"instructions\": %llu, "
+        "\"sim_minstr_per_s\": %.1f}\n",
+        points.size(), harness::ThreadPool::defaultJobs(), host_cores,
+        parallel_s, serial_s, exec_s,
+        parallel_s > 0 ? serial_s / parallel_s : 0.0,
+        serial_s > 0 ? exec_s / serial_s : 0.0, lane_speedup,
+        points.size(), batch_keys.size(), lane_s, lane_speedup,
+        (unsigned long long)instrs,
+        parallel_s > 0 ? double(instrs) / 1e6 / parallel_s : 0.0);
+
+    // One line per engine so CI logs surface regressions at a glance.
+    std::printf("# engine    wall_s  speedup_vs_exec\n");
+    struct Row
+    {
+        const char *name;
+        double wall;
+    };
+    const Row rows[] = {{"exec", exec_s},
+                        {"replay", serial_s},
+                        {"lane", lane_s},
+                        {"parallel", parallel_s}};
+    for (const Row &r : rows) {
+        std::printf("# %-9s %6.3f  %.2fx\n", r.name, r.wall,
+                    r.wall > 0 ? exec_s / r.wall : 0.0);
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 #include "check/reference.hh"
 #include "core/policy.hh"
 #include "exec/event_trace.hh"
+#include "exec/lane_replay.hh"
 #include "exec/machine.hh"
 #include "exec/trace.hh"
 #include "harness/parallel.hh"
@@ -411,6 +412,31 @@ checkProgram(const isa::Program &program,
                               (unsigned long long)tr.cycles,
                               (unsigned long long)out.cpu.cycles,
                               cfgLabel(cfg).c_str()));
+        }
+    }
+
+    // Engine cross: lane-batched lockstep replay must be bit-identical
+    // to execution-driven simulation, lane for lane. The whole
+    // lane-replayable subset rides in one batch, so the batch size --
+    // and with it the fast-path/slow-path interleaving inside the
+    // lockstep loop -- varies with the generated config set.
+    if (opts.lanes) {
+        std::vector<size_t> lane_idx;
+        std::vector<exec::MachineConfig> lane_mcs;
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            exec::MachineConfig mc = harness::makeMachineConfig(cfgs[i]);
+            if (exec::laneReplayable(mc)) {
+                lane_idx.push_back(i);
+                lane_mcs.push_back(mc);
+            }
+        }
+        std::vector<exec::RunOutput> lanes =
+            exec::replayLanes(program, etrace, lane_mcs);
+        for (size_t k = 0; k < lane_idx.size(); ++k) {
+            stats::Snapshot ls = stats::snapshotOfRun(lanes[k]);
+            if (!snaps[lane_idx[k]].countersEqual(ls))
+                report(lane_idx[k], "exec-vs-lane",
+                       snapshotDiff(snaps[lane_idx[k]], ls));
         }
     }
 

@@ -7,7 +7,12 @@
  * Engines crossed per point:
  *  - exec::run        (execution-driven, the source of truth)
  *  - exec::replayExact (record-once/replay-many; bit-identical claim)
- *  - harness::Lab      (memoizing engine, serial and parallel)
+ *  - exec::replayLanes (batched lockstep replay: every lane-replayable
+ *                       config advances in one pass; bit-identical
+ *                       claim, lane for lane)
+ *  - harness::Lab      (memoizing engine, serial and parallel; the
+ *                       parallel pass batches through lane replay when
+ *                       it is enabled, so that path is crossed too)
  *  - exec::replayTrace (optimistic trace replay; exact whenever the
  *                       exec run had no dependency stalls — the trace
  *                       drops only dataflow — and unconditionally for
@@ -57,6 +62,9 @@ struct CheckOptions
 {
     /** Cross-check the Lab engine (serial and parallel). */
     bool lab = true;
+    /** Cross-check lane-batched lockstep replay against exec, one
+     *  lane per lane-replayable config. */
+    bool lanes = true;
     /** Worker threads for the parallel Lab pass. */
     unsigned labJobs = 3;
     /** Instruction cap applied to every engine (bounds shrinker

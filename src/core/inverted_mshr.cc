@@ -33,9 +33,16 @@ const std::vector<unsigned> &
 InvertedMshr::fill(uint64_t block_addr)
 {
     filled_.clear();
-    for (unsigned d = 0; d < entries_.size(); ++d) {
+    // Stop once every active entry has been seen: fills are frequent
+    // (one per completed fetch) while in-flight misses are few, so
+    // the probe usually touches a handful of entries, not all 64.
+    unsigned left = active_;
+    for (unsigned d = 0; left != 0 && d < entries_.size(); ++d) {
         Entry &e = entries_[d];
-        if (e.valid && e.blockAddr == block_addr) {
+        if (!e.valid)
+            continue;
+        --left;
+        if (e.blockAddr == block_addr) {
             e.valid = false;
             --active_;
             filled_.push_back(d);

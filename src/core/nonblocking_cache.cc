@@ -90,7 +90,7 @@ NonblockingCache::NonblockingCache(const mem::CacheGeometry &geom,
 }
 
 void
-NonblockingCache::expireUpTo(uint64_t now)
+NonblockingCache::expireSlow(uint64_t now)
 {
     while (auto done = mshrs_.popCompleted(now)) {
         uint64_t at = done->completeCycle();
@@ -245,8 +245,8 @@ NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
 }
 
 AccessOutcome
-NonblockingCache::load(uint64_t addr, unsigned size, uint64_t now,
-                       unsigned dest_linear)
+NonblockingCache::loadSlow(uint64_t addr, unsigned size, uint64_t now,
+                           unsigned dest_linear)
 {
     expireUpTo(now);
     ++stats_.loads;

@@ -141,15 +141,40 @@ class NonblockingCache
      * @param size Access size in bytes.
      * @param now Cycle the processor presents the access.
      * @param dest_linear Linear destination-register number.
+     *
+     * Inline fast path for the dominant case: nothing in flight (so
+     * expiry is a no-op) and the line is resident. Hits resolve
+     * identically on blocking and lockup-free policies, so no policy
+     * check is needed here; everything else takes loadSlow(), which
+     * is the unabridged original.
      */
-    AccessOutcome load(uint64_t addr, unsigned size, uint64_t now,
-                       unsigned dest_linear);
+    AccessOutcome
+    load(uint64_t addr, unsigned size, uint64_t now,
+         unsigned dest_linear)
+    {
+        if (mshrs_.activeFetches() == 0 && tags_.lookup(addr)) {
+            ++stats_.loads;
+            ++stats_.loadHits;
+            return {now, now + 1, now + 1, AccessKind::Hit, false};
+        }
+        return loadSlow(addr, size, now, dest_linear);
+    }
 
     /** Perform a store at cycle now (write-through, write-around). */
     AccessOutcome store(uint64_t addr, unsigned size, uint64_t now);
 
-    /** Apply every fill that has completed by cycle now. */
-    void expireUpTo(uint64_t now);
+    /**
+     * Apply every fill that has completed by cycle now. Inline
+     * fast-return when nothing is in flight: this guards every
+     * load/store, and on hit-dominated streams the fetch FIFO is
+     * almost always empty.
+     */
+    void
+    expireUpTo(uint64_t now)
+    {
+        if (mshrs_.activeFetches() != 0)
+            expireSlow(now);
+    }
 
     /**
      * Drain all outstanding fetches (end of run).
@@ -181,6 +206,13 @@ class NonblockingCache
     }
 
   private:
+    /** expireUpTo() with the fetch FIFO known non-empty. */
+    void expireSlow(uint64_t now);
+
+    /** load() when the inline hit fast path does not apply. */
+    AccessOutcome loadSlow(uint64_t addr, unsigned size, uint64_t now,
+                           unsigned dest_linear);
+
     AccessOutcome blockingLoad(uint64_t addr, uint64_t now);
     AccessOutcome blockingFill(uint64_t addr, uint64_t now, bool is_load);
 

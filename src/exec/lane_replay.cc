@@ -1,0 +1,324 @@
+#include "exec/lane_replay.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "cpu/cpu.hh"
+#include "exec/stepping.hh"
+#include "util/log.hh"
+
+namespace nbl::exec
+{
+
+namespace
+{
+
+/** Scoreboard / fill-time rows (destLinear numbering of registers). */
+constexpr size_t kRegs = isa::numIntRegs + isa::numFpRegs;
+
+/**
+ * The struct-of-arrays lane file: every per-lane scalar of the
+ * single-issue replay step (cpu::Cpu::replayRunDecoded's locals and
+ * the members it mirrors), one array element per lane. `issued` is
+ * kept as 0/1 words so the issue-slot advance `cycle += issued` is a
+ * branch-free add.
+ */
+struct LaneFile
+{
+    explicit LaneFile(size_t lanes)
+        : cycle(lanes, 0), issued(lanes, 0), pending(lanes, 0),
+          depStall(lanes, 0), structStall(lanes, 0),
+          blockStall(lanes, 0), ready(kRegs * lanes, 0),
+          fillReady(kRegs * lanes, 0)
+    {
+    }
+
+    std::vector<uint64_t> cycle;
+    std::vector<uint64_t> issued;
+    /** Conservative superset of registers whose scoreboard entry may
+     *  lie in the future (cpu::Cpu::replay_pending_, per lane). */
+    std::vector<uint64_t> pending;
+    std::vector<uint64_t> depStall;
+    std::vector<uint64_t> structStall;
+    std::vector<uint64_t> blockStall;
+    /** Scoreboard, register-major: ready[reg * lanes + lane]. */
+    std::vector<uint64_t> ready;
+    /** Per-register load fill times (the WAW interlock state; see
+     *  docs/MODEL.md), register-major like `ready`. */
+    std::vector<uint64_t> fillReady;
+};
+
+} // namespace
+
+bool
+laneReplayable(const MachineConfig &config)
+{
+    return config.issueWidth == 1 && !config.perfectCache;
+}
+
+std::vector<RunOutput>
+replayLanes(const isa::Program &program, const EventTrace &trace,
+            const std::vector<MachineConfig> &configs)
+{
+    const size_t nl = configs.size();
+    std::vector<RunOutput> outs(nl);
+    if (nl == 0)
+        return outs;
+    program.validate();
+
+    // Every lane must see the same dynamic prefix: lockstep has one
+    // stream cursor, so one budget. The per-config cap check matches
+    // replayExact's.
+    const uint64_t budget =
+        std::min(trace.instructions, configs[0].maxInstructions);
+    for (const MachineConfig &mc : configs) {
+        if (!laneReplayable(mc))
+            fatal("replayLanes: config is not lane-replayable "
+                  "(issue width %u, perfect=%d)",
+                  mc.issueWidth, int(mc.perfectCache));
+        if (trace.hitInstructionCap &&
+            mc.maxInstructions > trace.instructions) {
+            fatal("replayLanes: trace of %s was capped at %llu "
+                  "instructions but a lane asks for up to %llu; "
+                  "re-record the trace under the larger cap",
+                  program.name().c_str(),
+                  static_cast<unsigned long long>(trace.instructions),
+                  static_cast<unsigned long long>(mc.maxInstructions));
+        }
+        if (std::min(trace.instructions, mc.maxInstructions) != budget)
+            fatal("replayLanes: lanes disagree on the effective "
+                  "instruction budget (%llu vs %llu); group lanes by "
+                  "budget before batching",
+                  static_cast<unsigned long long>(budget),
+                  static_cast<unsigned long long>(std::min(
+                      trace.instructions, mc.maxInstructions)));
+    }
+
+    std::vector<std::unique_ptr<core::NonblockingCache>> caches;
+    caches.reserve(nl);
+    for (const MachineConfig &mc : configs) {
+        caches.push_back(std::make_unique<core::NonblockingCache>(
+            mc.geometry, mc.policy, mc.memory, mc.fillWritePorts));
+    }
+
+    const std::vector<cpu::ReplayDecoded> decoded =
+        cpu::decodeForReplay(program);
+    const cpu::ReplayDecoded *code = decoded.data();
+
+    // Static run tables: for each pc, the maximal straight-line span
+    // of consecutive *non-memory* instructions starting there, with
+    // the OR of their source masks and (non-r0) destination bits and
+    // the branch count over the span. When no lane's pending mask
+    // intersects gate[pc], no instruction of the span can stall and
+    // none of its scoreboard writes is observable (a non-pending
+    // register's entry is never in the future, so max() against it is
+    // a no-op — the engine's own invariant), which lets the whole
+    // span advance every lane in O(1): cycle += span length. Index n
+    // is an all-zero sentinel so `run_br[pc] - run_br[pc + L]` counts
+    // branches over a clipped span in every case.
+    const size_t n = decoded.size();
+    std::vector<uint32_t> run_len(n + 1, 0);
+    std::vector<uint64_t> run_gate(n + 1, 0);
+    std::vector<uint32_t> run_br(n + 1, 0);
+    for (size_t pc = n; pc-- > 0;) {
+        const cpu::ReplayDecoded &in = decoded[pc];
+        if (in.flags & cpu::kReplayMem)
+            continue; // Memory op: span of length 0 (all zeros).
+        run_len[pc] = run_len[pc + 1] + 1;
+        run_gate[pc] = run_gate[pc + 1] | in.useMask;
+        if ((in.flags & cpu::kReplayHasDst) && in.dstLin != 0)
+            run_gate[pc] |= uint64_t{1} << in.dstLin;
+        run_br[pc] =
+            run_br[pc + 1] + ((in.flags / cpu::kReplayBranch) & 1);
+    }
+
+    LaneFile f(nl);
+    uint64_t *const cycle = f.cycle.data();
+    uint64_t *const issued = f.issued.data();
+    uint64_t *const pending = f.pending.data();
+    uint64_t *const ready = f.ready.data();
+    uint64_t *const fill = f.fillReady.data();
+
+    // Or of every lane's pending mask: when an instruction's source
+    // mask misses it, no lane can stall on a source and the whole
+    // batch takes the branch-free fast path. Conservative superset,
+    // re-tightened whenever the slow paths rescan the lanes.
+    uint64_t any_pending = 0;
+
+    // The dynamic stream is identical for every lane, so the stream
+    // counters are shared, accumulated once per instruction.
+    uint64_t loads = 0, stores = 0, branches = 0;
+
+    const uint64_t *ea = trace.effAddrs.data();
+    uint64_t remaining = budget;
+    for (size_t s = 0; remaining > 0; ++s) {
+        const uint32_t base = trace.segStart[s];
+        const uint32_t len =
+            uint32_t(std::min<uint64_t>(trace.segLen[s], remaining));
+        for (uint32_t i = 0; i < len;) {
+            const uint32_t pc = base + i;
+            // Fused span: every lane advances over the whole
+            // straight-line non-memory run at once.
+            uint32_t span = run_len[pc];
+            if (span != 0 && (any_pending & run_gate[pc]) == 0) {
+                span = std::min(span, len - i);
+                branches += run_br[pc] - run_br[pc + span];
+                const uint64_t adv = span - 1;
+                for (size_t l = 0; l < nl; ++l) {
+                    cycle[l] += issued[l] + adv;
+                    issued[l] = 1;
+                }
+                i += span;
+                continue;
+            }
+            const cpu::ReplayDecoded in = code[pc];
+            ++i;
+            loads += in.flags & cpu::kReplayLoad;
+            stores += (in.flags / cpu::kReplayStore) & 1;
+            branches += (in.flags / cpu::kReplayBranch) & 1;
+            if (in.flags & cpu::kReplayMem) {
+                const uint64_t addr = *ea++;
+                const bool is_load = in.flags & cpu::kReplayLoad;
+                uint64_t *const rdst = ready + size_t(in.dstLin) * nl;
+                uint64_t *const fdst = fill + size_t(in.dstLin) * nl;
+                const uint64_t dbit = uint64_t{1} << in.dstLin;
+                uint64_t np = 0;
+                for (size_t l = 0; l < nl; ++l) {
+                    // Mirror of replayRunDecoded's memory-op step.
+                    uint64_t c = cycle[l] + issued[l];
+                    uint64_t p = pending[l];
+                    uint64_t earliest = c;
+                    if (p & in.useMask) {
+                        if (in.ns >= 1)
+                            earliest = std::max(
+                                earliest,
+                                ready[size_t(in.src1Lin) * nl + l]);
+                        if (in.ns >= 2)
+                            earliest = std::max(
+                                earliest,
+                                ready[size_t(in.src2Lin) * nl + l]);
+                        p &= ~in.useMask;
+                    }
+                    if (is_load)
+                        earliest = std::max(earliest, fdst[l]);
+                    if (earliest > c) {
+                        f.depStall[l] += earliest - c;
+                        c = earliest;
+                    }
+                    core::AccessOutcome out =
+                        is_load ? caches[l]->load(addr, in.size, c,
+                                                  in.dstLin)
+                                : caches[l]->store(addr, in.size, c);
+                    if (out.issueCycle > c) {
+                        f.structStall[l] += out.issueCycle - c;
+                        c = out.issueCycle;
+                    }
+                    uint64_t iss = 1;
+                    if (is_load) {
+                        if (in.dstLin != 0)
+                            rdst[l] = out.dataReady;
+                        fdst[l] = out.dataReady;
+                        if (out.dataReady > c + 1)
+                            p |= dbit;
+                    }
+                    if (out.procFreeAt > c + 1) {
+                        f.blockStall[l] += out.procFreeAt - (c + 1);
+                        c = out.procFreeAt;
+                        iss = 0;
+                    }
+                    cycle[l] = c;
+                    issued[l] = iss;
+                    pending[l] = p;
+                    np |= p;
+                }
+                any_pending = np;
+            } else {
+                if (any_pending & in.useMask) {
+                    // Some lane may stall on a source: consult the
+                    // scoreboard lane by lane (rare).
+                    const bool write_dst =
+                        (in.flags & cpu::kReplayHasDst) &&
+                        in.dstLin != 0;
+                    uint64_t *const rdst =
+                        ready + size_t(in.dstLin) * nl;
+                    uint64_t np = 0;
+                    for (size_t l = 0; l < nl; ++l) {
+                        uint64_t c = cycle[l] + issued[l];
+                        uint64_t p = pending[l];
+                        if (p & in.useMask) {
+                            uint64_t earliest = c;
+                            if (in.ns >= 1)
+                                earliest = std::max(
+                                    earliest,
+                                    ready[size_t(in.src1Lin) * nl + l]);
+                            if (in.ns >= 2)
+                                earliest = std::max(
+                                    earliest,
+                                    ready[size_t(in.src2Lin) * nl + l]);
+                            p &= ~in.useMask;
+                            if (earliest > c) {
+                                f.depStall[l] += earliest - c;
+                                c = earliest;
+                            }
+                        }
+                        if (write_dst)
+                            rdst[l] = c + 1;
+                        cycle[l] = c;
+                        issued[l] = 1;
+                        pending[l] = p;
+                        np |= p;
+                    }
+                    any_pending = np;
+                } else if ((in.flags & cpu::kReplayHasDst) &&
+                           in.dstLin != 0 &&
+                           (any_pending &
+                            (uint64_t{1} << in.dstLin)) != 0) {
+                    // The destination has an in-flight fill in some
+                    // lane, so this write is observable (a later
+                    // consult of the still-pending register reads
+                    // it): no lane can stall, but every lane must
+                    // take the ALU write.
+                    uint64_t *const rdst =
+                        ready + size_t(in.dstLin) * nl;
+                    for (size_t l = 0; l < nl; ++l) {
+                        const uint64_t c = cycle[l] + issued[l];
+                        cycle[l] = c;
+                        rdst[l] = c + 1;
+                        issued[l] = 1;
+                    }
+                } else {
+                    // No source can stall and the destination is not
+                    // pending anywhere, so the scoreboard write is
+                    // dead (see the run-table comment): branch-free
+                    // advance only.
+                    for (size_t l = 0; l < nl; ++l) {
+                        cycle[l] += issued[l];
+                        issued[l] = 1;
+                    }
+                }
+            }
+        }
+        remaining -= len;
+    }
+
+    const bool hit_cap =
+        budget < trace.instructions || trace.hitInstructionCap;
+    for (size_t l = 0; l < nl; ++l) {
+        if (hit_cap)
+            warnInstructionCap(program, configs[l].maxInstructions);
+        cpu::CpuStats cs;
+        cs.instructions = budget;
+        cs.loads = loads;
+        cs.stores = stores;
+        cs.branches = branches;
+        cs.depStallCycles = f.depStall[l];
+        cs.structStallCycles = f.structStall[l];
+        cs.blockStallCycles = f.blockStall[l];
+        cs.cycles = f.cycle[l] + (f.issued[l] ? 1 : 0);
+        outs[l] = detail::finishRun(cs, caches[l].get(), hit_cap,
+                                    Provenance::LaneReplay);
+    }
+    return outs;
+}
+
+} // namespace nbl::exec

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Batched lockstep replay: one trace pass, N config lanes.
+ *
+ * A sweep replays the *same* event trace once per configuration
+ * point, so trace decode and stream traversal -- fetching the decoded
+ * instruction, walking the straight-line segments, consuming the
+ * effective-address stream -- are paid per point even though they are
+ * a pure function of the workload. replayLanes() pays them once: the
+ * timing state of every configuration ("lane") in a batch lives in
+ * struct-of-arrays form indexed by lane, and a single pass over the
+ * pre-decoded stream advances all lanes in lockstep. On top of that,
+ * straight-line spans of non-memory instructions whose registers no
+ * lane has pending are *fused*: a static per-pc run table (span
+ * length, OR of register bits, branch count) lets the pass advance
+ * every lane over the whole span in O(1), so the stream is traversed
+ * per span and memory reference rather than per instruction.
+ *
+ * Layout (docs/PERF.md has the diagram): the CPU-side per-lane state
+ * -- current cycle, issue slot, conservative pending-register mask,
+ * the register scoreboard, and the per-register load fill times that
+ * carry the WAW/fill-time contract (docs/MODEL.md) -- is stored in
+ * flat arrays. The scoreboard and fill-time files are register-major
+ * (`ready[reg * lanes + lane]`), so the common "write the destination
+ * of an ALU op in every lane" step touches one contiguous run of
+ * words and vectorizes; this is the PR 1 branch-free register-file
+ * trick scaled from one machine to a lane batch. The cache-side state
+ * (MSHR file, inverted MSHR, write buffer, tag array) is a per-lane
+ * array of the unchanged core components, advanced in lockstep --
+ * lanes may disagree on tag contents and fetch timing, so that state
+ * cannot be shared, but only ~10% of dynamic instructions reach it.
+ *
+ * Per-lane results are bit-identical to exec::replayExact (and hence
+ * to exec::run) by the same contract the PR 3 engine makes: the lane
+ * step mirrors cpu::Cpu::replayRunDecoded() field for field, the
+ * cache components are the very same code, and the property is
+ * enforced by tests/test_lane_replay.cc and the differential runner's
+ * exec-vs-lane cross (src/check/).
+ */
+
+#ifndef NBL_EXEC_LANE_REPLAY_HH
+#define NBL_EXEC_LANE_REPLAY_HH
+
+#include <vector>
+
+#include "exec/event_trace.hh"
+#include "exec/machine.hh"
+#include "isa/program.hh"
+
+namespace nbl::exec
+{
+
+/**
+ * True when config can be a lane: the lockstep pass runs the
+ * single-issue pre-decoded step with a real data cache. Multi-issue
+ * and perfect-cache points fall back to replayExact().
+ */
+bool laneReplayable(const MachineConfig &config);
+
+/**
+ * Advance every configuration in `configs` over `trace` in one
+ * lockstep pass. Returns one RunOutput per lane, in input order,
+ * each bit-identical to replayExact(program, trace, configs[i]).
+ *
+ * Every lane must be laneReplayable() and all lanes must resolve to
+ * the same effective instruction budget
+ * (min(trace.instructions, maxInstructions)) -- callers group sweep
+ * points accordingly (harness::Lab::runLanes). Violations are fatal:
+ * they are harness bugs, not data-dependent conditions.
+ */
+std::vector<RunOutput> replayLanes(const isa::Program &program,
+                                   const EventTrace &trace,
+                                   const std::vector<MachineConfig> &configs);
+
+} // namespace nbl::exec
+
+#endif // NBL_EXEC_LANE_REPLAY_HH

@@ -14,7 +14,15 @@ namespace nbl::exec
 const char *
 provenanceName(Provenance p)
 {
-    return p == Provenance::Replay ? "replay" : "exec";
+    switch (p) {
+    case Provenance::Replay:
+        return "replay";
+    case Provenance::LaneReplay:
+        return "lane";
+    case Provenance::Exec:
+        break;
+    }
+    return "exec";
 }
 
 namespace detail
@@ -25,11 +33,18 @@ finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
           bool hit_instruction_cap, Provenance provenance)
 {
     cpu.finish();
+    return finishRun(cpu.stats(), cache, hit_instruction_cap,
+                     provenance);
+}
 
+RunOutput
+finishRun(const cpu::CpuStats &cpu, core::NonblockingCache *cache,
+          bool hit_instruction_cap, Provenance provenance)
+{
     RunOutput out;
     out.hitInstructionCap = hit_instruction_cap;
     out.provenance = provenance;
-    out.cpu = cpu.stats();
+    out.cpu = cpu;
 
     if (cache) {
         uint64_t last_fill = cache->drainAll();

@@ -45,9 +45,9 @@ struct MachineConfig
 };
 
 /** How a RunOutput was produced (metadata, never a counter). */
-enum class Provenance { Exec, Replay };
+enum class Provenance { Exec, Replay, LaneReplay };
 
-/** Name used in exported snapshots ("exec" / "replay"). */
+/** Name used in exported snapshots ("exec" / "replay" / "lane"). */
 const char *provenanceName(Provenance p);
 
 /** Everything measured during one run. */
@@ -86,6 +86,15 @@ namespace detail
  * engine (exec/event_trace.hh) claim bit-identity by construction.
  */
 RunOutput finishRun(cpu::Cpu &cpu, core::NonblockingCache *cache,
+                    bool hit_instruction_cap, Provenance provenance);
+
+/**
+ * Same tail for engines that assemble cpu::CpuStats themselves
+ * (exec/lane_replay.hh keeps per-lane CPU state in arrays, not in a
+ * cpu::Cpu). `cpu` must already be finished: cycles final.
+ */
+RunOutput finishRun(const cpu::CpuStats &cpu,
+                    core::NonblockingCache *cache,
                     bool hit_instruction_cap, Provenance provenance);
 
 } // namespace detail

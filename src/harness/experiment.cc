@@ -1,5 +1,8 @@
 #include "harness/experiment.hh"
 
+#include <map>
+
+#include "exec/lane_replay.hh"
 #include "util/env.hh"
 #include "util/log.hh"
 
@@ -7,7 +10,8 @@ namespace nbl::harness
 {
 
 Lab::Lab(double scale)
-    : scale_(scale), replay_(!envFlag("NBL_EXEC_DRIVEN"))
+    : scale_(scale), replay_(!envFlag("NBL_EXEC_DRIVEN")),
+      lane_replay_(envFlag("NBL_LANE_REPLAY", true))
 {
 }
 
@@ -215,6 +219,88 @@ Lab::run(const std::string &name, const ExperimentConfig &cfg)
     // deterministic, so first-in wins and the copies are identical.
     results_.emplace(key, CachedResult{name, cfg, res});
     return res;
+}
+
+std::vector<ExperimentResult>
+Lab::runLanes(const std::string &name,
+              const std::vector<ExperimentConfig> &cfgs)
+{
+    std::vector<ExperimentResult> out(cfgs.size());
+    if (cfgs.empty())
+        return out;
+
+    // Serve memoized points first; the leftovers either batch into
+    // lanes or fall back to the per-point engine.
+    std::vector<std::string> keys(cfgs.size());
+    std::vector<size_t> lanes;
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        keys[i] = experimentKey(name, cfgs[i]);
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            auto it = results_.find(keys[i]);
+            if (it != results_.end()) {
+                ++result_hits_;
+                out[i] = it->second.result;
+                keys[i].clear(); // Mark done.
+            }
+        }
+    }
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        if (keys[i].empty())
+            continue;
+        if (!laneReplayActive() ||
+            !exec::laneReplayable(makeMachineConfig(cfgs[i]))) {
+            out[i] = run(name, cfgs[i]);
+            keys[i].clear();
+        } else {
+            lanes.push_back(i);
+        }
+    }
+    if (lanes.empty())
+        return out;
+
+    // Group the lanes by (program fingerprint, effective budget):
+    // every group shares one recorded stream and one lockstep budget,
+    // exactly what exec::replayLanes requires. Distinct scheduled
+    // latencies that compile to identical code land in one group.
+    struct Group
+    {
+        const isa::Program *program = nullptr;
+        std::shared_ptr<const exec::EventTrace> trace;
+        std::vector<size_t> idx;
+    };
+    std::map<std::pair<uint64_t, uint64_t>, Group> groups;
+    for (size_t i : lanes) {
+        const Compiled &c = compiled(name, cfgs[i].loadLatency);
+        auto trace = eventTrace(name, cfgs[i].loadLatency,
+                                cfgs[i].maxInstructions);
+        uint64_t budget =
+            std::min(trace->instructions, cfgs[i].maxInstructions);
+        Group &g = groups[{c.fingerprint, budget}];
+        g.program = &c.program;
+        g.trace = std::move(trace);
+        g.idx.push_back(i);
+        out[i].compileInfo = c.info;
+    }
+    for (auto &[gk, g] : groups) {
+        std::vector<exec::MachineConfig> mcs;
+        mcs.reserve(g.idx.size());
+        for (size_t i : g.idx)
+            mcs.push_back(makeMachineConfig(cfgs[i]));
+        std::vector<exec::RunOutput> runs =
+            exec::replayLanes(*g.program, *g.trace, mcs);
+        for (size_t j = 0; j < g.idx.size(); ++j)
+            out[g.idx[j]].run = std::move(runs[j]);
+    }
+
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    for (size_t i : lanes) {
+        // Duplicate keys within the batch (or a racing thread) insert
+        // once; results are deterministic, so first-in wins.
+        results_.emplace(keys[i], CachedResult{name, cfgs[i], out[i]});
+    }
+    return out;
 }
 
 void

@@ -133,6 +133,23 @@ class Lab
                          const ExperimentConfig &cfg);
 
     /**
+     * Run a batch of points of one workload, advancing them in
+     * lockstep over shared event traces where possible
+     * (exec/lane_replay.hh): points are grouped by (program
+     * fingerprint, effective instruction budget), each group replays
+     * the trace once with one config lane per point, and each lane's
+     * result is bit-identical to run(). Points that are already
+     * memoized, not lane-replayable (multi-issue, perfect cache), or
+     * requested while lane replay is disabled fall back to run().
+     * Results come back in input order and are memoized exactly as
+     * run() memoizes. The sweep engines (harness/parallel.hh) batch
+     * sweep points through this; one-off points should use run().
+     */
+    std::vector<ExperimentResult>
+    runLanes(const std::string &name,
+             const std::vector<ExperimentConfig> &cfgs);
+
+    /**
      * The recorded event trace for (workload, program compiled at
      * latency), recording it on first use. maxInstructions bounds the
      * recording exactly as in exec::run; a cached trace that was
@@ -155,6 +172,15 @@ class Lab
      *  call before fanning work out over threads. */
     void setReplayEnabled(bool on) { replay_ = on; }
     bool replayEnabled() const { return replay_; }
+
+    /** Toggle lockstep lane batching inside runLanes() (default on;
+     *  NBL_LANE_REPLAY=0 in the environment disables it). Not
+     *  synchronized: call before fanning work out over threads. */
+    void setLaneReplayEnabled(bool on) { lane_replay_ = on; }
+
+    /** True when runLanes() batches: lane replay is enabled and the
+     *  trace engine it feeds on is too. */
+    bool laneReplayActive() const { return replay_ && lane_replay_; }
 
     double scale() const { return scale_; }
 
@@ -208,6 +234,7 @@ class Lab
 
     double scale_;
     bool replay_ = true;
+    bool lane_replay_ = true;
     /** Guards workloads_ and programs_. */
     mutable std::mutex buildMutex_;
     /** Guards results_ and result_hits_. */

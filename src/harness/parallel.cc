@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "exec/lane_replay.hh"
 #include "util/env.hh"
 #include "util/log.hh"
 
@@ -108,39 +109,32 @@ runSweepParallel(Lab &lab, const std::string &workload,
 {
     constexpr size_t nlat = std::size(paperLatencies);
 
-    // Record once, replay many: pre-compile every (workload, latency)
-    // pair and record its event trace up front (fanned out itself --
-    // recordings at different latencies are independent), so the
-    // per-point jobs below are replay-only: timing-model cost with no
-    // functional execution, and no contention on the Lab build lock.
-    parallelFor(
-        nlat,
-        [&](size_t l) {
-            lab.prewarmTrace(workload, paperLatencies[l],
-                             base.maxInstructions);
-        },
-        jobs);
+    // A curve sweep is just a rectangular point set: build it in
+    // (config-major, latency-minor) order and let runPointsParallel
+    // batch the points of each latency into one lane group.
+    std::vector<SweepPoint> points;
+    points.reserve(cfgs.size() * nlat);
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        for (size_t l = 0; l < nlat; ++l) {
+            ExperimentConfig e = base;
+            e.config = cfgs[c];
+            e.customPolicy.reset();
+            e.loadLatency = paperLatencies[l];
+            points.push_back({workload, e});
+        }
+    }
+    std::vector<ExperimentResult> results =
+        runPointsParallel(lab, points, jobs);
 
     std::vector<Curve> curves(cfgs.size());
     for (size_t c = 0; c < cfgs.size(); ++c) {
         curves[c].label = core::configLabel(cfgs[c]);
         curves[c].latencies.assign(std::begin(paperLatencies),
                                    std::end(paperLatencies));
-        curves[c].results.resize(nlat);
+        curves[c].results.assign(
+            std::make_move_iterator(results.begin() + c * nlat),
+            std::make_move_iterator(results.begin() + (c + 1) * nlat));
     }
-
-    parallelFor(
-        cfgs.size() * nlat,
-        [&](size_t i) {
-            size_t c = i / nlat;
-            size_t l = i % nlat;
-            ExperimentConfig e = base;
-            e.config = cfgs[c];
-            e.customPolicy.reset();
-            e.loadLatency = paperLatencies[l];
-            curves[c].results[l] = lab.run(workload, e);
-        },
-        jobs);
     return curves;
 }
 
@@ -149,8 +143,11 @@ runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
                   unsigned jobs)
 {
     // Pre-compile and pre-record the distinct (workload, latency)
-    // pairs (see above), under the largest instruction cap any point
-    // using the pair asks for so one recording serves them all.
+    // pairs -- recordings at different latencies are independent, so
+    // this fans out too -- under the largest instruction cap any point
+    // using the pair asks for, so one recording serves them all. The
+    // jobs below are then replay-only: timing-model cost with no
+    // functional execution, and no contention on the Lab build lock.
     std::map<std::pair<std::string, int>, uint64_t> pairs;
     for (const SweepPoint &p : points) {
         uint64_t &cap = pairs[{p.workload, p.cfg.loadLatency}];
@@ -170,6 +167,54 @@ runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
         jobs);
 
     std::vector<ExperimentResult> results(points.size());
+
+    if (lab.laneReplayActive()) {
+        // Batched lockstep replay: group the lane-replayable points
+        // sharing a (workload, latency) -- and hence a recorded trace
+        // -- into one batch each, and fan threads out over batches
+        // plus the leftover singles, not over points. Lab::runLanes
+        // subdivides a batch further if effective budgets differ.
+        std::map<std::pair<std::string, int>, std::vector<size_t>>
+            batches;
+        std::vector<size_t> singles;
+        for (size_t i = 0; i < points.size(); ++i) {
+            const SweepPoint &p = points[i];
+            if (exec::laneReplayable(makeMachineConfig(p.cfg)))
+                batches[{p.workload, p.cfg.loadLatency}].push_back(i);
+            else
+                singles.push_back(i);
+        }
+        std::vector<const std::vector<size_t> *> groups;
+        std::vector<const std::string *> group_workload;
+        groups.reserve(batches.size());
+        group_workload.reserve(batches.size());
+        for (const auto &kv : batches) {
+            groups.push_back(&kv.second);
+            group_workload.push_back(&kv.first.first);
+        }
+        parallelFor(
+            groups.size() + singles.size(),
+            [&](size_t j) {
+                if (j < groups.size()) {
+                    const std::vector<size_t> &idx = *groups[j];
+                    std::vector<ExperimentConfig> cfgs;
+                    cfgs.reserve(idx.size());
+                    for (size_t i : idx)
+                        cfgs.push_back(points[i].cfg);
+                    std::vector<ExperimentResult> batch =
+                        lab.runLanes(*group_workload[j], cfgs);
+                    for (size_t k = 0; k < idx.size(); ++k)
+                        results[idx[k]] = std::move(batch[k]);
+                } else {
+                    size_t i = singles[j - groups.size()];
+                    results[i] =
+                        lab.run(points[i].workload, points[i].cfg);
+                }
+            },
+            jobs);
+        return results;
+    }
+
     parallelFor(
         points.size(),
         [&](size_t i) {

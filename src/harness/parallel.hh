@@ -78,7 +78,10 @@ void parallelFor(size_t n, const std::function<void(size_t)> &fn,
 
 /**
  * Parallel equivalent of sweepCurves: sweep MCPI over the paper's
- * load latencies for each configuration, one thread-pool job per
+ * load latencies for each configuration. With lane replay active
+ * (lab.laneReplayActive()) the configurations at each latency advance
+ * in one lockstep batch over the shared event trace and threads fan
+ * out over latencies; otherwise one thread-pool job runs per
  * (config, latency) point. Results are placed by index, so the
  * returned curves are in the same deterministic order -- and, because
  * simulation is deterministic, bit-identical -- as the serial path.
@@ -96,11 +99,14 @@ struct SweepPoint
 };
 
 /**
- * Simulate every point in parallel through lab.run(), returning the
- * results in input order. Because the Lab memoizes results, this also
- * serves as a cache pre-warmer: a bench binary can fan out its whole
- * point set up front and keep its original serial reporting loops,
- * which then hit the cache.
+ * Simulate every point, returning the results in input order. With
+ * lane replay active, points sharing a (workload, latency) batch into
+ * one lockstep lane group (Lab::runLanes) and threads parallelize
+ * across batches and workloads; otherwise every point is an
+ * independent lab.run() job. Because the Lab memoizes results, this
+ * also serves as a cache pre-warmer: a bench binary can fan out its
+ * whole point set up front and keep its original serial reporting
+ * loops, which then hit the cache.
  */
 std::vector<ExperimentResult>
 runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,

@@ -23,6 +23,9 @@ CacheGeometry::CacheGeometry(uint64_t size_bytes, uint64_t line_bytes,
         if (!isPow2(num_sets_))
             fatal("number of sets must be a power of two");
     }
+    line_shift_ = log2i(line_);
+    set_shift_ = log2i(num_sets_);
+    set_mask_ = num_sets_ - 1;
 }
 
 std::string

@@ -45,18 +45,18 @@ class CacheGeometry
     uint64_t
     setIndex(uint64_t addr) const
     {
-        if (fullyAssociative())
-            return 0;
-        return (addr / line_) % num_sets_;
+        // Sizes are powers of two (checked in the constructor), so
+        // the div/mod chain is shift/mask on the tag-lookup hot path.
+        // Fully associative: set_mask_ is 0, so this returns 0.
+        return (addr >> line_shift_) & set_mask_;
     }
 
     /** Tag for an address. */
     uint64_t
     tag(uint64_t addr) const
     {
-        if (fullyAssociative())
-            return addr / line_;
-        return addr / line_ / num_sets_;
+        // Fully associative: set_shift_ is 0, so this is addr / line.
+        return addr >> (line_shift_ + set_shift_);
     }
 
     /** Byte offset within the line. */
@@ -84,6 +84,9 @@ class CacheGeometry
     uint64_t line_;
     unsigned ways_;
     uint64_t num_sets_;
+    unsigned line_shift_ = 0;  ///< log2(line_).
+    unsigned set_shift_ = 0;   ///< log2(num_sets_).
+    uint64_t set_mask_ = 0;    ///< num_sets_ - 1.
 };
 
 } // namespace nbl::mem

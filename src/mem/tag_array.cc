@@ -24,36 +24,6 @@ TagArray::TagArray(const CacheGeometry &geom)
 {
 }
 
-TagArray::Way *
-TagArray::find(uint64_t addr)
-{
-    uint64_t set = geom_.setIndex(addr);
-    uint64_t tag = geom_.tag(addr);
-    Way *base = &ways_[set * ways_per_set_];
-    for (unsigned w = 0; w < ways_per_set_; ++w) {
-        if (base[w].valid && base[w].tag == tag)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const TagArray::Way *
-TagArray::find(uint64_t addr) const
-{
-    return const_cast<TagArray *>(this)->find(addr);
-}
-
-bool
-TagArray::lookup(uint64_t addr, bool touch)
-{
-    Way *w = find(addr);
-    if (!w)
-        return false;
-    if (touch)
-        w->lru = ++lru_clock_;
-    return true;
-}
-
 bool
 TagArray::present(uint64_t addr) const
 {

@@ -58,9 +58,19 @@ class TagArray
 
     /**
      * Is the block containing addr present? Updates LRU state on a hit
-     * when touch is set.
+     * when touch is set. Inline: this is the first step of every
+     * cache access and the whole of a hit.
      */
-    bool lookup(uint64_t addr, bool touch = true);
+    bool
+    lookup(uint64_t addr, bool touch = true)
+    {
+        Way *w = find(addr);
+        if (!w)
+            return false;
+        if (touch)
+            w->lru = ++lru_clock_;
+        return true;
+    }
 
     /** Present check without LRU side effects. */
     bool present(uint64_t addr) const;
@@ -92,8 +102,24 @@ class TagArray
         uint64_t lru = 0;
     };
 
-    Way *find(uint64_t addr);
-    const Way *find(uint64_t addr) const;
+    Way *
+    find(uint64_t addr)
+    {
+        uint64_t set = geom_.setIndex(addr);
+        uint64_t tag = geom_.tag(addr);
+        Way *base = &ways_[set * ways_per_set_];
+        for (unsigned w = 0; w < ways_per_set_; ++w) {
+            if (base[w].valid && base[w].tag == tag)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    const Way *
+    find(uint64_t addr) const
+    {
+        return const_cast<TagArray *>(this)->find(addr);
+    }
 
     CacheGeometry geom_;
     unsigned ways_per_set_;

@@ -72,10 +72,12 @@ struct Derived
  */
 struct Snapshot
 {
-    /** How the run was produced: "exec" (execution-driven) or
-     *  "replay" (exact event-trace replay). Metadata, not a counter:
-     *  countersEqual() ignores it — the PR-3 bit-identity property
-     *  says the two provenances must agree on everything else. */
+    /** How the run was produced: "exec" (execution-driven), "replay"
+     *  (exact event-trace replay), or "lane" (batched lockstep
+     *  replay). Metadata, not a counter: countersEqual() ignores it —
+     *  the bit-identity properties say all provenances must agree on
+     *  everything else. tools/nbl-report surfaces it so an engine
+     *  switch stays visible in drift-gate output. */
     std::string provenance;
 
     std::vector<Scalar> scalars;

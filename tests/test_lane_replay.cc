@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for batched lockstep replay (exec/lane_replay.hh).
+ *
+ * The heart is a property test: for every workload, replayLanes()
+ * over a config grid spanning all the MSHR organizations the paper
+ * sweeps must produce, lane for lane, counters bit-identical
+ * (stats::Snapshot::countersEqual) to per-config replayExact() --
+ * which test_event_trace.cc in turn pins to execution-driven
+ * exec::run. Around it: odd batch shapes (1, N, N+1), lanes with
+ * mixed memory latencies, instruction-cap truncation, the
+ * NBL_LANE_REPLAY escape hatch through the Lab, fallback of
+ * non-lane-replayable points, and a TSan-able concurrent-batches
+ * sweep.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/event_trace.hh"
+#include "exec/lane_replay.hh"
+#include "exec/machine.hh"
+#include "harness/parallel.hh"
+#include "stats/run_stats.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using exec::EventTrace;
+using exec::MachineConfig;
+using exec::RunOutput;
+using harness::ExperimentConfig;
+using harness::Lab;
+
+namespace
+{
+
+/** Small scale, as in test_event_trace.cc. */
+constexpr double kScale = 0.02;
+
+/**
+ * The 18 MSHR configurations of the property sweep (the same grid as
+ * test_event_trace.cc): all ten named configurations plus eight
+ * Figure-14 field organizations.
+ */
+std::vector<core::MshrPolicy>
+propertyPolicies()
+{
+    std::vector<core::MshrPolicy> out;
+    for (core::ConfigName name :
+         {core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+          core::ConfigName::Mc1, core::ConfigName::Mc2,
+          core::ConfigName::Fc1, core::ConfigName::Fc2,
+          core::ConfigName::Fs1, core::ConfigName::Fs2,
+          core::ConfigName::InCache, core::ConfigName::NoRestrict})
+        out.push_back(core::makePolicy(name));
+    constexpr int kFields[][2] = {{1, 1}, {1, 2}, {1, 4}, {2, 1},
+                                  {4, 1}, {8, 1}, {2, 2}, {4, 4}};
+    for (auto [sb, mps] : kFields)
+        out.push_back(core::makeFieldPolicy(sb, mps));
+    return out;
+}
+
+/** Lane output must carry exact counters and the lane provenance. */
+void
+expectLaneMatchesExact(const RunOutput &lane, const RunOutput &exact)
+{
+    stats::Snapshot ls = stats::snapshotOfRun(lane);
+    stats::Snapshot es = stats::snapshotOfRun(exact);
+    EXPECT_TRUE(ls.countersEqual(es));
+    EXPECT_EQ(lane.hitInstructionCap, exact.hitInstructionCap);
+    EXPECT_STREQ(exec::provenanceName(lane.provenance), "lane");
+}
+
+class LaneReplay : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+/**
+ * The core lockstep property: one batch holding every configuration
+ * of the grid replays to the same counters as per-config exact
+ * replay, lane for lane.
+ */
+TEST_P(LaneReplay, MatchesReplayExactEverywhere)
+{
+    const std::string name = GetParam();
+    Lab lab(kScale);
+    const std::vector<core::MshrPolicy> policies = propertyPolicies();
+
+    for (int latency : {1, 20}) {
+        const isa::Program &prog = lab.program(name, latency);
+        auto trace = lab.eventTrace(name, latency);
+        ASSERT_GT(trace->instructions, 0u);
+
+        std::vector<MachineConfig> mcs;
+        for (const core::MshrPolicy &policy : policies) {
+            MachineConfig mc;
+            mc.policy = policy;
+            ASSERT_TRUE(exec::laneReplayable(mc));
+            mcs.push_back(mc);
+        }
+        std::vector<RunOutput> lanes =
+            exec::replayLanes(prog, *trace, mcs);
+        ASSERT_EQ(lanes.size(), mcs.size());
+        for (size_t i = 0; i < mcs.size(); ++i) {
+            RunOutput exact = exec::replayExact(prog, *trace, mcs[i]);
+            expectLaneMatchesExact(lanes[i], exact);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, LaneReplay,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+/** Odd batch shapes: single lane, the full grid, and grid + 1 (a
+ *  duplicated config -- both lanes must come back identical). */
+TEST(LaneReplayShapes, OddBatchSizes)
+{
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("doduc", 10);
+    auto trace = lab.eventTrace("doduc", 10);
+    const std::vector<core::MshrPolicy> policies = propertyPolicies();
+
+    std::vector<MachineConfig> grid;
+    for (const core::MshrPolicy &policy : policies) {
+        MachineConfig mc;
+        mc.policy = policy;
+        grid.push_back(mc);
+    }
+
+    const std::vector<MachineConfig> single{grid.front()};
+    std::vector<MachineConfig> plus_one = grid;
+    plus_one.push_back(grid.front());
+
+    const std::vector<MachineConfig> *batches[] = {&single, &grid,
+                                                   &plus_one};
+    for (const std::vector<MachineConfig> *batch : batches) {
+        std::vector<RunOutput> lanes =
+            exec::replayLanes(prog, *trace, *batch);
+        ASSERT_EQ(lanes.size(), batch->size());
+        for (size_t i = 0; i < batch->size(); ++i) {
+            RunOutput exact =
+                exec::replayExact(prog, *trace, (*batch)[i]);
+            expectLaneMatchesExact(lanes[i], exact);
+        }
+    }
+}
+
+/** Lanes whose memory systems disagree (the Figure 5/13 sweep axis):
+ *  per-lane cache state must not bleed across lanes. */
+TEST(LaneReplayShapes, MixedMemoryLatencyLanes)
+{
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("compress", 10);
+    auto trace = lab.eventTrace("compress", 10);
+
+    std::vector<MachineConfig> mcs;
+    for (unsigned penalty : {4u, 16u, 128u}) {
+        for (core::ConfigName c :
+             {core::ConfigName::Mc0, core::ConfigName::Mc1,
+              core::ConfigName::NoRestrict}) {
+            MachineConfig mc;
+            mc.policy = core::makePolicy(c);
+            mc.memory = mem::MainMemory(penalty);
+            mcs.push_back(mc);
+        }
+    }
+    std::vector<RunOutput> lanes = exec::replayLanes(prog, *trace, mcs);
+    for (size_t i = 0; i < mcs.size(); ++i) {
+        RunOutput exact = exec::replayExact(prog, *trace, mcs[i]);
+        expectLaneMatchesExact(lanes[i], exact);
+    }
+}
+
+/** The shared instruction budget truncates every lane exactly as the
+ *  per-config engines truncate. */
+TEST(LaneReplayShapes, CapTruncatesExactlyAsExact)
+{
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("compress", 10);
+    auto trace = lab.eventTrace("compress", 10);
+    ASSERT_GT(trace->instructions, 1000u);
+
+    std::vector<MachineConfig> mcs;
+    for (core::ConfigName c :
+         {core::ConfigName::Mc0, core::ConfigName::Fc2,
+          core::ConfigName::NoRestrict}) {
+        MachineConfig mc;
+        mc.policy = core::makePolicy(c);
+        mc.maxInstructions = trace->instructions / 2;
+        mcs.push_back(mc);
+    }
+    std::vector<RunOutput> lanes = exec::replayLanes(prog, *trace, mcs);
+    for (size_t i = 0; i < mcs.size(); ++i) {
+        EXPECT_TRUE(lanes[i].hitInstructionCap);
+        RunOutput exact = exec::replayExact(prog, *trace, mcs[i]);
+        expectLaneMatchesExact(lanes[i], exact);
+    }
+}
+
+/** Lanes disagreeing on the effective budget are a harness bug. */
+TEST(LaneReplayShapes, MismatchedBudgetsAreFatal)
+{
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program("compress", 10);
+    auto trace = lab.eventTrace("compress", 10);
+
+    MachineConfig a, b;
+    a.policy = b.policy = core::makePolicy(core::ConfigName::Mc1);
+    a.maxInstructions = trace->instructions / 2;
+    EXPECT_DEATH(exec::replayLanes(prog, *trace, {a, b}),
+                 "effective");
+}
+
+/** The Lab batches through runLanes(); the NBL_LANE_REPLAY escape
+ *  hatch must produce the same counters via per-point exact replay
+ *  (provenance is the only difference). */
+TEST(LaneReplayLab, EscapeHatchBitIdentical)
+{
+    std::vector<ExperimentConfig> cfgs;
+    for (core::ConfigName c :
+         {core::ConfigName::Mc0, core::ConfigName::Mc2,
+          core::ConfigName::Fc1, core::ConfigName::NoRestrict}) {
+        for (int lat : {1, 10}) {
+            ExperimentConfig e;
+            e.config = c;
+            e.loadLatency = lat;
+            cfgs.push_back(e);
+        }
+    }
+
+    Lab lane_lab(kScale);
+    lane_lab.setLaneReplayEnabled(true);
+    ASSERT_TRUE(lane_lab.laneReplayActive());
+    Lab exact_lab(kScale);
+    exact_lab.setLaneReplayEnabled(false);
+    ASSERT_FALSE(exact_lab.laneReplayActive());
+
+    auto lanes = lane_lab.runLanes("xlisp", cfgs);
+    auto exact = exact_lab.runLanes("xlisp", cfgs);
+    ASSERT_EQ(lanes.size(), cfgs.size());
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        stats::Snapshot ls = stats::snapshotOfRun(lanes[i].run);
+        stats::Snapshot es = stats::snapshotOfRun(exact[i].run);
+        EXPECT_TRUE(ls.countersEqual(es));
+        EXPECT_STREQ(exec::provenanceName(lanes[i].run.provenance),
+                     "lane");
+        EXPECT_STREQ(exec::provenanceName(exact[i].run.provenance),
+                     "replay");
+    }
+    // Batched points are memoized exactly as run() memoizes.
+    EXPECT_EQ(lane_lab.cachedResults(), cfgs.size());
+    uint64_t hits = lane_lab.resultCacheHits();
+    lane_lab.runLanes("xlisp", cfgs);
+    EXPECT_EQ(lane_lab.resultCacheHits(), hits + cfgs.size());
+}
+
+/** Multi-issue and perfect-cache points ride along via per-point
+ *  fallback inside one runLanes() call. */
+TEST(LaneReplayLab, NonReplayablePointsFallBack)
+{
+    std::vector<ExperimentConfig> cfgs;
+    ExperimentConfig lane_cfg;
+    lane_cfg.config = core::ConfigName::Mc1;
+    cfgs.push_back(lane_cfg);
+    ExperimentConfig wide = lane_cfg;
+    wide.issueWidth = 2;
+    cfgs.push_back(wide);
+    ExperimentConfig perfect = lane_cfg;
+    perfect.perfectCache = true;
+    cfgs.push_back(perfect);
+
+    Lab lab(kScale);
+    auto got = lab.runLanes("ear", cfgs);
+    Lab ref(kScale);
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        stats::Snapshot gs = stats::snapshotOfRun(got[i].run);
+        stats::Snapshot rs =
+            stats::snapshotOfRun(ref.run("ear", cfgs[i]).run);
+        EXPECT_TRUE(gs.countersEqual(rs));
+    }
+    EXPECT_STREQ(exec::provenanceName(got[0].run.provenance), "lane");
+    EXPECT_STREQ(exec::provenanceName(got[1].run.provenance),
+                 "replay");
+}
+
+/** Concurrent lane batches over one shared Lab: run under TSan by
+ *  tools/check.sh, and bit-identity checked against the
+ *  execution-driven engine. */
+TEST(LaneReplayConcurrency, ConcurrentBatchesBitIdentical)
+{
+    setenv("NBL_JOBS", "4", 1);
+    std::vector<harness::SweepPoint> points;
+    for (const char *w : {"eqntott", "swm256"}) {
+        for (int lat : {1, 10}) {
+            for (core::ConfigName c :
+                 {core::ConfigName::Mc0, core::ConfigName::Mc1,
+                  core::ConfigName::Fc2,
+                  core::ConfigName::NoRestrict}) {
+                ExperimentConfig e;
+                e.config = c;
+                e.loadLatency = lat;
+                points.push_back({w, e});
+            }
+        }
+    }
+
+    Lab lab(kScale);
+    ASSERT_TRUE(lab.laneReplayActive());
+    auto results = harness::runPointsParallel(lab, points, 4);
+    ASSERT_EQ(results.size(), points.size());
+
+    Lab ref(kScale);
+    ref.setReplayEnabled(false); // Execution-driven reference.
+    for (size_t i = 0; i < points.size(); ++i) {
+        stats::Snapshot gs = stats::snapshotOfRun(results[i].run);
+        stats::Snapshot rs = stats::snapshotOfRun(
+            ref.run(points[i].workload, points[i].cfg).run);
+        EXPECT_TRUE(gs.countersEqual(rs));
+    }
+    unsetenv("NBL_JOBS");
+}

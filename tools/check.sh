@@ -6,17 +6,21 @@
 #
 # Step 1 is the ROADMAP tier-1 gate (full build + ctest). Step 2
 # rebuilds with -DNBL_SANITIZE=thread into build-tsan/ and runs the
-# parallel-engine and harness tests under TSan, which exercises the
-# thread pool, the shared Lab caches (results and event traces), and
-# the sweep fan-out. Step 3 rebuilds with
-# -DNBL_SANITIZE=address,undefined into build-asan/ and runs the
-# differential fuzzer (docs/TESTING.md) under ASan+UBSan for
-# NBL_FUZZ_BUDGET seconds (default 60; 0 skips the step). Step 4 is
-# the observability gate: nbl-report checks the committed data/stats
+# parallel-engine, harness, trace-cache, and concurrent-lane-batch
+# tests under TSan, which exercises the thread pool, the shared Lab
+# caches (results and event traces), and the sweep fan-out. Step 3
+# rebuilds with -DNBL_SANITIZE=address,undefined into build-asan/ and
+# runs the differential fuzzer (docs/TESTING.md) under ASan+UBSan for
+# NBL_FUZZ_BUDGET seconds (default 60; 0 skips the step); every seed
+# crosses lane-batched replay against exec (exec-vs-lane), so the
+# lane-vs-exact differential runs sanitized here. Step 4 is the
+# observability gate: nbl-report checks the committed data/stats
 # artifacts against the generated EXPERIMENTS.md tables (the
 # artifacts are full-scale and committed, so this needs no
 # simulation), and a quick smoke run proves the stats emitter never
-# alters a bench binary's stdout.
+# alters a bench binary's stdout. Step 5 asserts every figure bench
+# prints byte-identical stdout whether lane batching is on or off
+# (NBL_LANE_REPLAY=1 vs =0 at NBL_SCALE=0.05).
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -31,11 +35,15 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 echo "== tsan: parallel engine =="
 cmake -B build-tsan -S . -DNBL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
-    --target test_parallel test_harness test_event_trace
+    --target test_parallel test_harness test_event_trace \
+    test_lane_replay
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_harness
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/test_event_trace --gtest_filter='TraceCache*'
+TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/test_lane_replay \
+    --gtest_filter='LaneReplayConcurrency*'
 
 fuzz_budget="${NBL_FUZZ_BUDGET:-60}"
 if [ "$fuzz_budget" != "0" ]; then
@@ -43,7 +51,7 @@ if [ "$fuzz_budget" != "0" ]; then
     cmake -B build-asan -S . -DNBL_SANITIZE=address,undefined >/dev/null
     cmake --build build-asan -j "$jobs" --target nbl-fuzz
     ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-        ./build-asan/tools/nbl-fuzz --seeds=100000 \
+        NBL_LANE_REPLAY=1 ./build-asan/tools/nbl-fuzz --seeds=100000 \
         --budget="$fuzz_budget"
 fi
 
@@ -59,5 +67,13 @@ NBL_SCALE=0.05 ./build/bench/fig06_inflight_histogram \
 diff "$tmp/plain.txt" "$tmp/export.txt"
 test -s "$tmp/out.json"
 test -s "$tmp/out.csv"
+
+echo "== lane replay: figure bench stdout byte-identical =="
+for b in ./build/bench/fig*; do
+    name="$(basename "$b")"
+    NBL_SCALE=0.05 NBL_LANE_REPLAY=0 "$b" > "$tmp/$name.exact.txt"
+    NBL_SCALE=0.05 NBL_LANE_REPLAY=1 "$b" > "$tmp/$name.lane.txt"
+    diff "$tmp/$name.exact.txt" "$tmp/$name.lane.txt"
+done
 
 echo "check.sh: all passes clean"

@@ -146,6 +146,36 @@ class Artifacts
 
     size_t size() const { return points_.size(); }
 
+    /**
+     * Points per producing engine ("exec", "replay", "lane"), from
+     * each snapshot's provenance metadata. countersEqual ignores
+     * provenance, so an engine switch never trips the numeric drift
+     * gate -- this is where it stays visible.
+     */
+    std::map<std::string, size_t>
+    engineCounts() const
+    {
+        std::map<std::string, size_t> n;
+        for (const auto &[key, p] : points_) {
+            const std::string &e = p.stats.provenance;
+            ++n[e.empty() ? "unknown" : e];
+        }
+        return n;
+    }
+
+    /** engineCounts() rendered as one "lane=240 replay=12" string. */
+    std::string
+    engineSummary() const
+    {
+        std::string s;
+        for (const auto &[name, count] : engineCounts()) {
+            if (!s.empty())
+                s += ' ';
+            s += strfmt("%s=%zu", name.c_str(), count);
+        }
+        return s;
+    }
+
   private:
     std::map<std::string, Point> points_;
 };
@@ -343,6 +373,18 @@ checkInvariants(const Artifacts &a)
     check(mshr, "mshr.per_set_occupancy sums to cache.fetches "
                 "(non-blocking points)");
     check(flight, "flight.misses / flight.fetches cover one timeline");
+
+    // Provenance is metadata, but it must be *recorded*: every
+    // artifact names the engine that produced it, so drift-gate
+    // output can attribute a change to an engine switch.
+    bool engines_known = true;
+    a.forEach([&](const Point &p) {
+        const std::string &e = p.stats.provenance;
+        engines_known &= e == "exec" || e == "replay" || e == "lane";
+    });
+    check(engines_known,
+          strfmt("every artifact names its engine (%s)",
+                 a.engineSummary().c_str()));
 }
 
 /** Scale-robust shape checks usable on smoke artifacts too. */
@@ -553,8 +595,10 @@ main(int argc, char **argv)
     Artifacts a;
     for (const char *f : artifactFiles)
         a.loadFile(stats_dir + "/" + f);
-    std::printf("# nbl-report: %zu artifact points from %s\n",
-                a.size(), stats_dir.c_str());
+    std::printf("# nbl-report: %zu artifact points from %s "
+                "(engines: %s)\n",
+                a.size(), stats_dir.c_str(),
+                a.engineSummary().c_str());
 
     if (!do_write && !do_check) {
         for (const auto &[name, body] : generateRegions(a))
@@ -573,7 +617,8 @@ main(int argc, char **argv)
         std::printf("\nrewrote generated regions in %s\n",
                     experiments.c_str());
     } else if (do_check && !smoke) {
-        std::printf("\n## Drift gate\n\n");
+        std::printf("\n## Drift gate (artifacts by engine: %s)\n\n",
+                    a.engineSummary().c_str());
         applyRegions(readFile(experiments), a, /*write=*/false);
     }
 
