@@ -59,6 +59,44 @@ totalInstructions(const std::vector<harness::ExperimentResult> &rs)
     return n;
 }
 
+/**
+ * The hierarchy sweep: the fig20 memory sides (finite-bandwidth miss
+ * channel, an L2, both) under every baseline config, so the perf
+ * trajectory covers multi-level points whose lower-level state the
+ * lane engine must also carry per lane.
+ */
+std::vector<harness::SweepPoint>
+hierarchyPoints()
+{
+    core::LevelConfig l2;
+    l2.cacheBytes = 64 * 1024;
+    l2.lineBytes = 32;
+    l2.ways = 4;
+    l2.policy.mode = core::CacheMode::MshrFile;
+    l2.policy.numMshrs = 4;
+    l2.policy.maxMisses = -1;
+    l2.policy.fetchesPerSet = -1;
+    l2.hitLatency = 4;
+
+    std::vector<core::HierarchyConfig> sides(3);
+    sides[0].memChannelInterval = 6;
+    sides[1].levels.push_back(l2);
+    sides[2].levels.push_back(l2);
+    sides[2].memChannelInterval = 6;
+
+    std::vector<harness::SweepPoint> points;
+    for (core::ConfigName cfg : harness::baselineConfigList()) {
+        for (const core::HierarchyConfig &h : sides) {
+            harness::ExperimentConfig e;
+            e.config = cfg;
+            e.loadLatency = 10;
+            e.hierarchy = h;
+            points.push_back({"doduc", e});
+        }
+    }
+    return points;
+}
+
 } // namespace
 
 int
@@ -119,6 +157,16 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Hierarchy sweep wall-clock: multi-level memory sides through
+    // the default engine path (lane replay where eligible).
+    auto hier_points = hierarchyPoints();
+    for (const auto &p : hier_points)
+        parallel_lab.program(p.workload, p.cfg.loadLatency);
+    t0 = std::chrono::steady_clock::now();
+    auto hier = harness::runPointsParallel(parallel_lab, hier_points);
+    double hier_s = secondsSince(t0);
+    uint64_t hier_instrs = totalInstructions(hier);
+
     const unsigned host_cores = std::thread::hardware_concurrency();
     const double lane_speedup = lane_s > 0 ? serial_s / lane_s : 0.0;
     std::printf(
@@ -130,14 +178,18 @@ main(int argc, char **argv)
         "\"lane_replay\": {\"points\": %zu, \"batches\": %zu, "
         "\"wall_s\": %.3f, \"speedup_vs_replay\": %.2f}, "
         "\"instructions\": %llu, "
-        "\"sim_minstr_per_s\": %.1f}\n",
+        "\"sim_minstr_per_s\": %.1f, "
+        "\"hierarchy_sweep\": {\"points\": %zu, \"wall_s\": %.3f, "
+        "\"instructions\": %llu, \"sim_minstr_per_s\": %.1f}}\n",
         points.size(), harness::ThreadPool::defaultJobs(), host_cores,
         parallel_s, serial_s, exec_s,
         parallel_s > 0 ? serial_s / parallel_s : 0.0,
         serial_s > 0 ? exec_s / serial_s : 0.0, lane_speedup,
         points.size(), batch_keys.size(), lane_s, lane_speedup,
         (unsigned long long)instrs,
-        parallel_s > 0 ? double(instrs) / 1e6 / parallel_s : 0.0);
+        parallel_s > 0 ? double(instrs) / 1e6 / parallel_s : 0.0,
+        hier_points.size(), hier_s, (unsigned long long)hier_instrs,
+        hier_s > 0 ? double(hier_instrs) / 1e6 / hier_s : 0.0);
 
     // One line per engine so CI logs surface regressions at a glance.
     std::printf("# engine    wall_s  speedup_vs_exec\n");
@@ -149,7 +201,8 @@ main(int argc, char **argv)
     const Row rows[] = {{"exec", exec_s},
                         {"replay", serial_s},
                         {"lane", lane_s},
-                        {"parallel", parallel_s}};
+                        {"parallel", parallel_s},
+                        {"hier", hier_s}};
     for (const Row &r : rows) {
         std::printf("# %-9s %6.3f  %.2fx\n", r.name, r.wall,
                     r.wall > 0 ? exec_s / r.wall : 0.0);

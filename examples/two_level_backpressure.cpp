@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: back-pressure from below. An unrestricted lockup-free L1
+ * can start as many fetches as the program offers, but everything
+ * below it is finite: an L2 with its own MSHR file and a memory
+ * channel that accepts one fetch every N cycles. This example
+ * narrows the memory channel step by step and watches the pressure
+ * climb back up the hierarchy -- fills queue on the channel, L2
+ * MSHRs stay busy longer, and the L1's overlap (and MCPI) erodes
+ * toward the blocking cache.
+ *
+ * Usage: two_level_backpressure [workload] (default: doduc)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hh"
+
+using namespace nbl;
+
+int
+main(int argc, char **argv)
+{
+    std::string wl = argc > 1 ? argv[1] : "doduc";
+    harness::Lab lab(0.5);
+
+    std::printf("two-level back-pressure: %s, no-restrict L1 over a "
+                "64KB L2, scheduled load latency 10\n\n",
+                wl.c_str());
+    std::printf("%-10s %8s %10s %12s %12s %11s\n", "mem chan", "MCPI",
+                "L2 hit%", "chan sends", "delayed", "queue cyc");
+
+    core::LevelConfig l2;
+    l2.cacheBytes = 64 * 1024;
+    l2.lineBytes = 32;
+    l2.ways = 4;
+    l2.policy.mode = core::CacheMode::MshrFile;
+    l2.policy.numMshrs = 4;
+    l2.policy.maxMisses = -1;
+    l2.policy.fetchesPerSet = -1;
+    l2.hitLatency = 4;
+
+    // Interval 0 is an infinitely wide channel (the paper's pipelined
+    // memory); each step halves the bandwidth below the L2.
+    for (unsigned interval : {0u, 2u, 4u, 8u, 16u}) {
+        harness::ExperimentConfig e;
+        e.config = core::ConfigName::NoRestrict;
+        e.loadLatency = 10;
+        e.hierarchy.levels.push_back(l2);
+        e.hierarchy.memChannelInterval = interval;
+        auto r = lab.run(wl, e);
+
+        const core::HierarchySnapshot &h = r.run.hier;
+        const core::LevelStats &l2s = h.levels.front();
+        char label[16];
+        std::snprintf(label, sizeof label, "1/%u cyc", interval);
+        std::printf(
+            "%-10s %8.3f %9.1f%% %12llu %12llu %11llu\n",
+            interval == 0 ? "infinite" : label, r.mcpi(),
+            l2s.requests == 0
+                ? 0.0
+                : 100.0 * double(l2s.hits) / double(l2s.requests),
+            (unsigned long long)h.memChannel.sends,
+            (unsigned long long)h.memChannel.delayedSends,
+            (unsigned long long)h.memChannel.queueCycles);
+    }
+
+    std::printf("\nreading: the L1 never changes, yet its MCPI rises "
+                "as the channel narrows -- saturation arrives from "
+                "below. The delayed/queue columns show where the "
+                "fetch stream serializes; once queue cycles dominate, "
+                "extra L1 MSHRs cannot help and a wider channel (or a "
+                "bigger L2) is the better spend.\n");
+    return 0;
+}

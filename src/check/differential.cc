@@ -123,7 +123,9 @@ sameMachine(const harness::ExperimentConfig &a,
            a.issueWidth == b.issueWidth &&
            a.perfectCache == b.perfectCache &&
            a.fillWritePorts == b.fillWritePorts &&
-           a.maxInstructions == b.maxInstructions;
+           a.maxInstructions == b.maxInstructions &&
+           core::hierarchyKey(a.hierarchy) ==
+               core::hierarchyKey(b.hierarchy);
 }
 
 /** First differing counter between two snapshots, for the report. */
@@ -293,12 +295,19 @@ checkProgram(const isa::Program &program,
         // fill-extra cycles after the CPU, and exactly at the CPU's
         // last cycle on a blocking cache (the stall covers the fill).
         const Limits lim = resolveLimits(cfg);
+        const bool degenerate_hier = cfg.hierarchy.degenerate();
         if (!cfg.perfectCache) {
             const stats::Snapshot &s = snaps[i];
             uint64_t fm = s.histogram("flight.misses").total();
             uint64_t ff = s.histogram("flight.fetches").total();
-            uint64_t tail_max = out.cpu.cycles + out.missPenalty +
-                                lim.fillExtra;
+            // Over a hierarchy a fill's latency has no constant cap
+            // (lower-level waits and channel queueing stretch the
+            // drain tail), so only the constant-penalty tail bound is
+            // degenerate-only; the identities stay unconditional.
+            uint64_t tail_max =
+                degenerate_hier
+                    ? out.cpu.cycles + out.missPenalty + lim.fillExtra
+                    : std::numeric_limits<uint64_t>::max();
             if (fm != ff || fm < out.cpu.cycles || fm > tail_max ||
                 (lim.blocking && fm != out.cpu.cycles))
                 report(i, "conservation",
@@ -330,8 +339,10 @@ checkProgram(const isa::Program &program,
         }
 
         // Independent blocking reference: exact on mc=0 / mc=0 +wma.
+        // The reference model hard-wires the constant penalty, so both
+        // reference checks apply only to the degenerate chain.
         if (lim.blocking && cfg.issueWidth == 1 && !cfg.perfectCache &&
-            lim.fillExtra == 0) {
+            lim.fillExtra == 0 && degenerate_hier) {
             const ReferenceResult &ref = reference(cfg, lim.wma);
             struct Cmp
             {
@@ -380,7 +391,7 @@ checkProgram(const isa::Program &program,
         if (!lim.blocking && !lim.incomparable &&
             cfg.issueWidth == 1 && !cfg.perfectCache &&
             lim.store == core::StoreMode::WriteAround &&
-            lim.fillExtra == 0) {
+            lim.fillExtra == 0 && degenerate_hier) {
             const ReferenceResult &ref = reference(cfg, false);
             if (ref.evictions == 0 && out.cache.evictions == 0 &&
                 out.cpu.cycles > ref.cycles)
@@ -405,7 +416,8 @@ checkProgram(const isa::Program &program,
         if (cfg.issueWidth == 1 && !cfg.perfectCache &&
             (lim.blocking || out.cpu.depStallCycles == 0)) {
             exec::ReplayResult tr = exec::replayTrace(
-                mtrace, mc.geometry, mc.policy, mc.memory);
+                mtrace, mc.geometry, mc.policy, mc.memory,
+                mc.hierarchy);
             if (tr.cycles != out.cpu.cycles)
                 report(i, "trace-replay",
                        strfmt("trace cycles=%llu vs exec %llu (%s)",
@@ -446,6 +458,12 @@ checkProgram(const isa::Program &program,
     // stream itself depends on the policy and ordering is forfeit).
     for (size_t i = 0; i < cfgs.size(); ++i) {
         if (cfgs[i].issueWidth != 1 || cfgs[i].perfectCache)
+            continue;
+        // Over a hierarchy the lower levels carry policy-dependent
+        // state (L2 tags, MSHR queueing), so accepting more misses is
+        // not provably faster; the lattice covers only the constant-
+        // penalty chain.
+        if (!cfgs[i].hierarchy.degenerate())
             continue;
         if (outs[i].cache.evictions != 0)
             continue;

@@ -277,6 +277,50 @@ generateConfigs(Rng &rng)
         cfgs.push_back(c);
     }
 
+    // Hierarchy points: with probability ~1/2, rerun a few of the
+    // organizations above over a non-degenerate memory side -- one or
+    // two lower cache levels and/or finite channel bandwidth -- so
+    // every engine cross (exec / exact replay / lane replay / trace
+    // replay) and the conservation laws run against out-of-order
+    // fills and back-pressure from below.
+    if (rng.chance(0.5)) {
+        core::HierarchyConfig hier;
+        unsigned nlevels = unsigned(rng.below(3)); // 0 (channel-only),
+                                                   // 1 (L2), 2 (L2+L3).
+        uint64_t bytes = base.cacheBytes * 4;
+        for (unsigned l = 0; l < nlevels; ++l) {
+            core::LevelConfig lc;
+            lc.cacheBytes = bytes << rng.below(2);
+            lc.lineBytes = base.lineBytes << rng.below(2);
+            static constexpr unsigned kLWays[] = {1, 2, 4, 8};
+            do {
+                lc.ways = kLWays[rng.below(4)];
+            } while (lc.ways > lc.cacheBytes / lc.lineBytes);
+            lc.policy.mode = core::CacheMode::MshrFile;
+            lc.policy.numMshrs =
+                rng.chance(0.3) ? -1 : int(rng.range(1, 4));
+            lc.policy.maxMisses = -1;
+            lc.policy.fetchesPerSet =
+                rng.chance(0.7) ? -1 : int(rng.range(1, 2));
+            lc.hitLatency = unsigned(rng.range(1, 5));
+            lc.channelInterval = unsigned(rng.below(4));
+            hier.levels.push_back(lc);
+            bytes = lc.cacheBytes * 4;
+        }
+        hier.memChannelInterval = unsigned(rng.below(4));
+        if (hier.degenerate())
+            hier.memChannelInterval = unsigned(rng.range(1, 3));
+        static constexpr core::ConfigName kHier[] = {
+            core::ConfigName::Mc0, core::ConfigName::Mc2,
+            core::ConfigName::Fs2, core::ConfigName::NoRestrict};
+        for (core::ConfigName name : kHier) {
+            harness::ExperimentConfig c = base;
+            c.config = name;
+            c.hierarchy = hier;
+            cfgs.push_back(c);
+        }
+    }
+
     // Two fully random custom policies.
     for (int i = 0; i < 2; ++i) {
         core::MshrPolicy pol;

@@ -158,6 +158,26 @@ formatRepro(const ShrunkCase &c)
                       pol.fetchesPerSet,
                       int(pol.fetchesPerSetTracksWays),
                       int(pol.storeMode), pol.fillExtraCycles);
+        // Optional continuation lines (v1 readers without hierarchy
+        // support reject them, which is the correct failure mode:
+        // the case does not reproduce without the hierarchy).
+        if (!cfg.hierarchy.degenerate()) {
+            out += strfmt("hier %u\n",
+                          cfg.hierarchy.memChannelInterval);
+            for (const core::LevelConfig &lc : cfg.hierarchy.levels) {
+                const core::MshrPolicy &lp = lc.policy;
+                out += strfmt(
+                    "level %llu %llu %u %u %u"
+                    " policy %d %d %d %d %d %d %d %d %u\n",
+                    (unsigned long long)lc.cacheBytes,
+                    (unsigned long long)lc.lineBytes, lc.ways,
+                    lc.hitLatency, lc.channelInterval, int(lp.mode),
+                    lp.numMshrs, lp.maxMisses, lp.subBlocks,
+                    lp.missesPerSubBlock, lp.fetchesPerSet,
+                    int(lp.fetchesPerSetTracksWays), int(lp.storeMode),
+                    lp.fillExtraCycles);
+            }
+        }
     }
     for (size_t pc = 0; pc < c.program.size(); ++pc) {
         const isa::Instr &in = c.program.at(pc);
@@ -208,6 +228,36 @@ parseRepro(const std::string &text, ShrunkCase &out)
             pol.label = strfmt("repro cfg %zu", out.cfgs.size());
             cfg.customPolicy = pol;
             out.cfgs.push_back(cfg);
+        } else if (kind == "hier") {
+            if (out.cfgs.empty())
+                return false;
+            unsigned interval = 0;
+            ls >> interval;
+            if (!ls)
+                return false;
+            out.cfgs.back().hierarchy.memChannelInterval = interval;
+        } else if (kind == "level") {
+            if (out.cfgs.empty())
+                return false;
+            core::LevelConfig lc;
+            std::string marker;
+            core::MshrPolicy pol;
+            int mode = 0, tracks = 0, store = 0;
+            ls >> lc.cacheBytes >> lc.lineBytes >> lc.ways >>
+                lc.hitLatency >> lc.channelInterval >> marker >> mode >>
+                pol.numMshrs >> pol.maxMisses >> pol.subBlocks >>
+                pol.missesPerSubBlock >> pol.fetchesPerSet >> tracks >>
+                store >> pol.fillExtraCycles;
+            if (!ls || marker != "policy" ||
+                mode != int(core::CacheMode::MshrFile) || store < 0 ||
+                store > 1 || pol.numMshrs == 0 ||
+                pol.fetchesPerSet == 0)
+                return false;
+            pol.mode = core::CacheMode(mode);
+            pol.fetchesPerSetTracksWays = tracks != 0;
+            pol.storeMode = core::StoreMode(store);
+            lc.policy = pol;
+            out.cfgs.back().hierarchy.levels.push_back(lc);
         } else if (kind == "instr") {
             std::string op, dst, s1, s2;
             long long imm = 0;

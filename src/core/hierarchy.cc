@@ -1,0 +1,48 @@
+#include "core/hierarchy.hh"
+
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+std::string
+hierarchyKey(const HierarchyConfig &h)
+{
+    if (h.degenerate())
+        return "";
+    std::string key = strfmt("M%u", h.memChannelInterval);
+    for (const LevelConfig &lv : h.levels) {
+        const MshrPolicy &p = lv.policy;
+        key += strfmt(
+            ":L%llu.%llu.%u.%u.%u"
+            "P%d.%d.%d.%d.%d.%d.%d.%d.%u",
+            static_cast<unsigned long long>(lv.cacheBytes),
+            static_cast<unsigned long long>(lv.lineBytes), lv.ways,
+            lv.hitLatency, lv.channelInterval, int(p.mode), p.numMshrs,
+            p.maxMisses, p.subBlocks, p.missesPerSubBlock,
+            p.fetchesPerSet, int(p.fetchesPerSetTracksWays),
+            int(p.storeMode), p.fillExtraCycles);
+    }
+    return key;
+}
+
+void
+validateHierarchy(const HierarchyConfig &h)
+{
+    for (size_t i = 0; i < h.levels.size(); ++i) {
+        const MshrPolicy &p = h.levels[i].policy;
+        if (p.mode != CacheMode::MshrFile)
+            fatal("hierarchy level %zu: lower levels must use the "
+                  "MshrFile mode (blocking and inverted organizations "
+                  "are L1 contracts)",
+                  i + 2);
+        if (p.numMshrs == 0)
+            fatal("hierarchy level %zu with zero MSHRs cannot make "
+                  "progress", i + 2);
+        if (p.fetchesPerSet == 0)
+            fatal("hierarchy level %zu: fetchesPerSet of zero cannot "
+                  "make progress", i + 2);
+    }
+}
+
+} // namespace nbl::core

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Memory-hierarchy configuration vocabulary.
+ *
+ * The paper models a single data cache in front of a fully pipelined
+ * constant-penalty memory, so a fetch's completion cycle is known the
+ * moment it is issued. A HierarchyConfig generalizes the memory side
+ * to a level-agnostic L1 -> L2 -> ... -> memory chain: each lower
+ * cache level gets its own geometry, MSHR organization and line size,
+ * and every hop between levels is a channel with a finite initiation
+ * interval (a queueing model, not a constant), so MSHR saturation can
+ * arrive from below (docs/MODEL.md, "Memory hierarchy").
+ *
+ * The default-constructed HierarchyConfig is *degenerate*: no lower
+ * cache levels and fully pipelined channels. A degenerate chain
+ * reproduces the paper's constant-penalty timing bit for bit -- that
+ * equivalence is the safety net the refactor is gated on
+ * (tools/check.sh's byte-identical figure stdout check).
+ */
+
+#ifndef NBL_CORE_HIERARCHY_HH
+#define NBL_CORE_HIERARCHY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/policy.hh"
+
+namespace nbl::core
+{
+
+/**
+ * One cache level below L1 (L2, L3, ...). Geometry fields are plain
+ * numbers, validated when the level is built (mem::CacheGeometry);
+ * that keeps the config serializable without pulling geometry state
+ * into every key.
+ */
+struct LevelConfig
+{
+    uint64_t cacheBytes = 64 * 1024;
+    uint64_t lineBytes = 32;
+    unsigned ways = 4; ///< 0 = fully associative.
+    /**
+     * MSHR organization of this level. Must be a non-blocking
+     * MshrFile policy: the blocking modes describe a processor stall
+     * contract that has no meaning below L1, and the inverted MSHR's
+     * register-destination bookkeeping only exists at L1.
+     */
+    MshrPolicy policy;
+    /** Cycles a probe of this level takes (charged on every request:
+     *  it is the hit latency, and misses pay it before the fetch is
+     *  sent down). */
+    unsigned hitLatency = 4;
+    /**
+     * Initiation interval of the channel *into* this level: a new
+     * miss request may enter the channel at most every
+     * channelInterval cycles. 0 = fully pipelined (no queueing).
+     */
+    unsigned channelInterval = 0;
+};
+
+/** The memory side below L1: cache levels (innermost first), then
+ *  main memory behind one last channel. */
+struct HierarchyConfig
+{
+    /** Lower cache levels, L2 first. Empty = L1 talks to memory. */
+    std::vector<LevelConfig> levels;
+    /** Initiation interval of the channel into main memory (the hop
+     *  below the last cache level, or below L1 when `levels` is
+     *  empty). 0 = fully pipelined, the paper's model. */
+    unsigned memChannelInterval = 0;
+
+    /** True when the chain is the paper's single-level model: no
+     *  lower levels, no bandwidth limit. */
+    bool
+    degenerate() const
+    {
+        return levels.empty() && memChannelInterval == 0;
+    }
+};
+
+/**
+ * Canonical serialization of a hierarchy (every field, including the
+ * per-level policies). Equal keys describe machines with bit-identical
+ * memory-side timing; the degenerate hierarchy serializes to "" so
+ * existing single-level experiment keys are unchanged.
+ */
+std::string hierarchyKey(const HierarchyConfig &h);
+
+/** Die unless `h` is simulatable: per-level policies are non-blocking
+ *  MshrFile organizations with at least one MSHR and a usable per-set
+ *  limit. Geometry is validated by mem::CacheGeometry at build time. */
+void validateHierarchy(const HierarchyConfig &h);
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_HIERARCHY_HH

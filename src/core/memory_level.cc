@@ -1,0 +1,202 @@
+#include "core/memory_level.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "stats/registry.hh"
+#include "util/log.hh"
+
+namespace nbl::core
+{
+
+void
+LevelStats::registerStats(stats::Registry &r, unsigned level) const
+{
+    const std::string p = strfmt("l%u.", level);
+    auto name = [&](const char *s) { return p + s; };
+    r.scalar(name("requests"), &requests, "requests", "hierarchy");
+    r.scalar(name("hits"), &hits, "requests", "hierarchy");
+    r.scalar(name("primary_misses"), &primaryMisses, "misses",
+             "hierarchy");
+    r.scalar(name("secondary_misses"), &secondaryMisses, "misses",
+             "hierarchy");
+    r.scalar(name("struct_waits"), &structWaits, "requests",
+             "hierarchy");
+    r.scalar(name("struct_wait_cycles"), &structWaitCycles, "cycles",
+             "hierarchy");
+    r.scalar(name("evictions"), &evictions, "evictions", "hierarchy");
+    r.scalar(name("max_inflight_fetches"), &maxInflightFetches,
+             "fetches", "hierarchy");
+    r.scalar(name("chan.sends"), &inChannel.sends, "requests",
+             "hierarchy");
+    r.scalar(name("chan.delayed_sends"), &inChannel.delayedSends,
+             "requests", "hierarchy");
+    r.scalar(name("chan.queue_cycles"), &inChannel.queueCycles,
+             "cycles", "hierarchy");
+}
+
+namespace
+{
+
+/** Resolve geometry-dependent policy fields exactly as L1 does. */
+MshrPolicy
+resolveLevelPolicy(MshrPolicy p, const mem::CacheGeometry &geom)
+{
+    if (p.fetchesPerSetTracksWays) {
+        p.fetchesPerSet =
+            geom.fullyAssociative() ? -1 : int(geom.ways());
+    }
+    return p;
+}
+
+} // namespace
+
+CacheLevel::CacheLevel(const LevelConfig &cfg, unsigned down_interval,
+                       std::unique_ptr<MemoryLevel> next)
+    : geom_(cfg.cacheBytes, cfg.lineBytes, cfg.ways),
+      policy_(resolveLevelPolicy(cfg.policy, geom_)),
+      hit_latency_(cfg.hitLatency), tags_(geom_),
+      mshrs_(policy_, static_cast<unsigned>(geom_.lineBytes())),
+      down_(down_interval), next_(std::move(next))
+{
+    if (policy_.mode != CacheMode::MshrFile)
+        fatal("lower cache levels must use the MshrFile mode");
+    if (policy_.numMshrs == 0 || policy_.fetchesPerSet == 0)
+        fatal("lower cache level with zero MSHRs (or zero fetches per "
+              "set) cannot make progress");
+}
+
+void
+CacheLevel::expireSlow(uint64_t now)
+{
+    while (auto done = mshrs_.popCompleted(now)) {
+        if (tags_.fill(done->blockAddr()))
+            ++stats_.evictions;
+    }
+}
+
+void
+CacheLevel::wait(uint64_t &t, uint64_t until, bool &waited)
+{
+    if (until <= t)
+        panic("hierarchy resource wait that does not advance time");
+    if (!waited) {
+        ++stats_.structWaits;
+        waited = true;
+    }
+    stats_.structWaitCycles += until - t;
+    t = until;
+    expireUpTo(t);
+}
+
+uint64_t
+CacheLevel::fetchBlock(uint64_t blk, unsigned offset, unsigned size,
+                       uint64_t t)
+{
+    expireUpTo(t);
+    ++stats_.requests;
+    bool waited = false;
+    for (;;) {
+        if (tags_.lookup(blk)) {
+            // Resident (possibly only after a resource wait, during
+            // which the blocking fetch completed and filled it).
+            if (!waited)
+                ++stats_.hits;
+            return t + hit_latency_;
+        }
+
+        if (Mshr *m = mshrs_.findBlock(blk)) {
+            if (m->canAccept(offset, size)) {
+                // Merge into the in-flight fetch; the requester gets
+                // the data when the line arrives here.
+                m->addDest(0, offset, size);
+                mshrs_.noteMissAdded();
+                mshrs_.updatePeaks();
+                ++stats_.secondaryMisses;
+                return m->completeCycle();
+            }
+            // Destination fields exhausted: the request queues until
+            // the fetch lands, after which the retry hits.
+            wait(t, m->completeCycle(), waited);
+            continue;
+        }
+
+        uint64_t set = geom_.fullyAssociative() ? blk
+                                                : geom_.setIndex(blk);
+        if (mshrs_.canAllocate(set)) {
+            // Probe took hit_latency_ cycles, then the miss enters
+            // the downward channel (queueing there shows up as a
+            // later send) and the next level answers recursively.
+            // Fetches this level starts on its own behalf always
+            // count toward memory (count_mem_fetch only carries L1's
+            // historical blocking-mode exemption).
+            uint64_t sent = down_.send(t + hit_latency_);
+            uint64_t complete = next_->fetchLine(
+                blk, static_cast<unsigned>(geom_.lineBytes()), sent,
+                /*count_mem_fetch=*/true);
+            Mshr &m = mshrs_.allocate(blk, set, complete);
+            m.addDest(0, offset, size);
+            mshrs_.noteMissAdded();
+            mshrs_.updatePeaks();
+            ++stats_.primaryMisses;
+            return complete;
+        }
+
+        // No MSHR (or per-set slot) free at this level: back-pressure.
+        // The request's effective start is pushed to the earliest
+        // release; the upper level simply sees a longer fill latency.
+        wait(t, mshrs_.allocFreeCycle(set), waited);
+    }
+}
+
+uint64_t
+CacheLevel::fetchLine(uint64_t addr, unsigned bytes, uint64_t ready,
+                      bool /*count_mem_fetch*/)
+{
+    // The requester's line may be smaller than ours (a fraction of one
+    // block: offset/size select the sub-block destination fields) or
+    // larger (it spans several blocks; the line is complete when the
+    // last piece arrives).
+    const uint64_t line = geom_.lineBytes();
+    uint64_t first = geom_.blockAddr(addr);
+    uint64_t last = geom_.blockAddr(addr + bytes - 1);
+    uint64_t arrival = 0;
+    for (uint64_t blk = first; blk <= last; blk += line) {
+        uint64_t lo = std::max(blk, addr);
+        uint64_t hi = std::min(blk + line, addr + uint64_t(bytes));
+        arrival = std::max(
+            arrival, fetchBlock(blk, unsigned(lo - blk),
+                                unsigned(hi - lo), ready));
+    }
+    return arrival;
+}
+
+LevelStats
+CacheLevel::stats() const
+{
+    LevelStats s = stats_;
+    s.maxInflightFetches = mshrs_.maxFetches();
+    return s;
+}
+
+std::unique_ptr<MemoryLevel>
+buildHierarchy(const HierarchyConfig &hier, mem::MainMemory &memory,
+               std::vector<CacheLevel *> &cache_levels)
+{
+    validateHierarchy(hier);
+    cache_levels.assign(hier.levels.size(), nullptr);
+    std::unique_ptr<MemoryLevel> next =
+        std::make_unique<MainMemoryLevel>(memory);
+    for (size_t i = hier.levels.size(); i-- > 0;) {
+        unsigned down = i + 1 < hier.levels.size()
+                            ? hier.levels[i + 1].channelInterval
+                            : hier.memChannelInterval;
+        auto level = std::make_unique<CacheLevel>(hier.levels[i], down,
+                                                  std::move(next));
+        cache_levels[i] = level.get();
+        next = std::move(level);
+    }
+    return next;
+}
+
+} // namespace nbl::core

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Level-agnostic memory hierarchy below L1.
+ *
+ * The L1 cache (core/nonblocking_cache.hh) no longer computes a
+ * fetch's completion cycle from a hard-wired constant penalty; it asks
+ * the MemoryLevel below it. A chain of MemoryLevels models
+ * L1 -> L2 -> ... -> memory:
+ *
+ *  - MainMemoryLevel wraps mem::MainMemory: a fully pipelined,
+ *    constant-penalty bottom level (the paper's entire memory side);
+ *  - CacheLevel is a lockup-free lower cache (L2, L3, ...) with its
+ *    own geometry, line size and MSHR organization (the same
+ *    MshrFile/TagArray components as L1);
+ *  - Channel models the hop between adjacent levels with a finite
+ *    initiation interval: requests that arrive faster than one per
+ *    interval queue, and the queueing delay is returned upward as
+ *    increased fill latency.
+ *
+ * Timing stays analytical -- there is no global event queue. A level
+ * answers fetchLine() with the cycle the data arrives back at the
+ * requester, computed recursively down the chain at request time.
+ * What changes relative to the single-level model is that completion
+ * cycles are no longer monotone in issue order: a request that hits
+ * in L2 completes before an older one that missed, so the MSHR pools
+ * above keep a completion-sorted fill-event stream (core/mshr_file.hh)
+ * instead of a FIFO. Back-pressure arises naturally: when a lower
+ * level's MSHRs or a channel slot are exhausted, the request's
+ * effective start is pushed back, the upper level's fill arrives
+ * later, its own MSHR is held longer -- and the processor finally
+ * sees structural stalls whose root cause sits levels below
+ * (docs/MODEL.md, "Memory hierarchy").
+ *
+ * A degenerate chain (no cache levels, all channel intervals zero) is
+ * exactly `arrival = ready + memory.penalty(bytes)`: the constant-
+ * penalty model, bit for bit.
+ */
+
+#ifndef NBL_CORE_MEMORY_LEVEL_HH
+#define NBL_CORE_MEMORY_LEVEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hierarchy.hh"
+#include "core/mshr_file.hh"
+#include "mem/cache_geometry.hh"
+#include "mem/main_memory.hh"
+#include "mem/tag_array.hh"
+
+namespace nbl::stats
+{
+class Registry;
+}
+
+namespace nbl::core
+{
+
+/** Counters kept by one inter-level channel. */
+struct ChannelStats
+{
+    uint64_t sends = 0;        ///< Requests carried.
+    uint64_t delayedSends = 0; ///< Sends that waited for a slot.
+    uint64_t queueCycles = 0;  ///< Total cycles spent waiting.
+};
+
+/**
+ * The hop between two adjacent levels: a pipe that can accept one
+ * request every `interval` cycles. Interval 0 is fully pipelined
+ * (send() is the identity on time), the degenerate configuration.
+ */
+class Channel
+{
+  public:
+    explicit Channel(unsigned interval) : interval_(interval) {}
+
+    /** Admit a request that is ready at cycle `ready`; returns the
+     *  cycle it actually enters the channel. */
+    uint64_t
+    send(uint64_t ready)
+    {
+        ++stats_.sends;
+        if (interval_ == 0)
+            return ready;
+        uint64_t t = ready;
+        if (next_free_ > t) {
+            ++stats_.delayedSends;
+            stats_.queueCycles += next_free_ - t;
+            t = next_free_;
+        }
+        next_free_ = t + interval_;
+        return t;
+    }
+
+    unsigned interval() const { return interval_; }
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    unsigned interval_;
+    uint64_t next_free_ = 0;
+    ChannelStats stats_;
+};
+
+/** Aggregate counters kept by one lower cache level. */
+struct LevelStats
+{
+    uint64_t requests = 0;         ///< Block requests from above.
+    uint64_t hits = 0;
+    uint64_t primaryMisses = 0;    ///< Fetches started to the next level.
+    uint64_t secondaryMisses = 0;  ///< Requests merged into a fetch.
+    uint64_t structWaits = 0;      ///< Requests delayed by exhaustion.
+    uint64_t structWaitCycles = 0; ///< Total cycles those requests waited.
+    uint64_t evictions = 0;
+    uint64_t maxInflightFetches = 0;
+    /** The channel feeding this level from the level above. */
+    ChannelStats inChannel;
+
+    /** Register the counters under an "l<level>." namespace
+     *  (level 2 = the first level below L1). */
+    void registerStats(stats::Registry &r, unsigned level) const;
+};
+
+/** Everything the hierarchy below L1 measured during a run. */
+struct HierarchySnapshot
+{
+    /** True when the chain is non-degenerate (counters registered). */
+    bool active = false;
+    std::vector<LevelStats> levels; ///< L2 first.
+    /** The channel into main memory (below the last cache level, or
+     *  below L1 when there are no lower levels). */
+    ChannelStats memChannel;
+};
+
+/**
+ * One level of the memory side below L1. Implementations compute
+ * arrival times analytically and recursively; see the file comment.
+ */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /**
+     * Fetch the bytes [addr, addr + bytes): one line of the
+     * *requesting* level, line-aligned there (it may span several of
+     * this level's blocks, or a fraction of one).
+     *
+     * @param ready Cycle the request arrives at this level (already
+     *        past the channel above).
+     * @param count_mem_fetch Whether a fetch this request causes main
+     *        memory to serve is counted in MainMemory::fetches().
+     *        L1's blocking modes historically do not count theirs;
+     *        fetches a lower cache level starts on its own behalf
+     *        always count.
+     * @return The cycle the data arrives back at the requester.
+     */
+    virtual uint64_t fetchLine(uint64_t addr, unsigned bytes,
+                               uint64_t ready,
+                               bool count_mem_fetch) = 0;
+};
+
+/** The bottom of every chain: fully pipelined constant-penalty
+ *  main memory. */
+class MainMemoryLevel final : public MemoryLevel
+{
+  public:
+    explicit MainMemoryLevel(mem::MainMemory &memory) : mem_(memory) {}
+
+    uint64_t
+    fetchLine(uint64_t, unsigned bytes, uint64_t ready,
+              bool count_mem_fetch) override
+    {
+        if (count_mem_fetch)
+            mem_.countFetch();
+        return ready + mem_.penalty(bytes);
+    }
+
+  private:
+    mem::MainMemory &mem_;
+};
+
+/**
+ * A lockup-free lower cache level (L2, L3, ...). Reuses the L1 cache's
+ * components -- TagArray for residency/LRU, MshrFile for the in-flight
+ * fetch pool with the full mc=/fc=/fs= restriction vocabulary -- but
+ * has no processor-facing contract: exhausted resources delay the
+ * *request* (returned upward as latency), they never stall anything
+ * here. Requests from above arrive at non-decreasing `ready` cycles
+ * (the processor issues in program order and channels are FCFS); fill
+ * events from below may complete out of order, which the
+ * completion-sorted MshrFile absorbs.
+ *
+ * Stores are not modeled below L1: every level is write-through with
+ * write-around below it, and write bandwidth is free (the paper's
+ * free-write-buffer assumption applied hop by hop), so stores never
+ * touch lower-level tag or MSHR state. docs/MODEL.md documents this
+ * contract.
+ */
+class CacheLevel final : public MemoryLevel
+{
+  public:
+    /**
+     * @param cfg This level's geometry, policy and latencies.
+     * @param down_interval Initiation interval of the channel from
+     *        this level to the next one down.
+     * @param next The level below (owned).
+     */
+    CacheLevel(const LevelConfig &cfg, unsigned down_interval,
+               std::unique_ptr<MemoryLevel> next);
+
+    uint64_t fetchLine(uint64_t addr, unsigned bytes, uint64_t ready,
+                       bool count_mem_fetch) override;
+
+    /** Counters so far (inChannel is left empty: the feeding channel
+     *  belongs to the requester above; see NonblockingCache). */
+    LevelStats stats() const;
+
+    const ChannelStats &downChannelStats() const { return down_.stats(); }
+
+  private:
+    /** Fetch [offset, offset+size) of the block at blk; returns the
+     *  arrival cycle of that block at the requester. */
+    uint64_t fetchBlock(uint64_t blk, unsigned offset, unsigned size,
+                        uint64_t t);
+
+    /** Apply every fill that has completed by cycle now. */
+    void
+    expireUpTo(uint64_t now)
+    {
+        if (mshrs_.activeFetches() != 0)
+            expireSlow(now);
+    }
+
+    void expireSlow(uint64_t now);
+
+    /** Account a resource wait from *t until `until`; retries. */
+    void wait(uint64_t &t, uint64_t until, bool &waited);
+
+    mem::CacheGeometry geom_;
+    MshrPolicy policy_;
+    unsigned hit_latency_;
+    mem::TagArray tags_;
+    MshrFile mshrs_;
+    Channel down_;
+    std::unique_ptr<MemoryLevel> next_;
+    LevelStats stats_;
+};
+
+/**
+ * Build the chain below L1 for `hier`, bottoming out in `memory`
+ * (borrowed; must outlive the chain). Returns the level L1 talks to
+ * and exposes the CacheLevels for stats collection via `cache_levels`
+ * (borrowed pointers into the returned chain, innermost first).
+ */
+std::unique_ptr<MemoryLevel>
+buildHierarchy(const HierarchyConfig &hier, mem::MainMemory &memory,
+               std::vector<CacheLevel *> &cache_levels);
+
+} // namespace nbl::core
+
+#endif // NBL_CORE_MEMORY_LEVEL_HH

@@ -60,14 +60,21 @@ MshrFile::allocate(uint64_t block_addr, uint64_t set_index,
 {
     if (!canAllocate(set_index))
         panic("MshrFile::allocate without capacity");
-    if (!fifo_.empty() && complete_cycle < fifo_.back().completeCycle())
-        panic("fetch completion times must be monotone");
-    fifo_.emplace_back(block_addr, set_index, complete_cycle, line_bytes_,
-                       policy_);
+    // Stable completion-sorted insertion: fills from a hierarchy may
+    // return out of order (an L2 hit lands before an older L2 miss).
+    // Monotone completions -- every degenerate constant-penalty chain
+    // -- walk zero steps and append at the back, the historical FIFO.
+    auto pos = fifo_.end();
+    while (pos != fifo_.begin() &&
+           std::prev(pos)->completeCycle() > complete_cycle) {
+        --pos;
+    }
+    pos = fifo_.emplace(pos, block_addr, set_index, complete_cycle,
+                        line_bytes_, policy_);
     unsigned in_set = ++per_set_[set_index];
     ++stats_.perSetOccupancy[std::min<unsigned>(in_set, 8)];
     stats_.maxPerSet = std::max<uint64_t>(stats_.maxPerSet, in_set);
-    return fifo_.back();
+    return *pos;
 }
 
 uint64_t
@@ -79,8 +86,8 @@ MshrFile::allocFreeCycle(uint64_t set_index) const
         fifo_.size() >= static_cast<size_t>(policy_.numMshrs)) {
         return fifo_.front().completeCycle();
     }
-    // Per-set limit is binding: oldest fetch in this set (FIFO order
-    // makes the first match the oldest).
+    // Per-set limit is binding: completion order makes the first
+    // match the earliest-releasing fetch in this set.
     for (const Mshr &m : fifo_) {
         if (m.setIndex() == set_index)
             return m.completeCycle();

@@ -7,8 +7,14 @@
  * hands completed fetches back in completion order so the cache can
  * apply fills and keep the in-flight histograms exact.
  *
- * Because the modeled memory is fully pipelined with a constant
- * penalty, fetches complete in allocation order; the pool is a FIFO.
+ * The pool is kept sorted by completion cycle -- a fill-event stream.
+ * Below a multi-level hierarchy (core/memory_level.hh) completions
+ * are not monotone in allocation order: a fetch that hits in L2
+ * returns before an older one that missed. Insertion is stable for
+ * equal completion cycles, so over a degenerate (constant-penalty)
+ * chain, where completions are monotone, every allocation appends at
+ * the back and the pool degenerates to the historical FIFO, bit for
+ * bit.
  */
 
 #ifndef NBL_CORE_MSHR_FILE_HH
@@ -73,8 +79,8 @@ class MshrFile
                    static_cast<unsigned>(policy_.maxMisses);
     }
 
-    /** Cycle at which the oldest fetch completes, freeing its
-     *  destination slots (the mc= cap's release point). */
+    /** Cycle at which the earliest-completing fetch lands, freeing
+     *  its destination slots (the mc= cap's release point). */
     uint64_t
     missFreeCycle() const
     {
@@ -84,22 +90,25 @@ class MshrFile
     }
 
     /**
-     * Start a fetch. canAllocate must have returned true. The caller
-     * guarantees complete_cycle is monotonically non-decreasing across
-     * allocations (constant miss penalty).
+     * Start a fetch. canAllocate must have returned true. The entry
+     * is inserted in completion order, after existing entries with
+     * the same completion cycle (see the file comment); the returned
+     * reference is valid until the next allocation.
      */
     Mshr &allocate(uint64_t block_addr, uint64_t set_index,
                    uint64_t complete_cycle);
 
     /**
-     * Earliest cycle at which the resource blocking a new allocation in
-     * set_index frees: the oldest fetch overall if the MSHR count is
-     * the binding limit, else the oldest fetch in the set.
+     * Earliest cycle at which the resource blocking a new allocation
+     * in set_index frees: the earliest-completing fetch overall if the
+     * MSHR count is the binding limit, else the earliest-completing
+     * fetch in the set.
      */
     uint64_t allocFreeCycle(uint64_t set_index) const;
 
     /**
-     * Pop the oldest fetch if it has completed by cycle now.
+     * Pop the earliest-completing fetch if it has completed by cycle
+     * now.
      * @return the completed MSHR (moved out), or nullopt.
      */
     std::optional<Mshr> popCompleted(uint64_t now);
@@ -128,7 +137,7 @@ class MshrFile
   private:
     MshrPolicy policy_;
     unsigned line_bytes_;
-    std::deque<Mshr> fifo_;     ///< Completion (== allocation) order.
+    std::deque<Mshr> fifo_;     ///< Sorted by completion cycle (stable).
     std::unordered_map<uint64_t, unsigned> per_set_;
     unsigned active_misses_ = 0;
     unsigned max_fetches_seen_ = 0;

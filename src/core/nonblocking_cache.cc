@@ -74,9 +74,15 @@ fetchTrackingPolicy(const MshrPolicy &policy)
 NonblockingCache::NonblockingCache(const mem::CacheGeometry &geom,
                                    const MshrPolicy &policy,
                                    const mem::MainMemory &memory,
-                                   unsigned fill_write_ports)
+                                   unsigned fill_write_ports,
+                                   const HierarchyConfig &hierarchy)
     : geom_(geom), policy_(resolvePolicy(policy, geom)),
-      memory_(memory), tags_(geom),
+      memory_(memory),
+      down_(hierarchy.levels.empty()
+                ? hierarchy.memChannelInterval
+                : hierarchy.levels.front().channelInterval),
+      next_(buildHierarchy(hierarchy, memory_, level_views_)),
+      hierarchy_active_(!hierarchy.degenerate()), tags_(geom),
       mshrs_(fetchTrackingPolicy(policy_),
              static_cast<unsigned>(geom.lineBytes())),
       fill_write_ports_(fill_write_ports)
@@ -133,9 +139,14 @@ NonblockingCache::structStall(uint64_t &t, uint64_t until, bool &stalled)
 AccessOutcome
 NonblockingCache::blockingFill(uint64_t addr, uint64_t now, bool is_load)
 {
-    // Lockup cache miss: the processor stalls for the full penalty
-    // while the line is fetched; all later references see it filled.
-    uint64_t complete = now + 1 + missPenalty();
+    // Lockup cache miss: the processor stalls for the full fill
+    // latency while the line is fetched; all later references see it
+    // filled. Blocking fetches historically are not counted in
+    // MainMemory::fetches() (count_mem_fetch=false keeps that).
+    uint64_t sent = down_.send(now + 1);
+    uint64_t complete = next_->fetchLine(
+        geom_.blockAddr(addr), static_cast<unsigned>(geom_.lineBytes()),
+        sent, /*count_mem_fetch=*/false);
     if (is_load)
         ++stats_.primaryMisses;
     else
@@ -220,8 +231,16 @@ NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
             continue;
         }
         if (mshrs_.canAllocate(set)) {
+            // The miss leaves L1 one cycle after the probe, enters
+            // the downward channel (queueing shows up as a later
+            // send), and the level below answers with the arrival
+            // cycle, recursively.
+            uint64_t sent = down_.send(t + 1);
             uint64_t complete =
-                t + 1 + missPenalty() + policy_.fillExtraCycles;
+                next_->fetchLine(blk,
+                                 static_cast<unsigned>(geom_.lineBytes()),
+                                 sent, /*count_mem_fetch=*/true) +
+                policy_.fillExtraCycles;
             Mshr &m = mshrs_.allocate(blk, set, complete);
             m.addDest(dest_linear, off, size);
             mshrs_.noteMissAdded();
@@ -233,7 +252,6 @@ NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
             else
                 ++stats_.primaryMisses;
             ++stats_.fetches;
-            memory_.countFetch();
             tracker_.fetches.increment(t);
             tracker_.misses.increment(t);
             return {t, complete, t + 1, AccessKind::Primary, stalled};
@@ -340,6 +358,28 @@ unsigned
 NonblockingCache::maxInflightMisses() const
 {
     return std::max(mshrs_.maxMisses(), tracker_.misses.maxSeen());
+}
+
+HierarchySnapshot
+NonblockingCache::hierarchyStats() const
+{
+    HierarchySnapshot snap;
+    snap.active = hierarchy_active_;
+    if (level_views_.empty()) {
+        // No lower cache levels: down_ is the channel into memory.
+        snap.memChannel = down_.stats();
+        return snap;
+    }
+    snap.levels.reserve(level_views_.size());
+    for (size_t i = 0; i < level_views_.size(); ++i) {
+        LevelStats s = level_views_[i]->stats();
+        // Each level's feeding channel lives in the requester above.
+        s.inChannel = i == 0 ? down_.stats()
+                             : level_views_[i - 1]->downChannelStats();
+        snap.levels.push_back(s);
+    }
+    snap.memChannel = level_views_.back()->downChannelStats();
+    return snap;
 }
 
 } // namespace nbl::core

@@ -18,10 +18,16 @@
  * Blocking modes (mc=0 and mc=0 +wma) stall the processor for the full
  * miss penalty on every load miss (and, with +wma, write miss).
  *
- * Timing is tracked without a global event queue: memory is fully
- * pipelined with a constant penalty, so every fetch's completion cycle
- * is known when it is issued and fetches complete in issue order.
- * Completed fetches are applied lazily, in completion order, before
+ * Timing is tracked without a global event queue: the memory side
+ * below L1 (core/memory_level.hh) answers every fetch with its
+ * arrival cycle at request time, computed recursively down the
+ * configured hierarchy chain. Over the paper's degenerate chain --
+ * no lower levels, fully pipelined channels -- that arrival is the
+ * constant `issue + 1 + penalty`, known at issue, and fetches
+ * complete in issue order. Over a deeper chain fills return out of
+ * order (an L2 hit lands before an older L2 miss), so the MSHR pool
+ * is kept as a completion-sorted fill-event stream. Either way,
+ * completed fetches are applied lazily, in completion order, before
  * each access.
  */
 
@@ -34,7 +40,9 @@
 
 #include "core/flight_tracker.hh"
 #include "isa/reg.hh"
+#include "core/hierarchy.hh"
 #include "core/inverted_mshr.hh"
+#include "core/memory_level.hh"
 #include "core/mshr_file.hh"
 #include "core/policy.hh"
 #include "mem/cache_geometry.hh"
@@ -121,19 +129,25 @@ class NonblockingCache
 {
   public:
     /**
-     * @param geom Cache geometry.
+     * @param geom Cache geometry (this is the L1).
      * @param policy Miss-handling restrictions.
-     * @param memory Main-memory timing model.
+     * @param memory Main-memory timing model (the bottom of the
+     *        chain).
      * @param fill_write_ports Register-file write ports available to
      *        a returning fill: the paper's baseline fills all waiting
      *        destinations simultaneously (0 = unlimited, section
      *        3.1); a finite value staggers destinations by
      *        1/ports cycles each (the section-6 correction).
+     * @param hierarchy The memory side between this cache and main
+     *        memory: lower cache levels and channel bandwidths. The
+     *        default (degenerate) hierarchy is the paper's model --
+     *        L1 in front of fully pipelined constant-penalty memory.
      */
     NonblockingCache(const mem::CacheGeometry &geom,
                      const MshrPolicy &policy,
                      const mem::MainMemory &memory,
-                     unsigned fill_write_ports = 0);
+                     unsigned fill_write_ports = 0,
+                     const HierarchyConfig &hierarchy = {});
 
     /**
      * Perform a load at cycle now.
@@ -198,12 +212,21 @@ class NonblockingCache
     unsigned maxInflightMisses() const;
     unsigned maxInflightFetches() const { return mshrs_.maxFetches(); }
 
-    /** Miss penalty in cycles for this cache's line size. */
+    /**
+     * Raw main-memory penalty in cycles for this cache's line size
+     * (the full miss latency over a degenerate chain; a lower bound
+     * on it over a hierarchy, where hits below are faster and
+     * queueing/waits below are slower).
+     */
     unsigned
     missPenalty() const
     {
         return memory_.penalty(geom_.lineBytes());
     }
+
+    /** Per-level counters of the hierarchy below L1 (empty/inactive
+     *  over a degenerate chain). */
+    HierarchySnapshot hierarchyStats() const;
 
   private:
     /** expireUpTo() with the fetch FIFO known non-empty. */
@@ -245,6 +268,14 @@ class NonblockingCache
     mem::CacheGeometry geom_;
     MshrPolicy policy_;
     mem::MainMemory memory_;
+    /** The channel from this cache into the level below. */
+    Channel down_;
+    /** Borrowed views into next_'s chain, L2 first (stats). Declared
+     *  before next_: buildHierarchy fills it while next_ is built. */
+    std::vector<CacheLevel *> level_views_;
+    /** The memory side below L1 (bottoms out in memory_). */
+    std::unique_ptr<MemoryLevel> next_;
+    bool hierarchy_active_ = false;
     mem::TagArray tags_;
     MshrFile mshrs_;
     std::unique_ptr<InvertedMshr> inverted_;

@@ -77,7 +77,7 @@ replayExact(const isa::Program &program, const EventTrace &trace,
     if (!config.perfectCache) {
         cache = std::make_unique<core::NonblockingCache>(
             config.geometry, config.policy, config.memory,
-            config.fillWritePorts);
+            config.fillWritePorts, config.hierarchy);
     }
     cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
 

@@ -98,7 +98,8 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
     caches.reserve(nl);
     for (const MachineConfig &mc : configs) {
         caches.push_back(std::make_unique<core::NonblockingCache>(
-            mc.geometry, mc.policy, mc.memory, mc.fillWritePorts));
+            mc.geometry, mc.policy, mc.memory, mc.fillWritePorts,
+            mc.hierarchy));
     }
 
     const std::vector<cpu::ReplayDecoded> decoded =

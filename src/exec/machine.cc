@@ -56,6 +56,7 @@ finishRun(const cpu::CpuStats &cpu, core::NonblockingCache *cache,
         out.wbuf = cache->writeBuffer().stats();
         out.tags = cache->tags().stats();
         out.memFetches = cache->memory().fetches();
+        out.hier = cache->hierarchyStats();
         out.maxInflightMisses = cache->maxInflightMisses();
         out.maxInflightFetches = cache->maxInflightFetches();
         out.missPenalty = cache->missPenalty();
@@ -75,7 +76,7 @@ run(const isa::Program &program, mem::SparseMemory &data,
     if (!config.perfectCache) {
         cache = std::make_unique<core::NonblockingCache>(
             config.geometry, config.policy, config.memory,
-            config.fillWritePorts);
+            config.fillWritePorts, config.hierarchy);
     }
     cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
     Interpreter interp(program, data);

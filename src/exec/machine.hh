@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "core/flight_tracker.hh"
+#include "core/hierarchy.hh"
+#include "core/memory_level.hh"
 #include "core/nonblocking_cache.hh"
 #include "core/policy.hh"
 #include "cpu/stats.hh"
@@ -36,6 +38,9 @@ struct MachineConfig
     mem::CacheGeometry geometry{8 * 1024, 32, 1}; ///< Baseline 8KB DM.
     core::MshrPolicy policy;
     mem::MainMemory memory;    ///< Default pipelined-bus latencies.
+    /** Memory side between L1 and main memory (lower cache levels,
+     *  channel bandwidths); default = the paper's degenerate chain. */
+    core::HierarchyConfig hierarchy;
     unsigned issueWidth = 1;
     bool perfectCache = false; ///< All accesses hit (ideal run).
     /** Register-file write ports serving fills; 0 = unlimited (the
@@ -60,6 +65,9 @@ struct RunOutput
     mem::WriteBuffer::Stats wbuf;
     mem::TagArray::Stats tags;
     uint64_t memFetches = 0; ///< Fetches seen by main memory.
+    /** Per-level counters of the hierarchy below L1 (inactive over
+     *  the degenerate chain). */
+    core::HierarchySnapshot hier;
     unsigned maxInflightMisses = 0;
     unsigned maxInflightFetches = 0;
     unsigned missPenalty = 0;

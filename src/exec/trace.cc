@@ -44,9 +44,11 @@ recordTrace(const isa::Program &program, mem::SparseMemory &data,
 ReplayResult
 replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
             const core::MshrPolicy &policy,
-            const mem::MainMemory &memory)
+            const mem::MainMemory &memory,
+            const core::HierarchyConfig &hierarchy)
 {
-    core::NonblockingCache cache(geom, policy, memory);
+    core::NonblockingCache cache(geom, policy, memory,
+                                 /*fill_write_ports=*/0, hierarchy);
 
     ReplayResult res;
     res.instructions = trace.instructions;

@@ -95,7 +95,8 @@ struct ReplayResult
 ReplayResult replayTrace(const MemTrace &trace,
                          const mem::CacheGeometry &geom,
                          const core::MshrPolicy &policy,
-                         const mem::MainMemory &memory);
+                         const mem::MainMemory &memory,
+                         const core::HierarchyConfig &hierarchy = {});
 
 } // namespace nbl::exec
 

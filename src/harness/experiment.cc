@@ -28,6 +28,7 @@ makeMachineConfig(const ExperimentConfig &cfg)
     mc.issueWidth = cfg.issueWidth;
     mc.perfectCache = cfg.perfectCache;
     mc.fillWritePorts = cfg.fillWritePorts;
+    mc.hierarchy = cfg.hierarchy;
     mc.maxInstructions = cfg.maxInstructions;
     return mc;
 }
@@ -59,6 +60,13 @@ experimentKey(const std::string &workload, const ExperimentConfig &cfg)
                   cfg.missPenalty, cfg.issueWidth,
                   int(cfg.perfectCache), cfg.fillWritePorts,
                   static_cast<unsigned long long>(cfg.maxInstructions));
+    if (!cfg.hierarchy.degenerate()) {
+        // Appended only for non-degenerate chains so keys of every
+        // pre-hierarchy experiment (and the committed artifacts named
+        // after them) are unchanged.
+        key += "|H";
+        key += core::hierarchyKey(cfg.hierarchy);
+    }
     return key;
 }
 

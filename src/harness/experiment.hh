@@ -43,6 +43,9 @@ struct ExperimentConfig
     bool perfectCache = false;    ///< Ideal run (IPC baseline).
     /** Register write ports serving fills (0 = unlimited). */
     unsigned fillWritePorts = 0;
+    /** Memory side between L1 and main memory; default = the paper's
+     *  degenerate chain (L1 straight into pipelined memory). */
+    core::HierarchyConfig hierarchy;
     uint64_t maxInstructions = 200'000'000;
 };
 

@@ -45,11 +45,11 @@ configJson(const ExperimentConfig &cfg)
     std::string policy;
     if (cfg.customPolicy)
         policy = policyKey(*cfg.customPolicy);
-    return strfmt(
+    std::string json = strfmt(
         "{\"label\": %s, \"policy\": %s, \"cache_bytes\": %llu, "
         "\"line_bytes\": %llu, \"ways\": %u, \"load_latency\": %d, "
         "\"miss_penalty\": %u, \"issue_width\": %u, "
-        "\"perfect_cache\": %s, \"fill_write_ports\": %u}",
+        "\"perfect_cache\": %s, \"fill_write_ports\": %u",
         stats::jsonQuote(cfg.customPolicy
                              ? std::string("custom")
                              : std::string(core::configLabel(cfg.config)))
@@ -59,6 +59,14 @@ configJson(const ExperimentConfig &cfg)
         static_cast<unsigned long long>(cfg.lineBytes), cfg.ways,
         cfg.loadLatency, cfg.missPenalty, cfg.issueWidth,
         cfg.perfectCache ? "true" : "false", cfg.fillWritePorts);
+    if (!cfg.hierarchy.degenerate()) {
+        // Key present only for non-degenerate chains: committed
+        // pre-hierarchy artifacts stay byte-identical.
+        json += ", \"hierarchy\": " +
+                stats::jsonQuote(core::hierarchyKey(cfg.hierarchy));
+    }
+    json += "}";
+    return json;
 }
 
 std::string

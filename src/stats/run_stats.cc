@@ -22,6 +22,22 @@ registerRun(Registry &r, const exec::RunOutput &out)
 
     out.cpu.registerStats(r);
     out.cache.registerStats(r);
+    if (out.hier.active) {
+        // Per-level namespaces exist only when a hierarchy is
+        // configured, so degenerate snapshots stay byte-identical.
+        for (size_t i = 0; i < out.hier.levels.size(); ++i) {
+            out.hier.levels[i].registerStats(
+                r, static_cast<unsigned>(i) + 2);
+        }
+        r.scalar("chan.mem.sends", &out.hier.memChannel.sends,
+                 "requests", "hierarchy");
+        r.scalar("chan.mem.delayed_sends",
+                 &out.hier.memChannel.delayedSends, "requests",
+                 "hierarchy");
+        r.scalar("chan.mem.queue_cycles",
+                 &out.hier.memChannel.queueCycles, "cycles",
+                 "hierarchy");
+    }
     out.mshr.registerStats(r);
     out.wbuf.registerStats(r);
     out.tags.registerStats(r);

@@ -93,6 +93,49 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(uint64_t{16}, uint64_t{32},
                                          uint64_t{64})));
 
+// Edge geometries the hierarchy config can now reach: 1-way caches of
+// extreme shapes and line sizes approaching the cache size.
+
+TEST(CacheGeometry, OneWaySingleSet)
+{
+    // Line size == cache size: one line, one set, direct mapped.
+    CacheGeometry g(64, 64, 1);
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.numLines(), 1u);
+    EXPECT_FALSE(g.fullyAssociative());
+    // Every address maps to set 0 and tag == addr / line.
+    for (uint64_t addr : {uint64_t{0}, uint64_t{0x3f}, uint64_t{0x40},
+                          uint64_t{0x12345678}}) {
+        EXPECT_EQ(g.setIndex(addr), 0u);
+        EXPECT_EQ(g.tag(addr), addr / 64);
+        EXPECT_EQ(g.blockAddr(addr) + g.offset(addr), addr);
+    }
+}
+
+TEST(CacheGeometry, LineNearCacheSize)
+{
+    // Two lines, two sets: the smallest direct-mapped cache with a
+    // nontrivial set index. The single index bit sits directly above
+    // the offset bits.
+    CacheGeometry g(128, 64, 1);
+    EXPECT_EQ(g.numSets(), 2u);
+    EXPECT_EQ(g.setIndex(0x00), 0u);
+    EXPECT_EQ(g.setIndex(0x40), 1u);
+    EXPECT_EQ(g.setIndex(0x80), 0u);
+    EXPECT_EQ(g.tag(0x80), 1u);
+}
+
+TEST(CacheGeometry, AllWaysOneSet)
+{
+    // ways == numLines: set-associative geometry that behaves like a
+    // fully associative cache but keeps ways() nonzero.
+    CacheGeometry g(256, 64, 4);
+    EXPECT_EQ(g.numSets(), 1u);
+    EXPECT_EQ(g.ways(), 4u);
+    EXPECT_FALSE(g.fullyAssociative());
+    EXPECT_EQ(g.setIndex(0xdeadbeef), 0u);
+}
+
 using CacheGeometryDeath = CacheGeometry;
 
 TEST(CacheGeometryDeathTest, RejectsNonPow2Size)
@@ -101,8 +144,28 @@ TEST(CacheGeometryDeathTest, RejectsNonPow2Size)
                 ::testing::ExitedWithCode(1), "");
 }
 
+TEST(CacheGeometryDeathTest, RejectsNonPow2Line)
+{
+    EXPECT_EXIT(CacheGeometry(8192, 24, 1),
+                ::testing::ExitedWithCode(1), "");
+}
+
 TEST(CacheGeometryDeathTest, RejectsLineBiggerThanCache)
 {
     EXPECT_EXIT(CacheGeometry(32, 64, 1), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(CacheGeometryDeathTest, RejectsNonPow2SetCount)
+{
+    // 8KB / (32B * 3 ways) is not an integer number of sets.
+    EXPECT_EXIT(CacheGeometry(8 * 1024, 32, 3),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(CacheGeometryDeathTest, RejectsWaysExceedingLines)
+{
+    // More ways than lines: 64B cache, 32B lines, 4 ways.
+    EXPECT_EXIT(CacheGeometry(64, 32, 4), ::testing::ExitedWithCode(1),
                 "");
 }

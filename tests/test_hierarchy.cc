@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the memory hierarchy below L1 (core/memory_level.hh and
+ * core/hierarchy.hh): channel queueing, per-level timing arithmetic,
+ * back-pressure from exhausted lower-level resources, out-of-order
+ * completion, degenerate equivalence, and the cross-engine exactness
+ * property (exec == exact replay == lane replay) over hierarchy
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hierarchy.hh"
+#include "core/memory_level.hh"
+#include "exec/event_trace.hh"
+#include "exec/lane_replay.hh"
+#include "exec/machine.hh"
+#include "harness/sweep.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using core::CacheLevel;
+using core::Channel;
+using core::HierarchyConfig;
+using core::LevelConfig;
+using core::MainMemoryLevel;
+using core::MemoryLevel;
+
+namespace
+{
+
+/** An L2 MshrFile policy with the given MSHR count (-1 = unlimited). */
+core::MshrPolicy
+l2Policy(int num_mshrs)
+{
+    core::MshrPolicy p;
+    p.mode = core::CacheMode::MshrFile;
+    p.numMshrs = num_mshrs;
+    p.maxMisses = -1;
+    p.fetchesPerSet = -1;
+    return p;
+}
+
+LevelConfig
+l2Config(int num_mshrs = -1)
+{
+    LevelConfig l2;
+    l2.cacheBytes = 1024;
+    l2.lineBytes = 32;
+    l2.ways = 2;
+    l2.policy = l2Policy(num_mshrs);
+    l2.hitLatency = 4;
+    l2.channelInterval = 0;
+    return l2;
+}
+
+} // namespace
+
+TEST(Channel, IntervalZeroIsIdentity)
+{
+    Channel c(0);
+    EXPECT_EQ(c.send(5), 5u);
+    EXPECT_EQ(c.send(5), 5u);
+    EXPECT_EQ(c.send(3), 3u); // No ordering state at all.
+    EXPECT_EQ(c.stats().sends, 3u);
+    EXPECT_EQ(c.stats().delayedSends, 0u);
+    EXPECT_EQ(c.stats().queueCycles, 0u);
+}
+
+TEST(Channel, FiniteIntervalQueues)
+{
+    Channel c(4);
+    EXPECT_EQ(c.send(10), 10u); // Empty channel: passes through.
+    EXPECT_EQ(c.send(11), 14u); // Slot busy until 14.
+    EXPECT_EQ(c.send(12), 18u); // Queued behind the second send.
+    EXPECT_EQ(c.send(30), 30u); // Long idle gap: no carry-over.
+    EXPECT_EQ(c.stats().sends, 4u);
+    EXPECT_EQ(c.stats().delayedSends, 2u);
+    EXPECT_EQ(c.stats().queueCycles, (14u - 11u) + (18u - 12u));
+}
+
+TEST(MainMemoryLevel, ConstantPenaltyAndFetchCounting)
+{
+    mem::MainMemory mem;
+    MainMemoryLevel level(mem);
+    // 32 bytes = 2 chunks: 14 + 2 cycles in the pipelined-bus model.
+    EXPECT_EQ(level.fetchLine(0x1000, 32, 100, true), 116u);
+    EXPECT_EQ(mem.fetches(), 1u);
+    // Uncounted fetches (L1 blocking modes) still get the timing.
+    EXPECT_EQ(level.fetchLine(0x2000, 32, 200, false), 216u);
+    EXPECT_EQ(mem.fetches(), 1u);
+}
+
+TEST(BuildHierarchy, DegenerateIsConstantPenalty)
+{
+    mem::MainMemory mem;
+    std::vector<CacheLevel *> levels;
+    auto top = core::buildHierarchy(HierarchyConfig{}, mem, levels);
+    EXPECT_TRUE(levels.empty());
+    EXPECT_EQ(top->fetchLine(0x40, 32, 7, true),
+              7 + mem.penalty(32));
+}
+
+TEST(CacheLevel, MissThenHitTiming)
+{
+    mem::MainMemory mem;
+    HierarchyConfig hier;
+    hier.levels.push_back(l2Config());
+    std::vector<CacheLevel *> levels;
+    auto top = core::buildHierarchy(hier, mem, levels);
+    ASSERT_EQ(levels.size(), 1u);
+
+    // Cold miss: probe latency + memory penalty for the L2 line.
+    const uint64_t miss = top->fetchLine(0x1000, 32, 10, true);
+    EXPECT_EQ(miss, 10 + 4 + mem.penalty(32));
+    // Same line once resident: just the probe latency.
+    const uint64_t hit = top->fetchLine(0x1000, 32, miss + 1, true);
+    EXPECT_EQ(hit, miss + 1 + 4);
+
+    core::LevelStats s = levels[0]->stats();
+    EXPECT_EQ(s.requests, 2u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.primaryMisses, 1u);
+    EXPECT_EQ(mem.fetches(), 1u);
+}
+
+TEST(CacheLevel, RequestSpanningTwoBlocksReturnsMax)
+{
+    // L1 line 64B over an L2 with 32B lines: one L1 fetch becomes two
+    // L2 block requests; the fill completes when the last one lands.
+    mem::MainMemory mem;
+    HierarchyConfig hier;
+    hier.levels.push_back(l2Config());
+    std::vector<CacheLevel *> levels;
+    auto top = core::buildHierarchy(hier, mem, levels);
+
+    const uint64_t t = top->fetchLine(0x1000, 64, 10, true);
+    core::LevelStats s = levels[0]->stats();
+    EXPECT_EQ(s.requests, 2u);
+    EXPECT_EQ(s.primaryMisses, 2u);
+    EXPECT_EQ(mem.fetches(), 2u);
+    // Both blocks miss; the second block's probe can only start after
+    // the first probe's port is free, so arrival >= the single-block
+    // miss time.
+    EXPECT_GE(t, 10u + 4u + mem.penalty(32));
+}
+
+TEST(CacheLevel, MshrExhaustionDelaysRequests)
+{
+    // One L2 MSHR: a second distinct-line miss must wait for the
+    // first fetch to complete before it can even start.
+    mem::MainMemory mem;
+    HierarchyConfig hier;
+    hier.levels.push_back(l2Config(/*num_mshrs=*/1));
+    std::vector<CacheLevel *> levels;
+    auto top = core::buildHierarchy(hier, mem, levels);
+
+    const uint64_t first = top->fetchLine(0x1000, 32, 10, true);
+    const uint64_t second = top->fetchLine(0x2000, 32, 11, true);
+    // The second fetch could not overlap the first.
+    EXPECT_GE(second, first + mem.penalty(32));
+
+    core::LevelStats s = levels[0]->stats();
+    EXPECT_EQ(s.structWaits, 1u);
+    EXPECT_GT(s.structWaitCycles, 0u);
+    EXPECT_EQ(s.maxInflightFetches, 1u);
+
+    // With unlimited MSHRs the same pair overlaps fully.
+    mem::MainMemory mem2;
+    HierarchyConfig hier2;
+    hier2.levels.push_back(l2Config());
+    std::vector<CacheLevel *> levels2;
+    auto top2 = core::buildHierarchy(hier2, mem2, levels2);
+    top2->fetchLine(0x1000, 32, 10, true);
+    EXPECT_EQ(top2->fetchLine(0x2000, 32, 11, true),
+              11 + 4 + mem2.penalty(32));
+    EXPECT_EQ(levels2[0]->stats().structWaits, 0u);
+}
+
+TEST(CacheLevel, NarrowDownChannelSerializesFetches)
+{
+    // The channel below L2 admits one fetch every 20 cycles: two
+    // back-to-back misses serialize even with plenty of MSHRs.
+    mem::MainMemory mem;
+    HierarchyConfig hier;
+    hier.levels.push_back(l2Config());
+    hier.memChannelInterval = 20;
+    std::vector<CacheLevel *> levels;
+    auto top = core::buildHierarchy(hier, mem, levels);
+
+    const uint64_t first = top->fetchLine(0x1000, 32, 10, true);
+    const uint64_t second = top->fetchLine(0x2000, 32, 11, true);
+    // First enters the channel at 14 (after its probe); the second's
+    // probe ends at 15 but the channel slot is busy until 34.
+    EXPECT_EQ(first, 10 + 4 + mem.penalty(32));
+    EXPECT_EQ(second, 34 + mem.penalty(32));
+
+    const core::ChannelStats &ch = levels[0]->downChannelStats();
+    EXPECT_EQ(ch.sends, 2u);
+    EXPECT_EQ(ch.delayedSends, 1u);
+    EXPECT_EQ(ch.queueCycles, 34u - 15u);
+}
+
+TEST(CacheLevel, CompletionsAreNotMonotone)
+{
+    // A miss followed by a hit: the younger request's data arrives
+    // first. This is the property that forced the completion-sorted
+    // MshrFile above.
+    mem::MainMemory mem;
+    HierarchyConfig hier;
+    hier.levels.push_back(l2Config());
+    std::vector<CacheLevel *> levels;
+    auto top = core::buildHierarchy(hier, mem, levels);
+
+    // Warm 0x1000, then issue a cold miss and a hit right behind it.
+    const uint64_t warm = top->fetchLine(0x1000, 32, 0, true);
+    const uint64_t miss = top->fetchLine(0x2000, 32, warm + 1, true);
+    const uint64_t hit = top->fetchLine(0x1000, 32, warm + 2, true);
+    EXPECT_LT(hit, miss);
+}
+
+TEST(Hierarchy, KeyDistinguishesConfigs)
+{
+    EXPECT_EQ(core::hierarchyKey(HierarchyConfig{}), "");
+
+    HierarchyConfig chan;
+    chan.memChannelInterval = 4;
+    HierarchyConfig l2;
+    l2.levels.push_back(l2Config());
+    HierarchyConfig l2b = l2;
+    l2b.levels[0].cacheBytes *= 2;
+
+    EXPECT_NE(core::hierarchyKey(chan), "");
+    EXPECT_NE(core::hierarchyKey(l2), core::hierarchyKey(chan));
+    EXPECT_NE(core::hierarchyKey(l2), core::hierarchyKey(l2b));
+    EXPECT_EQ(core::hierarchyKey(l2), core::hierarchyKey(l2));
+}
+
+TEST(HierarchyDeathTest, RejectsBlockingLevelPolicy)
+{
+    HierarchyConfig hier;
+    LevelConfig lc = l2Config();
+    lc.policy = core::makePolicy(core::ConfigName::Mc0);
+    hier.levels.push_back(lc);
+    EXPECT_EXIT(core::validateHierarchy(hier),
+                ::testing::ExitedWithCode(1), "");
+}
+
+/**
+ * Degenerate configurations must take the exact single-level code
+ * path: a run with an explicitly degenerate hierarchy equals a run
+ * with the default config field for field, and exposes no hierarchy
+ * counters.
+ */
+TEST(Hierarchy, DegenerateRunMatchesFlat)
+{
+    workloads::Workload w = workloads::makeWorkload("doduc", 0.05);
+    harness::Lab lab(0.05);
+    const isa::Program &prog = lab.program("doduc", 10);
+
+    exec::MachineConfig flat;
+    flat.policy = core::makePolicy(core::ConfigName::Fc2);
+    exec::MachineConfig degen = flat;
+    degen.hierarchy.memChannelInterval = 0; // Still degenerate.
+
+    mem::SparseMemory m1 = w.makeMemory();
+    exec::RunOutput a = exec::run(prog, m1, flat);
+    mem::SparseMemory m2 = w.makeMemory();
+    exec::RunOutput b = exec::run(prog, m2, degen);
+
+    EXPECT_EQ(a.cpu.cycles, b.cpu.cycles);
+    EXPECT_EQ(a.cache.fetches, b.cache.fetches);
+    EXPECT_EQ(a.cache.structStallCycles, b.cache.structStallCycles);
+    EXPECT_FALSE(a.hier.active);
+    EXPECT_FALSE(b.hier.active);
+    EXPECT_TRUE(b.hier.levels.empty());
+}
+
+/**
+ * The cross-engine exactness property over hierarchy configurations:
+ * execution-driven, exact replay, and lane replay agree field for
+ * field when the memory side is multi-level.
+ */
+TEST(Hierarchy, EnginesAgreeOnHierarchyConfigs)
+{
+    constexpr double kScale = 0.05;
+
+    std::vector<HierarchyConfig> hiers;
+    {
+        HierarchyConfig chan;
+        chan.memChannelInterval = 6;
+        hiers.push_back(chan);
+        HierarchyConfig l2;
+        l2.levels.push_back(l2Config(/*num_mshrs=*/2));
+        hiers.push_back(l2);
+        HierarchyConfig both = l2;
+        both.levels[0].channelInterval = 2;
+        both.memChannelInterval = 8;
+        hiers.push_back(both);
+    }
+
+    for (const char *name : {"doduc", "eqntott"}) {
+        workloads::Workload w = workloads::makeWorkload(name, kScale);
+        harness::Lab lab(kScale);
+        const isa::Program &prog = lab.program(name, 10);
+        mem::SparseMemory rec_mem = w.makeMemory();
+        exec::EventTrace trace =
+            exec::recordEventTrace(prog, rec_mem);
+
+        for (const HierarchyConfig &hier : hiers) {
+            for (core::ConfigName cfg :
+                 {core::ConfigName::Mc0, core::ConfigName::Mc1,
+                  core::ConfigName::Fs2,
+                  core::ConfigName::NoRestrict}) {
+                exec::MachineConfig mc;
+                mc.policy = core::makePolicy(cfg);
+                mc.hierarchy = hier;
+
+                mem::SparseMemory run_mem = w.makeMemory();
+                exec::RunOutput ref = exec::run(prog, run_mem, mc);
+                exec::RunOutput rep =
+                    exec::replayExact(prog, trace, mc);
+                ASSERT_TRUE(exec::laneReplayable(mc));
+                std::vector<exec::RunOutput> lanes =
+                    exec::replayLanes(prog, trace, {mc});
+
+                for (const exec::RunOutput *o : {&rep, &lanes[0]}) {
+                    EXPECT_EQ(ref.cpu.cycles, o->cpu.cycles);
+                    EXPECT_EQ(ref.cpu.depStallCycles,
+                              o->cpu.depStallCycles);
+                    EXPECT_EQ(ref.cpu.structStallCycles,
+                              o->cpu.structStallCycles);
+                    EXPECT_EQ(ref.cpu.blockStallCycles,
+                              o->cpu.blockStallCycles);
+                    EXPECT_EQ(ref.cache.fetches, o->cache.fetches);
+                    EXPECT_EQ(ref.maxInflightFetches,
+                              o->maxInflightFetches);
+                    ASSERT_EQ(ref.hier.levels.size(),
+                              o->hier.levels.size());
+                    for (size_t l = 0; l < ref.hier.levels.size();
+                         ++l) {
+                        EXPECT_EQ(ref.hier.levels[l].hits,
+                                  o->hier.levels[l].hits);
+                        EXPECT_EQ(
+                            ref.hier.levels[l].structWaitCycles,
+                            o->hier.levels[l].structWaitCycles);
+                    }
+                    EXPECT_EQ(ref.hier.memChannel.queueCycles,
+                              o->hier.memChannel.queueCycles);
+                }
+                // The hierarchy must actually have been exercised.
+                EXPECT_TRUE(ref.hier.active);
+                EXPECT_GT(ref.hier.memChannel.sends, 0u);
+            }
+        }
+    }
+}

@@ -283,6 +283,10 @@ TEST(LaneReplayLab, NonReplayablePointsFallBack)
     cfgs.push_back(perfect);
 
     Lab lab(kScale);
+    // The lane engine is the subject here: pin it on so the test
+    // still covers it when the environment (the CI NBL_LANE_REPLAY=0
+    // matrix leg) defaults it off.
+    lab.setLaneReplayEnabled(true);
     auto got = lab.runLanes("ear", cfgs);
     Lab ref(kScale);
     for (size_t i = 0; i < cfgs.size(); ++i) {
@@ -318,6 +322,9 @@ TEST(LaneReplayConcurrency, ConcurrentBatchesBitIdentical)
     }
 
     Lab lab(kScale);
+    // Pin the subject engine on regardless of the NBL_LANE_REPLAY
+    // environment default (see NonReplayablePointsFallBack).
+    lab.setLaneReplayEnabled(true);
     ASSERT_TRUE(lab.laneReplayActive());
     auto results = harness::runPointsParallel(lab, points, 4);
     ASSERT_EQ(results.size(), points.size());

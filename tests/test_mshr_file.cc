@@ -136,11 +136,37 @@ TEST(MshrFile, PeaksTracked)
     EXPECT_EQ(f.maxFetches(), 2u);
 }
 
-TEST(MshrFileDeathTest, NonMonotoneCompletionPanics)
+TEST(MshrFile, NonMonotoneCompletionSortsIntoPlace)
 {
+    // Hierarchy fills can return out of order (an L2 hit lands before
+    // an older L2 miss); the pool keeps completion order.
     MshrFile f(filePolicy(-1), 32);
     f.allocate(0x1000, 0, 20);
-    EXPECT_DEATH(f.allocate(0x2000, 1, 19), "monotone");
+    f.allocate(0x2000, 1, 19);
+    EXPECT_EQ(f.missFreeCycle(), 19u);
+    auto first = f.popCompleted(20);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->blockAddr(), 0x2000u);
+    auto second = f.popCompleted(20);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->blockAddr(), 0x1000u);
+}
+
+TEST(MshrFile, EqualCompletionKeepsAllocationOrder)
+{
+    // Insertion is stable: ties (and the all-monotone degenerate
+    // chain) pop in allocation order, the historical FIFO.
+    MshrFile f(filePolicy(-1), 32);
+    f.allocate(0x1000, 0, 17);
+    f.allocate(0x2000, 1, 17);
+    f.allocate(0x3000, 2, 17);
+    auto a = f.popCompleted(17);
+    auto b = f.popCompleted(17);
+    auto c = f.popCompleted(17);
+    ASSERT_TRUE(a && b && c);
+    EXPECT_EQ(a->blockAddr(), 0x1000u);
+    EXPECT_EQ(b->blockAddr(), 0x2000u);
+    EXPECT_EQ(c->blockAddr(), 0x3000u);
 }
 
 TEST(MshrFileDeathTest, AllocateWithoutCapacityPanics)

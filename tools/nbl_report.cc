@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/hierarchy.hh"
 #include "core/policy.hh"
 #include "harness/paper_data.hh"
 #include "harness/stats_export.hh"
@@ -54,6 +55,8 @@ struct Point
     std::string workload;
     std::string label;  ///< Config label ("mc=1", ..., or "custom").
     std::string policy; ///< policyKey() string for custom policies.
+    /** hierarchyKey() string; empty = the degenerate chain. */
+    std::string hierarchy;
     uint64_t cacheBytes = 0;
     uint64_t lineBytes = 0;
     unsigned ways = 0;
@@ -99,6 +102,8 @@ class Artifacts
             p.missPenalty = unsigned(c.at("miss_penalty").u64());
             p.issueWidth = unsigned(c.at("issue_width").u64());
             p.perfectCache = c.at("perfect_cache").boolean();
+            if (const stats::Json *h = c.find("hierarchy"))
+                p.hierarchy = h->str();
             p.stats = stats::snapshotFromJson(r.at("stats"));
             points_.emplace(r.at("key").str(), std::move(p));
         }
@@ -120,27 +125,32 @@ class Artifacts
     const Point &
     get(const std::string &workload, const std::string &label,
         int latency, unsigned penalty = 0,
-        const std::string &policy = std::string()) const
+        const std::string &policy = std::string(),
+        const std::string &hierarchy = std::string()) const
     {
         for (const auto &[key, p] : points_) {
             if (p.workload == workload && p.label == label &&
                 p.loadLatency == latency &&
                 p.missPenalty == penalty && p.policy == policy &&
+                p.hierarchy == hierarchy &&
                 p.cacheBytes == 8 * 1024 && p.lineBytes == 32 &&
                 p.ways == 1 && p.issueWidth == 1 && !p.perfectCache)
                 return p;
         }
-        fatal("no artifact point for %s/%s lat=%d pen=%u%s%s",
+        fatal("no artifact point for %s/%s lat=%d pen=%u%s%s%s%s",
               workload.c_str(), label.c_str(), latency, penalty,
-              policy.empty() ? "" : " policy=", policy.c_str());
+              policy.empty() ? "" : " policy=", policy.c_str(),
+              hierarchy.empty() ? "" : " hier=", hierarchy.c_str());
     }
 
     double
     mcpi(const std::string &workload, const std::string &label,
          int latency, unsigned penalty = 0,
-         const std::string &policy = std::string()) const
+         const std::string &policy = std::string(),
+         const std::string &hierarchy = std::string()) const
     {
-        return get(workload, label, latency, penalty, policy)
+        return get(workload, label, latency, penalty, policy,
+                   hierarchy)
             .stats.derivedValue("cpu.mcpi");
     }
 
@@ -330,6 +340,64 @@ fig18Table(const Artifacts &a)
     return out;
 }
 
+/**
+ * The memory-side variants of the hierarchy sweep, mirroring
+ * bench/fig20_hierarchy.cc (label -> hierarchyKey; "flat" is the
+ * degenerate chain and the empty key).
+ */
+std::vector<std::pair<std::string, std::string>>
+fig20MemSides()
+{
+    core::LevelConfig l2;
+    l2.cacheBytes = 64 * 1024;
+    l2.lineBytes = 32;
+    l2.ways = 4;
+    l2.policy.mode = core::CacheMode::MshrFile;
+    l2.policy.numMshrs = 4;
+    l2.policy.maxMisses = -1;
+    l2.policy.fetchesPerSet = -1;
+    l2.hitLatency = 4;
+    l2.channelInterval = 0;
+
+    std::vector<std::pair<std::string, std::string>> sides;
+    sides.emplace_back("flat", "");
+    for (unsigned iv : {2u, 6u}) {
+        core::HierarchyConfig h;
+        h.memChannelInterval = iv;
+        sides.emplace_back(strfmt("chan=%u", iv),
+                           core::hierarchyKey(h));
+    }
+    {
+        core::HierarchyConfig h;
+        h.levels.push_back(l2);
+        sides.emplace_back("L2", core::hierarchyKey(h));
+        h.memChannelInterval = 6;
+        sides.emplace_back("L2+chan=6", core::hierarchyKey(h));
+    }
+    return sides;
+}
+
+std::string
+fig20Table(const Artifacts &a)
+{
+    std::string out = "| config |";
+    for (const auto &[label, key] : fig20MemSides())
+        out += strfmt(" %s |", label.c_str());
+    out += "\n|---|";
+    for (size_t i = 0; i < fig20MemSides().size(); ++i)
+        out += "---|";
+    out += "\n";
+    for (const char *label : {"mc=0", "mc=1", "fc=2", "no restrict"}) {
+        out += strfmt("| %s |", label);
+        for (const auto &[side, key] : fig20MemSides()) {
+            out += strfmt(" %.3f |",
+                          a.mcpi("doduc", label, 10, 0, "", key));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // Checks.
 // ---------------------------------------------------------------------
@@ -502,6 +570,30 @@ checkFullScale(const Artifacts &a)
               strfmt("fig07: %s structural share grows with latency "
                      "(%.2f -> %.2f)", label, lo, hi));
     }
+
+    // Hierarchy sweep: the blocking cache never overlaps fetches, so
+    // the channel width cannot touch it; a narrower channel never
+    // helps the unrestricted cache; the L2 lowers every curve at
+    // full scale.
+    {
+        auto sides = fig20MemSides();
+        auto at = [&](const char *label, size_t side) {
+            return a.mcpi("doduc", label, 10, 0, "",
+                          sides[side].second);
+        };
+        check(at("mc=0", 0) == at("mc=0", 1) &&
+                  at("mc=0", 1) == at("mc=0", 2),
+              "fig20: blocking MCPI identical across channel widths");
+        check(at("no restrict", 0) <= at("no restrict", 1) &&
+                  at("no restrict", 1) <= at("no restrict", 2),
+              "fig20: unrestricted MCPI monotone in channel interval");
+        for (const char *label : {"mc=0", "mc=1", "fc=2",
+                                  "no restrict"}) {
+            check(at(label, 3) < at(label, 0),
+                  strfmt("fig20: L2 lowers %s MCPI (%.3f < %.3f)",
+                         label, at(label, 3), at(label, 0)));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -528,7 +620,8 @@ generateRegions(const Artifacts &a)
             {"fig13", fig13Table(a)},
             {"fig14", fig14Table(a)},
             {"fig15", fig15Table(a)},
-            {"fig18", fig18Table(a)}};
+            {"fig18", fig18Table(a)},
+            {"fig20", fig20Table(a)}};
 }
 
 /**
@@ -564,7 +657,7 @@ const char *artifactFiles[] = {
     "fig05_doduc_baseline.json",   "fig06_inflight_histogram.json",
     "fig07_stall_breakdown.json",  "fig13_all18_table.json",
     "fig14_mshr_organizations.json", "fig15_su2cor_per_set.json",
-    "fig18_miss_penalty.json",
+    "fig18_miss_penalty.json",       "fig20_hierarchy.json",
 };
 
 } // namespace
