@@ -24,6 +24,7 @@
 #include "harness/report.hh"
 #include "harness/stats_export.hh"
 #include "harness/sweep.hh"
+#include "harness/sweep_planner.hh"
 #include "util/env.hh"
 
 namespace nbl_bench
@@ -59,6 +60,7 @@ struct ExportTargets
     std::string binary;   ///< argv[0] basename, labels artifacts.
     std::string jsonPath; ///< --json=FILE or NBL_STATS_DIR/<bin>.json.
     std::string csvPath;  ///< --csv=FILE.
+    std::string extras;   ///< Extra top-level JSON members (statsJson).
 };
 
 inline ExportTargets &
@@ -81,7 +83,8 @@ flushExports()
     const ExportTargets &t = exportTargets();
     if (!t.jsonPath.empty()) {
         nbl::harness::writeFileOrDie(
-            t.jsonPath, nbl::harness::statsJson(benchLab(), t.binary));
+            t.jsonPath,
+            nbl::harness::statsJson(benchLab(), t.binary, t.extras));
     }
     if (!t.csvPath.empty()) {
         nbl::harness::writeFileOrDie(
@@ -135,6 +138,18 @@ init(int argc, char **argv)
 }
 
 /**
+ * Attach extra top-level JSON members to this binary's --json/
+ * NBL_STATS_DIR artifact (a pre-rendered `"key": value` fragment; see
+ * statsJson). A no-op on stdout and on binaries with no JSON export
+ * configured. fig21 publishes its model-pruning summary this way.
+ */
+inline void
+setExportExtras(const std::string &extrasJson)
+{
+    detail::exportTargets().extras = extrasJson;
+}
+
+/**
  * Fan a set of experiment points out over the parallel engine into
  * benchLab()'s result cache. A binary whose reporting loops call
  * lab.run() point by point stays exactly as written -- prewarming the
@@ -165,6 +180,12 @@ prewarm(const std::vector<std::string> &workloads,
  * Run and print one baseline-style MCPI-vs-latency figure. The sweep
  * fans out over the parallel engine (NBL_JOBS workers). Returns the
  * curves so callers can print figure-specific extras.
+ *
+ * With NBL_MODEL_PRUNE set (strictly opt-in; docs/MODEL.md) the sweep
+ * routes through the predict-then-simulate planner: points the
+ * analytical model can call confidently print model-estimated MCPI
+ * instead of being simulated. Unset (or =0), output is byte-identical
+ * to the plain parallel sweep.
  */
 inline std::vector<nbl::harness::Curve>
 runCurveFigure(const std::string &figure, const std::string &what,
@@ -173,8 +194,13 @@ runCurveFigure(const std::string &figure, const std::string &what,
                const std::vector<nbl::core::ConfigName> &configs)
 {
     nbl::harness::printHeader(figure, what, base);
-    auto curves = nbl::harness::runSweepParallel(benchLab(), workload,
-                                                 base, configs);
+    nbl::harness::PlanOptions plan = nbl::harness::planOptionsFromEnv();
+    auto curves =
+        plan.prune
+            ? nbl::harness::runSweepPlanned(benchLab(), workload, base,
+                                            configs, plan)
+            : nbl::harness::runSweepParallel(benchLab(), workload,
+                                             base, configs);
     nbl::harness::printCurves("miss CPI vs scheduled load latency",
                               curves);
     std::printf("\n");

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Figure 21 (extension; no paper counterpart): predict-then-simulate
+ * sweep pruning measured against full simulation.
+ *
+ * Runs the dense 1296-point organization sweep (bench/model_points.hh)
+ * twice from fresh Labs: once fully simulated, once through the sweep
+ * planner with pruning forced on. Prints the plan (how many points
+ * the model served), the model's MCPI error on the pruned points, and
+ * a representative slice with per-organization bounds -- then fails
+ * (exit 1) if any provable bound is violated, any back-substituted
+ * simulated point differs from the full sweep, or the simulate budget
+ * is exceeded. tools/check.sh runs this as the model gate.
+ *
+ * stdout is deterministic (counts, errors, and MCPI only); wall
+ * clocks go to stderr and to the JSON artifact, which also carries
+ * the model.* summary (stats/model_stats.hh) for nbl-report.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "model_points.hh"
+#include "stats/model_stats.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Record every point's event trace so the timed walls below compare
+ *  pure simulation/planning work, not trace recording. */
+void
+prewarmTraces(harness::Lab &lab,
+              const std::vector<harness::SweepPoint> &points)
+{
+    for (const auto &p : points)
+        lab.prewarmTrace(p.workload, p.cfg.loadLatency,
+                         p.cfg.maxInstructions);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    nbl_bench::init(argc, argv);
+    const double scale = nbl_bench::benchScale();
+    const auto points = nbl_bench::modelSweepPoints();
+
+    // Arm 1: every point simulated (the ground truth).
+    harness::Lab full_lab(scale);
+    prewarmTraces(full_lab, points);
+    auto t0 = std::chrono::steady_clock::now();
+    auto full = harness::runPointsParallel(full_lab, points);
+    const double full_s = secondsSince(t0);
+
+    // Arm 2: the planner with pruning forced on (a fresh Lab, so no
+    // cached results leak between the arms).
+    harness::Lab plan_lab(scale);
+    prewarmTraces(plan_lab, points);
+    harness::PlanOptions opts;
+    opts.prune = true;
+    t0 = std::chrono::steady_clock::now();
+    harness::PlanOutcome outcome =
+        harness::planAndRun(plan_lab, points, opts);
+    const double plan_s = secondsSince(t0);
+
+    harness::PlanError err = harness::compareWithFull(outcome, full);
+
+    std::printf("# fig21: predict-then-simulate sweep pruning "
+                "(extension; no paper counterpart)\n");
+    std::printf("# doduc x 18 organizations (10 named + 8 fig14 "
+                "field shapes) x {2,4,8,16}KB x {1,2,4}-way x "
+                "latencies {1,2,3,6,10,20}\n\n");
+
+    std::printf("## plan\n");
+    std::printf("points                   %zu\n", points.size());
+    std::printf("distinct                 %zu\n",
+                outcome.distinctPoints);
+    std::printf("simulated                %zu (%.1f%%)\n",
+                outcome.simulatedCount,
+                100.0 * double(outcome.simulatedCount) /
+                    double(outcome.distinctPoints));
+    std::printf("pruned (model-served)    %zu\n", outcome.prunedCount);
+    std::printf("unsupported              %zu\n",
+                outcome.unsupportedCount);
+    std::printf("exact predictions        %zu\n", outcome.exactCount);
+    std::printf("characterizations        %zu\n",
+                outcome.profileCount);
+
+    std::printf("\n## model error (pruned points vs full "
+                "simulation)\n");
+    std::printf("max |MCPI error|         %.4f\n", err.maxAbsErr);
+    std::printf("mean |MCPI error|        %.4f\n", err.meanAbsErr);
+    std::printf("bound violations         %zu\n", err.boundViolations);
+    std::printf("substitution mismatches  %zu\n",
+                err.substitutionMismatches);
+
+    // One representative slice: the paper's baseline geometry at the
+    // longest scheduled latency, where organizations separate most.
+    std::printf("\n## slice: 8KB direct-mapped, latency 20 "
+                "(MCPI; how = sim|model)\n");
+    std::printf("%-12s %-6s %9s %9s %9s %9s\n", "config", "how",
+                "full-sim", "estimate", "lower", "upper");
+    for (size_t i = 0; i < outcome.points.size(); ++i) {
+        const harness::PlannedPoint &p = outcome.points[i];
+        const harness::ExperimentConfig &c = p.point.cfg;
+        if (c.cacheBytes != 8 * 1024 || c.ways != 1 ||
+            c.loadLatency != 20)
+            continue;
+        const model::Prediction &pred = p.prediction;
+        const char *label = c.customPolicy
+                                ? c.customPolicy->label.c_str()
+                                : core::configLabel(c.config);
+        std::printf("%-12s %-6s %9.4f %9.4f %9.4f %9.4f\n", label,
+                    p.simulated ? "sim" : "model", full[i].mcpi(),
+                    pred.mcpiEstimate(), pred.mcpiLower(),
+                    pred.mcpiUpper());
+    }
+
+    // Publish the summary for nbl-report / BENCH snapshots.
+    stats::ModelSummary summary;
+    summary.points = outcome.distinctPoints;
+    summary.simulated = outcome.simulatedCount;
+    summary.pruned = outcome.prunedCount;
+    summary.unsupported = outcome.unsupportedCount;
+    summary.exactPoints = outcome.exactCount;
+    summary.profiles = outcome.profileCount;
+    summary.boundViolations = err.boundViolations;
+    summary.substitutionMismatches = err.substitutionMismatches;
+    summary.maxAbsErr = err.maxAbsErr;
+    summary.meanAbsErr = err.meanAbsErr;
+    nbl_bench::setExportExtras(
+        "\"model\": " + stats::modelSnapshot(summary).toJson(2));
+
+    std::fprintf(stderr,
+                 "# fig21 walls: full=%.3fs planned=%.3fs "
+                 "(%.2fx fewer seconds, %.1f%% of points simulated)\n",
+                 full_s, plan_s, plan_s > 0 ? full_s / plan_s : 0.0,
+                 100.0 * summary.simFraction());
+
+    // The gate: provable properties must hold unconditionally.
+    bool ok = true;
+    if (err.boundViolations != 0) {
+        std::fprintf(stderr, "fig21: %zu model bound violations\n",
+                     err.boundViolations);
+        ok = false;
+    }
+    if (err.substitutionMismatches != 0) {
+        std::fprintf(stderr,
+                     "fig21: %zu back-substitution mismatches\n",
+                     err.substitutionMismatches);
+        ok = false;
+    }
+    if (outcome.unsupportedCount != 0) {
+        std::fprintf(stderr,
+                     "fig21: %zu points fell outside the model\n",
+                     outcome.unsupportedCount);
+        ok = false;
+    }
+    if (summary.simFraction() > opts.simulateBudget + 1e-9) {
+        std::fprintf(stderr,
+                     "fig21: simulated fraction %.3f exceeds the "
+                     "%.3f budget\n",
+                     summary.simFraction(), opts.simulateBudget);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The dense organization sweep shared by bench/fig21_model_prune.cc
+ * (the model-pruning figure and its committed artifact) and
+ * bench/perf_smoke.cc (the model_prune wall-clock section), so the
+ * error numbers in EXPERIMENTS.md and the speedup in
+ * BENCH_parallel_sweep.json describe the same point set.
+ */
+
+#ifndef NBL_BENCH_MODEL_POINTS_HH
+#define NBL_BENCH_MODEL_POINTS_HH
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+namespace nbl_bench
+{
+
+/** The ten named organizations: two blocking, eight non-blocking. */
+inline const std::vector<nbl::core::ConfigName> &
+modelSweepConfigs()
+{
+    static const std::vector<nbl::core::ConfigName> configs = {
+        nbl::core::ConfigName::Mc0Wma, nbl::core::ConfigName::Mc0,
+        nbl::core::ConfigName::Mc1,    nbl::core::ConfigName::Mc2,
+        nbl::core::ConfigName::Fc1,    nbl::core::ConfigName::Fc2,
+        nbl::core::ConfigName::Fs1,    nbl::core::ConfigName::Fs2,
+        nbl::core::ConfigName::InCache,
+        nbl::core::ConfigName::NoRestrict,
+    };
+    return configs;
+}
+
+/** The Figure-14 destination-field shapes swept alongside them. */
+inline const std::vector<std::pair<int, int>> &
+modelSweepFieldShapes()
+{
+    static const std::vector<std::pair<int, int>> shapes = {
+        {1, 1}, {1, 2}, {1, 4}, {2, 1}, {4, 1},
+        {8, 1}, {2, 2}, {4, 4},
+    };
+    return shapes;
+}
+
+/**
+ * doduc x 18 organizations (10 named + 8 Figure-14 field policies) x
+ * 4 cache sizes x 3 associativities x the 6 paper latencies: 1296
+ * points, 72 distinct (geometry, schedule) characterization slices.
+ * Dense on purpose -- the planner's value is proportional to the
+ * points per characterization profile, and the batched
+ * characterization pass amortizes one trace walk over all 12
+ * geometries of a latency.
+ */
+inline std::vector<nbl::harness::SweepPoint>
+modelSweepPoints()
+{
+    std::vector<nbl::harness::SweepPoint> points;
+    for (uint64_t kb : {2u, 4u, 8u, 16u}) {
+        for (unsigned ways : {1u, 2u, 4u}) {
+            std::vector<nbl::harness::ExperimentConfig> orgs;
+            for (nbl::core::ConfigName cn : modelSweepConfigs()) {
+                nbl::harness::ExperimentConfig cfg;
+                cfg.config = cn;
+                orgs.push_back(cfg);
+            }
+            for (auto [sub, per] : modelSweepFieldShapes()) {
+                nbl::harness::ExperimentConfig cfg;
+                cfg.customPolicy =
+                    nbl::core::makeFieldPolicy(sub, per);
+                orgs.push_back(cfg);
+            }
+            for (nbl::harness::ExperimentConfig cfg : orgs) {
+                cfg.cacheBytes = kb * 1024;
+                cfg.ways = ways;
+                for (int lat : nbl::harness::paperLatencies) {
+                    cfg.loadLatency = lat;
+                    points.push_back({"doduc", cfg});
+                }
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace nbl_bench
+
+#endif // NBL_BENCH_MODEL_POINTS_HH

@@ -8,6 +8,12 @@
  * snapshots can track performance across revisions, plus a one-line
  * per-engine table for CI logs.
  *
+ * Trace recording happens outside every timed region (reported
+ * separately as record_wall_s), so the per-engine walls compare
+ * timing-model work only. A final model_prune section times the dense
+ * fig21 sweep (bench/model_points.hh) fully simulated vs through the
+ * predict-then-simulate planner and cross-checks the two.
+ *
  * Unlike the figure binaries this output is diagnostic, not
  * byte-stable; NBL_SCALE and NBL_JOBS apply as usual.
  */
@@ -18,6 +24,7 @@
 #include <thread>
 
 #include "bench_common.hh"
+#include "model_points.hh"
 
 using namespace nbl;
 
@@ -125,7 +132,20 @@ main(int argc, char **argv)
         parallel_lab.program(p.workload, p.cfg.loadLatency);
     }
 
+    // Record event traces outside the timed regions too, so the
+    // replay/lane/parallel walls below are pure timing-model work.
+    // The recording cost is reported once (the labs record identical
+    // traces; timing one stands for all).
     auto t0 = std::chrono::steady_clock::now();
+    for (const auto &[wl, lat] : batch_keys)
+        serial_lab.prewarmTrace(wl, lat);
+    const double record_s = secondsSince(t0);
+    for (const auto &[wl, lat] : batch_keys) {
+        lane_lab.prewarmTrace(wl, lat);
+        parallel_lab.prewarmTrace(wl, lat);
+    }
+
+    t0 = std::chrono::steady_clock::now();
     std::vector<harness::ExperimentResult> exec_driven;
     exec_driven.reserve(points.size());
     for (const auto &p : points)
@@ -167,10 +187,45 @@ main(int argc, char **argv)
     double hier_s = secondsSince(t0);
     uint64_t hier_instrs = totalInstructions(hier);
 
+    // Model pruning: the dense fig21 sweep, fully simulated vs
+    // through the predict-then-simulate planner (fresh Labs, traces
+    // prewarmed outside both walls). The planner wall includes its
+    // characterization and prediction work, so the speedup is
+    // end-to-end, not just saved simulations.
+    auto dense = nbl_bench::modelSweepPoints();
+    harness::Lab model_full_lab(nbl_bench::benchScale());
+    harness::Lab model_plan_lab(nbl_bench::benchScale());
+    for (const auto &p : dense) {
+        model_full_lab.prewarmTrace(p.workload, p.cfg.loadLatency);
+        model_plan_lab.prewarmTrace(p.workload, p.cfg.loadLatency);
+    }
+    t0 = std::chrono::steady_clock::now();
+    auto model_full = harness::runPointsParallel(model_full_lab, dense);
+    double model_full_s = secondsSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    harness::PlanOptions plan_opts;
+    plan_opts.prune = true;
+    harness::PlanOutcome planned =
+        harness::planAndRun(model_plan_lab, dense, plan_opts);
+    double model_plan_s = secondsSince(t0);
+    harness::PlanError plan_err =
+        harness::compareWithFull(planned, model_full);
+    if (plan_err.boundViolations || plan_err.substitutionMismatches) {
+        std::fprintf(stderr,
+                     "model_prune cross-check failed: %zu bound "
+                     "violations, %zu substitution mismatches\n",
+                     plan_err.boundViolations,
+                     plan_err.substitutionMismatches);
+        return 1;
+    }
+    const double model_speedup =
+        model_plan_s > 0 ? model_full_s / model_plan_s : 0.0;
+
     const unsigned host_cores = std::thread::hardware_concurrency();
     const double lane_speedup = lane_s > 0 ? serial_s / lane_s : 0.0;
     std::printf(
         "{\"sweep_points\": %zu, \"jobs\": %u, \"host_cores\": %u, "
+        "\"record_wall_s\": %.3f, "
         "\"wall_s\": %.3f, \"serial_wall_s\": %.3f, "
         "\"exec_wall_s\": %.3f, "
         "\"speedup\": %.2f, \"replay_speedup\": %.2f, "
@@ -180,16 +235,26 @@ main(int argc, char **argv)
         "\"instructions\": %llu, "
         "\"sim_minstr_per_s\": %.1f, "
         "\"hierarchy_sweep\": {\"points\": %zu, \"wall_s\": %.3f, "
-        "\"instructions\": %llu, \"sim_minstr_per_s\": %.1f}}\n",
+        "\"instructions\": %llu, \"sim_minstr_per_s\": %.1f}, "
+        "\"model_prune\": {\"points\": %zu, \"simulated\": %zu, "
+        "\"pruned\": %zu, \"profiles\": %zu, "
+        "\"full_wall_s\": %.3f, \"planned_wall_s\": %.3f, "
+        "\"speedup\": %.2f, \"max_abs_err\": %.4f, "
+        "\"mean_abs_err\": %.4f, \"bound_violations\": %zu, "
+        "\"substitution_mismatches\": %zu}}\n",
         points.size(), harness::ThreadPool::defaultJobs(), host_cores,
-        parallel_s, serial_s, exec_s,
+        record_s, parallel_s, serial_s, exec_s,
         parallel_s > 0 ? serial_s / parallel_s : 0.0,
         serial_s > 0 ? exec_s / serial_s : 0.0, lane_speedup,
         points.size(), batch_keys.size(), lane_s, lane_speedup,
         (unsigned long long)instrs,
         parallel_s > 0 ? double(instrs) / 1e6 / parallel_s : 0.0,
         hier_points.size(), hier_s, (unsigned long long)hier_instrs,
-        hier_s > 0 ? double(hier_instrs) / 1e6 / hier_s : 0.0);
+        hier_s > 0 ? double(hier_instrs) / 1e6 / hier_s : 0.0,
+        dense.size(), planned.simulatedCount, planned.prunedCount,
+        planned.profileCount, model_full_s, model_plan_s,
+        model_speedup, plan_err.maxAbsErr, plan_err.meanAbsErr,
+        plan_err.boundViolations, plan_err.substitutionMismatches);
 
     // One line per engine so CI logs surface regressions at a glance.
     std::printf("# engine    wall_s  speedup_vs_exec\n");
@@ -198,11 +263,14 @@ main(int argc, char **argv)
         const char *name;
         double wall;
     };
-    const Row rows[] = {{"exec", exec_s},
+    const Row rows[] = {{"record", record_s},
+                        {"exec", exec_s},
                         {"replay", serial_s},
                         {"lane", lane_s},
                         {"parallel", parallel_s},
-                        {"hier", hier_s}};
+                        {"hier", hier_s},
+                        {"model-full", model_full_s},
+                        {"model-plan", model_plan_s}};
     for (const Row &r : rows) {
         std::printf("# %-9s %6.3f  %.2fx\n", r.name, r.wall,
                     r.wall > 0 ? exec_s / r.wall : 0.0);

@@ -3,6 +3,8 @@
 #include <limits>
 #include <map>
 
+#include <memory>
+
 #include "check/reference.hh"
 #include "core/policy.hh"
 #include "exec/event_trace.hh"
@@ -10,7 +12,9 @@
 #include "exec/machine.hh"
 #include "exec/trace.hh"
 #include "harness/parallel.hh"
+#include "harness/sweep_planner.hh"
 #include "mem/sparse_memory.hh"
+#include "model/predict.hh"
 #include "stats/run_stats.hh"
 #include "util/log.hh"
 
@@ -256,6 +260,26 @@ checkProgram(const isa::Program &program,
         return it->second;
     };
 
+    // Analytical-model characterizations, shared across every
+    // configuration with the same geometry/penalty slice.
+    std::map<std::string, std::shared_ptr<const model::TraceProfile>>
+        profs;
+    auto profileFor = [&](const harness::ExperimentConfig &cfg)
+        -> const model::TraceProfile & {
+        model::ProfileConfig pc = harness::profileConfigFor(cfg);
+        std::string key = model::profileKey(pc);
+        auto it = profs.find(key);
+        if (it == profs.end()) {
+            it = profs
+                     .emplace(key,
+                              std::make_shared<const model::TraceProfile>(
+                                  model::characterize(program, etrace,
+                                                      pc)))
+                     .first;
+        }
+        return *it->second;
+    };
+
     for (size_t i = 0; i < cfgs.size(); ++i) {
         const harness::ExperimentConfig &cfg = cfgs[i];
         const exec::MachineConfig mc = harness::makeMachineConfig(cfg);
@@ -403,6 +427,42 @@ checkProgram(const isa::Program &program,
                               (unsigned long long)ref.cycles));
         }
 
+        // Third oracle: the analytical model's provable stall bounds
+        // (model/predict.hh) must bracket the simulator on every
+        // configuration the model covers, and hit it exactly on the
+        // blocking ones.
+        if (cfg.issueWidth == 1 && !cfg.perfectCache &&
+            cfg.fillWritePorts == 0 && degenerate_hier) {
+            model::Prediction pred = model::predict(
+                profileFor(cfg), harness::predictQueryFor(cfg));
+            if (pred.supported) {
+                uint64_t stalls = out.cpu.missStallCycles();
+                if (pred.instructions != out.cpu.instructions)
+                    report(i, "model-bound",
+                           strfmt("instructions: model=%llu sim=%llu",
+                                  (unsigned long long)pred.instructions,
+                                  (unsigned long long)
+                                      out.cpu.instructions));
+                if (stalls < pred.stallLower ||
+                    stalls > pred.stallUpper)
+                    report(
+                        i, "model-bound",
+                        strfmt("%s stalls=%llu outside [%llu, %llu]",
+                               cfgLabel(cfg).c_str(),
+                               (unsigned long long)stalls,
+                               (unsigned long long)pred.stallLower,
+                               (unsigned long long)pred.stallUpper));
+                if (pred.exact && stalls != pred.stallEstimate)
+                    report(i, "model-exact",
+                           strfmt("%s stalls=%llu but exact model "
+                                  "says %llu",
+                                  cfgLabel(cfg).c_str(),
+                                  (unsigned long long)stalls,
+                                  (unsigned long long)
+                                      pred.stallEstimate));
+            }
+        }
+
         // Trace replay: the only information a trace lacks is
         // dataflow, so whenever execution-driven simulation recorded
         // zero dependence-stall cycles the two engines must agree
@@ -517,6 +577,41 @@ checkProgram(const isa::Program &program,
             stats::Snapshot ps = stats::snapshotOfRun(par[i].run);
             if (!snaps[i].countersEqual(ps))
                 report(i, "lab-parallel", snapshotDiff(snaps[i], ps));
+        }
+
+        // Model-pruned sweep coverage: the planner's back-substituted
+        // simulations must stay bit-identical to execution, and its
+        // pruned estimates must sit inside their own provable bounds.
+        harness::Lab planner_lab;
+        planner_lab.addRawProgram("fuzz", program);
+        harness::PlanOptions popts;
+        popts.prune = true;
+        popts.jobs = opts.labJobs;
+        harness::PlanOutcome plan =
+            harness::planAndRun(planner_lab, points, popts);
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            const harness::PlannedPoint &p = plan.points[i];
+            if (p.simulated) {
+                stats::Snapshot ms =
+                    stats::snapshotOfRun(p.result.run);
+                if (!snaps[i].countersEqual(ms))
+                    report(i, "model-prune-substitution",
+                           snapshotDiff(snaps[i], ms));
+            } else {
+                uint64_t est = p.result.run.cpu.missStallCycles();
+                if (!p.prediction.supported ||
+                    est < p.prediction.stallLower ||
+                    est > p.prediction.stallUpper)
+                    report(i, "model-prune-estimate",
+                           strfmt("pruned estimate %llu outside "
+                                  "[%llu, %llu] (%s)",
+                                  (unsigned long long)est,
+                                  (unsigned long long)
+                                      p.prediction.stallLower,
+                                  (unsigned long long)
+                                      p.prediction.stallUpper,
+                                  cfgLabel(cfgs[i]).c_str()));
+            }
         }
     }
 

@@ -19,6 +19,8 @@ provenanceName(Provenance p)
         return "replay";
     case Provenance::LaneReplay:
         return "lane";
+    case Provenance::Model:
+        return "model";
     case Provenance::Exec:
         break;
     }

@@ -49,10 +49,13 @@ struct MachineConfig
     uint64_t maxInstructions = 200'000'000;
 };
 
-/** How a RunOutput was produced (metadata, never a counter). */
-enum class Provenance { Exec, Replay, LaneReplay };
+/** How a RunOutput was produced (metadata, never a counter). Model
+ *  marks analytically predicted (never simulated) results synthesized
+ *  by the sweep planner (harness/sweep_planner.hh). */
+enum class Provenance { Exec, Replay, LaneReplay, Model };
 
-/** Name used in exported snapshots ("exec" / "replay" / "lane"). */
+/** Name used in exported snapshots ("exec" / "replay" / "lane" /
+ *  "model"). */
 const char *provenanceName(Provenance p);
 
 /** Everything measured during one run. */

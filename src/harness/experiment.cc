@@ -193,6 +193,104 @@ Lab::prewarmTrace(const std::string &name, int latency,
         program(name, latency);
 }
 
+std::shared_ptr<const model::TraceProfile>
+Lab::profile(const std::string &name, int latency,
+             const model::ProfileConfig &cfg)
+{
+    const Compiled &c = compiled(name, latency);
+    std::string key = strfmt("%s|%llu|", name.c_str(),
+                             (unsigned long long)c.fingerprint) +
+                      model::profileKey(cfg);
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        auto it = profiles_.find(key);
+        if (it != profiles_.end()) {
+            ++profile_hits_;
+            return it->second;
+        }
+    }
+
+    // Characterize outside the lock (one trace walk; the trace itself
+    // is recorded on first use regardless of the replay toggle --
+    // the model always works from a recorded stream).
+    auto trace = eventTrace(name, latency, cfg.maxInstructions);
+    auto prof = std::make_shared<const model::TraceProfile>(
+        model::characterize(program(name, latency), *trace, cfg));
+
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    // Racing characterizers produce identical profiles; first-in wins.
+    auto [it, inserted] = profiles_.emplace(key, std::move(prof));
+    return it->second;
+}
+
+std::vector<std::shared_ptr<const model::TraceProfile>>
+Lab::profileBatch(const std::string &name, int latency,
+                  const std::vector<model::ProfileConfig> &cfgs)
+{
+    const Compiled &c = compiled(name, latency);
+    const std::string prefix =
+        strfmt("%s|%llu|", name.c_str(),
+               (unsigned long long)c.fingerprint);
+
+    std::vector<std::string> keys;
+    keys.reserve(cfgs.size());
+    for (const model::ProfileConfig &cfg : cfgs)
+        keys.push_back(prefix + model::profileKey(cfg));
+
+    std::vector<std::shared_ptr<const model::TraceProfile>> out(
+        cfgs.size());
+    /** key -> first input index needing characterization. */
+    std::map<std::string, size_t> missing;
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        for (size_t i = 0; i < cfgs.size(); ++i) {
+            auto it = profiles_.find(keys[i]);
+            if (it != profiles_.end()) {
+                ++profile_hits_;
+                out[i] = it->second;
+            } else {
+                missing.emplace(keys[i], i);
+            }
+        }
+    }
+    if (missing.empty())
+        return out;
+
+    // Group the uncached configs by the batch constraint (shared
+    // lineBytes and maxInstructions) and characterize each group in
+    // one trace pass, outside the lock.
+    std::map<std::pair<uint64_t, uint64_t>, std::vector<size_t>>
+        groups;
+    for (const auto &[key, i] : missing)
+        groups[{cfgs[i].lineBytes, cfgs[i].maxInstructions}]
+            .push_back(i);
+    for (const auto &[shape, members] : groups) {
+        std::vector<model::ProfileConfig> batch;
+        batch.reserve(members.size());
+        for (size_t i : members)
+            batch.push_back(cfgs[i]);
+        auto trace = eventTrace(name, latency, shape.second);
+        auto profs = model::characterizeBatch(program(name, latency),
+                                              *trace, batch);
+
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        for (size_t j = 0; j < members.size(); ++j) {
+            auto prof = std::make_shared<const model::TraceProfile>(
+                std::move(profs[j]));
+            // First-in wins, as in profile().
+            auto [it, inserted] =
+                profiles_.emplace(keys[members[j]], std::move(prof));
+            out[members[j]] = it->second;
+        }
+    }
+    // Duplicate keys in the input resolve from the now-filled cache.
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        if (!out[i])
+            out[i] = out[missing.at(keys[i])];
+    }
+    return out;
+}
+
 ExperimentResult
 Lab::run(const std::string &name, const ExperimentConfig &cfg)
 {
@@ -348,6 +446,20 @@ Lab::traceCacheHits() const
 {
     std::lock_guard<std::mutex> lock(traceMutex_);
     return trace_hits_;
+}
+
+size_t
+Lab::cachedProfiles() const
+{
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    return profiles_.size();
+}
+
+uint64_t
+Lab::profileCacheHits() const
+{
+    std::lock_guard<std::mutex> lock(profileMutex_);
+    return profile_hits_;
 }
 
 void

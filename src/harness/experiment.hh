@@ -19,6 +19,7 @@
 #include "core/policy.hh"
 #include "exec/event_trace.hh"
 #include "exec/machine.hh"
+#include "model/profile.hh"
 #include "workloads/workload.hh"
 
 namespace nbl::harness
@@ -170,6 +171,30 @@ class Lab
     void prewarmTrace(const std::string &name, int latency,
                       uint64_t maxInstructions = 200'000'000);
 
+    /**
+     * The analytical-model characterization of (workload, program
+     * compiled at latency) against one cache geometry/penalty slice
+     * (model/profile.hh), computed on first use and cached by
+     * (workload, program fingerprint, profile key). One profile serves
+     * every MSHR organization and store policy at that geometry, so a
+     * dense organization sweep characterizes each geometry once.
+     */
+    std::shared_ptr<const model::TraceProfile>
+    profile(const std::string &name, int latency,
+            const model::ProfileConfig &cfg);
+
+    /**
+     * profile() for several geometries at once: uncached configs are
+     * grouped by (lineBytes, maxInstructions) and characterized in
+     * one trace pass per group (model::characterizeBatch), which is
+     * several times cheaper than per-config passes on a dense sweep.
+     * Returns profiles in input order; duplicates are served from one
+     * characterization.
+     */
+    std::vector<std::shared_ptr<const model::TraceProfile>>
+    profileBatch(const std::string &name, int latency,
+                 const std::vector<model::ProfileConfig> &cfgs);
+
     /** Toggle record-once/replay-many (default on, unless the
      *  NBL_EXEC_DRIVEN environment variable is set). Not synchronized:
      *  call before fanning work out over threads. */
@@ -212,6 +237,12 @@ class Lab
     /** eventTrace() calls served from the trace cache. */
     uint64_t traceCacheHits() const;
 
+    /** Distinct model characterizations currently cached. */
+    size_t cachedProfiles() const;
+
+    /** profile() calls served from the profile cache. */
+    uint64_t profileCacheHits() const;
+
     /** Drop all memoized results (workloads/programs are kept). */
     void clearResultCache();
 
@@ -244,6 +275,8 @@ class Lab
     mutable std::mutex resultMutex_;
     /** Guards traces_ and trace_hits_. */
     mutable std::mutex traceMutex_;
+    /** Guards profiles_ and profile_hits_. */
+    mutable std::mutex profileMutex_;
     std::map<std::string, workloads::Workload> workloads_;
     std::map<std::pair<std::string, int>, Compiled> programs_;
     /** Raw programs (addRawProgram), latency-independent. */
@@ -253,8 +286,12 @@ class Lab
     std::map<std::pair<std::string, uint64_t>,
              std::shared_ptr<const exec::EventTrace>>
         traces_;
+    /** Key: "workload|fingerprint|profileKey". */
+    std::map<std::string, std::shared_ptr<const model::TraceProfile>>
+        profiles_;
     uint64_t result_hits_ = 0;
     uint64_t trace_hits_ = 0;
+    uint64_t profile_hits_ = 0;
 };
 
 } // namespace nbl::harness

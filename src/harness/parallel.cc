@@ -138,9 +138,25 @@ runSweepParallel(Lab &lab, const std::string &workload,
     return curves;
 }
 
+std::vector<size_t>
+dedupePointIndices(const std::vector<SweepPoint> &points)
+{
+    std::vector<size_t> rep(points.size());
+    std::map<std::string, size_t> first;
+    for (size_t i = 0; i < points.size(); ++i) {
+        auto [it, inserted] = first.emplace(
+            experimentKey(points[i].workload, points[i].cfg), i);
+        rep[i] = it->second;
+    }
+    return rep;
+}
+
+namespace
+{
+
 std::vector<ExperimentResult>
-runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
-                  unsigned jobs)
+runUniquePointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
+                        unsigned jobs)
 {
     // Pre-compile and pre-record the distinct (workload, latency)
     // pairs -- recordings at different latencies are independent, so
@@ -221,6 +237,35 @@ runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
             results[i] = lab.run(points[i].workload, points[i].cfg);
         },
         jobs);
+    return results;
+}
+
+} // namespace
+
+std::vector<ExperimentResult>
+runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,
+                  unsigned jobs)
+{
+    // Schedule one representative per distinct experiment key; serve
+    // repeats from its result (bit-identical: simulation is
+    // deterministic and keys capture every input).
+    std::vector<size_t> rep = dedupePointIndices(points);
+    std::vector<SweepPoint> unique;
+    std::vector<size_t> uniqueSlot(points.size(), size_t(-1));
+    unique.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (rep[i] == i) {
+            uniqueSlot[i] = unique.size();
+            unique.push_back(points[i]);
+        }
+    }
+    std::vector<ExperimentResult> uniqueResults =
+        runUniquePointsParallel(lab, unique, jobs);
+    if (unique.size() == points.size())
+        return uniqueResults;
+    std::vector<ExperimentResult> results(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        results[i] = uniqueResults[uniqueSlot[rep[i]]];
     return results;
 }
 

@@ -99,14 +99,26 @@ struct SweepPoint
 };
 
 /**
- * Simulate every point, returning the results in input order. With
- * lane replay active, points sharing a (workload, latency) batch into
- * one lockstep lane group (Lab::runLanes) and threads parallelize
- * across batches and workloads; otherwise every point is an
- * independent lab.run() job. Because the Lab memoizes results, this
- * also serves as a cache pre-warmer: a bench binary can fan out its
- * whole point set up front and keep its original serial reporting
- * loops, which then hit the cache.
+ * For each point, the index of the first point with an equal
+ * experimentKey (its own index when it is the first). runPointsParallel
+ * schedules only these representatives: the Lab memoizer would catch a
+ * duplicate too, but only after the first copy completes, and two
+ * copies racing through the window both burn a lane or replay slot.
+ */
+std::vector<size_t>
+dedupePointIndices(const std::vector<SweepPoint> &points);
+
+/**
+ * Simulate every point, returning the results in input order. Points
+ * with identical experiment keys are deduplicated up front
+ * (dedupePointIndices) and simulated once. With lane replay active,
+ * points sharing a (workload, latency) batch into one lockstep lane
+ * group (Lab::runLanes) and threads parallelize across batches and
+ * workloads; otherwise every point is an independent lab.run() job.
+ * Because the Lab memoizes results, this also serves as a cache
+ * pre-warmer: a bench binary can fan out its whole point set up front
+ * and keep its original serial reporting loops, which then hit the
+ * cache.
  */
 std::vector<ExperimentResult>
 runPointsParallel(Lab &lab, const std::vector<SweepPoint> &points,

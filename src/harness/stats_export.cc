@@ -70,12 +70,15 @@ configJson(const ExperimentConfig &cfg)
 }
 
 std::string
-statsJson(const Lab &lab, const std::string &binary)
+statsJson(const Lab &lab, const std::string &binary,
+          const std::string &extrasJson)
 {
     std::string out = "{\n";
     out += "  \"schema\": \"nbl-stats-v1\",\n";
     out += "  \"binary\": " + stats::jsonQuote(binary) + ",\n";
     out += "  \"scale\": " + stats::jsonDouble(lab.scale()) + ",\n";
+    if (!extrasJson.empty())
+        out += "  " + extrasJson + ",\n";
     out += "  \"results\": [";
 
     bool first = true;

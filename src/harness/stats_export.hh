@@ -35,8 +35,15 @@ std::string configJson(const ExperimentConfig &cfg);
  * {schema, binary, scale, results: [{workload, key, config, stats}]}.
  * Results appear in experiment-key order, so the document is
  * deterministic for a deterministic binary.
+ *
+ * extrasJson, when non-empty, is a pre-rendered `"key": value`
+ * fragment (or several, comma-separated) spliced in as additional
+ * top-level members before "results". The fig21 bench uses this to
+ * attach its model-pruning summary (stats/model_stats.hh) so
+ * nbl-report can gate on it without any per-point results.
  */
-std::string statsJson(const Lab &lab, const std::string &binary);
+std::string statsJson(const Lab &lab, const std::string &binary,
+                      const std::string &extrasJson = std::string());
 
 /**
  * The same data as CSV: a header row, then one row per counter per

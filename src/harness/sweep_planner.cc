@@ -1,0 +1,372 @@
+#include "harness/sweep_planner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/env.hh"
+#include "util/log.hh"
+
+namespace nbl::harness
+{
+
+PlanOptions
+planOptionsFromEnv()
+{
+    PlanOptions o;
+    o.prune = envFlag("NBL_MODEL_PRUNE");
+    return o;
+}
+
+model::ProfileConfig
+profileConfigFor(const ExperimentConfig &cfg)
+{
+    model::ProfileConfig p;
+    p.cacheBytes = cfg.cacheBytes;
+    p.lineBytes = cfg.lineBytes;
+    p.ways = cfg.ways;
+    p.missPenalty = cfg.missPenalty;
+    p.maxInstructions = cfg.maxInstructions;
+    return p;
+}
+
+model::PredictQuery
+predictQueryFor(const ExperimentConfig &cfg)
+{
+    model::PredictQuery q;
+    q.policy = cfg.customPolicy ? *cfg.customPolicy
+                                : core::makePolicy(cfg.config);
+    q.fillWritePorts = cfg.fillWritePorts;
+    q.issueWidth = cfg.issueWidth;
+    q.perfectCache = cfg.perfectCache;
+    q.degenerateHierarchy = cfg.hierarchy.degenerate();
+    return q;
+}
+
+namespace
+{
+
+/** Cheap pre-gate mirroring model::predict's machine-level support
+ *  check, so unsupported points never pay for a characterization. */
+bool
+modelEligible(const ExperimentConfig &cfg)
+{
+    return cfg.issueWidth == 1 && !cfg.perfectCache &&
+           cfg.hierarchy.degenerate() && cfg.fillWritePorts == 0;
+}
+
+/**
+ * Key of the decision group a point competes in: every configuration
+ * field except the MSHR organization. Organizations sharing a group
+ * are alternatives the sweep compares, so a crossover among them is a
+ * decision boundary.
+ */
+std::string
+decisionGroupKey(const SweepPoint &p)
+{
+    ExperimentConfig c = p.cfg;
+    c.config = core::ConfigName::NoRestrict;
+    c.customPolicy.reset();
+    return experimentKey(p.workload, c);
+}
+
+/** Synthesize the result of a pruned point from its prediction. */
+ExperimentResult
+synthesizeResult(Lab &lab, const SweepPoint &p,
+                 const model::TraceProfile &prof,
+                 const model::Prediction &pred)
+{
+    ExperimentResult res;
+    res.compileInfo = lab.compileInfo(p.workload, p.cfg.loadLatency);
+    exec::RunOutput &run = res.run;
+    run.provenance = exec::Provenance::Model;
+    run.hitInstructionCap = prof.hitCap;
+    run.missPenalty = unsigned(prof.penalty);
+    cpu::CpuStats &c = run.cpu;
+    c.instructions = pred.instructions;
+    c.loads = prof.loads;
+    c.stores = prof.stores;
+    c.branches = prof.branches;
+    c.cycles = pred.instructions + pred.stallEstimate;
+    // Keep the stall partition consistent (cycles = instructions +
+    // stalls): the whole estimate lands in the category the
+    // organization stalls in.
+    const core::MshrPolicy pol = predictQueryFor(p.cfg).policy;
+    if (pol.blocking())
+        c.blockStallCycles = pred.stallEstimate;
+    else
+        c.depStallCycles = pred.stallEstimate;
+    return res;
+}
+
+} // namespace
+
+std::vector<ExperimentResult>
+PlanOutcome::results() const
+{
+    std::vector<ExperimentResult> out;
+    out.reserve(points.size());
+    for (const PlannedPoint &p : points)
+        out.push_back(p.result);
+    return out;
+}
+
+PlanOutcome
+planAndRun(Lab &lab, const std::vector<SweepPoint> &points,
+           const PlanOptions &opts)
+{
+    PlanOutcome out;
+    out.points.resize(points.size());
+    for (size_t i = 0; i < points.size(); ++i)
+        out.points[i].point = points[i];
+
+    std::vector<size_t> rep = dedupePointIndices(points);
+    std::vector<size_t> uniq;
+    uniq.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (rep[i] == i)
+            uniq.push_back(i);
+    }
+    out.distinctPoints = uniq.size();
+
+    // Characterize and predict every model-eligible representative.
+    // Representatives sharing a (workload, latency) trace batch into
+    // one characterization pass (Lab::profileBatch walks the trace
+    // once for all their geometries); profiles stay cached per
+    // (workload, fingerprint, geometry), so repeated plans pay
+    // nothing. Batches are independent and fan out over the pool.
+    std::set<std::string> profKeys;
+    std::map<std::pair<std::string, int>, std::vector<size_t>>
+        charGroups;
+    for (size_t i : uniq) {
+        if (modelEligible(points[i].cfg)) {
+            profKeys.insert(
+                points[i].workload +
+                strfmt("|%d|", points[i].cfg.loadLatency) +
+                model::profileKey(profileConfigFor(points[i].cfg)));
+            charGroups[{points[i].workload, points[i].cfg.loadLatency}]
+                .push_back(i);
+        }
+    }
+    out.profileCount = profKeys.size();
+    std::vector<const std::vector<size_t> *> groupList;
+    groupList.reserve(charGroups.size());
+    for (const auto &[key, members] : charGroups)
+        groupList.push_back(&members);
+    std::vector<std::shared_ptr<const model::TraceProfile>> profOf(
+        points.size());
+    parallelFor(
+        groupList.size(),
+        [&](size_t g) {
+            const std::vector<size_t> &members = *groupList[g];
+            std::vector<model::ProfileConfig> cfgs;
+            cfgs.reserve(members.size());
+            for (size_t i : members)
+                cfgs.push_back(profileConfigFor(points[i].cfg));
+            auto profs = lab.profileBatch(
+                points[members.front()].workload,
+                points[members.front()].cfg.loadLatency, cfgs);
+            for (size_t j = 0; j < members.size(); ++j) {
+                size_t i = members[j];
+                profOf[i] = profs[j];
+                out.points[i].prediction = model::predict(
+                    *profs[j], predictQueryFor(points[i].cfg));
+            }
+        },
+        opts.jobs);
+
+    // Decide which representatives simulate. Everything does unless
+    // pruning is on; then: unsupported points must, exact points never
+    // need to, and of the rest the most uncertain -- by bound width or
+    // by proximity to a best-organization crossover -- simulate, up to
+    // the budget.
+    std::vector<char> simulate(points.size(), 0);
+    if (!opts.prune) {
+        for (size_t i : uniq)
+            simulate[i] = 1;
+        for (size_t i : uniq) {
+            if (out.points[i].prediction.exact)
+                ++out.exactCount;
+        }
+    } else {
+        // Group supported points into decision groups and find each
+        // group's best (lowest) upper bound.
+        std::map<std::string, double> groupBestUpper;
+        std::map<std::string, size_t> groupSize;
+        for (size_t i : uniq) {
+            const model::Prediction &pr = out.points[i].prediction;
+            if (!pr.supported)
+                continue;
+            std::string g = decisionGroupKey(points[i]);
+            auto [it, inserted] =
+                groupBestUpper.emplace(g, pr.mcpiUpper());
+            if (!inserted)
+                it->second = std::min(it->second, pr.mcpiUpper());
+            ++groupSize[g];
+        }
+
+        struct Candidate
+        {
+            double score;
+            std::string key;
+            size_t idx;
+        };
+        std::vector<Candidate> cands;
+        size_t supportedCount = 0;
+        for (size_t i : uniq) {
+            const model::Prediction &pr = out.points[i].prediction;
+            if (!pr.supported) {
+                ++out.unsupportedCount;
+                simulate[i] = 1;
+                continue;
+            }
+            ++supportedCount;
+            if (pr.exact) {
+                ++out.exactCount;
+                continue;
+            }
+            std::string g = decisionGroupKey(points[i]);
+            bool contested =
+                groupSize[g] > 1 &&
+                pr.mcpiLower() <=
+                    (1.0 + opts.boundaryMargin) * groupBestUpper[g];
+            double score = pr.uncertainty();
+            if (score <= opts.uncertainty && !contested)
+                continue;
+            if (contested)
+                score += 1e6; // Crossovers outrank wide bounds.
+            cands.push_back(
+                {score,
+                 experimentKey(points[i].workload, points[i].cfg),
+                 i});
+        }
+        std::sort(cands.begin(), cands.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      if (a.score != b.score)
+                          return a.score > b.score;
+                      return a.key < b.key;
+                  });
+        size_t cap = size_t(std::floor(double(supportedCount) *
+                                       opts.simulateBudget));
+        if (cands.size() > cap)
+            cands.resize(cap);
+        for (const Candidate &c : cands)
+            simulate[c.idx] = 1;
+    }
+
+    // Simulate the chosen representatives in one parallel batch and
+    // back-substitute; synthesize the rest from their predictions.
+    std::vector<size_t> simIdx;
+    std::vector<SweepPoint> simPoints;
+    for (size_t i : uniq) {
+        if (simulate[i]) {
+            simIdx.push_back(i);
+            simPoints.push_back(points[i]);
+        }
+    }
+    out.simulatedCount = simIdx.size();
+    out.prunedCount = uniq.size() - simIdx.size();
+    std::vector<ExperimentResult> simResults =
+        runPointsParallel(lab, simPoints, opts.jobs);
+    for (size_t k = 0; k < simIdx.size(); ++k) {
+        out.points[simIdx[k]].simulated = true;
+        out.points[simIdx[k]].result = std::move(simResults[k]);
+    }
+    for (size_t i : uniq) {
+        if (!simulate[i]) {
+            out.points[i].simulated = false;
+            out.points[i].result =
+                synthesizeResult(lab, points[i], *profOf[i],
+                                 out.points[i].prediction);
+        }
+    }
+
+    // Expand duplicates from their representatives.
+    for (size_t i = 0; i < points.size(); ++i) {
+        if (rep[i] != i) {
+            out.points[i].prediction = out.points[rep[i]].prediction;
+            out.points[i].simulated = out.points[rep[i]].simulated;
+            out.points[i].result = out.points[rep[i]].result;
+        }
+    }
+    return out;
+}
+
+std::vector<Curve>
+runSweepPlanned(Lab &lab, const std::string &workload,
+                ExperimentConfig base,
+                const std::vector<core::ConfigName> &cfgs,
+                const PlanOptions &opts)
+{
+    constexpr size_t nlat = std::size(paperLatencies);
+    std::vector<SweepPoint> points;
+    points.reserve(cfgs.size() * nlat);
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        for (size_t l = 0; l < nlat; ++l) {
+            ExperimentConfig e = base;
+            e.config = cfgs[c];
+            e.customPolicy.reset();
+            e.loadLatency = paperLatencies[l];
+            points.push_back({workload, e});
+        }
+    }
+    PlanOutcome outcome = planAndRun(lab, points, opts);
+
+    std::vector<Curve> curves(cfgs.size());
+    for (size_t c = 0; c < cfgs.size(); ++c) {
+        curves[c].label = core::configLabel(cfgs[c]);
+        curves[c].latencies.assign(std::begin(paperLatencies),
+                                   std::end(paperLatencies));
+        curves[c].results.reserve(nlat);
+        for (size_t l = 0; l < nlat; ++l)
+            curves[c].results.push_back(
+                std::move(outcome.points[c * nlat + l].result));
+    }
+    return curves;
+}
+
+PlanError
+compareWithFull(const PlanOutcome &outcome,
+                const std::vector<ExperimentResult> &full)
+{
+    if (outcome.points.size() != full.size())
+        fatal("compareWithFull: %zu planned points vs %zu full results",
+              outcome.points.size(), full.size());
+    PlanError err;
+    size_t prunedSeen = 0;
+    double errSum = 0.0;
+    for (size_t i = 0; i < full.size(); ++i) {
+        const PlannedPoint &p = outcome.points[i];
+        const cpu::CpuStats &sim = full[i].run.cpu;
+        if (p.prediction.supported) {
+            uint64_t stalls = sim.missStallCycles();
+            if (stalls < p.prediction.stallLower ||
+                stalls > p.prediction.stallUpper)
+                ++err.boundViolations;
+            if (p.prediction.exact &&
+                stalls != p.prediction.stallEstimate)
+                ++err.boundViolations;
+        }
+        if (p.simulated) {
+            const cpu::CpuStats &got = p.result.run.cpu;
+            if (got.cycles != sim.cycles ||
+                got.instructions != sim.instructions ||
+                got.depStallCycles != sim.depStallCycles ||
+                got.structStallCycles != sim.structStallCycles ||
+                got.blockStallCycles != sim.blockStallCycles)
+                ++err.substitutionMismatches;
+        } else {
+            double e = std::fabs(p.prediction.mcpiEstimate() -
+                                 full[i].mcpi());
+            err.maxAbsErr = std::max(err.maxAbsErr, e);
+            errSum += e;
+            ++prunedSeen;
+        }
+    }
+    if (prunedSeen)
+        err.meanAbsErr = errSum / double(prunedSeen);
+    return err;
+}
+
+} // namespace nbl::harness

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Predict-then-simulate sweep planning.
+ *
+ * The planner runs the analytical MCPI model (model/predict.hh) over
+ * every point of a sweep and simulates only the points the model is
+ * unsure about: wide prediction bounds, or organizations close enough
+ * to a best-organization crossover that the bounds cannot call the
+ * winner. Predicted points get synthesized results (provenance
+ * "model"); simulated points are bit-identical to a full sweep, and
+ * the planner back-substitutes them into the returned set.
+ *
+ * Pruning is strictly opt-in (PlanOptions.prune, which callers wire to
+ * the NBL_MODEL_PRUNE environment flag): with it off, planAndRun
+ * simulates every point and is result-for-result identical to
+ * runPointsParallel. Planning decisions are derived from
+ * characterization profiles only -- never from timing-engine state --
+ * so the same plan falls out under execution, replay, and lane replay.
+ */
+
+#ifndef NBL_HARNESS_SWEEP_PLANNER_HH
+#define NBL_HARNESS_SWEEP_PLANNER_HH
+
+#include <vector>
+
+#include "harness/parallel.hh"
+#include "model/predict.hh"
+
+namespace nbl::harness
+{
+
+/** Planner knobs. */
+struct PlanOptions
+{
+    /** Master switch; false = simulate everything (the default, so
+     *  every figure's output is byte-identical unless asked). */
+    bool prune = false;
+    /** Simulate when (upper - lower) / estimate exceeds this. */
+    double uncertainty = 0.25;
+    /** Simulate when a point's lower bound is within this margin of
+     *  the best upper bound among the organizations it competes with
+     *  (same workload/geometry/latency): the bounds cannot separate
+     *  the crossover, so the winner must be measured. */
+    double boundaryMargin = 0.10;
+    /** Hard ceiling on the simulated fraction of model-covered
+     *  points (unsupported points always simulate). A quarter keeps
+     *  the planned sweep comfortably past 2x even though the lane
+     *  engine amortizes its trace walk over fewer lanes when most of
+     *  a batch is pruned. */
+    double simulateBudget = 0.25;
+    unsigned jobs = 0; ///< Thread-pool width (0 = defaultJobs()).
+};
+
+/** PlanOptions with prune wired to the NBL_MODEL_PRUNE env flag. */
+PlanOptions planOptionsFromEnv();
+
+/** The model-facing slice of one experiment configuration. */
+model::ProfileConfig profileConfigFor(const ExperimentConfig &cfg);
+model::PredictQuery predictQueryFor(const ExperimentConfig &cfg);
+
+/** One planned point: the prediction, and how it was resolved. */
+struct PlannedPoint
+{
+    SweepPoint point;
+    model::Prediction prediction; ///< supported=false when not covered.
+    bool simulated = true;  ///< False = result synthesized from model.
+    ExperimentResult result;
+};
+
+/** What planAndRun did with a point set (counts over distinct
+ *  experiment keys; duplicates resolve to their representative). */
+struct PlanOutcome
+{
+    std::vector<PlannedPoint> points; ///< Input order, input size.
+    size_t distinctPoints = 0;
+    size_t simulatedCount = 0;  ///< Scheduled for real simulation.
+    size_t prunedCount = 0;     ///< Served from the model.
+    size_t unsupportedCount = 0; ///< Outside the model (simulated).
+    size_t exactCount = 0;      ///< Provably exact predictions.
+    size_t profileCount = 0;    ///< Distinct characterizations used.
+
+    /** Results only, in input order. */
+    std::vector<ExperimentResult> results() const;
+};
+
+/**
+ * Plan and run a point set. With opts.prune false every point is
+ * simulated (via runPointsParallel) and predictions are still attached
+ * to supported points, so callers can report model error against a
+ * full sweep at zero extra simulation cost.
+ */
+PlanOutcome planAndRun(Lab &lab,
+                       const std::vector<SweepPoint> &points,
+                       const PlanOptions &opts = {});
+
+/**
+ * runSweepParallel through the planner: the same curve set, with
+ * pruned points carrying model-synthesized results.
+ */
+std::vector<Curve>
+runSweepPlanned(Lab &lab, const std::string &workload,
+                ExperimentConfig base,
+                const std::vector<core::ConfigName> &cfgs,
+                const PlanOptions &opts);
+
+/** Model-vs-simulation comparison over one point set. */
+struct PlanError
+{
+    double maxAbsErr = 0.0;  ///< Max |predicted - simulated| MCPI
+                             ///< over pruned points.
+    double meanAbsErr = 0.0; ///< Mean of the same.
+    /** Simulated stalls outside [lower, upper] on any supported
+     *  point, or not equal to them on an exact one. Always 0 unless
+     *  the model is wrong (differential check "model-bound"). */
+    size_t boundViolations = 0;
+    /** Simulated points whose back-substituted counters differ from
+     *  the full sweep's. Always 0: simulation is deterministic. */
+    size_t substitutionMismatches = 0;
+};
+
+/**
+ * Compare a planned outcome against the full simulation of the same
+ * points (index-aligned). Checks bounds on every supported point --
+ * simulated or pruned -- and prediction error on the pruned ones.
+ */
+PlanError compareWithFull(const PlanOutcome &outcome,
+                          const std::vector<ExperimentResult> &full);
+
+} // namespace nbl::harness
+
+#endif // NBL_HARNESS_SWEEP_PLANNER_HH

@@ -1,0 +1,267 @@
+#include "model/predict.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace nbl::model
+{
+
+namespace
+{
+
+constexpr uint64_t kUnlimited = std::numeric_limits<uint64_t>::max();
+
+/** MshrPolicy restrictions resolved against one profile's geometry. */
+struct Limits
+{
+    uint64_t mshrs = kUnlimited;   ///< Max in-flight fetches.
+    uint64_t misses = kUnlimited;  ///< Max in-flight misses.
+    uint64_t perSet = kUnlimited;  ///< Max in-flight fetches per set.
+    uint64_t mps = kUnlimited;     ///< Misses per sub-block field.
+    unsigned sub = 1;              ///< Destination sub-blocks (<= 8).
+};
+
+uint64_t
+eff(int v)
+{
+    return v < 0 ? kUnlimited : uint64_t(v);
+}
+
+Limits
+resolveLimits(const core::MshrPolicy &pol, const TraceProfile &p)
+{
+    Limits l;
+    l.sub = unsigned(std::clamp(pol.subBlocks, 1, 8));
+    l.mps = eff(pol.missesPerSubBlock);
+    if (pol.mode == core::CacheMode::Inverted) {
+        // Limited only by destination fields.
+        return l;
+    }
+    l.mshrs = eff(pol.numMshrs);
+    l.misses = eff(pol.maxMisses);
+    l.perSet = pol.fetchesPerSetTracksWays
+                   ? (p.cfg.ways ? uint64_t(p.cfg.ways) : kUnlimited)
+                   : eff(pol.fetchesPerSet);
+    return l;
+}
+
+/**
+ * Abstract replay of the miss-event stream: issue cycle of dynamic
+ * instruction i is approximated as i + S where S is the stall budget
+ * accumulated so far, fetches complete a fixed fill latency after
+ * acceptance, and the organization's resource limits gate acceptance.
+ * O(events x in-flight), no per-instruction work.
+ */
+uint64_t
+miniSim(const ModeProfile &m, const TraceProfile &p, const Limits &lim,
+        unsigned fillExtra)
+{
+    struct Flight
+    {
+        uint64_t complete = 0;
+        uint64_t line = 0;
+        uint32_t set = 0;
+        uint32_t misses = 0;
+        uint8_t sub[8] = {};
+    };
+    std::vector<Flight> fl;
+    uint64_t missTotal = 0;
+    uint64_t S = 0;
+    const uint64_t fillLat = p.penalty + 1 + fillExtra;
+
+    using Use = std::pair<uint64_t, uint64_t>; // (use index, ready).
+    std::priority_queue<Use, std::vector<Use>, std::greater<Use>> uses;
+
+    auto retire = [&](uint64_t now) {
+        for (size_t i = 0; i < fl.size();) {
+            if (fl[i].complete <= now) {
+                missTotal -= fl[i].misses;
+                fl[i] = fl.back();
+                fl.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    };
+    auto applyUses = [&](uint64_t upTo) {
+        while (!uses.empty() && uses.top().first <= upTo) {
+            auto [ui, ready] = uses.top();
+            uses.pop();
+            uint64_t at = ui + S;
+            if (ready > at)
+                S += ready - at;
+        }
+    };
+
+    for (const MissEvent &e : m.events) {
+        applyUses(e.index);
+        uint64_t now = e.index + S;
+        retire(now);
+
+        Flight *f = nullptr;
+        for (Flight &x : fl) {
+            if (x.line == e.line) {
+                f = &x;
+                break;
+            }
+        }
+        unsigned sub =
+            lim.sub > 1 ? unsigned(uint64_t(e.lineOffset) * lim.sub /
+                                   p.cfg.lineBytes)
+                        : 0;
+        if (sub >= 8)
+            sub = 7;
+
+        if (e.kind == EventKind::NearHit || f) {
+            if (!f)
+                continue; // Fetch already landed: a plain hit.
+            // Secondary miss: attach when a miss slot and a
+            // destination field are free, else stall until the line's
+            // fetch completes (hit-under-miss behaviour).
+            if (missTotal < lim.misses && f->sub[sub] < lim.mps) {
+                ++f->misses;
+                if (f->sub[sub] < 0xff)
+                    ++f->sub[sub];
+                ++missTotal;
+                if (e.kind != EventKind::StoreFetch && e.useDist)
+                    uses.push({e.index + e.useDist, f->complete});
+            } else {
+                uint64_t c = f->complete;
+                if (c > now) {
+                    S += c - now;
+                    now = c;
+                }
+                retire(now);
+            }
+            continue;
+        }
+
+        // Primary miss: wait for structural resources, then fetch.
+        for (;;) {
+            retire(now);
+            uint64_t setCount = 0;
+            for (const Flight &x : fl) {
+                if (x.set == e.set)
+                    ++setCount;
+            }
+            if (fl.size() < lim.mshrs && missTotal < lim.misses &&
+                setCount < lim.perSet)
+                break;
+            if (fl.empty())
+                break; // Zero-progress limits; accept to terminate.
+            bool needSameSet = setCount >= lim.perSet &&
+                               fl.size() < lim.mshrs &&
+                               missTotal < lim.misses;
+            uint64_t c = kUnlimited;
+            for (const Flight &x : fl) {
+                if (needSameSet && x.set != e.set)
+                    continue;
+                c = std::min(c, x.complete);
+            }
+            if (c == kUnlimited || c <= now)
+                c = now + 1;
+            S += c - now;
+            now = c;
+        }
+        Flight nf;
+        nf.complete = now + fillLat;
+        nf.line = e.line;
+        nf.set = e.set;
+        nf.misses = 1;
+        nf.sub[sub] = 1;
+        fl.push_back(nf);
+        ++missTotal;
+        if (e.kind == EventKind::LoadFetch && e.useDist)
+            uses.push({e.index + e.useDist, nf.complete});
+    }
+    applyUses(kUnlimited);
+    return S;
+}
+
+/**
+ * Catch-all sound ceiling: single-issue in-order, degenerate chain,
+ * unlimited fill ports. Every in-flight fetch completes within
+ * penalty + fillExtra + 1 cycles of any instant, so (a) a memory
+ * access waits at most that long for a structural resource, and (b)
+ * each fetch's completion un-blocks at most one stalled instruction
+ * (in-order: once one instruction waited out a fill, everything later
+ * issues after it). Fetches <= loads + stores, so two windows per
+ * memory reference cover every stall cycle; +2 absorbs the
+ * acceptance-cycle bookkeeping.
+ */
+uint64_t
+genericUpper(const TraceProfile &p, unsigned fillExtra)
+{
+    return 2 * (p.loads + p.stores) * (p.penalty + fillExtra + 2);
+}
+
+} // namespace
+
+Prediction
+predict(const TraceProfile &profile, const PredictQuery &query)
+{
+    Prediction r;
+    r.instructions = profile.instructions;
+    if (query.issueWidth != 1 || query.perfectCache ||
+        !query.degenerateHierarchy || query.fillWritePorts != 0)
+        return r;
+    const core::MshrPolicy &pol = query.policy;
+    // Zero-progress shapes the cache itself refuses (or would
+    // deadlock on): leave them to the simulator.
+    if (!pol.blocking() &&
+        (pol.numMshrs == 0 || pol.maxMisses == 0 ||
+         pol.fetchesPerSet == 0 || pol.missesPerSubBlock == 0 ||
+         pol.subBlocks <= 0))
+        return r;
+    r.supported = true;
+
+    const bool wma = pol.blocking()
+                         ? pol.mode == core::CacheMode::BlockingWMA
+                         : pol.storeMode ==
+                               core::StoreMode::WriteAllocate;
+    const ModeProfile &m =
+        wma ? profile.allocate : profile.writeAround;
+    const unsigned extra = pol.fillExtraCycles;
+
+    if (pol.blocking()) {
+        // The profile's immediate-fill pass *is* the blocking timing:
+        // exact when fills carry no extra cycles.
+        r.stallLower = m.blockStall;
+        if (extra == 0) {
+            r.exact = true;
+            r.stallEstimate = r.stallUpper = m.blockStall;
+        } else {
+            r.stallUpper = genericUpper(profile, extra);
+            r.stallEstimate = std::min(
+                m.blockStall + uint64_t(extra) * m.fetches,
+                r.stallUpper);
+        }
+        return r;
+    }
+
+    // Lower bound: the dependence chain (timing-independent
+    // classification when eviction-free; cold misses only otherwise).
+    r.stallLower = m.evictions == 0 ? m.chainStall : m.coldChainStall;
+
+    // Upper bound: the blocking cache is a ceiling for eviction-free
+    // write-around organizations with free fills (the monotonicity
+    // floor theorem); otherwise the generic window ceiling.
+    uint64_t upper = genericUpper(profile, extra);
+    const bool invertedFinite =
+        pol.mode == core::CacheMode::Inverted &&
+        !(pol.subBlocks == 1 && pol.missesPerSubBlock < 0);
+    if (pol.storeMode == core::StoreMode::WriteAround && extra == 0 &&
+        !invertedFinite && profile.writeAround.evictions == 0)
+        upper = std::min(upper, profile.writeAround.blockStall);
+    r.stallUpper = std::max(upper, r.stallLower);
+
+    uint64_t est = miniSim(m, profile, resolveLimits(pol, profile),
+                           extra);
+    r.stallEstimate = std::clamp(est, r.stallLower, r.stallUpper);
+    return r;
+}
+
+} // namespace nbl::model

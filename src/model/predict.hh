@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Analytical per-organization MCPI predictor.
+ *
+ * Given one workload characterization (model/profile.hh) and one MSHR
+ * organization, predict() returns three stall-cycle numbers:
+ *
+ *  - stallLower / stallUpper: *provable* bounds on the simulator's
+ *    miss-stall cycles (docs/MODEL.md sketches the proofs). They are
+ *    equal -- and exact -- for the blocking organizations, whose serial
+ *    timing the profile reproduces cycle-for-cycle. These bounds join
+ *    the blocking reference model as a differential-check oracle
+ *    (check/differential.cc, check "model-bound").
+ *
+ *  - stallEstimate: a point estimate from an abstract replay of the
+ *    compressed miss-event stream only (no tag, MSHR, or write-buffer
+ *    machinery; cost O(misses), typically two orders of magnitude
+ *    below a simulation). The estimate is clamped into the bounds and
+ *    carries no guarantee beyond them -- the sweep planner
+ *    (harness/sweep_planner.hh) decides from the bound width and
+ *    decision margins which points still need real simulation.
+ */
+
+#ifndef NBL_MODEL_PREDICT_HH
+#define NBL_MODEL_PREDICT_HH
+
+#include "core/policy.hh"
+#include "model/profile.hh"
+
+namespace nbl::model
+{
+
+/** The machine knobs (beyond geometry) a prediction is for. */
+struct PredictQuery
+{
+    core::MshrPolicy policy;
+    unsigned fillWritePorts = 0;
+    unsigned issueWidth = 1;
+    bool perfectCache = false;
+    /** True when the memory side is the paper's degenerate chain
+     *  (L1 straight into constant-latency pipelined memory). */
+    bool degenerateHierarchy = true;
+};
+
+/** One prediction: bounds + estimate, in stall cycles. */
+struct Prediction
+{
+    /** False when the model does not cover the configuration
+     *  (multi-issue, perfect cache, finite fill ports, non-degenerate
+     *  hierarchy): bounds and estimate are meaningless. */
+    bool supported = false;
+    /** Bounds coincide and equal the simulator's stalls (blocking
+     *  organizations with no fill-extra cycles). */
+    bool exact = false;
+
+    uint64_t instructions = 0;
+    uint64_t stallLower = 0;
+    uint64_t stallEstimate = 0;
+    uint64_t stallUpper = 0;
+
+    double
+    mcpiOf(uint64_t stalls) const
+    {
+        return instructions ? double(stalls) / double(instructions)
+                            : 0.0;
+    }
+    double mcpiLower() const { return mcpiOf(stallLower); }
+    double mcpiEstimate() const { return mcpiOf(stallEstimate); }
+    double mcpiUpper() const { return mcpiOf(stallUpper); }
+    /** Bound width relative to the estimate (uncertainty score). */
+    double
+    uncertainty() const
+    {
+        double est = std::max(mcpiEstimate(), 0.02);
+        return (mcpiUpper() - mcpiLower()) / est;
+    }
+};
+
+/** Predict stalls for one organization over one characterization. */
+Prediction predict(const TraceProfile &profile,
+                   const PredictQuery &query);
+
+} // namespace nbl::model
+
+#endif // NBL_MODEL_PREDICT_HH

@@ -1,0 +1,464 @@
+#include "model/profile.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/instr.hh"
+#include "isa/reg.hh"
+#include "mem/main_memory.hh"
+#include "util/log.hh"
+
+namespace nbl::model
+{
+
+namespace
+{
+
+/**
+ * Per-set LRU tag image, the same contract as the blocking reference
+ * model (check/reference.cc): lookup hits refresh recency, fills take
+ * an invalid way or evict the least recently used line, fully
+ * associative (ways == 0) is one set of all lines.
+ */
+class LruTags
+{
+  public:
+    LruTags(uint64_t cache_bytes, uint64_t line_bytes, unsigned ways)
+        : ways_(ways ? ways : unsigned(cache_bytes / line_bytes)),
+          sets_(ways ? cache_bytes / line_bytes / ways : 1),
+          tag_(sets_ * ways_, 0), stamp_(sets_ * ways_, 0)
+    {
+        // Power-of-two set counts (every practical geometry) index
+        // with mask/shift; 64-bit divisions in the per-access walk
+        // would otherwise dominate a batched characterization.
+        if ((sets_ & (sets_ - 1)) == 0) {
+            mask_ = sets_ - 1;
+            while ((uint64_t(1) << shift_) < sets_)
+                ++shift_;
+        }
+    }
+
+    uint64_t sets() const { return sets_; }
+
+    uint64_t
+    setOf(uint64_t line) const
+    {
+        return mask_ != ~uint64_t(0) ? (line & mask_) : line % sets_;
+    }
+
+    uint64_t
+    tagOf(uint64_t line) const
+    {
+        return mask_ != ~uint64_t(0) ? (line >> shift_)
+                                     : line / sets_;
+    }
+
+    bool
+    lookup(uint64_t line, bool touch)
+    {
+        uint64_t set = setOf(line);
+        uint64_t tag = tagOf(line);
+        for (unsigned w = 0; w < ways_; ++w) {
+            size_t i = set * ways_ + w;
+            if (stamp_[i] != 0 && tag_[i] == tag) {
+                if (touch)
+                    stamp_[i] = ++clock_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Fill an absent line; returns true if a valid line was evicted. */
+    bool
+    fill(uint64_t line)
+    {
+        uint64_t set = setOf(line);
+        size_t victim = set * ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            size_t i = set * ways_ + w;
+            if (stamp_[i] == 0) {
+                victim = i;
+                break;
+            }
+            if (stamp_[i] < stamp_[victim])
+                victim = i;
+        }
+        bool evicted = stamp_[victim] != 0;
+        tag_[victim] = tagOf(line);
+        stamp_[victim] = ++clock_;
+        return evicted;
+    }
+
+  private:
+    unsigned ways_;
+    uint64_t sets_;
+    /** ~0 when sets_ is not a power of two (divide fallback). */
+    uint64_t mask_ = ~uint64_t(0);
+    unsigned shift_ = 0;
+    std::vector<uint64_t> tag_;
+    std::vector<uint64_t> stamp_; ///< 0 = invalid, else recency.
+    uint64_t clock_ = 0;
+};
+
+constexpr unsigned kNumRegs = isa::numIntRegs + isa::numFpRegs;
+constexpr int32_t kNoPending = -1;
+
+/** Classification state for one store-miss policy. */
+struct ModeState
+{
+    explicit ModeState(const ProfileConfig &cfg, bool allocate)
+        : tags(cfg.cacheBytes, cfg.lineBytes, cfg.ways), alloc(allocate)
+    {
+        std::fill(std::begin(pending), std::end(pending), kNoPending);
+    }
+
+    LruTags tags;
+    bool alloc;
+    ModeProfile out;
+    /** pending[r]: index into out.events of the youngest outstanding
+     *  fetch/near-hit whose data lands in register r; kNoPending once
+     *  a consumer (or overwriter) was charged or r was re-produced. */
+    int32_t pending[kNumRegs];
+    /** Registers with a live pending window; the per-instruction
+     *  window bookkeeping is skipped entirely while this is zero. */
+    unsigned pendingCount = 0;
+    /** Instruction index of the most recent fetch (any line): load
+     *  hits further than the near window past it cannot be near hits,
+     *  so the per-line map probe is skipped. */
+    int64_t lastFetchIdx = INT64_MIN / 2;
+    /** line -> (event index, instruction index) of its last fetch. */
+    std::unordered_map<uint64_t, std::pair<uint32_t, uint64_t>>
+        lastFetch;
+};
+
+inline void
+setPending(ModeState &m, unsigned reg, int32_t e)
+{
+    m.pendingCount += unsigned(e >= 0) - unsigned(m.pending[reg] >= 0);
+    m.pending[reg] = e;
+}
+
+/** Charge the first interlocking user of a pending register: a
+ *  source read, or a later *load* targeting the same register (the
+ *  fill-time WAW wait on fillReady_). A non-load overwriter squashes
+ *  the stale fill without stalling, so it only ends the window. */
+inline void
+consume(ModeState &m, unsigned reg, uint64_t idx, bool charge)
+{
+    int32_t e = m.pending[reg];
+    if (e < 0)
+        return;
+    MissEvent &ev = m.out.events[size_t(e)];
+    if (charge && ev.useDist == 0)
+        ev.useDist = uint32_t(
+            std::min<uint64_t>(idx - ev.index, 0xffffffffu));
+    m.pending[reg] = kNoPending;
+    --m.pendingCount;
+}
+
+/**
+ * Greedy non-overlapping chain over load-miss windows. Any set of
+ * pairwise non-overlapping (miss, first-use) windows lower-bounds the
+ * stalls -- the issue-cycle inequalities telescope (docs/MODEL.md) --
+ * so a greedy maximal pick is sound; it skips zero-gain windows so a
+ * wide window never blocks a later profitable one for nothing.
+ */
+uint64_t
+chainBound(const std::vector<MissEvent> &events, uint64_t penalty,
+           bool coldOnly)
+{
+    uint64_t stall = 0;
+    uint64_t chainEnd = 0;
+    for (const MissEvent &e : events) {
+        if (e.kind != EventKind::LoadFetch || e.useDist == 0)
+            continue;
+        if (coldOnly && !e.cold)
+            continue;
+        if (e.index < chainEnd)
+            continue;
+        if (penalty <= e.useDist)
+            continue;
+        stall += penalty - e.useDist;
+        chainEnd = e.index + e.useDist;
+    }
+    return stall;
+}
+
+} // namespace
+
+uint64_t
+resolvedPenalty(const ProfileConfig &cfg)
+{
+    if (cfg.missPenalty)
+        return cfg.missPenalty;
+    return mem::MainMemory().penalty(cfg.lineBytes);
+}
+
+std::string
+profileKey(const ProfileConfig &cfg)
+{
+    return strfmt("%llu|%llu|%u|%u|%llu",
+                  (unsigned long long)cfg.cacheBytes,
+                  (unsigned long long)cfg.lineBytes, cfg.ways,
+                  cfg.missPenalty,
+                  (unsigned long long)cfg.maxInstructions);
+}
+
+namespace
+{
+
+/** One geometry's state within a batched characterization pass. */
+struct Slot
+{
+    explicit Slot(const ProfileConfig &cfg)
+        : wa(cfg, /*allocate=*/false), al(cfg, /*allocate=*/true)
+    {
+        p.cfg = cfg;
+        p.penalty = resolvedPenalty(cfg);
+        p.sets = wa.tags.sets();
+        /** A near-hit candidate window: a fetch older than this many
+         *  instructions has certainly filled by the time a hit
+         *  reaches it (issue index >= instruction index, fills land
+         *  penalty + fill extra cycles after issue; +16 covers every
+         *  fill-extra in use). */
+        nearWindow = p.penalty + 16;
+    }
+
+    ModeState wa;
+    ModeState al;
+    TraceProfile p;
+    uint64_t nearWindow;
+    bool waHit = false;
+    bool alHit = false;
+};
+
+/** The per-instruction register-window upkeep for one mode: sources
+ *  (and, for loads, the WAW-interlocked dst) end the pending window
+ *  of the producing fetch. Cheap no-op while nothing is pending. */
+inline void
+windowStep(ModeState &m, uint64_t idx, unsigned ns, unsigned r1,
+           unsigned r2, unsigned d, bool isLoad)
+{
+    if (m.pendingCount == 0)
+        return;
+    if (ns >= 1)
+        consume(m, r1, idx, true);
+    if (ns >= 2 && m.pendingCount)
+        consume(m, r2, idx, true);
+    if (d != 0 && m.pendingCount) {
+        // Only a load overwriter interlocks on the in-flight fill
+        // (fillReady_); any other write squashes the fill without
+        // stalling.
+        consume(m, d, idx, isLoad);
+    }
+}
+
+/** Classify one memory access in one mode (hit precomputed). */
+inline void
+access(ModeState &m, bool isLoad, unsigned dst, uint64_t idx,
+       uint64_t line, uint32_t set, uint16_t offset, bool cold,
+       bool hit, uint64_t nearWindow)
+{
+    ModeProfile &o = m.out;
+    if (isLoad) {
+        if (hit) {
+            ++o.loadHits;
+            if (int64_t(idx) - m.lastFetchIdx <=
+                int64_t(nearWindow)) {
+                auto lf = m.lastFetch.find(line);
+                if (lf != m.lastFetch.end() &&
+                    idx - lf->second.second <= nearWindow) {
+                    MissEvent e;
+                    e.index = idx;
+                    e.line = line;
+                    e.set = set;
+                    e.lineOffset = offset;
+                    e.kind = EventKind::NearHit;
+                    e.fetchRef = lf->second.first;
+                    o.events.push_back(e);
+                    if (dst != 0)
+                        setPending(m, dst,
+                                   int32_t(o.events.size() - 1));
+                }
+            }
+        } else {
+            ++o.loadMisses;
+            ++o.fetches;
+            o.evictions += m.tags.fill(line);
+            MissEvent e;
+            e.index = idx;
+            e.line = line;
+            e.set = set;
+            e.lineOffset = offset;
+            e.kind = EventKind::LoadFetch;
+            e.cold = cold;
+            o.events.push_back(e);
+            m.lastFetch[line] = {uint32_t(o.events.size() - 1), idx};
+            m.lastFetchIdx = int64_t(idx);
+            if (dst != 0)
+                setPending(m, dst, int32_t(o.events.size() - 1));
+        }
+    } else { // Store.
+        if (hit) {
+            ++o.storeHits;
+        } else {
+            ++o.storeMisses;
+            if (m.alloc) {
+                ++o.storeFills;
+                ++o.fetches;
+                o.evictions += m.tags.fill(line);
+                MissEvent e;
+                e.index = idx;
+                e.line = line;
+                e.set = set;
+                e.lineOffset = offset;
+                e.kind = EventKind::StoreFetch;
+                e.cold = cold;
+                o.events.push_back(e);
+                m.lastFetch[line] = {uint32_t(o.events.size() - 1),
+                                     idx};
+                m.lastFetchIdx = int64_t(idx);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<TraceProfile>
+characterizeBatch(const isa::Program &program,
+                  const exec::EventTrace &trace,
+                  const std::vector<ProfileConfig> &cfgs)
+{
+    if (cfgs.empty())
+        return {};
+    program.validate();
+    const uint64_t lineBytes = cfgs.front().lineBytes;
+    const uint64_t maxInstructions = cfgs.front().maxInstructions;
+    for (const ProfileConfig &cfg : cfgs) {
+        if (cfg.lineBytes != lineBytes ||
+            cfg.maxInstructions != maxInstructions) {
+            fatal("characterizeBatch: configs must share lineBytes "
+                  "and maxInstructions");
+        }
+    }
+    if (trace.hitInstructionCap &&
+        maxInstructions > trace.instructions) {
+        fatal("characterize: trace of %s was capped at %llu "
+              "instructions but the profile asks for up to %llu",
+              program.name().c_str(),
+              (unsigned long long)trace.instructions,
+              (unsigned long long)maxInstructions);
+    }
+
+    const uint64_t budget =
+        std::min(trace.instructions, maxInstructions);
+    const bool hitCap =
+        budget < trace.instructions || trace.hitInstructionCap;
+
+    std::vector<Slot> slots;
+    slots.reserve(cfgs.size());
+    for (const ProfileConfig &cfg : cfgs)
+        slots.emplace_back(cfg);
+
+    /** Lines ever touched by any access (cold-miss detection;
+     *  lineBytes is shared, so one set serves every slot). A line's
+     *  first touch misses in every geometry and mode -- nothing could
+     *  have filled it earlier -- so the set only needs updating when
+     *  some slot missed. */
+    std::unordered_set<uint64_t> seen;
+
+    uint64_t loads = 0, stores = 0, branches = 0;
+    int lineShift = -1;
+    if ((lineBytes & (lineBytes - 1)) == 0) {
+        lineShift = 0;
+        while ((uint64_t(1) << lineShift) < lineBytes)
+            ++lineShift;
+    }
+    const isa::Instr *code = program.code().data();
+    const uint64_t *ea = trace.effAddrs.data();
+    uint64_t idx = 0;
+
+    for (size_t s = 0; idx < budget; ++s) {
+        uint32_t len = uint32_t(
+            std::min<uint64_t>(trace.segLen[s], budget - idx));
+        uint32_t pc = trace.segStart[s];
+        for (uint32_t k = 0; k < len; ++k, ++idx) {
+            const isa::Instr &in = code[pc + k];
+
+            const unsigned ns = in.numSrcs();
+            const unsigned r1 = ns >= 1 ? in.src1.destLinear() : 0;
+            const unsigned r2 = ns >= 2 ? in.src2.destLinear() : 0;
+            const unsigned d =
+                in.hasDst() ? in.dst.destLinear() : 0;
+            const bool isLoad = in.isLoad();
+            for (Slot &sl : slots) {
+                windowStep(sl.wa, idx, ns, r1, r2, d, isLoad);
+                windowStep(sl.al, idx, ns, r1, r2, d, isLoad);
+            }
+
+            if (in.isMem()) {
+                uint64_t addr = *ea++;
+                uint64_t line = lineShift >= 0
+                                    ? addr >> lineShift
+                                    : addr / lineBytes;
+                uint16_t offset =
+                    lineShift >= 0
+                        ? uint16_t(addr & (lineBytes - 1))
+                        : uint16_t(addr % lineBytes);
+                if (isLoad)
+                    ++loads;
+                else
+                    ++stores;
+                bool anyMiss = false;
+                for (Slot &sl : slots) {
+                    sl.waHit = sl.wa.tags.lookup(line, true);
+                    sl.alHit = sl.al.tags.lookup(line, true);
+                    anyMiss |= !(sl.waHit && sl.alHit);
+                }
+                bool cold = anyMiss && seen.insert(line).second;
+                for (Slot &sl : slots) {
+                    uint32_t set = uint32_t(sl.wa.tags.setOf(line));
+                    access(sl.wa, isLoad, d, idx, line, set, offset,
+                           cold, sl.waHit, sl.nearWindow);
+                    access(sl.al, isLoad, d, idx, line, set, offset,
+                           cold, sl.alHit, sl.nearWindow);
+                }
+            } else if (in.isBranch()) {
+                ++branches;
+            }
+        }
+    }
+
+    std::vector<TraceProfile> out;
+    out.reserve(slots.size());
+    for (Slot &sl : slots) {
+        TraceProfile &p = sl.p;
+        p.instructions = idx;
+        p.loads = loads;
+        p.stores = stores;
+        p.branches = branches;
+        p.hitCap = hitCap;
+        for (ModeProfile *o : {&sl.wa.out, &sl.al.out}) {
+            o->blockStall = p.penalty * o->fetches;
+            o->chainStall = chainBound(o->events, p.penalty, false);
+            o->coldChainStall =
+                chainBound(o->events, p.penalty, true);
+        }
+        p.writeAround = std::move(sl.wa.out);
+        p.allocate = std::move(sl.al.out);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+TraceProfile
+characterize(const isa::Program &program,
+             const exec::EventTrace &trace, const ProfileConfig &cfg)
+{
+    return characterizeBatch(program, trace, {cfg}).front();
+}
+
+} // namespace nbl::model

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Workload characterization for the analytical MCPI model.
+ *
+ * One timing-free pass over a recorded event trace (exec/event_trace.hh)
+ * classifies every memory reference against an LRU tag image of one
+ * cache geometry -- under both store-miss policies at once -- and keeps
+ * the compressed miss-event stream the predictor (model/predict.hh)
+ * needs: per-miss dynamic instruction index, cache set, first-consumer
+ * distance, and the hit-on-recently-fetched-line events that can turn
+ * into secondary misses under delayed fills.
+ *
+ * The pass is exact for the blocking organizations (a blocked processor
+ * fills before the next access, which is precisely the immediate-fill
+ * classification used here) and timing-independent for every
+ * organization whenever the pass observes no evictions (a delayed fill
+ * can only defer residency, and with no replacement pressure deferral
+ * never changes a hit/miss outcome; see docs/MODEL.md). Profiles cost
+ * one instruction-stream walk -- no MSHR, write-buffer, or flight
+ * machinery -- so characterizing a geometry is several times cheaper
+ * than simulating one point, and one profile serves every MSHR
+ * organization and store policy at that geometry.
+ */
+
+#ifndef NBL_MODEL_PROFILE_HH
+#define NBL_MODEL_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/event_trace.hh"
+#include "isa/program.hh"
+
+namespace nbl::model
+{
+
+/** The geometry/penalty slice one profile characterizes. */
+struct ProfileConfig
+{
+    uint64_t cacheBytes = 8 * 1024;
+    uint64_t lineBytes = 32;
+    unsigned ways = 1;      ///< 0 = fully associative.
+    /** 0 selects the pipelined-bus penalty (mem/main_memory.hh). */
+    unsigned missPenalty = 0;
+    uint64_t maxInstructions = 200'000'000;
+};
+
+/** Resolved miss penalty in cycles (pipelined-bus model when 0). */
+uint64_t resolvedPenalty(const ProfileConfig &cfg);
+
+/** Cache key for a profile (all ProfileConfig fields). */
+std::string profileKey(const ProfileConfig &cfg);
+
+/** What kind of reference a MissEvent records. */
+enum class EventKind : uint8_t
+{
+    LoadFetch,  ///< Primary load miss: initiates a line fetch.
+    StoreFetch, ///< Store miss under write-allocate: initiates a fetch.
+    NearHit,    ///< Load hit on a line fetched within the last
+                ///< ~penalty instructions: a secondary-miss candidate
+                ///< under delayed fills.
+};
+
+/** One compressed miss-stream event (immediate-fill classification). */
+struct MissEvent
+{
+    uint64_t index = 0;    ///< Dynamic instruction index, 0-based.
+    uint64_t line = 0;     ///< Line address (addr / lineBytes).
+    uint32_t set = 0;      ///< Cache set of the line.
+    /** Instructions until the first reader *or overwriter* of the
+     *  loaded register (both interlock on the fill); 0 = none seen. */
+    uint32_t useDist = 0;
+    /** For NearHit: index into events[] of the fetch it would attach
+     *  to if that fetch were still in flight. */
+    uint32_t fetchRef = 0;
+    uint16_t lineOffset = 0; ///< Byte offset in the line (sub-blocks).
+    EventKind kind = EventKind::LoadFetch;
+    /** Globally first touch of this line (miss under *any* timing and
+     *  either store policy: nothing could have fetched it earlier). */
+    bool cold = false;
+};
+
+/** Classification counters + events under one store-miss policy. */
+struct ModeProfile
+{
+    uint64_t loadHits = 0;
+    uint64_t loadMisses = 0;  ///< Primary, immediate-fill.
+    uint64_t storeHits = 0;
+    uint64_t storeMisses = 0;
+    uint64_t storeFills = 0;  ///< Store misses that fetch (allocate).
+    uint64_t fetches = 0;
+    uint64_t evictions = 0;
+
+    /**
+     * Exact stall cycles of the blocking organization over this
+     * contents policy (mc=0 for write-around, mc=0 +wma for
+     * write-allocate): penalty * fetches, with zero dependence and
+     * structural stalls -- the blocked processor never runs ahead.
+     */
+    uint64_t blockStall = 0;
+
+    /**
+     * Sound lower bound on stall cycles for *any* organization, valid
+     * when evictions == 0 (timing-independent classification): a
+     * greedy non-overlapping chain of (miss, first-use) windows, each
+     * contributing max(0, penalty - distance). Overlapped windows are
+     * never double-counted, so the sum is forced serialization.
+     */
+    uint64_t chainStall = 0;
+
+    /** The same chain restricted to cold (first-touch) loads: sound
+     *  even with evictions, under any replacement and any timing. */
+    uint64_t coldChainStall = 0;
+
+    /** Miss-stream events in dynamic instruction order. */
+    std::vector<MissEvent> events;
+};
+
+/** Everything the predictor needs about one (workload, geometry). */
+struct TraceProfile
+{
+    ProfileConfig cfg;
+    uint64_t penalty = 0;    ///< Resolved miss penalty.
+    uint64_t sets = 1;
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    bool hitCap = false;
+
+    ModeProfile writeAround;
+    ModeProfile allocate;
+};
+
+/**
+ * Characterize one recorded trace against one geometry. The trace must
+ * cover cfg.maxInstructions (fatal if it was capped short, mirroring
+ * exec::replayExact).
+ */
+TraceProfile characterize(const isa::Program &program,
+                          const exec::EventTrace &trace,
+                          const ProfileConfig &cfg);
+
+/**
+ * Characterize several geometries in one trace pass -- the lane-replay
+ * idiom applied to characterization: the instruction stream is decoded
+ * once and each geometry keeps its own tag images and register
+ * windows. Output is element-for-element identical to calling
+ * characterize() per config. All configs must share lineBytes and
+ * maxInstructions (fatal otherwise); cacheBytes, ways, and missPenalty
+ * may vary. A dense sweep's 12-geometry slice characterizes ~4x
+ * faster batched than serially (the shared stream walk and cold-line
+ * tracking amortize across geometries).
+ */
+std::vector<TraceProfile>
+characterizeBatch(const isa::Program &program,
+                  const exec::EventTrace &trace,
+                  const std::vector<ProfileConfig> &cfgs);
+
+} // namespace nbl::model
+
+#endif // NBL_MODEL_PROFILE_HH

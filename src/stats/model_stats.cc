@@ -1,0 +1,53 @@
+#include "stats/model_stats.hh"
+
+namespace nbl::stats
+{
+
+namespace
+{
+constexpr const char *kSection = "model (PAPERS: analytical pruning)";
+}
+
+Snapshot
+modelSnapshot(const ModelSummary &s)
+{
+    Registry r;
+    r.setProvenance("model");
+    r.scalarValue("model.points", s.points, "points", kSection);
+    r.scalarValue("model.simulated", s.simulated, "points", kSection);
+    r.scalarValue("model.pruned", s.pruned, "points", kSection);
+    r.scalarValue("model.unsupported", s.unsupported, "points",
+                  kSection);
+    r.scalarValue("model.exact_points", s.exactPoints, "points",
+                  kSection);
+    r.scalarValue("model.profiles", s.profiles, "characterizations",
+                  kSection);
+    r.scalarValue("model.bound_violations", s.boundViolations,
+                  "points", kSection);
+    r.scalarValue("model.substitution_mismatches",
+                  s.substitutionMismatches, "points", kSection);
+    r.derived("model.sim_fraction", s.simFraction(), kSection);
+    r.derived("model.max_abs_err", s.maxAbsErr, kSection);
+    r.derived("model.mean_abs_err", s.meanAbsErr, kSection);
+    return r.snapshot();
+}
+
+ModelSummary
+modelSummaryFromSnapshot(const Snapshot &snap)
+{
+    ModelSummary s;
+    s.points = snap.value("model.points");
+    s.simulated = snap.value("model.simulated");
+    s.pruned = snap.value("model.pruned");
+    s.unsupported = snap.value("model.unsupported");
+    s.exactPoints = snap.value("model.exact_points");
+    s.profiles = snap.value("model.profiles");
+    s.boundViolations = snap.value("model.bound_violations");
+    s.substitutionMismatches =
+        snap.value("model.substitution_mismatches");
+    s.maxAbsErr = snap.derivedValue("model.max_abs_err");
+    s.meanAbsErr = snap.derivedValue("model.mean_abs_err");
+    return s;
+}
+
+} // namespace nbl::stats

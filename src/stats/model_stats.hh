@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The model.* stats namespace: one Snapshot summarizing a planned
+ * sweep (harness/sweep_planner.hh) -- point counts, pruning decisions,
+ * and predicted-vs-simulated error -- in the same nbl-stats-v1 shape
+ * every other counter uses, so tools/nbl-report can load, gate, and
+ * render it like any run snapshot.
+ */
+
+#ifndef NBL_STATS_MODEL_STATS_HH
+#define NBL_STATS_MODEL_STATS_HH
+
+#include <cstdint>
+
+#include "stats/registry.hh"
+
+namespace nbl::stats
+{
+
+/** Plain-number summary of one planned sweep. */
+struct ModelSummary
+{
+    uint64_t points = 0;        ///< Distinct experiment points.
+    uint64_t simulated = 0;     ///< Points actually simulated.
+    uint64_t pruned = 0;        ///< Points served from the model.
+    uint64_t unsupported = 0;   ///< Outside the model (simulated).
+    uint64_t exactPoints = 0;   ///< Provably exact predictions.
+    uint64_t profiles = 0;      ///< Distinct characterizations.
+    uint64_t boundViolations = 0;
+    uint64_t substitutionMismatches = 0;
+    double maxAbsErr = 0.0;     ///< Max |predicted - simulated| MCPI.
+    double meanAbsErr = 0.0;
+
+    double
+    simFraction() const
+    {
+        return points ? double(simulated) / double(points) : 0.0;
+    }
+};
+
+/** Materialize the summary as a model.* Snapshot. */
+Snapshot modelSnapshot(const ModelSummary &summary);
+
+/** Rebuild the summary from a model.* Snapshot (fatal on a snapshot
+ *  that does not carry the model.* counters). */
+ModelSummary modelSummaryFromSnapshot(const Snapshot &snap);
+
+} // namespace nbl::stats
+
+#endif // NBL_STATS_MODEL_STATS_HH

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the analytical MCPI model (src/model/) and the
+ * predict-then-simulate sweep planner (harness/sweep_planner.hh):
+ * the bound-bracketing property across every MSHR organization,
+ * exactness on the blocking organizations, planner back-substitution
+ * identity, the simulate budget, and the Lab profile cache.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harness/sweep_planner.hh"
+#include "model/predict.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using harness::ExperimentConfig;
+using harness::ExperimentResult;
+using harness::Lab;
+using harness::PlanOptions;
+using harness::PlanOutcome;
+using harness::SweepPoint;
+
+namespace
+{
+
+/** Scale small enough to keep the multi-workload sweeps quick. */
+constexpr double kScale = 0.05;
+
+/** Every named organization: the two blocking ones and the eight
+ *  non-blocking MSHR organizations of the paper's figures. */
+constexpr core::ConfigName kAllConfigs[] = {
+    core::ConfigName::Mc0Wma, core::ConfigName::Mc0,
+    core::ConfigName::Mc1,    core::ConfigName::Mc2,
+    core::ConfigName::Fc1,    core::ConfigName::Fc2,
+    core::ConfigName::Fs1,    core::ConfigName::Fs2,
+    core::ConfigName::InCache, core::ConfigName::NoRestrict,
+};
+
+} // namespace
+
+/**
+ * The exactness contract: bounds bracket the simulated stall cycles
+ * for every organization, and are exact (bounds and estimate all
+ * equal) on the blocking organizations. Runs all 10 named
+ * organizations against all 18 workloads at two latencies, plus a
+ * full latency sweep on three representative workloads.
+ */
+TEST(ModelBounds, BracketSimulationAcrossOrganizations)
+{
+    Lab lab(kScale);
+    std::vector<SweepPoint> points;
+    auto add = [&](const std::string &wl, int latency) {
+        for (core::ConfigName cn : kAllConfigs) {
+            ExperimentConfig cfg;
+            cfg.config = cn;
+            cfg.loadLatency = latency;
+            points.push_back({wl, cfg});
+        }
+    };
+    for (const std::string &wl : workloads::workloadNames()) {
+        add(wl, 1);
+        add(wl, 20);
+    }
+    for (const char *wl : {"doduc", "tomcatv", "espresso"}) {
+        for (int lat : harness::paperLatencies)
+            add(wl, lat);
+    }
+
+    // prune=false: simulate everything, still attach predictions.
+    PlanOutcome outcome = harness::planAndRun(lab, points, {});
+
+    size_t exact = 0;
+    for (const harness::PlannedPoint &p : outcome.points) {
+        const model::Prediction &pred = p.prediction;
+        ASSERT_TRUE(p.simulated);
+        ASSERT_TRUE(pred.supported)
+            << harness::experimentKey(p.point.workload, p.point.cfg);
+        const cpu::CpuStats &cpu = p.result.run.cpu;
+        uint64_t stalls = cpu.missStallCycles();
+        EXPECT_LE(pred.stallLower, stalls)
+            << harness::experimentKey(p.point.workload, p.point.cfg);
+        EXPECT_GE(pred.stallUpper, stalls)
+            << harness::experimentKey(p.point.workload, p.point.cfg);
+        EXPECT_EQ(pred.instructions, cpu.instructions);
+        core::MshrPolicy pol =
+            harness::predictQueryFor(p.point.cfg).policy;
+        if (pol.blocking()) {
+            EXPECT_TRUE(pred.exact);
+            EXPECT_EQ(pred.stallEstimate, stalls)
+                << harness::experimentKey(p.point.workload,
+                                          p.point.cfg);
+            EXPECT_EQ(pred.stallLower, pred.stallUpper);
+            ++exact;
+        }
+    }
+    EXPECT_GT(exact, 0u);
+    EXPECT_GT(outcome.exactCount, 0u);
+}
+
+/** The model declines configurations it does not cover. */
+TEST(ModelBounds, UnsupportedConfigurations)
+{
+    Lab lab(kScale);
+    ExperimentConfig base;
+    auto prof = lab.profile("espresso", base.loadLatency,
+                            harness::profileConfigFor(base));
+
+    model::PredictQuery q = harness::predictQueryFor(base);
+    EXPECT_TRUE(model::predict(*prof, q).supported);
+
+    model::PredictQuery wide = q;
+    wide.issueWidth = 2;
+    EXPECT_FALSE(model::predict(*prof, wide).supported);
+
+    model::PredictQuery perfect = q;
+    perfect.perfectCache = true;
+    EXPECT_FALSE(model::predict(*prof, perfect).supported);
+
+    model::PredictQuery ports = q;
+    ports.fillWritePorts = 1;
+    EXPECT_FALSE(model::predict(*prof, ports).supported);
+
+    model::PredictQuery hier = q;
+    hier.degenerateHierarchy = false;
+    EXPECT_FALSE(model::predict(*prof, hier).supported);
+}
+
+/**
+ * Planner with pruning on: simulated points are bit-identical to the
+ * full sweep, bounds hold everywhere, the budget caps the simulated
+ * fraction, and every point gets a result.
+ */
+TEST(SweepPlanner, PruneBackSubstitutionAndBudget)
+{
+    std::vector<SweepPoint> points;
+    for (uint64_t bytes : {2048u, 8192u}) {
+        for (core::ConfigName cn : kAllConfigs) {
+            for (int lat : {1, 10, 20}) {
+                ExperimentConfig cfg;
+                cfg.cacheBytes = bytes;
+                cfg.config = cn;
+                cfg.loadLatency = lat;
+                points.push_back({"doduc", cfg});
+            }
+        }
+    }
+
+    Lab planned(kScale);
+    PlanOptions opts;
+    opts.prune = true;
+    PlanOutcome outcome = harness::planAndRun(planned, points, opts);
+    EXPECT_EQ(outcome.distinctPoints, points.size());
+    EXPECT_EQ(outcome.simulatedCount + outcome.prunedCount,
+              outcome.distinctPoints);
+    EXPECT_EQ(outcome.unsupportedCount, 0u);
+    // The budget bounds the simulated fraction of supported points.
+    EXPECT_LE(outcome.simulatedCount,
+              size_t(double(points.size()) * opts.simulateBudget) +
+                  outcome.unsupportedCount);
+    EXPECT_GT(outcome.prunedCount, 0u);
+    EXPECT_GT(outcome.profileCount, 0u);
+
+    Lab fullLab(kScale);
+    std::vector<ExperimentResult> full =
+        harness::runPointsParallel(fullLab, points);
+    harness::PlanError err = harness::compareWithFull(outcome, full);
+    EXPECT_EQ(err.boundViolations, 0u);
+    EXPECT_EQ(err.substitutionMismatches, 0u);
+    EXPECT_GE(err.maxAbsErr, err.meanAbsErr);
+
+    // Pruned results carry the model provenance and a consistent
+    // stall partition; simulated ones carry an engine provenance.
+    for (const harness::PlannedPoint &p : outcome.points) {
+        const cpu::CpuStats &c = p.result.run.cpu;
+        EXPECT_EQ(c.cycles, c.instructions + c.missStallCycles());
+        if (p.simulated)
+            EXPECT_NE(p.result.run.provenance,
+                      exec::Provenance::Model);
+        else
+            EXPECT_EQ(p.result.run.provenance,
+                      exec::Provenance::Model);
+    }
+}
+
+/** prune=false must behave exactly like runPointsParallel. */
+TEST(SweepPlanner, NoPruneIsFullSimulation)
+{
+    std::vector<SweepPoint> points;
+    for (core::ConfigName cn :
+         {core::ConfigName::Mc0, core::ConfigName::Fc2}) {
+        ExperimentConfig cfg;
+        cfg.config = cn;
+        points.push_back({"espresso", cfg});
+    }
+    Lab a(kScale), b(kScale);
+    PlanOutcome outcome = harness::planAndRun(a, points, {});
+    std::vector<ExperimentResult> full =
+        harness::runPointsParallel(b, points);
+    ASSERT_EQ(outcome.points.size(), full.size());
+    EXPECT_EQ(outcome.simulatedCount, points.size());
+    EXPECT_EQ(outcome.prunedCount, 0u);
+    harness::PlanError err = harness::compareWithFull(outcome, full);
+    EXPECT_EQ(err.substitutionMismatches, 0u);
+    EXPECT_EQ(err.boundViolations, 0u);
+    EXPECT_EQ(err.maxAbsErr, 0.0);
+}
+
+/** Lab::profile caches by (workload, fingerprint, geometry). */
+TEST(SweepPlanner, LabProfileCache)
+{
+    Lab lab(kScale);
+    model::ProfileConfig cfg;
+    auto a = lab.profile("espresso", 10, cfg);
+    EXPECT_EQ(lab.cachedProfiles(), 1u);
+    EXPECT_EQ(lab.profileCacheHits(), 0u);
+    auto b = lab.profile("espresso", 10, cfg);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(lab.profileCacheHits(), 1u);
+
+    model::ProfileConfig other = cfg;
+    other.cacheBytes = 2048;
+    auto c = lab.profile("espresso", 10, other);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(lab.cachedProfiles(), 2u);
+
+    EXPECT_GT(a->instructions, 0u);
+    EXPECT_GE(a->instructions, a->loads + a->stores);
+    EXPECT_GT(a->loads, 0u);
+    EXPECT_GT(a->penalty, 0u);
+}
+
+/**
+ * The batching contract: one multi-geometry trace pass produces
+ * profiles element-for-element identical to per-config passes --
+ * every counter, bound, and miss event. Duplicated configs resolve to
+ * the same cached characterization.
+ */
+TEST(SweepPlanner, BatchedCharacterizationMatchesSerial)
+{
+    std::vector<model::ProfileConfig> cfgs;
+    for (uint64_t bytes : {2048u, 8192u}) {
+        for (unsigned ways : {1u, 2u, 0u}) {
+            model::ProfileConfig c;
+            c.cacheBytes = bytes;
+            c.ways = ways;
+            cfgs.push_back(c);
+        }
+    }
+    cfgs.push_back(cfgs.front()); // A duplicate geometry.
+
+    Lab batch_lab(kScale);
+    auto batched = batch_lab.profileBatch("xlisp", 10, cfgs);
+    ASSERT_EQ(batched.size(), cfgs.size());
+    EXPECT_EQ(batch_lab.cachedProfiles(), cfgs.size() - 1);
+    EXPECT_EQ(batched.front().get(), batched.back().get());
+
+    Lab serial_lab(kScale);
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        auto want = serial_lab.profile("xlisp", 10, cfgs[i]);
+        const model::TraceProfile &got = *batched[i];
+        EXPECT_EQ(got.instructions, want->instructions);
+        EXPECT_EQ(got.loads, want->loads);
+        EXPECT_EQ(got.stores, want->stores);
+        EXPECT_EQ(got.branches, want->branches);
+        EXPECT_EQ(got.penalty, want->penalty);
+        EXPECT_EQ(got.sets, want->sets);
+        for (auto [g, w] :
+             {std::make_pair(&got.writeAround, &want->writeAround),
+              std::make_pair(&got.allocate, &want->allocate)}) {
+            EXPECT_EQ(g->loadHits, w->loadHits);
+            EXPECT_EQ(g->loadMisses, w->loadMisses);
+            EXPECT_EQ(g->storeHits, w->storeHits);
+            EXPECT_EQ(g->storeMisses, w->storeMisses);
+            EXPECT_EQ(g->storeFills, w->storeFills);
+            EXPECT_EQ(g->fetches, w->fetches);
+            EXPECT_EQ(g->evictions, w->evictions);
+            EXPECT_EQ(g->blockStall, w->blockStall);
+            EXPECT_EQ(g->chainStall, w->chainStall);
+            EXPECT_EQ(g->coldChainStall, w->coldChainStall);
+            ASSERT_EQ(g->events.size(), w->events.size());
+            for (size_t e = 0; e < g->events.size(); ++e) {
+                const model::MissEvent &a = g->events[e];
+                const model::MissEvent &b = w->events[e];
+                EXPECT_EQ(a.index, b.index);
+                EXPECT_EQ(a.line, b.line);
+                EXPECT_EQ(a.set, b.set);
+                EXPECT_EQ(a.useDist, b.useDist);
+                EXPECT_EQ(a.fetchRef, b.fetchRef);
+                EXPECT_EQ(a.lineOffset, b.lineOffset);
+                EXPECT_EQ(a.kind, b.kind);
+                EXPECT_EQ(a.cold, b.cold);
+            }
+        }
+    }
+}

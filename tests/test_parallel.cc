@@ -205,3 +205,34 @@ TEST(Parallel, ExperimentKeyDistinguishesConfigs)
     EXPECT_NE(harness::experimentKey("doduc", a),
               harness::experimentKey("doduc", c));
 }
+
+TEST(Parallel, RunPointsParallelDedupesIdenticalKeys)
+{
+    // Representative-index mapping: first occurrence wins.
+    ExperimentConfig a, b;
+    b.loadLatency = 2;
+    std::vector<harness::SweepPoint> points = {
+        {"compress", a}, {"compress", b}, {"compress", a},
+        {"eqntott", a},  {"compress", b},
+    };
+    std::vector<size_t> rep = harness::dedupePointIndices(points);
+    ASSERT_EQ(rep.size(), points.size());
+    EXPECT_EQ(rep[0], 0u);
+    EXPECT_EQ(rep[1], 1u);
+    EXPECT_EQ(rep[2], 0u);
+    EXPECT_EQ(rep[3], 3u);
+    EXPECT_EQ(rep[4], 1u);
+
+    // Duplicates never reach the Lab: only the three distinct keys
+    // simulate, no run is ever served from the result cache (a
+    // post-hoc cache hit would mean a duplicate burned a slot first),
+    // and every copy of a point gets its representative's stats.
+    Lab lab(kScale);
+    auto results = harness::runPointsParallel(lab, points, 4);
+    ASSERT_EQ(results.size(), points.size());
+    EXPECT_EQ(lab.cachedResults(), 3u);
+    EXPECT_EQ(lab.resultCacheHits(), 0u);
+    expectSameStats(results[0], results[2]);
+    expectSameStats(results[1], results[4]);
+    EXPECT_NE(results[0].run.cpu.cycles, 0u);
+}

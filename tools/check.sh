@@ -20,7 +20,12 @@
 # simulation), and a quick smoke run proves the stats emitter never
 # alters a bench binary's stdout. Step 5 asserts every figure bench
 # prints byte-identical stdout whether lane batching is on or off
-# (NBL_LANE_REPLAY=1 vs =0 at NBL_SCALE=0.05).
+# (NBL_LANE_REPLAY=1 vs =0 at NBL_SCALE=0.05). Step 6 is the model
+# gate: fig21_model_prune cross-checks the predict-then-simulate
+# planner against a full sweep (exit 1 on any bound violation or
+# back-substitution mismatch), and a figure bench must print
+# byte-identical stdout with NBL_MODEL_PRUNE=0 vs unset -- pruning is
+# strictly opt-in, so figure output never silently changes.
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -75,5 +80,15 @@ for b in ./build/bench/fig*; do
     NBL_SCALE=0.05 NBL_LANE_REPLAY=1 "$b" > "$tmp/$name.lane.txt"
     diff "$tmp/$name.exact.txt" "$tmp/$name.lane.txt"
 done
+
+echo "== model: planner bound/back-substitution gate =="
+NBL_SCALE=0.05 ./build/bench/fig21_model_prune > /dev/null
+
+echo "== model: figure stdout identical with pruning off =="
+NBL_SCALE=0.05 NBL_MODEL_PRUNE=0 ./build/bench/fig05_doduc_baseline \
+    > "$tmp/fig05.off.txt"
+NBL_SCALE=0.05 ./build/bench/fig05_doduc_baseline \
+    > "$tmp/fig05.unset.txt"
+diff "$tmp/fig05.off.txt" "$tmp/fig05.unset.txt"
 
 echo "check.sh: all passes clean"

@@ -41,6 +41,7 @@
 #include "harness/paper_data.hh"
 #include "harness/stats_export.hh"
 #include "stats/json.hh"
+#include "stats/model_stats.hh"
 #include "stats/registry.hh"
 #include "util/log.hh"
 
@@ -107,6 +108,18 @@ class Artifacts
             p.stats = stats::snapshotFromJson(r.at("stats"));
             points_.emplace(r.at("key").str(), std::move(p));
         }
+        // The fig21 artifact carries the planned-sweep summary as a
+        // top-level model.* snapshot instead of result points.
+        if (const stats::Json *m = doc.find("model"))
+            model_ = stats::modelSummaryFromSnapshot(
+                stats::snapshotFromJson(*m));
+    }
+
+    /** The planned-sweep summary, when a loaded artifact had one. */
+    const std::optional<stats::ModelSummary> &
+    model() const
+    {
+        return model_;
     }
 
     template <typename Fn>
@@ -188,6 +201,7 @@ class Artifacts
 
   private:
     std::map<std::string, Point> points_;
+    std::optional<stats::ModelSummary> model_;
 };
 
 int checks_run = 0;
@@ -398,9 +412,66 @@ fig20Table(const Artifacts &a)
     return out;
 }
 
+std::string
+fig21Table(const Artifacts &a)
+{
+    if (!a.model())
+        fatal("no model summary loaded (stale fig21 artifact?)");
+    const stats::ModelSummary &m = *a.model();
+    std::string out = "| quantity | value |\n|---|---|\n";
+    out += strfmt("| sweep points (distinct) | %llu |\n",
+                  (unsigned long long)m.points);
+    out += strfmt("| simulated | %llu (%.1f%%) |\n",
+                  (unsigned long long)m.simulated,
+                  100.0 * m.simFraction());
+    out += strfmt("| served from the model | %llu |\n",
+                  (unsigned long long)m.pruned);
+    out += strfmt("| provably exact predictions | %llu |\n",
+                  (unsigned long long)m.exactPoints);
+    out += strfmt("| characterization passes | %llu |\n",
+                  (unsigned long long)m.profiles);
+    out += strfmt("| max \\|MCPI error\\| (pruned points) | %.4f |\n",
+                  m.maxAbsErr);
+    out += strfmt("| mean \\|MCPI error\\| | %.4f |\n", m.meanAbsErr);
+    out += strfmt("| bound violations | %llu |\n",
+                  (unsigned long long)m.boundViolations);
+    out += strfmt("| back-substitution mismatches | %llu |\n",
+                  (unsigned long long)m.substitutionMismatches);
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // Checks.
 // ---------------------------------------------------------------------
+
+/** The analytical-model gate: provable properties of the planned
+ *  sweep, valid at any scale (the fig21 binary already failed hard if
+ *  they broke at generation time; this keeps the committed artifact
+ *  honest). */
+void
+checkModel(const Artifacts &a)
+{
+    std::printf("\n## Analytical-model gate (fig21)\n\n");
+    check(a.model().has_value(),
+          "model summary present in the artifact set");
+    if (!a.model())
+        return;
+    const stats::ModelSummary &m = *a.model();
+    check(m.boundViolations == 0,
+          strfmt("model bounds bracket every simulated point "
+                 "(%llu violations)",
+                 (unsigned long long)m.boundViolations));
+    check(m.substitutionMismatches == 0,
+          "back-substituted simulated points identical to a full "
+          "sweep");
+    check(m.unsupported == 0,
+          "the model covers every point of the dense sweep");
+    check(m.simFraction() <= 1.0 / 3.0 + 1e-9,
+          strfmt("simulated fraction %.1f%% within the 1/3 ceiling",
+                 100.0 * m.simFraction()));
+    check(m.pruned > 0 && m.exactPoints > 0,
+          "the plan actually pruned points and proved some exact");
+}
 
 /** Exact invariants that hold at any workload scale. */
 void
@@ -621,7 +692,8 @@ generateRegions(const Artifacts &a)
             {"fig14", fig14Table(a)},
             {"fig15", fig15Table(a)},
             {"fig18", fig18Table(a)},
-            {"fig20", fig20Table(a)}};
+            {"fig20", fig20Table(a)},
+            {"fig21", fig21Table(a)}};
 }
 
 /**
@@ -658,6 +730,7 @@ const char *artifactFiles[] = {
     "fig07_stall_breakdown.json",  "fig13_all18_table.json",
     "fig14_mshr_organizations.json", "fig15_su2cor_per_set.json",
     "fig18_miss_penalty.json",       "fig20_hierarchy.json",
+    "fig21_model_prune.json",
 };
 
 } // namespace
@@ -700,6 +773,7 @@ main(int argc, char **argv)
 
     checkInvariants(a);
     checkShapes(a);
+    checkModel(a);
     if (!smoke)
         checkFullScale(a);
 
