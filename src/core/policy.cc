@@ -23,6 +23,25 @@ configLabel(ConfigName name)
     panic("bad ConfigName");
 }
 
+const ConfigName allConfigNames[10] = {
+    ConfigName::Mc0Wma, ConfigName::Mc0,  ConfigName::Mc1,
+    ConfigName::Mc2,    ConfigName::Fc1,  ConfigName::Fc2,
+    ConfigName::Fs1,    ConfigName::Fs2,  ConfigName::InCache,
+    ConfigName::NoRestrict,
+};
+
+bool
+parseConfigLabel(const std::string &label, ConfigName *out)
+{
+    for (ConfigName name : allConfigNames) {
+        if (label == configLabel(name)) {
+            *out = name;
+            return true;
+        }
+    }
+    return false;
+}
+
 MshrPolicy
 makePolicy(ConfigName name)
 {

@@ -153,6 +153,17 @@ MshrPolicy makePolicy(ConfigName name);
 /** Figure label for a named configuration (e.g. "mc=0 +wma"). */
 const char *configLabel(ConfigName name);
 
+/** Every named configuration, in enum order. */
+extern const ConfigName allConfigNames[10];
+
+/**
+ * Inverse of configLabel: parse a figure label back to its ConfigName
+ * ("mc=1", "no restrict", ...). Shared by the nbl-sim CLI and the
+ * service request schema so the two accept the same vocabulary.
+ * Returns false when the label names no configuration.
+ */
+bool parseConfigLabel(const std::string &label, ConfigName *out);
+
 /**
  * Build a Figure-14 style policy: unlimited MSHRs, each organized as
  * sub_blocks x misses_per_sub destination fields (-1 = unlimited).

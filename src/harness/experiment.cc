@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <map>
 
 #include "exec/lane_replay.hh"
@@ -11,7 +12,11 @@ namespace nbl::harness
 
 Lab::Lab(double scale)
     : scale_(scale), replay_(!envFlag("NBL_EXEC_DRIVEN")),
-      lane_replay_(envFlag("NBL_LANE_REPLAY", true))
+      lane_replay_(envFlag("NBL_LANE_REPLAY", true)),
+      result_cap_(size_t(std::max<int64_t>(
+          0, envInt("NBL_LAB_RESULT_CAP", 0)))),
+      trace_cap_(size_t(std::max<int64_t>(
+          0, envInt("NBL_LAB_TRACE_CAP", 0))))
 {
 }
 
@@ -180,7 +185,103 @@ Lab::eventTrace(const std::string &name, int latency,
         // recording serves every request the shorter one could.
         it->second = trace;
     }
-    return it->second;
+    if (inserted && trace_cap_ != 0) {
+        trace_fifo_.push_back(key);
+        evictTracesLocked();
+    }
+    std::shared_ptr<const exec::EventTrace> kept = it->second;
+    return kept;
+}
+
+uint64_t
+Lab::programFingerprint(const std::string &name, int latency)
+{
+    return compiled(name, latency).fingerprint;
+}
+
+void
+Lab::injectTrace(const std::string &name, uint64_t fingerprint,
+                 std::shared_ptr<const exec::EventTrace> trace)
+{
+    if (!trace)
+        return;
+    auto key = std::make_pair(name, fingerprint);
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    auto [it, inserted] = traces_.emplace(key, trace);
+    if (!inserted && it->second->instructions < trace->instructions)
+        it->second = std::move(trace);
+    if (inserted && trace_cap_ != 0) {
+        trace_fifo_.push_back(key);
+        evictTracesLocked();
+    }
+}
+
+void
+Lab::forEachTrace(
+    const std::function<void(
+        const std::string &, uint64_t,
+        const std::shared_ptr<const exec::EventTrace> &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    for (const auto &[key, trace] : traces_)
+        fn(key.first, key.second, trace);
+}
+
+void
+Lab::setResultCacheCap(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(resultMutex_);
+    result_cap_ = cap;
+    // Rebuild the FIFO from the live map: entries inserted while the
+    // cache was unbounded were not tracked (map key order stands in
+    // for their insertion order).
+    result_fifo_.clear();
+    if (result_cap_ == 0)
+        return;
+    for (const auto &[key, cached] : results_)
+        result_fifo_.push_back(key);
+    while (results_.size() > result_cap_ && !result_fifo_.empty()) {
+        results_.erase(result_fifo_.front());
+        result_fifo_.pop_front();
+        ++result_evictions_;
+    }
+}
+
+void
+Lab::setTraceCacheCap(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    trace_cap_ = cap;
+    trace_fifo_.clear();
+    if (trace_cap_ == 0)
+        return;
+    for (const auto &[key, trace] : traces_)
+        trace_fifo_.push_back(key);
+    evictTracesLocked();
+}
+
+Lab::CacheCounters
+Lab::cacheCounters() const
+{
+    CacheCounters c;
+    {
+        std::lock_guard<std::mutex> lock(resultMutex_);
+        c.results = results_.size();
+        c.resultHits = result_hits_;
+        c.resultEvictions = result_evictions_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        c.traces = traces_.size();
+        c.traceHits = trace_hits_;
+        c.traceEvictions = trace_evictions_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(profileMutex_);
+        c.profiles = profiles_.size();
+        c.profileHits = profile_hits_;
+    }
+    return c;
 }
 
 void
@@ -323,7 +424,7 @@ Lab::run(const std::string &name, const ExperimentConfig &cfg)
     std::lock_guard<std::mutex> lock(resultMutex_);
     // Two threads may race to simulate the same point; results are
     // deterministic, so first-in wins and the copies are identical.
-    results_.emplace(key, CachedResult{name, cfg, res});
+    insertResultLocked(key, name, cfg, res);
     return res;
 }
 
@@ -404,9 +505,42 @@ Lab::runLanes(const std::string &name,
     for (size_t i : lanes) {
         // Duplicate keys within the batch (or a racing thread) insert
         // once; results are deterministic, so first-in wins.
-        results_.emplace(keys[i], CachedResult{name, cfgs[i], out[i]});
+        insertResultLocked(keys[i], name, cfgs[i], out[i]);
     }
     return out;
+}
+
+void
+Lab::insertResultLocked(const std::string &key,
+                        const std::string &workload,
+                        const ExperimentConfig &cfg,
+                        const ExperimentResult &result)
+{
+    auto [it, inserted] =
+        results_.emplace(key, CachedResult{workload, cfg, result});
+    (void)it;
+    if (!inserted)
+        return;
+    if (result_cap_ == 0)
+        return;
+    result_fifo_.push_back(key);
+    while (results_.size() > result_cap_ && !result_fifo_.empty()) {
+        results_.erase(result_fifo_.front());
+        result_fifo_.pop_front();
+        ++result_evictions_;
+    }
+}
+
+void
+Lab::evictTracesLocked()
+{
+    if (trace_cap_ == 0)
+        return;
+    while (traces_.size() > trace_cap_ && !trace_fifo_.empty()) {
+        traces_.erase(trace_fifo_.front());
+        trace_fifo_.pop_front();
+        ++trace_evictions_;
+    }
 }
 
 void
@@ -467,6 +601,7 @@ Lab::clearResultCache()
 {
     std::lock_guard<std::mutex> lock(resultMutex_);
     results_.clear();
+    result_fifo_.clear();
     result_hits_ = 0;
 }
 

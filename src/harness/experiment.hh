@@ -8,6 +8,7 @@
 #ifndef NBL_HARNESS_EXPERIMENT_HH
 #define NBL_HARNESS_EXPERIMENT_HH
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -212,6 +213,63 @@ class Lab
 
     double scale() const { return scale_; }
 
+    /**
+     * The program's content fingerprint for (workload, latency) --
+     * the latency-independent identity the trace cache and the
+     * service layer's persistent store key on. Compiles on first use.
+     */
+    uint64_t programFingerprint(const std::string &name, int latency);
+
+    /**
+     * Offer a pre-recorded trace for (workload, fingerprint), e.g.
+     * one loaded from the service layer's persistent store. Adopted
+     * only when no cached trace covers it already (absent, or the
+     * cached recording is shorter); otherwise a no-op. The trace must
+     * have been recorded from this workload's program -- the caller
+     * vouches for that (the persistent store keys by fingerprint).
+     */
+    void injectTrace(const std::string &name, uint64_t fingerprint,
+                     std::shared_ptr<const exec::EventTrace> trace);
+
+    /**
+     * Visit every cached event trace as (workload, fingerprint,
+     * trace). The callback runs under the trace lock: it must not
+     * call back into eventTrace()/run().
+     */
+    void forEachTrace(
+        const std::function<void(
+            const std::string &workload, uint64_t fingerprint,
+            const std::shared_ptr<const exec::EventTrace> &trace)> &fn)
+        const;
+
+    /**
+     * Cap the result memoizer / trace cache at `cap` entries with
+     * FIFO eviction (0 = unbounded, the default). A long-lived
+     * process (the nbl-labd daemon) sets these so the in-memory
+     * caches cannot grow without bound; evicted points simply
+     * re-simulate (or re-record) on next use. Not synchronized: call
+     * before fanning work out. The NBL_LAB_RESULT_CAP and
+     * NBL_LAB_TRACE_CAP environment knobs set the initial values.
+     */
+    void setResultCacheCap(size_t cap);
+    void setTraceCacheCap(size_t cap);
+
+    /** Entry counts, hit counts, and eviction counts of every Lab
+     *  cache, exported by the daemon as the lab.cache.* counters. */
+    struct CacheCounters
+    {
+        size_t results = 0;
+        uint64_t resultHits = 0;
+        uint64_t resultEvictions = 0;
+        size_t traces = 0;
+        uint64_t traceHits = 0;
+        uint64_t traceEvictions = 0;
+        size_t profiles = 0;
+        uint64_t profileHits = 0;
+    };
+
+    CacheCounters cacheCounters() const;
+
     /** Distinct experiment points currently memoized. */
     size_t cachedResults() const;
 
@@ -266,9 +324,21 @@ class Lab
         ExperimentResult result;
     };
 
+    /** Insert `key` into results_ (first-in wins) and FIFO-evict down
+     *  to the cap. Caller holds resultMutex_. */
+    void insertResultLocked(const std::string &key,
+                            const std::string &workload,
+                            const ExperimentConfig &cfg,
+                            const ExperimentResult &result);
+
+    /** FIFO-evict traces_ down to the cap. Caller holds traceMutex_. */
+    void evictTracesLocked();
+
     double scale_;
     bool replay_ = true;
     bool lane_replay_ = true;
+    size_t result_cap_ = 0; ///< 0 = unbounded.
+    size_t trace_cap_ = 0;  ///< 0 = unbounded.
     /** Guards workloads_ and programs_. */
     mutable std::mutex buildMutex_;
     /** Guards results_ and result_hits_. */
@@ -289,9 +359,14 @@ class Lab
     /** Key: "workload|fingerprint|profileKey". */
     std::map<std::string, std::shared_ptr<const model::TraceProfile>>
         profiles_;
+    /** Insertion order of results_ / traces_ keys (FIFO eviction). */
+    std::deque<std::string> result_fifo_;
+    std::deque<std::pair<std::string, uint64_t>> trace_fifo_;
     uint64_t result_hits_ = 0;
     uint64_t trace_hits_ = 0;
     uint64_t profile_hits_ = 0;
+    uint64_t result_evictions_ = 0;
+    uint64_t trace_evictions_ = 0;
 };
 
 } // namespace nbl::harness

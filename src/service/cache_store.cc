@@ -1,0 +1,396 @@
+#include "service/cache_store.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hh"
+
+namespace fs = std::filesystem;
+
+namespace nbl::service
+{
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (char c : s) {
+        h ^= uint8_t(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace
+{
+
+/** Result-file format version line (bump on any layout change). */
+constexpr const char *kResultMagic = "nbl-cas-result";
+constexpr int kResultVersion = 1;
+
+/** Trace-file magic + version (binary format). */
+constexpr char kTraceMagic[8] = {'N', 'B', 'L', 'C', 'A', 'S', 'T', '1'};
+
+std::string
+hashName(const std::string &key)
+{
+    return strfmt("%016llx", (unsigned long long)fnv1a64(key));
+}
+
+bool
+readWholeFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *out = ss.str();
+    return in.good() || in.eof();
+}
+
+void
+appendU64(std::string *out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out->push_back(char((v >> (8 * i)) & 0xff));
+}
+
+bool
+takeU64(const std::string &bytes, size_t *pos, uint64_t *out)
+{
+    if (*pos + 8 > bytes.size())
+        return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(uint8_t(bytes[*pos + i])) << (8 * i);
+    *pos += 8;
+    *out = v;
+    return true;
+}
+
+/**
+ * Serialize a trace:
+ *   magic[8] | keyLen u64 | key | instructions | recordCap |
+ *   hitCap u64 | nSegs u64 | segStart u32[] | segLen u32[] |
+ *   nAddrs u64 | effAddrs u64[] | fnv64(all preceding bytes)
+ */
+std::string
+encodeTrace(const std::string &key, const exec::EventTrace &t)
+{
+    std::string out(kTraceMagic, sizeof(kTraceMagic));
+    appendU64(&out, key.size());
+    out += key;
+    appendU64(&out, t.instructions);
+    appendU64(&out, t.recordCap);
+    appendU64(&out, t.hitInstructionCap ? 1 : 0);
+    appendU64(&out, t.segStart.size());
+    for (uint32_t v : t.segStart)
+        for (int i = 0; i < 4; ++i)
+            out.push_back(char((v >> (8 * i)) & 0xff));
+    for (uint32_t v : t.segLen)
+        for (int i = 0; i < 4; ++i)
+            out.push_back(char((v >> (8 * i)) & 0xff));
+    appendU64(&out, t.effAddrs.size());
+    for (uint64_t v : t.effAddrs)
+        appendU64(&out, v);
+    appendU64(&out, fnv1a64(out));
+    return out;
+}
+
+enum class DecodeStatus { Ok, WrongVersion, WrongKey, Corrupt };
+
+DecodeStatus
+decodeTrace(const std::string &bytes, const std::string &key,
+            exec::EventTrace *out)
+{
+    if (bytes.size() < sizeof(kTraceMagic) + 8)
+        return DecodeStatus::Corrupt;
+    if (std::memcmp(bytes.data(), kTraceMagic, sizeof(kTraceMagic)) != 0)
+        return DecodeStatus::WrongVersion;
+    // Checksum covers everything before the trailing 8 bytes.
+    size_t bodyLen = bytes.size() - 8;
+    size_t pos = bodyLen;
+    uint64_t sum = 0;
+    takeU64(bytes, &pos, &sum);
+    if (fnv1a64(bytes.substr(0, bodyLen)) != sum)
+        return DecodeStatus::Corrupt;
+
+    pos = sizeof(kTraceMagic);
+    uint64_t keyLen = 0;
+    if (!takeU64(bytes, &pos, &keyLen) || pos + keyLen > bodyLen)
+        return DecodeStatus::Corrupt;
+    if (bytes.compare(pos, keyLen, key) != 0)
+        return DecodeStatus::WrongKey;
+    pos += keyLen;
+
+    exec::EventTrace t;
+    uint64_t hitCap = 0, nSegs = 0, nAddrs = 0;
+    if (!takeU64(bytes, &pos, &t.instructions) ||
+        !takeU64(bytes, &pos, &t.recordCap) ||
+        !takeU64(bytes, &pos, &hitCap) || hitCap > 1 ||
+        !takeU64(bytes, &pos, &nSegs))
+        return DecodeStatus::Corrupt;
+    t.hitInstructionCap = hitCap != 0;
+    if (pos + nSegs * 8 > bodyLen)
+        return DecodeStatus::Corrupt;
+    t.segStart.resize(nSegs);
+    t.segLen.resize(nSegs);
+    auto takeU32 = [&](uint32_t *v) {
+        uint32_t r = 0;
+        for (int i = 0; i < 4; ++i)
+            r |= uint32_t(uint8_t(bytes[pos + i])) << (8 * i);
+        pos += 4;
+        *v = r;
+    };
+    for (uint64_t i = 0; i < nSegs; ++i)
+        takeU32(&t.segStart[i]);
+    for (uint64_t i = 0; i < nSegs; ++i)
+        takeU32(&t.segLen[i]);
+    if (!takeU64(bytes, &pos, &nAddrs) || pos + nAddrs * 8 > bodyLen)
+        return DecodeStatus::Corrupt;
+    t.effAddrs.resize(nAddrs);
+    for (uint64_t i = 0; i < nAddrs; ++i)
+        takeU64(bytes, &pos, &t.effAddrs[i]);
+    if (pos != bodyLen)
+        return DecodeStatus::Corrupt;
+    *out = std::move(t);
+    return DecodeStatus::Ok;
+}
+
+/**
+ * Result file layout (text header, binary-safe payload):
+ *   "nbl-cas-result <version> <payloadBytes> <fnv64(payload)>\n"
+ *   "<key>\n"
+ *   <payload bytes>
+ */
+std::string
+encodeResult(const std::string &key, const std::string &payload)
+{
+    std::string out =
+        strfmt("%s %d %zu %016llx\n", kResultMagic, kResultVersion,
+               payload.size(),
+               (unsigned long long)fnv1a64(payload));
+    out += key;
+    out.push_back('\n');
+    out += payload;
+    return out;
+}
+
+DecodeStatus
+decodeResult(const std::string &bytes, const std::string &key,
+             std::string *payload)
+{
+    size_t eol = bytes.find('\n');
+    if (eol == std::string::npos)
+        return DecodeStatus::Corrupt;
+    char magic[32];
+    int version = 0;
+    size_t size = 0;
+    unsigned long long sum = 0;
+    if (std::sscanf(bytes.substr(0, eol).c_str(), "%31s %d %zu %llx",
+                    magic, &version, &size, &sum) != 4)
+        return DecodeStatus::Corrupt;
+    if (std::string(magic) != kResultMagic)
+        return DecodeStatus::Corrupt;
+    if (version != kResultVersion)
+        return DecodeStatus::WrongVersion;
+    size_t keyEol = bytes.find('\n', eol + 1);
+    if (keyEol == std::string::npos)
+        return DecodeStatus::Corrupt;
+    if (bytes.compare(eol + 1, keyEol - eol - 1, key) != 0)
+        return DecodeStatus::WrongKey;
+    if (bytes.size() - keyEol - 1 != size)
+        return DecodeStatus::Corrupt;
+    std::string body = bytes.substr(keyEol + 1);
+    if (fnv1a64(body) != sum)
+        return DecodeStatus::Corrupt;
+    *payload = std::move(body);
+    return DecodeStatus::Ok;
+}
+
+} // namespace
+
+CacheStore::CacheStore(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "results", ec);
+    fs::create_directories(fs::path(dir_) / "traces", ec);
+    fs::create_directories(fs::path(dir_) / "quarantine", ec);
+    if (ec)
+        fatal("cache-store: cannot create '%s': %s", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+CacheStore::resultPath(const std::string &key) const
+{
+    return (fs::path(dir_) / "results" / (hashName(key) + ".res"))
+        .string();
+}
+
+std::string
+CacheStore::tracePath(const std::string &key) const
+{
+    return (fs::path(dir_) / "traces" / (hashName(key) + ".trc"))
+        .string();
+}
+
+void
+CacheStore::quarantine(const std::string &path)
+{
+    std::error_code ec;
+    fs::path dst = fs::path(dir_) / "quarantine" /
+                   fs::path(path).filename();
+    fs::rename(path, dst, ec);
+    if (ec) // Last resort: never serve the broken file again.
+        fs::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.quarantined;
+}
+
+bool
+CacheStore::writeAtomic(const std::string &path,
+                        const std::string &bytes)
+{
+    // Unique temp name per writer so concurrent stores of the same
+    // key don't clobber each other's partial file; rename makes the
+    // final entry appear atomically (last writer wins).
+    static std::atomic<uint64_t> seq{0};
+    std::string tmp = strfmt("%s.%llu.tmp", path.c_str(),
+                             (unsigned long long)seq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(bytes.data(), std::streamsize(bytes.size()));
+        if (!out.good())
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+CacheStore::loadResult(const std::string &key)
+{
+    if (!enabled())
+        return std::nullopt;
+    std::string path = resultPath(key);
+    std::string bytes;
+    if (!readWholeFile(path, &bytes)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.resultMisses;
+        return std::nullopt;
+    }
+    std::string payload;
+    switch (decodeResult(bytes, key, &payload)) {
+    case DecodeStatus::Ok: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.resultHits;
+        return payload;
+    }
+    case DecodeStatus::WrongVersion: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.versionIgnored;
+        ++counters_.resultMisses;
+        return std::nullopt;
+    }
+    case DecodeStatus::WrongKey: {
+        // Hash collision: the file belongs to another key.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.resultMisses;
+        return std::nullopt;
+    }
+    case DecodeStatus::Corrupt: {
+        quarantine(path);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.resultMisses;
+        return std::nullopt;
+    }
+    }
+    return std::nullopt;
+}
+
+void
+CacheStore::storeResult(const std::string &key,
+                        const std::string &payload)
+{
+    if (!enabled())
+        return;
+    if (writeAtomic(resultPath(key), encodeResult(key, payload))) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.resultStores;
+    }
+}
+
+std::shared_ptr<const exec::EventTrace>
+CacheStore::loadTrace(const std::string &key)
+{
+    if (!enabled())
+        return nullptr;
+    std::string path = tracePath(key);
+    std::string bytes;
+    if (!readWholeFile(path, &bytes)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.traceMisses;
+        return nullptr;
+    }
+    auto trace = std::make_shared<exec::EventTrace>();
+    switch (decodeTrace(bytes, key, trace.get())) {
+    case DecodeStatus::Ok: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.traceHits;
+        return trace;
+    }
+    case DecodeStatus::WrongVersion: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.versionIgnored;
+        ++counters_.traceMisses;
+        return nullptr;
+    }
+    case DecodeStatus::WrongKey: {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.traceMisses;
+        return nullptr;
+    }
+    case DecodeStatus::Corrupt: {
+        quarantine(path);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.traceMisses;
+        return nullptr;
+    }
+    }
+    return nullptr;
+}
+
+void
+CacheStore::storeTrace(const std::string &key,
+                       const exec::EventTrace &trace)
+{
+    if (!enabled())
+        return;
+    if (writeAtomic(tracePath(key), encodeTrace(key, trace))) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.traceStores;
+    }
+}
+
+CacheStore::Counters
+CacheStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace nbl::service

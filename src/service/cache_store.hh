@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Persistent content-addressed store for the sweep service
+ * (docs/SERVICE.md).
+ *
+ * Two kinds of entries, both addressed by the FNV-1a hash of their
+ * full key string:
+ *
+ *  - results/<hash>.res  -- one experiment point's serialized stats
+ *    snapshot, keyed by "workload|fingerprint|experimentKey" (the
+ *    same hash-the-inputs discipline the in-memory memoizer uses:
+ *    equal keys simulate to bit-identical counters, so a stored
+ *    payload is interchangeable with a fresh simulation);
+ *  - traces/<hash>.trc   -- one recorded event trace, keyed by
+ *    "workload|fingerprint", so a restarted daemon skips the
+ *    functional-interpreter recording too.
+ *
+ * Every file starts with a format-version header and ends in a
+ * checksum, and embeds its full key. Three failure classes, three
+ * behaviors:
+ *
+ *  - unknown version  -> ignored (counted, treated as a miss): a
+ *    newer or older daemon's entries are never misread;
+ *  - key mismatch     -> miss (a hash collision shares the file name;
+ *    the store must not serve the other key's payload);
+ *  - corruption (bad checksum, malformed header, short file)
+ *                     -> the file is quarantined -- renamed into
+ *    quarantine/ -- so it is recomputed rather than trusted, and the
+ *    broken bytes stay available for diagnosis.
+ *
+ * Writes go through a temp file + rename, so a crashed writer leaves
+ * either the old entry or a .tmp orphan, never a torn entry.
+ */
+
+#ifndef NBL_SERVICE_CACHE_STORE_HH
+#define NBL_SERVICE_CACHE_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "exec/event_trace.hh"
+
+namespace nbl::service
+{
+
+/** FNV-1a 64-bit over a string (the store's content address). */
+uint64_t fnv1a64(const std::string &s);
+
+class CacheStore
+{
+  public:
+    /** A disabled store: every load misses, every store is a no-op. */
+    CacheStore() = default;
+
+    /** Open (creating if needed) the store rooted at dir. */
+    explicit CacheStore(const std::string &dir);
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Load a result payload; nullopt on miss (in every form). */
+    std::optional<std::string> loadResult(const std::string &key);
+
+    /** Persist a result payload under key (last writer wins). */
+    void storeResult(const std::string &key,
+                     const std::string &payload);
+
+    /** Load a recorded trace; nullptr on miss. */
+    std::shared_ptr<const exec::EventTrace>
+    loadTrace(const std::string &key);
+
+    void storeTrace(const std::string &key,
+                    const exec::EventTrace &trace);
+
+    struct Counters
+    {
+        uint64_t resultHits = 0;
+        uint64_t resultMisses = 0;
+        uint64_t resultStores = 0;
+        uint64_t traceHits = 0;
+        uint64_t traceMisses = 0;
+        uint64_t traceStores = 0;
+        uint64_t quarantined = 0;     ///< Files moved aside as corrupt.
+        uint64_t versionIgnored = 0;  ///< Stale-format entries skipped.
+    };
+
+    Counters counters() const;
+
+  private:
+    std::string resultPath(const std::string &key) const;
+    std::string tracePath(const std::string &key) const;
+
+    /** Move a broken file into quarantine/ (best effort). */
+    void quarantine(const std::string &path);
+
+    /** Atomic whole-file write (temp + rename). */
+    bool writeAtomic(const std::string &path,
+                     const std::string &bytes);
+
+    std::string dir_;
+    mutable std::mutex mutex_; ///< Guards counters_ only; file ops
+                               ///< are atomic via rename.
+    Counters counters_;
+};
+
+} // namespace nbl::service
+
+#endif // NBL_SERVICE_CACHE_STORE_HH

@@ -1,0 +1,174 @@
+#include "service/framing.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+#include "util/log.hh"
+
+namespace nbl::service
+{
+
+namespace
+{
+
+uint32_t
+loadLe32(const char *p)
+{
+    return uint32_t(uint8_t(p[0])) | uint32_t(uint8_t(p[1])) << 8 |
+           uint32_t(uint8_t(p[2])) << 16 |
+           uint32_t(uint8_t(p[3])) << 24;
+}
+
+void
+storeLe32(char *p, uint32_t v)
+{
+    p[0] = char(v & 0xff);
+    p[1] = char((v >> 8) & 0xff);
+    p[2] = char((v >> 16) & 0xff);
+    p[3] = char((v >> 24) & 0xff);
+}
+
+/** Read exactly n bytes; short count = EOF/error. */
+ssize_t
+readAll(int fd, char *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, buf + got, n - got);
+        if (r == 0)
+            break;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        got += size_t(r);
+    }
+    return ssize_t(got);
+}
+
+bool
+writeAll(int fd, const char *buf, size_t n)
+{
+    size_t put = 0;
+    while (put < n) {
+        ssize_t r = ::write(fd, buf + put, n - put);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        put += size_t(r);
+    }
+    return true;
+}
+
+/** Validate a header; true iff well-formed, else fills *error. */
+bool
+checkHeader(const char *hdr, uint32_t *len, std::string *error)
+{
+    if (std::memcmp(hdr, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+        if (error)
+            *error = "bad frame magic";
+        return false;
+    }
+    *len = loadLe32(hdr + 4);
+    if (*len > kMaxFrameBytes) {
+        if (error)
+            *error = strfmt("frame length %u exceeds limit %u", *len,
+                            kMaxFrameBytes);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        panic("encodeFrame: payload of %zu bytes exceeds frame limit",
+              payload.size());
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    out.append(kFrameMagic, sizeof(kFrameMagic));
+    char len[4];
+    storeLe32(len, uint32_t(payload.size()));
+    out.append(len, sizeof(len));
+    out += payload;
+    return out;
+}
+
+void
+FrameDecoder::feed(const char *data, size_t len)
+{
+    // Compact lazily: drop consumed bytes before growing the buffer.
+    if (consumed_ > 0 && consumed_ == buf_.size()) {
+        buf_.clear();
+        consumed_ = 0;
+    } else if (consumed_ > (64u << 10)) {
+        buf_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    buf_.append(data, len);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(std::string *payload)
+{
+    if (bad_)
+        return Status::Bad;
+    if (buf_.size() - consumed_ < kFrameHeaderBytes)
+        return Status::NeedMore;
+    uint32_t len = 0;
+    if (!checkHeader(buf_.data() + consumed_, &len, &error_)) {
+        bad_ = true;
+        return Status::Bad;
+    }
+    if (buf_.size() - consumed_ < kFrameHeaderBytes + len)
+        return Status::NeedMore;
+    payload->assign(buf_, consumed_ + kFrameHeaderBytes, len);
+    consumed_ += kFrameHeaderBytes + len;
+    return Status::Frame;
+}
+
+ReadStatus
+readFrame(int fd, std::string *payload, std::string *error)
+{
+    char hdr[kFrameHeaderBytes];
+    ssize_t got = readAll(fd, hdr, sizeof(hdr));
+    if (got == 0)
+        return ReadStatus::Eof;
+    if (got < 0 || size_t(got) != sizeof(hdr)) {
+        if (error)
+            *error = got < 0 ? strfmt("read: %s", std::strerror(errno))
+                             : std::string("truncated frame header");
+        return ReadStatus::Error;
+    }
+    uint32_t len = 0;
+    if (!checkHeader(hdr, &len, error))
+        return ReadStatus::Error;
+    payload->resize(len);
+    if (len > 0) {
+        got = readAll(fd, payload->data(), len);
+        if (got < 0 || size_t(got) != len) {
+            if (error)
+                *error = got < 0
+                             ? strfmt("read: %s", std::strerror(errno))
+                             : std::string("truncated frame payload");
+            return ReadStatus::Error;
+        }
+    }
+    return ReadStatus::Ok;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    std::string frame = encodeFrame(payload);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+} // namespace nbl::service

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Length-prefixed framing for the nbl-labd wire protocol
+ * (docs/SERVICE.md).
+ *
+ * Every message -- request or response -- is one frame:
+ *
+ *     offset 0: 4-byte magic "NBL1"
+ *     offset 4: 4-byte little-endian payload length N
+ *     offset 8: N bytes of UTF-8 JSON
+ *
+ * The magic makes accidental clients (someone cat-ing a file into the
+ * socket) fail fast with a diagnosable error instead of a misparsed
+ * length, and the explicit length means neither side ever scans for a
+ * delimiter inside the payload. Frames above kMaxFrameBytes are
+ * rejected without allocating -- a garbage length cannot make the
+ * daemon try to reserve gigabytes.
+ */
+
+#ifndef NBL_SERVICE_FRAMING_HH
+#define NBL_SERVICE_FRAMING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nbl::service
+{
+
+/** Frame header bytes ("NBL1" + u32le length). */
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/** Wire magic; bump to invalidate every older client at once. */
+inline constexpr char kFrameMagic[4] = {'N', 'B', 'L', '1'};
+
+/** Upper bound on one frame's payload (64 MiB). */
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Wrap a payload in a frame header. */
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Incremental frame decoder: feed() bytes as they arrive, then call
+ * next() until it stops returning Frame. Once a decoder reports Bad
+ * (wrong magic or oversized length) the stream is unrecoverable --
+ * there is no way to resynchronize a length-prefixed stream -- and
+ * every further next() returns Bad again.
+ */
+class FrameDecoder
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< No complete frame buffered yet.
+        Frame,    ///< *payload holds the next frame's payload.
+        Bad,      ///< Stream corrupt; see error().
+    };
+
+    void feed(const char *data, size_t len);
+
+    Status next(std::string *payload);
+
+    /** Description of the corruption after Bad. */
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (diagnostics). */
+    size_t buffered() const { return buf_.size() - consumed_; }
+
+  private:
+    std::string buf_;
+    size_t consumed_ = 0;
+    bool bad_ = false;
+    std::string error_;
+};
+
+/** Result of one blocking read. */
+enum class ReadStatus
+{
+    Ok,    ///< *payload holds one frame's payload.
+    Eof,   ///< Peer closed cleanly between frames.
+    Error, ///< I/O error, truncated frame, or corrupt header.
+};
+
+/**
+ * Read exactly one frame from fd (blocking). EOF in the middle of a
+ * frame is an Error ("truncated frame"), EOF on a frame boundary is
+ * Eof.
+ */
+ReadStatus readFrame(int fd, std::string *payload, std::string *error);
+
+/** Write one framed payload to fd (blocking). False on I/O error. */
+bool writeFrame(int fd, const std::string &payload);
+
+} // namespace nbl::service
+
+#endif // NBL_SERVICE_FRAMING_HH

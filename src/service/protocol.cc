@@ -1,0 +1,391 @@
+#include "service/protocol.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "stats/json.hh"
+#include "util/log.hh"
+#include "workloads/workload.hh"
+
+namespace nbl::service
+{
+
+namespace
+{
+
+using stats::Json;
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Read an optional non-negative integer member. False (with *err set)
+ * when present but not a non-negative integer below 2^53 -- above
+ * that the double round-trip through the parser would be lossy.
+ */
+bool
+getU64(const Json &obj, const char *name, uint64_t *out,
+       std::string *err)
+{
+    const Json *v = obj.find(name);
+    if (!v)
+        return true;
+    if (!v->isNumber()) {
+        *err = strfmt("'%s' must be a number", name);
+        return false;
+    }
+    double d = v->number();
+    if (d < 0 || d != std::floor(d) || d > 9.0e15) {
+        *err = strfmt("'%s' must be a non-negative integer", name);
+        return false;
+    }
+    *out = uint64_t(d);
+    return true;
+}
+
+bool
+getBool(const Json &obj, const char *name, bool *out, std::string *err)
+{
+    const Json *v = obj.find(name);
+    if (!v)
+        return true;
+    if (!v->isBool()) {
+        *err = strfmt("'%s' must be a boolean", name);
+        return false;
+    }
+    *out = v->boolean();
+    return true;
+}
+
+/**
+ * Range checks for everything the simulator itself would fatal() on
+ * (mem::CacheGeometry, cpu::Cpu): the daemon must reject these with
+ * an error response, not die.
+ */
+bool
+validateConfig(const harness::ExperimentConfig &cfg, std::string *err)
+{
+    if (!isPow2(cfg.cacheBytes) || !isPow2(cfg.lineBytes)) {
+        *err = "cache_bytes and line_bytes must be powers of two";
+        return false;
+    }
+    if (cfg.lineBytes > cfg.cacheBytes) {
+        *err = "line_bytes larger than cache_bytes";
+        return false;
+    }
+    if (cfg.ways != 0) {
+        uint64_t lines = cfg.cacheBytes / cfg.lineBytes;
+        if (lines % cfg.ways != 0 || !isPow2(lines / cfg.ways)) {
+            *err = "ways must divide the line count into a "
+                   "power-of-two number of sets";
+            return false;
+        }
+    }
+    if (cfg.issueWidth < 1 || cfg.issueWidth > 4) {
+        *err = "issue_width must be between 1 and 4";
+        return false;
+    }
+    if (cfg.loadLatency < 1 || cfg.loadLatency > 1000) {
+        *err = "load_latency must be between 1 and 1000";
+        return false;
+    }
+    if (cfg.maxInstructions == 0) {
+        *err = "max_instructions must be positive";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parsePolicyKey(const std::string &key, core::MshrPolicy *out)
+{
+    int mode = 0, mshrs = 0, misses = 0, sub = 0, mps = 0, fps = 0;
+    int tracks = 0, store = 0;
+    unsigned fill = 0;
+    int used = 0;
+    if (std::sscanf(key.c_str(), "P%d.%d.%d.%d.%d.%d.%d.%d.%u%n",
+                    &mode, &mshrs, &misses, &sub, &mps, &fps, &tracks,
+                    &store, &fill, &used) != 9 ||
+        size_t(used) != key.size())
+        return false;
+    if (mode < 0 || mode > int(core::CacheMode::Inverted))
+        return false;
+    if (store < 0 || store > int(core::StoreMode::WriteAllocate))
+        return false;
+    if (tracks != 0 && tracks != 1)
+        return false;
+    core::MshrPolicy p;
+    p.mode = core::CacheMode(mode);
+    p.numMshrs = mshrs;
+    p.maxMisses = misses;
+    p.subBlocks = sub;
+    p.missesPerSubBlock = mps;
+    p.fetchesPerSet = fps;
+    p.fetchesPerSetTracksWays = tracks != 0;
+    p.storeMode = core::StoreMode(store);
+    p.fillExtraCycles = fill;
+    p.label = "custom";
+    *out = p;
+    return true;
+}
+
+bool
+configFromJson(const Json &obj, harness::ExperimentConfig *out,
+               std::string *err)
+{
+    if (!obj.isObject()) {
+        *err = "'config' must be an object";
+        return false;
+    }
+    static const char *known[] = {
+        "label",        "policy",          "cache_bytes",
+        "line_bytes",   "ways",            "load_latency",
+        "miss_penalty", "issue_width",     "perfect_cache",
+        "fill_write_ports", "max_instructions", "hierarchy",
+    };
+    for (const auto &[name, value] : obj.object()) {
+        bool ok = false;
+        for (const char *k : known)
+            ok = ok || name == k;
+        if (!ok) {
+            *err = strfmt("unknown config field '%s'", name.c_str());
+            return false;
+        }
+    }
+    if (obj.find("hierarchy")) {
+        // v1 has no hierarchy-key parser; reject rather than silently
+        // simulating a different machine than the client asked for.
+        *err = "multi-level 'hierarchy' configs are not supported by "
+               "protocol v1";
+        return false;
+    }
+
+    harness::ExperimentConfig cfg;
+
+    const Json *label = obj.find("label");
+    const Json *policy = obj.find("policy");
+    std::string labelStr;
+    if (label) {
+        if (!label->isString()) {
+            *err = "'label' must be a string";
+            return false;
+        }
+        labelStr = label->str();
+    }
+    std::string policyStr;
+    if (policy) {
+        if (!policy->isString()) {
+            *err = "'policy' must be a string";
+            return false;
+        }
+        policyStr = policy->str();
+    }
+    if (!policyStr.empty()) {
+        core::MshrPolicy p;
+        if (!parsePolicyKey(policyStr, &p)) {
+            *err = strfmt("malformed policy key '%s'",
+                          policyStr.c_str());
+            return false;
+        }
+        cfg.customPolicy = p;
+        if (!labelStr.empty() && labelStr != "custom") {
+            *err = "'policy' requires label \"custom\" (or none)";
+            return false;
+        }
+    } else if (!labelStr.empty()) {
+        if (labelStr == "custom") {
+            *err = "label \"custom\" requires a 'policy' key";
+            return false;
+        }
+        core::ConfigName name;
+        if (!core::parseConfigLabel(labelStr, &name)) {
+            *err = strfmt("unknown config label '%s'",
+                          labelStr.c_str());
+            return false;
+        }
+        cfg.config = name;
+    }
+
+    uint64_t ways = cfg.ways, latency = uint64_t(cfg.loadLatency);
+    uint64_t penalty = cfg.missPenalty, width = cfg.issueWidth;
+    uint64_t ports = cfg.fillWritePorts;
+    if (!getU64(obj, "cache_bytes", &cfg.cacheBytes, err) ||
+        !getU64(obj, "line_bytes", &cfg.lineBytes, err) ||
+        !getU64(obj, "ways", &ways, err) ||
+        !getU64(obj, "load_latency", &latency, err) ||
+        !getU64(obj, "miss_penalty", &penalty, err) ||
+        !getU64(obj, "issue_width", &width, err) ||
+        !getU64(obj, "fill_write_ports", &ports, err) ||
+        !getU64(obj, "max_instructions", &cfg.maxInstructions, err) ||
+        !getBool(obj, "perfect_cache", &cfg.perfectCache, err))
+        return false;
+    cfg.ways = unsigned(ways);
+    cfg.loadLatency = int(latency);
+    cfg.missPenalty = unsigned(penalty);
+    cfg.issueWidth = unsigned(width);
+    cfg.fillWritePorts = unsigned(ports);
+
+    if (!validateConfig(cfg, err))
+        return false;
+    *out = cfg;
+    return true;
+}
+
+bool
+parseRequest(const std::string &payload, Request *out,
+             std::string *errCode, std::string *errMsg,
+             uint64_t *idOut)
+{
+    *idOut = 0;
+    std::string parseErr;
+    std::optional<Json> doc = Json::tryParse(payload, &parseErr);
+    if (!doc) {
+        *errCode = kErrBadJson;
+        *errMsg = parseErr;
+        return false;
+    }
+    if (!doc->isObject()) {
+        *errCode = kErrBadJson;
+        *errMsg = "request must be a JSON object";
+        return false;
+    }
+
+    // Recover the correlation id first so even a rejected request
+    // gets a correlatable error response.
+    const Json *id = doc->find("id");
+    std::string err;
+    uint64_t idVal = 0;
+    if (id && !getU64(*doc, "id", &idVal, &err)) {
+        *errCode = kErrBadRequest;
+        *errMsg = err;
+        return false;
+    }
+    *idOut = idVal;
+    out->id = idVal;
+
+    const Json *v = doc->find("v");
+    if (v) {
+        if (!v->isNumber() || v->number() != kProtocolVersion) {
+            *errCode = kErrBadRequest;
+            *errMsg = strfmt("unsupported protocol version (speak %d)",
+                             kProtocolVersion);
+            return false;
+        }
+    }
+
+    const Json *kind = doc->find("kind");
+    if (!kind || !kind->isString()) {
+        *errCode = kErrBadRequest;
+        *errMsg = "missing or non-string 'kind'";
+        return false;
+    }
+    const std::string &k = kind->str();
+    if (k == "ping") {
+        out->kind = Request::Kind::Ping;
+        return true;
+    }
+    if (k == "stats") {
+        out->kind = Request::Kind::Stats;
+        return true;
+    }
+    if (k == "shutdown") {
+        out->kind = Request::Kind::Shutdown;
+        return true;
+    }
+    if (k != "run") {
+        *errCode = kErrBadRequest;
+        *errMsg = strfmt("unknown kind '%s'", k.c_str());
+        return false;
+    }
+
+    out->kind = Request::Kind::Run;
+    const Json *points = doc->find("points");
+    if (!points || !points->isArray() || points->array().empty()) {
+        *errCode = kErrBadRequest;
+        *errMsg = "'run' requires a non-empty 'points' array";
+        return false;
+    }
+    if (points->array().size() > 100000) {
+        *errCode = kErrBadRequest;
+        *errMsg = "too many points in one request (max 100000)";
+        return false;
+    }
+    out->points.clear();
+    out->points.reserve(points->array().size());
+    const std::vector<std::string> &names =
+        workloads::workloadNames();
+    for (const Json &p : points->array()) {
+        if (!p.isObject()) {
+            *errCode = kErrBadRequest;
+            *errMsg = "each point must be an object";
+            return false;
+        }
+        const Json *wl = p.find("workload");
+        if (!wl || !wl->isString()) {
+            *errCode = kErrBadRequest;
+            *errMsg = "each point needs a string 'workload'";
+            return false;
+        }
+        PointSpec spec;
+        spec.workload = wl->str();
+        bool found = false;
+        for (const std::string &name : workloads::workloadNames())
+            found = found || name == spec.workload;
+        if (!found) {
+            *errCode = kErrUnknownWorkload;
+            *errMsg = strfmt("unknown workload '%s'",
+                             spec.workload.c_str());
+            return false;
+        }
+        const Json *cfg = p.find("config");
+        if (cfg && !configFromJson(*cfg, &spec.cfg, &err)) {
+            *errCode = kErrBadRequest;
+            *errMsg = err;
+            return false;
+        }
+        for (const auto &[name, value] : p.object()) {
+            if (name != "workload" && name != "config") {
+                *errCode = kErrBadRequest;
+                *errMsg = strfmt("unknown point field '%s'",
+                                 name.c_str());
+                return false;
+            }
+        }
+        out->points.push_back(std::move(spec));
+    }
+    return true;
+}
+
+std::string
+errorResponse(uint64_t id, const std::string &code,
+              const std::string &message)
+{
+    return strfmt("{\"v\": %d, \"id\": %llu, \"ok\": false, "
+                  "\"error\": {\"code\": %s, \"message\": %s}}",
+                  kProtocolVersion, (unsigned long long)id,
+                  stats::jsonQuote(code).c_str(),
+                  stats::jsonQuote(message).c_str());
+}
+
+std::string
+pongResponse(uint64_t id)
+{
+    return strfmt(
+        "{\"v\": %d, \"id\": %llu, \"ok\": true, \"kind\": \"pong\"}",
+        kProtocolVersion, (unsigned long long)id);
+}
+
+std::string
+shutdownResponse(uint64_t id)
+{
+    return strfmt("{\"v\": %d, \"id\": %llu, \"ok\": true, "
+                  "\"kind\": \"shutdown\"}",
+                  kProtocolVersion, (unsigned long long)id);
+}
+
+} // namespace nbl::service

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * nbl-labd request/response schema (docs/SERVICE.md).
+ *
+ * Every frame payload is one JSON object. Requests carry a client
+ * correlation id, a kind, and (for "run") a list of experiment
+ * points; responses echo the id. Parsing is strictly non-fatal: a
+ * daemon must survive any byte sequence a client can send, so every
+ * malformed input maps to an error *response*, never to fatal().
+ *
+ * The config object uses the same field names the observability
+ * layer's `configJson` emits (docs/OBSERVABILITY.md), so a config
+ * copied out of any nbl-stats-v1 artifact is a valid request config
+ * verbatim. Missing fields take the ExperimentConfig defaults (the
+ * paper's baseline system).
+ */
+
+#ifndef NBL_SERVICE_PROTOCOL_HH
+#define NBL_SERVICE_PROTOCOL_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace nbl::stats
+{
+class Json;
+}
+
+namespace nbl::service
+{
+
+/** Protocol version spoken by this build (the "v" member). */
+inline constexpr int kProtocolVersion = 1;
+
+/** Machine-readable error codes (docs/SERVICE.md lists them). */
+inline constexpr const char *kErrBadFrame = "bad-frame";
+inline constexpr const char *kErrBadJson = "bad-json";
+inline constexpr const char *kErrBadRequest = "bad-request";
+inline constexpr const char *kErrUnknownWorkload = "unknown-workload";
+inline constexpr const char *kErrUnsupported = "unsupported";
+inline constexpr const char *kErrInternal = "internal";
+
+/** One experiment point of a "run" request. */
+struct PointSpec
+{
+    std::string workload;
+    harness::ExperimentConfig cfg;
+};
+
+/** A parsed request frame. */
+struct Request
+{
+    enum class Kind
+    {
+        Run,      ///< Simulate (or serve from cache) points.
+        Ping,     ///< Liveness probe.
+        Stats,    ///< Daemon + cache counters snapshot.
+        Shutdown, ///< Stop the daemon after acknowledging.
+    };
+
+    uint64_t id = 0;
+    Kind kind = Kind::Ping;
+    std::vector<PointSpec> points; ///< Kind::Run only.
+};
+
+/**
+ * Parse one request payload. On failure returns false and fills
+ * *errCode (one of the kErr* constants) and *errMsg; *out is
+ * unspecified. The request id is recovered whenever the payload was
+ * at least valid JSON with a numeric "id", so error responses can
+ * still correlate.
+ */
+bool parseRequest(const std::string &payload, Request *out,
+                  std::string *errCode, std::string *errMsg,
+                  uint64_t *idOut);
+
+/**
+ * Parse a config object (the `configJson` field vocabulary) into an
+ * ExperimentConfig. Also validates the ranges the simulator would
+ * fatal() on -- the daemon rejects those with an error response
+ * instead of dying. False on failure with a description in *err.
+ */
+bool configFromJson(const stats::Json &obj,
+                    harness::ExperimentConfig *out, std::string *err);
+
+/**
+ * Parse a serialized custom-policy key ("P<mode>.<mshrs>....", the
+ * exact string `harness::policyKey` produces) back into a policy.
+ * False when the string is not a well-formed policy key.
+ */
+bool parsePolicyKey(const std::string &key, core::MshrPolicy *out);
+
+/** {"v":1,"id":id,"ok":false,"error":{"code":...,"message":...}} */
+std::string errorResponse(uint64_t id, const std::string &code,
+                          const std::string &message);
+
+/** {"v":1,"id":id,"ok":true,"kind":"pong"} */
+std::string pongResponse(uint64_t id);
+
+/** {"v":1,"id":id,"ok":true,"kind":"shutdown"} */
+std::string shutdownResponse(uint64_t id);
+
+} // namespace nbl::service
+
+#endif // NBL_SERVICE_PROTOCOL_HH

@@ -1,0 +1,219 @@
+#include "service/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/framing.hh"
+#include "service/protocol.hh"
+#include "util/log.hh"
+
+namespace nbl::service
+{
+
+namespace
+{
+
+void
+closeIf(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+SocketServer::SocketServer(LabService &service, Options opt)
+    : service_(service), opt_(std::move(opt))
+{
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+    wait();
+}
+
+bool
+SocketServer::start(std::string *err)
+{
+    if (opt_.unixPath.empty()) {
+        *err = "no unix socket path given";
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unixPath.size() >= sizeof(addr.sun_path)) {
+        *err = strfmt("socket path too long (max %zu bytes): %s",
+                      sizeof(addr.sun_path) - 1, opt_.unixPath.c_str());
+        return false;
+    }
+    std::strncpy(addr.sun_path, opt_.unixPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unixFd_ < 0) {
+        *err = strfmt("socket(): %s", std::strerror(errno));
+        return false;
+    }
+    ::unlink(opt_.unixPath.c_str()); // Stale socket from a dead daemon.
+    if (::bind(unixFd_, (const sockaddr *)&addr, sizeof(addr)) < 0 ||
+        ::listen(unixFd_, 64) < 0) {
+        *err = strfmt("bind/listen on '%s': %s", opt_.unixPath.c_str(),
+                      std::strerror(errno));
+        closeIf(unixFd_);
+        return false;
+    }
+
+    if (opt_.tcp) {
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcpFd_ < 0) {
+            *err = strfmt("socket(tcp): %s", std::strerror(errno));
+            closeIf(unixFd_);
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in in{};
+        in.sin_family = AF_INET;
+        in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        in.sin_port = htons(opt_.tcpPort);
+        if (::bind(tcpFd_, (const sockaddr *)&in, sizeof(in)) < 0 ||
+            ::listen(tcpFd_, 64) < 0) {
+            *err = strfmt("bind/listen on 127.0.0.1:%u: %s",
+                          unsigned(opt_.tcpPort), std::strerror(errno));
+            closeIf(unixFd_);
+            closeIf(tcpFd_);
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcpFd_, (sockaddr *)&bound, &len) == 0)
+            boundTcpPort_ = ntohs(bound.sin_port);
+    }
+
+    if (::pipe(stopPipe_) < 0) {
+        *err = strfmt("pipe(): %s", std::strerror(errno));
+        closeIf(unixFd_);
+        closeIf(tcpFd_);
+        return false;
+    }
+
+    running_.store(true);
+    acceptThread_ = std::thread(&SocketServer::acceptLoop, this);
+    return true;
+}
+
+void
+SocketServer::acceptLoop()
+{
+    while (!stopRequested_.load()) {
+        pollfd fds[3];
+        nfds_t nfds = 0;
+        fds[nfds++] = {stopPipe_[0], POLLIN, 0};
+        fds[nfds++] = {unixFd_, POLLIN, 0};
+        if (tcpFd_ >= 0)
+            fds[nfds++] = {tcpFd_, POLLIN, 0};
+        int rc = ::poll(fds, nfds, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (fds[0].revents)
+            break; // stop() signalled.
+        for (nfds_t i = 1; i < nfds; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            int conn = ::accept(fds[i].fd, nullptr, nullptr);
+            if (conn < 0)
+                continue;
+            std::lock_guard<std::mutex> lock(connMutex_);
+            if (stopRequested_.load()) {
+                ::close(conn);
+                continue;
+            }
+            connFds_.insert(conn);
+            connThreads_.emplace_back(&SocketServer::connection, this,
+                                      conn);
+        }
+    }
+    closeIf(unixFd_);
+    closeIf(tcpFd_);
+    running_.store(false);
+}
+
+void
+SocketServer::connection(int fd)
+{
+    while (!stopRequested_.load()) {
+        std::string payload, err;
+        ReadStatus st = readFrame(fd, &payload, &err);
+        if (st == ReadStatus::Eof)
+            break;
+        if (st == ReadStatus::Error) {
+            // Best effort: tell the client why before hanging up.
+            // Framing errors cannot be resynchronized.
+            writeFrame(fd, errorResponse(0, kErrBadFrame, err));
+            break;
+        }
+        bool shutdown = false;
+        std::string response = service_.handle(payload, &shutdown);
+        if (!writeFrame(fd, response))
+            break;
+        if (shutdown) {
+            stop();
+            break;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connFds_.erase(fd);
+    }
+    ::close(fd);
+}
+
+void
+SocketServer::stop()
+{
+    if (stopRequested_.exchange(true))
+        return;
+    if (stopPipe_[1] >= 0) {
+        char b = 's';
+        [[maybe_unused]] ssize_t n = ::write(stopPipe_[1], &b, 1);
+    }
+    // Unblock connection threads sitting in readFrame().
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (int fd : connFds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+SocketServer::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // The accept loop has exited, so connThreads_ can only shrink.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+    closeIf(stopPipe_[0]);
+    closeIf(stopPipe_[1]);
+    if (!opt_.unixPath.empty())
+        ::unlink(opt_.unixPath.c_str());
+}
+
+} // namespace nbl::service

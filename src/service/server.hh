@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SocketServer: the daemon's transport (docs/SERVICE.md).
+ *
+ * Listens on a unix-domain socket (always) and optionally on a
+ * loopback TCP port, accepts connections from a poll loop, and runs
+ * one thread per connection. Each connection is a sequence of framed
+ * requests (service/framing.hh); every frame gets exactly one framed
+ * response, in order. A framing error gets a final "bad-frame" error
+ * response (best effort) and the connection is closed -- framing
+ * errors are not resynchronizable.
+ *
+ * Shutdown paths: stop() (signal-safe flag + self-pipe) from any
+ * thread, or a client "shutdown" request, which is acknowledged on
+ * that connection first. wait() joins everything.
+ */
+
+#ifndef NBL_SERVICE_SERVER_HH
+#define NBL_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hh"
+
+namespace nbl::service
+{
+
+class SocketServer
+{
+  public:
+    struct Options
+    {
+        /** Path of the unix-domain listening socket (required). A
+         *  stale file at the path is unlinked first. */
+        std::string unixPath;
+        /** Also listen on 127.0.0.1:tcpPort (0 = ephemeral port,
+         *  reported by tcpPort() after start()). */
+        bool tcp = false;
+        uint16_t tcpPort = 0;
+    };
+
+    SocketServer(LabService &service, Options opt);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind, listen, and spawn the accept loop. False (with *err
+     *  filled) when a socket cannot be set up. */
+    bool start(std::string *err);
+
+    /** Block until the server has stopped and every connection
+     *  thread has been joined. */
+    void wait();
+
+    /** Ask the server to stop (idempotent, callable from connection
+     *  threads). Unblocks the accept loop and every in-flight read. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound TCP port (after start(), when Options::tcp). */
+    uint16_t tcpPort() const { return boundTcpPort_; }
+
+    const std::string &unixPath() const { return opt_.unixPath; }
+
+  private:
+    void acceptLoop();
+    void connection(int fd);
+
+    LabService &service_;
+    Options opt_;
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    uint16_t boundTcpPort_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopRequested_{false};
+    std::thread acceptThread_;
+    std::mutex connMutex_; ///< Guards connThreads_ and connFds_.
+    std::vector<std::thread> connThreads_;
+    std::set<int> connFds_;
+};
+
+} // namespace nbl::service
+
+#endif // NBL_SERVICE_SERVER_HH

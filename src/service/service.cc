@@ -1,0 +1,341 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "harness/stats_export.hh"
+#include "stats/json.hh"
+#include "stats/run_stats.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+
+namespace nbl::service
+{
+
+std::string
+resultStoreKey(const std::string &workload, uint64_t fingerprint,
+               const std::string &experimentKey)
+{
+    return strfmt("%s|%016llx|%s", workload.c_str(),
+                  (unsigned long long)fingerprint,
+                  experimentKey.c_str());
+}
+
+std::string
+traceStoreKey(const std::string &workload, uint64_t fingerprint)
+{
+    return strfmt("%s|%016llx", workload.c_str(),
+                  (unsigned long long)fingerprint);
+}
+
+LabService::LabService(harness::Lab &lab, CacheStore &store)
+    : lab_(lab), store_(store),
+      memoCap_(size_t(
+          std::max<int64_t>(0, envInt("NBL_LAB_RESULT_CAP", 0))))
+{
+}
+
+void
+LabService::publish(const std::string &key,
+                    std::shared_ptr<const std::string> json)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = memo_.emplace(key, std::move(json));
+    (void)it;
+    if (inserted && memoCap_ != 0) {
+        memoFifo_.push_back(key);
+        while (memo_.size() > memoCap_ && !memoFifo_.empty()) {
+            memo_.erase(memoFifo_.front());
+            memoFifo_.pop_front();
+        }
+    }
+    computing_.erase(key);
+    cv_.notify_all();
+}
+
+void
+LabService::persistNewTraces()
+{
+    if (!store_.enabled())
+        return;
+    // Collect under the Lab's trace lock, write outside it.
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const exec::EventTrace>>>
+        fresh;
+    lab_.forEachTrace([&](const std::string &wl, uint64_t fp,
+                          const std::shared_ptr<const exec::EventTrace>
+                              &tr) {
+        std::string key = traceStoreKey(wl, fp);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!tracesPersisted_.insert(key).second)
+                return;
+        }
+        fresh.emplace_back(std::move(key), tr);
+    });
+    for (const auto &[key, tr] : fresh)
+        store_.storeTrace(key, *tr);
+}
+
+std::string
+LabService::handleRun(const Request &req)
+{
+    size_t n = req.points.size();
+    struct Slot
+    {
+        std::shared_ptr<const std::string> json;
+        const char *origin = nullptr;
+    };
+    std::vector<Slot> slots(n);
+    std::vector<std::string> keys(n), ekeys(n);
+    std::vector<uint64_t> fps(n);
+
+    // Identity first (compiles on first use, outside the service
+    // lock: programFingerprint synchronizes inside the Lab).
+    for (size_t i = 0; i < n; ++i) {
+        const PointSpec &p = req.points[i];
+        fps[i] =
+            lab_.programFingerprint(p.workload, p.cfg.loadLatency);
+        ekeys[i] = harness::experimentKey(p.workload, p.cfg);
+        keys[i] = resultStoreKey(p.workload, fps[i], ekeys[i]);
+    }
+
+    // Triage every point: memory hit, duplicate of a point this
+    // request already claimed, in flight on another connection, or
+    // ours to produce.
+    std::vector<size_t> mine, waiters, dups;
+    std::map<std::string, size_t> claimed;
+    uint64_t memoryHits = 0, diskHits = 0, inflightHits = 0,
+             computed = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = 0; i < n; ++i) {
+            auto it = memo_.find(keys[i]);
+            if (it != memo_.end()) {
+                slots[i] = {it->second, "memory"};
+                ++memoryHits;
+            } else if (claimed.count(keys[i])) {
+                dups.push_back(i);
+            } else if (computing_.count(keys[i])) {
+                waiters.push_back(i);
+            } else {
+                computing_.insert(keys[i]);
+                claimed[keys[i]] = i;
+                mine.push_back(i);
+            }
+        }
+    }
+
+    // Disk probe for the claimed points; hits are published so
+    // concurrent waiters get them too.
+    std::vector<size_t> toCompute;
+    for (size_t i : mine) {
+        if (std::optional<std::string> payload =
+                store_.loadResult(keys[i])) {
+            auto sp = std::make_shared<const std::string>(
+                std::move(*payload));
+            slots[i] = {sp, "disk"};
+            ++diskHits;
+            publish(keys[i], sp);
+        } else {
+            toCompute.push_back(i);
+        }
+    }
+
+    // Offer persisted traces to the Lab before simulating, once per
+    // (workload, fingerprint) per process.
+    for (size_t i : toCompute) {
+        const PointSpec &p = req.points[i];
+        std::string tkey = traceStoreKey(p.workload, fps[i]);
+        bool firstProbe;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            firstProbe = tracesProbed_.insert(tkey).second;
+        }
+        if (!firstProbe)
+            continue;
+        if (std::shared_ptr<const exec::EventTrace> tr =
+                store_.loadTrace(tkey)) {
+            lab_.injectTrace(p.workload, fps[i], tr);
+            std::lock_guard<std::mutex> lock(mutex_);
+            tracesPersisted_.insert(tkey);
+        }
+    }
+
+    // Group by workload and batch through the lane-replay engine.
+    std::map<std::string, std::vector<size_t>> byWorkload;
+    for (size_t i : toCompute)
+        byWorkload[req.points[i].workload].push_back(i);
+    for (const auto &[wl, idxs] : byWorkload) {
+        std::vector<harness::ExperimentConfig> cfgs;
+        cfgs.reserve(idxs.size());
+        for (size_t i : idxs)
+            cfgs.push_back(req.points[i].cfg);
+        std::vector<harness::ExperimentResult> results =
+            lab_.runLanes(wl, cfgs);
+        for (size_t k = 0; k < idxs.size(); ++k) {
+            size_t i = idxs[k];
+            auto sp = std::make_shared<const std::string>(
+                stats::snapshotOfRun(results[k].run).toJson(0));
+            slots[i] = {sp, "computed"};
+            ++computed;
+            store_.storeResult(keys[i], *sp);
+            publish(keys[i], sp);
+        }
+    }
+    if (!toCompute.empty())
+        persistNewTraces();
+
+    // Intra-request duplicates share the slot their twin produced.
+    for (size_t i : dups) {
+        slots[i] = slots[claimed[keys[i]]];
+        slots[i].origin = "inflight";
+        ++inflightHits;
+    }
+
+    // Wait for points another connection is computing. If the memo
+    // entry was FIFO-evicted before we woke, fall back to a direct
+    // run (the Lab's own memoizer usually still has it).
+    if (!waiters.empty()) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (size_t i : waiters) {
+            cv_.wait(lock, [&] {
+                return memo_.count(keys[i]) != 0 ||
+                       computing_.count(keys[i]) == 0;
+            });
+            auto it = memo_.find(keys[i]);
+            if (it != memo_.end()) {
+                slots[i] = {it->second, "inflight"};
+                ++inflightHits;
+                continue;
+            }
+            lock.unlock();
+            const PointSpec &p = req.points[i];
+            harness::ExperimentResult r = lab_.run(p.workload, p.cfg);
+            auto sp = std::make_shared<const std::string>(
+                stats::snapshotOfRun(r.run).toJson(0));
+            slots[i] = {sp, "computed"};
+            ++computed;
+            lock.lock();
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters_.points += n;
+        counters_.memoryHits += memoryHits;
+        counters_.diskHits += diskHits;
+        counters_.inflightHits += inflightHits;
+        counters_.computed += computed;
+    }
+
+    // Assembled with direct appends: the per-point snapshots are
+    // multi-KB, and routing them through printf-style formatting
+    // doubles the serialization cost of a fully-warm response.
+    size_t bytes = 64;
+    for (size_t i = 0; i < n; ++i)
+        bytes += slots[i].json->size() + ekeys[i].size() + 160;
+    std::string out;
+    out.reserve(bytes);
+    out += strfmt("{\"v\": %d, \"id\": %llu, \"ok\": true, "
+                  "\"kind\": \"results\", \"results\": [",
+                  kProtocolVersion, (unsigned long long)req.id);
+    for (size_t i = 0; i < n; ++i) {
+        out += i ? ",\n  {\"workload\": " : "\n  {\"workload\": ";
+        out += stats::jsonQuote(req.points[i].workload);
+        out += ", \"key\": ";
+        out += stats::jsonQuote(ekeys[i]);
+        out += ", \"cached\": \"";
+        out += slots[i].origin;
+        out += "\",\n   \"config\": ";
+        out += harness::configJson(req.points[i].cfg);
+        out += ",\n   \"stats\": ";
+        out += *slots[i].json;
+        out += "}";
+    }
+    out += "\n]}";
+    return out;
+}
+
+std::string
+LabService::statsResponse(uint64_t id)
+{
+    Counters c = counters();
+    harness::Lab::CacheCounters lc = lab_.cacheCounters();
+    CacheStore::Counters sc = store_.counters();
+    return strfmt(
+        "{\"v\": %d, \"id\": %llu, \"ok\": true, \"kind\": \"stats\",\n"
+        " \"daemon\": {\"requests\": %llu, \"errors\": %llu, "
+        "\"points\": %llu, \"memory_hits\": %llu, \"disk_hits\": %llu, "
+        "\"inflight_hits\": %llu, \"computed\": %llu},\n"
+        " \"lab\": {\"results\": %zu, \"result_hits\": %llu, "
+        "\"result_evictions\": %llu, \"traces\": %zu, "
+        "\"trace_hits\": %llu, \"trace_evictions\": %llu, "
+        "\"profiles\": %zu, \"profile_hits\": %llu},\n"
+        " \"store\": {\"enabled\": %s, \"dir\": %s, "
+        "\"result_hits\": %llu, \"result_misses\": %llu, "
+        "\"result_stores\": %llu, \"trace_hits\": %llu, "
+        "\"trace_misses\": %llu, \"trace_stores\": %llu, "
+        "\"quarantined\": %llu, \"version_ignored\": %llu}}",
+        kProtocolVersion, (unsigned long long)id,
+        (unsigned long long)c.requests, (unsigned long long)c.errors,
+        (unsigned long long)c.points,
+        (unsigned long long)c.memoryHits,
+        (unsigned long long)c.diskHits,
+        (unsigned long long)c.inflightHits,
+        (unsigned long long)c.computed, lc.results,
+        (unsigned long long)lc.resultHits,
+        (unsigned long long)lc.resultEvictions, lc.traces,
+        (unsigned long long)lc.traceHits,
+        (unsigned long long)lc.traceEvictions, lc.profiles,
+        (unsigned long long)lc.profileHits,
+        store_.enabled() ? "true" : "false",
+        stats::jsonQuote(store_.dir()).c_str(),
+        (unsigned long long)sc.resultHits,
+        (unsigned long long)sc.resultMisses,
+        (unsigned long long)sc.resultStores,
+        (unsigned long long)sc.traceHits,
+        (unsigned long long)sc.traceMisses,
+        (unsigned long long)sc.traceStores,
+        (unsigned long long)sc.quarantined,
+        (unsigned long long)sc.versionIgnored);
+}
+
+std::string
+LabService::handle(const std::string &payload, bool *shutdown)
+{
+    *shutdown = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.requests;
+    }
+    Request req;
+    std::string code, msg;
+    uint64_t id = 0;
+    if (!parseRequest(payload, &req, &code, &msg, &id)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.errors;
+        return errorResponse(id, code, msg);
+    }
+    switch (req.kind) {
+    case Request::Kind::Ping:
+        return pongResponse(req.id);
+    case Request::Kind::Stats:
+        return statsResponse(req.id);
+    case Request::Kind::Shutdown:
+        *shutdown = true;
+        return shutdownResponse(req.id);
+    case Request::Kind::Run:
+        return handleRun(req);
+    }
+    return errorResponse(req.id, kErrInternal, "unhandled kind");
+}
+
+LabService::Counters
+LabService::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+} // namespace nbl::service

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * LabService: the daemon's request brain (docs/SERVICE.md).
+ *
+ * Wraps one shared harness::Lab plus a persistent CacheStore and
+ * answers protocol requests. The interesting path is "run":
+ *
+ *  1. every point is keyed by (workload, program fingerprint,
+ *     experimentKey) -- the same identity the Lab memoizer uses, so
+ *     equal keys are interchangeable results;
+ *  2. the in-memory memo is probed first, then the on-disk store
+ *     (which survives restarts);
+ *  3. identical points already being computed by *another* connection
+ *     are not recomputed: the second requester blocks on a condition
+ *     variable until the first publishes ("in-flight dedup");
+ *  4. the points this request must actually simulate are grouped by
+ *     workload and pushed through Lab::runLanes, so a sweep-shaped
+ *     request gets the batched lockstep-replay engine, not N
+ *     independent runs;
+ *  5. freshly recorded event traces are persisted, so a restarted
+ *     daemon skips even the functional-interpreter recording.
+ *
+ * Responses carry, per point, the serialized stats snapshot (exact
+ * round-trip, docs/OBSERVABILITY.md) and where it came from
+ * ("memory" | "disk" | "inflight" | "computed").
+ *
+ * Thread safety: handle() may be called concurrently from any number
+ * of connection threads.
+ */
+
+#ifndef NBL_SERVICE_SERVICE_HH
+#define NBL_SERVICE_SERVICE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "service/cache_store.hh"
+#include "service/protocol.hh"
+
+namespace nbl::service
+{
+
+class LabService
+{
+  public:
+    /**
+     * Both lab and store are borrowed and shared; the caller keeps
+     * them alive for the service's lifetime. The in-memory response
+     * memo honours the same NBL_LAB_RESULT_CAP FIFO cap the Lab's own
+     * memoizer uses (0 = unbounded).
+     */
+    LabService(harness::Lab &lab, CacheStore &store);
+
+    /**
+     * Handle one raw frame payload, returning the response payload.
+     * Never fatal on client input. *shutdown is set to true when the
+     * request was an acknowledged shutdown (the server stops after
+     * sending the response).
+     */
+    std::string handle(const std::string &payload, bool *shutdown);
+
+    struct Counters
+    {
+        uint64_t requests = 0;
+        uint64_t errors = 0;
+        uint64_t points = 0;
+        uint64_t memoryHits = 0;
+        uint64_t diskHits = 0;
+        uint64_t inflightHits = 0;
+        uint64_t computed = 0;
+    };
+
+    Counters counters() const;
+
+  private:
+    std::string handleRun(const Request &req);
+    std::string statsResponse(uint64_t id);
+
+    /** Publish a computed/loaded payload and wake waiters. */
+    void publish(const std::string &key,
+                 std::shared_ptr<const std::string> json);
+
+    /** Persist any event traces recorded since the last call. */
+    void persistNewTraces();
+
+    harness::Lab &lab_;
+    CacheStore &store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    /** storeKey -> serialized snapshot JSON. */
+    std::map<std::string, std::shared_ptr<const std::string>> memo_;
+    std::deque<std::string> memoFifo_;
+    size_t memoCap_ = 0; ///< 0 = unbounded.
+    /** Keys some connection is currently computing. */
+    std::set<std::string> computing_;
+    /** Trace keys already persisted or probed on disk this process. */
+    std::set<std::string> tracesPersisted_;
+    std::set<std::string> tracesProbed_;
+    Counters counters_;
+};
+
+/**
+ * The store key of one experiment point:
+ * "<workload>|<fingerprint-hex>|<experimentKey>". Fingerprint is the
+ * compiled program's content hash, so a workload-generator change
+ * invalidates old entries instead of serving stale counters.
+ */
+std::string resultStoreKey(const std::string &workload,
+                           uint64_t fingerprint,
+                           const std::string &experimentKey);
+
+/** The store key of one recorded trace: "<workload>|<fp-hex>". */
+std::string traceStoreKey(const std::string &workload,
+                          uint64_t fingerprint);
+
+} // namespace nbl::service
+
+#endif // NBL_SERVICE_SERVICE_HH

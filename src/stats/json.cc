@@ -53,6 +53,14 @@ Json::array() const
     return arr_;
 }
 
+const std::map<std::string, Json> &
+Json::object() const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: not an object");
+    return obj_;
+}
+
 const Json &
 Json::at(const std::string &key) const
 {
@@ -70,6 +78,17 @@ Json::find(const std::string &key) const
     auto it = obj_.find(key);
     return it == obj_.end() ? nullptr : &it->second;
 }
+
+namespace
+{
+
+/** Internal parse-failure signal; never escapes this file. */
+struct JsonParseError
+{
+    std::string message;
+};
+
+} // namespace
 
 /** Strict recursive-descent parser over the supported subset. */
 class JsonParser
@@ -91,7 +110,8 @@ class JsonParser
     [[noreturn]] void
     fail(const char *what)
     {
-        fatal("json: %s at offset %zu", what, pos_);
+        throw JsonParseError{
+            strfmt("json: %s at offset %zu", what, pos_)};
     }
 
     void
@@ -257,7 +277,24 @@ class JsonParser
 Json
 Json::parse(const std::string &text)
 {
-    return JsonParser(text).document();
+    // Machine-written artifacts: malformed input is a usage error.
+    try {
+        return JsonParser(text).document();
+    } catch (const JsonParseError &e) {
+        fatal("%s", e.message.c_str());
+    }
+}
+
+std::optional<Json>
+Json::tryParse(const std::string &text, std::string *error)
+{
+    try {
+        return JsonParser(text).document();
+    } catch (const JsonParseError &e) {
+        if (error)
+            *error = e.message;
+        return std::nullopt;
+    }
 }
 
 std::string

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,11 @@ class Json
 
     Kind kind() const { return kind_; }
     bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
 
     bool boolean() const;
     /** The number as a double (fatal if not a number). */
@@ -41,6 +47,10 @@ class Json
     const std::string &str() const;
 
     const std::vector<Json> &array() const;
+    /** All object members, keyed by name (fatal if not an object).
+     *  The service layer iterates this to reject unknown request
+     *  fields instead of silently ignoring typos. */
+    const std::map<std::string, Json> &object() const;
     /** Object member, fatal if missing. */
     const Json &at(const std::string &key) const;
     /** Object member or nullptr. */
@@ -52,6 +62,15 @@ class Json
      * is a usage error, not a recoverable condition.
      */
     static Json parse(const std::string &text);
+
+    /**
+     * Non-fatal parse for input that crosses a trust boundary (the
+     * service layer reads frames from arbitrary clients). Returns
+     * nullopt on any syntax error, with a one-line description in
+     * *error when given.
+     */
+    static std::optional<Json> tryParse(const std::string &text,
+                                        std::string *error = nullptr);
 
   private:
     friend class JsonParser;

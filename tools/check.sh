@@ -25,7 +25,15 @@
 # planner against a full sweep (exit 1 on any bound violation or
 # back-substitution mismatch), and a figure bench must print
 # byte-identical stdout with NBL_MODEL_PRUNE=0 vs unset -- pruning is
-# strictly opt-in, so figure output never silently changes.
+# strictly opt-in, so figure output never silently changes. Step 7 is
+# the docs-drift gate (tools/docs_check.sh): every NBL_* knob the
+# code reads must be in docs/PERF.md's canonical table, and every
+# fenced nbl-sim/nbl-client/nbl-labd example in the docs must parse.
+# Step 8 is the service gate: a real nbl-labd on a temp socket
+# answers the doduc fig05 sweep twice (cold, then warm from its
+# cache) with nbl-client --verify re-simulating every point locally
+# and requiring bit-identical counters; the TSan step also runs the
+# daemon request path (tests/test_daemon.cc Service*/SocketServer*).
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -41,7 +49,7 @@ echo "== tsan: parallel engine =="
 cmake -B build-tsan -S . -DNBL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$jobs" \
     --target test_parallel test_harness test_event_trace \
-    test_lane_replay
+    test_lane_replay test_daemon
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_parallel
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_harness
 TSAN_OPTIONS="halt_on_error=1" \
@@ -49,6 +57,10 @@ TSAN_OPTIONS="halt_on_error=1" \
 TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/test_lane_replay \
     --gtest_filter='LaneReplayConcurrency*'
+
+echo "== tsan: daemon request path =="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_daemon \
+    --gtest_filter='Service*:SocketServer*'
 
 fuzz_budget="${NBL_FUZZ_BUDGET:-60}"
 if [ "$fuzz_budget" != "0" ]; then
@@ -90,5 +102,29 @@ NBL_SCALE=0.05 NBL_MODEL_PRUNE=0 ./build/bench/fig05_doduc_baseline \
 NBL_SCALE=0.05 ./build/bench/fig05_doduc_baseline \
     > "$tmp/fig05.unset.txt"
 diff "$tmp/fig05.off.txt" "$tmp/fig05.unset.txt"
+
+echo "== docs: drift gate (knob table + fenced CLI examples) =="
+sh tools/docs_check.sh build
+
+echo "== service: daemon answers a fig05 slice bit-identically =="
+# Start nbl-labd on a temp socket + cache dir, run the doduc fig05
+# sweep through nbl-client with --verify (every point re-simulated
+# locally and compared countersEqual), repeat it warm, then shut the
+# daemon down over the protocol. docs/SERVICE.md documents the stack.
+scale="${NBL_SCALE:-0.05}"
+./build/tools/nbl-labd --socket "$tmp/labd.sock" \
+    --cache-dir "$tmp/labd-cache" --scale "$scale" &
+labd_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    [ -S "$tmp/labd.sock" ] && break
+    sleep 0.2
+done
+./build/tools/nbl-client --socket "$tmp/labd.sock" --ping
+./build/tools/nbl-client --socket "$tmp/labd.sock" \
+    --workload doduc --fig05 --verify --scale "$scale" > /dev/null
+./build/tools/nbl-client --socket "$tmp/labd.sock" \
+    --workload doduc --fig05 --verify --scale "$scale" > /dev/null
+./build/tools/nbl-client --socket "$tmp/labd.sock" --shutdown
+wait "$labd_pid"
 
 echo "check.sh: all passes clean"

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Docs-drift gate: the documentation must gate on reality.
+#
+#     tools/docs_check.sh [build-dir]
+#
+# Two checks, both mechanical:
+#
+# 1. Knob completeness. Every NBL_* environment variable the sources
+#    read through util/env (envFlag/envInt/envDouble/envString) must
+#    have a row in the canonical knob table in docs/PERF.md. Adding a
+#    knob without documenting it fails this gate.
+#
+# 2. CLI invocations parse. Every code-fenced invocation of
+#    nbl-sim / nbl-client / nbl-labd in README.md and docs/*.md
+#    (recognized by the `tools/nbl-...` path inside a ``` fence) is
+#    re-run with --dry-run appended: the binary must accept the
+#    documented arguments. A doc example that drifts from the real
+#    flag vocabulary fails this gate.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+build="${1:-build}"
+
+fail=0
+
+echo "-- docs gate: knobs read by the code are in docs/PERF.md --"
+read_knobs="$(grep -rhoE 'env(Flag|Int|Double|String)\("NBL_[A-Z_0-9]+"' \
+    src tools bench examples 2>/dev/null |
+    grep -oE 'NBL_[A-Z_0-9]+' | sort -u)"
+# Rows of the canonical table look like: | `NBL_FOO` | ... |
+table_knobs="$(grep -oE '^\| `NBL_[A-Z_0-9]+`' docs/PERF.md |
+    grep -oE 'NBL_[A-Z_0-9]+' | sort -u)"
+for knob in $read_knobs; do
+    if ! printf '%s\n' "$table_knobs" | grep -qx "$knob"; then
+        echo "MISSING: $knob is read by the code but has no row in" \
+             "the canonical knob table (docs/PERF.md)" >&2
+        fail=1
+    fi
+done
+echo "   $(printf '%s\n' "$read_knobs" | wc -l) knobs read," \
+     "$(printf '%s\n' "$table_knobs" | wc -l) documented"
+
+echo "-- docs gate: fenced CLI examples parse (--dry-run) --"
+checked=0
+for doc in README.md docs/*.md; do
+    # Extract fenced lines mentioning tools/nbl-*: awk toggles fence
+    # state on ``` lines; sed trims everything before the tool name
+    # and everything from the first redirection/pipe/background/
+    # comment/command-separator onward.
+    awk '/^[[:space:]]*```/ { fence = !fence; next }
+         fence && /tools\/nbl-(sim|client|labd)/ { print }' "$doc" |
+    sed -e 's/.*tools\/\(nbl-[a-z]*\)/\1/' \
+        -e 's/[>|&;#].*//' |
+    while read -r cmd; do
+        tool="${cmd%% *}"
+        if [ ! -x "$build/tools/$tool" ]; then
+            echo "MISSING BINARY: $build/tools/$tool (from $doc)" >&2
+            exit 9
+        fi
+        if ! "$build/tools/$tool" ${cmd#"$tool"} --dry-run \
+                >/dev/null 2>&1; then
+            echo "STALE EXAMPLE in $doc: '$cmd' does not parse" \
+                 "(ran: $tool ... --dry-run)" >&2
+            exit 9
+        fi
+        echo "   ok: $cmd"
+    done || fail=1
+    checked=$((checked + 1))
+done
+echo "   $checked documents scanned"
+
+if [ "$fail" != "0" ]; then
+    echo "docs_check.sh: FAILED -- docs drifted from the code" >&2
+    exit 1
+fi
+echo "docs_check.sh: docs match reality"

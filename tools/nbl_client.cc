@@ -1,0 +1,352 @@
+/**
+ * @file
+ * nbl-client: one-shot CLI client for nbl-labd (docs/SERVICE.md).
+ *
+ * Builds one request frame, sends it, prints the response. The run
+ * vocabulary mirrors nbl-sim, so the same --workload/--config/
+ * --latency knobs describe a point whether it is simulated locally or
+ * served by the daemon.
+ *
+ *   nbl-client --ping
+ *   nbl-client --workload doduc --config "mc=1" --latency 10
+ *   nbl-client --workload doduc --fig05            # 42-point sweep
+ *   nbl-client --workload doduc --fig05 --verify   # diff vs local Lab
+ *   nbl-client --stats
+ *   nbl-client --shutdown
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/experiment.hh"
+#include "harness/stats_export.hh"
+#include "harness/sweep.hh"
+#include "service/framing.hh"
+#include "service/protocol.hh"
+#include "stats/json.hh"
+#include "stats/registry.hh"
+#include "stats/run_stats.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+struct Options
+{
+    std::string socketPath;
+    bool tcp = false;
+    uint16_t tcpPort = 0;
+    std::string workload;
+    std::string config = "no restrict";
+    int latency = 10;
+    uint64_t cacheBytes = 8 * 1024;
+    uint64_t lineBytes = 32;
+    unsigned ways = 1;
+    unsigned penalty = 0;
+    unsigned issueWidth = 1;
+    unsigned fillPorts = 0;
+    bool sweep = false;  ///< All scheduled latencies.
+    bool fig05 = false;  ///< Baseline configs x all latencies.
+    bool ping = false;
+    bool stats = false;
+    bool shutdown = false;
+    bool verify = false; ///< Re-run locally, require countersEqual.
+    bool json = false;   ///< Dump the raw response payload.
+    double scale = 1.0;  ///< For --verify's local Lab.
+    bool dryRun = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "nbl-client: one-shot client for nbl-labd\n"
+        "\n"
+        "  --socket PATH     daemon unix socket (default "
+        "$NBL_LABD_SOCKET or /tmp/nbl-labd.sock)\n"
+        "  --port N          connect to 127.0.0.1:N instead\n"
+        "  --workload NAME   experiment workload (requests a run)\n"
+        "  --config LABEL    miss-handling config (no restrict)\n"
+        "  --latency N       scheduled load latency (10)\n"
+        "  --cache BYTES     cache size (8192)\n"
+        "  --line BYTES      line size (32)\n"
+        "  --ways N          associativity; 0 = fully assoc (1)\n"
+        "  --penalty N       fixed miss penalty; 0 = pipelined bus\n"
+        "  --issue N         issue width 1-4 (1)\n"
+        "  --fill-ports N    fill register write ports; 0 = unlimited\n"
+        "  --sweep           all scheduled latencies for --config\n"
+        "  --fig05           the 7 baseline configs x all latencies\n"
+        "  --verify          also simulate locally; exit 1 unless "
+        "every point is bit-identical (countersEqual)\n"
+        "  --scale F         local-Lab workload scale for --verify "
+        "(must match the daemon's)\n"
+        "  --json            print the raw response payload\n"
+        "  --ping | --stats | --shutdown\n"
+        "  --dry-run         validate arguments and exit\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    o.socketPath = envString("NBL_LABD_SOCKET", "/tmp/nbl-labd.sock");
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--socket")
+            o.socketPath = need(i);
+        else if (a == "--port") {
+            o.tcp = true;
+            o.tcpPort = uint16_t(std::atoi(need(i)));
+        } else if (a == "--workload")
+            o.workload = need(i);
+        else if (a == "--config")
+            o.config = need(i);
+        else if (a == "--latency")
+            o.latency = std::atoi(need(i));
+        else if (a == "--cache")
+            o.cacheBytes = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--line")
+            o.lineBytes = std::strtoull(need(i), nullptr, 0);
+        else if (a == "--ways")
+            o.ways = unsigned(std::atoi(need(i)));
+        else if (a == "--penalty")
+            o.penalty = unsigned(std::atoi(need(i)));
+        else if (a == "--issue")
+            o.issueWidth = unsigned(std::atoi(need(i)));
+        else if (a == "--fill-ports")
+            o.fillPorts = unsigned(std::atoi(need(i)));
+        else if (a == "--sweep")
+            o.sweep = true;
+        else if (a == "--fig05")
+            o.fig05 = true;
+        else if (a == "--ping")
+            o.ping = true;
+        else if (a == "--stats")
+            o.stats = true;
+        else if (a == "--shutdown")
+            o.shutdown = true;
+        else if (a == "--verify")
+            o.verify = true;
+        else if (a == "--scale")
+            o.scale = std::atof(need(i));
+        else if (a == "--json")
+            o.json = true;
+        else if (a == "--dry-run")
+            o.dryRun = true;
+        else
+            usage();
+    }
+    return o;
+}
+
+/** The experiment points a run request asks for, in request order. */
+std::vector<std::pair<std::string, harness::ExperimentConfig>>
+pointsOf(const Options &o)
+{
+    std::vector<core::ConfigName> cfgs;
+    if (o.fig05) {
+        cfgs = harness::baselineConfigList();
+    } else {
+        core::ConfigName cfg;
+        if (!core::parseConfigLabel(o.config, &cfg))
+            fatal("unknown config '%s'", o.config.c_str());
+        cfgs.push_back(cfg);
+    }
+    std::vector<int> latencies;
+    if (o.sweep || o.fig05)
+        latencies.assign(std::begin(harness::paperLatencies),
+                         std::end(harness::paperLatencies));
+    else
+        latencies.push_back(o.latency);
+
+    std::vector<std::pair<std::string, harness::ExperimentConfig>>
+        points;
+    for (core::ConfigName cfg : cfgs) {
+        for (int lat : latencies) {
+            harness::ExperimentConfig e;
+            e.cacheBytes = o.cacheBytes;
+            e.lineBytes = o.lineBytes;
+            e.ways = o.ways;
+            e.config = cfg;
+            e.loadLatency = lat;
+            e.missPenalty = o.penalty;
+            e.issueWidth = o.issueWidth;
+            e.fillWritePorts = o.fillPorts;
+            points.emplace_back(o.workload, e);
+        }
+    }
+    return points;
+}
+
+std::string
+runRequest(const Options &o,
+           const std::vector<std::pair<std::string,
+                                       harness::ExperimentConfig>>
+               &points)
+{
+    (void)o;
+    std::string out = "{\"v\": 1, \"id\": 1, \"kind\": \"run\", "
+                      "\"points\": [";
+    for (size_t i = 0; i < points.size(); ++i) {
+        out += strfmt("%s\n {\"workload\": %s, \"config\": %s}",
+                      i ? "," : "",
+                      stats::jsonQuote(points[i].first).c_str(),
+                      harness::configJson(points[i].second).c_str());
+    }
+    out += "\n]}";
+    return out;
+}
+
+int
+connectDaemon(const Options &o)
+{
+    if (o.tcp) {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            fatal("socket(): %s", std::strerror(errno));
+        sockaddr_in in{};
+        in.sin_family = AF_INET;
+        in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        in.sin_port = htons(o.tcpPort);
+        if (::connect(fd, (const sockaddr *)&in, sizeof(in)) < 0)
+            fatal("connect to 127.0.0.1:%u: %s", unsigned(o.tcpPort),
+                  std::strerror(errno));
+        return fd;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("socket(): %s", std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (o.socketPath.size() >= sizeof(addr.sun_path))
+        fatal("socket path too long: %s", o.socketPath.c_str());
+    std::strncpy(addr.sun_path, o.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) < 0)
+        fatal("connect to '%s': %s (is nbl-labd running?)",
+              o.socketPath.c_str(), std::strerror(errno));
+    return fd;
+}
+
+/** Send one frame, read one frame; fatal on transport failure. */
+std::string
+roundTrip(int fd, const std::string &payload)
+{
+    if (!service::writeFrame(fd, payload))
+        fatal("failed to send request: %s", std::strerror(errno));
+    std::string response, err;
+    service::ReadStatus st = service::readFrame(fd, &response, &err);
+    if (st != service::ReadStatus::Ok)
+        fatal("failed to read response: %s",
+              st == service::ReadStatus::Eof ? "connection closed"
+                                             : err.c_str());
+    return response;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    bool run = !o.workload.empty();
+    if (int(run) + int(o.ping) + int(o.stats) + int(o.shutdown) != 1)
+        usage();
+    std::vector<std::pair<std::string, harness::ExperimentConfig>>
+        points;
+    if (run)
+        points = pointsOf(o); // Validates workload-side arguments.
+    if (o.dryRun)
+        return 0;
+
+    std::string request;
+    if (o.ping)
+        request = "{\"v\": 1, \"id\": 1, \"kind\": \"ping\"}";
+    else if (o.stats)
+        request = "{\"v\": 1, \"id\": 1, \"kind\": \"stats\"}";
+    else if (o.shutdown)
+        request = "{\"v\": 1, \"id\": 1, \"kind\": \"shutdown\"}";
+    else
+        request = runRequest(o, points);
+
+    int fd = connectDaemon(o);
+    std::string payload = roundTrip(fd, request);
+    ::close(fd);
+
+    if (o.json)
+        std::printf("%s\n", payload.c_str());
+
+    std::string perr;
+    std::optional<stats::Json> doc =
+        stats::Json::tryParse(payload, &perr);
+    if (!doc)
+        fatal("unparseable response: %s", perr.c_str());
+    const stats::Json *ok = doc->find("ok");
+    if (!ok || !ok->isBool() || !ok->boolean()) {
+        const stats::Json *e = doc->find("error");
+        if (e && e->isObject())
+            fatal("daemon error [%s]: %s", e->at("code").str().c_str(),
+                  e->at("message").str().c_str());
+        fatal("daemon error: %s", payload.c_str());
+    }
+
+    if (!run) {
+        if (!o.json)
+            std::printf("%s\n", doc->at("kind").str().c_str());
+        return 0;
+    }
+
+    const std::vector<stats::Json> &results =
+        doc->at("results").array();
+    if (results.size() != points.size())
+        fatal("daemon returned %zu results for %zu points",
+              results.size(), points.size());
+
+    harness::Lab lab(o.scale);
+    size_t mismatches = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+        const stats::Json &r = results[i];
+        stats::Snapshot snap = stats::snapshotFromJson(r.at("stats"));
+        const std::string &cached = r.at("cached").str();
+        std::string verdict;
+        if (o.verify) {
+            stats::Snapshot local = stats::snapshotOfRun(
+                lab.run(points[i].first, points[i].second).run);
+            bool equal = local.countersEqual(snap);
+            mismatches += equal ? 0 : 1;
+            verdict = equal ? "  verify=ok" : "  verify=MISMATCH";
+        }
+        if (!o.json)
+            std::printf("%-10s %-11s lat %-3d %-8s mcpi %.4f%s\n",
+                        points[i].first.c_str(),
+                        core::configLabel(points[i].second.config),
+                        points[i].second.loadLatency, cached.c_str(),
+                        snap.derivedValue("cpu.mcpi"),
+                        verdict.c_str());
+    }
+    if (o.verify) {
+        std::printf("verify: %zu/%zu points bit-identical\n",
+                    points.size() - mismatches, points.size());
+        return mismatches == 0 ? 0 : 1;
+    }
+    return 0;
+}

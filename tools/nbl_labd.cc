@@ -1,0 +1,143 @@
+/**
+ * @file
+ * nbl-labd: the sweep-as-a-service daemon (docs/SERVICE.md).
+ *
+ * Serves experiment points over a length-prefixed JSON protocol on a
+ * unix-domain socket (optionally also loopback TCP). One shared
+ * harness::Lab memoizes everything in memory; a content-addressed
+ * on-disk store (--cache-dir / NBL_LABD_CACHE_DIR) makes results and
+ * recorded event traces survive restarts.
+ *
+ *   nbl-labd --socket /tmp/nbl.sock --cache-dir ~/.cache/nbl
+ *   nbl-labd --socket /tmp/nbl.sock --tcp 0    # + ephemeral TCP port
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "service/cache_store.hh"
+#include "service/server.hh"
+#include "service/service.hh"
+#include "util/env.hh"
+#include "util/log.hh"
+
+using namespace nbl;
+
+namespace
+{
+
+struct Options
+{
+    std::string socketPath;
+    std::string cacheDir;
+    bool tcp = false;
+    uint16_t tcpPort = 0;
+    double scale = 1.0;
+    bool dryRun = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::printf(
+        "nbl-labd: sweep-as-a-service daemon\n"
+        "\n"
+        "  --socket PATH     unix socket to listen on\n"
+        "                    (default $NBL_LABD_SOCKET or "
+        "/tmp/nbl-labd.sock)\n"
+        "  --cache-dir DIR   persistent result/trace store\n"
+        "                    (default $NBL_LABD_CACHE_DIR; empty = "
+        "in-memory only)\n"
+        "  --tcp PORT        also listen on 127.0.0.1:PORT "
+        "(0 = ephemeral,\n"
+        "                    bound port printed on startup)\n"
+        "  --scale F         workload size multiplier (1.0)\n"
+        "  --dry-run         validate arguments and exit (docs smoke "
+        "checks)\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    o.socketPath = envString("NBL_LABD_SOCKET", "/tmp/nbl-labd.sock");
+    o.cacheDir = envString("NBL_LABD_CACHE_DIR");
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--socket")
+            o.socketPath = need(i);
+        else if (a == "--cache-dir")
+            o.cacheDir = need(i);
+        else if (a == "--tcp") {
+            o.tcp = true;
+            o.tcpPort = uint16_t(std::atoi(need(i)));
+        } else if (a == "--scale")
+            o.scale = std::atof(need(i));
+        else if (a == "--dry-run")
+            o.dryRun = true;
+        else
+            usage();
+    }
+    return o;
+}
+
+service::SocketServer *gServer = nullptr;
+
+void
+onSignal(int)
+{
+    if (gServer)
+        gServer->stop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+    if (o.dryRun)
+        return 0;
+
+    // A client hanging up mid-response must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    harness::Lab lab(o.scale);
+    service::CacheStore store =
+        o.cacheDir.empty() ? service::CacheStore()
+                           : service::CacheStore(o.cacheDir);
+    service::LabService svc(lab, store);
+    service::SocketServer server(
+        svc, {o.socketPath, o.tcp, o.tcpPort});
+
+    std::string err;
+    if (!server.start(&err))
+        fatal("nbl-labd: %s", err.c_str());
+
+    gServer = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::printf("nbl-labd: listening on %s\n", o.socketPath.c_str());
+    if (o.tcp)
+        std::printf("nbl-labd: tcp port %u\n",
+                    unsigned(server.tcpPort()));
+    if (store.enabled())
+        std::printf("nbl-labd: cache dir %s\n", store.dir().c_str());
+    std::fflush(stdout);
+
+    server.wait();
+    gServer = nullptr;
+    std::printf("nbl-labd: stopped\n");
+    return 0;
+}

@@ -48,36 +48,12 @@ struct Options
     bool csv = false;
     bool plot = false;
     bool list = false;
+    bool dryRun = false;
 };
 
-const std::vector<std::pair<std::string, core::ConfigName>> &
-configTable()
-{
-    static const std::vector<std::pair<std::string, core::ConfigName>>
-        table = {
-            {"mc=0 +wma", core::ConfigName::Mc0Wma},
-            {"mc=0", core::ConfigName::Mc0},
-            {"mc=1", core::ConfigName::Mc1},
-            {"mc=2", core::ConfigName::Mc2},
-            {"fc=1", core::ConfigName::Fc1},
-            {"fc=2", core::ConfigName::Fc2},
-            {"fs=1", core::ConfigName::Fs1},
-            {"fs=2", core::ConfigName::Fs2},
-            {"in-cache", core::ConfigName::InCache},
-            {"no restrict", core::ConfigName::NoRestrict},
-        };
-    return table;
-}
-
-std::optional<core::ConfigName>
-parseConfig(const std::string &name)
-{
-    for (const auto &[label, cfg] : configTable()) {
-        if (label == name)
-            return cfg;
-    }
-    return std::nullopt;
-}
+// Config labels are parsed by core::parseConfigLabel -- one
+// vocabulary shared with the daemon's request schema (src/service/),
+// so any label this CLI accepts is valid in a service request too.
 
 [[noreturn]] void
 usage()
@@ -100,7 +76,9 @@ usage()
         "  --sweep               sweep all scheduled latencies\n"
         "  --csv                 with --sweep: emit CSV\n"
         "  --plot                with --sweep: ASCII plot\n"
-        "  --list                list workloads and configs\n");
+        "  --list                list workloads and configs\n"
+        "  --dry-run             validate arguments and exit (docs "
+        "smoke checks)\n");
     std::exit(2);
 }
 
@@ -143,6 +121,8 @@ parse(int argc, char **argv)
             o.plot = true;
         else if (a == "--list")
             o.list = true;
+        else if (a == "--dry-run")
+            o.dryRun = true;
         else
             usage();
     }
@@ -194,27 +174,38 @@ main(int argc, char **argv)
         for (const auto &w : workloads::workloadNames())
             std::printf(" %s", w.c_str());
         std::printf("\nconfigs:");
-        for (const auto &[label, cfg] : configTable())
-            std::printf(" '%s'", label.c_str());
+        for (core::ConfigName cfg : core::allConfigNames)
+            std::printf(" '%s'", core::configLabel(cfg));
         std::printf("\n");
         return 0;
     }
 
     std::vector<std::string> wls;
-    if (o.workload == "all")
+    if (o.workload == "all") {
         wls = workloads::workloadNames();
-    else
+    } else {
+        bool known = false;
+        for (const auto &w : workloads::workloadNames())
+            known = known || w == o.workload;
+        if (!known)
+            fatal("unknown workload '%s' (try --list)",
+                  o.workload.c_str());
         wls.push_back(o.workload);
+    }
 
     std::vector<std::pair<std::string, core::ConfigName>> cfgs;
     if (o.config == "all") {
-        cfgs.assign(configTable().begin(), configTable().end());
+        for (core::ConfigName cfg : core::allConfigNames)
+            cfgs.emplace_back(core::configLabel(cfg), cfg);
     } else {
-        auto cfg = parseConfig(o.config);
-        if (!cfg)
+        core::ConfigName cfg;
+        if (!core::parseConfigLabel(o.config, &cfg))
             fatal("unknown config '%s' (try --list)", o.config.c_str());
-        cfgs.emplace_back(o.config, *cfg);
+        cfgs.emplace_back(o.config, cfg);
     }
+
+    if (o.dryRun)
+        return 0;
 
     harness::Lab lab(o.scale);
 
