@@ -129,7 +129,9 @@ sameMachine(const harness::ExperimentConfig &a,
            a.fillWritePorts == b.fillWritePorts &&
            a.maxInstructions == b.maxInstructions &&
            core::hierarchyKey(a.hierarchy) ==
-               core::hierarchyKey(b.hierarchy);
+               core::hierarchyKey(b.hierarchy) &&
+           nbl::policy::stallPolicyKey(a.stallPolicy) ==
+               nbl::policy::stallPolicyKey(b.stallPolicy);
 }
 
 /** First differing counter between two snapshots, for the report. */
@@ -304,7 +306,8 @@ checkProgram(const isa::Program &program,
             uint64_t sum = out.cpu.instructions +
                            out.cpu.depStallCycles +
                            out.cpu.structStallCycles +
-                           out.cpu.blockStallCycles;
+                           out.cpu.blockStallCycles +
+                           out.cpu.predStallCycles;
             if (out.cpu.cycles != sum)
                 report(i, "stall-partition",
                        strfmt("cycles=%llu but partition sums to %llu",
@@ -366,7 +369,8 @@ checkProgram(const isa::Program &program,
         // The reference model hard-wires the constant penalty, so both
         // reference checks apply only to the degenerate chain.
         if (lim.blocking && cfg.issueWidth == 1 && !cfg.perfectCache &&
-            lim.fillExtra == 0 && degenerate_hier) {
+            lim.fillExtra == 0 && degenerate_hier &&
+            cfg.stallPolicy.defaulted()) {
             const ReferenceResult &ref = reference(cfg, lim.wma);
             struct Cmp
             {
@@ -415,7 +419,8 @@ checkProgram(const isa::Program &program,
         if (!lim.blocking && !lim.incomparable &&
             cfg.issueWidth == 1 && !cfg.perfectCache &&
             lim.store == core::StoreMode::WriteAround &&
-            lim.fillExtra == 0 && degenerate_hier) {
+            lim.fillExtra == 0 && degenerate_hier &&
+            cfg.stallPolicy.defaulted()) {
             const ReferenceResult &ref = reference(cfg, false);
             if (ref.evictions == 0 && out.cache.evictions == 0 &&
                 out.cpu.cycles > ref.cycles)
@@ -432,7 +437,8 @@ checkProgram(const isa::Program &program,
         // configuration the model covers, and hit it exactly on the
         // blocking ones.
         if (cfg.issueWidth == 1 && !cfg.perfectCache &&
-            cfg.fillWritePorts == 0 && degenerate_hier) {
+            cfg.fillWritePorts == 0 && degenerate_hier &&
+            cfg.stallPolicy.defaulted()) {
             model::Prediction pred = model::predict(
                 profileFor(cfg), harness::predictQueryFor(cfg));
             if (pred.supported) {
@@ -473,11 +479,16 @@ checkProgram(const isa::Program &program,
         // write-buffer merge and secondary-miss windows
         // non-monotonically (this is exactly the paper's
         // trace-vs-exec methodology gap), so the checker is silent.
+        // With SSR active the theorem still holds: a forwarded issue
+        // happens at the dependence-free cycle (that is what
+        // forwarding means), so zero recorded dependence stalls again
+        // implies a dependence-free timeline -- identical access
+        // cycles, identical predictor evolution, identical penalties.
         if (cfg.issueWidth == 1 && !cfg.perfectCache &&
             (lim.blocking || out.cpu.depStallCycles == 0)) {
             exec::ReplayResult tr = exec::replayTrace(
                 mtrace, mc.geometry, mc.policy, mc.memory,
-                mc.hierarchy);
+                mc.hierarchy, mc.stallPolicy);
             if (tr.cycles != out.cpu.cycles)
                 report(i, "trace-replay",
                        strfmt("trace cycles=%llu vs exec %llu (%s)",
@@ -525,6 +536,12 @@ checkProgram(const isa::Program &program,
         // penalty chain.
         if (!cfgs[i].hierarchy.degenerate())
             continue;
+        // A stall policy breaks the lattice the same way: prefetches
+        // reshape the miss stream and prediction penalties depend on
+        // per-organization outcomes, so ordering is forfeit even
+        // between runs sharing one policy.
+        if (!cfgs[i].stallPolicy.defaulted())
+            continue;
         if (outs[i].cache.evictions != 0)
             continue;
         const Limits a = resolveLimits(cfgs[i]);
@@ -532,6 +549,8 @@ checkProgram(const isa::Program &program,
             if (i == j || !sameMachine(cfgs[i], cfgs[j]))
                 continue;
             if (outs[j].cache.evictions != 0)
+                continue;
+            if (!cfgs[j].stallPolicy.defaulted())
                 continue;
             const Limits b = resolveLimits(cfgs[j]);
             bool dom = dominates(a, b);

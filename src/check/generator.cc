@@ -321,6 +321,51 @@ generateConfigs(Rng &rng)
         }
     }
 
+    // Stall-policy points: with probability ~1/2, rerun a few of the
+    // organizations with a random stall-reduction policy (level
+    // predictor / spare-MSHR prefetch / SSR forwarding), so every
+    // engine cross and the conservation laws run with the policy
+    // timing paths active -- including a blocking organization, where
+    // the prefetcher must be inert.
+    if (rng.chance(0.5)) {
+        nbl::policy::StallPolicyConfig sp;
+        do {
+            sp = {};
+            if (rng.chance(0.6)) {
+                static constexpr nbl::policy::PredictorMode kPred[] = {
+                    nbl::policy::PredictorMode::Table,
+                    nbl::policy::PredictorMode::Oracle,
+                    nbl::policy::PredictorMode::Synthetic};
+                sp.predictor.mode = kPred[rng.below(3)];
+                sp.predictor.tableBits = unsigned(rng.range(2, 10));
+                sp.predictor.penalty = unsigned(rng.below(6));
+                sp.predictor.accuracy = rng.real();
+            }
+            if (rng.chance(0.5)) {
+                sp.prefetch.mode =
+                    rng.chance(0.5) ? nbl::policy::PrefetchMode::NextLine
+                                    : nbl::policy::PrefetchMode::Stride;
+                sp.prefetch.degree = unsigned(rng.range(1, 4));
+            }
+            if (rng.chance(0.4))
+                sp.ssr.window = unsigned(rng.range(1, 6));
+        } while (sp.defaulted());
+        static constexpr core::ConfigName kPol[] = {
+            core::ConfigName::Mc0Wma, core::ConfigName::Mc1,
+            core::ConfigName::Fs2, core::ConfigName::NoRestrict};
+        for (core::ConfigName name : kPol) {
+            harness::ExperimentConfig c = base;
+            c.config = name;
+            c.stallPolicy = sp;
+            cfgs.push_back(c);
+        }
+        // One destination-field organization under the same policy.
+        harness::ExperimentConfig c = base;
+        c.customPolicy = core::makeFieldPolicy(2, 2);
+        c.stallPolicy = sp;
+        cfgs.push_back(c);
+    }
+
     // Two fully random custom policies.
     for (int i = 0; i < 2; ++i) {
         core::MshrPolicy pol;

@@ -63,6 +63,12 @@ class Mshr
 
     const std::vector<MshrDest> &dests() const { return dests_; }
 
+    /** Mark this fetch as prefetch-initiated: it carries no
+     *  destination fields unless a demand miss later merges in
+     *  (src/policy/stall_policy.hh). */
+    void markPrefetch() { prefetch_ = true; }
+    bool isPrefetch() const { return prefetch_; }
+
   private:
     /** Range of sub-block slots covered by [offset, offset+size). */
     std::pair<unsigned, unsigned> subRange(unsigned offset,
@@ -76,6 +82,7 @@ class Mshr
     int misses_per_sub_;        ///< Capacity per group; -1 = unlimited.
     std::vector<uint16_t> sub_counts_;
     std::vector<MshrDest> dests_;
+    bool prefetch_ = false;
 };
 
 } // namespace nbl::core

@@ -107,7 +107,10 @@ MshrFile::popCompleted(uint64_t now)
         panic("per-set fetch count underflow");
     if (--it->second == 0)
         per_set_.erase(it);
-    active_misses_ -= done.numDests();
+    // A prefetch-initiated fetch held one miss slot for its register
+    // on top of any demand destinations that merged in later
+    // (NonblockingCache::issuePrefetches).
+    active_misses_ -= done.numDests() + (done.isPrefetch() ? 1u : 0u);
     return done;
 }
 

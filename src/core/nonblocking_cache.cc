@@ -101,8 +101,20 @@ NonblockingCache::expireSlow(uint64_t now)
     while (auto done = mshrs_.popCompleted(now)) {
         uint64_t at = done->completeCycle();
         ++stats_.destsPerFetch[std::min<unsigned>(done->numDests(), 8)];
-        if (tags_.fill(done->blockAddr()))
+        // A fill is a "pure" prefetch only if no demand miss merged
+        // in before it landed (the merge erases the in-flight mark).
+        bool pure_pf = pf_active_ && done->isPrefetch() &&
+                       pf_inflight_.erase(done->blockAddr()) > 0;
+        if (auto evicted = tags_.fill(done->blockAddr())) {
             ++stats_.evictions;
+            if (pf_active_) {
+                pf_resident_.erase(*evicted);
+                if (pure_pf)
+                    pf_victims_.insert(*evicted);
+            }
+        }
+        if (pure_pf)
+            pf_resident_.insert(done->blockAddr());
         tracker_.fetches.decrement(at);
         for (unsigned i = 0; i < done->numDests(); ++i)
             tracker_.misses.decrement(at);
@@ -185,6 +197,9 @@ NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
             // Only reachable after a structural stall: the blocking
             // fetch filled this line. Counted as a structural-stall
             // miss, not a hit.
+            if (pf_active_ &&
+                pf_resident_.erase(geom_.blockAddr(addr)) > 0)
+                ++pf_.useful;
             return {t, t + 1, t + 1, AccessKind::Hit, stalled};
         }
 
@@ -203,6 +218,11 @@ NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
                 m->addDest(dest_linear, off, size);
                 mshrs_.noteMissAdded();
                 mshrs_.updatePeaks();
+                // A demand miss merging into an in-flight prefetch:
+                // the prefetch was useful (and is demand-owned now).
+                if (pf_active_ && m->isPrefetch() &&
+                    pf_inflight_.erase(blk) > 0)
+                    ++pf_.useful;
                 if (inverted_)
                     inverted_->allocate(dest_linear, blk, off, size);
                 if (is_store)
@@ -254,11 +274,71 @@ NonblockingCache::missPath(uint64_t addr, unsigned size, uint64_t t,
             ++stats_.fetches;
             tracker_.fetches.increment(t);
             tracker_.misses.increment(t);
+            if (pf_active_) {
+                if (pf_victims_.erase(blk) > 0)
+                    ++pf_.evictHarm;
+                issuePrefetches(blk, t);
+            }
             return {t, complete, t + 1, AccessKind::Primary, stalled};
         }
 
         // No MSHR (or per-set slot) available: structural-stall miss.
         structStall(t, mshrs_.allocFreeCycle(set), stalled);
+    }
+}
+
+void
+NonblockingCache::issuePrefetches(uint64_t blk, uint64_t t)
+{
+    int64_t stride = int64_t(geom_.lineBytes());
+    if (pf_cfg_.mode == nbl::policy::PrefetchMode::Stride) {
+        // Global stride detector: issue only once the same non-zero
+        // block delta has been seen on two consecutive demand misses.
+        int64_t delta = int64_t(blk - pf_last_blk_);
+        bool confirmed =
+            pf_have_last_ && delta != 0 && delta == pf_last_delta_;
+        pf_last_delta_ = pf_have_last_ ? delta : 0;
+        pf_last_blk_ = blk;
+        pf_have_last_ = true;
+        if (!confirmed)
+            return;
+        stride = delta;
+    }
+    for (unsigned k = 1; k <= pf_cfg_.degree; ++k) {
+        uint64_t cand = blk + uint64_t(stride) * k;
+        // Already resident or already being fetched: nothing to do.
+        // The probe must not disturb LRU state (present(), not
+        // lookup()): a prefetch probe is not a demand reference.
+        if (tags_.present(cand) || mshrs_.findBlock(cand))
+            continue;
+        uint64_t set =
+            geom_.fullyAssociative() ? cand : geom_.setIndex(cand);
+        // Spare-MSHR contract: a prefetch may only use capacity a
+        // demand miss could not want right now -- and the mc=
+        // organizations express their register count as the miss cap
+        // (numMshrs unlimited, maxMisses = registers), so the cap
+        // gates prefetch too. Denied, never stalled.
+        if (!mshrs_.canAllocate(set) || !mshrs_.canAddMiss()) {
+            ++pf_.mshrDenied;
+            continue;
+        }
+        uint64_t sent = down_.send(t + 1);
+        uint64_t complete =
+            next_->fetchLine(cand,
+                             static_cast<unsigned>(geom_.lineBytes()),
+                             sent, /*count_mem_fetch=*/true) +
+            policy_.fillExtraCycles;
+        Mshr &m = mshrs_.allocate(cand, set, complete);
+        m.markPrefetch();
+        // The register itself is the occupied resource: hold one miss
+        // slot for the fetch's lifetime (released by popCompleted).
+        mshrs_.noteMissAdded();
+        mshrs_.updatePeaks();
+        ++stats_.fetches;
+        tracker_.fetches.increment(t);
+        pf_victims_.erase(cand); // Fetched back; no longer harmable.
+        pf_inflight_.insert(cand);
+        ++pf_.issued;
     }
 }
 
@@ -274,6 +354,8 @@ NonblockingCache::loadSlow(uint64_t addr, unsigned size, uint64_t now,
 
     if (tags_.lookup(addr)) {
         ++stats_.loadHits;
+        if (pf_active_ && pf_resident_.erase(geom_.blockAddr(addr)) > 0)
+            ++pf_.useful;
         return {now, now + 1, now + 1, AccessKind::Hit, false};
     }
     return missPath(addr, size, now, dest_linear, /*is_store=*/false,
@@ -329,6 +411,8 @@ NonblockingCache::store(uint64_t addr, unsigned size, uint64_t now)
     if (tags_.lookup(addr)) {
         // Write-through: update the line and send the data onward.
         ++stats_.storeHits;
+        if (pf_active_ && pf_resident_.erase(blk) > 0)
+            ++pf_.useful;
         wbuf_.push(blk, now);
         return {now, now + 1, now + 1, AccessKind::Hit, false};
     }

@@ -37,8 +37,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 
 #include "core/flight_tracker.hh"
+#include "policy/stall_policy.hh"
 #include "isa/reg.hh"
 #include "core/hierarchy.hh"
 #include "core/inverted_mshr.hh"
@@ -166,7 +168,10 @@ class NonblockingCache
     load(uint64_t addr, unsigned size, uint64_t now,
          unsigned dest_linear)
     {
-        if (mshrs_.activeFetches() == 0 && tags_.lookup(addr)) {
+        // With the prefetcher active every hit must run the
+        // pf-resident bookkeeping, so the fast path is bypassed.
+        if (!pf_active_ && mshrs_.activeFetches() == 0 &&
+            tags_.lookup(addr)) {
             ++stats_.loads;
             ++stats_.loadHits;
             return {now, now + 1, now + 1, AccessKind::Hit, false};
@@ -198,6 +203,28 @@ class NonblockingCache
 
     /** Finish the in-flight histograms; call after drainAll(). */
     void finalizeTracker(uint64_t end_cycle) { tracker_.finalize(end_cycle); }
+
+    /**
+     * Attach the spare-MSHR prefetcher (docs/MODEL.md,
+     * "Stall-reduction policies"). Prefetch candidates are issued on
+     * demand primary misses and admitted only when
+     * MshrFile::canAllocate() has a spare slot -- a denied candidate
+     * is counted (pf.mshr_denied), never stalled. A defaulted config
+     * leaves every access path bit-identical. Blocking modes never
+     * start pool fetches, so the prefetcher is inert there.
+     */
+    void
+    configurePrefetch(const nbl::policy::PrefetchConfig &cfg)
+    {
+        pf_cfg_ = cfg;
+        pf_active_ = cfg.mode != nbl::policy::PrefetchMode::Off;
+    }
+
+    const nbl::policy::PrefetchStats &
+    prefetchStats() const
+    {
+        return pf_;
+    }
 
     const CacheStats &stats() const { return stats_; }
     const FlightTracker &tracker() const { return tracker_; }
@@ -265,6 +292,10 @@ class NonblockingCache
     /** Account a structural stall from *t until `until`; retries. */
     void structStall(uint64_t &t, uint64_t until, bool &stalled);
 
+    /** Issue prefetch candidates after a demand primary miss to blk
+     *  at cycle t (pf_active_ only). */
+    void issuePrefetches(uint64_t blk, uint64_t t);
+
     mem::CacheGeometry geom_;
     MshrPolicy policy_;
     mem::MainMemory memory_;
@@ -284,6 +315,21 @@ class NonblockingCache
     CacheStats stats_;
     uint64_t last_drain_cycle_ = 0;
     unsigned fill_write_ports_;
+    /** Spare-MSHR prefetcher state (configurePrefetch()). Fully
+     *  qualified: the policy() accessor shadows the namespace. */
+    nbl::policy::PrefetchConfig pf_cfg_;
+    bool pf_active_ = false;
+    nbl::policy::PrefetchStats pf_;
+    /** Prefetch fetches in flight never yet demanded. */
+    std::unordered_set<uint64_t> pf_inflight_;
+    /** Prefetched lines resident but never yet demanded. */
+    std::unordered_set<uint64_t> pf_resident_;
+    /** Blocks evicted by an undemanded prefetch fill. */
+    std::unordered_set<uint64_t> pf_victims_;
+    /** Stride detector: last demand-miss block and its delta. */
+    uint64_t pf_last_blk_ = 0;
+    int64_t pf_last_delta_ = 0;
+    bool pf_have_last_ = false;
     /** Write-allocate stores: cycle each write-buffer destination
      *  entry frees (its fetch's fill time). */
     std::array<uint64_t, isa::numWriteBufferDests> wb_dest_free_{};

@@ -37,7 +37,18 @@ Cpu::writtenThisCycle(isa::RegId reg) const
 }
 
 void
-Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
+Cpu::configureStallPolicy(const policy::StallPolicyConfig &p)
+{
+    pred_active_ = p.predictor.mode != policy::PredictorMode::Off;
+    pred_penalty_ = p.predictor.penalty;
+    pred_ = policy::LevelPredictor(p.predictor);
+    // SSR models a scalar pipeline's forwarding network; at issue
+    // widths above 1 the window is ignored (docs/MODEL.md).
+    ssr_window_ = issue_width_ == 1 ? p.ssr.window : 0;
+}
+
+void
+Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr, uint64_t pc)
 {
     if (finished_)
         panic("instruction after finish()");
@@ -61,14 +72,26 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
     // of the register value without stalling (the stale fill is
     // squashed on arrival), but the fill's destination-indexed miss
     // state stays busy until it returns, so a later load must wait.
-    uint64_t earliest = cycle_;
+    //
+    // SSR forwarding: a source-readiness bubble no wider than the
+    // window is removed (the in-flight fill is forwarded straight
+    // into the consumer). The WAW floor is a miss-handling resource,
+    // not a data dependence, so it is never forwarded over.
+    uint64_t base = cycle_;
+    if (in.isLoad())
+        base = std::max(base, fillReady_[in.dst.destLinear()]);
+    uint64_t earliest = base;
     unsigned ns = in.numSrcs();
     if (ns >= 1)
         earliest = std::max(earliest, sb_.readyAt(in.src1));
     if (ns >= 2)
         earliest = std::max(earliest, sb_.readyAt(in.src2));
-    if (in.isLoad())
-        earliest = std::max(earliest, fillReady_[in.dst.destLinear()]);
+    if (ssr_window_ && earliest > base &&
+        earliest - base <= ssr_window_) {
+        ++stats_.ssrForwarded;
+        stats_.ssrSavedCycles += earliest - base;
+        earliest = base;
+    }
     if (earliest > cycle_) {
         stats_.depStallCycles += earliest - cycle_;
         advanceTo(earliest);
@@ -121,6 +144,30 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
             stats_.blockStallCycles += out.procFreeAt - (cycle_ + 1);
             advanceTo(out.procFreeAt);
         }
+        if (in.isLoad() && pred_active_) {
+            // Cache-level prediction: the issue logic scheduled
+            // against the predicted level; an underprediction
+            // (assumed hit, was a miss) replays the consumer window,
+            // restarting issue `penalty` cycles after the load's slot.
+            bool actual_hit = out.kind == core::AccessKind::Hit &&
+                              !out.structStalled;
+            bool predicted_hit = pred_.predictAndTrain(pc, actual_hit);
+            ++stats_.predLoads;
+            if (predicted_hit == actual_hit) {
+                ++stats_.predHits;
+                if (!actual_hit)
+                    stats_.predRecovered += pred_penalty_;
+            } else if (predicted_hit) {
+                ++stats_.predUnder;
+                if (pred_penalty_) {
+                    stats_.predStallCycles += pred_penalty_;
+                    advanceTo(cycle_ + (slots_used_ > 0 ? 1 : 0) +
+                              pred_penalty_);
+                }
+            } else {
+                ++stats_.predOver;
+            }
+        }
     } else {
         if (in.hasDst())
             sb_.setReady(in.dst, cycle_ + 1);
@@ -130,14 +177,14 @@ Cpu::onInstr(const isa::Instr &in, uint64_t eff_addr)
 
 const uint64_t *
 Cpu::replayRun(const isa::Instr *code, size_t n,
-               const uint64_t *eff_addrs)
+               const uint64_t *eff_addrs, uint64_t base_pc)
 {
     for (size_t i = 0; i < n; ++i) {
         const isa::Instr &in = code[i];
         uint64_t ea = 0;
         if (in.isMem())
             ea = *eff_addrs++;
-        onInstr(in, ea);
+        onInstr(in, ea, base_pc + i);
     }
     return eff_addrs;
 }
@@ -170,7 +217,7 @@ decodeForReplay(const isa::Program &program)
 
 const uint64_t *
 Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
-                      const uint64_t *eff_addrs)
+                      const uint64_t *eff_addrs, uint64_t base_pc)
 {
     if (finished_)
         panic("instruction after finish()");
@@ -203,8 +250,12 @@ Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
         // scoreboard is not consulted (the common case). A load's WAW
         // check reads fillReady_ unconditionally -- an intervening
         // non-load write can overwrite the scoreboard entry but not
-        // the fill time, so the mask cannot gate it.
-        uint64_t earliest = cycle;
+        // the fill time, so the mask cannot gate it; it is a
+        // miss-handling resource, so SSR never forwards over it.
+        uint64_t base = cycle;
+        if (in.flags & kReplayLoad)
+            base = std::max(base, fillReady_[in.dstLin]);
+        uint64_t earliest = base;
         if (pending & in.useMask) {
             if (in.ns >= 1)
                 earliest = std::max(earliest,
@@ -212,12 +263,22 @@ Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
             if (in.ns >= 2)
                 earliest = std::max(earliest,
                                     sb_.readyAtLinear(in.src2Lin));
-            // Every consulted register is ready once `cycle` reaches
-            // `earliest` below.
-            pending &= ~in.useMask;
+            if (ssr_window_ && earliest > base &&
+                earliest - base <= ssr_window_) {
+                // SSR forwarding removes the bubble. The consulted
+                // registers' scoreboard entries still lie in the
+                // future (the fill has not landed), so they stay in
+                // the pending mask for later consumers -- exactly as
+                // onInstr() re-consults the scoreboard every time.
+                ++stats_.ssrForwarded;
+                stats_.ssrSavedCycles += earliest - base;
+                earliest = base;
+            } else {
+                // Every consulted register is ready once `cycle`
+                // reaches `earliest` below.
+                pending &= ~in.useMask;
+            }
         }
-        if (in.flags & kReplayLoad)
-            earliest = std::max(earliest, fillReady_[in.dstLin]);
         if (earliest > cycle) {
             stats_.depStallCycles += earliest - cycle;
             cycle = earliest;
@@ -249,6 +310,35 @@ Cpu::replayRunDecoded(const ReplayDecoded *code, size_t n,
                 stats_.blockStallCycles += out.procFreeAt - (cycle + 1);
                 cycle = out.procFreeAt;
                 issued = false;
+            }
+            if ((in.flags & kReplayLoad) && pred_active_) {
+                // Cache-level prediction; mirrors onInstr() exactly
+                // (issue restarts `penalty` cycles after the load's
+                // slot on an underprediction).
+                bool actual_hit =
+                    out.kind == core::AccessKind::Hit &&
+                    !out.structStalled;
+                bool predicted_hit =
+                    pred_.predictAndTrain(base_pc + i, actual_hit);
+                ++stats_.predLoads;
+                if (predicted_hit == actual_hit) {
+                    ++stats_.predHits;
+                    if (!actual_hit)
+                        stats_.predRecovered += pred_penalty_;
+                } else if (predicted_hit) {
+                    ++stats_.predUnder;
+                    if (pred_penalty_) {
+                        stats_.predStallCycles += pred_penalty_;
+                        if (issued) {
+                            cycle = cycle + 1 + pred_penalty_;
+                            issued = false;
+                        } else {
+                            cycle += pred_penalty_;
+                        }
+                    }
+                } else {
+                    ++stats_.predOver;
+                }
             }
         } else {
             if (in.flags & kReplayMem)

@@ -32,6 +32,7 @@
 #include "core/nonblocking_cache.hh"
 #include "isa/instr.hh"
 #include "isa/program.hh"
+#include "policy/stall_policy.hh"
 
 namespace nbl::cpu
 {
@@ -80,23 +81,37 @@ class Cpu
                  bool perfect = false);
 
     /**
+     * Attach the stall-reduction policy (docs/MODEL.md,
+     * "Stall-reduction policies"): the cache-level predictor and its
+     * misprediction penalty, and the SSR forwarding window. The
+     * prefetcher is cache-side (NonblockingCache::configurePrefetch).
+     * A defaulted policy leaves the timing model bit-identical. SSR
+     * models a scalar pipeline's forwarding network and is a no-op at
+     * issue widths above 1.
+     */
+    void configureStallPolicy(const policy::StallPolicyConfig &p);
+
+    /**
      * Account one dynamic instruction.
      * @param in The instruction.
      * @param eff_addr Effective address for memory operations.
+     * @param pc Static program counter (index into the program), the
+     *           cache-level predictor's table index.
      */
-    void onInstr(const isa::Instr &in, uint64_t eff_addr);
+    void onInstr(const isa::Instr &in, uint64_t eff_addr, uint64_t pc);
 
     /**
      * Replay entry for the scoreboard path (exec/event_trace.hh):
      * account a straight-line run of n instructions starting at
-     * code[0], consuming one recorded effective address per memory
-     * operation. Behaviorally identical to calling onInstr() once per
-     * instruction; living beside onInstr lets the compiler inline the
-     * per-instruction call in the replay hot loop.
+     * code[0] == program[base_pc], consuming one recorded effective
+     * address per memory operation. Behaviorally identical to calling
+     * onInstr() once per instruction; living beside onInstr lets the
+     * compiler inline the per-instruction call in the replay hot loop.
      * @return The advanced effective-address cursor.
      */
     const uint64_t *replayRun(const isa::Instr *code, size_t n,
-                              const uint64_t *eff_addrs);
+                              const uint64_t *eff_addrs,
+                              uint64_t base_pc);
 
     /**
      * Single-issue replay fast path over pre-decoded instructions
@@ -107,7 +122,8 @@ class Cpu
      * @return The advanced effective-address cursor.
      */
     const uint64_t *replayRunDecoded(const ReplayDecoded *code, size_t n,
-                                     const uint64_t *eff_addrs);
+                                     const uint64_t *eff_addrs,
+                                     uint64_t base_pc);
 
     /** Close out the run; stats().cycles becomes valid. */
     void finish();
@@ -137,6 +153,11 @@ class Cpu
 
     Scoreboard sb_;
     CpuStats stats_;
+
+    policy::LevelPredictor pred_;
+    bool pred_active_ = false;   ///< Level predictor consulted.
+    unsigned pred_penalty_ = 0;  ///< Cycles per underprediction.
+    unsigned ssr_window_ = 0;    ///< SSR forwarding window; 0 = off.
 
     uint64_t cycle_ = 0;        ///< Cycle currently being filled.
     unsigned slots_used_ = 0;   ///< Instructions issued this cycle.

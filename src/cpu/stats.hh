@@ -49,10 +49,31 @@ struct CpuStats
      */
     uint64_t pairLostSlots = 0;
 
+    /**
+     * Stall-reduction policy counters (src/policy/stall_policy.hh).
+     * All zero -- and absent from snapshots -- when the policy axis is
+     * defaulted; registered under pred.* / ssr.* by
+     * stats::registerRun, not by registerStats below, so pre-policy
+     * snapshot layouts are unchanged.
+     */
+    uint64_t predLoads = 0; ///< Loads the level predictor judged.
+    uint64_t predHits = 0;  ///< Correct predictions (either level).
+    /** Predicted miss, was a hit: conservative schedule, no penalty. */
+    uint64_t predOver = 0;
+    /** Predicted hit, was a miss: replay penalty charged. */
+    uint64_t predUnder = 0;
+    /** Replay-penalty cycles charged (the `pred` stall bucket). */
+    uint64_t predStallCycles = 0;
+    /** Penalty cycles avoided by correctly predicted misses. */
+    uint64_t predRecovered = 0;
+    uint64_t ssrForwarded = 0; ///< Load-use bubbles forwarded away.
+    uint64_t ssrSavedCycles = 0; ///< Bubble cycles those removed.
+
     uint64_t
     missStallCycles() const
     {
-        return depStallCycles + structStallCycles + blockStallCycles;
+        return depStallCycles + structStallCycles + blockStallCycles +
+               predStallCycles;
     }
 
     /** Miss CPI on the single-issue model. */

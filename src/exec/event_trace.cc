@@ -73,13 +73,17 @@ replayExact(const isa::Program &program, const EventTrace &trace,
               static_cast<unsigned long long>(max_instructions));
     }
 
+    policy::validateStallPolicy(config.stallPolicy);
+
     std::unique_ptr<core::NonblockingCache> cache;
     if (!config.perfectCache) {
         cache = std::make_unique<core::NonblockingCache>(
             config.geometry, config.policy, config.memory,
             config.fillWritePorts, config.hierarchy);
+        cache->configurePrefetch(config.stallPolicy.prefetch);
     }
     cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
+    cpu.configureStallPolicy(config.stallPolicy);
 
     // The cap truncates replay exactly as it truncates execution: a
     // trace longer than the budget is cut mid-stream with the flag
@@ -100,7 +104,8 @@ replayExact(const isa::Program &program, const EventTrace &trace,
         for (size_t s = 0; remaining > 0; ++s) {
             uint32_t len =
                 uint32_t(std::min<uint64_t>(trace.segLen[s], remaining));
-            ea = cpu.replayRunDecoded(code + trace.segStart[s], len, ea);
+            ea = cpu.replayRunDecoded(code + trace.segStart[s], len, ea,
+                                      trace.segStart[s]);
             remaining -= len;
         }
     } else {
@@ -108,15 +113,18 @@ replayExact(const isa::Program &program, const EventTrace &trace,
         for (size_t s = 0; remaining > 0; ++s) {
             uint32_t len =
                 uint32_t(std::min<uint64_t>(trace.segLen[s], remaining));
-            ea = cpu.replayRun(code + trace.segStart[s], len, ea);
+            ea = cpu.replayRun(code + trace.segStart[s], len, ea,
+                               trace.segStart[s]);
             remaining -= len;
         }
     }
     if (hit_cap)
         warnInstructionCap(program, max_instructions);
 
-    return detail::finishRun(cpu, cache.get(), hit_cap,
-                             Provenance::Replay);
+    RunOutput out = detail::finishRun(cpu, cache.get(), hit_cap,
+                                      Provenance::Replay);
+    out.policyActive = !config.stallPolicy.defaulted();
+    return out;
 }
 
 } // namespace nbl::exec

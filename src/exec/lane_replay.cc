@@ -28,8 +28,11 @@ struct LaneFile
     explicit LaneFile(size_t lanes)
         : cycle(lanes, 0), issued(lanes, 0), pending(lanes, 0),
           depStall(lanes, 0), structStall(lanes, 0),
-          blockStall(lanes, 0), ready(kRegs * lanes, 0),
-          fillReady(kRegs * lanes, 0)
+          blockStall(lanes, 0), predStall(lanes, 0),
+          predLoads(lanes, 0), predHits(lanes, 0), predOver(lanes, 0),
+          predUnder(lanes, 0), predRecovered(lanes, 0),
+          ssrFwd(lanes, 0), ssrSaved(lanes, 0),
+          ready(kRegs * lanes, 0), fillReady(kRegs * lanes, 0)
     {
     }
 
@@ -41,6 +44,16 @@ struct LaneFile
     std::vector<uint64_t> depStall;
     std::vector<uint64_t> structStall;
     std::vector<uint64_t> blockStall;
+    /** Stall-reduction policy counters (cpu::CpuStats pred/ssr
+     *  fields), all zero for lanes with a defaulted policy. */
+    std::vector<uint64_t> predStall;
+    std::vector<uint64_t> predLoads;
+    std::vector<uint64_t> predHits;
+    std::vector<uint64_t> predOver;
+    std::vector<uint64_t> predUnder;
+    std::vector<uint64_t> predRecovered;
+    std::vector<uint64_t> ssrFwd;
+    std::vector<uint64_t> ssrSaved;
     /** Scoreboard, register-major: ready[reg * lanes + lane]. */
     std::vector<uint64_t> ready;
     /** Per-register load fill times (the WAW interlock state; see
@@ -92,6 +105,7 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
                   static_cast<unsigned long long>(budget),
                   static_cast<unsigned long long>(std::min(
                       trace.instructions, mc.maxInstructions)));
+        nbl::policy::validateStallPolicy(mc.stallPolicy);
     }
 
     std::vector<std::unique_ptr<core::NonblockingCache>> caches;
@@ -100,6 +114,27 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
         caches.push_back(std::make_unique<core::NonblockingCache>(
             mc.geometry, mc.policy, mc.memory, mc.fillWritePorts,
             mc.hierarchy));
+        caches.back()->configurePrefetch(mc.stallPolicy.prefetch);
+    }
+
+    // Per-lane stall-reduction policy state (all inert for defaulted
+    // policies). Lanes in one batch may carry different policies: the
+    // dynamic stream is shared, the policy reaction is per lane.
+    std::vector<nbl::policy::LevelPredictor> preds;
+    preds.reserve(nl);
+    std::vector<uint8_t> pred_on(nl, 0);
+    std::vector<uint32_t> pred_penalty(nl, 0);
+    std::vector<uint32_t> ssr_window(nl, 0);
+    for (size_t l = 0; l < nl; ++l) {
+        const nbl::policy::StallPolicyConfig &sp =
+            configs[l].stallPolicy;
+        preds.emplace_back(sp.predictor);
+        pred_on[l] =
+            sp.predictor.mode != nbl::policy::PredictorMode::Off;
+        pred_penalty[l] = sp.predictor.penalty;
+        // Lanes are single-issue by contract (laneReplayable), so no
+        // width gate is needed here, unlike configureStallPolicy().
+        ssr_window[l] = sp.ssr.window;
     }
 
     const std::vector<cpu::ReplayDecoded> decoded =
@@ -188,7 +223,13 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
                     // Mirror of replayRunDecoded's memory-op step.
                     uint64_t c = cycle[l] + issued[l];
                     uint64_t p = pending[l];
-                    uint64_t earliest = c;
+                    // The WAW fill floor is part of the forwarding
+                    // base: SSR forwards operand values, never an
+                    // in-flight fill of the destination.
+                    uint64_t base = c;
+                    if (is_load)
+                        base = std::max(base, fdst[l]);
+                    uint64_t earliest = base;
                     if (p & in.useMask) {
                         if (in.ns >= 1)
                             earliest = std::max(
@@ -198,10 +239,19 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
                             earliest = std::max(
                                 earliest,
                                 ready[size_t(in.src2Lin) * nl + l]);
-                        p &= ~in.useMask;
+                        if (ssr_window[l] != 0 && earliest > base &&
+                            earliest - base <= ssr_window[l]) {
+                            // Forwarded: the scoreboard entries of the
+                            // consulted sources still lie in the
+                            // future, so the pending bits must stay
+                            // set (keeps any_pending conservative).
+                            ++f.ssrFwd[l];
+                            f.ssrSaved[l] += earliest - base;
+                            earliest = base;
+                        } else {
+                            p &= ~in.useMask;
+                        }
                     }
-                    if (is_load)
-                        earliest = std::max(earliest, fdst[l]);
                     if (earliest > c) {
                         f.depStall[l] += earliest - c;
                         c = earliest;
@@ -226,6 +276,32 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
                         f.blockStall[l] += out.procFreeAt - (c + 1);
                         c = out.procFreeAt;
                         iss = 0;
+                    }
+                    if (is_load && pred_on[l]) {
+                        const bool actual_hit =
+                            out.kind == core::AccessKind::Hit &&
+                            !out.structStalled;
+                        const bool predicted_hit =
+                            preds[l].predictAndTrain(pc, actual_hit);
+                        ++f.predLoads[l];
+                        if (predicted_hit == actual_hit) {
+                            ++f.predHits[l];
+                            if (!actual_hit)
+                                f.predRecovered[l] += pred_penalty[l];
+                        } else if (predicted_hit) {
+                            ++f.predUnder[l];
+                            if (pred_penalty[l] != 0) {
+                                f.predStall[l] += pred_penalty[l];
+                                if (iss) {
+                                    c = c + 1 + pred_penalty[l];
+                                    iss = 0;
+                                } else {
+                                    c += pred_penalty[l];
+                                }
+                            }
+                        } else {
+                            ++f.predOver[l];
+                        }
                     }
                     cycle[l] = c;
                     issued[l] = iss;
@@ -256,10 +332,18 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
                                 earliest = std::max(
                                     earliest,
                                     ready[size_t(in.src2Lin) * nl + l]);
-                            p &= ~in.useMask;
-                            if (earliest > c) {
-                                f.depStall[l] += earliest - c;
-                                c = earliest;
+                            if (ssr_window[l] != 0 && earliest > c &&
+                                earliest - c <= ssr_window[l]) {
+                                // Forwarded: keep the pending bits
+                                // (see the memory-op step).
+                                ++f.ssrFwd[l];
+                                f.ssrSaved[l] += earliest - c;
+                            } else {
+                                p &= ~in.useMask;
+                                if (earliest > c) {
+                                    f.depStall[l] += earliest - c;
+                                    c = earliest;
+                                }
                             }
                         }
                         if (write_dst)
@@ -315,9 +399,18 @@ replayLanes(const isa::Program &program, const EventTrace &trace,
         cs.depStallCycles = f.depStall[l];
         cs.structStallCycles = f.structStall[l];
         cs.blockStallCycles = f.blockStall[l];
+        cs.predStallCycles = f.predStall[l];
+        cs.predLoads = f.predLoads[l];
+        cs.predHits = f.predHits[l];
+        cs.predOver = f.predOver[l];
+        cs.predUnder = f.predUnder[l];
+        cs.predRecovered = f.predRecovered[l];
+        cs.ssrForwarded = f.ssrFwd[l];
+        cs.ssrSavedCycles = f.ssrSaved[l];
         cs.cycles = f.cycle[l] + (f.issued[l] ? 1 : 0);
         outs[l] = detail::finishRun(cs, caches[l].get(), hit_cap,
                                     Provenance::LaneReplay);
+        outs[l].policyActive = !configs[l].stallPolicy.defaulted();
     }
     return outs;
 }

@@ -62,6 +62,7 @@ finishRun(const cpu::CpuStats &cpu, core::NonblockingCache *cache,
         out.maxInflightMisses = cache->maxInflightMisses();
         out.maxInflightFetches = cache->maxInflightFetches();
         out.missPenalty = cache->missPenalty();
+        out.pf = cache->prefetchStats();
     }
     return out;
 }
@@ -74,23 +75,29 @@ run(const isa::Program &program, mem::SparseMemory &data,
 {
     program.validate();
 
+    policy::validateStallPolicy(config.stallPolicy);
+
     std::unique_ptr<core::NonblockingCache> cache;
     if (!config.perfectCache) {
         cache = std::make_unique<core::NonblockingCache>(
             config.geometry, config.policy, config.memory,
             config.fillWritePorts, config.hierarchy);
+        cache->configurePrefetch(config.stallPolicy.prefetch);
     }
     cpu::Cpu cpu(cache.get(), config.issueWidth, config.perfectCache);
+    cpu.configureStallPolicy(config.stallPolicy);
     Interpreter interp(program, data);
 
     bool hit_cap = stepProgram(
         program, interp, config.maxInstructions,
-        [&](const isa::Instr &in, size_t, const StepResult &step) {
-            cpu.onInstr(in, step.effAddr);
+        [&](const isa::Instr &in, size_t pc, const StepResult &step) {
+            cpu.onInstr(in, step.effAddr, pc);
         });
 
-    return detail::finishRun(cpu, cache.get(), hit_cap,
-                             Provenance::Exec);
+    RunOutput out = detail::finishRun(cpu, cache.get(), hit_cap,
+                                      Provenance::Exec);
+    out.policyActive = !config.stallPolicy.defaulted();
+    return out;
 }
 
 } // namespace nbl::exec

@@ -23,6 +23,7 @@
 #include "mem/sparse_memory.hh"
 #include "mem/tag_array.hh"
 #include "mem/write_buffer.hh"
+#include "policy/stall_policy.hh"
 
 namespace nbl::cpu
 {
@@ -47,6 +48,11 @@ struct MachineConfig
      *  paper's baseline multi-ported register file). */
     unsigned fillWritePorts = 0;
     uint64_t maxInstructions = 200'000'000;
+    /** Stall-reduction policies (level prediction, spare-MSHR
+     *  prefetch, SSR forwarding); default = inert, bit-identical
+     *  timing (docs/MODEL.md, "Stall-reduction policies"). Fully
+     *  qualified: the `policy` member above shadows the namespace. */
+    nbl::policy::StallPolicyConfig stallPolicy;
 };
 
 /** How a RunOutput was produced (metadata, never a counter). Model
@@ -76,6 +82,11 @@ struct RunOutput
     unsigned missPenalty = 0;
     bool hitInstructionCap = false;
     Provenance provenance = Provenance::Exec;
+    /** Prefetcher counters (all zero when the policy is defaulted). */
+    nbl::policy::PrefetchStats pf;
+    /** A non-default stall policy produced this run: pred.* / pf.* /
+     *  ssr.* namespaces are registered in snapshots. */
+    bool policyActive = false;
 
     double mcpi() const { return cpu.mcpi(); }
 };

@@ -20,7 +20,7 @@ recordTrace(const isa::Program &program, mem::SparseMemory &data,
     trace.records.reserve(4096);
     uint32_t gap = 0;
     stepProgram(program, interp, max_instructions,
-                [&](const isa::Instr &in, size_t,
+                [&](const isa::Instr &in, size_t pc,
                     const StepResult &step) {
                     ++trace.instructions;
                     ++gap;
@@ -28,6 +28,7 @@ recordTrace(const isa::Program &program, mem::SparseMemory &data,
                         TraceRecord rec;
                         rec.addr = step.effAddr;
                         rec.gap = gap;
+                        rec.pc = uint32_t(pc);
                         rec.size = in.size;
                         rec.isLoad = in.isLoad();
                         rec.destLinear =
@@ -45,10 +46,16 @@ ReplayResult
 replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
             const core::MshrPolicy &policy,
             const mem::MainMemory &memory,
-            const core::HierarchyConfig &hierarchy)
+            const core::HierarchyConfig &hierarchy,
+            const nbl::policy::StallPolicyConfig &stallPolicy)
 {
     core::NonblockingCache cache(geom, policy, memory,
                                  /*fill_write_ports=*/0, hierarchy);
+    cache.configurePrefetch(stallPolicy.prefetch);
+    nbl::policy::LevelPredictor pred(stallPolicy.predictor);
+    bool pred_active =
+        stallPolicy.predictor.mode != nbl::policy::PredictorMode::Off;
+    unsigned pred_penalty = stallPolicy.predictor.penalty;
 
     ReplayResult res;
     res.instructions = trace.instructions;
@@ -76,6 +83,18 @@ replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
                          (out.procFreeAt - (out.issueCycle + 1));
         res.stallCycles += stall;
         now = out.procFreeAt - 1;
+        if (rec.isLoad && pred_active) {
+            // Cache-level prediction, mirroring the CPU's penalty
+            // arithmetic: an underprediction restarts issue
+            // pred_penalty cycles later than it otherwise would.
+            bool actual_hit = out.kind == core::AccessKind::Hit &&
+                              !out.structStalled;
+            bool predicted_hit = pred.predictAndTrain(rec.pc, actual_hit);
+            if (predicted_hit && !actual_hit && pred_penalty) {
+                res.stallCycles += pred_penalty;
+                now += pred_penalty;
+            }
+        }
     }
 
     cache.drainAll();

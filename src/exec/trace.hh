@@ -30,6 +30,7 @@
 #include "core/nonblocking_cache.hh"
 #include "isa/program.hh"
 #include "mem/sparse_memory.hh"
+#include "policy/stall_policy.hh"
 
 namespace nbl::exec
 {
@@ -41,6 +42,9 @@ struct TraceRecord
     /** Instructions (including this one) since the previous memory
      *  reference; paces the replay clock. */
     uint32_t gap;
+    /** Static program counter of the reference (index into the
+     *  program) -- the cache-level predictor's table index. */
+    uint32_t pc;
     uint8_t size;
     bool isLoad;
     uint8_t destLinear; ///< Destination register (loads).
@@ -90,13 +94,17 @@ struct ReplayResult
  * Replay a trace through a cache configuration. Issue is paced by
  * each record's instruction gap (one instruction per cycle); blocking
  * misses and structural stalls advance the clock, register
- * dependences do not (there are none in a trace).
+ * dependences do not (there are none in a trace). A non-default
+ * stall policy applies the prefetcher (cache-side) and the level
+ * predictor's underprediction penalties; SSR is a no-op here (it
+ * removes dependence bubbles, which a trace does not have).
  */
-ReplayResult replayTrace(const MemTrace &trace,
-                         const mem::CacheGeometry &geom,
-                         const core::MshrPolicy &policy,
-                         const mem::MainMemory &memory,
-                         const core::HierarchyConfig &hierarchy = {});
+ReplayResult
+replayTrace(const MemTrace &trace, const mem::CacheGeometry &geom,
+            const core::MshrPolicy &policy,
+            const mem::MainMemory &memory,
+            const core::HierarchyConfig &hierarchy = {},
+            const nbl::policy::StallPolicyConfig &stallPolicy = {});
 
 } // namespace nbl::exec
 

@@ -11,7 +11,8 @@ namespace nbl::harness
 {
 
 Lab::Lab(double scale)
-    : scale_(scale), replay_(!envFlag("NBL_EXEC_DRIVEN")),
+    : scale_(scale), envPolicy_(nbl::policy::stallPolicyFromEnv()),
+      replay_(!envFlag("NBL_EXEC_DRIVEN")),
       lane_replay_(envFlag("NBL_LANE_REPLAY", true)),
       result_cap_(size_t(std::max<int64_t>(
           0, envInt("NBL_LAB_RESULT_CAP", 0)))),
@@ -34,6 +35,7 @@ makeMachineConfig(const ExperimentConfig &cfg)
     mc.perfectCache = cfg.perfectCache;
     mc.fillWritePorts = cfg.fillWritePorts;
     mc.hierarchy = cfg.hierarchy;
+    mc.stallPolicy = cfg.stallPolicy;
     mc.maxInstructions = cfg.maxInstructions;
     return mc;
 }
@@ -71,6 +73,12 @@ experimentKey(const std::string &workload, const ExperimentConfig &cfg)
         // after them) are unchanged.
         key += "|H";
         key += core::hierarchyKey(cfg.hierarchy);
+    }
+    if (!cfg.stallPolicy.defaulted()) {
+        // Same rule for the stall policy: appended only when a policy
+        // is configured, so pre-policy keys are unchanged.
+        key += "|P";
+        key += nbl::policy::stallPolicyKey(cfg.stallPolicy);
     }
     return key;
 }
@@ -185,11 +193,13 @@ Lab::eventTrace(const std::string &name, int latency,
         // recording serves every request the shorter one could.
         it->second = trace;
     }
+    // Capture the kept trace BEFORE evicting: at a small cap the FIFO
+    // may evict the entry just inserted, which invalidates `it`.
+    std::shared_ptr<const exec::EventTrace> kept = it->second;
     if (inserted && trace_cap_ != 0) {
         trace_fifo_.push_back(key);
         evictTracesLocked();
     }
-    std::shared_ptr<const exec::EventTrace> kept = it->second;
     return kept;
 }
 
@@ -392,9 +402,19 @@ Lab::profileBatch(const std::string &name, int latency,
     return out;
 }
 
-ExperimentResult
-Lab::run(const std::string &name, const ExperimentConfig &cfg)
+ExperimentConfig
+Lab::effectiveConfig(const ExperimentConfig &cfg_in) const
 {
+    ExperimentConfig cfg = cfg_in;
+    if (cfg.stallPolicy.defaulted())
+        cfg.stallPolicy = envPolicy_;
+    return cfg;
+}
+
+ExperimentResult
+Lab::run(const std::string &name, const ExperimentConfig &cfg_in)
+{
+    const ExperimentConfig cfg = effectiveConfig(cfg_in);
     std::string key = experimentKey(name, cfg);
     {
         std::lock_guard<std::mutex> lock(resultMutex_);
@@ -430,11 +450,15 @@ Lab::run(const std::string &name, const ExperimentConfig &cfg)
 
 std::vector<ExperimentResult>
 Lab::runLanes(const std::string &name,
-              const std::vector<ExperimentConfig> &cfgs)
+              const std::vector<ExperimentConfig> &cfgs_in)
 {
-    std::vector<ExperimentResult> out(cfgs.size());
-    if (cfgs.empty())
+    std::vector<ExperimentResult> out(cfgs_in.size());
+    if (cfgs_in.empty())
         return out;
+    std::vector<ExperimentConfig> cfgs;
+    cfgs.reserve(cfgs_in.size());
+    for (const ExperimentConfig &c : cfgs_in)
+        cfgs.push_back(effectiveConfig(c));
 
     // Serve memoized points first; the leftovers either batch into
     // lanes or fall back to the per-point engine.
@@ -478,15 +502,36 @@ Lab::runLanes(const std::string &name,
         std::vector<size_t> idx;
     };
     std::map<std::pair<uint64_t, uint64_t>, Group> groups;
+    // Fetch each distinct (fingerprint, requested cap) trace once and
+    // hold the shared_ptr for the whole batch: per-lane eventTrace()
+    // calls under a tiny trace-cache cap could evict and re-record the
+    // stream between lanes of one group.
+    std::map<std::pair<uint64_t, uint64_t>,
+             std::shared_ptr<const exec::EventTrace>>
+        fetched;
     for (size_t i : lanes) {
         const Compiled &c = compiled(name, cfgs[i].loadLatency);
-        auto trace = eventTrace(name, cfgs[i].loadLatency,
-                                cfgs[i].maxInstructions);
+        auto fkey =
+            std::make_pair(c.fingerprint, cfgs[i].maxInstructions);
+        auto fit = fetched.find(fkey);
+        if (fit == fetched.end()) {
+            fit = fetched
+                      .emplace(fkey,
+                               eventTrace(name, cfgs[i].loadLatency,
+                                          cfgs[i].maxInstructions))
+                      .first;
+        }
+        const std::shared_ptr<const exec::EventTrace> &trace =
+            fit->second;
         uint64_t budget =
             std::min(trace->instructions, cfgs[i].maxInstructions);
         Group &g = groups[{c.fingerprint, budget}];
         g.program = &c.program;
-        g.trace = std::move(trace);
+        // Keep the longest recording offered to the group: every lane
+        // key maps to the same budget, and a longer prefix-consistent
+        // stream serves every shorter request.
+        if (!g.trace || g.trace->instructions < trace->instructions)
+            g.trace = trace;
         g.idx.push_back(i);
         out[i].compileInfo = c.info;
     }

@@ -21,6 +21,7 @@
 #include "exec/event_trace.hh"
 #include "exec/machine.hh"
 #include "model/profile.hh"
+#include "policy/stall_policy.hh"
 #include "workloads/workload.hh"
 
 namespace nbl::harness
@@ -48,6 +49,11 @@ struct ExperimentConfig
     /** Memory side between L1 and main memory; default = the paper's
      *  degenerate chain (L1 straight into pipelined memory). */
     core::HierarchyConfig hierarchy;
+    /** Stall-reduction policies (docs/MODEL.md); default = inert.
+     *  Lab::run()/runLanes() substitute the environment policy
+     *  (NBL_PRED_..., NBL_PF_..., NBL_SSR_... knobs) for a defaulted
+     *  field before keying, so the env knobs change the key too. */
+    nbl::policy::StallPolicyConfig stallPolicy;
     uint64_t maxInstructions = 200'000'000;
 };
 
@@ -334,7 +340,16 @@ class Lab
     /** FIFO-evict traces_ down to the cap. Caller holds traceMutex_. */
     void evictTracesLocked();
 
+    /** Resolve `cfg` as run()/runLanes() will simulate it: a
+     *  defaulted stallPolicy picks up the environment policy read at
+     *  construction. Called before keying, so env-policy runs memoize
+     *  under their effective configuration. */
+    ExperimentConfig effectiveConfig(const ExperimentConfig &cfg) const;
+
     double scale_;
+    /** Environment stall policy (nbl::policy::stallPolicyFromEnv),
+     *  read once at construction. */
+    nbl::policy::StallPolicyConfig envPolicy_;
     bool replay_ = true;
     bool lane_replay_ = true;
     size_t result_cap_ = 0; ///< 0 = unbounded.

@@ -65,6 +65,12 @@ configJson(const ExperimentConfig &cfg)
         json += ", \"hierarchy\": " +
                 stats::jsonQuote(core::hierarchyKey(cfg.hierarchy));
     }
+    if (!cfg.stallPolicy.defaulted()) {
+        // Same rule: key present only under a configured stall policy.
+        json += ", \"stall_policy\": " +
+                stats::jsonQuote(
+                    nbl::policy::stallPolicyKey(cfg.stallPolicy));
+    }
     json += "}";
     return json;
 }

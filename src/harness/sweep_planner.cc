@@ -52,8 +52,14 @@ namespace
 bool
 modelEligible(const ExperimentConfig &cfg)
 {
+    // A defaulted point still simulates under the environment stall
+    // policy (Lab::run substitutes it), which the model cannot see:
+    // stand down entirely while the env policy is active.
+    static const bool env_policy_defaulted =
+        nbl::policy::stallPolicyFromEnv().defaulted();
     return cfg.issueWidth == 1 && !cfg.perfectCache &&
-           cfg.hierarchy.degenerate() && cfg.fillWritePorts == 0;
+           cfg.hierarchy.degenerate() && cfg.fillWritePorts == 0 &&
+           cfg.stallPolicy.defaulted() && env_policy_defaulted;
 }
 
 /**

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Stall-reduction policy serialization, validation, env knobs, and
+ * the cache-level predictor (src/policy/stall_policy.hh).
+ */
+
+#include "policy/stall_policy.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/env.hh"
+#include "util/log.hh"
+
+namespace nbl::policy
+{
+
+namespace
+{
+
+/**
+ * Deterministic splitmix-style mix of (pc, load sequence number) to a
+ * 32-bit value, used by the Synthetic predictor. The correct-set at
+ * accuracy a is { loads with mix < a * 2^32 }, nested across
+ * accuracies by construction.
+ */
+uint32_t
+syntheticMix(uint64_t pc, uint64_t load_index)
+{
+    uint64_t x = pc * 0x9E3779B97F4A7C15ull +
+                 load_index * 0xBF58476D1CE4E5B9ull +
+                 0x94D049BB133111EBull;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<uint32_t>(x);
+}
+
+const char *
+predictorModeName(PredictorMode m)
+{
+    switch (m) {
+      case PredictorMode::Off:
+        return "off";
+      case PredictorMode::Table:
+        return "table";
+      case PredictorMode::Oracle:
+        return "oracle";
+      case PredictorMode::Synthetic:
+        return "synthetic";
+    }
+    return "?";
+}
+
+const char *
+prefetchModeName(PrefetchMode m)
+{
+    switch (m) {
+      case PrefetchMode::Off:
+        return "off";
+      case PrefetchMode::NextLine:
+        return "nextline";
+      case PrefetchMode::Stride:
+        return "stride";
+    }
+    return "?";
+}
+
+bool
+parsePredictorMode(const std::string &s, PredictorMode &out)
+{
+    if (s == "off")
+        out = PredictorMode::Off;
+    else if (s == "table")
+        out = PredictorMode::Table;
+    else if (s == "oracle")
+        out = PredictorMode::Oracle;
+    else if (s == "synthetic")
+        out = PredictorMode::Synthetic;
+    else
+        return false;
+    return true;
+}
+
+bool
+parsePrefetchMode(const std::string &s, PrefetchMode &out)
+{
+    if (s == "off")
+        out = PrefetchMode::Off;
+    else if (s == "nextline")
+        out = PrefetchMode::NextLine;
+    else if (s == "stride")
+        out = PrefetchMode::Stride;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+stallPolicyKey(const StallPolicyConfig &p)
+{
+    if (p.defaulted())
+        return "";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "p%s.%u.%u.%.4f+f%s.%u+s%u",
+                  predictorModeName(p.predictor.mode),
+                  p.predictor.tableBits, p.predictor.penalty,
+                  p.predictor.accuracy,
+                  prefetchModeName(p.prefetch.mode), p.prefetch.degree,
+                  p.ssr.window);
+    return buf;
+}
+
+void
+validateStallPolicy(const StallPolicyConfig &p)
+{
+    if (p.predictor.tableBits > 24)
+        panic("stall policy: predictor table bits %u > 24",
+              p.predictor.tableBits);
+    if (p.predictor.penalty > 10000)
+        panic("stall policy: predictor penalty %u > 10000",
+              p.predictor.penalty);
+    if (!(p.predictor.accuracy >= 0.0 && p.predictor.accuracy <= 1.0))
+        panic("stall policy: predictor accuracy %f outside [0, 1]",
+              p.predictor.accuracy);
+    if (p.prefetch.mode != PrefetchMode::Off &&
+        (p.prefetch.degree < 1 || p.prefetch.degree > 64))
+        panic("stall policy: prefetch degree %u outside [1, 64]",
+              p.prefetch.degree);
+    if (p.ssr.window > 10000)
+        panic("stall policy: SSR window %u > 10000", p.ssr.window);
+}
+
+StallPolicyConfig
+stallPolicyFromEnv()
+{
+    StallPolicyConfig p;
+    std::string pm = envString("NBL_PRED_MODE", "off");
+    if (!parsePredictorMode(pm, p.predictor.mode))
+        panic("NBL_PRED_MODE=%s: want off|table|oracle|synthetic",
+              pm.c_str());
+    p.predictor.tableBits =
+        unsigned(envInt("NBL_PRED_BITS", p.predictor.tableBits));
+    p.predictor.penalty =
+        unsigned(envInt("NBL_PRED_PENALTY", p.predictor.penalty));
+    p.predictor.accuracy =
+        envDouble("NBL_PRED_ACC", p.predictor.accuracy);
+    std::string fm = envString("NBL_PF_MODE", "off");
+    if (!parsePrefetchMode(fm, p.prefetch.mode))
+        panic("NBL_PF_MODE=%s: want off|nextline|stride", fm.c_str());
+    p.prefetch.degree =
+        unsigned(envInt("NBL_PF_DEGREE", p.prefetch.degree));
+    p.ssr.window = unsigned(envInt("NBL_SSR_WINDOW", p.ssr.window));
+    validateStallPolicy(p);
+    return p;
+}
+
+LevelPredictor::LevelPredictor(const PredictorConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.mode == PredictorMode::Table)
+        table_.assign(size_t(1) << cfg_.tableBits, 2);
+}
+
+bool
+LevelPredictor::predictAndTrain(uint64_t pc, bool actualHit)
+{
+    switch (cfg_.mode) {
+      case PredictorMode::Off:
+      case PredictorMode::Oracle:
+        return actualHit;
+      case PredictorMode::Table: {
+        uint8_t &ctr = table_[pc & (table_.size() - 1)];
+        bool hit = ctr >= 2;
+        if (actualHit) {
+            if (ctr < 3)
+                ++ctr;
+        } else if (ctr > 0) {
+            --ctr;
+        }
+        return hit;
+      }
+      case PredictorMode::Synthetic: {
+        // Threshold as uint64 so accuracy 1.0 covers every 32-bit
+        // mix value.
+        uint64_t thresh =
+            uint64_t(cfg_.accuracy * 4294967296.0);
+        bool correct = syntheticMix(pc, load_index_++) < thresh;
+        return correct ? actualHit : !actualHit;
+      }
+    }
+    return actualHit;
+}
+
+} // namespace nbl::policy

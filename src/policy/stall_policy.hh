@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Stall-reduction policy vocabulary: cache-level prediction, spare-MSHR
+ * prefetching, and SSR-style load-use forwarding.
+ *
+ * The paper charges every load-miss stall in full; this layer models
+ * three modern mechanisms that remove part of that stall, each
+ * orthogonal to the MSHR axis (docs/MODEL.md, "Stall-reduction
+ * policies"):
+ *
+ *  - A **cache-level predictor** (Jalili & Erez 2021): the issue logic
+ *    schedules against the predicted hit/miss level of each load.
+ *    Underpredictions (predicted hit, actual miss) pay a fixed replay
+ *    penalty, attributed to its own `pred` stall bucket so the stall
+ *    partition identity stays exact.
+ *  - A **next-line / stride prefetcher** that issues only through
+ *    *spare* MSHRs (`MshrFile::canAllocate`), so prefetch-induced MSHR
+ *    pressure per organization is directly measurable. Denied issues
+ *    are counted, never stalled.
+ *  - **SSR forwarding** (Su et al. 2019): a load-use interlock bubble
+ *    no wider than the forwarding window is converted into a
+ *    zero-bubble issue (the fill is forwarded into the consumer).
+ *
+ * The default-constructed StallPolicyConfig is inert: every engine's
+ * timing is bit-identical to the pre-policy simulator (tools/check.sh
+ * byte-identical figure stdout gate).
+ */
+
+#ifndef NBL_POLICY_STALL_POLICY_HH
+#define NBL_POLICY_STALL_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nbl::policy
+{
+
+/** How the cache-level predictor forms its guess. */
+enum class PredictorMode
+{
+    Off,    ///< No prediction; no penalties (the paper's model).
+    Table,  ///< PC-indexed 2-bit saturating counters (real predictor).
+    Oracle, ///< Always correct -- zero penalties, timing unchanged.
+    /** Correct on a fixed pseudo-random `accuracy` fraction of loads.
+     *  The correct-set at accuracy a is a superset of the correct-set
+     *  at any a' < a (nested by construction), so MCPI is monotone in
+     *  accuracy for timing-decoupled organizations (fig22). */
+    Synthetic,
+};
+
+/** What the prefetcher issues on a demand primary miss. */
+enum class PrefetchMode
+{
+    Off,
+    NextLine, ///< Blocks blk + k*lineBytes, k = 1..degree.
+    /** Global last-miss-block delta, issued once the same delta is
+     *  seen twice in a row (confirmed). */
+    Stride,
+};
+
+/** Cache-level predictor knobs. */
+struct PredictorConfig
+{
+    PredictorMode mode = PredictorMode::Off;
+    unsigned tableBits = 8; ///< log2(table entries), Table mode.
+    /** Replay penalty (cycles) charged per underprediction. */
+    unsigned penalty = 3;
+    double accuracy = 1.0; ///< Synthetic mode only, in [0, 1].
+};
+
+/** Prefetcher knobs. */
+struct PrefetchConfig
+{
+    PrefetchMode mode = PrefetchMode::Off;
+    unsigned degree = 1; ///< Candidates issued per trigger, >= 1.
+};
+
+/** SSR forwarding knobs. */
+struct SsrConfig
+{
+    /** Max load-use bubble (cycles) the forwarding network can hide.
+     *  0 = off. */
+    unsigned window = 0;
+};
+
+/** The full stall-reduction policy axis carried by a machine config. */
+struct StallPolicyConfig
+{
+    PredictorConfig predictor;
+    PrefetchConfig prefetch;
+    SsrConfig ssr;
+
+    /** True when the policy is inert (the paper's model, bit for
+     *  bit). Knob values behind an Off mode do not matter. */
+    bool
+    defaulted() const
+    {
+        return predictor.mode == PredictorMode::Off &&
+               prefetch.mode == PrefetchMode::Off && ssr.window == 0;
+    }
+};
+
+/** Cache-side prefetcher counters (surfaced as pf.* stats). */
+struct PrefetchStats
+{
+    uint64_t issued = 0;     ///< Prefetch fetches started.
+    uint64_t useful = 0;     ///< Prefetched lines a demand later used.
+    uint64_t mshrDenied = 0; ///< Candidates dropped: no spare MSHR.
+    uint64_t evictHarm = 0;  ///< Demand misses to pf-evicted blocks.
+};
+
+/**
+ * Canonical serialization of a policy. Equal keys describe identical
+ * policy timing; the default policy serializes to "" so existing
+ * experiment keys (and the daemon's content-addressed store) are
+ * untouched.
+ */
+std::string stallPolicyKey(const StallPolicyConfig &p);
+
+/** Die unless `p` is simulatable (table size sane, accuracy in
+ *  [0, 1], degree >= 1 when prefetching). */
+void validateStallPolicy(const StallPolicyConfig &p);
+
+/**
+ * Policy described by the NBL_PRED_MODE / NBL_PRED_BITS /
+ * NBL_PRED_PENALTY / NBL_PRED_ACC / NBL_PF_MODE / NBL_PF_DEGREE /
+ * NBL_SSR_WINDOW knobs (docs/PERF.md). Unset knobs keep their
+ * defaults, so an empty environment returns a defaulted() config.
+ */
+StallPolicyConfig stallPolicyFromEnv();
+
+/**
+ * The cache-level predictor consulted by the issue logic, one
+ * instance per simulated processor (engines replaying lanes keep one
+ * per lane). Deterministic: identical (pc, actual) sequences produce
+ * identical predictions in every engine.
+ */
+class LevelPredictor
+{
+  public:
+    LevelPredictor() = default;
+    explicit LevelPredictor(const PredictorConfig &cfg);
+
+    bool active() const { return cfg_.mode != PredictorMode::Off; }
+
+    /**
+     * Predict hit/miss for the load at `pc`, then train on the actual
+     * outcome.
+     * @return true if the predictor said "hit".
+     */
+    bool predictAndTrain(uint64_t pc, bool actualHit);
+
+  private:
+    PredictorConfig cfg_;
+    std::vector<uint8_t> table_; ///< 2-bit counters, Table mode.
+    uint64_t load_index_ = 0;    ///< Synthetic-mode sequence number.
+};
+
+} // namespace nbl::policy
+
+#endif // NBL_POLICY_STALL_POLICY_HH

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <poll.h>
 #include <unistd.h>
 
 #include "util/log.hh"
@@ -48,6 +49,14 @@ readAll(int fd, char *buf, size_t n)
     return ssize_t(got);
 }
 
+/**
+ * Write exactly n bytes, resuming at the current offset after EINTR
+ * and after a full send buffer (EAGAIN/EWOULDBLOCK on a nonblocking
+ * fd, waited out with poll). Failing mid-frame is not an option the
+ * protocol can absorb: a truncated frame leaves the byte stream with
+ * no resynchronization point, so the only recoverable errors are the
+ * ones we can resume from.
+ */
 bool
 writeAll(int fd, const char *buf, size_t n)
 {
@@ -57,6 +66,15 @@ writeAll(int fd, const char *buf, size_t n)
         if (r < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                struct pollfd pfd;
+                pfd.fd = fd;
+                pfd.events = POLLOUT;
+                pfd.revents = 0;
+                if (::poll(&pfd, 1, -1) < 0 && errno != EINTR)
+                    return false;
+                continue;
+            }
             return false;
         }
         put += size_t(r);

@@ -60,11 +60,8 @@ getBool(const Json &obj, const char *name, bool *out, std::string *err)
     return true;
 }
 
-/**
- * Range checks for everything the simulator itself would fatal() on
- * (mem::CacheGeometry, cpu::Cpu): the daemon must reject these with
- * an error response, not die.
- */
+} // namespace
+
 bool
 validateConfig(const harness::ExperimentConfig &cfg, std::string *err)
 {
@@ -98,8 +95,6 @@ validateConfig(const harness::ExperimentConfig &cfg, std::string *err)
     }
     return true;
 }
-
-} // namespace
 
 bool
 parsePolicyKey(const std::string &key, core::MshrPolicy *out)

@@ -86,6 +86,16 @@ bool configFromJson(const stats::Json &obj,
                     harness::ExperimentConfig *out, std::string *err);
 
 /**
+ * Range checks for everything the simulator itself would fatal() on
+ * (mem::CacheGeometry, cpu::Cpu). The daemon rejects failing configs
+ * with an error response instead of dying; `nbl-sim --dry-run` runs
+ * the same checks so the CLI and the protocol agree on rejection.
+ * False on failure with a description in *err.
+ */
+bool validateConfig(const harness::ExperimentConfig &cfg,
+                    std::string *err);
+
+/**
  * Parse a serialized custom-policy key ("P<mode>.<mshrs>....", the
  * exact string `harness::policyKey` produces) back into a policy.
  * False when the string is not a well-formed policy key.

@@ -38,6 +38,37 @@ registerRun(Registry &r, const exec::RunOutput &out)
                  &out.hier.memChannel.queueCycles, "cycles",
                  "hierarchy");
     }
+    if (out.policyActive) {
+        // Stall-reduction policy namespaces exist only when a
+        // non-default policy ran, so policy-off snapshots stay
+        // byte-identical (same pattern as the hierarchy block above).
+        r.scalar("pred.loads", &out.cpu.predLoads, "loads", "policy");
+        r.scalar("pred.hits", &out.cpu.predHits, "predictions",
+                 "policy");
+        r.scalar("pred.overpredictions", &out.cpu.predOver,
+                 "predictions", "policy");
+        r.scalar("pred.underpredictions", &out.cpu.predUnder,
+                 "predictions", "policy");
+        r.scalar("pred.stall_cycles", &out.cpu.predStallCycles,
+                 "cycles", "policy");
+        r.scalar("pred.cycles_recovered", &out.cpu.predRecovered,
+                 "cycles", "policy");
+        r.derived("pred.accuracy",
+                  out.cpu.predLoads ? double(out.cpu.predHits) /
+                                          double(out.cpu.predLoads)
+                                    : 0.0,
+                  "policy");
+        r.scalar("ssr.forwarded", &out.cpu.ssrForwarded, "issues",
+                 "policy");
+        r.scalar("ssr.saved_cycles", &out.cpu.ssrSavedCycles,
+                 "cycles", "policy");
+        r.scalar("pf.issued", &out.pf.issued, "prefetches", "policy");
+        r.scalar("pf.useful", &out.pf.useful, "prefetches", "policy");
+        r.scalar("pf.mshr_denied", &out.pf.mshrDenied, "prefetches",
+                 "policy");
+        r.scalar("pf.evict_harm", &out.pf.evictHarm, "prefetches",
+                 "policy");
+    }
     out.mshr.registerStats(r);
     out.wbuf.registerStats(r);
     out.tags.registerStats(r);

@@ -1,0 +1,63 @@
+#include "util/parse.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace nbl
+{
+
+namespace
+{
+
+/** Shared tail: conversion consumed the whole string, cleanly. */
+bool
+fullParse(const std::string &s, const char *end)
+{
+    return !s.empty() && end == s.c_str() + s.size() && errno == 0;
+}
+
+} // namespace
+
+bool
+parseInt64(const std::string &s, int64_t *out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 0);
+    if (!fullParse(s, end))
+        return false;
+    *out = int64_t(v);
+    return true;
+}
+
+bool
+parseUint64(const std::string &s, uint64_t *out)
+{
+    // strtoull accepts "-1" and wraps it; reject any '-' up front
+    // (after optional leading whitespace, which strtoull also skips).
+    size_t i = s.find_first_not_of(" \t");
+    if (i == std::string::npos || s[i] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (!fullParse(s, end))
+        return false;
+    *out = uint64_t(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double *out)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (!fullParse(s, end) || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace nbl

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Strict full-string numeric parsing for CLI arguments.
+ *
+ * The C conversions the tools used before (atoi/atof, strtoull with a
+ * null endptr) silently accept trailing garbage and coerce overflow,
+ * so a typo like `--cache 8k` ran the default-adjacent experiment
+ * instead of failing. These helpers accept a string only when the
+ * ENTIRE string is one well-formed number in range; anything else --
+ * empty input, trailing characters, overflow -- is a parse failure
+ * the caller must handle.
+ */
+
+#ifndef NBL_UTIL_PARSE_HH
+#define NBL_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nbl
+{
+
+/** Parse a signed decimal/hex (0x) integer; false unless the whole
+ *  string converts without overflow. */
+bool parseInt64(const std::string &s, int64_t *out);
+
+/** Parse an unsigned decimal/hex (0x) integer; rejects leading '-'
+ *  (strtoull would silently wrap it). */
+bool parseUint64(const std::string &s, uint64_t *out);
+
+/** Parse a finite floating-point number. */
+bool parseDouble(const std::string &s, double *out);
+
+} // namespace nbl
+
+#endif // NBL_UTIL_PARSE_HH

@@ -81,7 +81,7 @@ TEST(Cpu, OneInstructionPerCycle)
 {
     Cpu cpu(nullptr, 1, /*perfect=*/true);
     for (int i = 0; i < 10; ++i)
-        cpu.onInstr(alu(1, 2, 3), 0);
+        cpu.onInstr(alu(1, 2, 3), 0, 0);
     cpu.finish();
     EXPECT_EQ(cpu.stats().cycles, 10u);
     EXPECT_EQ(cpu.stats().instructions, 10u);
@@ -92,8 +92,8 @@ TEST(Cpu, DependencyStallOnLoadUse)
 {
     auto cache = baselineCache();
     Cpu cpu(&cache, 1);
-    cpu.onInstr(load(1, 2), 0x100000); // miss: r1 ready at 17
-    cpu.onInstr(alu(3, 1, 0), 0);      // uses r1 immediately
+    cpu.onInstr(load(1, 2), 0x100000, 0); // miss: r1 ready at 17
+    cpu.onInstr(alu(3, 1, 0), 0, 0);      // uses r1 immediately
     cpu.finish();
     // Load at 0, use stalls from 1 to 17, issues at 17, done 18.
     EXPECT_EQ(cpu.stats().depStallCycles, 16u);
@@ -105,10 +105,10 @@ TEST(Cpu, IndependentWorkHidesMissLatency)
 {
     auto cache = baselineCache();
     Cpu cpu(&cache, 1);
-    cpu.onInstr(load(1, 2), 0x100000);
+    cpu.onInstr(load(1, 2), 0x100000, 0);
     for (int i = 0; i < 16; ++i)
-        cpu.onInstr(alu(3, 4, 5), 0);
-    cpu.onInstr(alu(6, 1, 0), 0); // r1 ready at 17, issues at 17
+        cpu.onInstr(alu(3, 4, 5), 0, 0);
+    cpu.onInstr(alu(6, 1, 0), 0, 0); // r1 ready at 17, issues at 17
     cpu.finish();
     EXPECT_EQ(cpu.stats().depStallCycles, 0u);
     EXPECT_EQ(cpu.stats().cycles, 18u);
@@ -118,8 +118,8 @@ TEST(Cpu, BlockingCacheChargesBlockStall)
 {
     auto cache = baselineCache(core::ConfigName::Mc0);
     Cpu cpu(&cache, 1);
-    cpu.onInstr(load(1, 2), 0x100000);
-    cpu.onInstr(alu(3, 1, 0), 0); // data already there: no dep stall
+    cpu.onInstr(load(1, 2), 0x100000, 0);
+    cpu.onInstr(alu(3, 1, 0), 0, 0); // data already there: no dep stall
     cpu.finish();
     EXPECT_EQ(cpu.stats().blockStallCycles, 16u);
     EXPECT_EQ(cpu.stats().depStallCycles, 0u);
@@ -130,8 +130,8 @@ TEST(Cpu, StructuralStallAccounting)
 {
     auto cache = baselineCache(core::ConfigName::Mc1);
     Cpu cpu(&cache, 1);
-    cpu.onInstr(load(1, 2), 0x100000);
-    cpu.onInstr(load(3, 4), 0x200040); // different line: stalls to 17
+    cpu.onInstr(load(1, 2), 0x100000, 0);
+    cpu.onInstr(load(3, 4), 0x200040, 0); // different line: stalls to 17
     cpu.finish();
     EXPECT_EQ(cpu.stats().structStallCycles, 16u);
 }
@@ -140,8 +140,8 @@ TEST(Cpu, WawInterlockOnLoads)
 {
     auto cache = baselineCache();
     Cpu cpu(&cache, 1);
-    cpu.onInstr(load(1, 2), 0x100000); // r1 pending until 17
-    cpu.onInstr(load(1, 4), 0x200040); // same dest: must wait
+    cpu.onInstr(load(1, 2), 0x100000, 0); // r1 pending until 17
+    cpu.onInstr(load(1, 4), 0x200040, 0); // same dest: must wait
     cpu.finish();
     EXPECT_EQ(cpu.stats().depStallCycles, 16u);
 }
@@ -150,8 +150,8 @@ TEST(Cpu, StoreWaitsForItsDataRegister)
 {
     auto cache = baselineCache();
     Cpu cpu(&cache, 1);
-    cpu.onInstr(load(1, 2), 0x100000);
-    cpu.onInstr(store(5, 1), 0x300000); // store r1: waits until 17
+    cpu.onInstr(load(1, 2), 0x100000, 0);
+    cpu.onInstr(store(5, 1), 0x300000, 0); // store r1: waits until 17
     cpu.finish();
     EXPECT_EQ(cpu.stats().depStallCycles, 16u);
 }
@@ -162,9 +162,9 @@ TEST(Cpu, SingleIssueStallIdentity)
     auto cache = baselineCache(core::ConfigName::Mc1);
     Cpu cpu(&cache, 1);
     for (int i = 0; i < 50; ++i) {
-        cpu.onInstr(load(1 + (i % 8), 2), 0x100000 + i * 4096);
-        cpu.onInstr(alu(10, 1 + (i % 8), 0), 0);
-        cpu.onInstr(alu(11, 12, 13), 0);
+        cpu.onInstr(load(1 + (i % 8), 2), 0x100000 + i * 4096, 0);
+        cpu.onInstr(alu(10, 1 + (i % 8), 0), 0, 0);
+        cpu.onInstr(alu(11, 12, 13), 0, 0);
     }
     cpu.finish();
     const auto &s = cpu.stats();
@@ -175,7 +175,7 @@ TEST(CpuDualIssue, TwoIndependentPerCycle)
 {
     Cpu cpu(nullptr, 2, true);
     for (int i = 0; i < 10; ++i)
-        cpu.onInstr(alu(1 + (i % 2), 3, 4), 0);
+        cpu.onInstr(alu(1 + (i % 2), 3, 4), 0, 0);
     cpu.finish();
     EXPECT_EQ(cpu.stats().cycles, 5u);
     EXPECT_DOUBLE_EQ(cpu.ipc(), 2.0);
@@ -185,7 +185,7 @@ TEST(CpuDualIssue, DependentPairSplits)
 {
     Cpu cpu(nullptr, 2, true);
     for (int i = 0; i < 10; ++i)
-        cpu.onInstr(alu(1, 1, 2), 0); // chain on r1
+        cpu.onInstr(alu(1, 1, 2), 0, 0); // chain on r1
     cpu.finish();
     EXPECT_EQ(cpu.stats().cycles, 10u);
 }
@@ -195,8 +195,8 @@ TEST(CpuDualIssue, OneMemoryOpPerCycle)
     auto cache = baselineCache();
     Cpu cpu(&cache, 2);
     // Warm two lines so everything hits.
-    cpu.onInstr(load(1, 0), 0x100000);
-    cpu.onInstr(load(2, 0), 0x200040);
+    cpu.onInstr(load(1, 0), 0x100000, 0);
+    cpu.onInstr(load(2, 0), 0x200040, 0);
     cpu.finish();
     // Two loads cannot pair: 2 cycles even though independent.
     EXPECT_GE(cpu.stats().cycles, 2u);
@@ -211,8 +211,8 @@ TEST(CpuDualIssue, MixedPairsBeatSingleIssue)
     // destinations so the WAW interlock stays out of the way) should
     // sustain nearly 2 IPC.
     for (int i = 0; i < 40; ++i) {
-        cpu.onInstr(load(1 + (i % 8), 0), 0x100000);
-        cpu.onInstr(alu(10, 11, 12), 0);
+        cpu.onInstr(load(1 + (i % 8), 0), 0x100000, 0);
+        cpu.onInstr(alu(10, 11, 12), 0, 0);
     }
     cpu.finish();
     // 80 instructions; single issue would need >= 80 cycles plus the
@@ -225,7 +225,7 @@ TEST(CpuQuadIssue, FourIndependentPerCycle)
 {
     Cpu cpu(nullptr, 4, true);
     for (int i = 0; i < 16; ++i)
-        cpu.onInstr(alu(1 + (i % 4), 5, 6), 0);
+        cpu.onInstr(alu(1 + (i % 4), 5, 6), 0, 0);
     cpu.finish();
     EXPECT_EQ(cpu.stats().cycles, 4u);
     EXPECT_DOUBLE_EQ(cpu.ipc(), 4.0);
@@ -235,8 +235,8 @@ TEST(CpuQuadIssue, StillOneMemoryOpPerCycle)
 {
     auto cache = baselineCache();
     Cpu cpu(&cache, 4);
-    cpu.onInstr(load(1, 0), 0x100000);
-    cpu.onInstr(load(2, 0), 0x100008); // same line, but a second mem op
+    cpu.onInstr(load(1, 0), 0x100000, 0);
+    cpu.onInstr(load(2, 0), 0x100008, 0); // same line, but a second mem op
     cpu.finish();
     EXPECT_GE(cpu.stats().cycles, 2u);
 }

@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -176,6 +177,45 @@ TEST(Framing, TruncatedFrameNeedsMoreThenEofIsError)
             EXPECT_EQ(st, service::ReadStatus::Error) << "cut " << cut;
         ::close(p[0]);
     }
+}
+
+/**
+ * Partial-write resume: a non-blocking socket with a tiny send
+ * buffer forces ::write to accept the frame in many short chunks
+ * with EAGAIN between them. writeFrame must resume at the offset it
+ * reached -- the historical bug dropped the already-written prefix
+ * and restarted, corrupting the stream -- so the reader must get the
+ * payload back byte-exact.
+ */
+TEST(Framing, PartialWriteResumesAtOffset)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    int sndbuf = 1; // Kernel clamps to its minimum; still tiny.
+    ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &sndbuf,
+                           sizeof(sndbuf)), 0);
+    int flags = ::fcntl(sv[0], F_GETFL, 0);
+    ASSERT_GE(flags, 0);
+    ASSERT_EQ(::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK), 0);
+
+    // Much larger than any socket buffer, patterned so a resumed
+    // write at the wrong offset cannot accidentally match.
+    std::string payload;
+    payload.reserve(1 << 20);
+    for (size_t i = 0; payload.size() < (1 << 20); ++i)
+        payload += strfmt("frame-%zu|", i);
+
+    std::string got, err;
+    std::thread reader([&] {
+        EXPECT_EQ(service::readFrame(sv[1], &got, &err),
+                  service::ReadStatus::Ok)
+            << err;
+    });
+    EXPECT_TRUE(service::writeFrame(sv[0], payload));
+    reader.join();
+    EXPECT_EQ(got, payload);
+    ::close(sv[0]);
+    ::close(sv[1]);
 }
 
 // ---------------------------------------------------------------

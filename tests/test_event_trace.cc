@@ -11,6 +11,8 @@
  */
 
 #include <cstdlib>
+#include <memory>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -371,4 +373,108 @@ TEST(TraceCache, ConcurrentPointFanOutSharesTraces)
         expectSameRun(again.run, results[i].run);
     }
     unsetenv("NBL_JOBS");
+}
+
+/**
+ * FIFO trace-cache eviction regression: at cap=1 every new workload's
+ * recording evicts the previous one. Two bugs hid here: eventTrace()
+ * read the just-inserted map entry through an iterator AFTER eviction
+ * had run (eviction of another entry invalidates deque iterators but
+ * rehashing invalidates map iterators too), and runLanes() re-fetched
+ * the trace per group without holding the shared_ptr, so a concurrent
+ * eviction could drop the recording between grouping and replay. Both
+ * must serve bit-exact results at cap=1.
+ */
+TEST(TraceCache, CapOneEvictionStaysExact)
+{
+    Lab lab(kScale);
+    lab.setTraceCacheCap(1);
+
+    // Alternate workloads so every eventTrace() insert evicts.
+    for (int round = 0; round < 2; ++round) {
+        for (const char *name : {"doduc", "eqntott", "doduc"}) {
+            auto trace = lab.eventTrace(name, 10);
+            ASSERT_TRUE(trace);
+            EXPECT_GT(trace->instructions, 0u);
+        }
+        EXPECT_EQ(lab.cacheCounters().traces, 1u);
+    }
+
+    // A runLanes batch spanning two programs (two latencies): the
+    // second group's recording evicts the first's cache entry at
+    // cap=1, but the batch holds its fetched traces and must still
+    // produce run()-exact lanes for BOTH groups.
+    std::vector<ExperimentConfig> cfgs;
+    for (int lat : {1, 10}) {
+        for (core::ConfigName c :
+             {core::ConfigName::Mc1, core::ConfigName::NoRestrict}) {
+            ExperimentConfig e;
+            e.config = c;
+            e.loadLatency = lat;
+            cfgs.push_back(e);
+        }
+    }
+    auto results = lab.runLanes("su2cor", cfgs);
+    ASSERT_EQ(results.size(), cfgs.size());
+
+    Lab ref(kScale);
+    ref.setReplayEnabled(false);
+    for (size_t i = 0; i < cfgs.size(); ++i)
+        expectSameRun(ref.run("su2cor", cfgs[i]).run, results[i].run);
+}
+
+/**
+ * injectTrace/forEachTrace racing a capped cache and live batches
+ * (TSan-able; tools/check.sh runs this under ThreadSanitizer). The
+ * injected trace is adopted or rejected under the trace lock, and
+ * forEachTrace's snapshot must never observe a dangling entry while
+ * runLanes batches evict around it.
+ */
+TEST(TraceCache, ConcurrentInjectAndEvictionAtCap)
+{
+    workloads::Workload w = workloads::makeWorkload("doduc", kScale);
+    Lab donor(kScale);
+    auto donor_trace = donor.eventTrace("doduc", 10);
+    uint64_t fp = donor.programFingerprint("doduc", 10);
+
+    Lab lab(kScale);
+    lab.setTraceCacheCap(1);
+
+    ExperimentConfig mc1, inf;
+    mc1.config = core::ConfigName::Mc1;
+    inf.config = core::ConfigName::NoRestrict;
+
+    // Seed the cache before spawning so every forEachTrace snapshot
+    // observes at least one live entry regardless of scheduling.
+    lab.injectTrace("doduc", fp, donor_trace);
+
+    std::thread batches([&] {
+        for (int i = 0; i < 4; ++i) {
+            lab.runLanes("doduc", {mc1, inf});
+            lab.runLanes("eqntott", {mc1, inf}); // Evicts doduc's.
+        }
+    });
+    std::thread injector([&] {
+        for (int i = 0; i < 50; ++i)
+            lab.injectTrace("doduc", fp, donor_trace);
+    });
+    size_t visits = 0;
+    for (int i = 0; i < 50; ++i) {
+        lab.forEachTrace([&](const std::string &, uint64_t,
+                             const std::shared_ptr<
+                                 const EventTrace> &t) {
+            ASSERT_TRUE(t);
+            visits += t->instructions > 0;
+        });
+    }
+    batches.join();
+    injector.join();
+    EXPECT_LE(lab.cacheCounters().traces, 1u);
+    EXPECT_GT(visits, 0u);
+
+    // The injected trace still serves exact results afterwards.
+    Lab ref(kScale);
+    ref.setReplayEnabled(false);
+    expectSameRun(ref.run("doduc", mc1).run,
+                  lab.run("doduc", mc1).run);
 }

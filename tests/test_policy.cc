@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Tests for the stall-reduction policy layer (src/policy/) and the
+ * strict CLI/protocol parsing that rides along with it.
+ *
+ * The load-bearing properties:
+ *  - a defaulted policy is BIT-identical to the paper's model on
+ *    every MSHR organization (the figures' stdout depends on it);
+ *  - the oracle predictor never changes timing (zero mispredictions,
+ *    penalty is the only effect);
+ *  - prefetches are admitted only through spare MSHR capacity, and
+ *    the denial accounting is exact;
+ *  - SSR forwarding only removes dependence bubbles, never adds
+ *    cycles;
+ *  - all engines (exec::run, replayExact, replayLanes) agree with
+ *    the policy active;
+ *  - config labels and numeric CLI arguments parse strictly.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/event_trace.hh"
+#include "exec/lane_replay.hh"
+#include "exec/machine.hh"
+#include "harness/experiment.hh"
+#include "policy/stall_policy.hh"
+#include "stats/run_stats.hh"
+#include "util/parse.hh"
+#include "workloads/workload.hh"
+
+using namespace nbl;
+using exec::EventTrace;
+using exec::MachineConfig;
+using exec::RunOutput;
+using harness::Lab;
+using nbl::policy::PredictorMode;
+using nbl::policy::PrefetchMode;
+using nbl::policy::StallPolicyConfig;
+
+namespace
+{
+
+constexpr double kScale = 0.02;
+
+/** Every named MSHR organization. */
+std::vector<core::ConfigName>
+allOrgs()
+{
+    return std::vector<core::ConfigName>(std::begin(core::allConfigNames),
+                                         std::end(core::allConfigNames));
+}
+
+RunOutput
+runWith(const std::string &workload, core::ConfigName org,
+        const StallPolicyConfig &sp, int latency = 10)
+{
+    workloads::Workload w = workloads::makeWorkload(workload, kScale);
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program(workload, latency);
+    mem::SparseMemory mem = w.makeMemory();
+    MachineConfig mc;
+    mc.policy = core::makePolicy(org);
+    mc.stallPolicy = sp;
+    return exec::run(prog, mem, mc);
+}
+
+void
+expectSameCounters(const RunOutput &a, const RunOutput &b)
+{
+    stats::Snapshot sa = stats::snapshotOfRun(a);
+    stats::Snapshot sb = stats::snapshotOfRun(b);
+    EXPECT_TRUE(sa.countersEqual(sb));
+}
+
+} // namespace
+
+/**
+ * An explicitly-constructed default StallPolicyConfig is inert: no
+ * policy counters, no pred.* registration, and (the property every
+ * committed figure depends on) counters bit-identical to a config
+ * that never mentions the policy -- on every MSHR organization.
+ */
+TEST(PolicyOff, BitIdenticalOnEveryOrganization)
+{
+    for (core::ConfigName org : allOrgs()) {
+        RunOutput off = runWith("doduc", org, StallPolicyConfig{});
+        EXPECT_FALSE(off.policyActive);
+        EXPECT_EQ(off.cpu.predStallCycles, 0u);
+        EXPECT_EQ(off.cpu.predLoads, 0u);
+        EXPECT_EQ(off.cpu.ssrForwarded, 0u);
+        EXPECT_EQ(off.pf.issued, 0u);
+        EXPECT_EQ(off.pf.mshrDenied, 0u);
+
+        // With width 1 the partition stays exact including the new
+        // class: cycles == instrs + dep + struct + block + pred.
+        EXPECT_EQ(off.cpu.cycles,
+                  off.cpu.instructions + off.cpu.depStallCycles +
+                      off.cpu.structStallCycles +
+                      off.cpu.blockStallCycles +
+                      off.cpu.predStallCycles);
+    }
+}
+
+/**
+ * The oracle predictor is always right, so it charges no penalties
+ * and the run is bit-identical to policy-off -- but the run is marked
+ * policy-active and counts every load it predicted.
+ */
+TEST(Predictor, OracleNeverChangesTiming)
+{
+    for (core::ConfigName org :
+         {core::ConfigName::Mc0, core::ConfigName::Mc1,
+          core::ConfigName::Fc2, core::ConfigName::NoRestrict}) {
+        RunOutput off = runWith("doduc", org, StallPolicyConfig{});
+        StallPolicyConfig sp;
+        sp.predictor.mode = PredictorMode::Oracle;
+        RunOutput oracle = runWith("doduc", org, sp);
+        EXPECT_TRUE(oracle.policyActive);
+        EXPECT_EQ(oracle.cpu.cycles, off.cpu.cycles);
+        EXPECT_EQ(oracle.cpu.predStallCycles, 0u);
+        EXPECT_EQ(oracle.cpu.predUnder, 0u);
+        EXPECT_EQ(oracle.cpu.predOver, 0u);
+        EXPECT_GT(oracle.cpu.predLoads, 0u);
+        EXPECT_EQ(oracle.cpu.predHits, oracle.cpu.predLoads);
+    }
+}
+
+/**
+ * The synthetic predictor's nested correct-sets: raising accuracy
+ * only converts wrong predictions into right ones, so underprediction
+ * penalties (and cycles) are monotone non-increasing in accuracy.
+ */
+TEST(Predictor, SyntheticMonotoneInAccuracy)
+{
+    uint64_t prev_cycles = 0;
+    bool first = true;
+    for (double acc : {0.25, 0.50, 0.75, 1.00}) {
+        StallPolicyConfig sp;
+        sp.predictor.mode = PredictorMode::Synthetic;
+        sp.predictor.accuracy = acc;
+        RunOutput r =
+            runWith("doduc", core::ConfigName::NoRestrict, sp);
+        if (!first)
+            EXPECT_LE(r.cpu.cycles, prev_cycles) << "acc=" << acc;
+        prev_cycles = r.cpu.cycles;
+        first = false;
+    }
+}
+
+/** Every mispredicted-hit load charges exactly the penalty knob. */
+TEST(Predictor, PenaltyArithmeticExact)
+{
+    StallPolicyConfig sp;
+    sp.predictor.mode = PredictorMode::Synthetic;
+    sp.predictor.accuracy = 0.5;
+    sp.predictor.penalty = 7;
+    RunOutput r = runWith("doduc", core::ConfigName::Mc2, sp);
+    EXPECT_GT(r.cpu.predUnder, 0u);
+    EXPECT_EQ(r.cpu.predStallCycles, 7 * r.cpu.predUnder);
+    EXPECT_EQ(r.cpu.predLoads, r.cpu.predHits + r.cpu.predUnder +
+                                   r.cpu.predOver);
+}
+
+/**
+ * Spare-MSHR admission: mc=1's one register is demand-owned whenever
+ * the trigger fires, so every prefetch is denied; and no organization
+ * ever exceeds its register count (mc= expresses registers as the
+ * miss cap, fc= as the fetch cap).
+ */
+TEST(Prefetch, SpareMshrAdmissionOnly)
+{
+    StallPolicyConfig sp;
+    sp.prefetch.mode = PrefetchMode::NextLine;
+    sp.prefetch.degree = 4;
+
+    RunOutput mc1 = runWith("tomcatv", core::ConfigName::Mc1, sp);
+    EXPECT_EQ(mc1.pf.issued, 0u);
+    EXPECT_GT(mc1.pf.mshrDenied, 0u);
+    EXPECT_LE(mc1.maxInflightFetches, 1u);
+    // Every prefetch denied means the timing is untouched: the mc=1
+    // curve with prefetch "on" equals policy-off exactly.
+    RunOutput mc1_off =
+        runWith("tomcatv", core::ConfigName::Mc1, StallPolicyConfig{});
+    EXPECT_EQ(mc1.cpu.cycles, mc1_off.cpu.cycles);
+    EXPECT_EQ(mc1.cache.fetches, mc1_off.cache.fetches);
+
+    RunOutput mc2 = runWith("tomcatv", core::ConfigName::Mc2, sp);
+    EXPECT_GT(mc2.pf.issued, 0u);
+    EXPECT_GT(mc2.pf.mshrDenied, 0u);
+    EXPECT_LE(mc2.maxInflightFetches, 2u);
+
+    RunOutput fc2 = runWith("tomcatv", core::ConfigName::Fc2, sp);
+    EXPECT_LE(fc2.maxInflightFetches, 2u);
+
+    RunOutput inf =
+        runWith("tomcatv", core::ConfigName::NoRestrict, sp);
+    EXPECT_GT(inf.pf.issued, 0u);
+    EXPECT_EQ(inf.pf.mshrDenied, 0u);
+    EXPECT_LE(inf.pf.useful, inf.pf.issued);
+}
+
+/**
+ * SSR forwarding converts load-use interlock bubbles into issues: it
+ * forwards a positive number of times, saves exactly the cycles it
+ * claims, and never makes a run slower.
+ */
+TEST(Ssr, ForwardingOnlyRemovesBubbles)
+{
+    StallPolicyConfig sp;
+    sp.ssr.window = 2;
+
+    // A blocking cache has no load-use bubbles to forward: the block
+    // stall at the load itself already waited out the miss, so every
+    // result is ready by its scheduled use.
+    {
+        RunOutput off = runWith("doduc", core::ConfigName::Mc0,
+                                StallPolicyConfig{});
+        RunOutput ssr = runWith("doduc", core::ConfigName::Mc0, sp);
+        EXPECT_EQ(ssr.cpu.ssrForwarded, 0u);
+        EXPECT_EQ(ssr.cpu.cycles, off.cpu.cycles);
+    }
+
+    // Non-blocking: misses overrun the schedule by a few cycles and
+    // the window catches the short bubbles. No struct/block stalls on
+    // the unrestricted cache, so the cycle savings ARE the dep-stall
+    // savings, exactly.
+    {
+        RunOutput off = runWith("doduc", core::ConfigName::NoRestrict,
+                                StallPolicyConfig{});
+        RunOutput ssr =
+            runWith("doduc", core::ConfigName::NoRestrict, sp);
+        EXPECT_GT(ssr.cpu.ssrForwarded, 0u);
+        EXPECT_GT(ssr.cpu.ssrSavedCycles, 0u);
+        EXPECT_LE(ssr.cpu.cycles, off.cpu.cycles);
+        EXPECT_EQ(off.cpu.cycles - ssr.cpu.cycles,
+                  off.cpu.depStallCycles - ssr.cpu.depStallCycles);
+    }
+}
+
+/**
+ * Engine agreement with the policy ACTIVE: replayExact and
+ * replayLanes must reproduce exec::run's counters bit for bit under
+ * a mixed predictor + prefetch + SSR policy.
+ */
+TEST(PolicyEngines, AllEnginesAgreeWithPolicyOn)
+{
+    const std::string name = "su2cor";
+    workloads::Workload w = workloads::makeWorkload(name, kScale);
+    Lab lab(kScale);
+    const isa::Program &prog = lab.program(name, 10);
+    mem::SparseMemory rec_mem = w.makeMemory();
+    EventTrace trace = exec::recordEventTrace(prog, rec_mem);
+
+    StallPolicyConfig sp;
+    sp.predictor.mode = PredictorMode::Table;
+    sp.predictor.tableBits = 6;
+    sp.predictor.penalty = 4;
+    sp.prefetch.mode = PrefetchMode::Stride;
+    sp.prefetch.degree = 2;
+    sp.ssr.window = 3;
+
+    std::vector<MachineConfig> mcs;
+    for (core::ConfigName org :
+         {core::ConfigName::Mc1, core::ConfigName::Fc2,
+          core::ConfigName::Fs2, core::ConfigName::NoRestrict}) {
+        MachineConfig mc;
+        mc.policy = core::makePolicy(org);
+        mc.stallPolicy = sp;
+        mcs.push_back(mc);
+    }
+    std::vector<RunOutput> lanes = exec::replayLanes(prog, trace, mcs);
+    ASSERT_EQ(lanes.size(), mcs.size());
+    for (size_t i = 0; i < mcs.size(); ++i) {
+        mem::SparseMemory run_mem = w.makeMemory();
+        RunOutput ref = exec::run(prog, run_mem, mcs[i]);
+        EXPECT_TRUE(ref.policyActive);
+        RunOutput rep = exec::replayExact(prog, trace, mcs[i]);
+        expectSameCounters(ref, rep);
+        expectSameCounters(ref, lanes[i]);
+    }
+}
+
+/** stallPolicyKey: "" iff defaulted, distinct per knob setting. */
+TEST(PolicyKey, EmptyIffDefaulted)
+{
+    EXPECT_EQ(nbl::policy::stallPolicyKey(StallPolicyConfig{}), "");
+    StallPolicyConfig a, b;
+    a.predictor.mode = PredictorMode::Oracle;
+    b.predictor.mode = PredictorMode::Synthetic;
+    b.predictor.accuracy = 0.75;
+    EXPECT_NE(nbl::policy::stallPolicyKey(a), "");
+    EXPECT_NE(nbl::policy::stallPolicyKey(a),
+              nbl::policy::stallPolicyKey(b));
+    StallPolicyConfig c;
+    c.ssr.window = 1;
+    EXPECT_NE(nbl::policy::stallPolicyKey(c), "");
+}
+
+/**
+ * Config labels parse strictly: the exact vocabulary round-trips,
+ * and any mutated suffix is rejected unless the mutation happens to
+ * BE another exact label (none of the suffixes below can).
+ */
+TEST(StrictParsing, ConfigLabelVocabulary)
+{
+    for (core::ConfigName name : core::allConfigNames) {
+        std::string label = core::configLabel(name);
+        core::ConfigName parsed;
+        ASSERT_TRUE(core::parseConfigLabel(label, &parsed)) << label;
+        EXPECT_EQ(parsed, name) << label;
+
+        for (const char *suffix : {"x", " ", "0", "=1", " +wma2"}) {
+            std::string mutated = label + suffix;
+            core::ConfigName dummy;
+            EXPECT_FALSE(core::parseConfigLabel(mutated, &dummy))
+                << "accepted '" << mutated << "'";
+        }
+        // Truncations fail too -- except "mc=0 +wma" whose prefix
+        // "mc=0" is itself a vocabulary word.
+        if (!label.empty()) {
+            std::string trunc = label.substr(0, label.size() - 1);
+            core::ConfigName t;
+            bool ok = core::parseConfigLabel(trunc, &t);
+            bool is_word = false;
+            for (core::ConfigName other : core::allConfigNames)
+                is_word |= trunc == core::configLabel(other);
+            EXPECT_EQ(ok, is_word) << "'" << trunc << "'";
+        }
+    }
+    core::ConfigName dummy;
+    EXPECT_FALSE(core::parseConfigLabel("", &dummy));
+    EXPECT_FALSE(core::parseConfigLabel("mc=3", &dummy));
+}
+
+/** util/parse.hh: whole-string-or-nothing numeric conversions. */
+TEST(StrictParsing, NumericHelpers)
+{
+    int64_t i = 0;
+    EXPECT_TRUE(parseInt64("42", &i));
+    EXPECT_EQ(i, 42);
+    EXPECT_TRUE(parseInt64("-7", &i));
+    EXPECT_EQ(i, -7);
+    EXPECT_TRUE(parseInt64("0x10", &i));
+    EXPECT_EQ(i, 16);
+    EXPECT_FALSE(parseInt64("", &i));
+    EXPECT_FALSE(parseInt64("12x", &i));
+    EXPECT_FALSE(parseInt64("4 2", &i));
+    EXPECT_FALSE(parseInt64("99999999999999999999", &i));
+
+    uint64_t u = 0;
+    EXPECT_TRUE(parseUint64("8192", &u));
+    EXPECT_EQ(u, 8192u);
+    EXPECT_FALSE(parseUint64("-1", &u));
+    EXPECT_FALSE(parseUint64("  -1", &u));
+    EXPECT_FALSE(parseUint64("8k", &u));
+    EXPECT_FALSE(parseUint64("", &u));
+
+    double d = 0.0;
+    EXPECT_TRUE(parseDouble("0.5", &d));
+    EXPECT_EQ(d, 0.5);
+    EXPECT_TRUE(parseDouble("1e-3", &d));
+    EXPECT_FALSE(parseDouble("nan", &d));
+    EXPECT_FALSE(parseDouble("inf", &d));
+    EXPECT_FALSE(parseDouble("1.5x", &d));
+    EXPECT_FALSE(parseDouble("", &d));
+}
+
+/** The env-knob reader panics on malformed values and is defaulted
+ *  over an empty environment (the daemon and --dry-run rely on it). */
+TEST(PolicyEnv, DefaultedWhenUnset)
+{
+    unsetenv("NBL_PRED_MODE");
+    unsetenv("NBL_PRED_BITS");
+    unsetenv("NBL_PRED_PENALTY");
+    unsetenv("NBL_PRED_ACC");
+    unsetenv("NBL_PF_MODE");
+    unsetenv("NBL_PF_DEGREE");
+    unsetenv("NBL_SSR_WINDOW");
+    EXPECT_TRUE(nbl::policy::stallPolicyFromEnv().defaulted());
+
+    setenv("NBL_PRED_MODE", "oracle", 1);
+    setenv("NBL_SSR_WINDOW", "2", 1);
+    StallPolicyConfig sp = nbl::policy::stallPolicyFromEnv();
+    EXPECT_FALSE(sp.defaulted());
+    EXPECT_EQ(sp.predictor.mode, PredictorMode::Oracle);
+    EXPECT_EQ(sp.ssr.window, 2u);
+    unsetenv("NBL_PRED_MODE");
+    unsetenv("NBL_SSR_WINDOW");
+}

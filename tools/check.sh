@@ -34,6 +34,16 @@
 # cache) with nbl-client --verify re-simulating every point locally
 # and requiring bit-identical counters; the TSan step also runs the
 # daemon request path (tests/test_daemon.cc Service*/SocketServer*).
+# Step 9 is the policy gate: smoke runs of fig22 (level prediction)
+# and fig23 (prefetch pressure) must print no VIOLATED check line,
+# and a figure bench must print byte-identical stdout with every
+# NBL_PRED_*/NBL_PF_*/NBL_SSR_* knob explicitly set to its default
+# vs all of them unset -- the stall-reduction policies are strictly
+# opt-in. The fuzzer already covers policy configs: its generator
+# randomizes predictor/prefetch/SSR knobs per seed, so the sanitized
+# fuzz in step 3 exercises the policy paths across all four engines
+# (no NBL_* policy env is set there; env overrides would skew the
+# Lab cross).
 set -eu
 
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
@@ -102,6 +112,23 @@ NBL_SCALE=0.05 NBL_MODEL_PRUNE=0 ./build/bench/fig05_doduc_baseline \
 NBL_SCALE=0.05 ./build/bench/fig05_doduc_baseline \
     > "$tmp/fig05.unset.txt"
 diff "$tmp/fig05.off.txt" "$tmp/fig05.unset.txt"
+
+echo "== policy: fig22/fig23 check lines hold =="
+NBL_SCALE=0.05 ./build/bench/fig22_level_prediction > "$tmp/fig22.txt"
+NBL_SCALE=0.05 ./build/bench/fig23_prefetch_pressure > "$tmp/fig23.txt"
+for f in fig22 fig23; do
+    grep -q "holds" "$tmp/$f.txt"
+    if grep -q VIOLATED "$tmp/$f.txt"; then
+        echo "check.sh: $f check line VIOLATED" >&2
+        exit 1
+    fi
+done
+
+echo "== policy: figure stdout identical with knobs at defaults =="
+NBL_SCALE=0.05 NBL_PRED_MODE=off NBL_PRED_BITS=8 NBL_PRED_PENALTY=3 \
+    NBL_PRED_ACC=1.0 NBL_PF_MODE=off NBL_PF_DEGREE=1 NBL_SSR_WINDOW=0 \
+    ./build/bench/fig05_doduc_baseline > "$tmp/fig05.defaults.txt"
+diff "$tmp/fig05.defaults.txt" "$tmp/fig05.unset.txt"
 
 echo "== docs: drift gate (knob table + fenced CLI examples) =="
 sh tools/docs_check.sh build

@@ -39,6 +39,7 @@
 #include "core/hierarchy.hh"
 #include "core/policy.hh"
 #include "harness/paper_data.hh"
+#include "policy/stall_policy.hh"
 #include "harness/stats_export.hh"
 #include "stats/json.hh"
 #include "stats/model_stats.hh"
@@ -58,6 +59,8 @@ struct Point
     std::string policy; ///< policyKey() string for custom policies.
     /** hierarchyKey() string; empty = the degenerate chain. */
     std::string hierarchy;
+    /** stallPolicyKey() string; empty = policies off (the paper). */
+    std::string stallPolicy;
     uint64_t cacheBytes = 0;
     uint64_t lineBytes = 0;
     unsigned ways = 0;
@@ -105,6 +108,8 @@ class Artifacts
             p.perfectCache = c.at("perfect_cache").boolean();
             if (const stats::Json *h = c.find("hierarchy"))
                 p.hierarchy = h->str();
+            if (const stats::Json *sp = c.find("stall_policy"))
+                p.stallPolicy = sp->str();
             p.stats = stats::snapshotFromJson(r.at("stats"));
             points_.emplace(r.at("key").str(), std::move(p));
         }
@@ -139,31 +144,35 @@ class Artifacts
     get(const std::string &workload, const std::string &label,
         int latency, unsigned penalty = 0,
         const std::string &policy = std::string(),
-        const std::string &hierarchy = std::string()) const
+        const std::string &hierarchy = std::string(),
+        const std::string &stallPolicy = std::string()) const
     {
         for (const auto &[key, p] : points_) {
             if (p.workload == workload && p.label == label &&
                 p.loadLatency == latency &&
                 p.missPenalty == penalty && p.policy == policy &&
                 p.hierarchy == hierarchy &&
+                p.stallPolicy == stallPolicy &&
                 p.cacheBytes == 8 * 1024 && p.lineBytes == 32 &&
                 p.ways == 1 && p.issueWidth == 1 && !p.perfectCache)
                 return p;
         }
-        fatal("no artifact point for %s/%s lat=%d pen=%u%s%s%s%s",
+        fatal("no artifact point for %s/%s lat=%d pen=%u%s%s%s%s%s%s",
               workload.c_str(), label.c_str(), latency, penalty,
               policy.empty() ? "" : " policy=", policy.c_str(),
-              hierarchy.empty() ? "" : " hier=", hierarchy.c_str());
+              hierarchy.empty() ? "" : " hier=", hierarchy.c_str(),
+              stallPolicy.empty() ? "" : " sp=", stallPolicy.c_str());
     }
 
     double
     mcpi(const std::string &workload, const std::string &label,
          int latency, unsigned penalty = 0,
          const std::string &policy = std::string(),
-         const std::string &hierarchy = std::string()) const
+         const std::string &hierarchy = std::string(),
+         const std::string &stallPolicy = std::string()) const
     {
         return get(workload, label, latency, penalty, policy,
-                   hierarchy)
+                   hierarchy, stallPolicy)
             .stats.derivedValue("cpu.mcpi");
     }
 
@@ -440,6 +449,101 @@ fig21Table(const Artifacts &a)
     return out;
 }
 
+/**
+ * The predictor points of the level-prediction sweep, mirroring
+ * bench/fig22_level_prediction.cc (label -> stallPolicyKey; "off" is
+ * a defaulted policy and the empty key).
+ */
+std::vector<std::pair<std::string, std::string>>
+fig22Predictors()
+{
+    using nbl::policy::PredictorMode;
+    std::vector<std::pair<std::string, std::string>> pts;
+    pts.emplace_back("off", "");
+    for (double acc : {0.50, 0.75, 0.90, 1.00}) {
+        nbl::policy::StallPolicyConfig sp;
+        sp.predictor.mode = PredictorMode::Synthetic;
+        sp.predictor.accuracy = acc;
+        pts.emplace_back(strfmt("acc=%.2f", acc),
+                         nbl::policy::stallPolicyKey(sp));
+    }
+    {
+        nbl::policy::StallPolicyConfig sp;
+        sp.predictor.mode = PredictorMode::Oracle;
+        pts.emplace_back("oracle", nbl::policy::stallPolicyKey(sp));
+    }
+    return pts;
+}
+
+std::string
+fig22Table(const Artifacts &a)
+{
+    std::string out = "| config |";
+    for (const auto &[label, key] : fig22Predictors())
+        out += strfmt(" %s |", label.c_str());
+    out += "\n|---|";
+    for (size_t i = 0; i < fig22Predictors().size(); ++i)
+        out += "---|";
+    out += "\n";
+    for (const char *label : {"mc=0", "mc=1", "mc=2", "no restrict"}) {
+        out += strfmt("| %s |", label);
+        for (const auto &[pred, key] : fig22Predictors()) {
+            out += strfmt(" %.3f |",
+                          a.mcpi("doduc", label, 10, 0, "", "", key));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+/**
+ * The prefetcher points of the pressure sweep, mirroring
+ * bench/fig23_prefetch_pressure.cc.
+ */
+std::vector<std::pair<std::string, std::string>>
+fig23Prefetchers()
+{
+    std::vector<std::pair<std::string, std::string>> pts;
+    pts.emplace_back("off", "");
+    for (unsigned d : {1u, 2u, 4u}) {
+        nbl::policy::StallPolicyConfig sp;
+        sp.prefetch.mode = nbl::policy::PrefetchMode::NextLine;
+        sp.prefetch.degree = d;
+        pts.emplace_back(strfmt("deg=%u", d),
+                         nbl::policy::stallPolicyKey(sp));
+    }
+    return pts;
+}
+
+std::string
+fig23Table(const Artifacts &a)
+{
+    std::string out = "| config |";
+    for (const auto &[label, key] : fig23Prefetchers())
+        out += strfmt(" %s |", label.c_str());
+    out += " denied @ deg=4 |\n|---|";
+    for (size_t i = 0; i <= fig23Prefetchers().size(); ++i)
+        out += "---|";
+    out += "\n";
+    for (const char *label : {"mc=1", "mc=2", "fs=1", "no restrict"}) {
+        out += strfmt("| %s |", label);
+        const Point *deg4 = nullptr;
+        for (const auto &[pf, key] : fig23Prefetchers()) {
+            const Point &p =
+                a.get("tomcatv", label, 10, 0, "", "", key);
+            out += strfmt(" %.3f |",
+                          p.stats.derivedValue("cpu.mcpi"));
+            if (pf == "deg=4")
+                deg4 = &p;
+        }
+        const stats::Scalar *den =
+            deg4 ? deg4->stats.findScalar("pf.mshr_denied") : nullptr;
+        out += strfmt(" %llu |\n",
+                      (unsigned long long)(den ? den->value : 0));
+    }
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // Checks.
 // ---------------------------------------------------------------------
@@ -485,11 +589,17 @@ checkInvariants(const Artifacts &a)
         ++n;
         const stats::Snapshot &s = p.stats;
         if (p.issueWidth == 1) {
+            // Policy-active points carry a fifth stall class
+            // (pred.stall_cycles); it is absent -- not zero -- from
+            // paper-model snapshots, hence the nullable lookup.
+            const stats::Scalar *pred =
+                s.findScalar("pred.stall_cycles");
             partition &= s.value("cpu.cycles") ==
                          s.value("cpu.instructions") +
                              s.value("cpu.dep_stall_cycles") +
                              s.value("cpu.struct_stall_cycles") +
-                             s.value("cpu.block_stall_cycles");
+                             s.value("cpu.block_stall_cycles") +
+                             (pred ? pred->value : 0);
         }
         dests &= s.histogram("cache.dests_per_fetch").total() ==
                  s.value("cache.fetches");
@@ -558,6 +668,48 @@ checkShapes(const Artifacts &a)
               2.0 * a.mcpi("tomcatv", "no restrict", 10, 16),
           "fig18: unrestricted MCPI super-linear (16 -> 32 more than "
           "doubles)");
+
+    // Figure 22: the synthetic predictor's nested correct-sets make
+    // MCPI monotone in accuracy, and the oracle equals policy-off.
+    {
+        auto preds = fig22Predictors();
+        for (const char *label : {"mc=1", "no restrict"}) {
+            bool mono = true;
+            double prev = 0.0;
+            bool have_prev = false;
+            for (const auto &[name, key] : preds) {
+                if (name == "off" || name == "oracle")
+                    continue;
+                double m = a.mcpi("doduc", label, 10, 0, "", "", key);
+                mono &= !have_prev || m <= prev;
+                prev = m;
+                have_prev = true;
+            }
+            check(mono, strfmt("fig22: %s MCPI monotone in predictor "
+                               "accuracy", label));
+        }
+        check(a.mcpi("doduc", "no restrict", 10, 0, "", "",
+                     preds.back().second) ==
+                  a.mcpi("doduc", "no restrict", 10),
+              "fig22: oracle predictor identical to policy-off");
+    }
+
+    // Figure 23: prefetch admitted through spare MSHRs only -- the
+    // single-register organization denies the entire stream.
+    {
+        auto pfs = fig23Prefetchers();
+        const Point &p = a.get("tomcatv", "mc=1", 10, 0, "", "",
+                               pfs.back().second);
+        const stats::Scalar *den =
+            p.stats.findScalar("pf.mshr_denied");
+        const stats::Scalar *iss = p.stats.findScalar("pf.issued");
+        check(den && den->value > 0 && iss && iss->value == 0,
+              "fig23: mc=1 denies every prefetch (spare-MSHR "
+              "contract)");
+        check(p.stats.value("run.max_inflight_fetches") <= 1,
+              "fig23: mc=1 peak in-flight fetches stays at its one "
+              "register under prefetch");
+    }
 
     // Figure 6: in-flight fetches bounded by the pipelined penalty.
     bool bound = true;
@@ -693,7 +845,9 @@ generateRegions(const Artifacts &a)
             {"fig15", fig15Table(a)},
             {"fig18", fig18Table(a)},
             {"fig20", fig20Table(a)},
-            {"fig21", fig21Table(a)}};
+            {"fig21", fig21Table(a)},
+            {"fig22", fig22Table(a)},
+            {"fig23", fig23Table(a)}};
 }
 
 /**
@@ -730,7 +884,8 @@ const char *artifactFiles[] = {
     "fig07_stall_breakdown.json",  "fig13_all18_table.json",
     "fig14_mshr_organizations.json", "fig15_su2cor_per_set.json",
     "fig18_miss_penalty.json",       "fig20_hierarchy.json",
-    "fig21_model_prune.json",
+    "fig21_model_prune.json",        "fig22_level_prediction.json",
+    "fig23_prefetch_pressure.json",
 };
 
 } // namespace

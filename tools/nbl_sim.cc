@@ -23,7 +23,10 @@
 
 #include "harness/report.hh"
 #include "harness/sweep.hh"
+#include "policy/stall_policy.hh"
+#include "service/protocol.hh"
 #include "util/log.hh"
+#include "util/parse.hh"
 #include "util/table.hh"
 #include "workloads/workload.hh"
 
@@ -91,6 +94,24 @@ parse(int argc, char **argv)
             usage();
         return argv[++i];
     };
+    // Strict numeric arguments: trailing garbage and overflow are
+    // usage errors, not silently truncated values (util/parse.hh).
+    auto needInt = [&](int &i, const char *flag, int64_t lo,
+                       int64_t hi) -> int64_t {
+        const char *v = need(i);
+        int64_t n = 0;
+        if (!parseInt64(v, &n) || n < lo || n > hi)
+            fatal("%s: '%s' is not an integer in [%lld, %lld]", flag,
+                  v, (long long)lo, (long long)hi);
+        return n;
+    };
+    auto needUint = [&](int &i, const char *flag) -> uint64_t {
+        const char *v = need(i);
+        uint64_t n = 0;
+        if (!parseUint64(v, &n))
+            fatal("%s: '%s' is not a non-negative integer", flag, v);
+        return n;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--workload")
@@ -98,22 +119,28 @@ parse(int argc, char **argv)
         else if (a == "--config")
             o.config = need(i);
         else if (a == "--latency")
-            o.latency = std::atoi(need(i));
+            o.latency = int(needInt(i, "--latency", INT32_MIN,
+                                    INT32_MAX));
         else if (a == "--cache")
-            o.cacheBytes = std::strtoull(need(i), nullptr, 0);
+            o.cacheBytes = needUint(i, "--cache");
         else if (a == "--line")
-            o.lineBytes = std::strtoull(need(i), nullptr, 0);
+            o.lineBytes = needUint(i, "--line");
         else if (a == "--ways")
-            o.ways = unsigned(std::atoi(need(i)));
+            o.ways = unsigned(needInt(i, "--ways", 0, INT32_MAX));
         else if (a == "--penalty")
-            o.penalty = unsigned(std::atoi(need(i)));
+            o.penalty =
+                unsigned(needInt(i, "--penalty", 0, INT32_MAX));
         else if (a == "--issue")
-            o.issueWidth = unsigned(std::atoi(need(i)));
+            o.issueWidth =
+                unsigned(needInt(i, "--issue", 0, INT32_MAX));
         else if (a == "--fill-ports")
-            o.fillPorts = unsigned(std::atoi(need(i)));
-        else if (a == "--scale")
-            o.scale = std::atof(need(i));
-        else if (a == "--sweep")
+            o.fillPorts =
+                unsigned(needInt(i, "--fill-ports", 0, INT32_MAX));
+        else if (a == "--scale") {
+            const char *v = need(i);
+            if (!parseDouble(v, &o.scale))
+                fatal("--scale: '%s' is not a number", v);
+        } else if (a == "--sweep")
             o.sweep = true;
         else if (a == "--csv")
             o.csv = true;
@@ -204,8 +231,21 @@ main(int argc, char **argv)
         cfgs.emplace_back(o.config, cfg);
     }
 
-    if (o.dryRun)
+    if (o.dryRun) {
+        // Full validation, not just label parsing: run the same range
+        // checks the daemon's request schema applies, so the CLI and
+        // the protocol agree on what is rejected. Also resolve the
+        // stall-policy environment knobs -- stallPolicyFromEnv
+        // panics on a malformed knob, surfacing it here rather than
+        // mid-run.
+        harness::ExperimentConfig probe =
+            experimentOf(o, cfgs[0].second);
+        probe.stallPolicy = nbl::policy::stallPolicyFromEnv();
+        std::string err;
+        if (!service::validateConfig(probe, &err))
+            fatal("invalid configuration: %s", err.c_str());
         return 0;
+    }
 
     harness::Lab lab(o.scale);
 
